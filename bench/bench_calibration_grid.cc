@@ -1,0 +1,121 @@
+// Ablation (paper Section 7: "developing techniques to reduce the number
+// of calibration experiments required, since cost model calibration is a
+// fairly lengthy process"): how sparse can the calibration grid P(R) be?
+//
+// We calibrate stores at three grid densities over (cpu, io), then test
+// interpolated parameters at held-out allocations against directly
+// calibrated ground truth: relative parameter error and the downstream
+// error in what-if cost estimates for a TPC-H query.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "calib/grid.h"
+#include "datagen/tpch_queries.h"
+
+namespace vdb {
+namespace {
+
+int Run() {
+  const sim::MachineSpec machine = bench::ExperimentMachine();
+  datagen::CalibrationDbConfig config;
+  config.base_rows = 12000;  // memory axis not exercised here
+  auto calibration_db = std::make_unique<exec::Database>();
+  if (!datagen::GenerateCalibrationDb(calibration_db->catalog(), config)
+           .ok()) {
+    return 1;
+  }
+
+  struct Density {
+    const char* name;
+    std::vector<double> axis;
+  };
+  const std::vector<Density> densities = {
+      {"2x2 (corners)", {0.15, 0.85}},
+      {"3x3", {0.15, 0.5, 0.85}},
+      {"5x5", {0.15, 0.325, 0.5, 0.675, 0.85}},
+  };
+  const std::vector<sim::ResourceShare> held_out = {
+      sim::ResourceShare(0.3, 0.5, 0.6), sim::ResourceShare(0.45, 0.5, 0.25),
+      sim::ResourceShare(0.7, 0.5, 0.4), sim::ResourceShare(0.25, 0.5, 0.75)};
+
+  // Ground truth at the held-out points.
+  calib::Calibrator calibrator(calibration_db.get());
+  std::vector<optimizer::OptimizerParams> truth;
+  for (const sim::ResourceShare& share : held_out) {
+    sim::VirtualMachine vm("vm", machine, sim::HypervisorModel::XenLike(),
+                           share);
+    auto result = calibrator.Calibrate(vm);
+    if (!result.ok()) return 1;
+    truth.push_back(result->params);
+  }
+
+  auto tpch = bench::MakeTpchDatabase();
+  const std::string q3 = *datagen::TpchQuery(3);
+  auto estimate = [&](const optimizer::OptimizerParams& params) -> double {
+    tpch->SetOptimizerParams(params);
+    auto plan = tpch->Prepare(q3);
+    return plan.ok() ? (*plan)->total_cost_ms : -1.0;
+  };
+
+  bench::PrintTitle(
+      "Calibration grid density vs interpolation quality (held-out "
+      "allocations)");
+  std::printf("%-15s %8s %22s %22s\n", "grid", "points",
+              "max param error [%]", "max Q3 cost error [%]");
+
+  double coarse_cost_error = 0.0;
+  double fine_cost_error = 0.0;
+  for (const Density& density : densities) {
+    calib::CalibrationGridSpec spec;
+    spec.cpu_shares = density.axis;
+    spec.memory_shares = {0.5};
+    spec.io_shares = density.axis;
+    auto store = calib::CalibrateGrid(calibration_db.get(), machine,
+                                      sim::HypervisorModel::XenLike(), spec);
+    if (!store.ok()) return 1;
+
+    double max_param_error = 0.0;
+    double max_cost_error = 0.0;
+    for (size_t i = 0; i < held_out.size(); ++i) {
+      auto interpolated = store->Lookup(held_out[i]);
+      if (!interpolated.ok()) return 1;
+      const auto est = interpolated->CalibratedVector();
+      const auto ref = truth[i].CalibratedVector();
+      for (int k = 0; k < optimizer::OptimizerParams::kNumCalibrated; ++k) {
+        if (ref[k] > 1e-9) {
+          max_param_error = std::max(
+              max_param_error, std::fabs(est[k] - ref[k]) / ref[k]);
+        }
+      }
+      const double est_cost = estimate(*interpolated);
+      const double ref_cost = estimate(truth[i]);
+      if (est_cost < 0 || ref_cost <= 0) return 1;
+      max_cost_error = std::max(max_cost_error,
+                                std::fabs(est_cost - ref_cost) / ref_cost);
+    }
+    std::printf("%-15s %8zu %21.1f%% %21.1f%%\n", density.name,
+                store->size(), 100.0 * max_param_error,
+                100.0 * max_cost_error);
+    if (density.axis.size() == 3) coarse_cost_error = max_cost_error;
+    if (density.axis.size() == 5) fine_cost_error = max_cost_error;
+  }
+
+  bench::PrintRule();
+  std::printf(
+      "takeaway: interpolating P(R) converges with grid density — a 3x3 "
+      "grid keeps what-if cost errors near %.0f%%, a 5x5 grid near "
+      "%.0f%%; the paper's concern about calibration cost is a real "
+      "accuracy/effort trade-off.\n",
+      100.0 * coarse_cost_error, 100.0 * fine_cost_error);
+  const bool ok = fine_cost_error <= coarse_cost_error + 1e-9 &&
+                  fine_cost_error < 0.25;
+  std::printf("grid-densification shape holds: %s\n", ok ? "YES" : "NO");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace vdb
+
+int main() { return vdb::Run(); }

@@ -1,0 +1,91 @@
+// Extension (paper Section 7, "an important next step ... consider the
+// dynamic case and reconfigure the virtual machines on the fly in
+// response to changes in the workload"): workloads arrive in phases; a
+// static deployment-time design is compared against re-running the
+// virtualization design per phase.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/dynamic.h"
+#include "datagen/tpch_queries.h"
+
+namespace vdb {
+namespace {
+
+int Run() {
+  const sim::MachineSpec machine = bench::ExperimentMachine();
+
+  auto calibration_db = bench::MakeCalibrationDatabase();
+  calib::CalibrationGridSpec spec;
+  spec.cpu_shares = {0.25, 0.5, 0.75};
+  spec.memory_shares = {0.5};
+  spec.io_shares = {0.5};
+  auto store =
+      calib::CalibrateGrid(calibration_db.get(), machine,
+                           sim::HypervisorModel::XenLike(), spec);
+  if (!store.ok()) return 1;
+  calibration_db.reset();
+
+  auto db1 = bench::MakeTpchDatabase();
+  auto db2 = bench::MakeTpchDatabase();
+
+  core::VirtualizationDesignProblem base;
+  base.machine = machine;
+  base.databases = {db1.get(), db2.get()};
+  base.controlled = {sim::ResourceKind::kCpu};
+  base.grid_steps = 4;
+
+  auto wl = [&](const char* name, int query, int copies) {
+    return core::Workload::Repeated(name, *datagen::TpchQuery(query),
+                                    copies);
+  };
+  // Phase 1: VM1 runs the I/O-bound workload, VM2 the CPU-bound one.
+  // Phase 2: the roles swap. Phase 3: both CPU-bound (no skew useful).
+  const std::vector<std::vector<core::Workload>> phases = {
+      {wl("io", 4, 2), wl("cpu", 13, 4)},
+      {wl("cpu", 13, 4), wl("io", 4, 2)},
+      {wl("cpu-a", 13, 2), wl("cpu-b", 13, 2)},
+  };
+
+  auto comparison = core::CompareStaticVsDynamic(base, phases, *store);
+  if (!comparison.ok()) {
+    std::fprintf(stderr, "comparison failed: %s\n",
+                 comparison.status().ToString().c_str());
+    return 1;
+  }
+
+  bench::PrintTitle(
+      "Static deployment-time design vs dynamic per-phase re-design");
+  std::printf("static design (from phase 1): W1 cpu=%.0f%%, W2 cpu=%.0f%%\n\n",
+              100 * comparison->static_design.allocations[0].cpu,
+              100 * comparison->static_design.allocations[1].cpu);
+  std::printf("%-8s %12s %12s %26s\n", "phase", "static", "dynamic",
+              "dynamic allocation (cpu)");
+  for (size_t p = 0; p < phases.size(); ++p) {
+    std::printf("%-8zu %11.1fs %11.1fs %17.0f%% / %.0f%%\n", p + 1,
+                comparison->static_phase_seconds[p],
+                comparison->dynamic_phase_seconds[p],
+                100 * comparison->dynamic_designs[p].allocations[0].cpu,
+                100 * comparison->dynamic_designs[p].allocations[1].cpu);
+  }
+  std::printf("%-8s %11.1fs %11.1fs\n", "total",
+              comparison->static_total_seconds,
+              comparison->dynamic_total_seconds);
+
+  bench::PrintRule();
+  const double gain = 1.0 - comparison->dynamic_total_seconds /
+                                comparison->static_total_seconds;
+  std::printf("dynamic re-design gain over static: %.1f%%\n", 100 * gain);
+  const bool ok =
+      comparison->dynamic_total_seconds <=
+          comparison->static_total_seconds * 1.001 &&
+      gain > 0.02;
+  std::printf("dynamic-redesign shape holds: %s\n", ok ? "YES" : "NO");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace vdb
+
+int main() { return vdb::Run(); }

@@ -1,0 +1,115 @@
+// Reproduces Figure 4: estimated and actual execution times of TPC-H Q4
+// and Q13 under CPU allocations of 25% / 50% / 75% (memory and I/O fixed
+// at 50%), normalized to the default 50% CPU allocation.
+//
+// Paper result: Q4 is I/O-intensive and insensitive to the CPU share;
+// Q13 is CPU-intensive and speeds up ~2x from 25% to 75%; the estimates
+// (optimizer in virtualization-aware what-if mode with calibrated P(R))
+// track the actual sensitivities.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "calib/grid.h"
+#include "datagen/tpch_queries.h"
+
+namespace vdb {
+namespace {
+
+int Run() {
+  const sim::MachineSpec machine = bench::ExperimentMachine();
+
+  // Offline step (paper Section 5): calibrate P(R) for the CPU grid.
+  auto calibration_db = bench::MakeCalibrationDatabase();
+  calib::CalibrationGridSpec spec;
+  spec.cpu_shares = {0.25, 0.50, 0.75};
+  spec.memory_shares = {0.50};
+  spec.io_shares = {0.50};
+  auto store =
+      calib::CalibrateGrid(calibration_db.get(), machine,
+                           sim::HypervisorModel::XenLike(), spec);
+  if (!store.ok()) {
+    std::fprintf(stderr, "calibration failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  calibration_db.reset();
+
+  auto db = bench::MakeTpchDatabase();
+  const double shares[] = {0.25, 0.50, 0.75};
+  const int queries[] = {4, 13};
+
+  double estimated[2][3];
+  double actual[2][3];
+  for (int q = 0; q < 2; ++q) {
+    auto sql = datagen::TpchQuery(queries[q]);
+    if (!sql.ok()) return 1;
+    for (int c = 0; c < 3; ++c) {
+      sim::VirtualMachine vm = bench::MakeVm(machine, shares[c], 0.5, 0.5);
+      // Estimated: what-if optimization under the calibrated P(R).
+      auto params = store->Lookup(vm.share());
+      if (!params.ok()) return 1;
+      if (!db->ApplyVmConfig(vm).ok()) return 1;
+      db->SetOptimizerParams(*params);
+      auto plan = db->Prepare(*sql);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "Q%d prepare failed: %s\n", queries[q],
+                     plan.status().ToString().c_str());
+        return 1;
+      }
+      estimated[q][c] = (*plan)->total_cost_ms / 1000.0;
+      // Actual: cold-cache execution of that plan inside the VM.
+      if (!db->DropCaches().ok()) return 1;
+      auto result = db->ExecutePlan(**plan, vm);
+      if (!result.ok()) {
+        std::fprintf(stderr, "Q%d execution failed: %s\n", queries[q],
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      actual[q][c] = result->elapsed_seconds;
+      std::fprintf(stderr,
+                   "[measured] Q%d cpu=%.0f%%: est=%.2fs actual=%.2fs\n",
+                   queries[q], 100 * shares[c], estimated[q][c],
+                   actual[q][c]);
+    }
+  }
+
+  bench::PrintTitle(
+      "Figure 4: sensitivity of Q4 and Q13 to the CPU allocation");
+  std::printf("memory and I/O fixed at 50%%; normalized to cpu=50%%\n\n");
+  std::printf("%-26s %10s %10s %10s\n", "series", "cpu=25%", "cpu=50%",
+              "cpu=75%");
+  const char* names[2] = {"Q4", "Q13"};
+  for (int q = 0; q < 2; ++q) {
+    std::printf("%-3s estimated (normalized) %10.2f %10.2f %10.2f\n",
+                names[q], estimated[q][0] / estimated[q][1], 1.0,
+                estimated[q][2] / estimated[q][1]);
+    std::printf("%-3s actual    (normalized) %10.2f %10.2f %10.2f\n",
+                names[q], actual[q][0] / actual[q][1], 1.0,
+                actual[q][2] / actual[q][1]);
+    std::printf("%-3s actual    (seconds)    %10.2f %10.2f %10.2f\n\n",
+                names[q], actual[q][0], actual[q][1], actual[q][2]);
+  }
+
+  bench::PrintRule();
+  const double q4_actual_swing = actual[0][0] / actual[0][2];
+  const double q13_actual_swing = actual[1][0] / actual[1][2];
+  const double q4_estimated_swing = estimated[0][0] / estimated[0][2];
+  const double q13_estimated_swing = estimated[1][0] / estimated[1][2];
+  std::printf("Q4  25%%/75%% swing: actual %.2fx, estimated %.2fx "
+              "(paper: insensitive)\n",
+              q4_actual_swing, q4_estimated_swing);
+  std::printf("Q13 25%%/75%% swing: actual %.2fx, estimated %.2fx "
+              "(paper: ~2x)\n",
+              q13_actual_swing, q13_estimated_swing);
+  const bool shape_holds =
+      q13_actual_swing > 1.7 && q4_actual_swing < 1.35 &&
+      q13_estimated_swing > 1.5 * q4_estimated_swing;
+  std::printf("figure-4 shape holds: %s\n", shape_holds ? "YES" : "NO");
+  return shape_holds ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace vdb
+
+int main() { return vdb::Run(); }

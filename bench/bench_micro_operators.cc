@@ -1,0 +1,151 @@
+// Microbenchmarks (google-benchmark) of the engine's hot paths: executor
+// operators, optimizer planning throughput, the calibration solver, and
+// the design search. These measure *host* performance of the simulator
+// itself (not simulated time) — useful for keeping the reproduction fast.
+
+#include <benchmark/benchmark.h>
+
+#include "calib/calibration.h"
+#include "core/cost_model.h"
+#include "core/search.h"
+#include "datagen/calibration_db.h"
+#include "datagen/synthetic.h"
+#include "exec/database.h"
+#include "sim/machine.h"
+#include "sim/virtual_machine.h"
+#include "util/linalg.h"
+#include "util/random.h"
+
+namespace vdb {
+namespace {
+
+// Shared environment: one synthetic database reused across benchmarks.
+exec::Database* GlobalDb() {
+  static exec::Database* db = [] {
+    auto* instance = new exec::Database();
+    using datagen::ColumnSpec;
+    using datagen::Distribution;
+    ColumnSpec key;
+    key.name = "k";
+    key.distribution = Distribution::kSequential;
+    ColumnSpec value;
+    value.name = "v";
+    value.distribution = Distribution::kUniform;
+    value.min_value = 0;
+    value.max_value = 999;
+    ColumnSpec text;
+    text.name = "s";
+    text.type = catalog::TypeId::kString;
+    text.distribution = Distribution::kRandomText;
+    text.string_length = 24;
+    VDB_CHECK_OK(datagen::GenerateTable(instance->catalog(), "t",
+                                        {key, value, text}, 50000, 7));
+    VDB_CHECK_OK(datagen::GenerateTable(instance->catalog(), "u",
+                                        {key, value}, 5000, 8));
+    VDB_CHECK(instance->catalog()->CreateIndex("t_k", "t", "k").ok());
+    VDB_CHECK_OK(instance->catalog()->AnalyzeAll());
+    return instance;
+  }();
+  return db;
+}
+
+sim::VirtualMachine BenchVm() {
+  return sim::VirtualMachine("vm", sim::MachineSpec::PaperTestbed(),
+                             sim::HypervisorModel::XenLike(),
+                             sim::ResourceShare(0.5, 0.5, 0.5));
+}
+
+void RunQuery(benchmark::State& state, const char* sql) {
+  exec::Database* db = GlobalDb();
+  sim::VirtualMachine vm = BenchVm();
+  VDB_CHECK_OK(db->ApplyVmConfig(vm));
+  for (auto _ : state) {
+    auto result = db->Execute(sql, vm);
+    VDB_CHECK(result.ok()) << result.status();
+    benchmark::DoNotOptimize(result->rows.size());
+  }
+}
+
+void BM_SeqScanCount(benchmark::State& state) {
+  RunQuery(state, "select count(*) from t");
+}
+BENCHMARK(BM_SeqScanCount);
+
+void BM_FilteredScan(benchmark::State& state) {
+  RunQuery(state, "select count(*) from t where v < 100 and s like '%a%'");
+}
+BENCHMARK(BM_FilteredScan);
+
+void BM_IndexPointLookup(benchmark::State& state) {
+  RunQuery(state, "select v from t where k = 25000");
+}
+BENCHMARK(BM_IndexPointLookup);
+
+void BM_HashJoin(benchmark::State& state) {
+  RunQuery(state,
+           "select count(*) from t, u where t.k = u.k and u.v < 500");
+}
+BENCHMARK(BM_HashJoin);
+
+void BM_SortLimit(benchmark::State& state) {
+  RunQuery(state, "select k from t order by v, k limit 100");
+}
+BENCHMARK(BM_SortLimit);
+
+void BM_GroupAggregate(benchmark::State& state) {
+  RunQuery(state,
+           "select v, count(*), sum(k), avg(k) from t group by v");
+}
+BENCHMARK(BM_GroupAggregate);
+
+void BM_OptimizerPrepareJoin(benchmark::State& state) {
+  exec::Database* db = GlobalDb();
+  const char* sql =
+      "select count(*) from t, u where t.k = u.k and t.v between 10 and "
+      "200 and u.v < 500";
+  for (auto _ : state) {
+    auto plan = db->Prepare(sql);
+    VDB_CHECK(plan.ok());
+    benchmark::DoNotOptimize((*plan)->total_cost_ms);
+  }
+}
+BENCHMARK(BM_OptimizerPrepareJoin);
+
+void BM_LeastSquaresSolve(benchmark::State& state) {
+  Random rng(5);
+  Matrix a(24, 5);
+  std::vector<double> b(24);
+  for (size_t r = 0; r < 24; ++r) {
+    for (size_t c = 0; c < 5; ++c) a.At(r, c) = rng.UniformDouble(0, 100);
+    b[r] = rng.UniformDouble(0, 1000);
+  }
+  for (auto _ : state) {
+    auto solution = NonNegativeLeastSquares(a, b);
+    VDB_CHECK(solution.ok());
+    benchmark::DoNotOptimize(solution->data());
+  }
+}
+BENCHMARK(BM_LeastSquaresSolve);
+
+void BM_BTreeInsertLookup(benchmark::State& state) {
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 512);
+  storage::BPlusTree tree(&disk, &pool);
+  Random rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    VDB_CHECK_OK(tree.Insert(rng.UniformInt(0, 1000000), i));
+  }
+  int64_t probe = 0;
+  for (auto _ : state) {
+    auto values = tree.Lookup(probe);
+    VDB_CHECK(values.ok());
+    benchmark::DoNotOptimize(values->size());
+    probe = (probe + 7919) % 1000000;
+  }
+}
+BENCHMARK(BM_BTreeInsertLookup);
+
+}  // namespace
+}  // namespace vdb
+
+BENCHMARK_MAIN();

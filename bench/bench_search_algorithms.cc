@@ -1,0 +1,158 @@
+// Framework ablation (paper Section 3 / Figure 2): the paper leaves the
+// combinatorial search unspecified ("any standard combinatorial search
+// algorithm such as greedy search or dynamic programming will apply").
+// This harness compares the three searchers on mixed TPC-H workload sets:
+// solution quality (estimated total cost), number of Cost(W,R)
+// evaluations, and host search time, with exhaustive search as ground
+// truth where feasible.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/advisor.h"
+#include "core/cost_model.h"
+#include "core/search.h"
+#include "datagen/tpch_queries.h"
+
+namespace vdb {
+namespace {
+
+double HostSeconds(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+int Run() {
+  const sim::MachineSpec machine = bench::ExperimentMachine();
+
+  auto calibration_db = bench::MakeCalibrationDatabase();
+  calib::CalibrationGridSpec spec;
+  spec.cpu_shares = {0.1, 0.25, 0.5, 0.75, 0.9};
+  spec.memory_shares = {0.5};
+  spec.io_shares = {0.1, 0.25, 0.5, 0.75, 0.9};
+  auto store =
+      calib::CalibrateGrid(calibration_db.get(), machine,
+                           sim::HypervisorModel::XenLike(), spec);
+  if (!store.ok()) {
+    std::fprintf(stderr, "calibration failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  calibration_db.reset();
+
+  auto db = bench::MakeTpchDatabase();
+  auto workload = [&](const char* name, int query, int copies) {
+    return core::Workload::Repeated(name, *datagen::TpchQuery(query),
+                                    copies);
+  };
+
+  struct Scenario {
+    const char* name;
+    std::vector<core::Workload> workloads;
+    std::vector<sim::ResourceKind> controlled;
+    int grid_steps;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"N=2, cpu",
+                       {workload("io", 4, 2), workload("cpu", 13, 2)},
+                       {sim::ResourceKind::kCpu},
+                       16});
+  scenarios.push_back({"N=3, cpu",
+                       {workload("io", 4, 2), workload("cpu", 13, 2),
+                        workload("scan", 1, 1)},
+                       {sim::ResourceKind::kCpu},
+                       12});
+  scenarios.push_back({"N=4, cpu",
+                       {workload("io", 4, 1), workload("cpu", 13, 1),
+                        workload("scan", 1, 1), workload("join", 3, 1)},
+                       {sim::ResourceKind::kCpu},
+                       12});
+  scenarios.push_back({"N=2, cpu+io",
+                       {workload("io", 4, 2), workload("cpu", 13, 2)},
+                       {sim::ResourceKind::kCpu, sim::ResourceKind::kIo},
+                       10});
+  scenarios.push_back({"N=3, cpu+io",
+                       {workload("io", 4, 2), workload("cpu", 13, 2),
+                        workload("mix", 12, 1)},
+                       {sim::ResourceKind::kCpu, sim::ResourceKind::kIo},
+                       9});
+
+  bench::PrintTitle(
+      "Search algorithm comparison for the virtualization design problem");
+  std::printf("%-13s %-20s %14s %10s %10s %9s\n", "scenario", "algorithm",
+              "est. cost", "vs best", "evals", "host (s)");
+
+  bool all_ok = true;
+  for (const Scenario& scenario : scenarios) {
+    core::VirtualizationDesignProblem problem;
+    problem.machine = machine;
+    problem.workloads = scenario.workloads;
+    problem.databases.assign(scenario.workloads.size(), db.get());
+    problem.controlled = scenario.controlled;
+    problem.grid_steps = scenario.grid_steps;
+
+    double best_cost = -1.0;
+    struct Row {
+      const char* algorithm;
+      double cost;
+      uint64_t evals;
+      double seconds;
+      bool ok;
+    };
+    std::vector<Row> rows;
+    for (core::SearchAlgorithm algorithm :
+         {core::SearchAlgorithm::kExhaustive, core::SearchAlgorithm::kGreedy,
+          core::SearchAlgorithm::kDynamicProgramming}) {
+      core::WorkloadCostModel cost(&problem, &*store);
+      const auto start = std::chrono::steady_clock::now();
+      auto solution = core::SolveDesignProblem(problem, &cost, algorithm);
+      const double seconds = HostSeconds(start);
+      if (!solution.ok()) {
+        rows.push_back({core::SearchAlgorithmName(algorithm), 0, 0,
+                        seconds, false});
+        continue;
+      }
+      if (best_cost < 0 || solution->total_cost_ms < best_cost) {
+        best_cost = solution->total_cost_ms;
+      }
+      rows.push_back({core::SearchAlgorithmName(algorithm),
+                      solution->total_cost_ms, solution->evaluations,
+                      seconds, true});
+    }
+    // Equal-split reference.
+    {
+      core::WorkloadCostModel cost(&problem, &*store);
+      auto equal = cost.TotalCost(core::EqualSplitSolution(problem).allocations);
+      if (equal.ok()) {
+        std::printf("%-13s %-20s %12.0fms %9.2fx %10s %9s\n",
+                    scenario.name, "equal-split(baseline)", *equal,
+                    *equal / best_cost, "-", "-");
+      }
+    }
+    for (const Row& row : rows) {
+      if (!row.ok) {
+        std::printf("%-13s %-20s %14s %10s %10s %8.2f\n", scenario.name,
+                    row.algorithm, "(skipped)", "-", "-", row.seconds);
+        continue;
+      }
+      std::printf("%-13s %-20s %12.0fms %9.3fx %10llu %8.2f\n",
+                  scenario.name, row.algorithm, row.cost,
+                  row.cost / best_cost,
+                  static_cast<unsigned long long>(row.evals), row.seconds);
+      // Greedy may be suboptimal, but never worse than 10% here; DP and
+      // exhaustive must agree with the best.
+      if (row.cost > 1.10 * best_cost) all_ok = false;
+    }
+    bench::PrintRule();
+  }
+  std::printf("all searchers within 10%% of the best design: %s\n",
+              all_ok ? "YES" : "NO");
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace vdb
+
+int main() { return vdb::Run(); }

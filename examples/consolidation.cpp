@@ -1,0 +1,145 @@
+// Server consolidation (the paper's Section 1.1 motivation): three
+// departmental database servers — an orders database doing key lookups, a
+// reporting warehouse running TPC-H-style analytics, and a log-search
+// service doing text matching — are consolidated onto one physical
+// machine as three VMs. The virtualization design problem is to divide
+// CPU and I/O among them.
+//
+// Build & run:  ./build/examples/consolidation
+
+#include <cstdio>
+
+#include "calib/grid.h"
+#include "core/advisor.h"
+#include "datagen/calibration_db.h"
+#include "datagen/synthetic.h"
+#include "datagen/tpch.h"
+#include "datagen/tpch_queries.h"
+#include "exec/database.h"
+#include "sim/machine.h"
+
+using namespace vdb;
+
+int main() {
+  const sim::MachineSpec machine = sim::MachineSpec::PaperTestbed();
+  std::printf("consolidating 3 departmental databases onto %s\n\n",
+              machine.name.c_str());
+
+  // Offline, once per machine: calibrate P(R).
+  exec::Database calibration_db;
+  datagen::CalibrationDbConfig cal_config;
+  cal_config.base_rows = 8000;
+  VDB_CHECK_OK(
+      datagen::GenerateCalibrationDb(calibration_db.catalog(), cal_config));
+  calib::CalibrationGridSpec grid;
+  grid.cpu_shares = {0.15, 0.35, 0.55, 0.75};
+  grid.memory_shares = {1.0 / 3.0};
+  grid.io_shares = {0.15, 0.35, 0.55, 0.75};
+  auto store = calib::CalibrateGrid(&calibration_db, machine,
+                                    sim::HypervisorModel::XenLike(), grid);
+  VDB_CHECK(store.ok()) << store.status();
+
+  // Department 1: orders service (indexed point lookups).
+  exec::Database orders_db;
+  {
+    datagen::ColumnSpec id;
+    id.name = "order_id";
+    id.distribution = datagen::Distribution::kSequential;
+    datagen::ColumnSpec cust;
+    cust.name = "customer_id";
+    cust.distribution = datagen::Distribution::kZipf;
+    cust.min_value = 1;
+    cust.max_value = 5000;
+    datagen::ColumnSpec note;
+    note.name = "note";
+    note.type = catalog::TypeId::kString;
+    note.distribution = datagen::Distribution::kRandomText;
+    note.string_length = 60;
+    VDB_CHECK_OK(datagen::GenerateTable(orders_db.catalog(), "orders",
+                                        {id, cust, note}, 60000, 3));
+    VDB_CHECK(orders_db.catalog()
+                  ->CreateIndex("orders_pk", "orders", "order_id")
+                  .ok());
+    VDB_CHECK(orders_db.catalog()
+                  ->CreateIndex("orders_cust", "orders", "customer_id")
+                  .ok());
+    VDB_CHECK_OK(orders_db.catalog()->AnalyzeAll());
+  }
+  core::Workload orders_workload("orders-lookups", {});
+  for (int i = 0; i < 40; ++i) {
+    orders_workload.statements.push_back(
+        "select note from orders where order_id = " +
+        std::to_string(1500 * i + 77));
+  }
+
+  // Department 2: reporting warehouse (TPC-H analytics).
+  exec::Database warehouse_db;
+  {
+    datagen::TpchConfig config;
+    config.scale_factor = 0.02;
+    VDB_CHECK_OK(datagen::GenerateTpch(warehouse_db.catalog(), config));
+  }
+  core::Workload warehouse_workload(
+      "reporting", {*datagen::TpchQuery(1), *datagen::TpchQuery(3),
+                    *datagen::TpchQuery(6)});
+
+  // Department 3: log search (LIKE-heavy text matching).
+  exec::Database logs_db;
+  {
+    datagen::ColumnSpec ts;
+    ts.name = "ts";
+    ts.distribution = datagen::Distribution::kSequential;
+    datagen::ColumnSpec line;
+    line.name = "line";
+    line.type = catalog::TypeId::kString;
+    line.distribution = datagen::Distribution::kRandomText;
+    line.string_length = 90;
+    VDB_CHECK_OK(datagen::GenerateTable(logs_db.catalog(), "logs",
+                                        {ts, line}, 50000, 4));
+    VDB_CHECK_OK(logs_db.catalog()->AnalyzeAll());
+  }
+  core::Workload logs_workload(
+      "log-search",
+      std::vector<std::string>(
+          3, "select count(*) from logs where line like '%deposits%' and "
+             "line like '%furiously%' or line like '%theodolites%'"));
+
+  core::VirtualizationDesignProblem problem;
+  problem.machine = machine;
+  problem.workloads = {orders_workload, warehouse_workload, logs_workload};
+  problem.databases = {&orders_db, &warehouse_db, &logs_db};
+  problem.controlled = {sim::ResourceKind::kCpu, sim::ResourceKind::kIo};
+  problem.grid_steps = 9;
+
+  core::Advisor advisor(&*store);
+  auto design =
+      advisor.Recommend(problem, core::SearchAlgorithm::kDynamicProgramming);
+  VDB_CHECK(design.ok()) << design.status();
+
+  std::printf("recommended allocation (memory fixed at 1/3 each):\n");
+  for (size_t i = 0; i < problem.workloads.size(); ++i) {
+    std::printf("  %-16s cpu=%2.0f%%  io=%2.0f%%\n",
+                problem.workloads[i].name.c_str(),
+                100 * design->allocations[i].cpu,
+                100 * design->allocations[i].io);
+  }
+
+  auto recommended = core::Advisor::Measure(problem, design->allocations);
+  auto equal = core::Advisor::Measure(
+      problem, core::EqualSplitSolution(problem).allocations);
+  VDB_CHECK(recommended.ok()) << recommended.status();
+  VDB_CHECK(equal.ok());
+
+  std::printf("\nper-department measured times (equal -> recommended):\n");
+  for (size_t i = 0; i < problem.workloads.size(); ++i) {
+    std::printf("  %-16s %6.2fs -> %6.2fs\n",
+                problem.workloads[i].name.c_str(),
+                equal->workload_seconds[i],
+                recommended->workload_seconds[i]);
+  }
+  std::printf("total: %.2fs -> %.2fs (%.1f%% better)\n",
+              equal->total_seconds, recommended->total_seconds,
+              100.0 * (1.0 - recommended->total_seconds /
+                                 equal->total_seconds));
+  return 0;
+}

@@ -1,0 +1,221 @@
+// design_advisor — command-line front end for the full pipeline:
+//
+//   calibrate:  build (or refresh) a P(R) calibration store for a machine
+//               and save it to a file
+//   recommend:  load the store, load N workloads from .sql files, run the
+//               design search, print (and optionally measure) the result
+//
+// Usage:
+//   design_advisor calibrate --store FILE [--points N]
+//   design_advisor recommend --store FILE --workload w1.sql --workload
+//       w2.sql [...] [--resources cpu,io] [--steps K] [--algorithm
+//       greedy|dp|exhaustive] [--measure]
+//
+// Workload SQL runs against a built-in TPC-H database (SF 0.02), so the
+// .sql files can reference the TPC-H schema. See examples/workloads/.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "calib/grid.h"
+#include "core/advisor.h"
+#include "core/workload_io.h"
+#include "datagen/calibration_db.h"
+#include "datagen/tpch.h"
+#include "exec/database.h"
+#include "sim/machine.h"
+#include "util/string_util.h"
+
+using namespace vdb;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  design_advisor calibrate --store FILE [--points N]\n"
+      "  design_advisor recommend --store FILE --workload FILE.sql ... \n"
+      "      [--resources cpu,io] [--steps K]\n"
+      "      [--algorithm greedy|dp|exhaustive] [--measure]\n");
+  return 2;
+}
+
+int Calibrate(const std::string& store_path, int points) {
+  exec::Database db;
+  datagen::CalibrationDbConfig config;
+  config.base_rows = 8000;
+  VDB_CHECK_OK(datagen::GenerateCalibrationDb(db.catalog(), config));
+  calib::CalibrationGridSpec spec;
+  spec.cpu_shares.clear();
+  spec.io_shares.clear();
+  for (int i = 0; i < points; ++i) {
+    const double share =
+        0.1 + 0.8 * static_cast<double>(i) / (points - 1);
+    spec.cpu_shares.push_back(share);
+    spec.io_shares.push_back(share);
+  }
+  spec.memory_shares = {0.5};
+  std::printf("calibrating %dx%d (cpu x io) grid...\n", points, points);
+  auto store = calib::CalibrateGrid(
+      &db, sim::MachineSpec::PaperTestbed(),
+      sim::HypervisorModel::XenLike(), spec,
+      [](const sim::ResourceShare& share,
+         const calib::CalibrationResult& result) {
+        std::printf("  %s -> fit residual %.2f ms\n",
+                    share.ToString().c_str(), result.residual_rms_ms);
+      });
+  VDB_CHECK(store.ok()) << store.status();
+  VDB_CHECK_OK(store->SaveToFile(store_path));
+  std::printf("saved %zu points to %s\n", store->size(),
+              store_path.c_str());
+  return 0;
+}
+
+int Recommend(const std::string& store_path,
+              const std::vector<std::string>& workload_files,
+              const std::string& resources, int steps,
+              const std::string& algorithm_name, bool measure) {
+  auto store = calib::CalibrationStore::LoadFromFile(store_path);
+  if (!store.ok()) {
+    std::fprintf(stderr, "cannot load store: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+
+  core::VirtualizationDesignProblem problem;
+  problem.machine = sim::MachineSpec::PaperTestbed();
+  problem.grid_steps = steps;
+  problem.controlled.clear();
+  for (const std::string& resource : Split(resources, ',')) {
+    if (resource == "cpu") {
+      problem.controlled.push_back(sim::ResourceKind::kCpu);
+    } else if (resource == "io") {
+      problem.controlled.push_back(sim::ResourceKind::kIo);
+    } else if (resource == "memory") {
+      problem.controlled.push_back(sim::ResourceKind::kMemory);
+    } else {
+      std::fprintf(stderr, "unknown resource '%s'\n", resource.c_str());
+      return 2;
+    }
+  }
+
+  // One database instance per workload, all with the TPC-H schema.
+  std::vector<std::unique_ptr<exec::Database>> databases;
+  std::printf("loading TPC-H data for %zu VMs...\n", workload_files.size());
+  for (const std::string& file : workload_files) {
+    auto workload = core::LoadWorkloadFile(file);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                   workload.status().ToString().c_str());
+      return 1;
+    }
+    auto db = std::make_unique<exec::Database>();
+    datagen::TpchConfig config;
+    config.scale_factor = 0.02;
+    VDB_CHECK_OK(datagen::GenerateTpch(db->catalog(), config));
+    problem.workloads.push_back(std::move(*workload));
+    problem.databases.push_back(db.get());
+    databases.push_back(std::move(db));
+  }
+
+  core::SearchAlgorithm algorithm;
+  if (algorithm_name == "greedy") {
+    algorithm = core::SearchAlgorithm::kGreedy;
+  } else if (algorithm_name == "exhaustive") {
+    algorithm = core::SearchAlgorithm::kExhaustive;
+  } else {
+    algorithm = core::SearchAlgorithm::kDynamicProgramming;
+  }
+
+  core::Advisor advisor(&*store);
+  auto design = advisor.Recommend(problem, algorithm);
+  if (!design.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 design.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%s\n", design->ToString().c_str());
+  std::printf("(%llu what-if evaluations)\n",
+              static_cast<unsigned long long>(design->evaluations));
+
+  if (measure) {
+    auto recommended = core::Advisor::Measure(problem, design->allocations);
+    auto equal = core::Advisor::Measure(
+        problem, core::EqualSplitSolution(problem).allocations);
+    VDB_CHECK(recommended.ok()) << recommended.status();
+    VDB_CHECK(equal.ok());
+    std::printf("\nmeasured (simulated) workload times:\n");
+    for (size_t i = 0; i < problem.workloads.size(); ++i) {
+      std::printf("  %-20s equal %.2fs -> recommended %.2fs\n",
+                  problem.workloads[i].name.c_str(),
+                  equal->workload_seconds[i],
+                  recommended->workload_seconds[i]);
+    }
+    std::printf("total: equal %.2fs -> recommended %.2fs\n",
+                equal->total_seconds, recommended->total_seconds);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string mode = argv[1];
+  std::string store_path;
+  std::vector<std::string> workloads;
+  std::string resources = "cpu";
+  std::string algorithm = "dp";
+  int steps = 8;
+  int points = 4;
+  bool measure = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--store") {
+      const char* v = next();
+      if (!v) return Usage();
+      store_path = v;
+    } else if (arg == "--workload") {
+      const char* v = next();
+      if (!v) return Usage();
+      workloads.push_back(v);
+    } else if (arg == "--resources") {
+      const char* v = next();
+      if (!v) return Usage();
+      resources = v;
+    } else if (arg == "--algorithm") {
+      const char* v = next();
+      if (!v) return Usage();
+      algorithm = v;
+    } else if (arg == "--steps") {
+      const char* v = next();
+      if (!v) return Usage();
+      steps = std::atoi(v);
+    } else if (arg == "--points") {
+      const char* v = next();
+      if (!v) return Usage();
+      points = std::atoi(v);
+    } else if (arg == "--measure") {
+      measure = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (store_path.empty()) return Usage();
+  if (mode == "calibrate") return Calibrate(store_path, points);
+  if (mode == "recommend") {
+    if (workloads.size() < 2) {
+      std::fprintf(stderr, "need at least two --workload files\n");
+      return 2;
+    }
+    return Recommend(store_path, workloads, resources, steps, algorithm,
+                     measure);
+  }
+  return Usage();
+}

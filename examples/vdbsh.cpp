@@ -1,0 +1,183 @@
+// vdbsh — an interactive SQL shell over the engine, running inside a
+// configurable virtual machine. Demonstrates the whole stack as a usable
+// tool: type SQL, get rows plus the simulated execution time and the
+// optimizer's estimate for the current VM allocation.
+//
+// Commands:
+//   <sql>;                 execute a SELECT statement
+//   \vm <cpu> <mem> <io>   reconfigure the VM's resource shares (0..1]
+//   \explain <sql>         show the chosen physical plan and estimate
+//   \tables                list tables with row/page counts
+//   \cold                  drop the buffer pool (cold cache)
+//   \timing on|off         toggle the timing footer
+//   \help                  this text
+//   \q                     quit
+//
+// Build & run:  ./build/examples/vdbsh [tpch-scale-factor]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "datagen/tpch.h"
+#include "exec/database.h"
+#include "sim/machine.h"
+#include "sim/virtual_machine.h"
+#include "util/string_util.h"
+
+using namespace vdb;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "  <sql>;                 execute a SELECT statement\n"
+      "  \\vm <cpu> <mem> <io>   reconfigure the VM's resource shares\n"
+      "  \\explain <sql>         show the physical plan and estimate\n"
+      "  \\tables                list tables\n"
+      "  \\cold                  drop the buffer pool\n"
+      "  \\timing on|off         toggle the timing footer\n"
+      "  \\q                     quit\n");
+}
+
+void PrintRows(const exec::QueryResult& result, size_t max_rows) {
+  for (const std::string& name : result.column_names) {
+    std::printf("%-18s", name.substr(0, 17).c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < result.column_names.size(); ++i) {
+    std::printf("%-18s", "-----------------");
+  }
+  std::printf("\n");
+  for (size_t r = 0; r < result.rows.size() && r < max_rows; ++r) {
+    for (const catalog::Value& v : result.rows[r]) {
+      std::printf("%-18s", v.ToString().substr(0, 17).c_str());
+    }
+    std::printf("\n");
+  }
+  if (result.rows.size() > max_rows) {
+    std::printf("... (%zu rows total)\n", result.rows.size());
+  }
+  std::printf("(%zu rows)\n", result.rows.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale_factor = argc > 1 ? std::atof(argv[1]) : 0.01;
+
+  exec::Database db;
+  std::printf("loading TPC-H data at scale factor %.3f...\n", scale_factor);
+  datagen::TpchConfig config;
+  config.scale_factor = scale_factor;
+  VDB_CHECK_OK(datagen::GenerateTpch(db.catalog(), config));
+
+  const sim::MachineSpec machine = sim::MachineSpec::PaperTestbed();
+  sim::VirtualMachine vm("shell-vm", machine,
+                         sim::HypervisorModel::XenLike(),
+                         sim::ResourceShare(0.5, 0.5, 0.5));
+  VDB_CHECK_OK(db.ApplyVmConfig(vm));
+
+  std::printf(
+      "vdbsh — %s inside a VM with shares %s\n"
+      "type \\help for commands; statements end with ';'\n\n",
+      machine.name.c_str(), vm.share().ToString().c_str());
+
+  bool timing = true;
+  std::string buffer;
+  std::string line;
+  while (std::printf("vdb%s ", buffer.empty() ? ">" : "-"),
+         std::getline(std::cin, line)) {
+    const std::string trimmed(Trim(line));
+    if (buffer.empty() && !trimmed.empty() && trimmed[0] == '\\') {
+      std::istringstream args(trimmed);
+      std::string command;
+      args >> command;
+      if (command == "\\q" || command == "\\quit") break;
+      if (command == "\\help") {
+        PrintHelp();
+      } else if (command == "\\tables") {
+        for (catalog::TableInfo* table : db.catalog()->Tables()) {
+          std::printf("  %-12s %9llu rows %7llu pages, %zu indexes\n",
+                      table->name.c_str(),
+                      static_cast<unsigned long long>(
+                          table->heap->NumRecords()),
+                      static_cast<unsigned long long>(
+                          table->heap->NumPages()),
+                      table->indexes.size());
+        }
+      } else if (command == "\\cold") {
+        const Status status = db.DropCaches();
+        std::printf("%s\n", status.ToString().c_str());
+      } else if (command == "\\timing") {
+        std::string mode;
+        args >> mode;
+        timing = mode != "off";
+        std::printf("timing %s\n", timing ? "on" : "off");
+      } else if (command == "\\vm") {
+        double cpu = 0;
+        double memory = 0;
+        double io = 0;
+        if (!(args >> cpu >> memory >> io)) {
+          std::printf("usage: \\vm <cpu> <mem> <io>\n");
+          continue;
+        }
+        const sim::ResourceShare share(cpu, memory, io);
+        if (Status status = share.Validate(); !status.ok()) {
+          std::printf("%s\n", status.ToString().c_str());
+          continue;
+        }
+        vm.set_share(share);
+        if (Status status = db.ApplyVmConfig(vm); !status.ok()) {
+          std::printf("%s\n", status.ToString().c_str());
+          continue;
+        }
+        std::printf("VM now %s (pool %llu pages, work_mem %s)\n",
+                    share.ToString().c_str(),
+                    static_cast<unsigned long long>(
+                        db.config().buffer_pool_pages),
+                    FormatBytes(db.config().work_mem_bytes).c_str());
+      } else if (command == "\\explain") {
+        std::string sql;
+        std::getline(args, sql);
+        auto plan = db.Prepare(sql);
+        if (!plan.ok()) {
+          std::printf("error: %s\n", plan.status().ToString().c_str());
+          continue;
+        }
+        std::printf("%sestimated time: %.2f ms\n",
+                    (*plan)->ToString().c_str(), (*plan)->total_cost_ms);
+      } else {
+        std::printf("unknown command %s (try \\help)\n", command.c_str());
+      }
+      continue;
+    }
+    // Accumulate SQL until a ';'.
+    buffer += line;
+    buffer += ' ';
+    if (trimmed.empty() || trimmed.back() != ';') continue;
+    const std::string sql = buffer;
+    buffer.clear();
+    if (Trim(sql).empty() || Trim(sql) == ";") continue;
+
+    auto result = db.Execute(sql, vm);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    PrintRows(*result, 40);
+    if (timing) {
+      std::printf(
+          "time: %.2f ms simulated (cpu %.2f ms, io %.2f ms, %llu "
+          "physical reads) | optimizer estimate: %.2f ms\n",
+          1000 * result->elapsed_seconds, 1000 * result->cpu_seconds,
+          1000 * result->io_seconds,
+          static_cast<unsigned long long>(result->physical_reads),
+          result->estimated_ms);
+    }
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,9 @@
+-- Reporting workload: scan-heavy TPC-H analytics.
+select o_orderpriority, count(*) as order_count from orders
+  where o_orderdate >= date '1993-07-01' and o_orderdate < date '1993-10-01'
+  and exists (select * from lineitem where l_orderkey = o_orderkey
+              and l_commitdate < l_receiptdate)
+  group by o_orderpriority order by o_orderpriority;
+select sum(l_extendedprice * l_discount) as revenue from lineitem
+  where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01'
+  and l_discount between 0.05 and 0.07 and l_quantity < 24;

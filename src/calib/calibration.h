@@ -1,0 +1,80 @@
+#ifndef VDB_CALIB_CALIBRATION_H_
+#define VDB_CALIB_CALIBRATION_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/database.h"
+#include "optimizer/params.h"
+#include "sim/virtual_machine.h"
+#include "util/result.h"
+
+namespace vdb::calib {
+
+/// One synthetic calibration query (paper Section 5). Queries are designed
+/// so that the optimizer's work vector for their (forced) plan is accurate,
+/// turning each measured execution time into one linear equation in the
+/// unknown parameters P.
+///
+/// `warm_cache` queries are run once unmeasured to populate the buffer
+/// pool, then measured; their equations zero out the page-cost terms so
+/// they cleanly identify the CPU parameters (and, when the database no
+/// longer fits in the VM's memory allocation, honestly absorb the residual
+/// misses — the effect behind the paper's Figure 3 memory sensitivity).
+struct CalibrationQuery {
+  std::string name;
+  std::string sql;
+  bool warm_cache = false;
+};
+
+/// The standard suite over the tables created by
+/// datagen::GenerateCalibrationDb (cal_small, cal_large, cal_indexed).
+/// `indexed_rows` is cal_indexed's row count (its `a` column is sequential
+/// 0..rows-1); lookup keys are placed relative to it so every index query
+/// touches real entries.
+std::vector<CalibrationQuery> CalibrationSuite(uint64_t indexed_rows);
+
+/// Output of one calibration run at a fixed resource allocation.
+struct CalibrationResult {
+  optimizer::OptimizerParams params;
+  /// Root-mean-square residual of the least-squares fit (milliseconds).
+  double residual_rms_ms = 0.0;
+  /// Number of equations (queries) used.
+  int num_queries = 0;
+  /// Per-query measured times (ms), for diagnostics.
+  std::vector<double> measured_ms;
+  /// Per-query model-predicted times under the fitted params (ms).
+  std::vector<double> fitted_ms;
+};
+
+/// Runs the calibration process of paper Section 5 against a database that
+/// contains the calibration tables: configure the instance for the VM's
+/// allocation, execute the suite, and solve the resulting linear system
+/// for the five time parameters of P (non-negative least squares). The
+/// capacity parameters of P (effective cache size, work_mem) are set
+/// directly from the VM-derived instance configuration.
+class Calibrator {
+ public:
+  explicit Calibrator(exec::Database* db) : db_(db) {}
+
+  Calibrator(const Calibrator&) = delete;
+  Calibrator& operator=(const Calibrator&) = delete;
+
+  /// Calibrates P for the given VM (i.e. for its resource allocation R).
+  Result<CalibrationResult> Calibrate(const sim::VirtualMachine& vm);
+
+  /// Uses a custom suite instead of the default (which is built from the
+  /// calibration tables' sizes on first use).
+  void set_suite(std::vector<CalibrationQuery> suite) {
+    suite_ = std::move(suite);
+  }
+  const std::vector<CalibrationQuery>& suite() const { return suite_; }
+
+ private:
+  exec::Database* db_;
+  std::vector<CalibrationQuery> suite_;
+};
+
+}  // namespace vdb::calib
+
+#endif  // VDB_CALIB_CALIBRATION_H_

@@ -1,0 +1,34 @@
+#include "calib/grid.h"
+
+#include "sim/virtual_machine.h"
+
+namespace vdb::calib {
+
+Result<CalibrationStore> CalibrateGrid(
+    exec::Database* db, const sim::MachineSpec& machine,
+    const sim::HypervisorModel& hypervisor, const CalibrationGridSpec& spec,
+    const CalibrationProgress& progress) {
+  if (spec.cpu_shares.empty() || spec.memory_shares.empty() ||
+      spec.io_shares.empty()) {
+    return Status::InvalidArgument("calibration grid axis is empty");
+  }
+  CalibrationStore store;
+  Calibrator calibrator(db);
+  for (double cpu : spec.cpu_shares) {
+    for (double memory : spec.memory_shares) {
+      for (double io : spec.io_shares) {
+        const sim::ResourceShare share(cpu, memory, io);
+        VDB_RETURN_NOT_OK(share.Validate());
+        sim::VirtualMachine vm("calibration-vm", machine, hypervisor,
+                               share);
+        VDB_ASSIGN_OR_RETURN(CalibrationResult result,
+                             calibrator.Calibrate(vm));
+        store.Put(share, result.params);
+        if (progress) progress(share, result);
+      }
+    }
+  }
+  return store;
+}
+
+}  // namespace vdb::calib

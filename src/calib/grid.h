@@ -1,0 +1,36 @@
+#ifndef VDB_CALIB_GRID_H_
+#define VDB_CALIB_GRID_H_
+
+#include <functional>
+#include <vector>
+
+#include "calib/calibration.h"
+#include "calib/store.h"
+#include "sim/machine.h"
+
+namespace vdb::calib {
+
+/// The set of resource allocations to calibrate. The cross product of the
+/// three axes is calibrated; the paper uses {25%, 50%, 75%} per axis.
+struct CalibrationGridSpec {
+  std::vector<double> cpu_shares = {0.25, 0.50, 0.75};
+  std::vector<double> memory_shares = {0.25, 0.50, 0.75};
+  std::vector<double> io_shares = {0.50};
+};
+
+/// Called after each grid point with the allocation and its fit.
+using CalibrationProgress = std::function<void(
+    const sim::ResourceShare&, const CalibrationResult&)>;
+
+/// Calibrates P(R) for every allocation in `spec`'s grid. This is the
+/// paper's offline, per-machine process: `db` must already contain the
+/// calibration database; each point configures a VM on `machine` with that
+/// allocation, runs the suite, and records the fitted parameters.
+Result<CalibrationStore> CalibrateGrid(
+    exec::Database* db, const sim::MachineSpec& machine,
+    const sim::HypervisorModel& hypervisor, const CalibrationGridSpec& spec,
+    const CalibrationProgress& progress = nullptr);
+
+}  // namespace vdb::calib
+
+#endif  // VDB_CALIB_GRID_H_

@@ -1,0 +1,196 @@
+#include "calib/store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+namespace vdb::calib {
+
+namespace {
+
+constexpr double kShareEpsilon = 1e-9;
+
+bool SameShare(const sim::ResourceShare& a, const sim::ResourceShare& b) {
+  return std::fabs(a.cpu - b.cpu) < kShareEpsilon &&
+         std::fabs(a.memory - b.memory) < kShareEpsilon &&
+         std::fabs(a.io - b.io) < kShareEpsilon;
+}
+
+// Bracketing values of `v` within the sorted axis; both equal when v is at
+// or beyond an endpoint.
+void Bracket(const std::vector<double>& axis, double v, double* lo,
+             double* hi) {
+  if (v <= axis.front()) {
+    *lo = *hi = axis.front();
+    return;
+  }
+  if (v >= axis.back()) {
+    *lo = *hi = axis.back();
+    return;
+  }
+  auto it = std::lower_bound(axis.begin(), axis.end(), v);
+  if (std::fabs(*it - v) < kShareEpsilon) {
+    *lo = *hi = *it;
+    return;
+  }
+  *hi = *it;
+  *lo = *(it - 1);
+}
+
+}  // namespace
+
+void CalibrationStore::Put(const sim::ResourceShare& share,
+                           const optimizer::OptimizerParams& params) {
+  for (Entry& entry : entries_) {
+    if (SameShare(entry.share, share)) {
+      entry.params = params;
+      return;
+    }
+  }
+  entries_.push_back(Entry{share, params});
+}
+
+const CalibrationStore::Entry* CalibrationStore::FindExact(
+    const sim::ResourceShare& share) const {
+  for (const Entry& entry : entries_) {
+    if (SameShare(entry.share, share)) return &entry;
+  }
+  return nullptr;
+}
+
+const CalibrationStore::Entry* CalibrationStore::FindNearest(
+    const sim::ResourceShare& share) const {
+  const Entry* best = nullptr;
+  double best_distance = 0.0;
+  for (const Entry& entry : entries_) {
+    const double dc = entry.share.cpu - share.cpu;
+    const double dm = entry.share.memory - share.memory;
+    const double di = entry.share.io - share.io;
+    const double distance = dc * dc + dm * dm + di * di;
+    if (best == nullptr || distance < best_distance) {
+      best = &entry;
+      best_distance = distance;
+    }
+  }
+  return best;
+}
+
+std::vector<sim::ResourceShare> CalibrationStore::Points() const {
+  std::vector<sim::ResourceShare> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.share);
+  return out;
+}
+
+Result<optimizer::OptimizerParams> CalibrationStore::Lookup(
+    const sim::ResourceShare& share) const {
+  if (entries_.empty()) {
+    return Status::NotFound("calibration store is empty");
+  }
+  if (const Entry* exact = FindExact(share)) return exact->params;
+
+  // Build the grid axes present in the store.
+  std::set<double> cpu_set;
+  std::set<double> mem_set;
+  std::set<double> io_set;
+  for (const Entry& entry : entries_) {
+    cpu_set.insert(entry.share.cpu);
+    mem_set.insert(entry.share.memory);
+    io_set.insert(entry.share.io);
+  }
+  const std::vector<double> cpu_axis(cpu_set.begin(), cpu_set.end());
+  const std::vector<double> mem_axis(mem_set.begin(), mem_set.end());
+  const std::vector<double> io_axis(io_set.begin(), io_set.end());
+
+  double c0;
+  double c1;
+  double m0;
+  double m1;
+  double i0;
+  double i1;
+  Bracket(cpu_axis, share.cpu, &c0, &c1);
+  Bracket(mem_axis, share.memory, &m0, &m1);
+  Bracket(io_axis, share.io, &i0, &i1);
+
+  auto weight = [](double lo, double hi, double v) {
+    return hi > lo ? (v - lo) / (hi - lo) : 0.0;
+  };
+  const double wc = weight(c0, c1, std::clamp(share.cpu, c0, c1));
+  const double wm = weight(m0, m1, std::clamp(share.memory, m0, m1));
+  const double wi = weight(i0, i1, std::clamp(share.io, i0, i1));
+
+  std::array<double, optimizer::OptimizerParams::kNumCalibrated>
+      accumulated{};
+  double cache_pages = 0.0;
+  double work_mem = 0.0;
+  for (int dc = 0; dc < 2; ++dc) {
+    for (int dm = 0; dm < 2; ++dm) {
+      for (int di = 0; di < 2; ++di) {
+        const double w = (dc ? wc : 1.0 - wc) * (dm ? wm : 1.0 - wm) *
+                         (di ? wi : 1.0 - wi);
+        if (w <= 0.0) continue;
+        const sim::ResourceShare corner(dc ? c1 : c0, dm ? m1 : m0,
+                                        di ? i1 : i0);
+        const Entry* entry = FindExact(corner);
+        if (entry == nullptr) {
+          // Incomplete grid cell: fall back to the nearest stored point.
+          return FindNearest(share)->params;
+        }
+        const auto vec = entry->params.CalibratedVector();
+        for (int k = 0; k < optimizer::OptimizerParams::kNumCalibrated;
+             ++k) {
+          accumulated[k] += w * vec[k];
+        }
+        cache_pages +=
+            w * static_cast<double>(entry->params.effective_cache_size_pages);
+        work_mem += w * static_cast<double>(entry->params.work_mem_bytes);
+      }
+    }
+  }
+  optimizer::OptimizerParams params;
+  params.SetCalibratedVector(accumulated);
+  params.effective_cache_size_pages =
+      static_cast<uint64_t>(std::llround(cache_pages));
+  params.work_mem_bytes = static_cast<uint64_t>(std::llround(work_mem));
+  return params;
+}
+
+Status CalibrationStore::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for write");
+  out.precision(17);
+  for (const Entry& entry : entries_) {
+    const auto vec = entry.params.CalibratedVector();
+    out << entry.share.cpu << ' ' << entry.share.memory << ' '
+        << entry.share.io;
+    for (double v : vec) out << ' ' << v;
+    out << ' ' << entry.params.effective_cache_size_pages << ' '
+        << entry.params.work_mem_bytes << '\n';
+  }
+  return out.good() ? Status::OK()
+                    : Status::IOError("write to '" + path + "' failed");
+}
+
+Result<CalibrationStore> CalibrationStore::LoadFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  CalibrationStore store;
+  sim::ResourceShare share;
+  std::array<double, optimizer::OptimizerParams::kNumCalibrated> vec;
+  uint64_t cache_pages = 0;
+  uint64_t work_mem = 0;
+  while (in >> share.cpu >> share.memory >> share.io >> vec[0] >> vec[1] >>
+         vec[2] >> vec[3] >> vec[4] >> cache_pages >> work_mem) {
+    optimizer::OptimizerParams params;
+    params.SetCalibratedVector(vec);
+    params.effective_cache_size_pages = cache_pages;
+    params.work_mem_bytes = work_mem;
+    store.Put(share, params);
+  }
+  return store;
+}
+
+}  // namespace vdb::calib

@@ -1,0 +1,59 @@
+#ifndef VDB_CALIB_STORE_H_
+#define VDB_CALIB_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "optimizer/params.h"
+#include "sim/resources.h"
+#include "util/result.h"
+
+namespace vdb::calib {
+
+/// Stores calibrated optimizer parameters P(R) for a grid of resource
+/// allocations R, and answers lookups for arbitrary allocations by
+/// trilinear interpolation over the (cpu, memory, io) axes.
+///
+/// As the paper observes, P depends only on the machine and R — not on the
+/// database or workload — so one store serves every virtualization design
+/// problem on that machine. The store can be persisted to a text file.
+class CalibrationStore {
+ public:
+  CalibrationStore() = default;
+
+  /// Adds (or replaces) the parameters calibrated at `share`.
+  void Put(const sim::ResourceShare& share,
+           const optimizer::OptimizerParams& params);
+
+  /// Returns P for `share`: exact if it is a stored grid point, otherwise
+  /// interpolated (clamped to the grid's bounding box; falls back to the
+  /// nearest stored point if the surrounding cell is incomplete).
+  /// Fails if the store is empty.
+  Result<optimizer::OptimizerParams> Lookup(
+      const sim::ResourceShare& share) const;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// The stored grid points.
+  std::vector<sim::ResourceShare> Points() const;
+
+  /// Text (one line per entry) persistence.
+  Status SaveToFile(const std::string& path) const;
+  static Result<CalibrationStore> LoadFromFile(const std::string& path);
+
+ private:
+  struct Entry {
+    sim::ResourceShare share;
+    optimizer::OptimizerParams params;
+  };
+
+  const Entry* FindExact(const sim::ResourceShare& share) const;
+  const Entry* FindNearest(const sim::ResourceShare& share) const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace vdb::calib
+
+#endif  // VDB_CALIB_STORE_H_

@@ -1,0 +1,171 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace vdb::catalog {
+
+Result<int64_t> IndexKeyFromValue(const Value& value) {
+  if (value.is_null()) {
+    return Status::NotSupported("NULL keys are not indexed");
+  }
+  if (value.type() != TypeId::kInt64 && value.type() != TypeId::kDate) {
+    return Status::NotSupported(
+        std::string("cannot index column of type ") +
+        TypeIdName(value.type()));
+  }
+  return value.AsInt64();
+}
+
+Result<TableInfo*> Catalog::CreateTable(const std::string& name,
+                                        const Schema& schema) {
+  if (schema.NumColumns() == 0) {
+    return Status::InvalidArgument("table must have at least one column");
+  }
+  for (const auto& table : tables_) {
+    if (EqualsIgnoreCase(table->name, name)) {
+      return Status::AlreadyExists("table '" + name + "' already exists");
+    }
+  }
+  auto table = std::make_unique<TableInfo>();
+  table->name = name;
+  table->schema = schema;
+  table->heap = std::make_unique<storage::HeapFile>(disk_, pool_);
+  tables_.push_back(std::move(table));
+  return tables_.back().get();
+}
+
+Result<TableInfo*> Catalog::GetTable(const std::string& name) const {
+  for (const auto& table : tables_) {
+    if (EqualsIgnoreCase(table->name, name)) return table.get();
+  }
+  return Status::NotFound("table '" + name + "' not found");
+}
+
+std::vector<TableInfo*> Catalog::Tables() const {
+  std::vector<TableInfo*> result;
+  result.reserve(tables_.size());
+  for (const auto& table : tables_) result.push_back(table.get());
+  return result;
+}
+
+Result<IndexInfo*> Catalog::CreateIndex(const std::string& index_name,
+                                        const std::string& table_name,
+                                        const std::string& column_name) {
+  for (const auto& index : indexes_) {
+    if (EqualsIgnoreCase(index->name, index_name)) {
+      return Status::AlreadyExists("index '" + index_name +
+                                   "' already exists");
+    }
+  }
+  VDB_ASSIGN_OR_RETURN(TableInfo * table, GetTable(table_name));
+  VDB_ASSIGN_OR_RETURN(size_t column_index,
+                       table->schema.ColumnIndex(column_name));
+  const TypeId type = table->schema.column(column_index).type;
+  if (type != TypeId::kInt64 && type != TypeId::kDate) {
+    return Status::NotSupported(
+        std::string("cannot index column of type ") + TypeIdName(type));
+  }
+  auto index = std::make_unique<IndexInfo>();
+  index->name = index_name;
+  index->table = table;
+  index->column_index = column_index;
+  index->tree = std::make_unique<storage::BPlusTree>(disk_, pool_);
+  // Back-fill from existing rows.
+  for (auto it = table->heap->Begin(); it.Valid(); it.Next()) {
+    VDB_ASSIGN_OR_RETURN(Tuple tuple,
+                         DeserializeTuple(it.record(), table->schema));
+    const Value& value = tuple[column_index];
+    if (value.is_null()) continue;
+    VDB_ASSIGN_OR_RETURN(int64_t key, IndexKeyFromValue(value));
+    VDB_RETURN_NOT_OK(index->tree->Insert(key, it.rid().Pack()));
+  }
+  indexes_.push_back(std::move(index));
+  table->indexes.push_back(indexes_.back().get());
+  return indexes_.back().get();
+}
+
+Result<IndexInfo*> Catalog::GetIndex(const std::string& name) const {
+  for (const auto& index : indexes_) {
+    if (EqualsIgnoreCase(index->name, name)) return index.get();
+  }
+  return Status::NotFound("index '" + name + "' not found");
+}
+
+Status Catalog::Insert(TableInfo* table, const Tuple& tuple) {
+  if (tuple.size() != table->schema.NumColumns()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) +
+        " does not match schema arity " +
+        std::to_string(table->schema.NumColumns()));
+  }
+  const std::string record = SerializeTuple(tuple, table->schema);
+  VDB_ASSIGN_OR_RETURN(storage::RecordId rid, table->heap->Insert(record));
+  for (IndexInfo* index : table->indexes) {
+    const Value& value = tuple[index->column_index];
+    if (value.is_null()) continue;
+    VDB_ASSIGN_OR_RETURN(int64_t key, IndexKeyFromValue(value));
+    VDB_RETURN_NOT_OK(index->tree->Insert(key, rid.Pack()));
+  }
+  return Status::OK();
+}
+
+Status Catalog::Analyze(TableInfo* table, int histogram_buckets) {
+  const size_t num_columns = table->schema.NumColumns();
+  std::vector<ColumnStats> stats(num_columns);
+  std::vector<std::vector<double>> keys(num_columns);
+  std::vector<std::unordered_set<size_t>> distinct(num_columns);
+  std::vector<double> width_sums(num_columns, 0.0);
+  uint64_t rows = 0;
+
+  for (auto it = table->heap->Begin(); it.Valid(); it.Next()) {
+    VDB_ASSIGN_OR_RETURN(Tuple tuple,
+                         DeserializeTuple(it.record(), table->schema));
+    ++rows;
+    for (size_t c = 0; c < num_columns; ++c) {
+      const Value& value = tuple[c];
+      if (value.is_null()) {
+        stats[c].null_count++;
+        continue;
+      }
+      stats[c].non_null_count++;
+      const double key = value.NumericKey();
+      keys[c].push_back(key);
+      distinct[c].insert(value.Hash());
+      if (value.type() == TypeId::kString) {
+        width_sums[c] += static_cast<double>(value.AsString().size());
+      } else {
+        width_sums[c] += 8.0;
+      }
+    }
+  }
+
+  for (size_t c = 0; c < num_columns; ++c) {
+    ColumnStats& cs = stats[c];
+    cs.ndv = distinct[c].size();
+    if (!keys[c].empty()) {
+      const auto [mn, mx] =
+          std::minmax_element(keys[c].begin(), keys[c].end());
+      cs.min = *mn;
+      cs.max = *mx;
+      cs.avg_width = width_sums[c] / static_cast<double>(cs.non_null_count);
+      cs.histogram = Histogram::Build(std::move(keys[c]), histogram_buckets);
+    }
+  }
+
+  table->stats.row_count = rows;
+  table->stats.page_count = table->heap->NumPages();
+  table->stats.columns = std::move(stats);
+  return Status::OK();
+}
+
+Status Catalog::AnalyzeAll(int histogram_buckets) {
+  for (const auto& table : tables_) {
+    VDB_RETURN_NOT_OK(Analyze(table.get(), histogram_buckets));
+  }
+  return Status::OK();
+}
+
+}  // namespace vdb::catalog

@@ -1,0 +1,124 @@
+#include "catalog/schema.h"
+
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace vdb::catalog {
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return Status::NotFound("column '" + name + "' not found");
+}
+
+uint32_t Schema::AvgTupleWidth() const {
+  uint32_t width = 0;
+  for (const Column& column : columns_) {
+    width += 1 + column.avg_width +
+             (column.type == TypeId::kString ? 4 : 0);
+  }
+  return width == 0 ? 1 : width;
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<Column> combined = columns_;
+  combined.insert(combined.end(), other.columns_.begin(),
+                  other.columns_.end());
+  return Schema(std::move(combined));
+}
+
+std::string Schema::ToString() const {
+  std::string result = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += columns_[i].name;
+    result += " ";
+    result += TypeIdName(columns_[i].type);
+  }
+  result += ")";
+  return result;
+}
+
+std::string SerializeTuple(const Tuple& tuple, const Schema& schema) {
+  std::string out;
+  out.reserve(schema.AvgTupleWidth());
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    const Value& value = tuple[i];
+    out.push_back(value.is_null() ? 1 : 0);
+    if (value.is_null()) continue;
+    if (schema.column(i).type == TypeId::kString) {
+      const std::string& s = value.AsString();
+      const uint32_t len = static_cast<uint32_t>(s.size());
+      out.append(reinterpret_cast<const char*>(&len), sizeof(len));
+      out.append(s);
+    } else if (schema.column(i).type == TypeId::kDouble) {
+      const double d = value.AsDouble();
+      out.append(reinterpret_cast<const char*>(&d), sizeof(d));
+    } else if (schema.column(i).type == TypeId::kBool) {
+      const int64_t v = value.AsBool() ? 1 : 0;
+      out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+    } else {
+      const int64_t v = value.AsInt64();
+      out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+    }
+  }
+  return out;
+}
+
+Result<Tuple> DeserializeTuple(std::string_view data, const Schema& schema) {
+  Tuple tuple;
+  tuple.reserve(schema.NumColumns());
+  size_t pos = 0;
+  auto need = [&](size_t n) -> bool { return pos + n <= data.size(); };
+  for (size_t i = 0; i < schema.NumColumns(); ++i) {
+    const TypeId type = schema.column(i).type;
+    if (!need(1)) return Status::Internal("truncated tuple (null flag)");
+    const bool is_null = data[pos++] != 0;
+    if (is_null) {
+      tuple.push_back(Value::Null(type));
+      continue;
+    }
+    if (type == TypeId::kString) {
+      if (!need(4)) return Status::Internal("truncated tuple (length)");
+      uint32_t len = 0;
+      std::memcpy(&len, data.data() + pos, sizeof(len));
+      pos += sizeof(len);
+      if (!need(len)) return Status::Internal("truncated tuple (string)");
+      tuple.push_back(Value::String(std::string(data.substr(pos, len))));
+      pos += len;
+    } else if (type == TypeId::kDouble) {
+      if (!need(8)) return Status::Internal("truncated tuple (double)");
+      double d = 0;
+      std::memcpy(&d, data.data() + pos, sizeof(d));
+      pos += sizeof(d);
+      tuple.push_back(Value::Double(d));
+    } else {
+      if (!need(8)) return Status::Internal("truncated tuple (int)");
+      int64_t v = 0;
+      std::memcpy(&v, data.data() + pos, sizeof(v));
+      pos += sizeof(v);
+      if (type == TypeId::kBool) {
+        tuple.push_back(Value::Bool(v != 0));
+      } else if (type == TypeId::kDate) {
+        tuple.push_back(Value::Date(v));
+      } else {
+        tuple.push_back(Value::Int64(v));
+      }
+    }
+  }
+  return tuple;
+}
+
+std::string TupleToString(const Tuple& tuple) {
+  std::string result = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += tuple[i].ToString();
+  }
+  result += ")";
+  return result;
+}
+
+}  // namespace vdb::catalog

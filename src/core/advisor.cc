@@ -1,0 +1,56 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+
+#include "core/cost_model.h"
+#include "sim/vmm.h"
+
+namespace vdb::core {
+
+Result<DesignSolution> Advisor::Recommend(
+    const VirtualizationDesignProblem& problem, SearchAlgorithm algorithm) {
+  WorkloadCostModel cost(&problem, store_);
+  return SolveDesignProblem(problem, &cost, algorithm);
+}
+
+Result<MeasuredOutcome> Advisor::Measure(
+    const VirtualizationDesignProblem& problem,
+    const std::vector<sim::ResourceShare>& allocations,
+    const MeasureOptions& options) {
+  VDB_RETURN_NOT_OK(problem.Validate());
+  if (allocations.size() != problem.NumWorkloads()) {
+    return Status::InvalidArgument("allocation count mismatch");
+  }
+  // The VMM validates global feasibility of the share matrix.
+  sim::VirtualMachineMonitor vmm(problem.machine, problem.hypervisor);
+  std::vector<sim::VirtualMachine*> vms;
+  for (size_t i = 0; i < allocations.size(); ++i) {
+    VDB_ASSIGN_OR_RETURN(
+        sim::VirtualMachine * vm,
+        vmm.CreateVm("vm-" + std::to_string(i), allocations[i]));
+    vms.push_back(vm);
+  }
+  MeasuredOutcome outcome;
+  for (size_t i = 0; i < allocations.size(); ++i) {
+    exec::Database* db = problem.databases[i];
+    VDB_RETURN_NOT_OK(db->ApplyVmConfig(*vms[i]));
+    if (options.cold_start) VDB_RETURN_NOT_OK(db->DropCaches());
+    double seconds = 0.0;
+    bool first = true;
+    for (const std::string& sql : problem.workloads[i].statements) {
+      if (!first && options.cold_per_statement) {
+        VDB_RETURN_NOT_OK(db->DropCaches());
+      }
+      first = false;
+      VDB_ASSIGN_OR_RETURN(exec::QueryResult result,
+                           db->Execute(sql, *vms[i]));
+      seconds += result.elapsed_seconds;
+    }
+    outcome.workload_seconds.push_back(seconds);
+    outcome.total_seconds += seconds;
+    outcome.max_seconds = std::max(outcome.max_seconds, seconds);
+  }
+  return outcome;
+}
+
+}  // namespace vdb::core

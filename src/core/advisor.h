@@ -1,0 +1,67 @@
+#ifndef VDB_CORE_ADVISOR_H_
+#define VDB_CORE_ADVISOR_H_
+
+#include <vector>
+
+#include "calib/store.h"
+#include "core/problem.h"
+#include "core/search.h"
+#include "util/result.h"
+
+namespace vdb::core {
+
+/// Actual (simulated) outcome of running a design: per-workload and total
+/// execution times measured inside the VMs.
+struct MeasuredOutcome {
+  std::vector<double> workload_seconds;
+  double total_seconds = 0.0;
+  double max_seconds = 0.0;  // makespan across VMs (they run concurrently)
+};
+
+/// End-to-end facade for the paper's framework (Figure 2): combine the
+/// calibrated what-if cost model with a combinatorial search to recommend
+/// a resource allocation, and measure any design by actually running the
+/// workloads in VMs with those shares.
+class Advisor {
+ public:
+  explicit Advisor(const calib::CalibrationStore* store) : store_(store) {}
+
+  Advisor(const Advisor&) = delete;
+  Advisor& operator=(const Advisor&) = delete;
+
+  /// Recommends a design for the problem using `algorithm`.
+  Result<DesignSolution> Recommend(
+      const VirtualizationDesignProblem& problem,
+      SearchAlgorithm algorithm = SearchAlgorithm::kDynamicProgramming);
+
+  struct MeasureOptions {
+    /// Drop the page cache before each workload.
+    bool cold_start = true;
+    /// Also drop it between a workload's statements. This models the
+    /// paper's setting where the database exceeds the VM's memory, so
+    /// repeated queries never run from cache.
+    bool cold_per_statement = false;
+  };
+
+  /// Runs every workload inside a VM configured with its allocated share
+  /// and reports measured times. Each VM's time is independent given the
+  /// shares (the VMM guarantees the shares are feasible), so the VMs
+  /// conceptually run concurrently; `total_seconds` is the paper's summed
+  /// execution time, `max_seconds` the makespan.
+  static Result<MeasuredOutcome> Measure(
+      const VirtualizationDesignProblem& problem,
+      const std::vector<sim::ResourceShare>& allocations,
+      const MeasureOptions& options);
+  static Result<MeasuredOutcome> Measure(
+      const VirtualizationDesignProblem& problem,
+      const std::vector<sim::ResourceShare>& allocations) {
+    return Measure(problem, allocations, MeasureOptions{});
+  }
+
+ private:
+  const calib::CalibrationStore* store_;
+};
+
+}  // namespace vdb::core
+
+#endif  // VDB_CORE_ADVISOR_H_

@@ -1,0 +1,49 @@
+#include "core/cost_model.h"
+
+#include <cmath>
+
+namespace vdb::core {
+
+Result<double> WorkloadCostModel::Cost(size_t index,
+                                       const sim::ResourceShare& share) {
+  if (index >= problem_->workloads.size()) {
+    return Status::InvalidArgument("workload index out of range");
+  }
+  const Key key{index, std::llround(share.cpu * 1000.0),
+                std::llround(share.memory * 1000.0),
+                std::llround(share.io * 1000.0)};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  ++evaluations_;
+  VDB_ASSIGN_OR_RETURN(optimizer::OptimizerParams params,
+                       store_->Lookup(share));
+  exec::Database* db = problem_->databases[index];
+  db->SetOptimizerParams(params);
+  double total_ms = 0.0;
+  for (const std::string& sql : problem_->workloads[index].statements) {
+    VDB_ASSIGN_OR_RETURN(optimizer::PhysicalNodePtr plan, db->Prepare(sql));
+    total_ms += plan->total_cost_ms;
+  }
+  // Service-level weight (paper Section 7 extension).
+  total_ms *= problem_->workloads[index].importance;
+  cache_[key] = total_ms;
+  return total_ms;
+}
+
+Result<double> WorkloadCostModel::TotalCost(
+    const std::vector<sim::ResourceShare>& shares) {
+  if (shares.size() != problem_->workloads.size()) {
+    return Status::InvalidArgument("allocation count mismatch");
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < shares.size(); ++i) {
+    VDB_ASSIGN_OR_RETURN(double cost, Cost(i, shares[i]));
+    total += cost;
+  }
+  return total;
+}
+
+}  // namespace vdb::core

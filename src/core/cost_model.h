@@ -1,0 +1,71 @@
+#ifndef VDB_CORE_COST_MODEL_H_
+#define VDB_CORE_COST_MODEL_H_
+
+#include <unordered_map>
+
+#include "calib/store.h"
+#include "core/problem.h"
+#include "core/workload.h"
+#include "exec/database.h"
+#include "sim/resources.h"
+#include "util/result.h"
+
+namespace vdb::core {
+
+/// The paper's Cost(W_i, R_i): the summed optimizer-estimated execution
+/// times of the workload's statements, with the optimizer switched into
+/// virtualization-aware what-if mode by loading the calibrated P(R_i) from
+/// the calibration store. Each statement is re-optimized per allocation,
+/// so plan changes induced by the allocation are captured.
+///
+/// Evaluations are memoized per (workload, quantized allocation); the
+/// combinatorial searches re-visit allocations heavily.
+class WorkloadCostModel {
+ public:
+  WorkloadCostModel(const VirtualizationDesignProblem* problem,
+                    const calib::CalibrationStore* store)
+      : problem_(problem), store_(store) {}
+
+  WorkloadCostModel(const WorkloadCostModel&) = delete;
+  WorkloadCostModel& operator=(const WorkloadCostModel&) = delete;
+
+  /// Estimated cost (ms) of workload `index` under allocation `share`.
+  Result<double> Cost(size_t index, const sim::ResourceShare& share);
+
+  /// Total cost of a full design.
+  Result<double> TotalCost(const std::vector<sim::ResourceShare>& shares);
+
+  uint64_t evaluations() const { return evaluations_; }
+  uint64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  struct Key {
+    size_t index;
+    int64_t cpu_milli;
+    int64_t mem_milli;
+    int64_t io_milli;
+    bool operator==(const Key& other) const {
+      return index == other.index && cpu_milli == other.cpu_milli &&
+             mem_milli == other.mem_milli && io_milli == other.io_milli;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      size_t h = key.index;
+      h = h * 1000003 + static_cast<size_t>(key.cpu_milli);
+      h = h * 1000003 + static_cast<size_t>(key.mem_milli);
+      h = h * 1000003 + static_cast<size_t>(key.io_milli);
+      return h;
+    }
+  };
+
+  const VirtualizationDesignProblem* problem_;
+  const calib::CalibrationStore* store_;
+  std::unordered_map<Key, double, KeyHash> cache_;
+  uint64_t evaluations_ = 0;
+  uint64_t cache_hits_ = 0;
+};
+
+}  // namespace vdb::core
+
+#endif  // VDB_CORE_COST_MODEL_H_

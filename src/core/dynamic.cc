@@ -1,0 +1,48 @@
+#include "core/dynamic.h"
+
+namespace vdb::core {
+
+Result<DynamicComparison> CompareStaticVsDynamic(
+    VirtualizationDesignProblem base,
+    const std::vector<std::vector<Workload>>& phases,
+    const calib::CalibrationStore& store, SearchAlgorithm algorithm) {
+  if (phases.empty()) {
+    return Status::InvalidArgument("no phases");
+  }
+  for (const auto& phase : phases) {
+    if (phase.size() != base.databases.size()) {
+      return Status::InvalidArgument(
+          "every phase must assign one workload per VM");
+    }
+  }
+  Advisor advisor(&store);
+  DynamicComparison comparison;
+
+  // Static: design once for phase 0, keep for all phases.
+  base.workloads = phases[0];
+  VDB_ASSIGN_OR_RETURN(comparison.static_design,
+                       advisor.Recommend(base, algorithm));
+
+  for (const auto& phase : phases) {
+    base.workloads = phase;
+    // Static design measured on this phase's workloads.
+    VDB_ASSIGN_OR_RETURN(
+        MeasuredOutcome static_outcome,
+        Advisor::Measure(base, comparison.static_design.allocations));
+    comparison.static_phase_seconds.push_back(static_outcome.total_seconds);
+    comparison.static_total_seconds += static_outcome.total_seconds;
+
+    // Dynamic: re-design for this phase, then measure.
+    VDB_ASSIGN_OR_RETURN(DesignSolution design,
+                         advisor.Recommend(base, algorithm));
+    VDB_ASSIGN_OR_RETURN(MeasuredOutcome dynamic_outcome,
+                         Advisor::Measure(base, design.allocations));
+    comparison.dynamic_designs.push_back(std::move(design));
+    comparison.dynamic_phase_seconds.push_back(
+        dynamic_outcome.total_seconds);
+    comparison.dynamic_total_seconds += dynamic_outcome.total_seconds;
+  }
+  return comparison;
+}
+
+}  // namespace vdb::core

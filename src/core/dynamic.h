@@ -1,0 +1,39 @@
+#ifndef VDB_CORE_DYNAMIC_H_
+#define VDB_CORE_DYNAMIC_H_
+
+#include <vector>
+
+#include "core/advisor.h"
+#include "core/problem.h"
+#include "util/result.h"
+
+namespace vdb::core {
+
+/// The dynamic extension the paper lists as the key next step (Section 7):
+/// workloads change over time, and the virtual machines can be
+/// reconfigured on the fly. Each phase is a full assignment of workloads
+/// to the N VMs.
+struct DynamicComparison {
+  /// Design chosen once from phase 0 and kept (static design problem).
+  DesignSolution static_design;
+  /// Design re-solved at the start of every phase.
+  std::vector<DesignSolution> dynamic_designs;
+  std::vector<double> static_phase_seconds;
+  std::vector<double> dynamic_phase_seconds;
+  double static_total_seconds = 0.0;
+  double dynamic_total_seconds = 0.0;
+};
+
+/// Evaluates static deployment-time design against per-phase re-design on
+/// a phased workload sequence. `base` supplies the machine, databases,
+/// controlled resources, and grid; `phases[p]` supplies the workloads of
+/// phase p (all phases must have base.NumWorkloads() workloads).
+Result<DynamicComparison> CompareStaticVsDynamic(
+    VirtualizationDesignProblem base,
+    const std::vector<std::vector<Workload>>& phases,
+    const calib::CalibrationStore& store,
+    SearchAlgorithm algorithm = SearchAlgorithm::kDynamicProgramming);
+
+}  // namespace vdb::core
+
+#endif  // VDB_CORE_DYNAMIC_H_

@@ -1,0 +1,54 @@
+#include "core/problem.h"
+
+#include <cstdio>
+
+namespace vdb::core {
+
+Status VirtualizationDesignProblem::Validate() const {
+  if (workloads.empty()) {
+    return Status::InvalidArgument("no workloads");
+  }
+  if (databases.size() != workloads.size()) {
+    return Status::InvalidArgument(
+        "need one database instance per workload");
+  }
+  for (exec::Database* db : databases) {
+    if (db == nullptr) {
+      return Status::InvalidArgument("null database instance");
+    }
+  }
+  if (controlled.empty()) {
+    return Status::InvalidArgument("no controlled resources");
+  }
+  if (grid_steps < static_cast<int>(workloads.size())) {
+    return Status::InvalidArgument(
+        "grid_steps must be >= number of workloads (each VM needs at "
+        "least one unit)");
+  }
+  return Status::OK();
+}
+
+std::string DesignSolution::ToString() const {
+  std::string result = algorithm + ": total estimated cost = ";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f ms", total_cost_ms);
+  result += buf;
+  for (size_t i = 0; i < allocations.size(); ++i) {
+    result += "\n  W" + std::to_string(i + 1) + " -> " +
+              allocations[i].ToString();
+  }
+  return result;
+}
+
+DesignSolution EqualSplitSolution(
+    const VirtualizationDesignProblem& problem) {
+  DesignSolution solution;
+  solution.algorithm = "equal-split";
+  const int n = static_cast<int>(problem.NumWorkloads());
+  solution.allocations.assign(
+      problem.NumWorkloads(),
+      sim::ResourceShare::EqualSplit(n == 0 ? 1 : n));
+  return solution;
+}
+
+}  // namespace vdb::core

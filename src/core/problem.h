@@ -1,0 +1,59 @@
+#ifndef VDB_CORE_PROBLEM_H_
+#define VDB_CORE_PROBLEM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/workload.h"
+#include "exec/database.h"
+#include "sim/machine.h"
+#include "sim/resources.h"
+#include "util/status.h"
+
+namespace vdb::core {
+
+/// The virtualization design problem (paper Section 3): N workloads, each
+/// in its own VM on one physical machine; choose the share matrix R to
+/// minimize the summed workload cost subject to sum_i r_ij <= 1.
+struct VirtualizationDesignProblem {
+  sim::MachineSpec machine;
+  sim::HypervisorModel hypervisor = sim::HypervisorModel::XenLike();
+
+  /// The N workloads and the database instance each one runs against.
+  /// `databases[i]` must outlive the problem and contain workload i's
+  /// tables (instances may be shared when workloads use the same schema).
+  std::vector<Workload> workloads;
+  std::vector<exec::Database*> databases;
+
+  /// Which physical resources the search controls. Resources not listed
+  /// are fixed at an equal 1/N split (the paper's CPU-only experiment
+  /// fixes memory at 50/50, for example).
+  std::vector<sim::ResourceKind> controlled = {sim::ResourceKind::kCpu};
+
+  /// Discretization: each controlled resource is divided into this many
+  /// units; every workload gets at least one unit of each.
+  int grid_steps = 20;
+
+  size_t NumWorkloads() const { return workloads.size(); }
+
+  Status Validate() const;
+};
+
+/// One candidate/recommended design: a share vector per workload.
+struct DesignSolution {
+  std::vector<sim::ResourceShare> allocations;
+  /// Estimated total cost (sum over workloads) in milliseconds.
+  double total_cost_ms = 0.0;
+  /// Number of Cost(W, R) evaluations the search performed.
+  uint64_t evaluations = 0;
+  std::string algorithm;
+
+  std::string ToString() const;
+};
+
+/// The equal-split baseline design.
+DesignSolution EqualSplitSolution(const VirtualizationDesignProblem& problem);
+
+}  // namespace vdb::core
+
+#endif  // VDB_CORE_PROBLEM_H_

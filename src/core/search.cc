@@ -1,0 +1,313 @@
+#include "core/search.h"
+#include <functional>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/logging.h"
+
+namespace vdb::core {
+
+namespace {
+
+// Units held by every workload for every controlled resource:
+// units[i][r] with sum_i units[i][r] == grid_steps.
+using UnitMatrix = std::vector<std::vector<int>>;
+
+UnitMatrix EqualUnits(const VirtualizationDesignProblem& problem) {
+  const int n = static_cast<int>(problem.NumWorkloads());
+  const int m = static_cast<int>(problem.controlled.size());
+  UnitMatrix units(n, std::vector<int>(m, 0));
+  for (int r = 0; r < m; ++r) {
+    int remaining = problem.grid_steps;
+    for (int i = 0; i < n; ++i) {
+      const int give = remaining / (n - i);
+      units[i][r] = give;
+      remaining -= give;
+    }
+  }
+  return units;
+}
+
+Result<double> TotalOf(const VirtualizationDesignProblem& problem,
+                       WorkloadCostModel* cost, const UnitMatrix& units) {
+  double total = 0.0;
+  for (size_t i = 0; i < problem.NumWorkloads(); ++i) {
+    VDB_ASSIGN_OR_RETURN(double c,
+                         cost->Cost(i, ShareFromUnits(problem, units[i])));
+    total += c;
+  }
+  return total;
+}
+
+DesignSolution SolutionFromUnits(const VirtualizationDesignProblem& problem,
+                                 const UnitMatrix& units, double total,
+                                 const char* algorithm) {
+  DesignSolution solution;
+  solution.algorithm = algorithm;
+  solution.total_cost_ms = total;
+  for (size_t i = 0; i < problem.NumWorkloads(); ++i) {
+    solution.allocations.push_back(ShareFromUnits(problem, units[i]));
+  }
+  return solution;
+}
+
+// Number of compositions of `total` units into `parts` positive parts.
+double NumCompositions(int total, int parts) {
+  // C(total - 1, parts - 1)
+  double result = 1.0;
+  for (int k = 1; k <= parts - 1; ++k) {
+    result *= static_cast<double>(total - parts + k) / k;
+  }
+  return result;
+}
+
+Result<DesignSolution> SolveExhaustive(
+    const VirtualizationDesignProblem& problem, WorkloadCostModel* cost) {
+  const int n = static_cast<int>(problem.NumWorkloads());
+  const int m = static_cast<int>(problem.controlled.size());
+  const double designs =
+      std::pow(NumCompositions(problem.grid_steps, n), m);
+  if (designs > 2e6) {
+    return Status::InvalidArgument(
+        "exhaustive search space too large (" +
+        std::to_string(static_cast<uint64_t>(designs)) +
+        " designs); use greedy or dynamic programming");
+  }
+
+  UnitMatrix units(n, std::vector<int>(m, 1));
+  UnitMatrix best_units;
+  double best_total = -1.0;
+  Status failure = Status::OK();
+
+  // Recursive enumeration over (workload, resource) unit choices.
+  std::vector<int> remaining(m, problem.grid_steps);
+  std::function<void(int, int)> enumerate = [&](int i, int r) {
+    if (!failure.ok()) return;
+    if (i == n) {
+      auto total = TotalOf(problem, cost, units);
+      if (!total.ok()) {
+        failure = total.status();
+        return;
+      }
+      if (best_total < 0 || *total < best_total) {
+        best_total = *total;
+        best_units = units;
+      }
+      return;
+    }
+    if (r == m) {
+      enumerate(i + 1, 0);
+      return;
+    }
+    const int workloads_after = n - i - 1;
+    if (i == n - 1) {
+      // Last workload takes whatever remains.
+      units[i][r] = remaining[r];
+      remaining[r] = 0;
+      enumerate(i, r + 1);
+      remaining[r] = units[i][r];
+      units[i][r] = 1;
+      return;
+    }
+    for (int take = 1; take <= remaining[r] - workloads_after; ++take) {
+      units[i][r] = take;
+      remaining[r] -= take;
+      enumerate(i, r + 1);
+      remaining[r] += take;
+      units[i][r] = 1;
+    }
+  };
+  enumerate(0, 0);
+  VDB_RETURN_NOT_OK(failure);
+  if (best_total < 0) {
+    return Status::Internal("exhaustive search found no design");
+  }
+  return SolutionFromUnits(problem, best_units, best_total, "exhaustive");
+}
+
+Result<DesignSolution> SolveGreedy(
+    const VirtualizationDesignProblem& problem, WorkloadCostModel* cost) {
+  const int n = static_cast<int>(problem.NumWorkloads());
+  const int m = static_cast<int>(problem.controlled.size());
+  UnitMatrix units = EqualUnits(problem);
+  VDB_ASSIGN_OR_RETURN(double current, TotalOf(problem, cost, units));
+
+  for (;;) {
+    double best_delta = -1e-9;  // require strict improvement
+    int best_r = -1;
+    int best_from = -1;
+    int best_to = -1;
+    for (int r = 0; r < m; ++r) {
+      for (int from = 0; from < n; ++from) {
+        if (units[from][r] <= 1) continue;
+        for (int to = 0; to < n; ++to) {
+          if (to == from) continue;
+          // Cost delta of moving one unit of resource r: only the two
+          // touched workloads change.
+          VDB_ASSIGN_OR_RETURN(
+              double from_before,
+              cost->Cost(from, ShareFromUnits(problem, units[from])));
+          VDB_ASSIGN_OR_RETURN(
+              double to_before,
+              cost->Cost(to, ShareFromUnits(problem, units[to])));
+          std::vector<int> from_units = units[from];
+          std::vector<int> to_units = units[to];
+          from_units[r] -= 1;
+          to_units[r] += 1;
+          VDB_ASSIGN_OR_RETURN(
+              double from_after,
+              cost->Cost(from, ShareFromUnits(problem, from_units)));
+          VDB_ASSIGN_OR_RETURN(
+              double to_after,
+              cost->Cost(to, ShareFromUnits(problem, to_units)));
+          const double delta =
+              (from_after + to_after) - (from_before + to_before);
+          if (delta < best_delta) {
+            best_delta = delta;
+            best_r = r;
+            best_from = from;
+            best_to = to;
+          }
+        }
+      }
+    }
+    if (best_r < 0) break;
+    units[best_from][best_r] -= 1;
+    units[best_to][best_r] += 1;
+    current += best_delta;
+  }
+  VDB_ASSIGN_OR_RETURN(current, TotalOf(problem, cost, units));
+  return SolutionFromUnits(problem, units, current, "greedy");
+}
+
+Result<DesignSolution> SolveDp(const VirtualizationDesignProblem& problem,
+                               WorkloadCostModel* cost) {
+  const int n = static_cast<int>(problem.NumWorkloads());
+  const int m = static_cast<int>(problem.controlled.size());
+  if (m > 2) {
+    return Status::NotSupported(
+        "dynamic programming supports at most two controlled resources "
+        "(state space grows as steps^m); use greedy for three");
+  }
+  const int steps = problem.grid_steps;
+  // State: (workload i, remaining units u0, u1). For m == 1, u1 is fixed 0.
+  const int dim1 = steps + 1;
+  const int dim2 = m == 2 ? steps + 1 : 1;
+  struct Cell {
+    double cost = -1.0;
+    int take0 = 0;
+    int take1 = 0;
+  };
+  // memo[i][u0][u1]
+  std::vector<std::vector<std::vector<Cell>>> memo(
+      n, std::vector<std::vector<Cell>>(dim1, std::vector<Cell>(dim2)));
+
+  std::function<Result<double>(int, int, int)> dp =
+      [&](int i, int u0, int u1) -> Result<double> {
+    Cell& cell = memo[i][u0][m == 2 ? u1 : 0];
+    if (cell.cost >= 0) return cell.cost;
+    const int after = n - i - 1;
+    if (after == 0) {
+      std::vector<int> units = {u0};
+      if (m == 2) units.push_back(u1);
+      VDB_ASSIGN_OR_RETURN(double c,
+                           cost->Cost(i, ShareFromUnits(problem, units)));
+      cell.cost = c;
+      cell.take0 = u0;
+      cell.take1 = u1;
+      return c;
+    }
+    double best = -1.0;
+    int best0 = 0;
+    int best1 = 0;
+    for (int a0 = 1; a0 <= u0 - after; ++a0) {
+      const int hi1 = m == 2 ? u1 - after : 1;
+      for (int a1 = (m == 2 ? 1 : 0); a1 <= (m == 2 ? hi1 : 0); ++a1) {
+        std::vector<int> units = {a0};
+        if (m == 2) units.push_back(a1);
+        VDB_ASSIGN_OR_RETURN(double own,
+                             cost->Cost(i, ShareFromUnits(problem, units)));
+        VDB_ASSIGN_OR_RETURN(double rest,
+                             dp(i + 1, u0 - a0, m == 2 ? u1 - a1 : 0));
+        const double total = own + rest;
+        if (best < 0 || total < best) {
+          best = total;
+          best0 = a0;
+          best1 = a1;
+        }
+      }
+    }
+    cell.cost = best;
+    cell.take0 = best0;
+    cell.take1 = best1;
+    return best;
+  };
+
+  VDB_ASSIGN_OR_RETURN(double total, dp(0, steps, m == 2 ? steps : 0));
+  // Reconstruct.
+  UnitMatrix units(n, std::vector<int>(m, 0));
+  int u0 = steps;
+  int u1 = m == 2 ? steps : 0;
+  for (int i = 0; i < n; ++i) {
+    const Cell& cell = memo[i][u0][m == 2 ? u1 : 0];
+    units[i][0] = cell.take0;
+    if (m == 2) units[i][1] = cell.take1;
+    u0 -= cell.take0;
+    u1 -= cell.take1;
+  }
+  return SolutionFromUnits(problem, units, total, "dynamic-programming");
+}
+
+}  // namespace
+
+const char* SearchAlgorithmName(SearchAlgorithm algorithm) {
+  switch (algorithm) {
+    case SearchAlgorithm::kExhaustive:
+      return "exhaustive";
+    case SearchAlgorithm::kGreedy:
+      return "greedy";
+    case SearchAlgorithm::kDynamicProgramming:
+      return "dynamic-programming";
+  }
+  return "?";
+}
+
+sim::ResourceShare ShareFromUnits(
+    const VirtualizationDesignProblem& problem,
+    const std::vector<int>& units) {
+  const int n = static_cast<int>(problem.NumWorkloads());
+  sim::ResourceShare share = sim::ResourceShare::EqualSplit(n);
+  for (size_t r = 0; r < problem.controlled.size(); ++r) {
+    share.Set(problem.controlled[r],
+              static_cast<double>(units[r]) /
+                  static_cast<double>(problem.grid_steps));
+  }
+  return share;
+}
+
+Result<DesignSolution> SolveDesignProblem(
+    const VirtualizationDesignProblem& problem, WorkloadCostModel* cost,
+    SearchAlgorithm algorithm) {
+  VDB_RETURN_NOT_OK(problem.Validate());
+  const uint64_t evals_before = cost->evaluations();
+  Result<DesignSolution> solution = Status::Internal("unreachable");
+  switch (algorithm) {
+    case SearchAlgorithm::kExhaustive:
+      solution = SolveExhaustive(problem, cost);
+      break;
+    case SearchAlgorithm::kGreedy:
+      solution = SolveGreedy(problem, cost);
+      break;
+    case SearchAlgorithm::kDynamicProgramming:
+      solution = SolveDp(problem, cost);
+      break;
+  }
+  if (solution.ok()) {
+    solution->evaluations = cost->evaluations() - evals_before;
+  }
+  return solution;
+}
+
+}  // namespace vdb::core

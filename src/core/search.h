@@ -1,0 +1,46 @@
+#ifndef VDB_CORE_SEARCH_H_
+#define VDB_CORE_SEARCH_H_
+
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/problem.h"
+#include "util/result.h"
+
+namespace vdb::core {
+
+/// Combinatorial search strategies for the virtualization design problem
+/// (the paper suggests "any standard combinatorial search algorithm such
+/// as greedy search or dynamic programming"; we provide both plus an
+/// exhaustive baseline for ground truth on small instances).
+enum class SearchAlgorithm {
+  kExhaustive,
+  kGreedy,
+  kDynamicProgramming,
+};
+
+const char* SearchAlgorithmName(SearchAlgorithm algorithm);
+
+/// Builds the full share vector for workload `index` given its units of
+/// each controlled resource; uncontrolled resources get an equal split.
+sim::ResourceShare ShareFromUnits(const VirtualizationDesignProblem& problem,
+                                  const std::vector<int>& units);
+
+/// Solves `argmin_R sum_i Cost(W_i, R_i)` over the discretized allocation
+/// grid, subject to every workload receiving at least one unit of each
+/// controlled resource and the units of each resource summing to
+/// `grid_steps`.
+///
+/// - kExhaustive enumerates all splits (fails with InvalidArgument if the
+///   space exceeds ~2M designs).
+/// - kGreedy starts from the equal split and repeatedly applies the best
+///   single-unit transfer between two workloads until no move improves.
+/// - kDynamicProgramming exploits the separability of the objective and is
+///   exact for one or two controlled resources.
+Result<DesignSolution> SolveDesignProblem(
+    const VirtualizationDesignProblem& problem, WorkloadCostModel* cost,
+    SearchAlgorithm algorithm);
+
+}  // namespace vdb::core
+
+#endif  // VDB_CORE_SEARCH_H_

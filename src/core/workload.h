@@ -1,0 +1,38 @@
+#ifndef VDB_CORE_WORKLOAD_H_
+#define VDB_CORE_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+namespace vdb::core {
+
+/// A database workload: a named sequence of SQL statements run against one
+/// database instance (the paper's W_i). Repeated statements model
+/// multiplicity (e.g. "3 copies of Q4").
+struct Workload {
+  std::string name;
+  std::vector<std::string> statements;
+
+  /// Service-level weight (paper Section 7's "different service-level
+  /// objectives" extension): the design objective minimizes
+  /// sum_i weight_i * Cost(W_i, R_i), so a workload with weight 2 counts
+  /// double — the search shifts resources toward it.
+  double importance = 1.0;
+
+  Workload() = default;
+  Workload(std::string workload_name, std::vector<std::string> sql)
+      : name(std::move(workload_name)), statements(std::move(sql)) {}
+
+  /// A workload consisting of `copies` repetitions of one statement.
+  static Workload Repeated(std::string name, const std::string& sql,
+                           int copies) {
+    Workload workload;
+    workload.name = std::move(name);
+    workload.statements.assign(copies, sql);
+    return workload;
+  }
+};
+
+}  // namespace vdb::core
+
+#endif  // VDB_CORE_WORKLOAD_H_

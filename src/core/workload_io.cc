@@ -1,0 +1,69 @@
+#include "core/workload_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace vdb::core {
+
+Result<Workload> ParseWorkloadText(const std::string& name,
+                                   const std::string& text) {
+  Workload workload;
+  workload.name = name;
+  std::string current;
+  bool in_string = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (!in_string && c == '-' && i + 1 < text.size() &&
+        text[i + 1] == '-') {
+      // Line comment: skip to end of line.
+      while (i < text.size() && text[i] != '\n') ++i;
+      current.push_back(' ');
+      continue;
+    }
+    if (c == '\'') {
+      // Toggle string state; '' escapes stay inside the literal.
+      if (in_string && i + 1 < text.size() && text[i + 1] == '\'') {
+        current += "''";
+        ++i;
+        continue;
+      }
+      in_string = !in_string;
+      current.push_back(c);
+      continue;
+    }
+    if (!in_string && c == ';') {
+      const std::string statement(Trim(current));
+      if (!statement.empty()) workload.statements.push_back(statement);
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (in_string) {
+    return Status::InvalidArgument("unterminated string literal in workload");
+  }
+  const std::string last(Trim(current));
+  if (!last.empty()) workload.statements.push_back(last);
+  if (workload.statements.empty()) {
+    return Status::InvalidArgument("workload contains no statements");
+  }
+  return workload;
+}
+
+Result<Workload> LoadWorkloadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open workload file '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  // Name the workload after the file (basename without extension).
+  std::string name = path;
+  const size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return ParseWorkloadText(name, text.str());
+}
+
+}  // namespace vdb::core

@@ -1,0 +1,22 @@
+#ifndef VDB_CORE_WORKLOAD_IO_H_
+#define VDB_CORE_WORKLOAD_IO_H_
+
+#include <string>
+
+#include "core/workload.h"
+#include "util/result.h"
+
+namespace vdb::core {
+
+/// Parses a workload from SQL text: statements separated by ';', with
+/// `--` line comments. Statement boundaries respect string literals
+/// (a ';' inside '...' does not split). Empty statements are skipped.
+Result<Workload> ParseWorkloadText(const std::string& name,
+                                   const std::string& text);
+
+/// Loads a workload from a .sql file.
+Result<Workload> LoadWorkloadFile(const std::string& path);
+
+}  // namespace vdb::core
+
+#endif  // VDB_CORE_WORKLOAD_IO_H_

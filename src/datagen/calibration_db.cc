@@ -1,0 +1,58 @@
+#include "datagen/calibration_db.h"
+
+#include "datagen/synthetic.h"
+
+namespace vdb::datagen {
+
+namespace {
+
+std::vector<ColumnSpec> CalibrationSchema(uint32_t pad_bytes) {
+  ColumnSpec a;
+  a.name = "a";
+  a.type = catalog::TypeId::kInt64;
+  a.distribution = Distribution::kSequential;
+  ColumnSpec b;
+  b.name = "b";
+  b.type = catalog::TypeId::kInt64;
+  b.distribution = Distribution::kUniform;
+  b.min_value = 0;
+  b.max_value = 999;
+  ColumnSpec c;
+  c.name = "c";
+  c.type = catalog::TypeId::kInt64;
+  c.distribution = Distribution::kUniform;
+  c.min_value = 0;
+  c.max_value = 9999;
+  ColumnSpec d;
+  d.name = "d";
+  d.type = catalog::TypeId::kDouble;
+  d.distribution = Distribution::kUniformReal;
+  d.min_value = 0.0;
+  d.max_value = 1.0;
+  ColumnSpec pad;
+  pad.name = "pad";
+  pad.type = catalog::TypeId::kString;
+  pad.distribution = Distribution::kRandomText;
+  pad.string_length = pad_bytes;
+  return {a, b, c, d, pad};
+}
+
+}  // namespace
+
+Status GenerateCalibrationDb(catalog::Catalog* cat,
+                             const CalibrationDbConfig& config) {
+  const auto schema = CalibrationSchema(config.pad_bytes);
+  VDB_RETURN_NOT_OK(GenerateTable(cat, "cal_small", schema,
+                                  config.base_rows, config.seed));
+  VDB_RETURN_NOT_OK(GenerateTable(cat, "cal_large", schema,
+                                  config.base_rows * 8, config.seed + 1));
+  VDB_RETURN_NOT_OK(GenerateTable(cat, "cal_indexed", schema,
+                                  config.base_rows, config.seed + 2));
+  VDB_RETURN_NOT_OK(
+      cat->CreateIndex("cal_indexed_a", "cal_indexed", "a").status());
+  VDB_RETURN_NOT_OK(
+      cat->CreateIndex("cal_indexed_b", "cal_indexed", "b").status());
+  return cat->AnalyzeAll();
+}
+
+}  // namespace vdb::datagen

@@ -1,0 +1,36 @@
+#ifndef VDB_DATAGEN_CALIBRATION_DB_H_
+#define VDB_DATAGEN_CALIBRATION_DB_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "util/status.h"
+
+namespace vdb::datagen {
+
+/// Configuration of the synthetic calibration database (paper Section 5).
+///
+/// The calibration queries need tables whose plan work vectors (pages read,
+/// tuples processed, predicates evaluated, index entries touched) are known
+/// analytically, so that measured execution times yield linear equations in
+/// the optimizer's cost parameters.
+struct CalibrationDbConfig {
+  /// Rows in cal_small. cal_large gets 8x as many; cal_indexed the same.
+  uint64_t base_rows = 20000;
+  uint64_t seed = 7;
+  /// Bytes of filler per row, controlling tuple width / pages per table.
+  uint32_t pad_bytes = 64;
+};
+
+/// Creates three tables:
+///  - cal_small(a, b, c, d, pad): a sequential-unique, b uniform in
+///    [0, 999], c uniform in [0, 9999], d uniform real; no indexes.
+///  - cal_large: same schema, 8x rows; no indexes.
+///  - cal_indexed: same schema plus B+-tree indexes on a and b.
+/// All tables are ANALYZEd.
+Status GenerateCalibrationDb(catalog::Catalog* cat,
+                             const CalibrationDbConfig& config);
+
+}  // namespace vdb::datagen
+
+#endif  // VDB_DATAGEN_CALIBRATION_DB_H_

@@ -1,0 +1,90 @@
+#include "datagen/synthetic.h"
+
+#include <array>
+
+namespace vdb::datagen {
+
+namespace {
+// Word list for generated comments, in the spirit of dbgen's grammar.
+constexpr std::array<const char*, 24> kWords = {
+    "furiously",  "quickly",  "carefully", "blithely", "slyly",
+    "deposits",   "requests", "accounts",  "packages", "instructions",
+    "theodolites", "pinto",   "beans",     "foxes",    "ideas",
+    "platelets",  "sleep",    "nag",       "haggle",   "wake",
+    "along",      "above",    "final",     "regular"};
+}  // namespace
+
+std::string RandomText(uint32_t length, Random* rng) {
+  std::string out;
+  out.reserve(length + 12);
+  while (out.size() < length) {
+    if (!out.empty()) out.push_back(' ');
+    out += kWords[rng->Uniform(kWords.size())];
+  }
+  return out;
+}
+
+catalog::Value GenerateValue(const ColumnSpec& spec, uint64_t row,
+                             Random* rng) {
+  using catalog::TypeId;
+  using catalog::Value;
+  if (spec.null_fraction > 0.0 && rng->Bernoulli(spec.null_fraction)) {
+    return Value::Null(spec.type);
+  }
+  switch (spec.distribution) {
+    case Distribution::kSequential: {
+      const int64_t v = static_cast<int64_t>(spec.min_value) +
+                        static_cast<int64_t>(row);
+      return spec.type == TypeId::kDate ? Value::Date(v) : Value::Int64(v);
+    }
+    case Distribution::kUniform: {
+      const int64_t v =
+          rng->UniformInt(static_cast<int64_t>(spec.min_value),
+                          static_cast<int64_t>(spec.max_value));
+      if (spec.type == TypeId::kDate) return Value::Date(v);
+      if (spec.type == TypeId::kDouble) {
+        return Value::Double(static_cast<double>(v));
+      }
+      return Value::Int64(v);
+    }
+    case Distribution::kZipf: {
+      const uint64_t domain = static_cast<uint64_t>(
+          spec.max_value - spec.min_value + 1);
+      const uint64_t rank = rng->Zipf(domain, spec.zipf_theta);
+      const int64_t v =
+          static_cast<int64_t>(spec.min_value) + static_cast<int64_t>(rank) -
+          1;
+      return spec.type == TypeId::kDate ? Value::Date(v) : Value::Int64(v);
+    }
+    case Distribution::kUniformReal:
+      return Value::Double(
+          rng->UniformDouble(spec.min_value, spec.max_value));
+    case Distribution::kRandomText:
+      return Value::String(RandomText(spec.string_length, rng));
+  }
+  return Value::Null(spec.type);
+}
+
+Status GenerateTable(catalog::Catalog* cat, const std::string& name,
+                     const std::vector<ColumnSpec>& specs, uint64_t num_rows,
+                     uint64_t seed) {
+  std::vector<catalog::Column> columns;
+  columns.reserve(specs.size());
+  for (const ColumnSpec& spec : specs) {
+    columns.emplace_back(spec.name, spec.type);
+  }
+  VDB_ASSIGN_OR_RETURN(
+      catalog::TableInfo * table,
+      cat->CreateTable(name, catalog::Schema(std::move(columns))));
+  Random rng(seed);
+  catalog::Tuple tuple(specs.size());
+  for (uint64_t row = 0; row < num_rows; ++row) {
+    for (size_t c = 0; c < specs.size(); ++c) {
+      tuple[c] = GenerateValue(specs[c], row, &rng);
+    }
+    VDB_RETURN_NOT_OK(cat->Insert(table, tuple));
+  }
+  return Status::OK();
+}
+
+}  // namespace vdb::datagen

@@ -1,0 +1,52 @@
+#ifndef VDB_DATAGEN_SYNTHETIC_H_
+#define VDB_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/value.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace vdb::datagen {
+
+/// Value distribution for one generated column.
+enum class Distribution {
+  kSequential,  // 0, 1, 2, ... (unique)
+  kUniform,     // uniform integers in [min_value, max_value]
+  kZipf,        // Zipf-skewed integers in [min_value, max_value]
+  kUniformReal, // uniform doubles in [min_value, max_value]
+  kRandomText,  // random lowercase words, string_length chars on average
+};
+
+/// Specification of one synthetic column.
+struct ColumnSpec {
+  std::string name;
+  catalog::TypeId type = catalog::TypeId::kInt64;
+  Distribution distribution = Distribution::kUniform;
+  double min_value = 0;
+  double max_value = 1000;
+  double zipf_theta = 0.8;      // for kZipf
+  double null_fraction = 0.0;   // fraction of NULLs
+  uint32_t string_length = 16;  // for kRandomText
+};
+
+/// Generates `num_rows` rows into a new table `name` with the given column
+/// specs. Deterministic in `seed`.
+Status GenerateTable(catalog::Catalog* cat, const std::string& name,
+                     const std::vector<ColumnSpec>& specs, uint64_t num_rows,
+                     uint64_t seed);
+
+/// Generates one value per the spec (shared with the TPC-H generator).
+catalog::Value GenerateValue(const ColumnSpec& spec, uint64_t row,
+                             Random* rng);
+
+/// Random lowercase text of roughly `length` characters with space-separated
+/// words; `rng` drives word choice.
+std::string RandomText(uint32_t length, Random* rng);
+
+}  // namespace vdb::datagen
+
+#endif  // VDB_DATAGEN_SYNTHETIC_H_

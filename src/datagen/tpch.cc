@@ -1,0 +1,310 @@
+#include "datagen/tpch.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "datagen/synthetic.h"
+#include "util/random.h"
+
+namespace vdb::datagen {
+
+namespace {
+
+using catalog::Column;
+using catalog::Schema;
+using catalog::TableInfo;
+using catalog::Tuple;
+using catalog::TypeId;
+using catalog::Value;
+
+constexpr std::array<const char*, 5> kRegions = {
+    "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+
+constexpr std::array<const char*, 25> kNations = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+
+// dbgen's nation->region mapping.
+constexpr std::array<int, 25> kNationRegion = {0, 1, 1, 1, 4, 0, 3, 3, 2,
+                                               2, 4, 4, 2, 4, 0, 0, 0, 1,
+                                               2, 3, 4, 2, 3, 3, 1};
+
+constexpr std::array<const char*, 5> kSegments = {
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"};
+
+constexpr std::array<const char*, 5> kPriorities = {
+    "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"};
+
+constexpr std::array<const char*, 7> kShipModes = {
+    "REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"};
+
+constexpr std::array<const char*, 4> kInstructions = {
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"};
+
+constexpr std::array<const char*, 6> kTypes = {
+    "STANDARD ANODIZED TIN", "SMALL BRUSHED COPPER", "MEDIUM PLATED STEEL",
+    "ECONOMY POLISHED NICKEL", "PROMO BURNISHED BRASS", "LARGE PLATED TIN"};
+
+// Q13's predicate is `o_comment not like '%special%requests%'`.
+// dbgen makes ~1.2% of comments match; we inject the phrase with the same
+// probability so the anti-join fraction is realistic.
+std::string OrderComment(uint32_t chars, Random* rng) {
+  std::string text = RandomText(chars, rng);
+  if (rng->Bernoulli(0.012)) {
+    text += " special handling of requests";
+  }
+  return text;
+}
+
+}  // namespace
+
+int64_t TpchStartDate() { return catalog::DateFromYmd(1992, 1, 1); }
+int64_t TpchEndDate() { return catalog::DateFromYmd(1998, 8, 2); }
+
+Status GenerateTpch(catalog::Catalog* cat, const TpchConfig& config) {
+  const double sf = config.scale_factor;
+  Random rng(config.seed);
+
+  const int64_t num_suppliers =
+      std::max<int64_t>(10, static_cast<int64_t>(10000 * sf));
+  const int64_t num_customers =
+      std::max<int64_t>(30, static_cast<int64_t>(150000 * sf));
+  const int64_t num_parts =
+      std::max<int64_t>(20, static_cast<int64_t>(200000 * sf));
+  const int64_t num_orders = num_customers * 10;
+
+  // ---- region ----
+  VDB_ASSIGN_OR_RETURN(
+      TableInfo * region,
+      cat->CreateTable("region",
+                       Schema({Column("r_regionkey", TypeId::kInt64),
+                               Column("r_name", TypeId::kString),
+                               Column("r_comment", TypeId::kString)})));
+  for (int64_t r = 0; r < static_cast<int64_t>(kRegions.size()); ++r) {
+    VDB_RETURN_NOT_OK(cat->Insert(
+        region, Tuple{Value::Int64(r), Value::String(kRegions[r]),
+                      Value::String(RandomText(30, &rng))}));
+  }
+
+  // ---- nation ----
+  VDB_ASSIGN_OR_RETURN(
+      TableInfo * nation,
+      cat->CreateTable("nation",
+                       Schema({Column("n_nationkey", TypeId::kInt64),
+                               Column("n_name", TypeId::kString),
+                               Column("n_regionkey", TypeId::kInt64),
+                               Column("n_comment", TypeId::kString)})));
+  for (int64_t n = 0; n < static_cast<int64_t>(kNations.size()); ++n) {
+    VDB_RETURN_NOT_OK(cat->Insert(
+        nation, Tuple{Value::Int64(n), Value::String(kNations[n]),
+                      Value::Int64(kNationRegion[n]),
+                      Value::String(RandomText(30, &rng))}));
+  }
+
+  // ---- supplier ----
+  VDB_ASSIGN_OR_RETURN(
+      TableInfo * supplier,
+      cat->CreateTable("supplier",
+                       Schema({Column("s_suppkey", TypeId::kInt64),
+                               Column("s_name", TypeId::kString),
+                               Column("s_nationkey", TypeId::kInt64),
+                               Column("s_acctbal", TypeId::kDouble)})));
+  for (int64_t s = 1; s <= num_suppliers; ++s) {
+    VDB_RETURN_NOT_OK(cat->Insert(
+        supplier,
+        Tuple{Value::Int64(s),
+              Value::String("Supplier#" + std::to_string(s)),
+              Value::Int64(rng.UniformInt(0, 24)),
+              Value::Double(rng.UniformDouble(-999.99, 9999.99))}));
+  }
+
+  // ---- customer ----
+  VDB_ASSIGN_OR_RETURN(
+      TableInfo * customer,
+      cat->CreateTable("customer",
+                       Schema({Column("c_custkey", TypeId::kInt64),
+                               Column("c_name", TypeId::kString),
+                               Column("c_nationkey", TypeId::kInt64),
+                               Column("c_mktsegment", TypeId::kString),
+                               Column("c_acctbal", TypeId::kDouble),
+                               Column("c_comment", TypeId::kString)})));
+  for (int64_t c = 1; c <= num_customers; ++c) {
+    VDB_RETURN_NOT_OK(cat->Insert(
+        customer,
+        Tuple{Value::Int64(c),
+              Value::String("Customer#" + std::to_string(c)),
+              Value::Int64(rng.UniformInt(0, 24)),
+              Value::String(kSegments[rng.Uniform(kSegments.size())]),
+              Value::Double(rng.UniformDouble(-999.99, 9999.99)),
+              Value::String(RandomText(30, &rng))}));
+  }
+
+  // ---- part ----
+  VDB_ASSIGN_OR_RETURN(
+      TableInfo * part,
+      cat->CreateTable("part",
+                       Schema({Column("p_partkey", TypeId::kInt64),
+                               Column("p_name", TypeId::kString),
+                               Column("p_brand", TypeId::kString),
+                               Column("p_type", TypeId::kString),
+                               Column("p_size", TypeId::kInt64),
+                               Column("p_retailprice", TypeId::kDouble)})));
+  for (int64_t p = 1; p <= num_parts; ++p) {
+    VDB_RETURN_NOT_OK(cat->Insert(
+        part,
+        Tuple{Value::Int64(p), Value::String(RandomText(20, &rng)),
+              Value::String("Brand#" +
+                            std::to_string(rng.UniformInt(11, 55))),
+              Value::String(kTypes[rng.Uniform(kTypes.size())]),
+              Value::Int64(rng.UniformInt(1, 50)),
+              Value::Double(900.0 + (p % 1000) + 0.01 * (p % 100))}));
+  }
+
+  // ---- partsupp ----
+  VDB_ASSIGN_OR_RETURN(
+      TableInfo * partsupp,
+      cat->CreateTable("partsupp",
+                       Schema({Column("ps_partkey", TypeId::kInt64),
+                               Column("ps_suppkey", TypeId::kInt64),
+                               Column("ps_availqty", TypeId::kInt64),
+                               Column("ps_supplycost", TypeId::kDouble)})));
+  for (int64_t p = 1; p <= num_parts; ++p) {
+    for (int j = 0; j < 4; ++j) {
+      const int64_t s =
+          1 + (p + j * (num_suppliers / 4 + 1)) % num_suppliers;
+      VDB_RETURN_NOT_OK(cat->Insert(
+          partsupp, Tuple{Value::Int64(p), Value::Int64(s),
+                          Value::Int64(rng.UniformInt(1, 9999)),
+                          Value::Double(rng.UniformDouble(1.0, 1000.0))}));
+    }
+  }
+
+  // ---- orders & lineitem ----
+  VDB_ASSIGN_OR_RETURN(
+      TableInfo * orders,
+      cat->CreateTable("orders",
+                       Schema({Column("o_orderkey", TypeId::kInt64),
+                               Column("o_custkey", TypeId::kInt64),
+                               Column("o_orderstatus", TypeId::kString),
+                               Column("o_totalprice", TypeId::kDouble),
+                               Column("o_orderdate", TypeId::kDate),
+                               Column("o_orderpriority", TypeId::kString),
+                               Column("o_shippriority", TypeId::kInt64),
+                               Column("o_comment", TypeId::kString)})));
+  VDB_ASSIGN_OR_RETURN(
+      TableInfo * lineitem,
+      cat->CreateTable(
+          "lineitem",
+          Schema({Column("l_orderkey", TypeId::kInt64),
+                  Column("l_partkey", TypeId::kInt64),
+                  Column("l_suppkey", TypeId::kInt64),
+                  Column("l_linenumber", TypeId::kInt64),
+                  Column("l_quantity", TypeId::kDouble),
+                  Column("l_extendedprice", TypeId::kDouble),
+                  Column("l_discount", TypeId::kDouble),
+                  Column("l_tax", TypeId::kDouble),
+                  Column("l_returnflag", TypeId::kString),
+                  Column("l_linestatus", TypeId::kString),
+                  Column("l_shipdate", TypeId::kDate),
+                  Column("l_commitdate", TypeId::kDate),
+                  Column("l_receiptdate", TypeId::kDate),
+                  Column("l_shipinstruct", TypeId::kString),
+                  Column("l_shipmode", TypeId::kString),
+                  Column("l_comment", TypeId::kString)})));
+
+  const int64_t start_date = TpchStartDate();
+  const int64_t end_date = TpchEndDate();
+  const int64_t current_date = catalog::DateFromYmd(1995, 6, 17);
+
+  for (int64_t o = 1; o <= num_orders; ++o) {
+    const int64_t custkey = rng.UniformInt(1, num_customers);
+    const int64_t orderdate =
+        rng.UniformInt(start_date, end_date - 151);
+    const int num_lines = static_cast<int>(rng.UniformInt(1, 7));
+    double total = 0.0;
+    int open_lines = 0;
+    for (int line = 1; line <= num_lines; ++line) {
+      const int64_t partkey = rng.UniformInt(1, num_parts);
+      const int64_t suppkey = rng.UniformInt(1, num_suppliers);
+      const double quantity = static_cast<double>(rng.UniformInt(1, 50));
+      const double price = quantity * rng.UniformDouble(900.0, 2000.0);
+      const double discount = 0.01 * rng.UniformInt(0, 10);
+      const double tax = 0.01 * rng.UniformInt(0, 8);
+      const int64_t shipdate = orderdate + rng.UniformInt(1, 121);
+      const int64_t commitdate = orderdate + rng.UniformInt(30, 90);
+      const int64_t receiptdate = shipdate + rng.UniformInt(1, 30);
+      total += price;
+      const bool shipped = shipdate <= current_date;
+      if (!shipped) ++open_lines;
+      const char* returnflag =
+          !shipped ? "N" : (rng.Bernoulli(0.5) ? "R" : "A");
+      VDB_RETURN_NOT_OK(cat->Insert(
+          lineitem,
+          Tuple{Value::Int64(o), Value::Int64(partkey),
+                Value::Int64(suppkey), Value::Int64(line),
+                Value::Double(quantity), Value::Double(price),
+                Value::Double(discount), Value::Double(tax),
+                Value::String(returnflag),
+                Value::String(shipped ? "F" : "O"), Value::Date(shipdate),
+                Value::Date(commitdate), Value::Date(receiptdate),
+                Value::String(
+                    kInstructions[rng.Uniform(kInstructions.size())]),
+                Value::String(kShipModes[rng.Uniform(kShipModes.size())]),
+                Value::String(
+                    RandomText(config.lineitem_comment_chars, &rng))}));
+    }
+    const char* status =
+        open_lines == num_lines ? "O" : (open_lines == 0 ? "F" : "P");
+    VDB_RETURN_NOT_OK(cat->Insert(
+        orders,
+        Tuple{Value::Int64(o), Value::Int64(custkey), Value::String(status),
+              Value::Double(total), Value::Date(orderdate),
+              Value::String(kPriorities[rng.Uniform(kPriorities.size())]),
+              Value::Int64(0), Value::String(OrderComment(config.order_comment_chars, &rng))}));
+  }
+
+  if (config.create_indexes) {
+    // OSDB-style "extensive set of indexes": primary keys plus the join and
+    // date columns the workload touches.
+    VDB_RETURN_NOT_OK(
+        cat->CreateIndex("region_pk", "region", "r_regionkey").status());
+    VDB_RETURN_NOT_OK(
+        cat->CreateIndex("nation_pk", "nation", "n_nationkey").status());
+    VDB_RETURN_NOT_OK(
+        cat->CreateIndex("supplier_pk", "supplier", "s_suppkey").status());
+    VDB_RETURN_NOT_OK(
+        cat->CreateIndex("customer_pk", "customer", "c_custkey").status());
+    VDB_RETURN_NOT_OK(
+        cat->CreateIndex("part_pk", "part", "p_partkey").status());
+    VDB_RETURN_NOT_OK(
+        cat->CreateIndex("partsupp_part", "partsupp", "ps_partkey")
+            .status());
+    VDB_RETURN_NOT_OK(
+        cat->CreateIndex("partsupp_supp", "partsupp", "ps_suppkey")
+            .status());
+    VDB_RETURN_NOT_OK(
+        cat->CreateIndex("orders_pk", "orders", "o_orderkey").status());
+    VDB_RETURN_NOT_OK(
+        cat->CreateIndex("orders_cust", "orders", "o_custkey").status());
+    VDB_RETURN_NOT_OK(
+        cat->CreateIndex("orders_date", "orders", "o_orderdate").status());
+    VDB_RETURN_NOT_OK(
+        cat->CreateIndex("lineitem_order", "lineitem", "l_orderkey")
+            .status());
+    VDB_RETURN_NOT_OK(
+        cat->CreateIndex("lineitem_part", "lineitem", "l_partkey").status());
+    VDB_RETURN_NOT_OK(
+        cat->CreateIndex("lineitem_shipdate", "lineitem", "l_shipdate")
+            .status());
+  }
+
+  if (config.analyze) {
+    VDB_RETURN_NOT_OK(cat->AnalyzeAll(config.histogram_buckets));
+  }
+  return Status::OK();
+}
+
+}  // namespace vdb::datagen

@@ -1,0 +1,97 @@
+#include "datagen/tpch_queries.h"
+
+namespace vdb::datagen {
+
+const std::vector<TpchQueryDef>& TpchQueries() {
+  static const std::vector<TpchQueryDef>* kQueries =
+      new std::vector<TpchQueryDef>{
+          {1, "pricing summary report",
+           "select l_returnflag, l_linestatus, sum(l_quantity) as sum_qty, "
+           "sum(l_extendedprice) as sum_base_price, "
+           "sum(l_extendedprice * (1 - l_discount)) as sum_disc_price, "
+           "sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as "
+           "sum_charge, avg(l_quantity) as avg_qty, avg(l_extendedprice) "
+           "as avg_price, avg(l_discount) as avg_disc, count(*) as "
+           "count_order from lineitem where l_shipdate <= date "
+           "'1998-09-02' group by l_returnflag, l_linestatus order by "
+           "l_returnflag, l_linestatus"},
+          {3, "shipping priority",
+           "select o_orderkey, sum(l_extendedprice * (1 - l_discount)) as "
+           "revenue, o_orderdate, o_shippriority from customer, orders, "
+           "lineitem where c_mktsegment = 'BUILDING' and c_custkey = "
+           "o_custkey and l_orderkey = o_orderkey and o_orderdate < date "
+           "'1995-03-15' and l_shipdate > date '1995-03-15' group by "
+           "o_orderkey, o_orderdate, o_shippriority order by revenue "
+           "desc, o_orderdate limit 10"},
+          {4, "order priority checking",
+           "select o_orderpriority, count(*) as order_count from orders "
+           "where o_orderdate >= date '1993-07-01' and o_orderdate < date "
+           "'1993-10-01' and exists (select * from lineitem where "
+           "l_orderkey = o_orderkey and l_commitdate < l_receiptdate) "
+           "group by o_orderpriority order by o_orderpriority"},
+          {5, "local supplier volume",
+           "select n_name, sum(l_extendedprice * (1 - l_discount)) as "
+           "revenue from customer, orders, lineitem, supplier, nation, "
+           "region where c_custkey = o_custkey and l_orderkey = "
+           "o_orderkey and l_suppkey = s_suppkey and c_nationkey = "
+           "s_nationkey and s_nationkey = n_nationkey and n_regionkey = "
+           "r_regionkey and r_name = 'ASIA' and o_orderdate >= date "
+           "'1994-01-01' and o_orderdate < date '1995-01-01' group by "
+           "n_name order by revenue desc"},
+          {6, "forecasting revenue change",
+           "select sum(l_extendedprice * l_discount) as revenue from "
+           "lineitem where l_shipdate >= date '1994-01-01' and l_shipdate "
+           "< date '1995-01-01' and l_discount between 0.05 and 0.07 and "
+           "l_quantity < 24"},
+          {10, "returned item reporting",
+           "select c_custkey, c_name, sum(l_extendedprice * (1 - "
+           "l_discount)) as revenue, c_acctbal, n_name from customer, "
+           "orders, lineitem, nation where c_custkey = o_custkey and "
+           "l_orderkey = o_orderkey and o_orderdate >= date '1993-10-01' "
+           "and o_orderdate < date '1994-01-01' and l_returnflag = 'R' "
+           "and c_nationkey = n_nationkey group by c_custkey, c_name, "
+           "c_acctbal, n_name order by revenue desc limit 20"},
+          {12, "shipping modes and order priority",
+           "select l_shipmode, sum(case when o_orderpriority = '1-URGENT' "
+           "or o_orderpriority = '2-HIGH' then 1 else 0 end) as "
+           "high_line_count, sum(case when o_orderpriority <> '1-URGENT' "
+           "and o_orderpriority <> '2-HIGH' then 1 else 0 end) as "
+           "low_line_count from orders, lineitem where o_orderkey = "
+           "l_orderkey and l_shipmode in ('MAIL', 'SHIP') and "
+           "l_commitdate < l_receiptdate and l_shipdate < l_commitdate "
+           "and l_receiptdate >= date '1994-01-01' and l_receiptdate < "
+           "date '1995-01-01' group by l_shipmode order by l_shipmode"},
+          {13, "customer distribution",
+           "select c_count, count(*) as custdist from (select c_custkey, "
+           "count(o_orderkey) from customer left outer join orders on "
+           "c_custkey = o_custkey and o_comment not like "
+           "'%special%requests%' group by c_custkey) as c_orders "
+           "(c_custkey, c_count) group by c_count order by custdist desc, "
+           "c_count desc"},
+          {18, "large volume customer",
+           "select c_name, c_custkey, o_orderkey, o_orderdate, "
+           "o_totalprice, sum(l_quantity) as total_qty from customer, "
+           "orders, lineitem where o_orderkey in (select l_orderkey from "
+           "lineitem group by l_orderkey having sum(l_quantity) > 300) "
+           "and c_custkey = o_custkey and o_orderkey = l_orderkey group "
+           "by c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice "
+           "order by o_totalprice desc, o_orderdate limit 100"},
+          {14, "promotion effect",
+           "select 100.00 * sum(case when p_type like 'PROMO%' then "
+           "l_extendedprice * (1 - l_discount) else 0 end) / "
+           "sum(l_extendedprice * (1 - l_discount)) as promo_revenue from "
+           "lineitem, part where l_partkey = p_partkey and l_shipdate >= "
+           "date '1995-09-01' and l_shipdate < date '1995-10-01'"},
+      };
+  return *kQueries;
+}
+
+Result<std::string> TpchQuery(int number) {
+  for (const TpchQueryDef& query : TpchQueries()) {
+    if (query.number == number) return query.sql;
+  }
+  return Status::NotFound("TPC-H Q" + std::to_string(number) +
+                          " is not in the supported set");
+}
+
+}  // namespace vdb::datagen

@@ -1,0 +1,31 @@
+#ifndef VDB_DATAGEN_TPCH_QUERIES_H_
+#define VDB_DATAGEN_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace vdb::datagen {
+
+/// TPC-H queries expressed in the engine's SQL dialect (interval
+/// arithmetic pre-computed into literal dates, as in many benchmark kits).
+/// Queries with constructs outside the dialect (nested scalar subqueries,
+/// views) are omitted; the supported set — Q1, Q3, Q4, Q5, Q6, Q10, Q12,
+/// Q13, Q14, Q18 — covers the paper's experiments and the main plan shapes
+/// (scans, multi-way joins, semi/anti joins, outer joins, aggregation).
+struct TpchQueryDef {
+  int number;
+  const char* description;
+  std::string sql;
+};
+
+/// All supported queries, ascending by number.
+const std::vector<TpchQueryDef>& TpchQueries();
+
+/// The SQL text of query `number`; NotFound if unsupported.
+Result<std::string> TpchQuery(int number);
+
+}  // namespace vdb::datagen
+
+#endif  // VDB_DATAGEN_TPCH_QUERIES_H_

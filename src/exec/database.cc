@@ -1,0 +1,59 @@
+#include "exec/database.h"
+
+#include "plan/planner.h"
+#include "plan/rewriter.h"
+#include "sql/parser.h"
+
+namespace vdb::exec {
+
+Database::Database() {
+  disk_ = std::make_unique<storage::DiskManager>();
+  pool_ = std::make_unique<storage::BufferPool>(disk_.get(),
+                                                config_.buffer_pool_pages);
+  catalog_ = std::make_unique<catalog::Catalog>(disk_.get(), pool_.get());
+}
+
+Status Database::ApplyVmConfig(const sim::VirtualMachine& vm) {
+  config_ = DbInstanceConfig::FromVm(vm);
+  return pool_->Resize(config_.buffer_pool_pages);
+}
+
+Status Database::DropCaches() { return pool_->EvictAll(); }
+
+Result<optimizer::PhysicalNodePtr> Database::Prepare(
+    const std::string& sql) {
+  VDB_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStatement> stmt,
+                       sql::ParseSelect(sql));
+  plan::Planner planner(catalog_.get());
+  VDB_ASSIGN_OR_RETURN(plan::LogicalNodePtr logical, planner.Plan(*stmt));
+  logical = plan::PushDownPredicates(std::move(logical));
+  return optimizer_.Optimize(*logical);
+}
+
+Result<QueryResult> Database::Execute(const std::string& sql,
+                                      const sim::VirtualMachine& vm) {
+  VDB_ASSIGN_OR_RETURN(optimizer::PhysicalNodePtr plan, Prepare(sql));
+  return ExecutePlan(*plan, vm);
+}
+
+Result<QueryResult> Database::ExecutePlan(
+    const optimizer::PhysicalNode& plan, const sim::VirtualMachine& vm) {
+  ExecutionContext context(&vm, pool_.get(), config_.work_mem_bytes);
+  Executor executor(&context);
+  VDB_ASSIGN_OR_RETURN(std::vector<catalog::Tuple> rows,
+                       executor.Run(plan));
+  QueryResult result;
+  for (const plan::OutputColumn& column : plan.output) {
+    result.column_names.push_back(column.name);
+  }
+  result.rows = std::move(rows);
+  result.elapsed_seconds = context.ElapsedSeconds();
+  result.cpu_seconds = context.CpuSeconds();
+  result.io_seconds = context.IoSeconds();
+  result.estimated_ms = plan.total_cost_ms;
+  result.physical_reads = context.PhysicalReads();
+  result.plan_text = plan.ToString();
+  return result;
+}
+
+}  // namespace vdb::exec

@@ -1,0 +1,91 @@
+#ifndef VDB_EXEC_DATABASE_H_
+#define VDB_EXEC_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/db_config.h"
+#include "exec/execution_context.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "sim/virtual_machine.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "util/result.h"
+
+namespace vdb::exec {
+
+/// Result of one executed query.
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<catalog::Tuple> rows;
+  /// Simulated wall-clock inside the VM ("actual" time in paper terms).
+  double elapsed_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  double io_seconds = 0.0;
+  /// The optimizer's estimate for the executed plan, in milliseconds.
+  double estimated_ms = 0.0;
+  /// Physical page reads performed.
+  uint64_t physical_reads = 0;
+  /// The executed plan, for EXPLAIN-style inspection.
+  std::string plan_text;
+};
+
+/// One database instance: simulated disk, buffer pool, catalog, optimizer,
+/// executor. Attach it to a VirtualMachine to derive its memory
+/// configuration and to charge execution time against that VM's resources.
+///
+/// This is the top-level engine API used by the examples, the calibration
+/// process, and the virtualization-design experiments.
+class Database {
+ public:
+  Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  catalog::Catalog* catalog() { return catalog_.get(); }
+  storage::BufferPool* buffer_pool() { return pool_.get(); }
+  storage::DiskManager* disk() { return disk_.get(); }
+  optimizer::Optimizer* optimizer() { return &optimizer_; }
+  const DbInstanceConfig& config() const { return config_; }
+
+  /// Re-derives the instance configuration (buffer pool size, work_mem)
+  /// from the VM's memory allocation. Call after changing the VM's share.
+  Status ApplyVmConfig(const sim::VirtualMachine& vm);
+
+  /// Drops the page cache, so the next query measures cold-cache behavior.
+  Status DropCaches();
+
+  /// Sets the optimizer's what-if parameters (the calibrated P(R)).
+  void SetOptimizerParams(const optimizer::OptimizerParams& params) {
+    optimizer_.SetParams(params);
+  }
+
+  /// Parses, plans, and optimizes `sql` under the current optimizer
+  /// parameters without executing it (what-if mode). Returns the physical
+  /// plan, whose total_cost_ms is the estimated execution time.
+  Result<optimizer::PhysicalNodePtr> Prepare(const std::string& sql);
+
+  /// Parses, optimizes, and executes `sql` inside `vm`, charging simulated
+  /// time to the VM's resources.
+  Result<QueryResult> Execute(const std::string& sql,
+                              const sim::VirtualMachine& vm);
+
+  /// Executes an already-prepared plan.
+  Result<QueryResult> ExecutePlan(const optimizer::PhysicalNode& plan,
+                                  const sim::VirtualMachine& vm);
+
+ private:
+  std::unique_ptr<storage::DiskManager> disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<catalog::Catalog> catalog_;
+  optimizer::Optimizer optimizer_;
+  DbInstanceConfig config_;
+};
+
+}  // namespace vdb::exec
+
+#endif  // VDB_EXEC_DATABASE_H_

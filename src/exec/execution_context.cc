@@ -1,0 +1,71 @@
+#include "exec/execution_context.h"
+
+#include "storage/page.h"
+
+namespace vdb::exec {
+
+ExecutionContext::ExecutionContext(const sim::VirtualMachine* vm,
+                                   storage::BufferPool* pool,
+                                   uint64_t work_mem_bytes)
+    : vm_(vm), pool_(pool), work_mem_bytes_(work_mem_bytes) {
+  if (pool_ != nullptr) pool_->SetIoListener(this);
+}
+
+ExecutionContext::~ExecutionContext() {
+  if (pool_ != nullptr) pool_->SetIoListener(nullptr);
+}
+
+void ExecutionContext::ChargeCpu(double ops) {
+  if (ops <= 0.0) return;
+  total_cpu_ops_ += ops;
+  const double seconds = ops / vm_->EffectiveCpuOpsPerSec();
+  cpu_seconds_ += seconds;
+  clock_.Advance(seconds);
+}
+
+void ExecutionContext::OnPageRead(storage::AccessPattern pattern) {
+  ++physical_reads_;
+  const double seconds =
+      pattern == storage::AccessPattern::kSequential
+          ? vm_->SeqReadSecondsPerPage(storage::kPageSize)
+          : vm_->RandomReadSeconds();
+  io_seconds_ += seconds;
+  clock_.Advance(seconds);
+  // Hypervisor I/O path CPU tax, paid from the VM's CPU allocation.
+  ChargeCpu(vm_->IoCpuOpsPerPage());
+}
+
+void ExecutionContext::OnPageWrite() {
+  const double seconds = vm_->WriteSecondsPerPage(storage::kPageSize);
+  io_seconds_ += seconds;
+  clock_.Advance(seconds);
+  ChargeCpu(vm_->IoCpuOpsPerPage());
+}
+
+void ExecutionContext::ChargeSpillWrite(double pages) {
+  if (pages <= 0.0) return;
+  const double seconds =
+      pages * vm_->WriteSecondsPerPage(storage::kPageSize);
+  io_seconds_ += seconds;
+  clock_.Advance(seconds);
+  ChargeCpu(pages * vm_->IoCpuOpsPerPage());
+}
+
+void ExecutionContext::ChargeSpillRead(double pages) {
+  if (pages <= 0.0) return;
+  const double seconds =
+      pages * vm_->SeqReadSecondsPerPage(storage::kPageSize);
+  io_seconds_ += seconds;
+  clock_.Advance(seconds);
+  ChargeCpu(pages * vm_->IoCpuOpsPerPage());
+}
+
+void ExecutionContext::Reset() {
+  clock_.Reset();
+  cpu_seconds_ = 0.0;
+  io_seconds_ = 0.0;
+  total_cpu_ops_ = 0.0;
+  physical_reads_ = 0;
+}
+
+}  // namespace vdb::exec

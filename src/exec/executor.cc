@@ -1,0 +1,765 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "storage/page.h"
+#include "util/logging.h"
+
+namespace vdb::exec {
+
+namespace {
+
+using catalog::Tuple;
+using catalog::TypeId;
+using catalog::Value;
+using optimizer::PhysicalNode;
+using plan::BoundExpr;
+using plan::BoundExprPtr;
+using plan::EvaluatesToTrue;
+using plan::LogicalJoinType;
+using plan::OutputColumn;
+
+// Hashable key for grouping and hash joins: a vector of values. Grouping
+// treats NULLs as equal (SQL GROUP BY semantics); join-key NULLs are
+// filtered out before reaching the table.
+struct ValueKey {
+  std::vector<Value> values;
+
+  bool operator==(const ValueKey& other) const {
+    if (values.size() != other.values.size()) return false;
+    for (size_t i = 0; i < values.size(); ++i) {
+      const bool a_null = values[i].is_null();
+      const bool b_null = other.values[i].is_null();
+      if (a_null != b_null) return false;
+      if (a_null) continue;
+      if (Value::Compare(values[i], other.values[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+struct ValueKeyHash {
+  size_t operator()(const ValueKey& key) const {
+    size_t h = 14695981039346656037ULL;
+    for (const Value& v : key.values) {
+      h = (h ^ v.Hash()) * 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+double PagesFor(double bytes) {
+  return std::max(1.0,
+                  std::ceil(bytes / static_cast<double>(storage::kPageSize)));
+}
+
+// Three-way tuple comparison for ORDER BY (NULLS LAST on ascending keys).
+int CompareForSort(const Value& a, const Value& b, bool ascending) {
+  const bool a_null = a.is_null();
+  const bool b_null = b.is_null();
+  if (a_null && b_null) return 0;
+  if (a_null) return ascending ? 1 : -1;
+  if (b_null) return ascending ? -1 : 1;
+  const int cmp = Value::Compare(a, b);
+  return ascending ? cmp : -cmp;
+}
+
+// Evaluates each expression of `exprs` over `row`.
+std::vector<Value> EvalAll(const std::vector<BoundExprPtr>& exprs,
+                           const Tuple& row) {
+  std::vector<Value> out;
+  out.reserve(exprs.size());
+  for (const BoundExprPtr& expr : exprs) {
+    out.push_back(expr->Evaluate(row));
+  }
+  return out;
+}
+
+double TotalOps(const std::vector<BoundExprPtr>& exprs) {
+  double ops = 0;
+  for (const BoundExprPtr& expr : exprs) ops += expr->OpCount();
+  return ops;
+}
+
+// Running state of one aggregate within one group.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0.0;
+  bool sum_is_double = false;
+  Value min_value;
+  Value max_value;
+  bool has_min_max = false;
+  std::set<std::string> distinct_seen;
+
+  void Update(const plan::AggSpec& spec, const Value& v) {
+    if (spec.kind == plan::AggKind::kCountStar) {
+      ++count;
+      return;
+    }
+    if (v.is_null()) return;
+    if (spec.distinct) {
+      std::string key = std::to_string(static_cast<int>(v.type())) + ":" +
+                        v.ToString();
+      if (!distinct_seen.insert(std::move(key)).second) return;
+    }
+    ++count;
+    switch (spec.kind) {
+      case plan::AggKind::kSum:
+      case plan::AggKind::kAvg:
+        sum += v.AsDouble();
+        sum_is_double =
+            sum_is_double || v.type() == TypeId::kDouble;
+        break;
+      case plan::AggKind::kMin:
+        if (!has_min_max || Value::Compare(v, min_value) < 0) min_value = v;
+        if (!has_min_max || Value::Compare(v, max_value) > 0) max_value = v;
+        has_min_max = true;
+        break;
+      case plan::AggKind::kMax:
+        if (!has_min_max || Value::Compare(v, min_value) < 0) min_value = v;
+        if (!has_min_max || Value::Compare(v, max_value) > 0) max_value = v;
+        has_min_max = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  Value Finalize(const plan::AggSpec& spec) const {
+    switch (spec.kind) {
+      case plan::AggKind::kCountStar:
+      case plan::AggKind::kCount:
+        return Value::Int64(count);
+      case plan::AggKind::kSum:
+        if (count == 0) return Value::Null(spec.output_type);
+        if (spec.output_type == TypeId::kDouble || sum_is_double) {
+          return Value::Double(sum);
+        }
+        return Value::Int64(static_cast<int64_t>(sum));
+      case plan::AggKind::kAvg:
+        if (count == 0) return Value::Null(TypeId::kDouble);
+        return Value::Double(sum / static_cast<double>(count));
+      case plan::AggKind::kMin:
+        return has_min_max ? min_value : Value::Null(spec.output_type);
+      case plan::AggKind::kMax:
+        return has_min_max ? max_value : Value::Null(spec.output_type);
+    }
+    return Value::Null(spec.output_type);
+  }
+};
+
+Tuple ConcatRows(const Tuple& left, const Tuple& right) {
+  Tuple out;
+  out.reserve(left.size() + right.size());
+  out.insert(out.end(), left.begin(), left.end());
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+Tuple NullsFor(const std::vector<OutputColumn>& columns) {
+  Tuple out;
+  out.reserve(columns.size());
+  for (const OutputColumn& column : columns) {
+    out.push_back(Value::Null(column.type));
+  }
+  return out;
+}
+
+}  // namespace
+
+double ApproxTupleBytes(const Tuple& tuple) {
+  double bytes = 8.0;  // row header
+  for (const Value& v : tuple) {
+    if (!v.is_null() && v.type() == TypeId::kString) {
+      bytes += 13.0 + static_cast<double>(v.AsString().size());
+    } else {
+      bytes += 9.0;
+    }
+  }
+  return bytes;
+}
+
+Result<plan::BoundExprPtr> Executor::Resolve(
+    const BoundExpr& expr, const std::vector<OutputColumn>& input) {
+  BoundExprPtr clone = expr.Clone();
+  VDB_RETURN_NOT_OK(clone->ResolveSlots(plan::MakeLayout(input)));
+  return clone;
+}
+
+Result<std::vector<Tuple>> Executor::Run(const PhysicalNode& node) {
+  switch (node.op) {
+    case optimizer::PhysOp::kSeqScan:
+      return RunSeqScan(static_cast<const optimizer::PhysSeqScan&>(node));
+    case optimizer::PhysOp::kIndexScan:
+      return RunIndexScan(
+          static_cast<const optimizer::PhysIndexScan&>(node));
+    case optimizer::PhysOp::kFilter:
+      return RunFilter(static_cast<const optimizer::PhysFilter&>(node));
+    case optimizer::PhysOp::kProject:
+      return RunProject(static_cast<const optimizer::PhysProject&>(node));
+    case optimizer::PhysOp::kSort:
+      return RunSort(static_cast<const optimizer::PhysSort&>(node));
+    case optimizer::PhysOp::kTopN:
+      return RunTopN(static_cast<const optimizer::PhysTopN&>(node));
+    case optimizer::PhysOp::kLimit:
+      return RunLimit(static_cast<const optimizer::PhysLimit&>(node));
+    case optimizer::PhysOp::kHashJoin:
+      return RunHashJoin(static_cast<const optimizer::PhysHashJoin&>(node));
+    case optimizer::PhysOp::kMergeJoin:
+      return RunMergeJoin(
+          static_cast<const optimizer::PhysMergeJoin&>(node));
+    case optimizer::PhysOp::kNestedLoopJoin:
+      return RunNestedLoopJoin(
+          static_cast<const optimizer::PhysNestedLoopJoin&>(node));
+    case optimizer::PhysOp::kHashAggregate:
+      return RunHashAggregate(
+          static_cast<const optimizer::PhysHashAggregate&>(node));
+  }
+  return Status::Internal("unhandled physical operator");
+}
+
+Result<std::vector<Tuple>> Executor::RunSeqScan(
+    const optimizer::PhysSeqScan& scan) {
+  const CpuWorkModel& cpu = context_->cpu_model();
+  BoundExprPtr filter;
+  if (scan.filter != nullptr) {
+    VDB_ASSIGN_OR_RETURN(filter, Resolve(*scan.filter, scan.output));
+  }
+  const double filter_ops =
+      filter != nullptr ? filter->OpCount() : 0.0;
+  std::vector<Tuple> out;
+  for (auto it = scan.table->heap->Begin(); it.Valid(); it.Next()) {
+    context_->ChargeCpu(cpu.ops_per_tuple);
+    VDB_ASSIGN_OR_RETURN(
+        Tuple tuple,
+        catalog::DeserializeTuple(it.record(), scan.table->schema));
+    if (filter != nullptr) {
+      context_->ChargeCpu(filter_ops * cpu.ops_per_operator);
+      if (!EvaluatesToTrue(*filter, tuple)) continue;
+    }
+    out.push_back(std::move(tuple));
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> Executor::RunIndexScan(
+    const optimizer::PhysIndexScan& scan) {
+  const CpuWorkModel& cpu = context_->cpu_model();
+  BoundExprPtr residual;
+  if (scan.residual_filter != nullptr) {
+    VDB_ASSIGN_OR_RETURN(residual,
+                         Resolve(*scan.residual_filter, scan.output));
+  }
+  const double residual_ops =
+      residual != nullptr ? residual->OpCount() : 0.0;
+  std::vector<Tuple> out;
+  if (scan.has_lower && scan.has_upper && scan.lower > scan.upper) {
+    return out;
+  }
+  auto it = scan.has_lower ? scan.index->tree->SeekGE(scan.lower)
+                           : scan.index->tree->Begin();
+  for (; it.Valid(); it.Next()) {
+    if (scan.has_upper && it.key() > scan.upper) break;
+    context_->ChargeCpu(cpu.ops_per_index_entry);
+    const storage::RecordId rid = storage::RecordId::Unpack(it.value());
+    VDB_ASSIGN_OR_RETURN(
+        std::string record,
+        scan.table->heap->Get(rid, storage::AccessPattern::kRandom));
+    context_->ChargeCpu(cpu.ops_per_tuple);
+    VDB_ASSIGN_OR_RETURN(
+        Tuple tuple, catalog::DeserializeTuple(record, scan.table->schema));
+    if (residual != nullptr) {
+      context_->ChargeCpu(residual_ops * cpu.ops_per_operator);
+      if (!EvaluatesToTrue(*residual, tuple)) continue;
+    }
+    out.push_back(std::move(tuple));
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> Executor::RunFilter(
+    const optimizer::PhysFilter& filter) {
+  const CpuWorkModel& cpu = context_->cpu_model();
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> input, Run(*filter.children[0]));
+  VDB_ASSIGN_OR_RETURN(
+      BoundExprPtr condition,
+      Resolve(*filter.condition, filter.children[0]->output));
+  const double ops = condition->OpCount();
+  std::vector<Tuple> out;
+  for (Tuple& row : input) {
+    context_->ChargeCpu(ops * cpu.ops_per_operator);
+    if (EvaluatesToTrue(*condition, row)) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> Executor::RunProject(
+    const optimizer::PhysProject& project) {
+  const CpuWorkModel& cpu = context_->cpu_model();
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> input, Run(*project.children[0]));
+  std::vector<BoundExprPtr> exprs;
+  for (const BoundExprPtr& expr : project.exprs) {
+    VDB_ASSIGN_OR_RETURN(BoundExprPtr resolved,
+                         Resolve(*expr, project.children[0]->output));
+    exprs.push_back(std::move(resolved));
+  }
+  const double ops = TotalOps(exprs);
+  std::vector<Tuple> out;
+  out.reserve(input.size());
+  for (const Tuple& row : input) {
+    context_->ChargeCpu(cpu.ops_per_tuple + ops * cpu.ops_per_operator);
+    out.push_back(EvalAll(exprs, row));
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> Executor::RunSort(
+    const optimizer::PhysSort& sort) {
+  const CpuWorkModel& cpu = context_->cpu_model();
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> input, Run(*sort.children[0]));
+  std::vector<BoundExprPtr> keys;
+  std::vector<bool> ascending;
+  for (const optimizer::PhysSort::Key& key : sort.keys) {
+    VDB_ASSIGN_OR_RETURN(BoundExprPtr resolved,
+                         Resolve(*key.expr, sort.children[0]->output));
+    keys.push_back(std::move(resolved));
+    ascending.push_back(key.ascending);
+  }
+  // Precompute key vectors.
+  std::vector<std::vector<Value>> key_rows;
+  key_rows.reserve(input.size());
+  double bytes = 0.0;
+  for (const Tuple& row : input) {
+    key_rows.push_back(EvalAll(keys, row));
+    bytes += ApproxTupleBytes(row);
+  }
+  // Spill if the sort exceeds work_mem (one write + one read pass).
+  if (bytes > static_cast<double>(context_->work_mem_bytes())) {
+    const double pages = PagesFor(bytes);
+    context_->ChargeSpillWrite(pages);
+    context_->ChargeSpillRead(pages);
+  }
+  const double n = static_cast<double>(input.size());
+  context_->ChargeCpu(2.0 * n * std::log2(std::max(2.0, n)) *
+                      cpu.ops_per_comparison);
+  context_->ChargeCpu(n * cpu.ops_per_tuple);  // materialization
+
+  std::vector<size_t> order(input.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) {
+                     for (size_t k = 0; k < keys.size(); ++k) {
+                       const int cmp = CompareForSort(
+                           key_rows[a][k], key_rows[b][k], ascending[k]);
+                       if (cmp != 0) return cmp < 0;
+                     }
+                     return false;
+                   });
+  std::vector<Tuple> out;
+  out.reserve(input.size());
+  for (size_t index : order) out.push_back(std::move(input[index]));
+  return out;
+}
+
+Result<std::vector<Tuple>> Executor::RunTopN(
+    const optimizer::PhysTopN& top_n) {
+  const CpuWorkModel& cpu = context_->cpu_model();
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> input, Run(*top_n.children[0]));
+  std::vector<BoundExprPtr> keys;
+  std::vector<bool> ascending;
+  for (const optimizer::PhysSort::Key& key : top_n.keys) {
+    VDB_ASSIGN_OR_RETURN(BoundExprPtr resolved,
+                         Resolve(*key.expr, top_n.children[0]->output));
+    keys.push_back(std::move(resolved));
+    ascending.push_back(key.ascending);
+  }
+  const size_t k = static_cast<size_t>(top_n.limit);
+  // (key vector, input index) entries; `worse` orders the heap so that
+  // the WORST retained row is at the front, ready for replacement.
+  struct Entry {
+    std::vector<Value> key;
+    size_t index;
+  };
+  auto worse = [&](const Entry& a, const Entry& b) {
+    for (size_t i = 0; i < ascending.size(); ++i) {
+      const int cmp = CompareForSort(a.key[i], b.key[i], ascending[i]);
+      if (cmp != 0) return cmp < 0;  // "less" = better; heap keeps worst up
+    }
+    return a.index < b.index;  // stable tie-break: later rows are "worse"
+  };
+  std::vector<Entry> heap;
+  heap.reserve(k + 1);
+  const double n = static_cast<double>(input.size());
+  context_->ChargeCpu(2.0 * n *
+                      std::log2(std::max<double>(2.0, static_cast<double>(
+                                                          std::max<size_t>(
+                                                              k, 2)))) *
+                      cpu.ops_per_comparison);
+  for (size_t i = 0; i < input.size(); ++i) {
+    Entry entry{EvalAll(keys, input[i]), i};
+    if (heap.size() < k) {
+      heap.push_back(std::move(entry));
+      std::push_heap(heap.begin(), heap.end(), worse);
+    } else if (k > 0 && worse(entry, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), worse);
+      heap.back() = std::move(entry);
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), worse);
+  context_->ChargeCpu(static_cast<double>(heap.size()) * cpu.ops_per_tuple);
+  std::vector<Tuple> out;
+  out.reserve(heap.size());
+  for (const Entry& entry : heap) {
+    out.push_back(std::move(input[entry.index]));
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> Executor::RunLimit(
+    const optimizer::PhysLimit& limit) {
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> input, Run(*limit.children[0]));
+  if (static_cast<int64_t>(input.size()) > limit.limit) {
+    input.resize(static_cast<size_t>(limit.limit));
+  }
+  return input;
+}
+
+Result<std::vector<Tuple>> Executor::RunHashJoin(
+    const optimizer::PhysHashJoin& join) {
+  const CpuWorkModel& cpu = context_->cpu_model();
+  const PhysicalNode& left_child = *join.children[0];
+  const PhysicalNode& right_child = *join.children[1];
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> left_rows, Run(left_child));
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> right_rows, Run(right_child));
+
+  std::vector<BoundExprPtr> left_keys;
+  std::vector<BoundExprPtr> right_keys;
+  for (const BoundExprPtr& key : join.left_keys) {
+    VDB_ASSIGN_OR_RETURN(BoundExprPtr resolved,
+                         Resolve(*key, left_child.output));
+    left_keys.push_back(std::move(resolved));
+  }
+  for (const BoundExprPtr& key : join.right_keys) {
+    VDB_ASSIGN_OR_RETURN(BoundExprPtr resolved,
+                         Resolve(*key, right_child.output));
+    right_keys.push_back(std::move(resolved));
+  }
+  BoundExprPtr residual;
+  std::vector<OutputColumn> combined = left_child.output;
+  combined.insert(combined.end(), right_child.output.begin(),
+                  right_child.output.end());
+  if (join.residual != nullptr) {
+    VDB_ASSIGN_OR_RETURN(residual, Resolve(*join.residual, combined));
+  }
+  const double residual_ops =
+      residual != nullptr ? residual->OpCount() : 0.0;
+
+  // Build side: right input.
+  std::unordered_map<ValueKey, std::vector<const Tuple*>, ValueKeyHash>
+      table;
+  double build_bytes = 0.0;
+  for (const Tuple& row : right_rows) {
+    context_->ChargeCpu(cpu.ops_per_hash + cpu.ops_per_tuple);
+    build_bytes += ApproxTupleBytes(row);
+    ValueKey key{EvalAll(right_keys, row)};
+    bool has_null = false;
+    for (const Value& v : key.values) has_null = has_null || v.is_null();
+    if (has_null) continue;  // NULL keys never join
+    table[std::move(key)].push_back(&row);
+  }
+  if (build_bytes > static_cast<double>(context_->work_mem_bytes())) {
+    // Grace hash join: both sides spilled and re-read once.
+    double probe_bytes = 0.0;
+    for (const Tuple& row : left_rows) probe_bytes += ApproxTupleBytes(row);
+    const double pages = PagesFor(build_bytes) + PagesFor(probe_bytes);
+    context_->ChargeSpillWrite(pages);
+    context_->ChargeSpillRead(pages);
+  }
+
+  std::vector<Tuple> out;
+  for (const Tuple& left_row : left_rows) {
+    context_->ChargeCpu(cpu.ops_per_hash);
+    ValueKey key{EvalAll(left_keys, left_row)};
+    bool has_null = false;
+    for (const Value& v : key.values) has_null = has_null || v.is_null();
+    bool matched = false;
+    if (!has_null) {
+      auto it = table.find(key);
+      if (it != table.end()) {
+        for (const Tuple* right_row : it->second) {
+          context_->ChargeCpu(cpu.ops_per_comparison +
+                              residual_ops * cpu.ops_per_operator);
+          bool passes = true;
+          Tuple combined_row;
+          if (residual != nullptr ||
+              join.join_type == LogicalJoinType::kInner ||
+              join.join_type == LogicalJoinType::kLeft) {
+            combined_row = ConcatRows(left_row, *right_row);
+          }
+          if (residual != nullptr) {
+            passes = EvaluatesToTrue(*residual, combined_row);
+          }
+          if (!passes) continue;
+          matched = true;
+          if (join.join_type == LogicalJoinType::kInner ||
+              join.join_type == LogicalJoinType::kLeft) {
+            context_->ChargeCpu(cpu.ops_per_tuple);
+            out.push_back(std::move(combined_row));
+          } else if (join.join_type == LogicalJoinType::kSemi) {
+            break;  // one match is enough
+          } else if (join.join_type == LogicalJoinType::kAnti) {
+            break;
+          }
+        }
+      }
+    }
+    switch (join.join_type) {
+      case LogicalJoinType::kLeft:
+        if (!matched) {
+          context_->ChargeCpu(cpu.ops_per_tuple);
+          out.push_back(
+              ConcatRows(left_row, NullsFor(right_child.output)));
+        }
+        break;
+      case LogicalJoinType::kSemi:
+        if (matched) {
+          context_->ChargeCpu(cpu.ops_per_tuple);
+          out.push_back(left_row);
+        }
+        break;
+      case LogicalJoinType::kAnti:
+        if (!matched) {
+          context_->ChargeCpu(cpu.ops_per_tuple);
+          out.push_back(left_row);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> Executor::RunMergeJoin(
+    const optimizer::PhysMergeJoin& join) {
+  const CpuWorkModel& cpu = context_->cpu_model();
+  const PhysicalNode& left_child = *join.children[0];
+  const PhysicalNode& right_child = *join.children[1];
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> left_rows, Run(left_child));
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> right_rows, Run(right_child));
+  // Children are Sort nodes planted by the optimizer, so inputs arrive in
+  // key order; re-evaluate keys for the merge.
+  VDB_ASSIGN_OR_RETURN(BoundExprPtr left_key,
+                       Resolve(*join.left_key, left_child.output));
+  VDB_ASSIGN_OR_RETURN(BoundExprPtr right_key,
+                       Resolve(*join.right_key, right_child.output));
+  BoundExprPtr residual;
+  std::vector<OutputColumn> combined = left_child.output;
+  combined.insert(combined.end(), right_child.output.begin(),
+                  right_child.output.end());
+  if (join.residual != nullptr) {
+    VDB_ASSIGN_OR_RETURN(residual, Resolve(*join.residual, combined));
+  }
+  const double residual_ops =
+      residual != nullptr ? residual->OpCount() : 0.0;
+
+  std::vector<Value> left_values;
+  left_values.reserve(left_rows.size());
+  for (const Tuple& row : left_rows) {
+    left_values.push_back(left_key->Evaluate(row));
+  }
+  std::vector<Value> right_values;
+  right_values.reserve(right_rows.size());
+  for (const Tuple& row : right_rows) {
+    right_values.push_back(right_key->Evaluate(row));
+  }
+
+  std::vector<Tuple> out;
+  size_t li = 0;
+  size_t ri = 0;
+  while (li < left_rows.size() && ri < right_rows.size()) {
+    context_->ChargeCpu(cpu.ops_per_comparison);
+    if (left_values[li].is_null()) {
+      ++li;  // NULL keys never join (sorted last)
+      continue;
+    }
+    if (right_values[ri].is_null()) {
+      ++ri;
+      continue;
+    }
+    const int cmp = Value::Compare(left_values[li], right_values[ri]);
+    if (cmp < 0) {
+      ++li;
+      continue;
+    }
+    if (cmp > 0) {
+      ++ri;
+      continue;
+    }
+    // Key group: [ri, rj) on the right with equal keys.
+    size_t rj = ri;
+    while (rj < right_rows.size() && !right_values[rj].is_null() &&
+           Value::Compare(left_values[li], right_values[rj]) == 0) {
+      ++rj;
+    }
+    while (li < left_rows.size() && !left_values[li].is_null() &&
+           Value::Compare(left_values[li], right_values[ri]) == 0) {
+      for (size_t r = ri; r < rj; ++r) {
+        context_->ChargeCpu(cpu.ops_per_comparison +
+                            residual_ops * cpu.ops_per_operator);
+        Tuple combined_row = ConcatRows(left_rows[li], right_rows[r]);
+        if (residual != nullptr &&
+            !EvaluatesToTrue(*residual, combined_row)) {
+          continue;
+        }
+        context_->ChargeCpu(cpu.ops_per_tuple);
+        out.push_back(std::move(combined_row));
+      }
+      ++li;
+    }
+    ri = rj;
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> Executor::RunNestedLoopJoin(
+    const optimizer::PhysNestedLoopJoin& join) {
+  const CpuWorkModel& cpu = context_->cpu_model();
+  const PhysicalNode& left_child = *join.children[0];
+  const PhysicalNode& right_child = *join.children[1];
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> left_rows, Run(left_child));
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> right_rows, Run(right_child));
+
+  BoundExprPtr condition;
+  std::vector<OutputColumn> combined = left_child.output;
+  combined.insert(combined.end(), right_child.output.begin(),
+                  right_child.output.end());
+  if (join.condition != nullptr) {
+    VDB_ASSIGN_OR_RETURN(condition, Resolve(*join.condition, combined));
+  }
+  const double cond_ops =
+      condition != nullptr ? condition->OpCount() : 0.0;
+
+  // The materialized inner may exceed work_mem: write once, then re-read
+  // per outer pass.
+  double inner_bytes = 0.0;
+  for (const Tuple& row : right_rows) inner_bytes += ApproxTupleBytes(row);
+  const bool spilled =
+      inner_bytes > static_cast<double>(context_->work_mem_bytes());
+  const double inner_pages = PagesFor(inner_bytes);
+  if (spilled) context_->ChargeSpillWrite(inner_pages);
+
+  std::vector<Tuple> out;
+  for (const Tuple& left_row : left_rows) {
+    if (spilled) context_->ChargeSpillRead(inner_pages);
+    bool matched = false;
+    for (const Tuple& right_row : right_rows) {
+      context_->ChargeCpu(cpu.ops_per_tuple +
+                          cond_ops * cpu.ops_per_operator);
+      Tuple combined_row = ConcatRows(left_row, right_row);
+      if (condition != nullptr &&
+          !EvaluatesToTrue(*condition, combined_row)) {
+        continue;
+      }
+      matched = true;
+      if (join.join_type == LogicalJoinType::kInner ||
+          join.join_type == LogicalJoinType::kCross ||
+          join.join_type == LogicalJoinType::kLeft) {
+        out.push_back(std::move(combined_row));
+      } else {
+        break;  // semi/anti need only existence
+      }
+    }
+    switch (join.join_type) {
+      case LogicalJoinType::kLeft:
+        if (!matched) {
+          out.push_back(
+              ConcatRows(left_row, NullsFor(right_child.output)));
+        }
+        break;
+      case LogicalJoinType::kSemi:
+        if (matched) out.push_back(left_row);
+        break;
+      case LogicalJoinType::kAnti:
+        if (!matched) out.push_back(left_row);
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> Executor::RunHashAggregate(
+    const optimizer::PhysHashAggregate& aggregate) {
+  const CpuWorkModel& cpu = context_->cpu_model();
+  const PhysicalNode& child = *aggregate.children[0];
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> input, Run(child));
+
+  std::vector<BoundExprPtr> group_exprs;
+  for (const BoundExprPtr& expr : aggregate.group_exprs) {
+    VDB_ASSIGN_OR_RETURN(BoundExprPtr resolved,
+                         Resolve(*expr, child.output));
+    group_exprs.push_back(std::move(resolved));
+  }
+  std::vector<plan::AggSpec> aggs;
+  for (const plan::AggSpec& spec : aggregate.aggs) {
+    plan::AggSpec resolved = spec.Clone();
+    if (resolved.arg != nullptr) {
+      VDB_RETURN_NOT_OK(
+          resolved.arg->ResolveSlots(plan::MakeLayout(child.output)));
+    }
+    aggs.push_back(std::move(resolved));
+  }
+  const double group_ops = TotalOps(group_exprs);
+  double agg_ops = 0.0;
+  for (const plan::AggSpec& spec : aggs) {
+    agg_ops += 1.0 + (spec.arg != nullptr ? spec.arg->OpCount() : 0);
+  }
+
+  std::unordered_map<ValueKey, std::vector<AggState>, ValueKeyHash> groups;
+  std::vector<ValueKey> group_order;
+  for (const Tuple& row : input) {
+    context_->ChargeCpu(cpu.ops_per_tuple + cpu.ops_per_hash +
+                        (group_ops + agg_ops) * cpu.ops_per_operator);
+    ValueKey key{EvalAll(group_exprs, row)};
+    auto [it, inserted] =
+        groups.try_emplace(key, std::vector<AggState>(aggs.size()));
+    if (inserted) group_order.push_back(key);
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const plan::AggSpec& spec = aggs[a];
+      Value v;
+      if (spec.arg != nullptr) v = spec.arg->Evaluate(row);
+      it->second[a].Update(spec, v);
+    }
+  }
+
+  std::vector<Tuple> out;
+  if (groups.empty() && group_exprs.empty()) {
+    // Global aggregate over zero rows yields one row of initial values.
+    Tuple row;
+    for (const plan::AggSpec& spec : aggs) {
+      row.push_back(AggState().Finalize(spec));
+    }
+    context_->ChargeCpu(cpu.ops_per_tuple);
+    out.push_back(std::move(row));
+    return out;
+  }
+  out.reserve(groups.size());
+  for (const ValueKey& key : group_order) {
+    context_->ChargeCpu(cpu.ops_per_tuple);
+    Tuple row = key.values;
+    const std::vector<AggState>& states = groups[key];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      row.push_back(states[a].Finalize(aggs[a]));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace vdb::exec

@@ -1,0 +1,70 @@
+#ifndef VDB_EXEC_EXECUTOR_H_
+#define VDB_EXEC_EXECUTOR_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "exec/execution_context.h"
+#include "optimizer/physical.h"
+#include "util/result.h"
+
+namespace vdb::exec {
+
+/// Executes physical plans against the storage engine, charging simulated
+/// CPU and I/O time to the ExecutionContext's virtual machine.
+///
+/// Operators materialize their outputs (the plans the paper's experiments
+/// run are analytic queries whose intermediate results fit comfortably in
+/// host memory); *simulated* memory pressure is still modeled faithfully —
+/// sorts, hash tables, and nested-loop inners that exceed the instance's
+/// work_mem charge spill I/O exactly as the optimizer's cost model assumes.
+class Executor {
+ public:
+  explicit Executor(ExecutionContext* context) : context_(context) {}
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Runs the plan to completion and returns the result rows (in the
+  /// plan root's output-column order).
+  Result<std::vector<catalog::Tuple>> Run(
+      const optimizer::PhysicalNode& node);
+
+ private:
+  Result<std::vector<catalog::Tuple>> RunSeqScan(
+      const optimizer::PhysSeqScan& scan);
+  Result<std::vector<catalog::Tuple>> RunIndexScan(
+      const optimizer::PhysIndexScan& scan);
+  Result<std::vector<catalog::Tuple>> RunFilter(
+      const optimizer::PhysFilter& filter);
+  Result<std::vector<catalog::Tuple>> RunProject(
+      const optimizer::PhysProject& project);
+  Result<std::vector<catalog::Tuple>> RunSort(
+      const optimizer::PhysSort& sort);
+  Result<std::vector<catalog::Tuple>> RunTopN(
+      const optimizer::PhysTopN& top_n);
+  Result<std::vector<catalog::Tuple>> RunLimit(
+      const optimizer::PhysLimit& limit);
+  Result<std::vector<catalog::Tuple>> RunHashJoin(
+      const optimizer::PhysHashJoin& join);
+  Result<std::vector<catalog::Tuple>> RunMergeJoin(
+      const optimizer::PhysMergeJoin& join);
+  Result<std::vector<catalog::Tuple>> RunNestedLoopJoin(
+      const optimizer::PhysNestedLoopJoin& join);
+  Result<std::vector<catalog::Tuple>> RunHashAggregate(
+      const optimizer::PhysHashAggregate& aggregate);
+
+  // Clones `expr` and resolves its column slots against `input`.
+  Result<plan::BoundExprPtr> Resolve(
+      const plan::BoundExpr& expr,
+      const std::vector<plan::OutputColumn>& input);
+
+  ExecutionContext* context_;
+};
+
+/// Approximate in-memory byte size of a tuple (for spill decisions).
+double ApproxTupleBytes(const catalog::Tuple& tuple);
+
+}  // namespace vdb::exec
+
+#endif  // VDB_EXEC_EXECUTOR_H_

@@ -1,0 +1,83 @@
+#ifndef VDB_OPTIMIZER_COST_MODEL_H_
+#define VDB_OPTIMIZER_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "optimizer/params.h"
+
+namespace vdb::optimizer {
+
+/// PostgreSQL-style analytic cost formulas, parameterized by the paper's
+/// `P` (OptimizerParams). Each method returns the *work vector* of one
+/// operator given input estimates; pricing work under P yields estimated
+/// milliseconds. Keeping work and price separate is what lets calibration
+/// solve for P from measured times.
+class CostModel {
+ public:
+  explicit CostModel(const OptimizerParams& params) : params_(params) {}
+
+  const OptimizerParams& params() const { return params_; }
+
+  double Price(const WorkVector& work) const { return work.Cost(params_); }
+
+  /// Full scan of `pages` pages / `rows` rows, evaluating a filter of
+  /// `filter_ops` operators per row.
+  WorkVector SeqScan(double pages, double rows, double filter_ops) const;
+
+  /// B+-tree range scan: descend `height` levels, read `leaf_pages` leaf
+  /// pages, touch `entries` index entries, then fetch `entries` heap rows
+  /// from a table of `table_pages` pages and evaluate `residual_ops` per
+  /// fetched row. Heap page fetches use a Cardenas estimate discounted by
+  /// effective_cache_size (Mackert-Lohman flavor).
+  WorkVector IndexScan(double height, double leaf_pages, double entries,
+                       double table_pages, double residual_ops) const;
+
+  /// Number of distinct heap pages the optimizer expects an index scan to
+  /// fetch, including cache-miss refetches when the working set exceeds
+  /// effective_cache_size. Exposed for tests.
+  double IndexHeapPages(double entries, double table_pages) const;
+
+  /// Filter over `rows` input rows with `ops` operators per row.
+  WorkVector Filter(double rows, double ops) const;
+
+  /// Projection of `rows` rows computing `ops` operators per row.
+  WorkVector Project(double rows, double ops) const;
+
+  /// Sort of `rows` rows of `width` bytes; spills to disk beyond work_mem.
+  WorkVector Sort(double rows, double width) const;
+
+  /// Top-k selection over `rows` input rows keeping `k` of `width` bytes
+  /// (bounded heap; never spills because k*width must fit work_mem, which
+  /// the optimizer checks before choosing it).
+  WorkVector TopN(double rows, double k) const;
+
+  /// Hash join probing `probe_rows` against a build side of `build_rows`
+  /// rows x `build_width` bytes, producing `output_rows`, with
+  /// `residual_ops` per candidate match. Spills (Grace-style) beyond
+  /// work_mem.
+  WorkVector HashJoin(double probe_rows, double probe_width,
+                      double build_rows, double build_width,
+                      double output_rows, double residual_ops) const;
+
+  /// Nested-loop join with the inner side materialized: `outer_rows`
+  /// passes over `inner_rows` rows of `inner_width` bytes, `cond_ops` per
+  /// pair. Re-reads the inner from disk each pass if it exceeds work_mem.
+  WorkVector NestedLoopJoin(double outer_rows, double inner_rows,
+                            double inner_width, double cond_ops) const;
+
+  /// Merge step of a merge join (children already sorted).
+  WorkVector MergeStep(double left_rows, double right_rows,
+                       double output_rows, double residual_ops) const;
+
+  /// Hash aggregation of `rows` input rows into `groups` groups with
+  /// `group_ops` operators per row; `agg_ops` aggregate updates per row.
+  WorkVector HashAggregate(double rows, double groups, double group_ops,
+                           double agg_ops, double group_width) const;
+
+ private:
+  OptimizerParams params_;
+};
+
+}  // namespace vdb::optimizer
+
+#endif  // VDB_OPTIMIZER_COST_MODEL_H_

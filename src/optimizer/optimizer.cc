@@ -1,0 +1,967 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "plan/rewriter.h"
+#include "storage/page.h"
+#include "util/logging.h"
+
+namespace vdb::optimizer {
+
+namespace {
+
+using plan::BoundExpr;
+using plan::BoundExprKind;
+using plan::BoundExprPtr;
+using plan::ColumnId;
+using plan::LogicalJoinType;
+using plan::LogicalNode;
+using plan::LogicalOp;
+using plan::OutputColumn;
+
+bool IsInnerJoinNode(const LogicalNode& node) {
+  if (node.op != LogicalOp::kJoin) return false;
+  const auto& join = static_cast<const plan::LogicalJoin&>(node);
+  return join.join_type == LogicalJoinType::kInner ||
+         join.join_type == LogicalJoinType::kCross;
+}
+
+// Collects the leaves and connecting predicates of a maximal inner-join
+// region rooted at `node`.
+void CollectJoinBlock(const LogicalNode& node,
+                      std::vector<const LogicalNode*>* leaves,
+                      std::vector<BoundExprPtr>* predicates) {
+  if (IsInnerJoinNode(node)) {
+    const auto& join = static_cast<const plan::LogicalJoin&>(node);
+    CollectJoinBlock(*node.children[0], leaves, predicates);
+    CollectJoinBlock(*node.children[1], leaves, predicates);
+    if (join.condition != nullptr) {
+      for (BoundExprPtr& conjunct :
+           plan::SplitBoundConjuncts(*join.condition)) {
+        predicates->push_back(std::move(conjunct));
+      }
+    }
+    return;
+  }
+  leaves->push_back(&node);
+}
+
+bool ColumnsCoveredBy(const std::vector<ColumnId>& needed,
+                      const std::vector<OutputColumn>& have) {
+  for (const ColumnId& id : needed) {
+    bool found = false;
+    for (const OutputColumn& column : have) {
+      if (column.id == id) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool ExprCoveredBy(const BoundExpr& expr,
+                   const std::vector<OutputColumn>& have) {
+  std::vector<ColumnId> needed;
+  expr.CollectColumns(&needed);
+  return ColumnsCoveredBy(needed, have);
+}
+
+// An equi-join key pair extracted from `col_a = col_b`.
+struct EquiKey {
+  BoundExprPtr left;   // over the left input
+  BoundExprPtr right;  // over the right input
+};
+
+// Splits `predicates` into equi-key pairs (column = column across the two
+// inputs) and a residual conjunction.
+void ExtractEquiKeys(const std::vector<const BoundExpr*>& predicates,
+                     const std::vector<OutputColumn>& left,
+                     const std::vector<OutputColumn>& right,
+                     std::vector<EquiKey>* keys, BoundExprPtr* residual) {
+  for (const BoundExpr* predicate : predicates) {
+    bool is_key = false;
+    if (predicate->kind() == BoundExprKind::kBinary) {
+      const auto& binary =
+          static_cast<const plan::BinaryBoundExpr&>(*predicate);
+      if (binary.op() == sql::BinaryOp::kEq &&
+          binary.left().kind() == BoundExprKind::kColumn &&
+          binary.right().kind() == BoundExprKind::kColumn) {
+        const bool lr = ExprCoveredBy(binary.left(), left) &&
+                        ExprCoveredBy(binary.right(), right);
+        const bool rl = ExprCoveredBy(binary.left(), right) &&
+                        ExprCoveredBy(binary.right(), left);
+        if (lr || rl) {
+          EquiKey key;
+          key.left = (lr ? binary.left() : binary.right()).Clone();
+          key.right = (lr ? binary.right() : binary.left()).Clone();
+          keys->push_back(std::move(key));
+          is_key = true;
+        }
+      }
+    }
+    if (!is_key) {
+      *residual = plan::AndExprs(std::move(*residual), predicate->Clone());
+    }
+  }
+}
+
+int OpsOf(const BoundExpr* expr) {
+  return expr == nullptr ? 0 : expr->OpCount();
+}
+
+// Join method alternatives considered by ChooseJoinMethod.
+enum class JoinMethod { kHash, kHashSwapped, kMerge, kNl, kNlSwapped };
+
+struct SideStats {
+  double rows = 0;
+  double width = 8;
+};
+
+struct JoinChoice {
+  JoinMethod method = JoinMethod::kNl;
+  double work_cost = 0.0;  // priced cost of the join step itself
+};
+
+// Picks the cheapest join implementation for an inner join. Deterministic,
+// so the join-order DP (cost-only) and plan reconstruction agree.
+JoinChoice ChooseInnerJoinMethod(const CostModel& model,
+                                 const SideStats& left,
+                                 const SideStats& right, size_t num_keys,
+                                 double residual_ops, double output_rows) {
+  JoinChoice best;
+  bool first = true;
+  auto consider = [&](JoinMethod method, const WorkVector& work) {
+    const double cost = model.Price(work);
+    if (first || cost < best.work_cost) {
+      best.method = method;
+      best.work_cost = cost;
+      first = false;
+    }
+  };
+  if (num_keys > 0) {
+    consider(JoinMethod::kHash,
+             model.HashJoin(left.rows, left.width, right.rows, right.width,
+                            output_rows, residual_ops));
+    consider(JoinMethod::kHashSwapped,
+             model.HashJoin(right.rows, right.width, left.rows, left.width,
+                            output_rows, residual_ops));
+    WorkVector merge = model.Sort(left.rows, left.width);
+    merge += model.Sort(right.rows, right.width);
+    merge += model.MergeStep(left.rows, right.rows, output_rows,
+                             residual_ops);
+    consider(JoinMethod::kMerge, merge);
+  }
+  const double cond_ops = residual_ops + 2.0 * static_cast<double>(num_keys);
+  consider(JoinMethod::kNl, model.NestedLoopJoin(left.rows, right.rows,
+                                                 right.width, cond_ops));
+  consider(JoinMethod::kNlSwapped,
+           model.NestedLoopJoin(right.rows, left.rows, left.width,
+                                cond_ops));
+  return best;
+}
+
+uint32_t Popcount(uint32_t v) { return static_cast<uint32_t>(__builtin_popcount(v)); }
+
+}  // namespace
+
+Result<PhysicalNodePtr> Optimizer::Optimize(const LogicalNode& logical) {
+  stats_ = StatsRegistry();
+  stats_.RegisterPlan(logical);
+  return Translate(logical);
+}
+
+double Optimizer::WidthOf(const std::vector<OutputColumn>& columns) const {
+  double width = 0.0;
+  for (const OutputColumn& column : columns) {
+    const catalog::ColumnStats* cs = stats_.Lookup(column.id);
+    if (cs != nullptr && cs->non_null_count > 0) {
+      width += cs->avg_width + 1;
+    } else if (column.type == catalog::TypeId::kString) {
+      width += 21;
+    } else {
+      width += 9;
+    }
+  }
+  return std::max(width, 8.0);
+}
+
+Result<PhysicalNodePtr> Optimizer::Translate(const LogicalNode& node) {
+  switch (node.op) {
+    case LogicalOp::kGet:
+      return TranslateScan(static_cast<const plan::LogicalGet&>(node),
+                           nullptr);
+    case LogicalOp::kFilter: {
+      const auto& filter = static_cast<const plan::LogicalFilter&>(node);
+      if (filter.children[0]->op == LogicalOp::kGet) {
+        return TranslateScan(
+            static_cast<const plan::LogicalGet&>(*filter.children[0]),
+            filter.condition.get());
+      }
+      VDB_ASSIGN_OR_RETURN(PhysicalNodePtr child,
+                           Translate(*filter.children[0]));
+      auto phys = std::make_unique<PhysFilter>();
+      phys->condition = filter.condition->Clone();
+      phys->output = child->output;
+      const double selectivity =
+          EstimateSelectivity(*filter.condition, stats_);
+      phys->estimated_rows =
+          std::max(child->estimated_rows * selectivity, 0.0);
+      phys->estimated_width = child->estimated_width;
+      phys->self_work = cost_model_.Filter(child->estimated_rows,
+                                           filter.condition->OpCount());
+      phys->total_cost_ms =
+          child->total_cost_ms + cost_model_.Price(phys->self_work);
+      phys->children.push_back(std::move(child));
+      return PhysicalNodePtr(std::move(phys));
+    }
+    case LogicalOp::kJoin: {
+      const auto& join = static_cast<const plan::LogicalJoin&>(node);
+      if (IsInnerJoinNode(node)) return TranslateJoinBlock(node);
+      return TranslateSpecialJoin(join);
+    }
+    case LogicalOp::kProject: {
+      const auto& project = static_cast<const plan::LogicalProject&>(node);
+      VDB_ASSIGN_OR_RETURN(PhysicalNodePtr child,
+                           Translate(*project.children[0]));
+      auto phys = std::make_unique<PhysProject>();
+      double ops = 0.0;
+      for (const BoundExprPtr& expr : project.exprs) {
+        phys->exprs.push_back(expr->Clone());
+        ops += expr->OpCount();
+      }
+      phys->output = project.output;
+      phys->estimated_rows = child->estimated_rows;
+      phys->estimated_width = WidthOf(project.output);
+      phys->self_work = cost_model_.Project(child->estimated_rows, ops);
+      phys->total_cost_ms =
+          child->total_cost_ms + cost_model_.Price(phys->self_work);
+      phys->children.push_back(std::move(child));
+      return PhysicalNodePtr(std::move(phys));
+    }
+    case LogicalOp::kAggregate:
+      return TranslateAggregate(
+          static_cast<const plan::LogicalAggregate&>(node));
+    case LogicalOp::kSort:
+      return TranslateSort(static_cast<const plan::LogicalSort&>(node));
+    case LogicalOp::kLimit: {
+      const auto& limit = static_cast<const plan::LogicalLimit&>(node);
+      // Fuse ORDER BY + LIMIT into TopN when the retained rows fit in
+      // work_mem (a bounded heap beats sorting the full input). The sort
+      // may sit directly below the limit, or below a projection
+      // (planner shape for plain queries: Limit > Project > Sort).
+      const plan::LogicalProject* projection = nullptr;
+      const plan::LogicalSort* sort_node = nullptr;
+      if (limit.children[0]->op == LogicalOp::kSort) {
+        sort_node =
+            static_cast<const plan::LogicalSort*>(limit.children[0].get());
+      } else if (limit.children[0]->op == LogicalOp::kProject &&
+                 limit.children[0]->children[0]->op == LogicalOp::kSort) {
+        projection = static_cast<const plan::LogicalProject*>(
+            limit.children[0].get());
+        sort_node = static_cast<const plan::LogicalSort*>(
+            projection->children[0].get());
+      }
+      if (sort_node != nullptr && limit.limit > 0) {
+        const auto& sort = *sort_node;
+        VDB_ASSIGN_OR_RETURN(PhysicalNodePtr child,
+                             Translate(*sort.children[0]));
+        const double kept_bytes =
+            static_cast<double>(limit.limit) * child->estimated_width;
+        if (kept_bytes <=
+            static_cast<double>(cost_model_.params().work_mem_bytes)) {
+          auto top_n = std::make_unique<PhysTopN>();
+          for (const plan::SortKey& key : sort.keys) {
+            PhysSort::Key sort_key;
+            sort_key.expr = key.expr->Clone();
+            sort_key.ascending = key.ascending;
+            top_n->keys.push_back(std::move(sort_key));
+          }
+          top_n->limit = limit.limit;
+          // Pass-through: keep the physical child's column order.
+          top_n->output = child->output;
+          top_n->estimated_rows = std::min<double>(
+              child->estimated_rows, static_cast<double>(limit.limit));
+          top_n->estimated_width = child->estimated_width;
+          top_n->self_work = cost_model_.TopN(
+              child->estimated_rows, static_cast<double>(limit.limit));
+          top_n->total_cost_ms =
+              child->total_cost_ms + cost_model_.Price(top_n->self_work);
+          top_n->children.push_back(std::move(child));
+          if (projection == nullptr) {
+            return PhysicalNodePtr(std::move(top_n));
+          }
+          // Re-apply the projection on top of the (small) TopN result.
+          auto project = std::make_unique<PhysProject>();
+          double ops = 0.0;
+          for (const BoundExprPtr& expr : projection->exprs) {
+            project->exprs.push_back(expr->Clone());
+            ops += expr->OpCount();
+          }
+          project->output = projection->output;
+          project->estimated_rows = top_n->estimated_rows;
+          project->estimated_width = WidthOf(projection->output);
+          project->self_work =
+              cost_model_.Project(top_n->estimated_rows, ops);
+          project->total_cost_ms = top_n->total_cost_ms +
+                                   cost_model_.Price(project->self_work);
+          project->children.push_back(std::move(top_n));
+          return PhysicalNodePtr(std::move(project));
+        }
+        // Falls through: plan the sort normally below.
+      }
+      VDB_ASSIGN_OR_RETURN(PhysicalNodePtr child,
+                           Translate(*limit.children[0]));
+      auto phys = std::make_unique<PhysLimit>();
+      phys->limit = limit.limit;
+      phys->output = child->output;
+      phys->estimated_rows = std::min<double>(
+          child->estimated_rows, static_cast<double>(limit.limit));
+      phys->estimated_width = child->estimated_width;
+      phys->total_cost_ms = child->total_cost_ms;
+      phys->children.push_back(std::move(child));
+      return PhysicalNodePtr(std::move(phys));
+    }
+  }
+  return Status::Internal("unhandled logical operator");
+}
+
+Result<PhysicalNodePtr> Optimizer::TranslateScan(
+    const plan::LogicalGet& get, const BoundExpr* filter) {
+  catalog::TableInfo* table = get.table;
+  const double table_rows =
+      table->stats.Analyzed()
+          ? static_cast<double>(table->stats.row_count)
+          : static_cast<double>(table->heap->NumRecords());
+  const double table_pages = std::max<double>(
+      1.0, static_cast<double>(table->heap->NumPages()));
+  const double selectivity =
+      filter != nullptr ? EstimateSelectivity(*filter, stats_) : 1.0;
+  const double out_rows = std::max(table_rows * selectivity, 0.0);
+  const double width = WidthOf(get.output);
+
+  // Baseline: sequential scan.
+  auto seq = std::make_unique<PhysSeqScan>();
+  seq->table = table;
+  seq->alias = get.alias;
+  seq->filter = filter != nullptr ? filter->Clone() : nullptr;
+  seq->output = get.output;
+  seq->estimated_rows = out_rows;
+  seq->estimated_width = width;
+  seq->self_work =
+      cost_model_.SeqScan(table_pages, table_rows, OpsOf(filter));
+  seq->total_cost_ms = cost_model_.Price(seq->self_work);
+
+  PhysicalNodePtr best = std::move(seq);
+
+  if (filter == nullptr) return best;
+
+  // Try each index: usable if some conjunct bounds the indexed column.
+  const std::vector<BoundExprPtr> conjuncts =
+      plan::SplitBoundConjuncts(*filter);
+  for (catalog::IndexInfo* index : table->indexes) {
+    const ColumnId indexed_column{
+        get.table_id, static_cast<int>(index->column_index)};
+    bool has_lower = false;
+    bool has_upper = false;
+    int64_t lower = 0;
+    int64_t upper = 0;
+    bool unusable = false;
+    BoundExprPtr residual;
+    BoundExprPtr bounding;  // conjunction of the bound-forming conjuncts
+    for (const BoundExprPtr& conjunct : conjuncts) {
+      bool used = false;
+      if (conjunct->kind() == BoundExprKind::kBinary) {
+        const auto& binary =
+            static_cast<const plan::BinaryBoundExpr&>(*conjunct);
+        const BoundExpr* column_side = nullptr;
+        const BoundExpr* const_side = nullptr;
+        sql::BinaryOp op = binary.op();
+        if (binary.left().kind() == BoundExprKind::kColumn &&
+            binary.right().kind() == BoundExprKind::kConstant) {
+          column_side = &binary.left();
+          const_side = &binary.right();
+        } else if (binary.right().kind() == BoundExprKind::kColumn &&
+                   binary.left().kind() == BoundExprKind::kConstant) {
+          column_side = &binary.right();
+          const_side = &binary.left();
+          switch (op) {
+            case sql::BinaryOp::kLt:
+              op = sql::BinaryOp::kGt;
+              break;
+            case sql::BinaryOp::kLe:
+              op = sql::BinaryOp::kGe;
+              break;
+            case sql::BinaryOp::kGt:
+              op = sql::BinaryOp::kLt;
+              break;
+            case sql::BinaryOp::kGe:
+              op = sql::BinaryOp::kLe;
+              break;
+            default:
+              break;
+          }
+        }
+        if (column_side != nullptr &&
+            static_cast<const plan::ColumnExpr*>(column_side)->id() ==
+                indexed_column) {
+          const catalog::Value& v =
+              static_cast<const plan::ConstantExpr*>(const_side)->value();
+          if (!v.is_null()) {
+            const double d = v.AsDouble();
+            switch (op) {
+              case sql::BinaryOp::kEq: {
+                if (d == std::floor(d)) {
+                  const int64_t k = static_cast<int64_t>(d);
+                  if (!has_lower || k > lower) lower = k;
+                  if (!has_upper || k < upper) upper = k;
+                  has_lower = has_upper = true;
+                  used = true;
+                }
+                break;
+              }
+              case sql::BinaryOp::kGe: {
+                const int64_t k = static_cast<int64_t>(std::ceil(d));
+                if (!has_lower || k > lower) lower = k;
+                has_lower = true;
+                used = true;
+                break;
+              }
+              case sql::BinaryOp::kGt: {
+                const int64_t k = static_cast<int64_t>(std::floor(d)) + 1;
+                if (!has_lower || k > lower) lower = k;
+                has_lower = true;
+                used = true;
+                break;
+              }
+              case sql::BinaryOp::kLe: {
+                const int64_t k = static_cast<int64_t>(std::floor(d));
+                if (!has_upper || k < upper) upper = k;
+                has_upper = true;
+                used = true;
+                break;
+              }
+              case sql::BinaryOp::kLt: {
+                const int64_t k = static_cast<int64_t>(std::ceil(d)) - 1;
+                if (!has_upper || k < upper) upper = k;
+                has_upper = true;
+                used = true;
+                break;
+              }
+              default:
+                break;
+            }
+          }
+        }
+      }
+      if (used) {
+        bounding = plan::AndExprs(std::move(bounding), conjunct->Clone());
+      } else {
+        residual = plan::AndExprs(std::move(residual), conjunct->Clone());
+      }
+    }
+    if (!has_lower && !has_upper) continue;
+    if (has_lower && has_upper && lower > upper) unusable = false;
+    (void)unusable;
+    const double bound_selectivity =
+        bounding != nullptr ? EstimateSelectivity(*bounding, stats_) : 1.0;
+    const double entries = table_rows * bound_selectivity;
+    const double index_pages =
+        std::max<double>(1.0, static_cast<double>(index->tree->NumPages()));
+    const double index_entries = std::max<double>(
+        1.0, static_cast<double>(index->tree->NumEntries()));
+    const double leaf_pages =
+        std::max(1.0, index_pages * entries / index_entries);
+    auto scan = std::make_unique<PhysIndexScan>();
+    scan->table = table;
+    scan->index = index;
+    scan->alias = get.alias;
+    scan->has_lower = has_lower;
+    scan->lower = lower;
+    scan->has_upper = has_upper;
+    scan->upper = upper;
+    scan->residual_filter =
+        residual != nullptr ? residual->Clone() : nullptr;
+    scan->output = get.output;
+    scan->estimated_rows = out_rows;
+    scan->estimated_width = width;
+    scan->self_work = cost_model_.IndexScan(
+        index->tree->Height(), leaf_pages, entries, table_pages,
+        OpsOf(residual.get()));
+    scan->total_cost_ms = cost_model_.Price(scan->self_work);
+    if (scan->total_cost_ms < best->total_cost_ms) {
+      best = std::move(scan);
+    }
+  }
+  return best;
+}
+
+Result<PhysicalNodePtr> Optimizer::BuildJoin(
+    PhysicalNodePtr left, PhysicalNodePtr right,
+    const std::vector<const BoundExpr*>& predicates, double output_rows) {
+  std::vector<EquiKey> keys;
+  BoundExprPtr residual;
+  ExtractEquiKeys(predicates, left->output, right->output, &keys,
+                  &residual);
+  const double residual_ops = OpsOf(residual.get());
+  SideStats left_stats{left->estimated_rows, left->estimated_width};
+  SideStats right_stats{right->estimated_rows, right->estimated_width};
+  const JoinChoice choice =
+      ChooseInnerJoinMethod(cost_model_, left_stats, right_stats,
+                            keys.size(), residual_ops, output_rows);
+
+  const bool swapped = choice.method == JoinMethod::kHashSwapped ||
+                       choice.method == JoinMethod::kNlSwapped;
+  if (swapped) {
+    std::swap(left, right);
+    for (EquiKey& key : keys) std::swap(key.left, key.right);
+  }
+
+  PhysicalNodePtr result;
+  const double children_cost = left->total_cost_ms + right->total_cost_ms;
+  std::vector<OutputColumn> output = left->output;
+  output.insert(output.end(), right->output.begin(), right->output.end());
+
+  switch (choice.method) {
+    case JoinMethod::kHash:
+    case JoinMethod::kHashSwapped: {
+      auto join = std::make_unique<PhysHashJoin>();
+      join->join_type = LogicalJoinType::kInner;
+      for (EquiKey& key : keys) {
+        join->left_keys.push_back(std::move(key.left));
+        join->right_keys.push_back(std::move(key.right));
+      }
+      join->residual = residual != nullptr ? residual->Clone() : nullptr;
+      join->self_work = cost_model_.HashJoin(
+          left->estimated_rows, left->estimated_width,
+          right->estimated_rows, right->estimated_width, output_rows,
+          residual_ops);
+      join->children.push_back(std::move(left));
+      join->children.push_back(std::move(right));
+      result = std::move(join);
+      break;
+    }
+    case JoinMethod::kMerge: {
+      auto join = std::make_unique<PhysMergeJoin>();
+      join->left_key = keys[0].left->Clone();
+      join->right_key = keys[0].right->Clone();
+      // Non-first keys join the residual condition.
+      BoundExprPtr merge_residual =
+          residual != nullptr ? residual->Clone() : nullptr;
+      for (size_t i = 1; i < keys.size(); ++i) {
+        merge_residual = plan::AndExprs(
+            std::move(merge_residual),
+            std::make_unique<plan::BinaryBoundExpr>(
+                sql::BinaryOp::kEq, keys[i].left->Clone(),
+                keys[i].right->Clone(), catalog::TypeId::kBool));
+      }
+      join->residual = std::move(merge_residual);
+      join->self_work = cost_model_.MergeStep(
+          left->estimated_rows, right->estimated_rows, output_rows,
+          residual_ops);
+      // Sorts under each input.
+      auto make_sort = [&](PhysicalNodePtr child,
+                           const BoundExprPtr& key) -> PhysicalNodePtr {
+        auto sort = std::make_unique<PhysSort>();
+        PhysSort::Key sort_key;
+        sort_key.expr = key->Clone();
+        sort_key.ascending = true;
+        sort->keys.push_back(std::move(sort_key));
+        sort->output = child->output;
+        sort->estimated_rows = child->estimated_rows;
+        sort->estimated_width = child->estimated_width;
+        sort->self_work = cost_model_.Sort(child->estimated_rows,
+                                           child->estimated_width);
+        sort->total_cost_ms =
+            child->total_cost_ms + cost_model_.Price(sort->self_work);
+        sort->children.push_back(std::move(child));
+        return sort;
+      };
+      PhysicalNodePtr left_sorted = make_sort(std::move(left), join->left_key);
+      PhysicalNodePtr right_sorted =
+          make_sort(std::move(right), join->right_key);
+      join->children.push_back(std::move(left_sorted));
+      join->children.push_back(std::move(right_sorted));
+      result = std::move(join);
+      break;
+    }
+    case JoinMethod::kNl:
+    case JoinMethod::kNlSwapped: {
+      auto join = std::make_unique<PhysNestedLoopJoin>();
+      join->join_type = keys.empty() && residual == nullptr
+                            ? LogicalJoinType::kCross
+                            : LogicalJoinType::kInner;
+      BoundExprPtr condition =
+          residual != nullptr ? residual->Clone() : nullptr;
+      for (EquiKey& key : keys) {
+        condition = plan::AndExprs(
+            std::move(condition),
+            std::make_unique<plan::BinaryBoundExpr>(
+                sql::BinaryOp::kEq, std::move(key.left),
+                std::move(key.right), catalog::TypeId::kBool));
+      }
+      join->condition = std::move(condition);
+      join->self_work = cost_model_.NestedLoopJoin(
+          left->estimated_rows, right->estimated_rows,
+          right->estimated_width, OpsOf(join->condition.get()));
+      join->children.push_back(std::move(left));
+      join->children.push_back(std::move(right));
+      result = std::move(join);
+      break;
+    }
+  }
+  result->output = std::move(output);
+  result->estimated_rows = output_rows;
+  result->estimated_width = WidthOf(result->output);
+  // children may include the planted sorts; sum direct children.
+  double child_cost = 0.0;
+  for (const auto& child : result->children) {
+    child_cost += child->total_cost_ms;
+  }
+  (void)children_cost;
+  result->total_cost_ms =
+      child_cost + cost_model_.Price(result->self_work);
+  return result;
+}
+
+Result<PhysicalNodePtr> Optimizer::TranslateJoinBlock(
+    const LogicalNode& root) {
+  std::vector<const LogicalNode*> leaves;
+  std::vector<BoundExprPtr> predicates;
+  CollectJoinBlock(root, &leaves, &predicates);
+  const size_t n = leaves.size();
+  VDB_CHECK(n >= 2);
+  if (n > 20) {
+    return Status::NotSupported("too many joined relations (max 20)");
+  }
+
+  // Base plans and their statistics. Rows/widths are snapshotted because
+  // the plans themselves are moved into the final tree at reconstruction.
+  std::vector<PhysicalNodePtr> base(n);
+  std::vector<double> base_rows(n);
+  std::vector<double> base_width(n);
+  for (size_t i = 0; i < n; ++i) {
+    VDB_ASSIGN_OR_RETURN(base[i], Translate(*leaves[i]));
+    base_rows[i] = base[i]->estimated_rows;
+    base_width[i] = base[i]->estimated_width;
+  }
+
+  // Predicate masks over the relations.
+  struct PredInfo {
+    const BoundExpr* expr;
+    uint32_t mask = 0;
+    double selectivity = 1.0;
+  };
+  std::vector<PredInfo> pred_infos;
+  for (const BoundExprPtr& predicate : predicates) {
+    PredInfo info;
+    info.expr = predicate.get();
+    std::vector<ColumnId> columns;
+    predicate->CollectColumns(&columns);
+    for (const ColumnId& column : columns) {
+      for (size_t i = 0; i < n; ++i) {
+        if (ColumnsCoveredBy({column}, base[i]->output)) {
+          info.mask |= 1u << i;
+          break;
+        }
+      }
+    }
+    info.selectivity = EstimateJoinSelectivity(*predicate, stats_);
+    pred_infos.push_back(info);
+  }
+
+  // Cardinality of a relation subset.
+  auto subset_rows = [&](uint32_t mask) {
+    double rows = 1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) rows *= std::max(base_rows[i], 1.0);
+    }
+    for (const PredInfo& info : pred_infos) {
+      if (info.mask != 0 && (info.mask & mask) == info.mask &&
+          Popcount(info.mask) >= 2) {
+        rows *= info.selectivity;
+      }
+    }
+    return std::max(rows, 0.0);
+  };
+
+  // Greedy ordering beyond the DP budget; exact left-deep DP otherwise.
+  std::vector<size_t> order;  // reconstruction order of relations
+  if (n > 12) {
+    std::vector<bool> used(n, false);
+    // Start from the smallest relation.
+    size_t start = 0;
+    for (size_t i = 1; i < n; ++i) {
+      if (base_rows[i] < base_rows[start]) start = i;
+    }
+    order.push_back(start);
+    used[start] = true;
+    uint32_t mask = 1u << start;
+    for (size_t step = 1; step < n; ++step) {
+      size_t best_rel = n;
+      double best_rows = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (used[i]) continue;
+        // Prefer connected relations with the smallest intermediate size.
+        bool connected = false;
+        for (const PredInfo& info : pred_infos) {
+          if ((info.mask & (1u << i)) && (info.mask & mask)) {
+            connected = true;
+            break;
+          }
+        }
+        const double rows = subset_rows(mask | (1u << i)) +
+                            (connected ? 0.0 : 1e18);
+        if (best_rel == n || rows < best_rows) {
+          best_rel = i;
+          best_rows = rows;
+        }
+      }
+      order.push_back(best_rel);
+      used[best_rel] = true;
+      mask |= 1u << best_rel;
+    }
+  } else {
+    // DP over subsets; best[S] = cheapest left-deep plan cost and the last
+    // relation joined. Plans are reconstructed afterwards.
+    const uint32_t full = (1u << n) - 1;
+    std::vector<double> best_cost(full + 1, -1.0);
+    std::vector<int> best_last(full + 1, -1);
+    std::vector<double> rows_cache(full + 1, -1.0);
+    auto rows_of = [&](uint32_t mask) {
+      if (rows_cache[mask] < 0) rows_cache[mask] = subset_rows(mask);
+      return rows_cache[mask];
+    };
+    for (size_t i = 0; i < n; ++i) {
+      best_cost[1u << i] = base[i]->total_cost_ms;
+    }
+    for (uint32_t mask = 1; mask <= full; ++mask) {
+      if (Popcount(mask) < 2) continue;
+      for (size_t r = 0; r < n; ++r) {
+        const uint32_t bit = 1u << r;
+        if (!(mask & bit)) continue;
+        const uint32_t rest = mask ^ bit;
+        if (best_cost[rest] < 0) continue;
+        // Connecting predicates between `rest` and relation r.
+        std::vector<const BoundExpr*> connecting;
+        size_t num_keys = 0;
+        double residual_ops = 0;
+        for (const PredInfo& info : pred_infos) {
+          if ((info.mask & mask) == info.mask && (info.mask & bit) &&
+              (info.mask & rest)) {
+            connecting.push_back(info.expr);
+          }
+        }
+        // Classify keys for costing (approximate: every eq col-col
+        // predicate is a key).
+        for (const BoundExpr* predicate : connecting) {
+          if (predicate->kind() == BoundExprKind::kBinary &&
+              static_cast<const plan::BinaryBoundExpr*>(predicate)->op() ==
+                  sql::BinaryOp::kEq) {
+            ++num_keys;
+          } else {
+            residual_ops += predicate->OpCount();
+          }
+        }
+        // Left side width: sum of member widths.
+        double left_width = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          if (rest & (1u << i)) left_width += base_width[i];
+        }
+        const SideStats left{rows_of(rest), std::max(left_width, 8.0)};
+        const SideStats right{base_rows[r], base_width[r]};
+        const JoinChoice choice = ChooseInnerJoinMethod(
+            cost_model_, left, right, num_keys, residual_ops,
+            rows_of(mask));
+        const double cost = best_cost[rest] + base[r]->total_cost_ms +
+                            choice.work_cost;
+        if (best_cost[mask] < 0 || cost < best_cost[mask]) {
+          best_cost[mask] = cost;
+          best_last[mask] = static_cast<int>(r);
+        }
+      }
+    }
+    // Recover the join order.
+    uint32_t mask = full;
+    std::vector<size_t> reversed;
+    while (Popcount(mask) > 1) {
+      const int last = best_last[mask];
+      VDB_CHECK(last >= 0);
+      reversed.push_back(static_cast<size_t>(last));
+      mask ^= 1u << last;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        order.push_back(i);
+        break;
+      }
+    }
+    for (size_t i = reversed.size(); i-- > 0;) {
+      order.push_back(reversed[i]);
+    }
+  }
+
+  // Reconstruct the plan along `order`, attaching each predicate at the
+  // first step where both of its sides are available.
+  std::vector<bool> pred_used(pred_infos.size(), false);
+  PhysicalNodePtr plan = std::move(base[order[0]]);
+  uint32_t mask = 1u << order[0];
+  for (size_t step = 1; step < order.size(); ++step) {
+    const size_t r = order[step];
+    mask |= 1u << r;
+    std::vector<const BoundExpr*> connecting;
+    for (size_t p = 0; p < pred_infos.size(); ++p) {
+      if (!pred_used[p] && pred_infos[p].mask != 0 &&
+          (pred_infos[p].mask & mask) == pred_infos[p].mask) {
+        connecting.push_back(pred_infos[p].expr);
+        pred_used[p] = true;
+      }
+    }
+    VDB_ASSIGN_OR_RETURN(
+        plan, BuildJoin(std::move(plan), std::move(base[r]), connecting,
+                        subset_rows(mask)));
+  }
+  return plan;
+}
+
+Result<PhysicalNodePtr> Optimizer::TranslateSpecialJoin(
+    const plan::LogicalJoin& join) {
+  VDB_ASSIGN_OR_RETURN(PhysicalNodePtr left, Translate(*join.children[0]));
+  VDB_ASSIGN_OR_RETURN(PhysicalNodePtr right, Translate(*join.children[1]));
+
+  std::vector<BoundExprPtr> conjuncts;
+  if (join.condition != nullptr) {
+    conjuncts = plan::SplitBoundConjuncts(*join.condition);
+  }
+  std::vector<const BoundExpr*> predicate_ptrs;
+  predicate_ptrs.reserve(conjuncts.size());
+  for (const BoundExprPtr& conjunct : conjuncts) {
+    predicate_ptrs.push_back(conjunct.get());
+  }
+  std::vector<EquiKey> keys;
+  BoundExprPtr residual;
+  ExtractEquiKeys(predicate_ptrs, left->output, right->output, &keys,
+                  &residual);
+
+  // Cardinalities.
+  double selectivity = 1.0;
+  for (const BoundExprPtr& conjunct : conjuncts) {
+    selectivity *= EstimateJoinSelectivity(*conjunct, stats_);
+  }
+  const double left_rows = std::max(left->estimated_rows, 0.0);
+  const double right_rows = std::max(right->estimated_rows, 0.0);
+  const double match_fraction =
+      std::min(1.0, selectivity * std::max(right_rows, 0.0));
+  double output_rows = 0.0;
+  switch (join.join_type) {
+    case LogicalJoinType::kSemi:
+      output_rows = left_rows * match_fraction;
+      break;
+    case LogicalJoinType::kAnti:
+      output_rows = left_rows * (1.0 - match_fraction);
+      break;
+    case LogicalJoinType::kLeft:
+      output_rows =
+          std::max(left_rows, left_rows * right_rows * selectivity);
+      break;
+    default:
+      return Status::Internal("not a special join");
+  }
+
+  const double residual_ops = OpsOf(residual.get());
+  PhysicalNodePtr result;
+  if (!keys.empty()) {
+    auto hash_join = std::make_unique<PhysHashJoin>();
+    hash_join->join_type = join.join_type;
+    for (EquiKey& key : keys) {
+      hash_join->left_keys.push_back(std::move(key.left));
+      hash_join->right_keys.push_back(std::move(key.right));
+    }
+    hash_join->residual = std::move(residual);
+    hash_join->self_work = cost_model_.HashJoin(
+        left_rows, left->estimated_width, right_rows,
+        right->estimated_width,
+        std::max(output_rows, left_rows * match_fraction), residual_ops);
+    result = std::move(hash_join);
+  } else {
+    auto nl_join = std::make_unique<PhysNestedLoopJoin>();
+    nl_join->join_type = join.join_type;
+    nl_join->condition = std::move(residual);
+    nl_join->self_work = cost_model_.NestedLoopJoin(
+        left_rows, right_rows, right->estimated_width,
+        OpsOf(nl_join->condition.get()));
+    result = std::move(nl_join);
+  }
+  result->output = join.output;
+  result->estimated_rows = output_rows;
+  result->estimated_width = WidthOf(result->output);
+  result->total_cost_ms = left->total_cost_ms + right->total_cost_ms +
+                          cost_model_.Price(result->self_work);
+  result->children.push_back(std::move(left));
+  result->children.push_back(std::move(right));
+  return result;
+}
+
+Result<PhysicalNodePtr> Optimizer::TranslateAggregate(
+    const plan::LogicalAggregate& aggregate) {
+  VDB_ASSIGN_OR_RETURN(PhysicalNodePtr child,
+                       Translate(*aggregate.children[0]));
+  auto phys = std::make_unique<PhysHashAggregate>();
+  double group_ops = 0.0;
+  double groups = 1.0;
+  for (const BoundExprPtr& expr : aggregate.group_exprs) {
+    phys->group_exprs.push_back(expr->Clone());
+    group_ops += 1.0 + expr->OpCount();
+    double ndv = 200.0;
+    if (expr->kind() == BoundExprKind::kColumn) {
+      ndv = EstimateNdv(static_cast<const plan::ColumnExpr*>(expr.get())->id(),
+                        stats_, 200.0);
+    }
+    groups *= ndv;
+  }
+  groups = std::clamp(groups, 1.0, std::max(child->estimated_rows, 1.0));
+  if (aggregate.group_exprs.empty()) groups = 1.0;
+  double agg_ops = 0.0;
+  for (const plan::AggSpec& spec : aggregate.aggs) {
+    phys->aggs.push_back(spec.Clone());
+    agg_ops += 1.0 + OpsOf(spec.arg.get());
+  }
+  phys->output = aggregate.output;
+  phys->estimated_rows = groups;
+  phys->estimated_width = WidthOf(aggregate.output);
+  phys->self_work = cost_model_.HashAggregate(
+      child->estimated_rows, groups, group_ops, agg_ops,
+      phys->estimated_width);
+  phys->total_cost_ms =
+      child->total_cost_ms + cost_model_.Price(phys->self_work);
+  phys->children.push_back(std::move(child));
+  return PhysicalNodePtr(std::move(phys));
+}
+
+Result<PhysicalNodePtr> Optimizer::TranslateSort(
+    const plan::LogicalSort& sort) {
+  VDB_ASSIGN_OR_RETURN(PhysicalNodePtr child, Translate(*sort.children[0]));
+  auto phys = std::make_unique<PhysSort>();
+  for (const plan::SortKey& key : sort.keys) {
+    PhysSort::Key sort_key;
+    sort_key.expr = key.expr->Clone();
+    sort_key.ascending = key.ascending;
+    phys->keys.push_back(std::move(sort_key));
+  }
+  // Pass-through operator: rows keep the child's (possibly join-reordered)
+  // column order, so advertise that order, not the logical node's.
+  phys->output = child->output;
+  phys->estimated_rows = child->estimated_rows;
+  phys->estimated_width = child->estimated_width;
+  phys->self_work =
+      cost_model_.Sort(child->estimated_rows, child->estimated_width);
+  phys->total_cost_ms =
+      child->total_cost_ms + cost_model_.Price(phys->self_work);
+  phys->children.push_back(std::move(child));
+  return PhysicalNodePtr(std::move(phys));
+}
+
+}  // namespace vdb::optimizer

@@ -1,0 +1,83 @@
+#ifndef VDB_OPTIMIZER_OPTIMIZER_H_
+#define VDB_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "optimizer/cost_model.h"
+#include "optimizer/params.h"
+#include "optimizer/physical.h"
+#include "optimizer/selectivity.h"
+#include "plan/logical.h"
+#include "util/result.h"
+
+namespace vdb::optimizer {
+
+/// A System-R style cost-based optimizer with a PostgreSQL-flavored cost
+/// model, parameterized by OptimizerParams `P`.
+///
+/// This is the component the paper re-purposes: calling SetParams with the
+/// calibrated `P(R)` for a candidate resource allocation `R` puts the
+/// optimizer in the "virtualization-aware what-if mode" of Section 4 —
+/// plans are chosen and costed as they would be inside a VM configured
+/// with `R`, without running anything.
+///
+/// Features: sequential vs. B+-tree index access-path selection, dynamic-
+/// programming join ordering over inner-join blocks (left-deep, with a
+/// greedy fallback beyond 12 relations), hash/merge/nested-loop join
+/// methods, hash aggregation, and sort/spill costing.
+class Optimizer {
+ public:
+  explicit Optimizer(OptimizerParams params = OptimizerParams())
+      : cost_model_(params) {}
+
+  /// Switches the physical-environment parameters (the what-if knob).
+  void SetParams(const OptimizerParams& params) {
+    cost_model_ = CostModel(params);
+  }
+  const OptimizerParams& params() const { return cost_model_.params(); }
+
+  /// Produces the cheapest physical plan for `logical` under the current
+  /// parameters. The logical plan is not modified.
+  Result<PhysicalNodePtr> Optimize(const plan::LogicalNode& logical);
+
+ private:
+  struct RelationPlan {
+    PhysicalNodePtr plan;
+    // Table ids contributed by this relation (for predicate placement).
+    std::vector<int> table_ids;
+  };
+
+  Result<PhysicalNodePtr> Translate(const plan::LogicalNode& node);
+
+  // Access-path selection for a base table with an optional predicate.
+  Result<PhysicalNodePtr> TranslateScan(const plan::LogicalGet& get,
+                                        const plan::BoundExpr* filter);
+
+  // Join-order DP over a maximal inner/cross-join region.
+  Result<PhysicalNodePtr> TranslateJoinBlock(const plan::LogicalNode& root);
+
+  // Non-reorderable joins (left outer, semi, anti).
+  Result<PhysicalNodePtr> TranslateSpecialJoin(const plan::LogicalJoin& join);
+
+  Result<PhysicalNodePtr> TranslateAggregate(
+      const plan::LogicalAggregate& aggregate);
+  Result<PhysicalNodePtr> TranslateSort(const plan::LogicalSort& sort);
+
+  // Builds the cheapest (by priced cost) inner join of `left` and `right`
+  // given the connecting predicates. `output_rows` is the subset-level
+  // cardinality estimate shared by all methods.
+  Result<PhysicalNodePtr> BuildJoin(
+      PhysicalNodePtr left, PhysicalNodePtr right,
+      const std::vector<const plan::BoundExpr*>& predicates,
+      double output_rows);
+
+  double WidthOf(const std::vector<plan::OutputColumn>& columns) const;
+
+  StatsRegistry stats_;
+  CostModel cost_model_;
+};
+
+}  // namespace vdb::optimizer
+
+#endif  // VDB_OPTIMIZER_OPTIMIZER_H_

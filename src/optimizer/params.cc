@@ -1,0 +1,57 @@
+#include "optimizer/params.h"
+
+#include <cstdio>
+
+namespace vdb::optimizer {
+
+const char* OptimizerParams::CalibratedName(int i) {
+  switch (i) {
+    case 0:
+      return "seq_page_cost";
+    case 1:
+      return "random_page_cost";
+    case 2:
+      return "cpu_tuple_cost";
+    case 3:
+      return "cpu_index_tuple_cost";
+    case 4:
+      return "cpu_operator_cost";
+  }
+  return "?";
+}
+
+std::string OptimizerParams::ToString() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "P{seq_page=%.4gms, random_page=%.4gms, cpu_tuple=%.4gms, "
+      "cpu_index_tuple=%.4gms, cpu_operator=%.4gms, "
+      "effective_cache=%llu pages, work_mem=%llu bytes}",
+      seq_page_cost, random_page_cost, cpu_tuple_cost, cpu_index_tuple_cost,
+      cpu_operator_cost,
+      static_cast<unsigned long long>(effective_cache_size_pages),
+      static_cast<unsigned long long>(work_mem_bytes));
+  return buf;
+}
+
+double WorkVector::Cost(const OptimizerParams& params) const {
+  const auto work = AsArray();
+  const auto price = params.CalibratedVector();
+  double total = 0.0;
+  for (int i = 0; i < OptimizerParams::kNumCalibrated; ++i) {
+    total += work[i] * price[i];
+  }
+  return total;
+}
+
+std::string WorkVector::ToString() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "W{seq_pages=%.1f, random_pages=%.1f, tuples=%.1f, "
+                "index_tuples=%.1f, ops=%.1f}",
+                seq_pages, random_pages, tuples, index_tuples,
+                operator_evals);
+  return buf;
+}
+
+}  // namespace vdb::optimizer

@@ -1,0 +1,95 @@
+#ifndef VDB_OPTIMIZER_PARAMS_H_
+#define VDB_OPTIMIZER_PARAMS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace vdb::optimizer {
+
+/// The optimizer's model of the physical environment — the paper's
+/// parameter set `P` (Section 4). PostgreSQL expresses these as ratios to a
+/// sequential page fetch; we store absolute per-unit times in milliseconds
+/// so that summed plan costs are directly the "estimated execution times"
+/// the paper's virtualization design problem minimizes. The PostgreSQL-style
+/// ratio (e.g. the paper's Figure 3 y-axis) is `cpu_tuple_cost /
+/// seq_page_cost`.
+///
+/// The five *_cost members are obtained by experimental calibration for
+/// each resource allocation R (Section 5); the capacity members are set
+/// directly from the VM configuration.
+struct OptimizerParams {
+  // --- calibrated per-unit times (milliseconds) ---
+  /// Time to read one page sequentially.
+  double seq_page_cost = 0.13;
+  /// Time to read one page with a random seek.
+  double random_page_cost = 7.7;
+  /// CPU time to process one tuple.
+  double cpu_tuple_cost = 0.001;
+  /// CPU time to process one index entry.
+  double cpu_index_tuple_cost = 0.0005;
+  /// CPU time to evaluate one operator / WHERE-clause item.
+  double cpu_operator_cost = 0.00025;
+
+  // --- capacity parameters (known from the VM configuration) ---
+  /// Pages of the table data the optimizer assumes can stay cached; scales
+  /// with the VM's memory share.
+  uint64_t effective_cache_size_pages = 8192;
+  /// Memory available to each sort/hash operation before spilling.
+  uint64_t work_mem_bytes = 8ULL << 20;
+
+  static constexpr int kNumCalibrated = 5;
+
+  /// The calibrated sub-vector, in a fixed order, for the least-squares
+  /// calibration solver: [seq_page, random_page, cpu_tuple,
+  /// cpu_index_tuple, cpu_operator].
+  std::array<double, kNumCalibrated> CalibratedVector() const {
+    return {seq_page_cost, random_page_cost, cpu_tuple_cost,
+            cpu_index_tuple_cost, cpu_operator_cost};
+  }
+  void SetCalibratedVector(const std::array<double, kNumCalibrated>& v) {
+    seq_page_cost = v[0];
+    random_page_cost = v[1];
+    cpu_tuple_cost = v[2];
+    cpu_index_tuple_cost = v[3];
+    cpu_operator_cost = v[4];
+  }
+
+  /// Names matching CalibratedVector order.
+  static const char* CalibratedName(int i);
+
+  std::string ToString() const;
+};
+
+/// The work performed by a (sub)plan in the units the optimizer prices:
+/// cost = dot(WorkVector, calibrated params) (+ capacity effects already
+/// folded into the page counts). Calibration inverts exactly this relation.
+struct WorkVector {
+  double seq_pages = 0;
+  double random_pages = 0;
+  double tuples = 0;
+  double index_tuples = 0;
+  double operator_evals = 0;
+
+  WorkVector& operator+=(const WorkVector& other) {
+    seq_pages += other.seq_pages;
+    random_pages += other.random_pages;
+    tuples += other.tuples;
+    index_tuples += other.index_tuples;
+    operator_evals += other.operator_evals;
+    return *this;
+  }
+
+  std::array<double, OptimizerParams::kNumCalibrated> AsArray() const {
+    return {seq_pages, random_pages, tuples, index_tuples, operator_evals};
+  }
+
+  /// Priced cost in milliseconds under `params`.
+  double Cost(const OptimizerParams& params) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace vdb::optimizer
+
+#endif  // VDB_OPTIMIZER_PARAMS_H_

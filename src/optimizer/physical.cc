@@ -1,0 +1,138 @@
+#include "optimizer/physical.h"
+
+#include <cstdio>
+
+namespace vdb::optimizer {
+
+const char* PhysOpName(PhysOp op) {
+  switch (op) {
+    case PhysOp::kSeqScan:
+      return "SeqScan";
+    case PhysOp::kIndexScan:
+      return "IndexScan";
+    case PhysOp::kFilter:
+      return "Filter";
+    case PhysOp::kProject:
+      return "Project";
+    case PhysOp::kNestedLoopJoin:
+      return "NestedLoopJoin";
+    case PhysOp::kHashJoin:
+      return "HashJoin";
+    case PhysOp::kMergeJoin:
+      return "MergeJoin";
+    case PhysOp::kSort:
+      return "Sort";
+    case PhysOp::kTopN:
+      return "TopN";
+    case PhysOp::kHashAggregate:
+      return "HashAggregate";
+    case PhysOp::kLimit:
+      return "Limit";
+  }
+  return "?";
+}
+
+WorkVector PhysicalNode::TotalWork() const {
+  WorkVector total = self_work;
+  for (const auto& child : children) {
+    total += child->TotalWork();
+  }
+  return total;
+}
+
+std::string PhysicalNode::ToString(int indent) const {
+  char estimates[96];
+  std::snprintf(estimates, sizeof(estimates), "  [rows=%.0f cost=%.2fms]",
+                estimated_rows, total_cost_ms);
+  std::string result =
+      std::string(indent, ' ') + PhysOpName(op) + "(" + Describe() + ")" +
+      estimates + "\n";
+  for (const auto& child : children) {
+    result += child->ToString(indent + 2);
+  }
+  return result;
+}
+
+std::string PhysSeqScan::Describe() const {
+  std::string result = alias;
+  if (filter != nullptr) result += ", filter=" + filter->ToString();
+  return result;
+}
+
+std::string PhysIndexScan::Describe() const {
+  std::string result = alias + " via " + index->name;
+  if (has_lower) result += ", key>=" + std::to_string(lower);
+  if (has_upper) result += ", key<=" + std::to_string(upper);
+  if (residual_filter != nullptr) {
+    result += ", filter=" + residual_filter->ToString();
+  }
+  return result;
+}
+
+std::string PhysFilter::Describe() const { return condition->ToString(); }
+
+std::string PhysProject::Describe() const {
+  std::string result;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += exprs[i]->ToString();
+  }
+  return result;
+}
+
+std::string PhysNestedLoopJoin::Describe() const {
+  return std::string(plan::LogicalJoinTypeName(join_type)) +
+         (condition != nullptr ? ", " + condition->ToString() : "");
+}
+
+std::string PhysHashJoin::Describe() const {
+  std::string result = plan::LogicalJoinTypeName(join_type);
+  for (size_t i = 0; i < left_keys.size(); ++i) {
+    result += (i == 0 ? ", " : " and ") + left_keys[i]->ToString() + " = " +
+              right_keys[i]->ToString();
+  }
+  if (residual != nullptr) result += ", residual=" + residual->ToString();
+  return result;
+}
+
+std::string PhysMergeJoin::Describe() const {
+  return left_key->ToString() + " = " + right_key->ToString() +
+         (residual != nullptr ? ", residual=" + residual->ToString() : "");
+}
+
+std::string PhysSort::Describe() const {
+  std::string result;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += keys[i].expr->ToString();
+    if (!keys[i].ascending) result += " DESC";
+  }
+  return result;
+}
+
+std::string PhysTopN::Describe() const {
+  std::string result = "limit=" + std::to_string(limit);
+  for (const auto& key : keys) {
+    result += ", " + key.expr->ToString();
+    if (!key.ascending) result += " DESC";
+  }
+  return result;
+}
+
+std::string PhysHashAggregate::Describe() const {
+  std::string result = "groups=[";
+  for (size_t i = 0; i < group_exprs.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += group_exprs[i]->ToString();
+  }
+  result += "], aggs=[";
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += plan::AggKindName(aggs[i].kind);
+  }
+  return result + "]";
+}
+
+std::string PhysLimit::Describe() const { return std::to_string(limit); }
+
+}  // namespace vdb::optimizer

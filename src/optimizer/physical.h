@@ -1,0 +1,178 @@
+#ifndef VDB_OPTIMIZER_PHYSICAL_H_
+#define VDB_OPTIMIZER_PHYSICAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "optimizer/params.h"
+#include "plan/expr.h"
+#include "plan/logical.h"
+
+namespace vdb::optimizer {
+
+enum class PhysOp {
+  kSeqScan,
+  kIndexScan,
+  kFilter,
+  kProject,
+  kNestedLoopJoin,
+  kHashJoin,
+  kMergeJoin,
+  kSort,
+  kTopN,
+  kHashAggregate,
+  kLimit,
+};
+
+const char* PhysOpName(PhysOp op);
+
+/// A physical plan operator. The tree is produced by the Optimizer and
+/// consumed by the executor; every node carries the optimizer's estimates
+/// so that estimated and measured times can be compared per plan.
+struct PhysicalNode {
+  explicit PhysicalNode(PhysOp node_op) : op(node_op) {}
+  virtual ~PhysicalNode() = default;
+  PhysicalNode(const PhysicalNode&) = delete;
+  PhysicalNode& operator=(const PhysicalNode&) = delete;
+
+  const PhysOp op;
+  std::vector<plan::OutputColumn> output;
+  std::vector<std::unique_ptr<PhysicalNode>> children;
+
+  /// Optimizer estimates.
+  double estimated_rows = 0.0;
+  double estimated_width = 8.0;  // bytes per output row
+  WorkVector self_work;          // this node's own work
+  double total_cost_ms = 0.0;    // priced cumulative cost
+
+  /// Cumulative work of the subtree (self + children).
+  WorkVector TotalWork() const;
+
+  std::string ToString(int indent = 0) const;
+
+ protected:
+  virtual std::string Describe() const = 0;
+};
+
+using PhysicalNodePtr = std::unique_ptr<PhysicalNode>;
+
+struct PhysSeqScan final : PhysicalNode {
+  PhysSeqScan() : PhysicalNode(PhysOp::kSeqScan) {}
+  catalog::TableInfo* table = nullptr;
+  std::string alias;
+  plan::BoundExprPtr filter;  // may be null
+
+ protected:
+  std::string Describe() const override;
+};
+
+struct PhysIndexScan final : PhysicalNode {
+  PhysIndexScan() : PhysicalNode(PhysOp::kIndexScan) {}
+  catalog::TableInfo* table = nullptr;
+  catalog::IndexInfo* index = nullptr;
+  std::string alias;
+  bool has_lower = false;
+  int64_t lower = 0;  // inclusive
+  bool has_upper = false;
+  int64_t upper = 0;  // inclusive
+  plan::BoundExprPtr residual_filter;  // evaluated on fetched rows
+
+ protected:
+  std::string Describe() const override;
+};
+
+struct PhysFilter final : PhysicalNode {
+  PhysFilter() : PhysicalNode(PhysOp::kFilter) {}
+  plan::BoundExprPtr condition;
+
+ protected:
+  std::string Describe() const override;
+};
+
+struct PhysProject final : PhysicalNode {
+  PhysProject() : PhysicalNode(PhysOp::kProject) {}
+  std::vector<plan::BoundExprPtr> exprs;
+
+ protected:
+  std::string Describe() const override;
+};
+
+struct PhysNestedLoopJoin final : PhysicalNode {
+  PhysNestedLoopJoin() : PhysicalNode(PhysOp::kNestedLoopJoin) {}
+  plan::LogicalJoinType join_type = plan::LogicalJoinType::kInner;
+  plan::BoundExprPtr condition;  // over concat(left, right); may be null
+
+ protected:
+  std::string Describe() const override;
+};
+
+struct PhysHashJoin final : PhysicalNode {
+  PhysHashJoin() : PhysicalNode(PhysOp::kHashJoin) {}
+  plan::LogicalJoinType join_type = plan::LogicalJoinType::kInner;
+  // Equi-key expressions: left_keys[i] (over the left/probe input) matches
+  // right_keys[i] (over the right/build input).
+  std::vector<plan::BoundExprPtr> left_keys;
+  std::vector<plan::BoundExprPtr> right_keys;
+  plan::BoundExprPtr residual;  // over concat(left, right); may be null
+
+ protected:
+  std::string Describe() const override;
+};
+
+struct PhysMergeJoin final : PhysicalNode {
+  PhysMergeJoin() : PhysicalNode(PhysOp::kMergeJoin) {}
+  // Inner join only; children must deliver key order (the optimizer plants
+  // Sort nodes beneath).
+  plan::BoundExprPtr left_key;
+  plan::BoundExprPtr right_key;
+  plan::BoundExprPtr residual;  // may be null
+
+ protected:
+  std::string Describe() const override;
+};
+
+struct PhysSort final : PhysicalNode {
+  PhysSort() : PhysicalNode(PhysOp::kSort) {}
+  struct Key {
+    plan::BoundExprPtr expr;
+    bool ascending = true;
+  };
+  std::vector<Key> keys;
+
+ protected:
+  std::string Describe() const override;
+};
+
+/// Fused ORDER BY ... LIMIT k: keeps only the best k rows in a bounded
+/// heap instead of sorting the whole input.
+struct PhysTopN final : PhysicalNode {
+  PhysTopN() : PhysicalNode(PhysOp::kTopN) {}
+  std::vector<PhysSort::Key> keys;
+  int64_t limit = 0;
+
+ protected:
+  std::string Describe() const override;
+};
+
+struct PhysHashAggregate final : PhysicalNode {
+  PhysHashAggregate() : PhysicalNode(PhysOp::kHashAggregate) {}
+  std::vector<plan::BoundExprPtr> group_exprs;
+  std::vector<plan::AggSpec> aggs;
+
+ protected:
+  std::string Describe() const override;
+};
+
+struct PhysLimit final : PhysicalNode {
+  PhysLimit() : PhysicalNode(PhysOp::kLimit) {}
+  int64_t limit = 0;
+
+ protected:
+  std::string Describe() const override;
+};
+
+}  // namespace vdb::optimizer
+
+#endif  // VDB_OPTIMIZER_PHYSICAL_H_

@@ -1,0 +1,313 @@
+#include "optimizer/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdb::optimizer {
+
+using catalog::ColumnStats;
+using plan::BoundExpr;
+using plan::BoundExprKind;
+using plan::ColumnId;
+using sql::BinaryOp;
+
+void StatsRegistry::RegisterGet(const plan::LogicalGet& get) {
+  if (get.table == nullptr || !get.table->stats.Analyzed()) return;
+  for (size_t i = 0; i < get.output.size(); ++i) {
+    if (i < get.table->stats.columns.size()) {
+      stats_[get.output[i].id] = &get.table->stats.columns[i];
+    }
+  }
+}
+
+void StatsRegistry::RegisterPlan(const plan::LogicalNode& root) {
+  if (root.op == plan::LogicalOp::kGet) {
+    RegisterGet(static_cast<const plan::LogicalGet&>(root));
+  }
+  for (const auto& child : root.children) {
+    RegisterPlan(*child);
+  }
+}
+
+const ColumnStats* StatsRegistry::Lookup(const ColumnId& id) const {
+  auto it = stats_.find(id);
+  return it == stats_.end() ? nullptr : it->second;
+}
+
+namespace {
+
+// If `expr` is a plain column reference, returns it.
+const plan::ColumnExpr* AsColumn(const BoundExpr& expr) {
+  if (expr.kind() == BoundExprKind::kColumn) {
+    return static_cast<const plan::ColumnExpr*>(&expr);
+  }
+  return nullptr;
+}
+
+const plan::ConstantExpr* AsConstant(const BoundExpr& expr) {
+  if (expr.kind() == BoundExprKind::kConstant) {
+    return static_cast<const plan::ConstantExpr*>(&expr);
+  }
+  return nullptr;
+}
+
+double EqualitySelectivity(const ColumnStats* stats) {
+  if (stats == nullptr || stats->ndv == 0) return kDefaultEqSelectivity;
+  return std::min(1.0, 1.0 / static_cast<double>(stats->ndv)) *
+         (1.0 - stats->NullFraction());
+}
+
+// Selectivity of `column op constant` using the histogram.
+double ComparisonSelectivity(BinaryOp op, const ColumnStats* stats,
+                             const catalog::Value& constant) {
+  if (constant.is_null()) return 0.0;  // comparisons with NULL never pass
+  if (stats == nullptr) {
+    return op == BinaryOp::kEq
+               ? kDefaultEqSelectivity
+               : (op == BinaryOp::kNe ? 1.0 - kDefaultEqSelectivity
+                                      : kDefaultSelectivity);
+  }
+  const double not_null = 1.0 - stats->NullFraction();
+  const double key = constant.NumericKey();
+  const auto& hist = stats->histogram;
+  switch (op) {
+    case BinaryOp::kEq:
+      return EqualitySelectivity(stats);
+    case BinaryOp::kNe:
+      return std::max(0.0, not_null - EqualitySelectivity(stats));
+    case BinaryOp::kLt:
+    case BinaryOp::kLe: {
+      if (hist.empty()) return kDefaultSelectivity;
+      double fraction = hist.FractionBelow(key);
+      if (op == BinaryOp::kLt) {
+        fraction = std::max(0.0, fraction - EqualitySelectivity(stats));
+      }
+      return std::clamp(fraction, 0.0, 1.0) * not_null;
+    }
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      if (hist.empty()) return kDefaultSelectivity;
+      double fraction = 1.0 - hist.FractionBelow(key);
+      if (op == BinaryOp::kGe) {
+        fraction = std::min(1.0, fraction + EqualitySelectivity(stats));
+      }
+      return std::clamp(fraction, 0.0, 1.0) * not_null;
+    }
+    default:
+      return kDefaultSelectivity;
+  }
+}
+
+// Recognizes `column op constant` (either orientation); fills the parts.
+bool MatchColumnComparison(const BoundExpr& expr, ColumnId* column,
+                           BinaryOp* op, double* key) {
+  if (expr.kind() != BoundExprKind::kBinary) return false;
+  const auto& binary = static_cast<const plan::BinaryBoundExpr&>(expr);
+  const auto* left_col = AsColumn(binary.left());
+  const auto* right_const = AsConstant(binary.right());
+  if (left_col != nullptr && right_const != nullptr &&
+      !right_const->value().is_null()) {
+    *column = left_col->id();
+    *op = binary.op();
+    *key = right_const->value().NumericKey();
+    return true;
+  }
+  const auto* right_col = AsColumn(binary.right());
+  const auto* left_const = AsConstant(binary.left());
+  if (right_col != nullptr && left_const != nullptr &&
+      !left_const->value().is_null()) {
+    *column = right_col->id();
+    switch (binary.op()) {
+      case BinaryOp::kLt:
+        *op = BinaryOp::kGt;
+        break;
+      case BinaryOp::kLe:
+        *op = BinaryOp::kGe;
+        break;
+      case BinaryOp::kGt:
+        *op = BinaryOp::kLt;
+        break;
+      case BinaryOp::kGe:
+        *op = BinaryOp::kLe;
+        break;
+      default:
+        *op = binary.op();
+        break;
+    }
+    *key = left_const->value().NumericKey();
+    return true;
+  }
+  return false;
+}
+
+// Estimates `left AND right` when both are comparisons on the *same*
+// column: the independence assumption badly overestimates ranges like
+// `k >= 100 AND k <= 120`, so use F(hi) - F(lo) instead. Returns a
+// negative value when the pattern does not apply.
+double TryRangeConjunction(const BoundExpr& left, const BoundExpr& right,
+                           const StatsRegistry& stats) {
+  ColumnId col_a;
+  ColumnId col_b;
+  BinaryOp op_a;
+  BinaryOp op_b;
+  double key_a = 0;
+  double key_b = 0;
+  if (!MatchColumnComparison(left, &col_a, &op_a, &key_a) ||
+      !MatchColumnComparison(right, &col_b, &op_b, &key_b) ||
+      !(col_a == col_b)) {
+    return -1.0;
+  }
+  const bool a_lower = op_a == BinaryOp::kGt || op_a == BinaryOp::kGe;
+  const bool a_upper = op_a == BinaryOp::kLt || op_a == BinaryOp::kLe;
+  const bool b_lower = op_b == BinaryOp::kGt || op_b == BinaryOp::kGe;
+  const bool b_upper = op_b == BinaryOp::kLt || op_b == BinaryOp::kLe;
+  if (!((a_lower && b_upper) || (a_upper && b_lower))) return -1.0;
+  const ColumnStats* cs = stats.Lookup(col_a);
+  if (cs == nullptr || cs->histogram.empty()) return -1.0;
+  const double lo = a_lower ? key_a : key_b;
+  const double hi = a_lower ? key_b : key_a;
+  const double fraction = cs->histogram.FractionBetween(lo, hi);
+  return std::clamp(fraction, 0.0, 1.0) * (1.0 - cs->NullFraction());
+}
+
+BinaryOp FlipComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;
+  }
+}
+
+}  // namespace
+
+double EstimateNdv(const ColumnId& id, const StatsRegistry& stats,
+                   double default_ndv) {
+  const ColumnStats* cs = stats.Lookup(id);
+  if (cs == nullptr || cs->ndv == 0) return default_ndv;
+  return static_cast<double>(cs->ndv);
+}
+
+double EstimateSelectivity(const BoundExpr& predicate,
+                           const StatsRegistry& stats) {
+  switch (predicate.kind()) {
+    case BoundExprKind::kConstant: {
+      const auto* constant = AsConstant(predicate);
+      if (constant->value().is_null()) return 0.0;
+      if (constant->value().type() == catalog::TypeId::kBool) {
+        return constant->value().AsBool() ? 1.0 : 0.0;
+      }
+      return kDefaultSelectivity;
+    }
+    case BoundExprKind::kUnary: {
+      const auto& unary =
+          static_cast<const plan::UnaryBoundExpr&>(predicate);
+      if (unary.op() == sql::UnaryOp::kNot) {
+        return std::clamp(
+            1.0 - EstimateSelectivity(unary.operand(), stats), 0.0, 1.0);
+      }
+      return kDefaultSelectivity;
+    }
+    case BoundExprKind::kBinary: {
+      const auto& binary =
+          static_cast<const plan::BinaryBoundExpr&>(predicate);
+      const BinaryOp op = binary.op();
+      if (op == BinaryOp::kAnd) {
+        const double range =
+            TryRangeConjunction(binary.left(), binary.right(), stats);
+        if (range >= 0.0) return range;
+        return EstimateSelectivity(binary.left(), stats) *
+               EstimateSelectivity(binary.right(), stats);
+      }
+      if (op == BinaryOp::kOr) {
+        const double a = EstimateSelectivity(binary.left(), stats);
+        const double b = EstimateSelectivity(binary.right(), stats);
+        return std::clamp(a + b - a * b, 0.0, 1.0);
+      }
+      // column <op> constant (either orientation).
+      const auto* left_col = AsColumn(binary.left());
+      const auto* right_const = AsConstant(binary.right());
+      if (left_col != nullptr && right_const != nullptr) {
+        return ComparisonSelectivity(op, stats.Lookup(left_col->id()),
+                                     right_const->value());
+      }
+      const auto* right_col = AsColumn(binary.right());
+      const auto* left_const = AsConstant(binary.left());
+      if (right_col != nullptr && left_const != nullptr) {
+        return ComparisonSelectivity(FlipComparison(op),
+                                     stats.Lookup(right_col->id()),
+                                     left_const->value());
+      }
+      // column = column (e.g. join or intra-table correlation).
+      if (left_col != nullptr && right_col != nullptr &&
+          op == BinaryOp::kEq) {
+        return EstimateJoinSelectivity(predicate, stats);
+      }
+      if (op == BinaryOp::kEq) return kDefaultEqSelectivity;
+      return kDefaultSelectivity;
+    }
+    case BoundExprKind::kLike: {
+      const auto& like = static_cast<const plan::LikeBoundExpr&>(predicate);
+      const double match = kLikeSelectivity;
+      return like.negated() ? 1.0 - match : match;
+    }
+    case BoundExprKind::kInList: {
+      const auto& in_list =
+          static_cast<const plan::InListBoundExpr&>(predicate);
+      // Selectivity of the underlying column's equality, once per element.
+      std::vector<ColumnId> columns;
+      in_list.CollectColumns(&columns);
+      double eq = kDefaultEqSelectivity;
+      if (columns.size() == 1) {
+        eq = EqualitySelectivity(stats.Lookup(columns[0]));
+      }
+      const double match = std::min(
+          1.0, eq * static_cast<double>(in_list.list().size()));
+      return in_list.negated() ? 1.0 - match : match;
+    }
+    case BoundExprKind::kIsNull: {
+      const auto& is_null =
+          static_cast<const plan::IsNullBoundExpr&>(predicate);
+      std::vector<ColumnId> columns;
+      is_null.CollectColumns(&columns);
+      double null_fraction = 0.02;
+      if (columns.size() == 1) {
+        const ColumnStats* cs = stats.Lookup(columns[0]);
+        if (cs != nullptr) null_fraction = cs->NullFraction();
+      }
+      return is_null.negated() ? 1.0 - null_fraction : null_fraction;
+    }
+    default:
+      return kDefaultSelectivity;
+  }
+}
+
+double EstimateJoinSelectivity(const BoundExpr& predicate,
+                               const StatsRegistry& stats) {
+  if (predicate.kind() == BoundExprKind::kBinary) {
+    const auto& binary =
+        static_cast<const plan::BinaryBoundExpr&>(predicate);
+    if (binary.op() == BinaryOp::kEq) {
+      const auto* left = AsColumn(binary.left());
+      const auto* right = AsColumn(binary.right());
+      if (left != nullptr && right != nullptr) {
+        const double ndv_left = EstimateNdv(left->id(), stats, 200.0);
+        const double ndv_right = EstimateNdv(right->id(), stats, 200.0);
+        return 1.0 / std::max({ndv_left, ndv_right, 1.0});
+      }
+    }
+    if (binary.op() == BinaryOp::kAnd) {
+      return EstimateJoinSelectivity(binary.left(), stats) *
+             EstimateJoinSelectivity(binary.right(), stats);
+    }
+  }
+  return kDefaultSelectivity;
+}
+
+}  // namespace vdb::optimizer

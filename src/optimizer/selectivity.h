@@ -1,0 +1,59 @@
+#ifndef VDB_OPTIMIZER_SELECTIVITY_H_
+#define VDB_OPTIMIZER_SELECTIVITY_H_
+
+#include <unordered_map>
+
+#include "catalog/catalog.h"
+#include "plan/expr.h"
+#include "plan/logical.h"
+
+namespace vdb::optimizer {
+
+/// Resolves plan ColumnIds to base-table column statistics. Populated from
+/// the LogicalGet leaves of a plan; derived columns simply miss and fall
+/// back to default selectivities.
+class StatsRegistry {
+ public:
+  StatsRegistry() = default;
+
+  /// Registers every column of a base-table scan.
+  void RegisterGet(const plan::LogicalGet& get);
+
+  /// Registers all Gets in a plan tree.
+  void RegisterPlan(const plan::LogicalNode& root);
+
+  /// Stats for a column, or nullptr if unknown.
+  const catalog::ColumnStats* Lookup(const plan::ColumnId& id) const;
+
+ private:
+  std::unordered_map<plan::ColumnId, const catalog::ColumnStats*,
+                     plan::ColumnIdHash>
+      stats_;
+};
+
+/// Default selectivity when nothing better is known (PostgreSQL's
+/// DEFAULT_SEL spirit).
+inline constexpr double kDefaultSelectivity = 0.333;
+inline constexpr double kDefaultEqSelectivity = 0.005;
+inline constexpr double kLikeSelectivity = 0.05;
+
+/// Estimates the fraction of rows satisfying `predicate`, using column
+/// statistics where available. Handles AND/OR/NOT composition,
+/// column-vs-constant comparisons through histograms, equality through
+/// NDV, LIKE, IN lists, and IS [NOT] NULL.
+double EstimateSelectivity(const plan::BoundExpr& predicate,
+                           const StatsRegistry& stats);
+
+/// Estimates the selectivity of an equi-join predicate `left = right`
+/// between two relations: 1 / max(ndv(left), ndv(right)).
+double EstimateJoinSelectivity(const plan::BoundExpr& predicate,
+                               const StatsRegistry& stats);
+
+/// Estimated number of distinct values of a column (falls back to
+/// `default_ndv` when unknown).
+double EstimateNdv(const plan::ColumnId& id, const StatsRegistry& stats,
+                   double default_ndv);
+
+}  // namespace vdb::optimizer
+
+#endif  // VDB_OPTIMIZER_SELECTIVITY_H_

@@ -1,0 +1,251 @@
+#include "plan/expr.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace vdb::plan {
+
+using catalog::TypeId;
+using catalog::Value;
+
+Layout MakeLayout(const std::vector<OutputColumn>& columns) {
+  Layout layout;
+  layout.reserve(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    layout[columns[i].id] = i;
+  }
+  return layout;
+}
+
+Status ColumnExpr::ResolveSlots(const Layout& layout) {
+  auto it = layout.find(id_);
+  if (it == layout.end()) {
+    return Status::Internal("column '" + name_ +
+                            "' not found in input layout");
+  }
+  slot_ = it->second;
+  return Status::OK();
+}
+
+Value UnaryBoundExpr::Evaluate(const catalog::Tuple& row) const {
+  const Value v = operand_->Evaluate(row);
+  if (v.is_null()) return Value::Null(type());
+  if (op_ == sql::UnaryOp::kNegate) {
+    if (v.type() == TypeId::kDouble) return Value::Double(-v.AsDouble());
+    return Value::Int64(-v.AsInt64());
+  }
+  return Value::Bool(!v.AsBool());
+}
+
+std::string UnaryBoundExpr::ToString() const {
+  return std::string(op_ == sql::UnaryOp::kNegate ? "-" : "NOT ") + "(" +
+         operand_->ToString() + ")";
+}
+
+Value BinaryBoundExpr::Evaluate(const catalog::Tuple& row) const {
+  using sql::BinaryOp;
+  // AND/OR need SQL three-valued logic with short-circuiting.
+  if (op_ == BinaryOp::kAnd || op_ == BinaryOp::kOr) {
+    const Value lv = left_->Evaluate(row);
+    const bool l_null = lv.is_null();
+    const bool l_true = !l_null && lv.AsBool();
+    if (op_ == BinaryOp::kAnd && !l_null && !l_true) {
+      return Value::Bool(false);
+    }
+    if (op_ == BinaryOp::kOr && l_true) return Value::Bool(true);
+    const Value rv = right_->Evaluate(row);
+    const bool r_null = rv.is_null();
+    const bool r_true = !r_null && rv.AsBool();
+    if (op_ == BinaryOp::kAnd) {
+      if (!r_null && !r_true) return Value::Bool(false);
+      if (l_null || r_null) return Value::Null(TypeId::kBool);
+      return Value::Bool(true);
+    }
+    if (r_true) return Value::Bool(true);
+    if (l_null || r_null) return Value::Null(TypeId::kBool);
+    return Value::Bool(false);
+  }
+
+  const Value lv = left_->Evaluate(row);
+  const Value rv = right_->Evaluate(row);
+  if (lv.is_null() || rv.is_null()) return Value::Null(type());
+  switch (op_) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod: {
+      if (type() == TypeId::kDouble) {
+        const double a = lv.AsDouble();
+        const double b = rv.AsDouble();
+        switch (op_) {
+          case BinaryOp::kAdd:
+            return Value::Double(a + b);
+          case BinaryOp::kSub:
+            return Value::Double(a - b);
+          case BinaryOp::kMul:
+            return Value::Double(a * b);
+          case BinaryOp::kDiv:
+            return b == 0.0 ? Value::Null(TypeId::kDouble)
+                            : Value::Double(a / b);
+          default:
+            return Value::Null(TypeId::kDouble);
+        }
+      }
+      const int64_t a = lv.AsInt64();
+      const int64_t b = rv.AsInt64();
+      switch (op_) {
+        case BinaryOp::kAdd:
+          return type() == TypeId::kDate ? Value::Date(a + b)
+                                         : Value::Int64(a + b);
+        case BinaryOp::kSub:
+          return type() == TypeId::kDate ? Value::Date(a - b)
+                                         : Value::Int64(a - b);
+        case BinaryOp::kMul:
+          return Value::Int64(a * b);
+        case BinaryOp::kDiv:
+          return b == 0 ? Value::Null(TypeId::kInt64) : Value::Int64(a / b);
+        case BinaryOp::kMod:
+          return b == 0 ? Value::Null(TypeId::kInt64) : Value::Int64(a % b);
+        default:
+          return Value::Null(TypeId::kInt64);
+      }
+    }
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      const int cmp = Value::Compare(lv, rv);
+      switch (op_) {
+        case BinaryOp::kEq:
+          return Value::Bool(cmp == 0);
+        case BinaryOp::kNe:
+          return Value::Bool(cmp != 0);
+        case BinaryOp::kLt:
+          return Value::Bool(cmp < 0);
+        case BinaryOp::kLe:
+          return Value::Bool(cmp <= 0);
+        case BinaryOp::kGt:
+          return Value::Bool(cmp > 0);
+        default:
+          return Value::Bool(cmp >= 0);
+      }
+    }
+    default:
+      VDB_CHECK(false) << "unreachable";
+      return Value::Null(type());
+  }
+}
+
+std::string BinaryBoundExpr::ToString() const {
+  return "(" + left_->ToString() + " " + sql::BinaryOpName(op_) + " " +
+         right_->ToString() + ")";
+}
+
+Value LikeBoundExpr::Evaluate(const catalog::Tuple& row) const {
+  const Value v = value_->Evaluate(row);
+  if (v.is_null()) return Value::Null(TypeId::kBool);
+  const bool match = LikeMatch(v.AsString(), pattern_);
+  return Value::Bool(negated_ ? !match : match);
+}
+
+std::string LikeBoundExpr::ToString() const {
+  return value_->ToString() + (negated_ ? " NOT" : "") + " LIKE '" +
+         pattern_ + "'";
+}
+
+Value InListBoundExpr::Evaluate(const catalog::Tuple& row) const {
+  const Value v = value_->Evaluate(row);
+  if (v.is_null()) return Value::Null(TypeId::kBool);
+  for (const Value& candidate : list_) {
+    if (!candidate.is_null() && Value::Compare(v, candidate) == 0) {
+      return Value::Bool(!negated_);
+    }
+  }
+  return Value::Bool(negated_);
+}
+
+std::string InListBoundExpr::ToString() const {
+  std::string result =
+      value_->ToString() + (negated_ ? " NOT" : "") + " IN (";
+  for (size_t i = 0; i < list_.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += list_[i].ToString();
+  }
+  return result + ")";
+}
+
+Value CaseBoundExpr::Evaluate(const catalog::Tuple& row) const {
+  for (const auto& [when, then] : branches_) {
+    const Value cond = when->Evaluate(row);
+    if (!cond.is_null() && cond.AsBool()) return then->Evaluate(row);
+  }
+  if (else_result_ != nullptr) return else_result_->Evaluate(row);
+  return Value::Null(type());
+}
+
+Status CaseBoundExpr::ResolveSlots(const Layout& layout) {
+  for (auto& [when, then] : branches_) {
+    VDB_RETURN_NOT_OK(when->ResolveSlots(layout));
+    VDB_RETURN_NOT_OK(then->ResolveSlots(layout));
+  }
+  if (else_result_ != nullptr) {
+    VDB_RETURN_NOT_OK(else_result_->ResolveSlots(layout));
+  }
+  return Status::OK();
+}
+
+BoundExprPtr CaseBoundExpr::Clone() const {
+  std::vector<std::pair<BoundExprPtr, BoundExprPtr>> branches;
+  branches.reserve(branches_.size());
+  for (const auto& [when, then] : branches_) {
+    branches.emplace_back(when->Clone(), then->Clone());
+  }
+  return std::make_unique<CaseBoundExpr>(
+      std::move(branches),
+      else_result_ != nullptr ? else_result_->Clone() : nullptr, type());
+}
+
+void CaseBoundExpr::CollectColumns(std::vector<ColumnId>* out) const {
+  for (const auto& [when, then] : branches_) {
+    when->CollectColumns(out);
+    then->CollectColumns(out);
+  }
+  if (else_result_ != nullptr) else_result_->CollectColumns(out);
+}
+
+int CaseBoundExpr::OpCount() const {
+  int count = 0;
+  for (const auto& [when, then] : branches_) {
+    count += 1 + when->OpCount() + then->OpCount();
+  }
+  if (else_result_ != nullptr) count += else_result_->OpCount();
+  return count;
+}
+
+std::string CaseBoundExpr::ToString() const {
+  std::string result = "CASE";
+  for (const auto& [when, then] : branches_) {
+    result += " WHEN " + when->ToString() + " THEN " + then->ToString();
+  }
+  if (else_result_ != nullptr) {
+    result += " ELSE " + else_result_->ToString();
+  }
+  return result + " END";
+}
+
+bool EvaluatesToTrue(const BoundExpr& expr, const catalog::Tuple& row) {
+  const Value v = expr.Evaluate(row);
+  return !v.is_null() && v.AsBool();
+}
+
+BoundExprPtr AndExprs(BoundExprPtr a, BoundExprPtr b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  return std::make_unique<BinaryBoundExpr>(sql::BinaryOp::kAnd, std::move(a),
+                                           std::move(b), TypeId::kBool);
+}
+
+}  // namespace vdb::plan

@@ -1,0 +1,347 @@
+#ifndef VDB_PLAN_EXPR_H_
+#define VDB_PLAN_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/value.h"
+#include "sql/ast.h"
+#include "util/result.h"
+
+namespace vdb::plan {
+
+/// Identifies a column produced somewhere in a query plan: `table_id` is a
+/// per-query unique id for each base-table instance or derived table, and
+/// `column_index` is the column's position in that producer's schema.
+struct ColumnId {
+  int table_id = -1;
+  int column_index = -1;
+
+  friend bool operator==(const ColumnId& a, const ColumnId& b) {
+    return a.table_id == b.table_id && a.column_index == b.column_index;
+  }
+};
+
+struct ColumnIdHash {
+  size_t operator()(const ColumnId& id) const {
+    return std::hash<int>{}(id.table_id * 1024 + id.column_index);
+  }
+};
+
+/// Maps ColumnIds to slot positions in a physical operator's input row.
+using Layout = std::unordered_map<ColumnId, size_t, ColumnIdHash>;
+
+/// One column of a plan node's output.
+struct OutputColumn {
+  ColumnId id;
+  std::string name;
+  catalog::TypeId type = catalog::TypeId::kInt64;
+};
+
+/// Builds the layout that maps each output column to its position.
+Layout MakeLayout(const std::vector<OutputColumn>& columns);
+
+enum class BoundExprKind {
+  kConstant,
+  kColumn,
+  kUnary,
+  kBinary,
+  kLike,
+  kInList,
+  kIsNull,
+  kCase,
+};
+
+/// A bound (resolved, typed) scalar expression. Evaluation uses SQL
+/// three-valued logic: comparisons and boolean connectives involving NULL
+/// produce NULL (represented as a null Bool).
+class BoundExpr {
+ public:
+  explicit BoundExpr(BoundExprKind kind, catalog::TypeId type)
+      : kind_(kind), type_(type) {}
+  virtual ~BoundExpr() = default;
+  BoundExpr(const BoundExpr&) = delete;
+  BoundExpr& operator=(const BoundExpr&) = delete;
+
+  BoundExprKind kind() const { return kind_; }
+  catalog::TypeId type() const { return type_; }
+
+  /// Evaluates against a row (after ResolveSlots has been called).
+  virtual catalog::Value Evaluate(const catalog::Tuple& row) const = 0;
+
+  /// Resolves column references to slot positions for the given layout.
+  /// Must be called (on a clone) before Evaluate.
+  virtual Status ResolveSlots(const Layout& layout) = 0;
+
+  /// Deep copy.
+  virtual std::unique_ptr<BoundExpr> Clone() const = 0;
+
+  /// All column ids referenced by this expression (appended to `out`).
+  virtual void CollectColumns(std::vector<ColumnId>* out) const = 0;
+
+  /// Number of primitive operations per evaluation; drives the optimizer's
+  /// cpu_operator_cost term (the paper's "SQL where clause item" count).
+  virtual int OpCount() const = 0;
+
+  virtual std::string ToString() const = 0;
+
+ private:
+  BoundExprKind kind_;
+  catalog::TypeId type_;
+};
+
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+class ConstantExpr final : public BoundExpr {
+ public:
+  explicit ConstantExpr(catalog::Value value)
+      : BoundExpr(BoundExprKind::kConstant, value.type()),
+        value_(std::move(value)) {}
+
+  catalog::Value Evaluate(const catalog::Tuple&) const override {
+    return value_;
+  }
+  Status ResolveSlots(const Layout&) override { return Status::OK(); }
+  BoundExprPtr Clone() const override {
+    return std::make_unique<ConstantExpr>(value_);
+  }
+  void CollectColumns(std::vector<ColumnId>*) const override {}
+  int OpCount() const override { return 0; }
+  std::string ToString() const override { return value_.ToString(); }
+
+  const catalog::Value& value() const { return value_; }
+
+ private:
+  catalog::Value value_;
+};
+
+class ColumnExpr final : public BoundExpr {
+ public:
+  ColumnExpr(ColumnId id, std::string name, catalog::TypeId type)
+      : BoundExpr(BoundExprKind::kColumn, type),
+        id_(id),
+        name_(std::move(name)) {}
+
+  catalog::Value Evaluate(const catalog::Tuple& row) const override {
+    return row[slot_];
+  }
+  Status ResolveSlots(const Layout& layout) override;
+  BoundExprPtr Clone() const override {
+    return std::make_unique<ColumnExpr>(id_, name_, type());
+  }
+  void CollectColumns(std::vector<ColumnId>* out) const override {
+    out->push_back(id_);
+  }
+  int OpCount() const override { return 0; }
+  std::string ToString() const override { return name_; }
+
+  const ColumnId& id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  ColumnId id_;
+  std::string name_;
+  size_t slot_ = ~0ULL;
+};
+
+class UnaryBoundExpr final : public BoundExpr {
+ public:
+  UnaryBoundExpr(sql::UnaryOp op, BoundExprPtr operand,
+                 catalog::TypeId type)
+      : BoundExpr(BoundExprKind::kUnary, type),
+        op_(op),
+        operand_(std::move(operand)) {}
+
+  catalog::Value Evaluate(const catalog::Tuple& row) const override;
+  Status ResolveSlots(const Layout& layout) override {
+    return operand_->ResolveSlots(layout);
+  }
+  BoundExprPtr Clone() const override {
+    return std::make_unique<UnaryBoundExpr>(op_, operand_->Clone(), type());
+  }
+  void CollectColumns(std::vector<ColumnId>* out) const override {
+    operand_->CollectColumns(out);
+  }
+  int OpCount() const override { return 1 + operand_->OpCount(); }
+  std::string ToString() const override;
+
+  sql::UnaryOp op() const { return op_; }
+  const BoundExpr& operand() const { return *operand_; }
+
+ private:
+  sql::UnaryOp op_;
+  BoundExprPtr operand_;
+};
+
+class BinaryBoundExpr final : public BoundExpr {
+ public:
+  BinaryBoundExpr(sql::BinaryOp op, BoundExprPtr left, BoundExprPtr right,
+                  catalog::TypeId type)
+      : BoundExpr(BoundExprKind::kBinary, type),
+        op_(op),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  catalog::Value Evaluate(const catalog::Tuple& row) const override;
+  Status ResolveSlots(const Layout& layout) override {
+    VDB_RETURN_NOT_OK(left_->ResolveSlots(layout));
+    return right_->ResolveSlots(layout);
+  }
+  BoundExprPtr Clone() const override {
+    return std::make_unique<BinaryBoundExpr>(op_, left_->Clone(),
+                                             right_->Clone(), type());
+  }
+  void CollectColumns(std::vector<ColumnId>* out) const override {
+    left_->CollectColumns(out);
+    right_->CollectColumns(out);
+  }
+  int OpCount() const override {
+    return 1 + left_->OpCount() + right_->OpCount();
+  }
+  std::string ToString() const override;
+
+  sql::BinaryOp op() const { return op_; }
+  const BoundExpr& left() const { return *left_; }
+  const BoundExpr& right() const { return *right_; }
+
+ private:
+  sql::BinaryOp op_;
+  BoundExprPtr left_;
+  BoundExprPtr right_;
+};
+
+class LikeBoundExpr final : public BoundExpr {
+ public:
+  LikeBoundExpr(BoundExprPtr value, std::string pattern, bool negated)
+      : BoundExpr(BoundExprKind::kLike, catalog::TypeId::kBool),
+        value_(std::move(value)),
+        pattern_(std::move(pattern)),
+        negated_(negated) {}
+
+  catalog::Value Evaluate(const catalog::Tuple& row) const override;
+  Status ResolveSlots(const Layout& layout) override {
+    return value_->ResolveSlots(layout);
+  }
+  BoundExprPtr Clone() const override {
+    return std::make_unique<LikeBoundExpr>(value_->Clone(), pattern_,
+                                           negated_);
+  }
+  void CollectColumns(std::vector<ColumnId>* out) const override {
+    value_->CollectColumns(out);
+  }
+  // LIKE is much more expensive than a comparison; weight it like
+  // PostgreSQL's pattern-match costing (several ops per character window,
+  // with backtracking for %...% patterns).
+  int OpCount() const override {
+    return 4 + 3 * static_cast<int>(pattern_.size()) + value_->OpCount();
+  }
+  std::string ToString() const override;
+
+  const std::string& pattern() const { return pattern_; }
+  bool negated() const { return negated_; }
+
+ private:
+  BoundExprPtr value_;
+  std::string pattern_;
+  bool negated_;
+};
+
+class InListBoundExpr final : public BoundExpr {
+ public:
+  InListBoundExpr(BoundExprPtr value, std::vector<catalog::Value> list,
+                  bool negated)
+      : BoundExpr(BoundExprKind::kInList, catalog::TypeId::kBool),
+        value_(std::move(value)),
+        list_(std::move(list)),
+        negated_(negated) {}
+
+  catalog::Value Evaluate(const catalog::Tuple& row) const override;
+  Status ResolveSlots(const Layout& layout) override {
+    return value_->ResolveSlots(layout);
+  }
+  BoundExprPtr Clone() const override {
+    return std::make_unique<InListBoundExpr>(value_->Clone(), list_,
+                                             negated_);
+  }
+  void CollectColumns(std::vector<ColumnId>* out) const override {
+    value_->CollectColumns(out);
+  }
+  int OpCount() const override {
+    return static_cast<int>(list_.size()) + value_->OpCount();
+  }
+  std::string ToString() const override;
+
+  const std::vector<catalog::Value>& list() const { return list_; }
+  bool negated() const { return negated_; }
+
+ private:
+  BoundExprPtr value_;
+  std::vector<catalog::Value> list_;
+  bool negated_;
+};
+
+class IsNullBoundExpr final : public BoundExpr {
+ public:
+  IsNullBoundExpr(BoundExprPtr value, bool negated)
+      : BoundExpr(BoundExprKind::kIsNull, catalog::TypeId::kBool),
+        value_(std::move(value)),
+        negated_(negated) {}
+
+  catalog::Value Evaluate(const catalog::Tuple& row) const override {
+    const bool is_null = value_->Evaluate(row).is_null();
+    return catalog::Value::Bool(negated_ ? !is_null : is_null);
+  }
+  Status ResolveSlots(const Layout& layout) override {
+    return value_->ResolveSlots(layout);
+  }
+  BoundExprPtr Clone() const override {
+    return std::make_unique<IsNullBoundExpr>(value_->Clone(), negated_);
+  }
+  void CollectColumns(std::vector<ColumnId>* out) const override {
+    value_->CollectColumns(out);
+  }
+  int OpCount() const override { return 1 + value_->OpCount(); }
+  std::string ToString() const override {
+    return value_->ToString() + " IS " + (negated_ ? "NOT " : "") + "NULL";
+  }
+
+  bool negated() const { return negated_; }
+
+ private:
+  BoundExprPtr value_;
+  bool negated_;
+};
+
+class CaseBoundExpr final : public BoundExpr {
+ public:
+  CaseBoundExpr(std::vector<std::pair<BoundExprPtr, BoundExprPtr>> branches,
+                BoundExprPtr else_result, catalog::TypeId type)
+      : BoundExpr(BoundExprKind::kCase, type),
+        branches_(std::move(branches)),
+        else_result_(std::move(else_result)) {}
+
+  catalog::Value Evaluate(const catalog::Tuple& row) const override;
+  Status ResolveSlots(const Layout& layout) override;
+  BoundExprPtr Clone() const override;
+  void CollectColumns(std::vector<ColumnId>* out) const override;
+  int OpCount() const override;
+  std::string ToString() const override;
+
+ private:
+  std::vector<std::pair<BoundExprPtr, BoundExprPtr>> branches_;
+  BoundExprPtr else_result_;  // may be null
+};
+
+/// Evaluates `expr` as a SQL condition: true only if the result is a
+/// non-null true boolean.
+bool EvaluatesToTrue(const BoundExpr& expr, const catalog::Tuple& row);
+
+/// Builds `a AND b` (either side may be null, returning the other).
+BoundExprPtr AndExprs(BoundExprPtr a, BoundExprPtr b);
+
+}  // namespace vdb::plan
+
+#endif  // VDB_PLAN_EXPR_H_

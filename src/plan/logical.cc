@@ -1,0 +1,112 @@
+#include "plan/logical.h"
+
+namespace vdb::plan {
+
+const char* LogicalJoinTypeName(LogicalJoinType type) {
+  switch (type) {
+    case LogicalJoinType::kInner:
+      return "INNER";
+    case LogicalJoinType::kCross:
+      return "CROSS";
+    case LogicalJoinType::kLeft:
+      return "LEFT";
+    case LogicalJoinType::kSemi:
+      return "SEMI";
+    case LogicalJoinType::kAnti:
+      return "ANTI";
+  }
+  return "?";
+}
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCountStar:
+      return "count(*)";
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+AggSpec AggSpec::Clone() const {
+  AggSpec copy;
+  copy.kind = kind;
+  copy.arg = arg != nullptr ? arg->Clone() : nullptr;
+  copy.distinct = distinct;
+  copy.output_id = output_id;
+  copy.output_type = output_type;
+  copy.name = name;
+  return copy;
+}
+
+std::string LogicalNode::ChildrenToString(int indent) const {
+  std::string result;
+  for (const auto& child : children) {
+    result += child->ToString(indent + 2);
+  }
+  return result;
+}
+
+std::string LogicalGet::ToString(int indent) const {
+  return Indent(indent) + "Get(" + alias + ")\n";
+}
+
+std::string LogicalFilter::ToString(int indent) const {
+  return Indent(indent) + "Filter(" + condition->ToString() + ")\n" +
+         ChildrenToString(indent);
+}
+
+std::string LogicalProject::ToString(int indent) const {
+  std::string result = Indent(indent) + "Project(";
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += exprs[i]->ToString();
+  }
+  return result + ")\n" + ChildrenToString(indent);
+}
+
+std::string LogicalJoin::ToString(int indent) const {
+  return Indent(indent) + std::string(LogicalJoinTypeName(join_type)) +
+         "Join(" + (condition != nullptr ? condition->ToString() : "true") +
+         ")\n" + ChildrenToString(indent);
+}
+
+std::string LogicalAggregate::ToString(int indent) const {
+  std::string result = Indent(indent) + "Aggregate(groups=[";
+  for (size_t i = 0; i < group_exprs.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += group_exprs[i]->ToString();
+  }
+  result += "], aggs=[";
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += AggKindName(aggs[i].kind);
+    if (aggs[i].arg != nullptr) result += "(" + aggs[i].arg->ToString() + ")";
+  }
+  return result + "])\n" + ChildrenToString(indent);
+}
+
+std::string LogicalSort::ToString(int indent) const {
+  std::string result = Indent(indent) + "Sort(";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += keys[i].expr->ToString();
+    if (!keys[i].ascending) result += " DESC";
+  }
+  return result + ")\n" + ChildrenToString(indent);
+}
+
+std::string LogicalLimit::ToString(int indent) const {
+  return Indent(indent) + "Limit(" + std::to_string(limit) + ")\n" +
+         ChildrenToString(indent);
+}
+
+}  // namespace vdb::plan

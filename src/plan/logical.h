@@ -1,0 +1,127 @@
+#ifndef VDB_PLAN_LOGICAL_H_
+#define VDB_PLAN_LOGICAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/expr.h"
+
+namespace vdb::plan {
+
+enum class LogicalOp {
+  kGet,        // base table scan
+  kFilter,
+  kProject,
+  kJoin,
+  kAggregate,
+  kSort,
+  kLimit,
+};
+
+enum class LogicalJoinType { kInner, kCross, kLeft, kSemi, kAnti };
+
+const char* LogicalJoinTypeName(LogicalJoinType type);
+
+/// SQL aggregate functions.
+enum class AggKind { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggKindName(AggKind kind);
+
+struct AggSpec {
+  AggKind kind = AggKind::kCountStar;
+  BoundExprPtr arg;  // null for COUNT(*)
+  bool distinct = false;
+  ColumnId output_id;
+  catalog::TypeId output_type = catalog::TypeId::kInt64;
+  std::string name;
+
+  AggSpec Clone() const;
+};
+
+/// Base class of logical plan operators. A logical plan is a tree whose
+/// leaves are base-table Gets; every node declares its output columns.
+struct LogicalNode {
+  explicit LogicalNode(LogicalOp node_op) : op(node_op) {}
+  virtual ~LogicalNode() = default;
+  LogicalNode(const LogicalNode&) = delete;
+  LogicalNode& operator=(const LogicalNode&) = delete;
+
+  const LogicalOp op;
+  std::vector<OutputColumn> output;
+
+  /// Children, in order (0, 1, or 2).
+  std::vector<std::unique_ptr<LogicalNode>> children;
+
+  /// Pretty-prints the subtree with `indent` leading spaces.
+  virtual std::string ToString(int indent = 0) const = 0;
+
+ protected:
+  std::string Indent(int indent) const { return std::string(indent, ' '); }
+  std::string ChildrenToString(int indent) const;
+};
+
+using LogicalNodePtr = std::unique_ptr<LogicalNode>;
+
+struct LogicalGet final : LogicalNode {
+  LogicalGet() : LogicalNode(LogicalOp::kGet) {}
+  std::string ToString(int indent) const override;
+
+  catalog::TableInfo* table = nullptr;
+  std::string alias;
+  int table_id = -1;
+};
+
+struct LogicalFilter final : LogicalNode {
+  LogicalFilter() : LogicalNode(LogicalOp::kFilter) {}
+  std::string ToString(int indent) const override;
+
+  BoundExprPtr condition;
+};
+
+struct LogicalProject final : LogicalNode {
+  LogicalProject() : LogicalNode(LogicalOp::kProject) {}
+  std::string ToString(int indent) const override;
+
+  std::vector<BoundExprPtr> exprs;  // one per output column
+};
+
+struct LogicalJoin final : LogicalNode {
+  LogicalJoin() : LogicalNode(LogicalOp::kJoin) {}
+  std::string ToString(int indent) const override;
+
+  LogicalJoinType join_type = LogicalJoinType::kInner;
+  BoundExprPtr condition;  // null for cross join
+};
+
+struct LogicalAggregate final : LogicalNode {
+  LogicalAggregate() : LogicalNode(LogicalOp::kAggregate) {}
+  std::string ToString(int indent) const override;
+
+  std::vector<BoundExprPtr> group_exprs;  // outputs [0, group) of `output`
+  std::vector<AggSpec> aggs;              // outputs [group, end)
+};
+
+struct SortKey {
+  BoundExprPtr expr;
+  bool ascending = true;
+};
+
+struct LogicalSort final : LogicalNode {
+  LogicalSort() : LogicalNode(LogicalOp::kSort) {}
+  std::string ToString(int indent) const override;
+
+  std::vector<SortKey> keys;
+};
+
+struct LogicalLimit final : LogicalNode {
+  LogicalLimit() : LogicalNode(LogicalOp::kLimit) {}
+  std::string ToString(int indent) const override;
+
+  int64_t limit = 0;
+};
+
+}  // namespace vdb::plan
+
+#endif  // VDB_PLAN_LOGICAL_H_

@@ -1,0 +1,1015 @@
+#include "plan/planner.h"
+
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace vdb::plan {
+
+namespace {
+
+using catalog::TypeId;
+using catalog::Value;
+using sql::BinaryOp;
+using sql::ExprType;
+
+// Splits an AST expression into its top-level AND conjuncts.
+void SplitConjuncts(const sql::Expr* expr,
+                    std::vector<const sql::Expr*>* out) {
+  if (expr == nullptr) return;
+  if (expr->type == ExprType::kBinary) {
+    const auto* binary = static_cast<const sql::BinaryExpr*>(expr);
+    if (binary->op == BinaryOp::kAnd) {
+      SplitConjuncts(binary->left.get(), out);
+      SplitConjuncts(binary->right.get(), out);
+      return;
+    }
+  }
+  out->push_back(expr);
+}
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<TypeId> ArithmeticResultType(BinaryOp op, TypeId left, TypeId right) {
+  if (left == TypeId::kString || right == TypeId::kString ||
+      left == TypeId::kBool || right == TypeId::kBool) {
+    return Status::InvalidArgument("arithmetic on non-numeric operand");
+  }
+  if (left == TypeId::kDouble || right == TypeId::kDouble) {
+    return TypeId::kDouble;
+  }
+  if (left == TypeId::kDate || right == TypeId::kDate) {
+    if (op == BinaryOp::kAdd || op == BinaryOp::kSub) {
+      // date - date -> days; date +/- days -> date.
+      return (left == TypeId::kDate && right == TypeId::kDate)
+                 ? TypeId::kInt64
+                 : TypeId::kDate;
+    }
+    return Status::InvalidArgument("invalid arithmetic on DATE");
+  }
+  return TypeId::kInt64;
+}
+
+Status CheckComparable(TypeId left, TypeId right) {
+  const bool left_string = left == TypeId::kString;
+  const bool right_string = right == TypeId::kString;
+  if (left_string != right_string) {
+    return Status::InvalidArgument(
+        "cannot compare string with non-string value");
+  }
+  return Status::OK();
+}
+
+// Folds an expression whose operands are all constants.
+BoundExprPtr MaybeFold(BoundExprPtr expr) {
+  std::vector<ColumnId> columns;
+  expr->CollectColumns(&columns);
+  if (!columns.empty() || expr->kind() == BoundExprKind::kConstant) {
+    return expr;
+  }
+  const Value folded = expr->Evaluate({});
+  return std::make_unique<ConstantExpr>(folded);
+}
+
+// Name for an AST node used as an output column (falls back to ToString).
+std::string ColumnNameForItem(const sql::SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->type == ExprType::kColumnRef) {
+    return static_cast<const sql::ColumnRefExpr*>(item.expr.get())->column;
+  }
+  return item.expr->ToString();
+}
+
+bool IsAggregateName(const std::string& name) {
+  return name == "count" || name == "sum" || name == "avg" ||
+         name == "min" || name == "max";
+}
+
+// Table ids referenced by a bound expression.
+std::unordered_set<int> ReferencedTableIds(const BoundExpr& expr) {
+  std::vector<ColumnId> columns;
+  expr.CollectColumns(&columns);
+  std::unordered_set<int> ids;
+  for (const ColumnId& column : columns) ids.insert(column.table_id);
+  return ids;
+}
+
+// True if every column of `expr` is produced by `node`.
+bool NodeCovers(const LogicalNode& node, const BoundExpr& expr) {
+  std::vector<ColumnId> columns;
+  expr.CollectColumns(&columns);
+  for (const ColumnId& needed : columns) {
+    bool found = false;
+    for (const OutputColumn& have : node.output) {
+      if (have.id == needed) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<LogicalNodePtr> Planner::Plan(const sql::SelectStatement& stmt) {
+  if (stmt.from.empty()) {
+    return Status::NotSupported("SELECT without FROM is not supported");
+  }
+  Scope scope;
+  VDB_ASSIGN_OR_RETURN(LogicalNodePtr plan, PlanFromWhere(stmt, &scope));
+  return PlanSelectList(stmt, std::move(plan), scope);
+}
+
+Result<LogicalNodePtr> Planner::PlanFrom(
+    const std::vector<sql::FromItem>& items, Scope* scope) {
+  LogicalNodePtr plan;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const sql::FromItem& item = items[i];
+    if (i == 0) {
+      VDB_ASSIGN_OR_RETURN(plan, PlanTableRef(item.table, scope));
+      continue;
+    }
+    Scope right_scope;
+    VDB_ASSIGN_OR_RETURN(LogicalNodePtr right,
+                         PlanTableRef(item.table, &right_scope));
+    // Extend the visible scope with the right side's columns.
+    for (const ScopeColumn& column : right_scope.columns) {
+      scope->columns.push_back(column);
+    }
+    auto join = std::make_unique<LogicalJoin>();
+    switch (item.join_type) {
+      case sql::JoinType::kCross:
+        join->join_type = LogicalJoinType::kCross;
+        break;
+      case sql::JoinType::kInner:
+        join->join_type = LogicalJoinType::kInner;
+        break;
+      case sql::JoinType::kLeft:
+        join->join_type = LogicalJoinType::kLeft;
+        break;
+    }
+    join->output = plan->output;
+    join->output.insert(join->output.end(), right->output.begin(),
+                        right->output.end());
+    join->children.push_back(std::move(plan));
+    join->children.push_back(std::move(right));
+    if (item.join_condition != nullptr) {
+      VDB_ASSIGN_OR_RETURN(join->condition,
+                           BindExpr(*item.join_condition, *scope));
+      if (join->condition->type() != TypeId::kBool) {
+        return Status::InvalidArgument("join condition must be boolean");
+      }
+    }
+    plan = std::move(join);
+  }
+  return plan;
+}
+
+Result<LogicalNodePtr> Planner::PlanFromWhere(
+    const sql::SelectStatement& stmt, Scope* scope) {
+  VDB_ASSIGN_OR_RETURN(LogicalNodePtr plan, PlanFrom(stmt.from, scope));
+
+  if (stmt.where != nullptr) {
+    std::vector<const sql::Expr*> conjuncts;
+    SplitConjuncts(stmt.where.get(), &conjuncts);
+    BoundExprPtr filter_condition;
+    for (const sql::Expr* conjunct : conjuncts) {
+      // [NOT] EXISTS conjuncts become semi/anti joins.
+      if (conjunct->type == ExprType::kExists) {
+        const auto* exists =
+            static_cast<const sql::ExistsExpr*>(conjunct);
+        VDB_ASSIGN_OR_RETURN(
+            plan, PlanExists(std::move(plan), *scope, *exists->subquery,
+                             exists->negated));
+        continue;
+      }
+      if (conjunct->type == ExprType::kInSubquery) {
+        const auto* in = static_cast<const sql::InSubqueryExpr*>(conjunct);
+        VDB_ASSIGN_OR_RETURN(
+            plan, PlanInSubquery(std::move(plan), *scope, *in->value,
+                                 *in->subquery, in->negated));
+        continue;
+      }
+      if (conjunct->type == ExprType::kUnary) {
+        const auto* unary = static_cast<const sql::UnaryExpr*>(conjunct);
+        if (unary->op == sql::UnaryOp::kNot &&
+            unary->operand->type == ExprType::kExists) {
+          const auto* exists =
+              static_cast<const sql::ExistsExpr*>(unary->operand.get());
+          VDB_ASSIGN_OR_RETURN(
+              plan, PlanExists(std::move(plan), *scope, *exists->subquery,
+                               !exists->negated));
+          continue;
+        }
+        if (unary->op == sql::UnaryOp::kNot &&
+            unary->operand->type == ExprType::kInSubquery) {
+          const auto* in = static_cast<const sql::InSubqueryExpr*>(
+              unary->operand.get());
+          VDB_ASSIGN_OR_RETURN(
+              plan, PlanInSubquery(std::move(plan), *scope, *in->value,
+                                   *in->subquery, !in->negated));
+          continue;
+        }
+      }
+      VDB_ASSIGN_OR_RETURN(BoundExprPtr bound, BindExpr(*conjunct, *scope));
+      if (bound->type() != TypeId::kBool) {
+        return Status::InvalidArgument("WHERE predicate must be boolean: " +
+                                       conjunct->ToString());
+      }
+      filter_condition = AndExprs(std::move(filter_condition),
+                                  std::move(bound));
+    }
+    // Attach any scalar-subquery relations (each a single row) below the
+    // filter via cross joins, making their output columns available.
+    for (PendingScalarSubquery& pending : pending_scalar_subqueries_) {
+      auto join = std::make_unique<LogicalJoin>();
+      join->join_type = LogicalJoinType::kCross;
+      join->output = plan->output;
+      join->output.insert(join->output.end(),
+                          pending.plan->output.begin(),
+                          pending.plan->output.end());
+      join->children.push_back(std::move(plan));
+      join->children.push_back(std::move(pending.plan));
+      plan = std::move(join);
+    }
+    pending_scalar_subqueries_.clear();
+    if (filter_condition != nullptr) {
+      auto filter = std::make_unique<LogicalFilter>();
+      filter->output = plan->output;
+      filter->condition = std::move(filter_condition);
+      filter->children.push_back(std::move(plan));
+      plan = std::move(filter);
+    }
+  }
+  return plan;
+}
+
+Result<LogicalNodePtr> Planner::PlanTableRef(const sql::TableRef& ref,
+                                             Scope* scope) {
+  if (ref.kind == sql::TableRef::Kind::kBaseTable) {
+    VDB_ASSIGN_OR_RETURN(catalog::TableInfo * table,
+                         catalog_->GetTable(ref.name));
+    auto get = std::make_unique<LogicalGet>();
+    get->table = table;
+    get->alias = ref.alias.empty() ? ref.name : ref.alias;
+    get->table_id = NextTableId();
+    for (size_t i = 0; i < table->schema.NumColumns(); ++i) {
+      OutputColumn column;
+      column.id = ColumnId{get->table_id, static_cast<int>(i)};
+      column.name = table->schema.column(i).name;
+      column.type = table->schema.column(i).type;
+      get->output.push_back(column);
+      scope->columns.push_back(ScopeColumn{column, get->alias});
+    }
+    return LogicalNodePtr(std::move(get));
+  }
+  // Derived table: plan the subquery, then re-expose its outputs under the
+  // derived table's alias (and column aliases, if given).
+  VDB_ASSIGN_OR_RETURN(LogicalNodePtr subplan, Plan(*ref.subquery));
+  if (!ref.column_aliases.empty() &&
+      ref.column_aliases.size() != subplan->output.size()) {
+    return Status::InvalidArgument(
+        "derived table '" + ref.alias + "' has " +
+        std::to_string(subplan->output.size()) + " columns but " +
+        std::to_string(ref.column_aliases.size()) + " aliases");
+  }
+  for (size_t i = 0; i < subplan->output.size(); ++i) {
+    OutputColumn column = subplan->output[i];
+    if (!ref.column_aliases.empty()) {
+      column.name = ref.column_aliases[i];
+      subplan->output[i].name = column.name;
+    }
+    scope->columns.push_back(ScopeColumn{column, ref.alias});
+  }
+  return subplan;
+}
+
+Result<LogicalNodePtr> Planner::PlanExists(
+    LogicalNodePtr plan, const Scope& scope,
+    const sql::SelectStatement& sub, bool negated) {
+  if (!sub.group_by.empty() || sub.having != nullptr || sub.from.empty()) {
+    return Status::NotSupported(
+        "EXISTS subqueries with grouping are not supported");
+  }
+  // Plan the subquery's FROM clause; its WHERE is handled here because its
+  // conjuncts may reference the outer query (correlation).
+  Scope inner_scope;
+  VDB_ASSIGN_OR_RETURN(LogicalNodePtr inner,
+                       PlanFrom(sub.from, &inner_scope));
+  std::unordered_set<int> inner_ids;
+  for (const OutputColumn& column : inner->output) {
+    inner_ids.insert(column.id.table_id);
+  }
+  // Bind the subquery WHERE over the combined (outer ++ inner) scope and
+  // split conjuncts into local filters vs. correlated join predicates.
+  Scope combined = scope;
+  combined.columns.insert(combined.columns.end(),
+                          inner_scope.columns.begin(),
+                          inner_scope.columns.end());
+  std::vector<const sql::Expr*> conjuncts;
+  SplitConjuncts(sub.where.get(), &conjuncts);
+  BoundExprPtr local_condition;
+  BoundExprPtr join_condition;
+  for (const sql::Expr* conjunct : conjuncts) {
+    VDB_ASSIGN_OR_RETURN(BoundExprPtr bound, BindExpr(*conjunct, combined));
+    bool references_outer = false;
+    for (int table_id : ReferencedTableIds(*bound)) {
+      if (inner_ids.find(table_id) == inner_ids.end()) {
+        references_outer = true;
+        break;
+      }
+    }
+    if (references_outer) {
+      join_condition = AndExprs(std::move(join_condition), std::move(bound));
+    } else {
+      local_condition = AndExprs(std::move(local_condition),
+                                 std::move(bound));
+    }
+  }
+  if (local_condition != nullptr) {
+    auto filter = std::make_unique<LogicalFilter>();
+    filter->output = inner->output;
+    filter->condition = std::move(local_condition);
+    filter->children.push_back(std::move(inner));
+    inner = std::move(filter);
+  }
+  auto join = std::make_unique<LogicalJoin>();
+  join->join_type =
+      negated ? LogicalJoinType::kAnti : LogicalJoinType::kSemi;
+  join->condition = std::move(join_condition);
+  join->output = plan->output;
+  join->children.push_back(std::move(plan));
+  join->children.push_back(std::move(inner));
+  return LogicalNodePtr(std::move(join));
+}
+
+Result<LogicalNodePtr> Planner::PlanInSubquery(
+    LogicalNodePtr plan, const Scope& scope, const sql::Expr& value,
+    const sql::SelectStatement& subquery, bool negated) {
+  // Uncorrelated IN-subquery: plan the subquery independently and join
+  // the outer value against its single output column with a semi join
+  // (anti join for NOT IN; NULL subquery values never match, i.e. we use
+  // NOT EXISTS semantics, the common engine interpretation).
+  VDB_ASSIGN_OR_RETURN(LogicalNodePtr inner, Plan(subquery));
+  if (inner->output.size() != 1) {
+    return Status::InvalidArgument(
+        "IN subquery must produce exactly one column, got " +
+        std::to_string(inner->output.size()));
+  }
+  VDB_ASSIGN_OR_RETURN(BoundExprPtr outer_value, BindExpr(value, scope));
+  const OutputColumn& inner_column = inner->output[0];
+  VDB_RETURN_NOT_OK(CheckComparable(outer_value->type(),
+                                    inner_column.type));
+  auto join = std::make_unique<LogicalJoin>();
+  join->join_type =
+      negated ? LogicalJoinType::kAnti : LogicalJoinType::kSemi;
+  join->condition = std::make_unique<BinaryBoundExpr>(
+      BinaryOp::kEq, std::move(outer_value),
+      std::make_unique<ColumnExpr>(inner_column.id, inner_column.name,
+                                   inner_column.type),
+      TypeId::kBool);
+  join->output = plan->output;
+  join->children.push_back(std::move(plan));
+  join->children.push_back(std::move(inner));
+  return LogicalNodePtr(std::move(join));
+}
+
+Result<LogicalNodePtr> Planner::PlanSelectList(
+    const sql::SelectStatement& stmt, LogicalNodePtr child,
+    const Scope& scope) {
+  if (!pending_scalar_subqueries_.empty()) {
+    pending_scalar_subqueries_.clear();
+    return Status::Internal("unattached scalar subquery");
+  }
+  // Gather aggregate calls from the select list, HAVING, and ORDER BY.
+  std::vector<const sql::FunctionCallExpr*> agg_calls;
+  bool select_star = false;
+  for (const sql::SelectItem& item : stmt.items) {
+    if (item.expr->type == ExprType::kStar) {
+      select_star = true;
+      continue;
+    }
+    VDB_RETURN_NOT_OK(CollectAggregates(*item.expr, &agg_calls));
+  }
+  if (stmt.having != nullptr) {
+    VDB_RETURN_NOT_OK(CollectAggregates(*stmt.having, &agg_calls));
+  }
+  for (const sql::OrderByItem& item : stmt.order_by) {
+    VDB_RETURN_NOT_OK(CollectAggregates(*item.expr, &agg_calls));
+  }
+  const bool grouped = !stmt.group_by.empty() || !agg_calls.empty();
+  if (grouped && select_star) {
+    return Status::InvalidArgument("SELECT * cannot be combined with "
+                                   "aggregation");
+  }
+  if (stmt.having != nullptr && !grouped) {
+    return Status::InvalidArgument("HAVING requires aggregation");
+  }
+
+  LogicalNodePtr current = std::move(child);
+  AggBindingContext agg_context;
+  agg_context.child_scope = &scope;
+
+  if (grouped) {
+    auto aggregate = std::make_unique<LogicalAggregate>();
+    const int agg_table = NextTableId();
+    int next_column = 0;
+    for (const sql::ExprPtr& group_ast : stmt.group_by) {
+      VDB_ASSIGN_OR_RETURN(BoundExprPtr bound, BindExpr(*group_ast, scope));
+      OutputColumn column;
+      if (bound->kind() == BoundExprKind::kColumn) {
+        const auto* col = static_cast<const ColumnExpr*>(bound.get());
+        column.id = col->id();
+        column.name = col->name();
+      } else {
+        column.id = ColumnId{agg_table, next_column};
+        column.name = group_ast->ToString();
+      }
+      ++next_column;
+      column.type = bound->type();
+      aggregate->group_exprs.push_back(std::move(bound));
+      aggregate->output.push_back(column);
+      agg_context.group_texts.push_back(group_ast->ToString());
+      agg_context.group_outputs.push_back(column);
+    }
+    for (const sql::FunctionCallExpr* call : agg_calls) {
+      AggSpec spec;
+      spec.name = call->ToString();
+      if (call->name == "count") {
+        spec.kind = call->star ? AggKind::kCountStar : AggKind::kCount;
+      } else if (call->name == "sum") {
+        spec.kind = AggKind::kSum;
+      } else if (call->name == "avg") {
+        spec.kind = AggKind::kAvg;
+      } else if (call->name == "min") {
+        spec.kind = AggKind::kMin;
+      } else {
+        spec.kind = AggKind::kMax;
+      }
+      if (!call->star) {
+        if (call->args.size() != 1) {
+          return Status::InvalidArgument("aggregate " + call->name +
+                                         " takes exactly one argument");
+        }
+        VDB_ASSIGN_OR_RETURN(spec.arg, BindExpr(*call->args[0], scope));
+      }
+      spec.distinct = call->distinct;
+      switch (spec.kind) {
+        case AggKind::kCountStar:
+        case AggKind::kCount:
+          spec.output_type = TypeId::kInt64;
+          break;
+        case AggKind::kAvg:
+          spec.output_type = TypeId::kDouble;
+          break;
+        default:
+          spec.output_type = spec.arg->type();
+          break;
+      }
+      if ((spec.kind == AggKind::kSum || spec.kind == AggKind::kAvg) &&
+          spec.arg != nullptr &&
+          (spec.arg->type() == TypeId::kString ||
+           spec.arg->type() == TypeId::kBool)) {
+        return Status::InvalidArgument(
+            "sum/avg require a numeric argument");
+      }
+      OutputColumn column;
+      column.id = ColumnId{agg_table, next_column++};
+      column.name = spec.name;
+      column.type = spec.output_type;
+      spec.output_id = column.id;
+      aggregate->output.push_back(column);
+      agg_context.agg_texts.push_back(spec.name);
+      agg_context.agg_outputs.push_back(column);
+      aggregate->aggs.push_back(std::move(spec));
+    }
+    aggregate->children.push_back(std::move(current));
+    current = std::move(aggregate);
+
+    if (stmt.having != nullptr) {
+      VDB_ASSIGN_OR_RETURN(BoundExprPtr condition,
+                           BindPostAggExpr(*stmt.having, agg_context));
+      if (condition->type() != TypeId::kBool) {
+        return Status::InvalidArgument("HAVING must be boolean");
+      }
+      auto filter = std::make_unique<LogicalFilter>();
+      filter->output = current->output;
+      filter->condition = std::move(condition);
+      filter->children.push_back(std::move(current));
+      current = std::move(filter);
+    }
+  }
+
+  // Final projection.
+  auto project = std::make_unique<LogicalProject>();
+  const int project_table = NextTableId();
+  std::vector<std::string> item_texts;  // for ORDER BY matching
+  int next_column = 0;
+  for (const sql::SelectItem& item : stmt.items) {
+    if (item.expr->type == ExprType::kStar) {
+      for (const ScopeColumn& sc : scope.columns) {
+        project->exprs.push_back(std::make_unique<ColumnExpr>(
+            sc.column.id, sc.column.name, sc.column.type));
+        project->output.push_back(sc.column);
+        item_texts.push_back(sc.column.name);
+        ++next_column;
+      }
+      continue;
+    }
+    BoundExprPtr bound;
+    if (grouped) {
+      VDB_ASSIGN_OR_RETURN(bound, BindPostAggExpr(*item.expr, agg_context));
+    } else {
+      VDB_ASSIGN_OR_RETURN(bound, BindExpr(*item.expr, scope));
+    }
+    OutputColumn column;
+    if (bound->kind() == BoundExprKind::kColumn) {
+      column.id = static_cast<const ColumnExpr*>(bound.get())->id();
+    } else {
+      column.id = ColumnId{project_table, next_column};
+    }
+    ++next_column;
+    column.name = ColumnNameForItem(item);
+    column.type = bound->type();
+    project->exprs.push_back(std::move(bound));
+    project->output.push_back(column);
+    item_texts.push_back(item.expr->ToString());
+  }
+  // For plain (non-grouped, non-distinct) queries, ORDER BY may reference
+  // any input column, not just select-list items; sort below the project in
+  // that case. Aliases still resolve to the select item's expression.
+  if (!stmt.order_by.empty() && !grouped && !stmt.distinct) {
+    auto sort = std::make_unique<LogicalSort>();
+    sort->output = current->output;
+    bool all_bound = true;
+    for (const sql::OrderByItem& item : stmt.order_by) {
+      SortKey key;
+      key.ascending = item.ascending;
+      // Alias of a select item?
+      if (item.expr->type == ExprType::kColumnRef) {
+        const auto* ref =
+            static_cast<const sql::ColumnRefExpr*>(item.expr.get());
+        if (ref->table.empty()) {
+          for (size_t i = 0; i < stmt.items.size(); ++i) {
+            if (stmt.items[i].expr->type != ExprType::kStar &&
+                EqualsIgnoreCase(stmt.items[i].alias, ref->column)) {
+              key.expr = project->exprs[i]->Clone();
+              break;
+            }
+          }
+        }
+      }
+      if (key.expr == nullptr) {
+        auto bound = BindExpr(*item.expr, scope);
+        if (!bound.ok()) {
+          all_bound = false;
+          break;
+        }
+        key.expr = std::move(*bound);
+      }
+      sort->keys.push_back(std::move(key));
+    }
+    if (all_bound) {
+      sort->children.push_back(std::move(current));
+      // Attach the project above the sort and finish.
+      project->children.push_back(std::move(sort));
+      current = std::move(project);
+      if (stmt.limit >= 0) {
+        auto limit = std::make_unique<LogicalLimit>();
+        limit->limit = stmt.limit;
+        limit->output = current->output;
+        limit->children.push_back(std::move(current));
+        current = std::move(limit);
+      }
+      return current;
+    }
+    // Fall through to select-list matching below.
+  }
+
+  project->children.push_back(std::move(current));
+  current = std::move(project);
+
+  if (stmt.distinct) {
+    auto distinct = std::make_unique<LogicalAggregate>();
+    for (const OutputColumn& column : current->output) {
+      distinct->group_exprs.push_back(std::make_unique<ColumnExpr>(
+          column.id, column.name, column.type));
+      distinct->output.push_back(column);
+    }
+    distinct->children.push_back(std::move(current));
+    current = std::move(distinct);
+  }
+
+  if (!stmt.order_by.empty()) {
+    auto sort = std::make_unique<LogicalSort>();
+    sort->output = current->output;
+    for (const sql::OrderByItem& item : stmt.order_by) {
+      // Match against select-item aliases/names, then item text.
+      const std::string text = item.expr->ToString();
+      int match = -1;
+      for (size_t i = 0; i < current->output.size(); ++i) {
+        if (EqualsIgnoreCase(current->output[i].name, text)) {
+          match = static_cast<int>(i);
+          break;
+        }
+      }
+      if (match < 0) {
+        for (size_t i = 0; i < item_texts.size(); ++i) {
+          if (item_texts[i] == text) {
+            match = static_cast<int>(i);
+            break;
+          }
+        }
+      }
+      if (match < 0) {
+        return Status::NotSupported(
+            "ORDER BY expression must name a select-list column: " + text);
+      }
+      const OutputColumn& column = current->output[match];
+      SortKey key;
+      key.expr =
+          std::make_unique<ColumnExpr>(column.id, column.name, column.type);
+      key.ascending = item.ascending;
+      sort->keys.push_back(std::move(key));
+    }
+    sort->children.push_back(std::move(current));
+    current = std::move(sort);
+  }
+
+  if (stmt.limit >= 0) {
+    auto limit = std::make_unique<LogicalLimit>();
+    limit->limit = stmt.limit;
+    limit->output = current->output;
+    limit->children.push_back(std::move(current));
+    current = std::move(limit);
+  }
+  return current;
+}
+
+Status Planner::CollectAggregates(
+    const sql::Expr& expr,
+    std::vector<const sql::FunctionCallExpr*>* out) {
+  switch (expr.type) {
+    case ExprType::kFunctionCall: {
+      const auto& call = static_cast<const sql::FunctionCallExpr&>(expr);
+      if (!IsAggregateName(call.name)) {
+        return Status::NotSupported("unknown function: " + call.name);
+      }
+      // No nested aggregates.
+      for (const sql::ExprPtr& arg : call.args) {
+        std::vector<const sql::FunctionCallExpr*> nested;
+        VDB_RETURN_NOT_OK(CollectAggregates(*arg, &nested));
+        if (!nested.empty()) {
+          return Status::InvalidArgument("aggregates cannot be nested");
+        }
+      }
+      for (const sql::FunctionCallExpr* existing : *out) {
+        if (existing->ToString() == call.ToString()) return Status::OK();
+      }
+      out->push_back(&call);
+      return Status::OK();
+    }
+    case ExprType::kUnary:
+      return CollectAggregates(
+          *static_cast<const sql::UnaryExpr&>(expr).operand, out);
+    case ExprType::kBinary: {
+      const auto& binary = static_cast<const sql::BinaryExpr&>(expr);
+      VDB_RETURN_NOT_OK(CollectAggregates(*binary.left, out));
+      return CollectAggregates(*binary.right, out);
+    }
+    case ExprType::kBetween: {
+      const auto& between = static_cast<const sql::BetweenExpr&>(expr);
+      VDB_RETURN_NOT_OK(CollectAggregates(*between.value, out));
+      VDB_RETURN_NOT_OK(CollectAggregates(*between.low, out));
+      return CollectAggregates(*between.high, out);
+    }
+    case ExprType::kInList: {
+      const auto& in_list = static_cast<const sql::InListExpr&>(expr);
+      VDB_RETURN_NOT_OK(CollectAggregates(*in_list.value, out));
+      for (const sql::ExprPtr& item : in_list.list) {
+        VDB_RETURN_NOT_OK(CollectAggregates(*item, out));
+      }
+      return Status::OK();
+    }
+    case ExprType::kInSubquery:
+      return CollectAggregates(
+          *static_cast<const sql::InSubqueryExpr&>(expr).value, out);
+    case ExprType::kLike:
+      return CollectAggregates(
+          *static_cast<const sql::LikeExpr&>(expr).value, out);
+    case ExprType::kIsNull:
+      return CollectAggregates(
+          *static_cast<const sql::IsNullExpr&>(expr).value, out);
+    case ExprType::kCase: {
+      const auto& case_expr = static_cast<const sql::CaseExpr&>(expr);
+      for (const auto& [when, then] : case_expr.branches) {
+        VDB_RETURN_NOT_OK(CollectAggregates(*when, out));
+        VDB_RETURN_NOT_OK(CollectAggregates(*then, out));
+      }
+      if (case_expr.else_result != nullptr) {
+        return CollectAggregates(*case_expr.else_result, out);
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::OK();
+  }
+}
+
+Result<BoundExprPtr> Planner::BindColumnRef(const sql::ColumnRefExpr& ref,
+                                            const Scope& scope) {
+  const ScopeColumn* found = nullptr;
+  for (const ScopeColumn& sc : scope.columns) {
+    const bool qualifier_matches =
+        ref.table.empty() || EqualsIgnoreCase(sc.qualifier, ref.table);
+    if (qualifier_matches && EqualsIgnoreCase(sc.column.name, ref.column)) {
+      if (found != nullptr) {
+        return Status::InvalidArgument("ambiguous column reference: " +
+                                       ref.ToString());
+      }
+      found = &sc;
+    }
+  }
+  if (found == nullptr) {
+    return Status::NotFound("column not found: " + ref.ToString());
+  }
+  return BoundExprPtr(std::make_unique<ColumnExpr>(
+      found->column.id, found->column.name, found->column.type));
+}
+
+Result<BoundExprPtr> Planner::BindExpr(const sql::Expr& expr,
+                                       const Scope& scope) {
+  switch (expr.type) {
+    case ExprType::kLiteral:
+      return BoundExprPtr(std::make_unique<ConstantExpr>(
+          static_cast<const sql::LiteralExpr&>(expr).value));
+    case ExprType::kColumnRef:
+      return BindColumnRef(static_cast<const sql::ColumnRefExpr&>(expr),
+                           scope);
+    case ExprType::kStar:
+      return Status::InvalidArgument("'*' is not valid here");
+    case ExprType::kUnary: {
+      const auto& unary = static_cast<const sql::UnaryExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(BoundExprPtr operand,
+                           BindExpr(*unary.operand, scope));
+      TypeId type;
+      if (unary.op == sql::UnaryOp::kNot) {
+        if (operand->type() != TypeId::kBool) {
+          return Status::InvalidArgument("NOT requires a boolean operand");
+        }
+        type = TypeId::kBool;
+      } else {
+        if (operand->type() == TypeId::kString ||
+            operand->type() == TypeId::kBool) {
+          return Status::InvalidArgument("unary minus on non-numeric");
+        }
+        type = operand->type();
+      }
+      return MaybeFold(std::make_unique<UnaryBoundExpr>(
+          unary.op, std::move(operand), type));
+    }
+    case ExprType::kBinary: {
+      const auto& binary = static_cast<const sql::BinaryExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(BoundExprPtr left, BindExpr(*binary.left, scope));
+      VDB_ASSIGN_OR_RETURN(BoundExprPtr right,
+                           BindExpr(*binary.right, scope));
+      TypeId type;
+      if (binary.op == BinaryOp::kAnd || binary.op == BinaryOp::kOr) {
+        if (left->type() != TypeId::kBool ||
+            right->type() != TypeId::kBool) {
+          return Status::InvalidArgument(
+              std::string(sql::BinaryOpName(binary.op)) +
+              " requires boolean operands");
+        }
+        type = TypeId::kBool;
+      } else if (IsComparison(binary.op)) {
+        VDB_RETURN_NOT_OK(CheckComparable(left->type(), right->type()));
+        type = TypeId::kBool;
+      } else {
+        VDB_ASSIGN_OR_RETURN(
+            type, ArithmeticResultType(binary.op, left->type(),
+                                       right->type()));
+      }
+      return MaybeFold(std::make_unique<BinaryBoundExpr>(
+          binary.op, std::move(left), std::move(right), type));
+    }
+    case ExprType::kBetween: {
+      const auto& between = static_cast<const sql::BetweenExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(BoundExprPtr value,
+                           BindExpr(*between.value, scope));
+      VDB_ASSIGN_OR_RETURN(BoundExprPtr low, BindExpr(*between.low, scope));
+      VDB_ASSIGN_OR_RETURN(BoundExprPtr high,
+                           BindExpr(*between.high, scope));
+      VDB_RETURN_NOT_OK(CheckComparable(value->type(), low->type()));
+      VDB_RETURN_NOT_OK(CheckComparable(value->type(), high->type()));
+      // Rewrite to value >= low AND value <= high (negated: OR of inverses).
+      BoundExprPtr ge = std::make_unique<BinaryBoundExpr>(
+          between.negated ? BinaryOp::kLt : BinaryOp::kGe, value->Clone(),
+          std::move(low), TypeId::kBool);
+      BoundExprPtr le = std::make_unique<BinaryBoundExpr>(
+          between.negated ? BinaryOp::kGt : BinaryOp::kLe, std::move(value),
+          std::move(high), TypeId::kBool);
+      return MaybeFold(std::make_unique<BinaryBoundExpr>(
+          between.negated ? BinaryOp::kOr : BinaryOp::kAnd, std::move(ge),
+          std::move(le), TypeId::kBool));
+    }
+    case ExprType::kInList: {
+      const auto& in_list = static_cast<const sql::InListExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(BoundExprPtr value,
+                           BindExpr(*in_list.value, scope));
+      std::vector<Value> constants;
+      for (const sql::ExprPtr& item : in_list.list) {
+        VDB_ASSIGN_OR_RETURN(BoundExprPtr bound, BindExpr(*item, scope));
+        if (bound->kind() != BoundExprKind::kConstant) {
+          return Status::NotSupported(
+              "IN list elements must be constants");
+        }
+        const Value& v =
+            static_cast<const ConstantExpr*>(bound.get())->value();
+        VDB_RETURN_NOT_OK(CheckComparable(value->type(), v.type()));
+        constants.push_back(v);
+      }
+      return MaybeFold(std::make_unique<InListBoundExpr>(
+          std::move(value), std::move(constants), in_list.negated));
+    }
+    case ExprType::kLike: {
+      const auto& like = static_cast<const sql::LikeExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(BoundExprPtr value, BindExpr(*like.value, scope));
+      if (value->type() != TypeId::kString) {
+        return Status::InvalidArgument("LIKE requires a string operand");
+      }
+      return MaybeFold(std::make_unique<LikeBoundExpr>(
+          std::move(value), like.pattern, like.negated));
+    }
+    case ExprType::kIsNull: {
+      const auto& is_null = static_cast<const sql::IsNullExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(BoundExprPtr value,
+                           BindExpr(*is_null.value, scope));
+      return MaybeFold(std::make_unique<IsNullBoundExpr>(
+          std::move(value), is_null.negated));
+    }
+    case ExprType::kCase: {
+      const auto& case_expr = static_cast<const sql::CaseExpr&>(expr);
+      std::vector<std::pair<BoundExprPtr, BoundExprPtr>> branches;
+      TypeId result_type = TypeId::kInt64;
+      bool type_set = false;
+      for (const auto& [when_ast, then_ast] : case_expr.branches) {
+        VDB_ASSIGN_OR_RETURN(BoundExprPtr when, BindExpr(*when_ast, scope));
+        if (when->type() != TypeId::kBool) {
+          return Status::InvalidArgument("CASE WHEN must be boolean");
+        }
+        VDB_ASSIGN_OR_RETURN(BoundExprPtr then, BindExpr(*then_ast, scope));
+        if (!type_set) {
+          result_type = then->type();
+          type_set = true;
+        } else if (then->type() == TypeId::kDouble &&
+                   result_type == TypeId::kInt64) {
+          result_type = TypeId::kDouble;
+        } else if (then->type() == TypeId::kInt64 &&
+                   result_type == TypeId::kDouble) {
+          // keep double
+        } else if (then->type() != result_type) {
+          return Status::InvalidArgument(
+              "CASE branches have incompatible types");
+        }
+        branches.emplace_back(std::move(when), std::move(then));
+      }
+      BoundExprPtr else_result;
+      if (case_expr.else_result != nullptr) {
+        VDB_ASSIGN_OR_RETURN(else_result,
+                             BindExpr(*case_expr.else_result, scope));
+        if (else_result->type() == TypeId::kDouble &&
+            result_type == TypeId::kInt64) {
+          result_type = TypeId::kDouble;
+        }
+      }
+      return MaybeFold(std::make_unique<CaseBoundExpr>(
+          std::move(branches), std::move(else_result), result_type));
+    }
+    case ExprType::kExists:
+      return Status::NotSupported(
+          "EXISTS is only supported as a top-level WHERE conjunct");
+    case ExprType::kInSubquery:
+      return Status::NotSupported(
+          "IN (SELECT ...) is only supported as a top-level WHERE "
+          "conjunct");
+    case ExprType::kScalarSubquery: {
+      // Plan the (uncorrelated) subquery; require a guaranteed-single-row
+      // shape: a global aggregate with no GROUP BY. The planned relation
+      // is queued for PlanFromWhere to cross-join below the filter, and
+      // the expression binds to its single output column.
+      const auto& scalar =
+          static_cast<const sql::ScalarSubqueryExpr&>(expr);
+      const sql::SelectStatement& sub = *scalar.subquery;
+      std::vector<const sql::FunctionCallExpr*> aggs;
+      bool has_aggregate = false;
+      for (const sql::SelectItem& item : sub.items) {
+        if (item.expr->type != ExprType::kStar) {
+          std::vector<const sql::FunctionCallExpr*> found;
+          VDB_RETURN_NOT_OK(CollectAggregates(*item.expr, &found));
+          has_aggregate = has_aggregate || !found.empty();
+        }
+      }
+      if (!has_aggregate || !sub.group_by.empty()) {
+        return Status::NotSupported(
+            "scalar subqueries must be single-row global aggregates");
+      }
+      VDB_ASSIGN_OR_RETURN(LogicalNodePtr subplan, Plan(sub));
+      if (subplan->output.size() != 1) {
+        return Status::InvalidArgument(
+            "scalar subquery must produce exactly one column");
+      }
+      const OutputColumn& column = subplan->output[0];
+      pending_scalar_subqueries_.push_back(
+          PendingScalarSubquery{std::move(subplan)});
+      return BoundExprPtr(std::make_unique<ColumnExpr>(
+          column.id, column.name, column.type));
+    }
+    case ExprType::kFunctionCall:
+      return Status::InvalidArgument(
+          "aggregate function is not allowed here: " + expr.ToString());
+  }
+  return Status::Internal("unhandled expression type");
+}
+
+Result<BoundExprPtr> Planner::BindPostAggExpr(
+    const sql::Expr& expr, const AggBindingContext& context) {
+  const std::string text = expr.ToString();
+  for (size_t i = 0; i < context.group_texts.size(); ++i) {
+    if (context.group_texts[i] == text) {
+      const OutputColumn& column = context.group_outputs[i];
+      return BoundExprPtr(std::make_unique<ColumnExpr>(
+          column.id, column.name, column.type));
+    }
+  }
+  if (expr.type == ExprType::kFunctionCall) {
+    for (size_t i = 0; i < context.agg_texts.size(); ++i) {
+      if (context.agg_texts[i] == text) {
+        const OutputColumn& column = context.agg_outputs[i];
+        return BoundExprPtr(std::make_unique<ColumnExpr>(
+            column.id, column.name, column.type));
+      }
+    }
+    return Status::Internal("aggregate was not planned: " + text);
+  }
+  switch (expr.type) {
+    case ExprType::kLiteral:
+      return BoundExprPtr(std::make_unique<ConstantExpr>(
+          static_cast<const sql::LiteralExpr&>(expr).value));
+    case ExprType::kColumnRef:
+      return Status::InvalidArgument(
+          "column must appear in GROUP BY or inside an aggregate: " + text);
+    case ExprType::kUnary: {
+      const auto& unary = static_cast<const sql::UnaryExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(BoundExprPtr operand,
+                           BindPostAggExpr(*unary.operand, context));
+      const TypeId type = unary.op == sql::UnaryOp::kNot
+                              ? TypeId::kBool
+                              : operand->type();
+      return MaybeFold(std::make_unique<UnaryBoundExpr>(
+          unary.op, std::move(operand), type));
+    }
+    case ExprType::kBinary: {
+      const auto& binary = static_cast<const sql::BinaryExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(BoundExprPtr left,
+                           BindPostAggExpr(*binary.left, context));
+      VDB_ASSIGN_OR_RETURN(BoundExprPtr right,
+                           BindPostAggExpr(*binary.right, context));
+      TypeId type;
+      if (binary.op == BinaryOp::kAnd || binary.op == BinaryOp::kOr ||
+          IsComparison(binary.op)) {
+        type = TypeId::kBool;
+      } else {
+        VDB_ASSIGN_OR_RETURN(
+            type, ArithmeticResultType(binary.op, left->type(),
+                                       right->type()));
+      }
+      return MaybeFold(std::make_unique<BinaryBoundExpr>(
+          binary.op, std::move(left), std::move(right), type));
+    }
+    default:
+      return Status::NotSupported(
+          "unsupported expression after aggregation: " + text);
+  }
+}
+
+// NodeCovers is used by the rewriter too; re-exported there.
+bool LogicalNodeCovers(const LogicalNode& node, const BoundExpr& expr) {
+  return NodeCovers(node, expr);
+}
+
+}  // namespace vdb::plan

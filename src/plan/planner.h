@@ -1,0 +1,104 @@
+#ifndef VDB_PLAN_PLANNER_H_
+#define VDB_PLAN_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/logical.h"
+#include "sql/ast.h"
+#include "util/result.h"
+
+namespace vdb::plan {
+
+/// Translates a parsed SELECT statement into a logical plan:
+///  - resolves column references against the catalog,
+///  - types and constant-folds scalar expressions,
+///  - rewrites [NOT] EXISTS correlated subqueries into semi/anti joins,
+///  - plans derived tables (subqueries in FROM) recursively,
+///  - splits grouped queries into Aggregate + Project (+ Having filter),
+///  - models DISTINCT as grouping on all output columns.
+///
+/// The result still has WHERE predicates as Filter nodes directly above the
+/// FROM tree; run PushDownPredicates (rewriter.h) before optimization.
+class Planner {
+ public:
+  explicit Planner(catalog::Catalog* cat) : catalog_(cat) {}
+
+  Result<LogicalNodePtr> Plan(const sql::SelectStatement& stmt);
+
+ private:
+  /// One visible column during binding: an output column plus the table
+  /// alias that qualifies it.
+  struct ScopeColumn {
+    OutputColumn column;
+    std::string qualifier;
+  };
+  struct Scope {
+    std::vector<ScopeColumn> columns;
+  };
+
+  // --- FROM / WHERE ------------------------------------------------------
+  Result<LogicalNodePtr> PlanFrom(const std::vector<sql::FromItem>& items,
+                                  Scope* scope);
+  Result<LogicalNodePtr> PlanFromWhere(const sql::SelectStatement& stmt,
+                                       Scope* scope);
+  Result<LogicalNodePtr> PlanTableRef(const sql::TableRef& ref,
+                                      Scope* scope);
+  // Rewrites one [NOT] EXISTS conjunct into a semi/anti join on `plan`.
+  Result<LogicalNodePtr> PlanExists(LogicalNodePtr plan, const Scope& scope,
+                                    const sql::SelectStatement& subquery,
+                                    bool negated);
+  // Rewrites `value [NOT] IN (SELECT ...)` into a semi/anti join.
+  Result<LogicalNodePtr> PlanInSubquery(LogicalNodePtr plan,
+                                        const Scope& scope,
+                                        const sql::Expr& value,
+                                        const sql::SelectStatement& subquery,
+                                        bool negated);
+
+  // --- SELECT list / aggregation -----------------------------------------
+  Result<LogicalNodePtr> PlanSelectList(const sql::SelectStatement& stmt,
+                                        LogicalNodePtr child,
+                                        const Scope& scope);
+
+  // --- expression binding -------------------------------------------------
+  Result<BoundExprPtr> BindExpr(const sql::Expr& expr, const Scope& scope);
+  Result<BoundExprPtr> BindColumnRef(const sql::ColumnRefExpr& ref,
+                                     const Scope& scope);
+
+  // Binding for post-aggregation expressions: group-by expressions and
+  // aggregate calls are replaced by references to the Aggregate's outputs.
+  struct AggBindingContext {
+    const Scope* child_scope = nullptr;
+    // Parallel vectors: source AST text -> aggregate/group output column.
+    std::vector<std::string> group_texts;
+    std::vector<OutputColumn> group_outputs;
+    std::vector<std::string> agg_texts;
+    std::vector<OutputColumn> agg_outputs;
+  };
+  Result<BoundExprPtr> BindPostAggExpr(const sql::Expr& expr,
+                                       const AggBindingContext& context);
+
+  // Collects aggregate function calls appearing in `expr` (which must not
+  // nest them) into `out`, deduplicating by printed text.
+  Status CollectAggregates(const sql::Expr& expr,
+                           std::vector<const sql::FunctionCallExpr*>* out);
+
+  int NextTableId() { return next_table_id_++; }
+
+  catalog::Catalog* catalog_;
+  int next_table_id_ = 0;
+
+  /// Scalar subqueries encountered while binding the current WHERE clause:
+  /// each is a planned single-row relation that PlanFromWhere cross-joins
+  /// below the filter. Non-empty outside WHERE binding is an error.
+  struct PendingScalarSubquery {
+    LogicalNodePtr plan;
+  };
+  std::vector<PendingScalarSubquery> pending_scalar_subqueries_;
+};
+
+}  // namespace vdb::plan
+
+#endif  // VDB_PLAN_PLANNER_H_

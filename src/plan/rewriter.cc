@@ -1,0 +1,139 @@
+#include "plan/rewriter.h"
+
+namespace vdb::plan {
+
+namespace {
+
+void SplitInto(const BoundExpr& expr, std::vector<BoundExprPtr>* out) {
+  if (expr.kind() == BoundExprKind::kBinary) {
+    const auto& binary = static_cast<const BinaryBoundExpr&>(expr);
+    if (binary.op() == sql::BinaryOp::kAnd) {
+      SplitInto(binary.left(), out);
+      SplitInto(binary.right(), out);
+      return;
+    }
+  }
+  out->push_back(expr.Clone());
+}
+
+LogicalNodePtr WrapFilter(LogicalNodePtr node, BoundExprPtr condition) {
+  if (node->op == LogicalOp::kFilter) {
+    auto* filter = static_cast<LogicalFilter*>(node.get());
+    filter->condition =
+        AndExprs(std::move(filter->condition), std::move(condition));
+    return node;
+  }
+  auto filter = std::make_unique<LogicalFilter>();
+  filter->output = node->output;
+  filter->condition = std::move(condition);
+  filter->children.push_back(std::move(node));
+  return filter;
+}
+
+// Places one WHERE-semantics conjunct as low as possible in the subtree.
+LogicalNodePtr AddFilterLow(LogicalNodePtr node, BoundExprPtr expr) {
+  if (node->op == LogicalOp::kFilter) {
+    auto* filter = static_cast<LogicalFilter*>(node.get());
+    filter->children[0] =
+        AddFilterLow(std::move(filter->children[0]), std::move(expr));
+    // Normalize Filter(Filter(x)) into one node.
+    if (filter->children[0]->op == LogicalOp::kFilter) {
+      auto* child = static_cast<LogicalFilter*>(filter->children[0].get());
+      filter->condition = AndExprs(std::move(filter->condition),
+                                   std::move(child->condition));
+      LogicalNodePtr grandchild = std::move(child->children[0]);
+      filter->children[0] = std::move(grandchild);
+    }
+    return node;
+  }
+  if (node->op == LogicalOp::kJoin) {
+    auto* join = static_cast<LogicalJoin*>(node.get());
+    const bool is_inner = join->join_type == LogicalJoinType::kInner ||
+                          join->join_type == LogicalJoinType::kCross;
+    // A WHERE conjunct over the preserved (left) side filters the same rows
+    // above or below any of our join types, so it always pushes left. The
+    // right side is only safe for inner/cross joins (outer joins pad it
+    // with NULLs; semi/anti joins do not output it at all).
+    if (LogicalNodeCovers(*join->children[0], *expr)) {
+      join->children[0] =
+          AddFilterLow(std::move(join->children[0]), std::move(expr));
+      return node;
+    }
+    if (is_inner && LogicalNodeCovers(*join->children[1], *expr)) {
+      join->children[1] =
+          AddFilterLow(std::move(join->children[1]), std::move(expr));
+      return node;
+    }
+    if (is_inner) {
+      join->condition =
+          AndExprs(std::move(join->condition), std::move(expr));
+      join->join_type = LogicalJoinType::kInner;
+      return node;
+    }
+    return WrapFilter(std::move(node), std::move(expr));
+  }
+  return WrapFilter(std::move(node), std::move(expr));
+}
+
+LogicalNodePtr Rewrite(LogicalNodePtr node) {
+  if (node->op == LogicalOp::kFilter) {
+    auto* filter = static_cast<LogicalFilter*>(node.get());
+    std::vector<BoundExprPtr> conjuncts =
+        SplitBoundConjuncts(*filter->condition);
+    LogicalNodePtr base = Rewrite(std::move(filter->children[0]));
+    for (BoundExprPtr& conjunct : conjuncts) {
+      base = AddFilterLow(std::move(base), std::move(conjunct));
+    }
+    return base;
+  }
+  for (auto& child : node->children) {
+    child = Rewrite(std::move(child));
+  }
+  if (node->op == LogicalOp::kJoin) {
+    auto* join = static_cast<LogicalJoin*>(node.get());
+    if (join->condition != nullptr) {
+      const bool is_inner = join->join_type == LogicalJoinType::kInner ||
+                            join->join_type == LogicalJoinType::kCross;
+      std::vector<BoundExprPtr> conjuncts =
+          SplitBoundConjuncts(*join->condition);
+      join->condition = nullptr;
+      for (BoundExprPtr& conjunct : conjuncts) {
+        if (is_inner &&
+            LogicalNodeCovers(*join->children[0], *conjunct)) {
+          join->children[0] = AddFilterLow(std::move(join->children[0]),
+                                           std::move(conjunct));
+          continue;
+        }
+        // An ON conjunct over the null-producing/probe (right) side only
+        // restricts which rows can match, so it pushes into the right
+        // input for every join type.
+        if (LogicalNodeCovers(*join->children[1], *conjunct)) {
+          join->children[1] = AddFilterLow(std::move(join->children[1]),
+                                           std::move(conjunct));
+          continue;
+        }
+        join->condition =
+            AndExprs(std::move(join->condition), std::move(conjunct));
+      }
+      if (join->condition == nullptr &&
+          join->join_type == LogicalJoinType::kInner) {
+        join->join_type = LogicalJoinType::kCross;
+      }
+    }
+  }
+  return node;
+}
+
+}  // namespace
+
+std::vector<BoundExprPtr> SplitBoundConjuncts(const BoundExpr& expr) {
+  std::vector<BoundExprPtr> out;
+  SplitInto(expr, &out);
+  return out;
+}
+
+LogicalNodePtr PushDownPredicates(LogicalNodePtr root) {
+  return Rewrite(std::move(root));
+}
+
+}  // namespace vdb::plan

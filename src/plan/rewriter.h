@@ -1,0 +1,31 @@
+#ifndef VDB_PLAN_REWRITER_H_
+#define VDB_PLAN_REWRITER_H_
+
+#include <vector>
+
+#include "plan/logical.h"
+
+namespace vdb::plan {
+
+/// Splits a bound expression into its top-level AND conjuncts (clones).
+std::vector<BoundExprPtr> SplitBoundConjuncts(const BoundExpr& expr);
+
+/// True if every column referenced by `expr` is produced by `node`.
+bool LogicalNodeCovers(const LogicalNode& node, const BoundExpr& expr);
+
+/// Pushes filter predicates as close to the base tables as possible:
+///  - WHERE-derived Filter conjuncts move below joins onto the side that
+///    produces their columns (both sides for inner/cross joins; only the
+///    preserved side below outer/semi/anti joins);
+///  - single-sided ON conjuncts of outer/semi/anti joins move into the
+///    null-producing side (semantics-preserving);
+///  - conjuncts spanning both inputs of an inner join fold into the join
+///    condition (upgrading cross joins to inner joins);
+///  - adjacent Filters merge.
+/// The optimizer relies on this pass: Filter-over-Get is what enables
+/// index-path selection, and join conditions drive join ordering.
+LogicalNodePtr PushDownPredicates(LogicalNodePtr root);
+
+}  // namespace vdb::plan
+
+#endif  // VDB_PLAN_REWRITER_H_

@@ -1,0 +1,36 @@
+#include "sim/machine.h"
+
+namespace vdb::sim {
+
+MachineSpec MachineSpec::PaperTestbed() {
+  MachineSpec spec;
+  spec.name = "xeon-2x2.8GHz-4GB";
+  spec.cpu_ops_per_sec = 2.0e9;
+  spec.memory_bytes = 4ULL << 30;
+  spec.disk_seq_bytes_per_sec = 60.0 * (1 << 20);
+  spec.disk_random_iops = 130.0;
+  spec.disk_write_bytes_per_sec = 45.0 * (1 << 20);
+  return spec;
+}
+
+MachineSpec MachineSpec::Small() {
+  MachineSpec spec;
+  spec.name = "small-test-machine";
+  spec.cpu_ops_per_sec = 1.0e8;
+  spec.memory_bytes = 64ULL << 20;  // 64 MiB
+  spec.disk_seq_bytes_per_sec = 10.0 * (1 << 20);
+  spec.disk_random_iops = 100.0;
+  spec.disk_write_bytes_per_sec = 8.0 * (1 << 20);
+  return spec;
+}
+
+HypervisorModel HypervisorModel::Ideal() {
+  HypervisorModel model;
+  model.cpu_base_overhead = 0.0;
+  model.cpu_share_overhead_slope = 0.0;
+  model.io_cpu_ops_per_page = 0.0;
+  model.io_base_overhead = 0.0;
+  return model;
+}
+
+}  // namespace vdb::sim

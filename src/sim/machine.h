@@ -1,0 +1,73 @@
+#ifndef VDB_SIM_MACHINE_H_
+#define VDB_SIM_MACHINE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vdb::sim {
+
+/// Description of the physical machine whose resources the virtual machine
+/// monitor divides among virtual machines.
+///
+/// CPU capacity is expressed in abstract *work units* per second; the
+/// executor charges work units for tuple processing, predicate evaluation,
+/// hashing, etc., and the optimizer's calibrated parameters absorb the unit.
+struct MachineSpec {
+  std::string name = "default";
+
+  /// Aggregate CPU capacity of the machine (work units / second).
+  double cpu_ops_per_sec = 2.0e9;
+
+  /// Physical memory in bytes.
+  uint64_t memory_bytes = 4ULL << 30;  // 4 GiB
+
+  /// Sequential disk read bandwidth (bytes / second).
+  double disk_seq_bytes_per_sec = 60.0 * (1 << 20);  // 60 MiB/s
+
+  /// Random-read operations per second the disk sustains.
+  double disk_random_iops = 130.0;
+
+  /// Sequential disk write bandwidth (bytes / second).
+  double disk_write_bytes_per_sec = 45.0 * (1 << 20);
+
+  /// Returns a spec mirroring the paper's testbed: two 2.8 GHz Xeons with
+  /// 4 GB of memory and a 2007-era SCSI disk.
+  static MachineSpec PaperTestbed();
+
+  /// A small machine useful for fast unit tests.
+  static MachineSpec Small();
+};
+
+/// Parameters of the hypervisor (virtualization layer) performance model.
+///
+/// The model captures the two first-order effects the paper's calibration is
+/// designed to detect:
+///  - CPU virtualization overhead that *grows as the CPU share shrinks*
+///    (more frequent scheduling of a small time slice means relatively more
+///    hypervisor context switching), so a VM with share `c` gets effective
+///    rate `c * (1 - base - slope * (1 - c))` of the physical CPU.
+///  - A per-page-I/O CPU tax: every disk page that crosses the hypervisor's
+///    I/O path costs CPU work inside the VM's allocation.
+struct HypervisorModel {
+  /// CPU fraction lost to virtualization even at full allocation.
+  double cpu_base_overhead = 0.04;
+
+  /// Additional CPU overhead proportional to (1 - cpu_share).
+  double cpu_share_overhead_slope = 0.10;
+
+  /// CPU work units charged per disk page I/O performed by the VM.
+  double io_cpu_ops_per_page = 20000.0;
+
+  /// Fraction of disk throughput lost to hypervisor I/O virtualization.
+  double io_base_overhead = 0.05;
+
+  /// A hypervisor with no overheads; isolates experiments from the model.
+  static HypervisorModel Ideal();
+
+  /// Default Xen-like overheads (the values above).
+  static HypervisorModel XenLike() { return HypervisorModel(); }
+};
+
+}  // namespace vdb::sim
+
+#endif  // VDB_SIM_MACHINE_H_

@@ -1,0 +1,39 @@
+#include "sim/resources.h"
+
+#include <cstdio>
+
+namespace vdb::sim {
+
+const char* ResourceKindName(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kCpu:
+      return "cpu";
+    case ResourceKind::kMemory:
+      return "memory";
+    case ResourceKind::kIo:
+      return "io";
+  }
+  return "?";
+}
+
+Status ResourceShare::Validate() const {
+  for (int i = 0; i < kNumResources; ++i) {
+    const ResourceKind kind = static_cast<ResourceKind>(i);
+    const double v = Get(kind);
+    if (!(v > 0.0) || v > 1.0) {
+      return Status::InvalidArgument(
+          std::string("resource share for ") + ResourceKindName(kind) +
+          " must be in (0, 1], got " + std::to_string(v));
+    }
+  }
+  return Status::OK();
+}
+
+std::string ResourceShare::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "{cpu=%.2f, mem=%.2f, io=%.2f}", cpu,
+                memory, io);
+  return buf;
+}
+
+}  // namespace vdb::sim

@@ -1,0 +1,76 @@
+#ifndef VDB_SIM_RESOURCES_H_
+#define VDB_SIM_RESOURCES_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace vdb::sim {
+
+/// The physical resources whose shares the virtualization layer controls.
+/// These are the paper's `m = 3` controllable resources.
+enum class ResourceKind : int { kCpu = 0, kMemory = 1, kIo = 2 };
+
+inline constexpr int kNumResources = 3;
+
+const char* ResourceKindName(ResourceKind kind);
+
+/// The share of each physical resource allocated to one virtual machine:
+/// the paper's vector R_i = [r_i1, ..., r_im], each component in [0, 1].
+struct ResourceShare {
+  double cpu = 1.0;
+  double memory = 1.0;
+  double io = 1.0;
+
+  constexpr ResourceShare() = default;
+  constexpr ResourceShare(double cpu_share, double memory_share,
+                          double io_share)
+      : cpu(cpu_share), memory(memory_share), io(io_share) {}
+
+  /// Equal 1/n split of every resource.
+  static ResourceShare EqualSplit(int n) {
+    const double f = 1.0 / static_cast<double>(n);
+    return ResourceShare(f, f, f);
+  }
+
+  double Get(ResourceKind kind) const {
+    switch (kind) {
+      case ResourceKind::kCpu:
+        return cpu;
+      case ResourceKind::kMemory:
+        return memory;
+      case ResourceKind::kIo:
+        return io;
+    }
+    return 0.0;
+  }
+
+  void Set(ResourceKind kind, double value) {
+    switch (kind) {
+      case ResourceKind::kCpu:
+        cpu = value;
+        return;
+      case ResourceKind::kMemory:
+        memory = value;
+        return;
+      case ResourceKind::kIo:
+        io = value;
+        return;
+    }
+  }
+
+  /// OK iff every component lies in (0, 1].
+  Status Validate() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const ResourceShare& a, const ResourceShare& b) {
+    return a.cpu == b.cpu && a.memory == b.memory && a.io == b.io;
+  }
+};
+
+}  // namespace vdb::sim
+
+#endif  // VDB_SIM_RESOURCES_H_

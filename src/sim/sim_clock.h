@@ -1,0 +1,28 @@
+#ifndef VDB_SIM_SIM_CLOCK_H_
+#define VDB_SIM_SIM_CLOCK_H_
+
+namespace vdb::sim {
+
+/// A simulated clock. The executor advances it by computed durations; it
+/// never reads wall-clock time, so "measured" execution times are exactly
+/// reproducible.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  double NowSeconds() const { return now_seconds_; }
+
+  /// Advances the clock. Negative durations are ignored (defensive).
+  void Advance(double seconds) {
+    if (seconds > 0.0) now_seconds_ += seconds;
+  }
+
+  void Reset() { now_seconds_ = 0.0; }
+
+ private:
+  double now_seconds_ = 0.0;
+};
+
+}  // namespace vdb::sim
+
+#endif  // VDB_SIM_SIM_CLOCK_H_

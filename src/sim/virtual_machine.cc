@@ -1,0 +1,42 @@
+#include "sim/virtual_machine.h"
+
+#include <algorithm>
+
+namespace vdb::sim {
+
+double VirtualMachine::CpuOverheadFraction() const {
+  const double overhead = hypervisor_.cpu_base_overhead +
+                          hypervisor_.cpu_share_overhead_slope *
+                              (1.0 - share_.cpu);
+  return std::clamp(overhead, 0.0, 0.95);
+}
+
+double VirtualMachine::EffectiveCpuOpsPerSec() const {
+  return machine_.cpu_ops_per_sec * share_.cpu *
+         (1.0 - CpuOverheadFraction());
+}
+
+uint64_t VirtualMachine::MemoryBytes() const {
+  return static_cast<uint64_t>(static_cast<double>(machine_.memory_bytes) *
+                               share_.memory);
+}
+
+double VirtualMachine::SeqReadSecondsPerPage(uint64_t page_size) const {
+  const double bandwidth = machine_.disk_seq_bytes_per_sec * share_.io *
+                           (1.0 - hypervisor_.io_base_overhead);
+  return static_cast<double>(page_size) / bandwidth;
+}
+
+double VirtualMachine::RandomReadSeconds() const {
+  const double iops = machine_.disk_random_iops * share_.io *
+                      (1.0 - hypervisor_.io_base_overhead);
+  return 1.0 / iops;
+}
+
+double VirtualMachine::WriteSecondsPerPage(uint64_t page_size) const {
+  const double bandwidth = machine_.disk_write_bytes_per_sec * share_.io *
+                           (1.0 - hypervisor_.io_base_overhead);
+  return static_cast<double>(page_size) / bandwidth;
+}
+
+}  // namespace vdb::sim

@@ -1,0 +1,69 @@
+#ifndef VDB_SIM_VIRTUAL_MACHINE_H_
+#define VDB_SIM_VIRTUAL_MACHINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/machine.h"
+#include "sim/resources.h"
+
+namespace vdb::sim {
+
+/// A virtual machine: the physical machine seen through a resource share.
+///
+/// The VM translates its share of each physical resource into the effective
+/// rates the database system running inside it experiences. These rates are
+/// what the executor uses to convert work (CPU operations, page I/Os) into
+/// simulated time, playing the role of Xen in the paper's testbed.
+class VirtualMachine {
+ public:
+  VirtualMachine(std::string name, const MachineSpec& machine,
+                 const HypervisorModel& hypervisor, ResourceShare share)
+      : name_(std::move(name)),
+        machine_(machine),
+        hypervisor_(hypervisor),
+        share_(share) {}
+
+  const std::string& name() const { return name_; }
+  const MachineSpec& machine() const { return machine_; }
+  const HypervisorModel& hypervisor() const { return hypervisor_; }
+  const ResourceShare& share() const { return share_; }
+
+  /// Updates the VM's resource share (the VMM validates feasibility before
+  /// calling this; see VirtualMachineMonitor::SetShare).
+  void set_share(ResourceShare share) { share_ = share; }
+
+  /// Effective CPU rate (work units / second) inside this VM:
+  /// `cpu_share * physical_rate * (1 - overhead(cpu_share))` where the
+  /// overhead grows as the share shrinks (hypervisor scheduling tax).
+  double EffectiveCpuOpsPerSec() const;
+
+  /// The CPU virtualization overhead fraction at the current share.
+  double CpuOverheadFraction() const;
+
+  /// Memory visible inside the VM, in bytes.
+  uint64_t MemoryBytes() const;
+
+  /// Seconds to sequentially read one page of `page_size` bytes at this
+  /// VM's I/O share.
+  double SeqReadSecondsPerPage(uint64_t page_size) const;
+
+  /// Seconds for one random page read at this VM's I/O share.
+  double RandomReadSeconds() const;
+
+  /// Seconds to write one page of `page_size` bytes.
+  double WriteSecondsPerPage(uint64_t page_size) const;
+
+  /// CPU work units the hypervisor charges the VM for each page I/O.
+  double IoCpuOpsPerPage() const { return hypervisor_.io_cpu_ops_per_page; }
+
+ private:
+  std::string name_;
+  MachineSpec machine_;
+  HypervisorModel hypervisor_;
+  ResourceShare share_;
+};
+
+}  // namespace vdb::sim
+
+#endif  // VDB_SIM_VIRTUAL_MACHINE_H_

@@ -1,0 +1,86 @@
+#include "sim/vmm.h"
+
+#include <algorithm>
+
+namespace vdb::sim {
+
+namespace {
+// Tolerate floating-point drift when shares are produced by repeated
+// arithmetic (e.g. 3 * (1/3)).
+constexpr double kShareEpsilon = 1e-9;
+}  // namespace
+
+Result<VirtualMachine*> VirtualMachineMonitor::CreateVm(
+    const std::string& name, ResourceShare share) {
+  VDB_RETURN_NOT_OK(share.Validate());
+  for (const auto& vm : vms_) {
+    if (vm->name() == name) {
+      return Status::AlreadyExists("VM '" + name + "' already exists");
+    }
+  }
+  VDB_RETURN_NOT_OK(CheckCapacity(share, /*exclude=*/nullptr));
+  vms_.push_back(std::make_unique<VirtualMachine>(name, machine_,
+                                                  hypervisor_, share));
+  return vms_.back().get();
+}
+
+Result<VirtualMachine*> VirtualMachineMonitor::GetVm(
+    const std::string& name) const {
+  for (const auto& vm : vms_) {
+    if (vm->name() == name) return vm.get();
+  }
+  return Status::NotFound("VM '" + name + "' not found");
+}
+
+Status VirtualMachineMonitor::SetShare(const std::string& name,
+                                       ResourceShare share) {
+  VDB_RETURN_NOT_OK(share.Validate());
+  VDB_ASSIGN_OR_RETURN(VirtualMachine * vm, GetVm(name));
+  VDB_RETURN_NOT_OK(CheckCapacity(share, vm));
+  vm->set_share(share);
+  return Status::OK();
+}
+
+Status VirtualMachineMonitor::DestroyVm(const std::string& name) {
+  for (auto it = vms_.begin(); it != vms_.end(); ++it) {
+    if ((*it)->name() == name) {
+      vms_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("VM '" + name + "' not found");
+}
+
+double VirtualMachineMonitor::AllocatedShare(ResourceKind kind) const {
+  double total = 0.0;
+  for (const auto& vm : vms_) total += vm->share().Get(kind);
+  return total;
+}
+
+std::vector<VirtualMachine*> VirtualMachineMonitor::Vms() const {
+  std::vector<VirtualMachine*> result;
+  result.reserve(vms_.size());
+  for (const auto& vm : vms_) result.push_back(vm.get());
+  return result;
+}
+
+Status VirtualMachineMonitor::CheckCapacity(
+    const ResourceShare& share, const VirtualMachine* exclude) const {
+  for (int i = 0; i < kNumResources; ++i) {
+    const ResourceKind kind = static_cast<ResourceKind>(i);
+    double total = share.Get(kind);
+    for (const auto& vm : vms_) {
+      if (vm.get() == exclude) continue;
+      total += vm->share().Get(kind);
+    }
+    if (total > 1.0 + kShareEpsilon) {
+      return Status::ResourceExhausted(
+          std::string("allocating ") + std::to_string(share.Get(kind)) +
+          " of " + ResourceKindName(kind) + " would oversubscribe (total " +
+          std::to_string(total) + " > 1)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vdb::sim

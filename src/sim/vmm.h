@@ -1,0 +1,76 @@
+#ifndef VDB_SIM_VMM_H_
+#define VDB_SIM_VMM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/resources.h"
+#include "sim/virtual_machine.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace vdb::sim {
+
+/// The virtual machine monitor: owns the physical machine and the virtual
+/// machines created on it, and enforces that the shares handed out for each
+/// resource never exceed the whole machine (the paper's constraint
+/// `sum_i r_ij <= 1` for every resource j).
+class VirtualMachineMonitor {
+ public:
+  explicit VirtualMachineMonitor(
+      MachineSpec machine,
+      HypervisorModel hypervisor = HypervisorModel::XenLike())
+      : machine_(std::move(machine)), hypervisor_(hypervisor) {}
+
+  VirtualMachineMonitor(const VirtualMachineMonitor&) = delete;
+  VirtualMachineMonitor& operator=(const VirtualMachineMonitor&) = delete;
+
+  const MachineSpec& machine() const { return machine_; }
+  const HypervisorModel& hypervisor() const { return hypervisor_; }
+
+  /// Creates a VM with the given share. Fails with InvalidArgument if the
+  /// share is malformed, AlreadyExists on a duplicate name, and
+  /// ResourceExhausted if granting it would oversubscribe any resource.
+  /// The returned pointer stays valid until DestroyVm or VMM destruction.
+  Result<VirtualMachine*> CreateVm(const std::string& name,
+                                   ResourceShare share);
+
+  /// Looks up a VM by name.
+  Result<VirtualMachine*> GetVm(const std::string& name) const;
+
+  /// Changes a VM's share at run time (Xen-style dynamic reconfiguration).
+  /// Fails if the new total for any resource would exceed the machine.
+  Status SetShare(const std::string& name, ResourceShare share);
+
+  /// Destroys a VM, returning its shares to the free pool.
+  Status DestroyVm(const std::string& name);
+
+  /// Sum of allocated shares for `kind` across all VMs.
+  double AllocatedShare(ResourceKind kind) const;
+
+  /// Remaining unallocated share for `kind`.
+  double FreeShare(ResourceKind kind) const {
+    return 1.0 - AllocatedShare(kind);
+  }
+
+  size_t NumVms() const { return vms_.size(); }
+
+  /// All live VMs, in creation order.
+  std::vector<VirtualMachine*> Vms() const;
+
+ private:
+  // Validates that replacing `exclude`'s share (or adding a new VM when
+  // exclude == nullptr) with `share` keeps every resource within capacity.
+  Status CheckCapacity(const ResourceShare& share,
+                       const VirtualMachine* exclude) const;
+
+  MachineSpec machine_;
+  HypervisorModel hypervisor_;
+  std::vector<std::unique_ptr<VirtualMachine>> vms_;
+};
+
+}  // namespace vdb::sim
+
+#endif  // VDB_SIM_VMM_H_

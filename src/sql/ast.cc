@@ -1,0 +1,183 @@
+#include "sql/ast.h"
+
+namespace vdb::sql {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+ExistsExpr::~ExistsExpr() = default;
+InSubqueryExpr::~InSubqueryExpr() = default;
+ScalarSubqueryExpr::~ScalarSubqueryExpr() = default;
+
+std::string LiteralExpr::ToString() const {
+  if (!value.is_null() && value.type() == catalog::TypeId::kString) {
+    return "'" + value.AsString() + "'";
+  }
+  return value.ToString();
+}
+
+std::string ColumnRefExpr::ToString() const {
+  return table.empty() ? column : table + "." + column;
+}
+
+std::string UnaryExpr::ToString() const {
+  return std::string(op == UnaryOp::kNegate ? "-" : "NOT ") + "(" +
+         operand->ToString() + ")";
+}
+
+std::string BinaryExpr::ToString() const {
+  return "(" + left->ToString() + " " + BinaryOpName(op) + " " +
+         right->ToString() + ")";
+}
+
+std::string FunctionCallExpr::ToString() const {
+  std::string result = name + "(";
+  if (distinct) result += "DISTINCT ";
+  if (star) {
+    result += "*";
+  } else {
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) result += ", ";
+      result += args[i]->ToString();
+    }
+  }
+  return result + ")";
+}
+
+std::string BetweenExpr::ToString() const {
+  return value->ToString() + (negated ? " NOT" : "") + " BETWEEN " +
+         low->ToString() + " AND " + high->ToString();
+}
+
+std::string InListExpr::ToString() const {
+  std::string result = value->ToString() + (negated ? " NOT" : "") + " IN (";
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += list[i]->ToString();
+  }
+  return result + ")";
+}
+
+std::string InSubqueryExpr::ToString() const {
+  return value->ToString() + (negated ? " NOT" : "") + " IN (" +
+         subquery->ToString() + ")";
+}
+
+std::string ScalarSubqueryExpr::ToString() const {
+  return "(" + subquery->ToString() + ")";
+}
+
+std::string LikeExpr::ToString() const {
+  return value->ToString() + (negated ? " NOT" : "") + " LIKE '" + pattern +
+         "'";
+}
+
+std::string IsNullExpr::ToString() const {
+  return value->ToString() + " IS " + (negated ? "NOT " : "") + "NULL";
+}
+
+std::string ExistsExpr::ToString() const {
+  return std::string(negated ? "NOT " : "") + "EXISTS (" +
+         subquery->ToString() + ")";
+}
+
+std::string CaseExpr::ToString() const {
+  std::string result = "CASE";
+  for (const auto& [when, then] : branches) {
+    result += " WHEN " + when->ToString() + " THEN " + then->ToString();
+  }
+  if (else_result != nullptr) {
+    result += " ELSE " + else_result->ToString();
+  }
+  return result + " END";
+}
+
+std::string SelectStatement::ToString() const {
+  std::string result = "SELECT ";
+  if (distinct) result += "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += items[i].expr->ToString();
+    if (!items[i].alias.empty()) result += " AS " + items[i].alias;
+  }
+  if (!from.empty()) {
+    result += " FROM ";
+    for (size_t i = 0; i < from.size(); ++i) {
+      const FromItem& item = from[i];
+      if (i > 0) {
+        switch (item.join_type) {
+          case JoinType::kCross:
+            result += ", ";
+            break;
+          case JoinType::kInner:
+            result += " JOIN ";
+            break;
+          case JoinType::kLeft:
+            result += " LEFT JOIN ";
+            break;
+        }
+      }
+      if (item.table.kind == TableRef::Kind::kSubquery) {
+        result += "(" + item.table.subquery->ToString() + ")";
+      } else {
+        result += item.table.name;
+      }
+      if (!item.table.alias.empty() && item.table.alias != item.table.name) {
+        result += " AS " + item.table.alias;
+      }
+      if (item.join_condition != nullptr) {
+        result += " ON " + item.join_condition->ToString();
+      }
+    }
+  }
+  if (where != nullptr) result += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    result += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) result += ", ";
+      result += group_by[i]->ToString();
+    }
+  }
+  if (having != nullptr) result += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    result += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) result += ", ";
+      result += order_by[i].expr->ToString();
+      if (!order_by[i].ascending) result += " DESC";
+    }
+  }
+  if (limit >= 0) result += " LIMIT " + std::to_string(limit);
+  return result;
+}
+
+}  // namespace vdb::sql

@@ -1,0 +1,273 @@
+#ifndef VDB_SQL_AST_H_
+#define VDB_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/value.h"
+
+namespace vdb::sql {
+
+struct SelectStatement;
+
+/// Kinds of expression AST nodes.
+enum class ExprType {
+  kLiteral,
+  kColumnRef,
+  kStar,
+  kUnary,
+  kBinary,
+  kFunctionCall,
+  kBetween,
+  kInList,
+  kInSubquery,
+  kScalarSubquery,
+  kLike,
+  kIsNull,
+  kExists,
+  kCase,
+};
+
+/// Base class for parsed (unresolved) expressions.
+struct Expr {
+  explicit Expr(ExprType expr_type) : type(expr_type) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  /// Renders the expression as SQL-ish text (for errors and EXPLAIN).
+  virtual std::string ToString() const = 0;
+
+  const ExprType type;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct LiteralExpr : Expr {
+  explicit LiteralExpr(catalog::Value v)
+      : Expr(ExprType::kLiteral), value(std::move(v)) {}
+  std::string ToString() const override;
+  catalog::Value value;
+};
+
+struct ColumnRefExpr : Expr {
+  ColumnRefExpr(std::string table_name, std::string column_name)
+      : Expr(ExprType::kColumnRef),
+        table(std::move(table_name)),
+        column(std::move(column_name)) {}
+  std::string ToString() const override;
+  std::string table;  // empty if unqualified
+  std::string column;
+};
+
+/// `*` — only valid in `SELECT *` and `COUNT(*)`.
+struct StarExpr : Expr {
+  StarExpr() : Expr(ExprType::kStar) {}
+  std::string ToString() const override { return "*"; }
+};
+
+enum class UnaryOp { kNegate, kNot };
+
+struct UnaryExpr : Expr {
+  UnaryExpr(UnaryOp unary_op, ExprPtr operand_expr)
+      : Expr(ExprType::kUnary),
+        op(unary_op),
+        operand(std::move(operand_expr)) {}
+  std::string ToString() const override;
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+struct BinaryExpr : Expr {
+  BinaryExpr(BinaryOp binary_op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(ExprType::kBinary),
+        op(binary_op),
+        left(std::move(lhs)),
+        right(std::move(rhs)) {}
+  std::string ToString() const override;
+  BinaryOp op;
+  ExprPtr left;
+  ExprPtr right;
+};
+
+/// Function call; in this dialect functions are the five SQL aggregates.
+struct FunctionCallExpr : Expr {
+  FunctionCallExpr(std::string function_name, std::vector<ExprPtr> arguments,
+                   bool star_arg, bool is_distinct)
+      : Expr(ExprType::kFunctionCall),
+        name(std::move(function_name)),
+        args(std::move(arguments)),
+        star(star_arg),
+        distinct(is_distinct) {}
+  std::string ToString() const override;
+  std::string name;  // lower-case: count, sum, avg, min, max
+  std::vector<ExprPtr> args;
+  bool star;      // COUNT(*)
+  bool distinct;  // COUNT(DISTINCT x)
+};
+
+struct BetweenExpr : Expr {
+  BetweenExpr(ExprPtr value_expr, ExprPtr low_expr, ExprPtr high_expr,
+              bool is_negated)
+      : Expr(ExprType::kBetween),
+        value(std::move(value_expr)),
+        low(std::move(low_expr)),
+        high(std::move(high_expr)),
+        negated(is_negated) {}
+  std::string ToString() const override;
+  ExprPtr value;
+  ExprPtr low;
+  ExprPtr high;
+  bool negated;
+};
+
+struct InListExpr : Expr {
+  InListExpr(ExprPtr value_expr, std::vector<ExprPtr> list_exprs,
+             bool is_negated)
+      : Expr(ExprType::kInList),
+        value(std::move(value_expr)),
+        list(std::move(list_exprs)),
+        negated(is_negated) {}
+  std::string ToString() const override;
+  ExprPtr value;
+  std::vector<ExprPtr> list;
+  bool negated;
+};
+
+/// `value [NOT] IN (SELECT ...)`. The subquery must produce one column.
+struct InSubqueryExpr : Expr {
+  InSubqueryExpr(ExprPtr value_expr,
+                 std::unique_ptr<SelectStatement> select, bool is_negated)
+      : Expr(ExprType::kInSubquery),
+        value(std::move(value_expr)),
+        subquery(std::move(select)),
+        negated(is_negated) {}
+  ~InSubqueryExpr() override;
+  std::string ToString() const override;
+  ExprPtr value;
+  std::unique_ptr<SelectStatement> subquery;
+  bool negated;
+};
+
+/// `(SELECT <single aggregate> FROM ...)` used as a scalar value. Only
+/// guaranteed-single-row subqueries (a global aggregate without GROUP BY)
+/// are accepted by the planner.
+struct ScalarSubqueryExpr : Expr {
+  explicit ScalarSubqueryExpr(std::unique_ptr<SelectStatement> select)
+      : Expr(ExprType::kScalarSubquery), subquery(std::move(select)) {}
+  ~ScalarSubqueryExpr() override;
+  std::string ToString() const override;
+  std::unique_ptr<SelectStatement> subquery;
+};
+
+struct LikeExpr : Expr {
+  LikeExpr(ExprPtr value_expr, std::string like_pattern, bool is_negated)
+      : Expr(ExprType::kLike),
+        value(std::move(value_expr)),
+        pattern(std::move(like_pattern)),
+        negated(is_negated) {}
+  std::string ToString() const override;
+  ExprPtr value;
+  std::string pattern;
+  bool negated;
+};
+
+struct IsNullExpr : Expr {
+  IsNullExpr(ExprPtr value_expr, bool is_negated)
+      : Expr(ExprType::kIsNull),
+        value(std::move(value_expr)),
+        negated(is_negated) {}
+  std::string ToString() const override;
+  ExprPtr value;
+  bool negated;
+};
+
+struct ExistsExpr : Expr {
+  ExistsExpr(std::unique_ptr<SelectStatement> select, bool is_negated)
+      : Expr(ExprType::kExists),
+        subquery(std::move(select)),
+        negated(is_negated) {}
+  ~ExistsExpr() override;
+  std::string ToString() const override;
+  std::unique_ptr<SelectStatement> subquery;
+  bool negated;
+};
+
+struct CaseExpr : Expr {
+  CaseExpr(std::vector<std::pair<ExprPtr, ExprPtr>> when_then,
+           ExprPtr else_expr)
+      : Expr(ExprType::kCase),
+        branches(std::move(when_then)),
+        else_result(std::move(else_expr)) {}
+  std::string ToString() const override;
+  std::vector<std::pair<ExprPtr, ExprPtr>> branches;
+  ExprPtr else_result;  // may be null (NULL default)
+};
+
+/// A table reference in FROM: a base table or a parenthesized subquery,
+/// optionally aliased, optionally with a column alias list.
+struct TableRef {
+  enum class Kind { kBaseTable, kSubquery };
+  Kind kind = Kind::kBaseTable;
+  std::string name;   // base table name
+  std::string alias;  // empty -> use table name
+  std::vector<std::string> column_aliases;  // "as t (a, b)" form
+  std::unique_ptr<SelectStatement> subquery;
+};
+
+enum class JoinType { kCross, kInner, kLeft };
+
+/// One FROM element: the first has join_type kCross and no condition;
+/// later ones are combined with the running result.
+struct FromItem {
+  TableRef table;
+  JoinType join_type = JoinType::kCross;
+  ExprPtr join_condition;  // null for comma/cross join
+};
+
+struct SelectItem {
+  ExprPtr expr;  // StarExpr for `SELECT *`
+  std::string alias;
+};
+
+struct OrderByItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::vector<FromItem> from;
+  ExprPtr where;   // may be null
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;  // may be null
+  std::vector<OrderByItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+  bool distinct = false;
+
+  std::string ToString() const;
+};
+
+}  // namespace vdb::sql
+
+#endif  // VDB_SQL_AST_H_

@@ -1,0 +1,199 @@
+#include "sql/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace vdb::sql {
+
+namespace {
+
+constexpr std::array<const char*, 38> kKeywords = {
+    "SELECT", "FROM",   "WHERE",  "GROUP",  "BY",      "HAVING", "ORDER",
+    "LIMIT",  "AS",     "AND",    "OR",     "NOT",     "IN",     "EXISTS",
+    "BETWEEN", "LIKE",  "IS",     "NULL",   "JOIN",    "INNER",  "LEFT",
+    "OUTER",  "ON",     "ASC",    "DESC",   "DISTINCT", "CASE",  "WHEN",
+    "THEN",   "ELSE",   "END",    "DATE",   "TRUE",    "FALSE",  "COUNT",
+    "SUM",    "AVG",    "CROSS"};
+
+}  // namespace
+
+bool IsReservedKeyword(const std::string& upper_word) {
+  for (const char* kw : kKeywords) {
+    if (upper_word == kw) return true;
+  }
+  return false;
+}
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kKeyword && text == kw;
+}
+
+bool Token::IsOperator(const char* op) const {
+  return type == TokenType::kOperator && text == op;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto peek = [&](size_t offset = 0) -> char {
+    return i + offset < n ? input[i + offset] : '\0';
+  };
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments: -- to end of line.
+    if (c == '-' && peek(1) == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      const std::string word = input.substr(start, i - start);
+      const std::string upper = ToUpper(word);
+      if (IsReservedKeyword(upper)) {
+        token.type = TokenType::kKeyword;
+        token.text = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        token.text = ToLower(word);
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+        ++i;
+      }
+      if (i < n && input[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      const std::string number = input.substr(start, i - start);
+      if (is_float) {
+        token.type = TokenType::kFloat;
+        token.float_value = std::strtod(number.c_str(), nullptr);
+      } else {
+        token.type = TokenType::kInteger;
+        token.int_value = std::strtoll(number.c_str(), nullptr, 10);
+      }
+      token.text = number;
+    } else if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (peek(1) == '\'') {  // escaped quote
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value.push_back(input[i++]);
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            "unterminated string literal at offset " +
+            std::to_string(token.position));
+      }
+      token.type = TokenType::kString;
+      token.text = value;
+    } else {
+      switch (c) {
+        case '(':
+          token.type = TokenType::kLeftParen;
+          ++i;
+          break;
+        case ')':
+          token.type = TokenType::kRightParen;
+          ++i;
+          break;
+        case ',':
+          token.type = TokenType::kComma;
+          ++i;
+          break;
+        case '.':
+          token.type = TokenType::kDot;
+          ++i;
+          break;
+        case ';':
+          token.type = TokenType::kSemicolon;
+          ++i;
+          break;
+        case '<':
+          token.type = TokenType::kOperator;
+          if (peek(1) == '=') {
+            token.text = "<=";
+            i += 2;
+          } else if (peek(1) == '>') {
+            token.text = "<>";
+            i += 2;
+          } else {
+            token.text = "<";
+            ++i;
+          }
+          break;
+        case '>':
+          token.type = TokenType::kOperator;
+          if (peek(1) == '=') {
+            token.text = ">=";
+            i += 2;
+          } else {
+            token.text = ">";
+            ++i;
+          }
+          break;
+        case '!':
+          if (peek(1) != '=') {
+            return Status::InvalidArgument("unexpected '!' at offset " +
+                                           std::to_string(i));
+          }
+          token.type = TokenType::kOperator;
+          token.text = "<>";
+          i += 2;
+          break;
+        case '=':
+        case '+':
+        case '-':
+        case '*':
+        case '/':
+        case '%':
+          token.type = TokenType::kOperator;
+          token.text = std::string(1, c);
+          ++i;
+          break;
+        default:
+          return Status::InvalidArgument(
+              std::string("unexpected character '") + c + "' at offset " +
+              std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace vdb::sql

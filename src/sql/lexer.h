@@ -1,0 +1,47 @@
+#ifndef VDB_SQL_LEXER_H_
+#define VDB_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace vdb::sql {
+
+enum class TokenType {
+  kIdentifier,   // table, column, alias names (case-insensitive)
+  kKeyword,      // SELECT, FROM, ... (normalized to upper case)
+  kInteger,      // 123
+  kFloat,        // 1.5
+  kString,       // 'text' (with '' escaping)
+  kOperator,     // = <> != < <= > >= + - * / %
+  kLeftParen,
+  kRightParen,
+  kComma,
+  kDot,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // keyword/operator text (upper for keywords)
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t position = 0;  // byte offset in the input, for error messages
+
+  bool IsKeyword(const char* kw) const;
+  bool IsOperator(const char* op) const;
+};
+
+/// Tokenizes a SQL string. Fails with InvalidArgument on unterminated
+/// strings or unexpected characters. The trailing token is always kEnd.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+/// True if `word` (upper-cased) is a reserved SQL keyword in this dialect.
+bool IsReservedKeyword(const std::string& upper_word);
+
+}  // namespace vdb::sql
+
+#endif  // VDB_SQL_LEXER_H_

@@ -1,0 +1,494 @@
+#include "sql/parser.h"
+
+#include "util/string_util.h"
+
+namespace vdb::sql {
+
+Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& sql) {
+  VDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  internal::Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+namespace internal {
+
+const Token& Parser::Peek(size_t offset) const {
+  const size_t index = pos_ + offset;
+  return index < tokens_.size() ? tokens_[index] : tokens_.back();
+}
+
+const Token& Parser::Advance() {
+  const Token& token = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return token;
+}
+
+bool Parser::MatchKeyword(const char* kw) {
+  if (Peek().IsKeyword(kw)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::MatchOperator(const char* op) {
+  if (Peek().IsOperator(op)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::Match(TokenType type) {
+  if (Peek().type == type) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::ExpectKeyword(const char* kw) {
+  if (!MatchKeyword(kw)) {
+    return ErrorHere(std::string("expected ") + kw);
+  }
+  return Status::OK();
+}
+
+Status Parser::Expect(TokenType type, const char* what) {
+  if (!Match(type)) {
+    return ErrorHere(std::string("expected ") + what);
+  }
+  return Status::OK();
+}
+
+Status Parser::ErrorHere(const std::string& message) const {
+  const Token& token = Peek();
+  return Status::InvalidArgument(
+      message + " at offset " + std::to_string(token.position) + " (got '" +
+      (token.type == TokenType::kEnd ? "<end>" : token.text) + "')");
+}
+
+Result<std::unique_ptr<SelectStatement>> Parser::ParseStatement() {
+  VDB_ASSIGN_OR_RETURN(std::unique_ptr<SelectStatement> select,
+                       ParseSelectBody());
+  Match(TokenType::kSemicolon);
+  if (Peek().type != TokenType::kEnd) {
+    return ErrorHere("unexpected trailing input");
+  }
+  return select;
+}
+
+Result<std::unique_ptr<SelectStatement>> Parser::ParseSelectBody() {
+  VDB_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+  auto select = std::make_unique<SelectStatement>();
+  select->distinct = MatchKeyword("DISTINCT");
+  do {
+    VDB_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+    select->items.push_back(std::move(item));
+  } while (Match(TokenType::kComma));
+
+  if (MatchKeyword("FROM")) {
+    bool first = true;
+    for (;;) {
+      VDB_ASSIGN_OR_RETURN(FromItem item, ParseFromItem(first));
+      select->from.push_back(std::move(item));
+      first = false;
+      // Another from element?
+      const Token& next = Peek();
+      if (next.type == TokenType::kComma || next.IsKeyword("JOIN") ||
+          next.IsKeyword("INNER") || next.IsKeyword("LEFT") ||
+          next.IsKeyword("CROSS")) {
+        continue;
+      }
+      break;
+    }
+  }
+  if (MatchKeyword("WHERE")) {
+    VDB_ASSIGN_OR_RETURN(select->where, ParseExpr());
+  }
+  if (MatchKeyword("GROUP")) {
+    VDB_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      VDB_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+      select->group_by.push_back(std::move(expr));
+    } while (Match(TokenType::kComma));
+  }
+  if (MatchKeyword("HAVING")) {
+    VDB_ASSIGN_OR_RETURN(select->having, ParseExpr());
+  }
+  if (MatchKeyword("ORDER")) {
+    VDB_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      OrderByItem item;
+      VDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("DESC")) {
+        item.ascending = false;
+      } else {
+        MatchKeyword("ASC");
+      }
+      select->order_by.push_back(std::move(item));
+    } while (Match(TokenType::kComma));
+  }
+  if (MatchKeyword("LIMIT")) {
+    if (Peek().type != TokenType::kInteger) {
+      return ErrorHere("expected integer after LIMIT");
+    }
+    select->limit = Advance().int_value;
+  }
+  return select;
+}
+
+Result<SelectItem> Parser::ParseSelectItem() {
+  SelectItem item;
+  if (Peek().IsOperator("*")) {
+    Advance();
+    item.expr = std::make_unique<StarExpr>();
+    return item;
+  }
+  VDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+  if (MatchKeyword("AS")) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorHere("expected alias after AS");
+    }
+    item.alias = Advance().text;
+  } else if (Peek().type == TokenType::kIdentifier) {
+    item.alias = Advance().text;
+  }
+  return item;
+}
+
+Result<FromItem> Parser::ParseFromItem(bool first) {
+  FromItem item;
+  if (first) {
+    item.join_type = JoinType::kCross;
+  } else if (Match(TokenType::kComma)) {
+    item.join_type = JoinType::kCross;
+  } else if (MatchKeyword("CROSS")) {
+    VDB_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+    item.join_type = JoinType::kCross;
+  } else if (MatchKeyword("LEFT")) {
+    MatchKeyword("OUTER");
+    VDB_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+    item.join_type = JoinType::kLeft;
+  } else {
+    MatchKeyword("INNER");
+    VDB_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+    item.join_type = JoinType::kInner;
+  }
+  VDB_ASSIGN_OR_RETURN(item.table, ParseTableRef());
+  if (!first && item.join_type != JoinType::kCross) {
+    VDB_RETURN_NOT_OK(ExpectKeyword("ON"));
+    VDB_ASSIGN_OR_RETURN(item.join_condition, ParseExpr());
+  }
+  return item;
+}
+
+Result<TableRef> Parser::ParseTableRef() {
+  TableRef ref;
+  if (Match(TokenType::kLeftParen)) {
+    ref.kind = TableRef::Kind::kSubquery;
+    VDB_ASSIGN_OR_RETURN(ref.subquery, ParseSelectBody());
+    VDB_RETURN_NOT_OK(Expect(TokenType::kRightParen, "')'"));
+  } else {
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorHere("expected table name");
+    }
+    ref.kind = TableRef::Kind::kBaseTable;
+    ref.name = Advance().text;
+    ref.alias = ref.name;
+  }
+  const bool saw_as = MatchKeyword("AS");
+  if (saw_as || Peek().type == TokenType::kIdentifier) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorHere("expected alias");
+    }
+    ref.alias = Advance().text;
+    if (Match(TokenType::kLeftParen)) {
+      do {
+        if (Peek().type != TokenType::kIdentifier) {
+          return ErrorHere("expected column alias");
+        }
+        ref.column_aliases.push_back(Advance().text);
+      } while (Match(TokenType::kComma));
+      VDB_RETURN_NOT_OK(Expect(TokenType::kRightParen, "')'"));
+    }
+  }
+  if (ref.kind == TableRef::Kind::kSubquery && ref.alias.empty()) {
+    return ErrorHere("subquery in FROM requires an alias");
+  }
+  return ref;
+}
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+Result<ExprPtr> Parser::ParseOr() {
+  VDB_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (MatchKeyword("OR")) {
+    VDB_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(left),
+                                        std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  VDB_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (MatchKeyword("AND")) {
+    VDB_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(left),
+                                        std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    VDB_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    return ExprPtr(
+        std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(operand)));
+  }
+  return ParsePredicate();
+}
+
+Result<ExprPtr> Parser::ParsePredicate() {
+  // EXISTS is a standalone predicate, not an operand.
+  if (MatchKeyword("EXISTS")) {
+    VDB_RETURN_NOT_OK(Expect(TokenType::kLeftParen, "'('"));
+    VDB_ASSIGN_OR_RETURN(std::unique_ptr<SelectStatement> subquery,
+                         ParseSelectBody());
+    VDB_RETURN_NOT_OK(Expect(TokenType::kRightParen, "')'"));
+    return ExprPtr(std::make_unique<ExistsExpr>(std::move(subquery),
+                                                /*is_negated=*/false));
+  }
+  VDB_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+  // Comparison operators.
+  static constexpr struct {
+    const char* text;
+    BinaryOp op;
+  } kComparisons[] = {{"=", BinaryOp::kEq},  {"<>", BinaryOp::kNe},
+                      {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe},
+                      {"<", BinaryOp::kLt},  {">", BinaryOp::kGt}};
+  for (const auto& cmp : kComparisons) {
+    if (MatchOperator(cmp.text)) {
+      VDB_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      return ExprPtr(std::make_unique<BinaryExpr>(cmp.op, std::move(left),
+                                                  std::move(right)));
+    }
+  }
+  bool negated = false;
+  if (Peek().IsKeyword("NOT") &&
+      (Peek(1).IsKeyword("BETWEEN") || Peek(1).IsKeyword("IN") ||
+       Peek(1).IsKeyword("LIKE"))) {
+    Advance();
+    negated = true;
+  }
+  if (MatchKeyword("BETWEEN")) {
+    VDB_ASSIGN_OR_RETURN(ExprPtr low, ParseAdditive());
+    VDB_RETURN_NOT_OK(ExpectKeyword("AND"));
+    VDB_ASSIGN_OR_RETURN(ExprPtr high, ParseAdditive());
+    return ExprPtr(std::make_unique<BetweenExpr>(
+        std::move(left), std::move(low), std::move(high), negated));
+  }
+  if (MatchKeyword("IN")) {
+    VDB_RETURN_NOT_OK(Expect(TokenType::kLeftParen, "'('"));
+    if (Peek().IsKeyword("SELECT")) {
+      VDB_ASSIGN_OR_RETURN(std::unique_ptr<SelectStatement> subquery,
+                           ParseSelectBody());
+      VDB_RETURN_NOT_OK(Expect(TokenType::kRightParen, "')'"));
+      return ExprPtr(std::make_unique<InSubqueryExpr>(
+          std::move(left), std::move(subquery), negated));
+    }
+    std::vector<ExprPtr> list;
+    do {
+      VDB_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+      list.push_back(std::move(item));
+    } while (Match(TokenType::kComma));
+    VDB_RETURN_NOT_OK(Expect(TokenType::kRightParen, "')'"));
+    return ExprPtr(std::make_unique<InListExpr>(std::move(left),
+                                                std::move(list), negated));
+  }
+  if (MatchKeyword("LIKE")) {
+    if (Peek().type != TokenType::kString) {
+      return ErrorHere("expected string pattern after LIKE");
+    }
+    const std::string pattern = Advance().text;
+    return ExprPtr(
+        std::make_unique<LikeExpr>(std::move(left), pattern, negated));
+  }
+  if (negated) return ErrorHere("expected BETWEEN, IN, or LIKE after NOT");
+  if (MatchKeyword("IS")) {
+    const bool is_not = MatchKeyword("NOT");
+    VDB_RETURN_NOT_OK(ExpectKeyword("NULL"));
+    return ExprPtr(std::make_unique<IsNullExpr>(std::move(left), is_not));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  VDB_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  for (;;) {
+    BinaryOp op;
+    if (MatchOperator("+")) {
+      op = BinaryOp::kAdd;
+    } else if (MatchOperator("-")) {
+      op = BinaryOp::kSub;
+    } else {
+      return left;
+    }
+    VDB_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+    left = std::make_unique<BinaryExpr>(op, std::move(left),
+                                        std::move(right));
+  }
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  VDB_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+  for (;;) {
+    BinaryOp op;
+    if (MatchOperator("*")) {
+      op = BinaryOp::kMul;
+    } else if (MatchOperator("/")) {
+      op = BinaryOp::kDiv;
+    } else if (MatchOperator("%")) {
+      op = BinaryOp::kMod;
+    } else {
+      return left;
+    }
+    VDB_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+    left = std::make_unique<BinaryExpr>(op, std::move(left),
+                                        std::move(right));
+  }
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (MatchOperator("-")) {
+    VDB_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    return ExprPtr(
+        std::make_unique<UnaryExpr>(UnaryOp::kNegate, std::move(operand)));
+  }
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& token = Peek();
+  switch (token.type) {
+    case TokenType::kInteger:
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(
+          catalog::Value::Int64(token.int_value)));
+    case TokenType::kFloat:
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(
+          catalog::Value::Double(token.float_value)));
+    case TokenType::kString:
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(
+          catalog::Value::String(token.text)));
+    case TokenType::kLeftParen: {
+      Advance();
+      if (Peek().IsKeyword("SELECT")) {
+        VDB_ASSIGN_OR_RETURN(std::unique_ptr<SelectStatement> subquery,
+                             ParseSelectBody());
+        VDB_RETURN_NOT_OK(Expect(TokenType::kRightParen, "')'"));
+        return ExprPtr(
+            std::make_unique<ScalarSubqueryExpr>(std::move(subquery)));
+      }
+      VDB_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+      VDB_RETURN_NOT_OK(Expect(TokenType::kRightParen, "')'"));
+      return expr;
+    }
+    case TokenType::kKeyword: {
+      if (token.text == "NULL") {
+        Advance();
+        return ExprPtr(std::make_unique<LiteralExpr>(
+            catalog::Value::Null(catalog::TypeId::kInt64)));
+      }
+      if (token.text == "TRUE" || token.text == "FALSE") {
+        Advance();
+        return ExprPtr(std::make_unique<LiteralExpr>(
+            catalog::Value::Bool(token.text == "TRUE")));
+      }
+      if (token.text == "DATE") {
+        Advance();
+        if (Peek().type != TokenType::kString) {
+          return ErrorHere("expected date string after DATE");
+        }
+        VDB_ASSIGN_OR_RETURN(int64_t days,
+                             catalog::ParseDate(Advance().text));
+        return ExprPtr(std::make_unique<LiteralExpr>(
+            catalog::Value::Date(days)));
+      }
+      if (token.text == "CASE") {
+        Advance();
+        return ParseCase();
+      }
+      if (token.text == "COUNT" || token.text == "SUM" ||
+          token.text == "AVG") {
+        const std::string name = ToLower(token.text);
+        Advance();
+        return ParseFunctionCall(name);
+      }
+      return ErrorHere("unexpected keyword in expression");
+    }
+    case TokenType::kIdentifier: {
+      const std::string name = token.text;
+      Advance();
+      if (Peek().type == TokenType::kLeftParen) {
+        return ParseFunctionCall(name);
+      }
+      if (Match(TokenType::kDot)) {
+        if (Peek().type != TokenType::kIdentifier) {
+          return ErrorHere("expected column name after '.'");
+        }
+        const std::string column = Advance().text;
+        return ExprPtr(std::make_unique<ColumnRefExpr>(name, column));
+      }
+      return ExprPtr(std::make_unique<ColumnRefExpr>("", name));
+    }
+    default:
+      return ErrorHere("unexpected token in expression");
+  }
+}
+
+Result<ExprPtr> Parser::ParseFunctionCall(const std::string& name) {
+  VDB_RETURN_NOT_OK(Expect(TokenType::kLeftParen, "'('"));
+  bool star = false;
+  bool distinct = false;
+  std::vector<ExprPtr> args;
+  if (Peek().IsOperator("*")) {
+    Advance();
+    star = true;
+  } else if (Peek().type != TokenType::kRightParen) {
+    distinct = MatchKeyword("DISTINCT");
+    do {
+      VDB_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+      args.push_back(std::move(arg));
+    } while (Match(TokenType::kComma));
+  }
+  VDB_RETURN_NOT_OK(Expect(TokenType::kRightParen, "')'"));
+  return ExprPtr(std::make_unique<FunctionCallExpr>(name, std::move(args),
+                                                    star, distinct));
+}
+
+Result<ExprPtr> Parser::ParseCase() {
+  std::vector<std::pair<ExprPtr, ExprPtr>> branches;
+  ExprPtr else_result;
+  while (MatchKeyword("WHEN")) {
+    VDB_ASSIGN_OR_RETURN(ExprPtr when, ParseExpr());
+    VDB_RETURN_NOT_OK(ExpectKeyword("THEN"));
+    VDB_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+    branches.emplace_back(std::move(when), std::move(then));
+  }
+  if (branches.empty()) {
+    return ErrorHere("CASE requires at least one WHEN branch");
+  }
+  if (MatchKeyword("ELSE")) {
+    VDB_ASSIGN_OR_RETURN(else_result, ParseExpr());
+  }
+  VDB_RETURN_NOT_OK(ExpectKeyword("END"));
+  return ExprPtr(std::make_unique<CaseExpr>(std::move(branches),
+                                            std::move(else_result)));
+}
+
+}  // namespace internal
+}  // namespace vdb::sql

@@ -1,0 +1,66 @@
+#ifndef VDB_SQL_PARSER_H_
+#define VDB_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "sql/ast.h"
+#include "sql/lexer.h"
+#include "util/result.h"
+
+namespace vdb::sql {
+
+/// Parses one SELECT statement (optionally `;`-terminated).
+///
+/// Supported dialect: SELECT [DISTINCT] list FROM tables/joins/subqueries
+/// [WHERE] [GROUP BY] [HAVING] [ORDER BY ... ASC|DESC] [LIMIT n], with
+/// scalar expressions, the five SQL aggregates (incl. COUNT(*) and
+/// COUNT(DISTINCT x)), BETWEEN, IN (list), LIKE, IS [NOT] NULL,
+/// [NOT] EXISTS (correlated subqueries), CASE WHEN, and DATE 'YYYY-MM-DD'
+/// literals.
+Result<std::unique_ptr<SelectStatement>> ParseSelect(
+    const std::string& sql);
+
+namespace internal {
+
+/// Recursive-descent parser over a token stream. Exposed for testing.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStatement>> ParseStatement();
+
+ private:
+  const Token& Peek(size_t offset = 0) const;
+  const Token& Advance();
+  bool MatchKeyword(const char* kw);
+  bool MatchOperator(const char* op);
+  bool Match(TokenType type);
+  Status ExpectKeyword(const char* kw);
+  Status Expect(TokenType type, const char* what);
+  Status ErrorHere(const std::string& message) const;
+
+  Result<std::unique_ptr<SelectStatement>> ParseSelectBody();
+  Result<SelectItem> ParseSelectItem();
+  Result<FromItem> ParseFromItem(bool first);
+  Result<TableRef> ParseTableRef();
+  Result<ExprPtr> ParseExpr();
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParsePredicate();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+  Result<ExprPtr> ParseFunctionCall(const std::string& name);
+  Result<ExprPtr> ParseCase();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace internal
+}  // namespace vdb::sql
+
+#endif  // VDB_SQL_PARSER_H_

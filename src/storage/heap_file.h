@@ -1,0 +1,82 @@
+#ifndef VDB_STORAGE_HEAP_FILE_H_
+#define VDB_STORAGE_HEAP_FILE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace vdb::storage {
+
+/// An unordered collection of variable-length records in slotted pages.
+///
+/// Page layout:
+///   [u16 num_slots][u16 free_space_offset][slot 0][slot 1]...    (from front)
+///   ...record bytes packed towards the end of the page...        (from back)
+/// Each slot is {u16 offset, u16 length}; a deleted record has offset 0.
+class HeapFile {
+ public:
+  HeapFile(DiskManager* disk, BufferPool* pool)
+      : disk_(disk), pool_(pool) {}
+
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  /// Appends a record. Fails with InvalidArgument if it cannot fit on an
+  /// empty page.
+  Result<RecordId> Insert(std::string_view record);
+
+  /// Reads one record by id (a random page access unless the caller knows
+  /// better). Returns NotFound for deleted or out-of-range ids.
+  Result<std::string> Get(RecordId rid,
+                          AccessPattern pattern = AccessPattern::kRandom);
+
+  /// Marks a record deleted. Space is not reclaimed (append-mostly design,
+  /// like PostgreSQL heap without vacuum).
+  Status Delete(RecordId rid);
+
+  uint64_t NumPages() const { return pages_.size(); }
+  uint64_t NumRecords() const { return num_records_; }
+
+  /// Sequentially scans all records. Usage:
+  ///   for (auto it = heap.Begin(); it.Valid(); it.Next()) use(it.record());
+  /// The iterator buffers one page of records at a time and issues
+  /// sequential page reads through the buffer pool.
+  class Iterator {
+   public:
+    bool Valid() const { return valid_; }
+    void Next();
+    const std::string& record() const { return records_[index_].second; }
+    RecordId rid() const { return records_[index_].first; }
+
+   private:
+    friend class HeapFile;
+    explicit Iterator(const HeapFile* heap);
+    void LoadPage();
+
+    const HeapFile* heap_;
+    size_t page_index_ = 0;
+    std::vector<std::pair<RecordId, std::string>> records_;
+    size_t index_ = 0;
+    bool valid_ = false;
+  };
+
+  Iterator Begin() const { return Iterator(this); }
+
+ private:
+  // Number of live (non-deleted) records on the given page; loads via pool.
+  friend class Iterator;
+
+  DiskManager* disk_;
+  BufferPool* pool_;
+  std::vector<PageId> pages_;
+  uint64_t num_records_ = 0;
+};
+
+}  // namespace vdb::storage
+
+#endif  // VDB_STORAGE_HEAP_FILE_H_

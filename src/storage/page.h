@@ -1,0 +1,66 @@
+#ifndef VDB_STORAGE_PAGE_H_
+#define VDB_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace vdb::storage {
+
+/// Fixed database page size. Matches PostgreSQL's default.
+inline constexpr uint64_t kPageSize = 8192;
+
+/// Identifies a page on the (simulated) disk.
+using PageId = uint64_t;
+inline constexpr PageId kInvalidPageId = ~0ULL;
+
+/// Identifies a record: the page that holds it plus its slot number.
+struct RecordId {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  friend bool operator==(const RecordId& a, const RecordId& b) {
+    return a.page_id == b.page_id && a.slot == b.slot;
+  }
+  friend bool operator<(const RecordId& a, const RecordId& b) {
+    if (a.page_id != b.page_id) return a.page_id < b.page_id;
+    return a.slot < b.slot;
+  }
+
+  /// Packs into 64 bits for storage as a B+-tree value (48-bit page id).
+  uint64_t Pack() const { return (page_id << 16) | slot; }
+  static RecordId Unpack(uint64_t packed) {
+    return RecordId{packed >> 16, static_cast<uint16_t>(packed & 0xffff)};
+  }
+};
+
+/// A page-sized buffer. Pages live in BufferPool frames; helpers here give
+/// typed access to offsets within the raw bytes.
+class Page {
+ public:
+  Page() : data_(kPageSize, 0) {}
+
+  char* data() { return data_.data(); }
+  const char* data() const { return data_.data(); }
+
+  template <typename T>
+  T ReadAt(uint64_t offset) const {
+    T value;
+    std::memcpy(&value, data_.data() + offset, sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  void WriteAt(uint64_t offset, T value) {
+    std::memcpy(data_.data() + offset, &value, sizeof(T));
+  }
+
+  void Zero() { std::fill(data_.begin(), data_.end(), 0); }
+
+ private:
+  std::vector<char> data_;
+};
+
+}  // namespace vdb::storage
+
+#endif  // VDB_STORAGE_PAGE_H_

@@ -1,0 +1,173 @@
+#include "util/linalg.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace vdb {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::TransposeTimes(const Matrix& other) const {
+  VDB_CHECK(rows_ == other.rows_);
+  Matrix result(cols_, other.cols_);
+  for (size_t i = 0; i < cols_; ++i) {
+    for (size_t k = 0; k < rows_; ++k) {
+      const double aki = At(k, i);
+      if (aki == 0.0) continue;
+      for (size_t j = 0; j < other.cols_; ++j) {
+        result.At(i, j) += aki * other.At(k, j);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<double> Matrix::TimesVector(const std::vector<double>& vec) const {
+  VDB_CHECK(vec.size() == cols_);
+  std::vector<double> result(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < cols_; ++c) sum += At(r, c) * vec[c];
+    result[r] = sum;
+  }
+  return result;
+}
+
+std::vector<double> Matrix::TransposeTimesVector(
+    const std::vector<double>& vec) const {
+  VDB_CHECK(vec.size() == rows_);
+  std::vector<double> result(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) result[c] += At(r, c) * vec[r];
+  }
+  return result;
+}
+
+Result<std::vector<double>> SolveLinearSystem(const Matrix& a,
+                                              const std::vector<double>& b) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SolveLinearSystem: matrix not square");
+  }
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument("SolveLinearSystem: rhs size mismatch");
+  }
+  const size_t n = a.rows();
+  // Augmented working copy.
+  Matrix work(n, n + 1);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) work.At(r, c) = a.At(r, c);
+    work.At(r, n) = b[r];
+  }
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    double best = std::fabs(work.At(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(work.At(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) {
+      return Status::Internal("SolveLinearSystem: singular matrix");
+    }
+    if (pivot != col) {
+      for (size_t c = col; c <= n; ++c) {
+        std::swap(work.At(pivot, c), work.At(col, c));
+      }
+    }
+    const double diag = work.At(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = work.At(r, col) / diag;
+      if (factor == 0.0) continue;
+      for (size_t c = col; c <= n; ++c) {
+        work.At(r, c) -= factor * work.At(col, c);
+      }
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double sum = work.At(ri, n);
+    for (size_t c = ri + 1; c < n; ++c) sum -= work.At(ri, c) * x[c];
+    x[ri] = sum / work.At(ri, ri);
+  }
+  return x;
+}
+
+Result<std::vector<double>> LeastSquares(const Matrix& a,
+                                         const std::vector<double>& b,
+                                         double ridge) {
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument("LeastSquares: rhs size mismatch");
+  }
+  if (a.rows() < a.cols()) {
+    return Status::InvalidArgument(
+        "LeastSquares: underdetermined system (rows < cols)");
+  }
+  Matrix ata = a.TransposeTimes(a);
+  for (size_t i = 0; i < ata.rows(); ++i) ata.At(i, i) += ridge;
+  std::vector<double> atb = a.TransposeTimesVector(b);
+  return SolveLinearSystem(ata, atb);
+}
+
+Result<std::vector<double>> NonNegativeLeastSquares(
+    const Matrix& a, const std::vector<double>& b, double ridge) {
+  VDB_ASSIGN_OR_RETURN(std::vector<double> x, LeastSquares(a, b, ridge));
+  std::vector<bool> clamped(x.size(), false);
+  // Active-set style iteration: clamp the most negative variable to zero,
+  // re-solve the reduced system, repeat. At most cols() iterations.
+  for (size_t iter = 0; iter < x.size(); ++iter) {
+    // Find most negative unclamped component.
+    size_t worst = x.size();
+    double worst_value = -1e-12;
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (!clamped[i] && x[i] < worst_value) {
+        worst_value = x[i];
+        worst = i;
+      }
+    }
+    if (worst == x.size()) break;  // all non-negative
+    clamped[worst] = true;
+    // Build reduced system over free columns.
+    std::vector<size_t> free_cols;
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (!clamped[i]) free_cols.push_back(i);
+    }
+    for (size_t i = 0; i < x.size(); ++i) x[i] = 0.0;
+    if (free_cols.empty()) break;
+    Matrix reduced(a.rows(), free_cols.size());
+    for (size_t r = 0; r < a.rows(); ++r) {
+      for (size_t c = 0; c < free_cols.size(); ++c) {
+        reduced.At(r, c) = a.At(r, free_cols[c]);
+      }
+    }
+    VDB_ASSIGN_OR_RETURN(std::vector<double> reduced_x,
+                         LeastSquares(reduced, b, ridge));
+    for (size_t c = 0; c < free_cols.size(); ++c) {
+      x[free_cols[c]] = reduced_x[c];
+    }
+  }
+  for (double& v : x) {
+    if (v < 0.0) v = 0.0;
+  }
+  return x;
+}
+
+double ResidualRms(const Matrix& a, const std::vector<double>& x,
+                   const std::vector<double>& b) {
+  std::vector<double> ax = a.TimesVector(x);
+  double sum = 0.0;
+  for (size_t i = 0; i < b.size(); ++i) {
+    const double d = ax[i] - b[i];
+    sum += d * d;
+  }
+  return b.empty() ? 0.0 : std::sqrt(sum / static_cast<double>(b.size()));
+}
+
+}  // namespace vdb

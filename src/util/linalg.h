@@ -1,0 +1,69 @@
+#ifndef VDB_UTIL_LINALG_H_
+#define VDB_UTIL_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace vdb {
+
+/// Small dense row-major matrix of doubles. Sized for the calibration
+/// least-squares systems (tens of rows, < 10 columns), not for HPC.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Returns this^T * other. Requires rows() == other.rows().
+  Matrix TransposeTimes(const Matrix& other) const;
+
+  /// Returns this * vec. Requires vec.size() == cols().
+  std::vector<double> TimesVector(const std::vector<double>& vec) const;
+
+  /// Returns this^T * vec. Requires vec.size() == rows().
+  std::vector<double> TransposeTimesVector(
+      const std::vector<double>& vec) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Solves the square linear system A x = b by Gaussian elimination with
+/// partial pivoting. Returns InvalidArgument on shape mismatch and
+/// Internal if A is (numerically) singular.
+Result<std::vector<double>> SolveLinearSystem(const Matrix& a,
+                                              const std::vector<double>& b);
+
+/// Solves the least-squares problem min_x ||A x - b||_2 via the normal
+/// equations with Tikhonov regularization `ridge` (default: tiny jitter to
+/// keep nearly-collinear calibration designs solvable).
+Result<std::vector<double>> LeastSquares(const Matrix& a,
+                                         const std::vector<double>& b,
+                                         double ridge = 1e-9);
+
+/// Solves least squares subject to x >= 0 by iteratively clamping negative
+/// components to zero and re-solving on the active set. The calibration
+/// parameters are physical times and must be non-negative.
+Result<std::vector<double>> NonNegativeLeastSquares(
+    const Matrix& a, const std::vector<double>& b, double ridge = 1e-9);
+
+/// Root-mean-square of (A x - b); fit diagnostics for calibration.
+double ResidualRms(const Matrix& a, const std::vector<double>& x,
+                   const std::vector<double>& b);
+
+}  // namespace vdb
+
+#endif  // VDB_UTIL_LINALG_H_

@@ -1,0 +1,56 @@
+#include "util/logging.h"
+
+#include <atomic>
+
+namespace vdb {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level));
+}
+
+namespace internal {
+
+namespace {
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= GetLogLevel()) {
+    std::cerr << stream_.str() << std::endl;
+  }
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line) {
+  stream_ << "[FATAL " << file << ":" << line << "] ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  std::cerr << stream_.str() << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace vdb

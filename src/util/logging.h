@@ -1,0 +1,79 @@
+#ifndef VDB_UTIL_LOGGING_H_
+#define VDB_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace vdb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns the process-wide minimum level that is actually emitted.
+LogLevel GetLogLevel();
+
+/// Sets the process-wide minimum log level. Messages below it are dropped.
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log sink that emits one line on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction. Used by VDB_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define VDB_LOG(level)                                                     \
+  ::vdb::internal::LogMessage(::vdb::LogLevel::k##level, __FILE__,         \
+                              __LINE__)                                    \
+      .stream()
+
+/// Aborts with a message if `condition` is false. Active in all builds:
+/// used for programmer errors (invariant violations), not runtime errors.
+#define VDB_CHECK(condition)                                            \
+  if (!(condition))                                                     \
+  ::vdb::internal::FatalLogMessage(__FILE__, __LINE__).stream()         \
+      << "Check failed: " #condition " "
+
+#define VDB_CHECK_OK(expr)                                              \
+  if (::vdb::Status _st = (expr); !_st.ok())                            \
+  ::vdb::internal::FatalLogMessage(__FILE__, __LINE__).stream()         \
+      << "Check failed: " << _st.ToString() << " "
+
+#ifndef NDEBUG
+#define VDB_DCHECK(condition) VDB_CHECK(condition)
+#else
+#define VDB_DCHECK(condition) \
+  while (false) VDB_CHECK(condition)
+#endif
+
+}  // namespace vdb
+
+#endif  // VDB_UTIL_LOGGING_H_

@@ -1,0 +1,104 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace vdb {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Random::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+  has_cached_gaussian_ = false;
+}
+
+uint64_t Random::NextUint64() {
+  const uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Random::UniformInt(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Random::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Random::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint64_t Random::Zipf(uint64_t n, double theta) {
+  if (n <= 1 || theta <= 0.0) return 1 + Uniform(n == 0 ? 1 : n);
+  // Quick-and-correct inverse-CDF over the harmonic weights would be O(n);
+  // instead use the standard "zeta" approximation (Gray et al., SIGMOD'94).
+  const double alpha = 1.0 / (1.0 - theta);
+  const double zetan = (std::pow(static_cast<double>(n), 1.0 - theta) - 1.0) /
+                           (1.0 - theta) +
+                       1.0;
+  const double eta =
+      (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+      (1.0 - 1.0 / zetan);
+  const double u = NextDouble();
+  const double uz = u * zetan;
+  if (uz < 1.0) return 1;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 2;
+  const uint64_t rank =
+      1 + static_cast<uint64_t>(static_cast<double>(n) *
+                                std::pow(eta * u - eta + 1.0, alpha));
+  return rank > n ? n : rank;
+}
+
+}  // namespace vdb

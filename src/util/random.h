@@ -1,0 +1,53 @@
+#ifndef VDB_UTIL_RANDOM_H_
+#define VDB_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace vdb {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256** seeded with
+/// splitmix64). All randomized components of the library (data generation,
+/// randomized search restarts) use this so that every run is reproducible
+/// from a seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 42) { Seed(seed); }
+
+  /// Re-seeds the generator. The full 256-bit state is derived from `seed`
+  /// via splitmix64, so distinct seeds give uncorrelated streams.
+  void Seed(uint64_t seed);
+
+  /// Returns a uniformly distributed 64-bit value.
+  uint64_t NextUint64();
+
+  /// Returns a uniform value in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns a uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Returns a standard-normal sample (Box-Muller).
+  double NextGaussian();
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank in [1, n] with skew parameter `theta` in [0, 1).
+  /// theta = 0 is uniform. Uses the standard rejection-free approximation.
+  uint64_t Zipf(uint64_t n, double theta);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_UTIL_RANDOM_H_

@@ -1,0 +1,80 @@
+#ifndef VDB_UTIL_RESULT_H_
+#define VDB_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace vdb {
+
+/// Result<T> holds either a value of type T or an error Status.
+/// This is the value-returning companion to Status, in the style of
+/// arrow::Result / absl::StatusOr.
+///
+/// Usage:
+///   Result<Plan> r = optimizer.Optimize(query);
+///   if (!r.ok()) return r.status();
+///   Plan plan = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (success).
+  Result(T value)  // NOLINT: implicit by design, mirrors arrow::Result
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs from an error status. `status.ok()` must be false.
+  Result(Status status)  // NOLINT: implicit by design
+      : status_(std::move(status)) {
+    assert(!status_.ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Requires ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error status to the caller.
+#define VDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define VDB_ASSIGN_OR_RETURN(lhs, expr) \
+  VDB_ASSIGN_OR_RETURN_IMPL(VDB_CONCAT_(_vdb_result_, __LINE__), lhs, expr)
+
+#define VDB_CONCAT_INNER_(a, b) a##b
+#define VDB_CONCAT_(a, b) VDB_CONCAT_INNER_(a, b)
+
+}  // namespace vdb
+
+#endif  // VDB_UTIL_RESULT_H_

@@ -1,0 +1,42 @@
+#ifndef VDB_UTIL_STRING_UTIL_H_
+#define VDB_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vdb {
+
+/// Splits `input` on `delimiter`, keeping empty fields.
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// ASCII lower-casing (SQL identifiers are case-insensitive in our dialect).
+std::string ToLower(std::string_view input);
+std::string ToUpper(std::string_view input);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// SQL LIKE pattern match: '%' matches any run, '_' matches one character.
+/// Comparison is case-sensitive, as in PostgreSQL.
+bool LikeMatch(std::string_view value, std::string_view pattern);
+
+/// Formats a double with `precision` significant decimal digits.
+std::string FormatDouble(double value, int precision = 4);
+
+/// Formats a byte count as a human-readable string ("1.5 GiB").
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace vdb
+
+#endif  // VDB_UTIL_STRING_UTIL_H_

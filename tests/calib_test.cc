@@ -1,0 +1,251 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "calib/calibration.h"
+#include "calib/grid.h"
+#include "calib/store.h"
+#include "datagen/calibration_db.h"
+#include "exec/database.h"
+#include "sim/machine.h"
+#include "sim/virtual_machine.h"
+
+namespace vdb::calib {
+namespace {
+
+using optimizer::OptimizerParams;
+using sim::ResourceShare;
+
+OptimizerParams ParamsWith(double seq, double random, double tuple) {
+  OptimizerParams params;
+  params.seq_page_cost = seq;
+  params.random_page_cost = random;
+  params.cpu_tuple_cost = tuple;
+  return params;
+}
+
+TEST(CalibrationStoreTest, ExactLookup) {
+  CalibrationStore store;
+  store.Put(ResourceShare(0.25, 0.5, 0.5), ParamsWith(1, 4, 0.01));
+  store.Put(ResourceShare(0.75, 0.5, 0.5), ParamsWith(2, 8, 0.03));
+  auto params = store.Lookup(ResourceShare(0.25, 0.5, 0.5));
+  ASSERT_TRUE(params.ok());
+  EXPECT_DOUBLE_EQ(params->seq_page_cost, 1.0);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(CalibrationStoreTest, PutReplaces) {
+  CalibrationStore store;
+  store.Put(ResourceShare(0.5, 0.5, 0.5), ParamsWith(1, 4, 0.01));
+  store.Put(ResourceShare(0.5, 0.5, 0.5), ParamsWith(9, 4, 0.01));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_DOUBLE_EQ(store.Lookup(ResourceShare(0.5, 0.5, 0.5))
+                       ->seq_page_cost,
+                   9.0);
+}
+
+TEST(CalibrationStoreTest, EmptyLookupFails) {
+  CalibrationStore store;
+  EXPECT_TRUE(
+      store.Lookup(ResourceShare(0.5, 0.5, 0.5)).status().IsNotFound());
+}
+
+TEST(CalibrationStoreTest, LinearInterpolationAlongCpuAxis) {
+  CalibrationStore store;
+  store.Put(ResourceShare(0.25, 0.5, 0.5), ParamsWith(1.0, 4.0, 0.01));
+  store.Put(ResourceShare(0.75, 0.5, 0.5), ParamsWith(3.0, 8.0, 0.03));
+  auto mid = store.Lookup(ResourceShare(0.5, 0.5, 0.5));
+  ASSERT_TRUE(mid.ok()) << mid.status();
+  EXPECT_NEAR(mid->seq_page_cost, 2.0, 1e-9);
+  EXPECT_NEAR(mid->random_page_cost, 6.0, 1e-9);
+  EXPECT_NEAR(mid->cpu_tuple_cost, 0.02, 1e-9);
+}
+
+TEST(CalibrationStoreTest, ClampsOutsideGrid) {
+  CalibrationStore store;
+  store.Put(ResourceShare(0.25, 0.5, 0.5), ParamsWith(1.0, 4.0, 0.01));
+  store.Put(ResourceShare(0.75, 0.5, 0.5), ParamsWith(3.0, 8.0, 0.03));
+  auto low = store.Lookup(ResourceShare(0.1, 0.5, 0.5));
+  ASSERT_TRUE(low.ok());
+  EXPECT_NEAR(low->seq_page_cost, 1.0, 1e-9);
+  auto high = store.Lookup(ResourceShare(0.9, 0.5, 0.5));
+  ASSERT_TRUE(high.ok());
+  EXPECT_NEAR(high->seq_page_cost, 3.0, 1e-9);
+}
+
+TEST(CalibrationStoreTest, BilinearInterpolation) {
+  CalibrationStore store;
+  // seq_page_cost = cpu + 10 * memory at the four corners.
+  for (double cpu : {0.2, 0.8}) {
+    for (double mem : {0.2, 0.8}) {
+      store.Put(ResourceShare(cpu, mem, 0.5),
+                ParamsWith(cpu + 10 * mem, 1, 1));
+    }
+  }
+  auto mid = store.Lookup(ResourceShare(0.5, 0.5, 0.5));
+  ASSERT_TRUE(mid.ok());
+  EXPECT_NEAR(mid->seq_page_cost, 0.5 + 5.0, 1e-9);
+  auto off = store.Lookup(ResourceShare(0.35, 0.65, 0.5));
+  ASSERT_TRUE(off.ok());
+  EXPECT_NEAR(off->seq_page_cost, 0.35 + 6.5, 1e-9);
+}
+
+TEST(CalibrationStoreTest, SaveLoadRoundTrip) {
+  CalibrationStore store;
+  OptimizerParams params = ParamsWith(1.25, 7.5, 0.0125);
+  params.effective_cache_size_pages = 4321;
+  params.work_mem_bytes = 1234567;
+  store.Put(ResourceShare(0.25, 0.5, 0.75), params);
+  store.Put(ResourceShare(0.75, 0.25, 0.5), ParamsWith(2, 3, 4));
+  const std::string path = ::testing::TempDir() + "/calib_store.txt";
+  ASSERT_TRUE(store.SaveToFile(path).ok());
+  auto loaded = CalibrationStore::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  auto back = loaded->Lookup(ResourceShare(0.25, 0.5, 0.75));
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back->seq_page_cost, 1.25);
+  EXPECT_DOUBLE_EQ(back->random_page_cost, 7.5);
+  EXPECT_EQ(back->effective_cache_size_pages, 4321u);
+  EXPECT_EQ(back->work_mem_bytes, 1234567u);
+  std::remove(path.c_str());
+}
+
+class CalibratorTest : public ::testing::Test {
+ protected:
+  CalibratorTest() {
+    datagen::CalibrationDbConfig config;
+    config.base_rows = 2000;
+    VDB_CHECK_OK(datagen::GenerateCalibrationDb(db_.catalog(), config));
+  }
+
+  sim::VirtualMachine Vm(double cpu, double memory, double io) {
+    return sim::VirtualMachine("vm", sim::MachineSpec::PaperTestbed(),
+                               sim::HypervisorModel::XenLike(),
+                               ResourceShare(cpu, memory, io));
+  }
+
+  exec::Database db_;
+};
+
+TEST_F(CalibratorTest, ProducesPositiveParamsWithSmallResidual) {
+  Calibrator calibrator(&db_);
+  auto result = calibrator.Calibrate(Vm(0.5, 0.5, 0.5));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->params.seq_page_cost, 0.0);
+  EXPECT_GT(result->params.random_page_cost, 0.0);
+  EXPECT_GT(result->params.cpu_tuple_cost, 0.0);
+  // Random reads are far slower than sequential ones on this disk.
+  EXPECT_GT(result->params.random_page_cost,
+            result->params.seq_page_cost);
+  // Fit quality: residual well under the largest measurement.
+  double max_measured = 0.0;
+  for (double v : result->measured_ms) {
+    max_measured = std::max(max_measured, v);
+  }
+  EXPECT_LT(result->residual_rms_ms, 0.1 * max_measured);
+}
+
+TEST_F(CalibratorTest, DeterministicAcrossRuns) {
+  Calibrator calibrator(&db_);
+  auto a = calibrator.Calibrate(Vm(0.5, 0.5, 0.5));
+  auto b = calibrator.Calibrate(Vm(0.5, 0.5, 0.5));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->params.cpu_tuple_cost, b->params.cpu_tuple_cost);
+  EXPECT_DOUBLE_EQ(a->params.seq_page_cost, b->params.seq_page_cost);
+}
+
+TEST_F(CalibratorTest, CpuCostsRiseWhenCpuShareDrops) {
+  // The heart of Figure 3: the optimizer's CPU parameters must be
+  // sensitive to the VM's CPU allocation, and calibration must detect it.
+  Calibrator calibrator(&db_);
+  auto low = calibrator.Calibrate(Vm(0.25, 0.5, 0.5));
+  auto high = calibrator.Calibrate(Vm(0.75, 0.5, 0.5));
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_GT(low->params.cpu_tuple_cost, 1.5 * high->params.cpu_tuple_cost);
+  EXPECT_GT(low->params.cpu_operator_cost,
+            high->params.cpu_operator_cost);
+}
+
+TEST_F(CalibratorTest, PageCostsRiseWhenIoShareDrops) {
+  Calibrator calibrator(&db_);
+  auto low = calibrator.Calibrate(Vm(0.5, 0.5, 0.25));
+  auto high = calibrator.Calibrate(Vm(0.5, 0.5, 0.75));
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_GT(low->params.seq_page_cost, 1.5 * high->params.seq_page_cost);
+  EXPECT_GT(low->params.random_page_cost,
+            1.5 * high->params.random_page_cost);
+}
+
+TEST_F(CalibratorTest, EstimatesRankQueriesLikeMeasurements) {
+  // The paper's requirement: optimizer estimates under calibrated P need
+  // to *rank* alternatives correctly. Check fitted vs measured orderings
+  // pairwise for well-separated pairs.
+  Calibrator calibrator(&db_);
+  auto result = calibrator.Calibrate(Vm(0.5, 0.5, 0.5));
+  ASSERT_TRUE(result.ok());
+  const auto& measured = result->measured_ms;
+  const auto& fitted = result->fitted_ms;
+  int checked = 0;
+  for (size_t i = 0; i < measured.size(); ++i) {
+    for (size_t j = 0; j < measured.size(); ++j) {
+      if (measured[i] > 3.0 * measured[j] && measured[j] > 0.0) {
+        EXPECT_GT(fitted[i], fitted[j])
+            << "pair (" << i << ", " << j << ")";
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 5);
+}
+
+TEST_F(CalibratorTest, CapacityParamsTrackVmMemory) {
+  Calibrator calibrator(&db_);
+  auto small = calibrator.Calibrate(Vm(0.5, 0.25, 0.5));
+  auto large = calibrator.Calibrate(Vm(0.5, 0.75, 0.5));
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_NEAR(static_cast<double>(large->params.effective_cache_size_pages),
+              3.0 * static_cast<double>(
+                        small->params.effective_cache_size_pages),
+              4.0);
+  EXPECT_GT(large->params.work_mem_bytes, small->params.work_mem_bytes);
+}
+
+TEST_F(CalibratorTest, GridCalibration) {
+  CalibrationGridSpec spec;
+  spec.cpu_shares = {0.25, 0.75};
+  spec.memory_shares = {0.5};
+  spec.io_shares = {0.5};
+  int progress_calls = 0;
+  auto store = CalibrateGrid(
+      &db_, sim::MachineSpec::PaperTestbed(),
+      sim::HypervisorModel::XenLike(), spec,
+      [&](const ResourceShare&, const CalibrationResult&) {
+        ++progress_calls;
+      });
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ(store->size(), 2u);
+  EXPECT_EQ(progress_calls, 2);
+  // Interpolated midpoint lies between the endpoints.
+  auto low = store->Lookup(ResourceShare(0.25, 0.5, 0.5));
+  auto mid = store->Lookup(ResourceShare(0.5, 0.5, 0.5));
+  auto high = store->Lookup(ResourceShare(0.75, 0.5, 0.5));
+  ASSERT_TRUE(mid.ok());
+  EXPECT_LT(high->cpu_tuple_cost, mid->cpu_tuple_cost);
+  EXPECT_LT(mid->cpu_tuple_cost, low->cpu_tuple_cost);
+}
+
+TEST_F(CalibratorTest, EmptyGridAxisFails) {
+  CalibrationGridSpec spec;
+  spec.cpu_shares = {};
+  auto store = CalibrateGrid(&db_, sim::MachineSpec::PaperTestbed(),
+                             sim::HypervisorModel::XenLike(), spec);
+  EXPECT_TRUE(store.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace vdb::calib

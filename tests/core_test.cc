@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include "calib/grid.h"
+#include "calib/store.h"
+#include "core/advisor.h"
+#include "core/cost_model.h"
+#include "core/dynamic.h"
+#include "core/problem.h"
+#include "core/search.h"
+#include "core/workload.h"
+#include "datagen/calibration_db.h"
+#include "datagen/synthetic.h"
+#include "exec/database.h"
+#include "sim/machine.h"
+
+namespace vdb::core {
+namespace {
+
+using sim::ResourceKind;
+using sim::ResourceShare;
+
+/// Shared fixture: one database holding the calibration tables plus an
+/// I/O-heavy table (wide rows, scanned cold) and a CPU-heavy table (many
+/// rows, LIKE-filtered); a calibration store over a CPU x IO grid.
+class DesignTestBase : public ::testing::Test {
+ protected:
+  static constexpr const char* kIoQuery =
+      "select count(*) from wide_table";
+  static constexpr const char* kCpuQuery =
+      "select count(*) from text_table where s like '%foxes%' and s like "
+      "'%beans%' and t like '%haggle%'";
+
+  DesignTestBase() {
+    machine_ = sim::MachineSpec::PaperTestbed();
+    datagen::CalibrationDbConfig cal_config;
+    cal_config.base_rows = 2000;
+    VDB_CHECK_OK(datagen::GenerateCalibrationDb(db_.catalog(), cal_config));
+
+    using datagen::ColumnSpec;
+    using datagen::Distribution;
+    // Wide rows: few tuples, many pages -> I/O-bound cold scans.
+    ColumnSpec key;
+    key.name = "k";
+    key.distribution = Distribution::kSequential;
+    ColumnSpec pad;
+    pad.name = "pad";
+    pad.type = catalog::TypeId::kString;
+    pad.distribution = Distribution::kRandomText;
+    pad.string_length = 2000;
+    VDB_CHECK_OK(datagen::GenerateTable(db_.catalog(), "wide_table",
+                                        {key, pad}, 4000, 21));
+    // Narrow rows with text predicates -> CPU-bound scans.
+    ColumnSpec s;
+    s.name = "s";
+    s.type = catalog::TypeId::kString;
+    s.distribution = Distribution::kRandomText;
+    s.string_length = 30;
+    ColumnSpec t = s;
+    t.name = "t";
+    VDB_CHECK_OK(datagen::GenerateTable(db_.catalog(), "text_table",
+                                        {key, s, t}, 30000, 22));
+    VDB_CHECK_OK(db_.catalog()->AnalyzeAll());
+
+    calib::CalibrationGridSpec spec;
+    spec.cpu_shares = {0.15, 0.25, 0.5, 0.75, 0.85};
+    spec.memory_shares = {0.5};
+    spec.io_shares = {0.15, 0.25, 0.5, 0.75, 0.85};
+    auto store = calib::CalibrateGrid(&db_, machine_,
+                                      sim::HypervisorModel::XenLike(), spec);
+    VDB_CHECK(store.ok()) << store.status();
+    store_ = std::move(*store);
+  }
+
+  VirtualizationDesignProblem TwoWorkloadProblem(
+      std::vector<ResourceKind> controlled = {ResourceKind::kCpu}) {
+    VirtualizationDesignProblem problem;
+    problem.machine = machine_;
+    problem.workloads = {Workload::Repeated("io-bound", kIoQuery, 2),
+                         Workload::Repeated("cpu-bound", kCpuQuery, 2)};
+    problem.databases = {&db_, &db_};
+    problem.controlled = std::move(controlled);
+    problem.grid_steps = 10;
+    return problem;
+  }
+
+  sim::MachineSpec machine_;
+  exec::Database db_;
+  calib::CalibrationStore store_;
+};
+
+class DesignSolverTest : public DesignTestBase {};
+
+TEST_F(DesignSolverTest, ValidateCatchesBadProblems) {
+  VirtualizationDesignProblem problem = TwoWorkloadProblem();
+  EXPECT_TRUE(problem.Validate().ok());
+  problem.databases.pop_back();
+  EXPECT_TRUE(problem.Validate().IsInvalidArgument());
+  problem = TwoWorkloadProblem();
+  problem.grid_steps = 1;
+  EXPECT_TRUE(problem.Validate().IsInvalidArgument());
+  problem = TwoWorkloadProblem();
+  problem.controlled.clear();
+  EXPECT_TRUE(problem.Validate().IsInvalidArgument());
+}
+
+TEST_F(DesignSolverTest, CostModelMonotoneInCpuForCpuBoundWork) {
+  VirtualizationDesignProblem problem = TwoWorkloadProblem();
+  WorkloadCostModel cost(&problem, &store_);
+  // CPU-bound workload (index 1) gets cheaper with more CPU.
+  auto low = cost.Cost(1, ResourceShare(0.25, 0.5, 0.5));
+  auto high = cost.Cost(1, ResourceShare(0.75, 0.5, 0.5));
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_GT(*low, 2.0 * *high);
+  // I/O-bound workload (index 0) barely cares about CPU.
+  auto io_low = cost.Cost(0, ResourceShare(0.25, 0.5, 0.5));
+  auto io_high = cost.Cost(0, ResourceShare(0.75, 0.5, 0.5));
+  ASSERT_TRUE(io_low.ok());
+  ASSERT_TRUE(io_high.ok());
+  EXPECT_LT(*io_low, 1.5 * *io_high);
+}
+
+TEST_F(DesignSolverTest, CostModelMemoizes) {
+  VirtualizationDesignProblem problem = TwoWorkloadProblem();
+  WorkloadCostModel cost(&problem, &store_);
+  ASSERT_TRUE(cost.Cost(0, ResourceShare(0.5, 0.5, 0.5)).ok());
+  const uint64_t evals = cost.evaluations();
+  ASSERT_TRUE(cost.Cost(0, ResourceShare(0.5, 0.5, 0.5)).ok());
+  EXPECT_EQ(cost.evaluations(), evals);
+  EXPECT_EQ(cost.cache_hits(), 1u);
+}
+
+TEST_F(DesignSolverTest, AllSearchersProduceFeasibleDesigns) {
+  VirtualizationDesignProblem problem = TwoWorkloadProblem();
+  for (SearchAlgorithm algorithm :
+       {SearchAlgorithm::kExhaustive, SearchAlgorithm::kGreedy,
+        SearchAlgorithm::kDynamicProgramming}) {
+    WorkloadCostModel cost(&problem, &store_);
+    auto solution = SolveDesignProblem(problem, &cost, algorithm);
+    ASSERT_TRUE(solution.ok())
+        << SearchAlgorithmName(algorithm) << ": " << solution.status();
+    ASSERT_EQ(solution->allocations.size(), 2u);
+    double cpu_total = 0.0;
+    for (const ResourceShare& share : solution->allocations) {
+      EXPECT_GE(share.cpu, 0.1 - 1e-9);  // at least one unit of 10
+      cpu_total += share.cpu;
+      EXPECT_DOUBLE_EQ(share.memory, 0.5);  // uncontrolled: equal split
+      EXPECT_DOUBLE_EQ(share.io, 0.5);
+    }
+    EXPECT_NEAR(cpu_total, 1.0, 1e-9);
+    EXPECT_GT(solution->evaluations, 0u);
+  }
+}
+
+TEST_F(DesignSolverTest, DpMatchesExhaustiveOptimum) {
+  VirtualizationDesignProblem problem = TwoWorkloadProblem();
+  WorkloadCostModel cost(&problem, &store_);
+  auto exhaustive =
+      SolveDesignProblem(problem, &cost, SearchAlgorithm::kExhaustive);
+  auto dp = SolveDesignProblem(problem, &cost,
+                               SearchAlgorithm::kDynamicProgramming);
+  ASSERT_TRUE(exhaustive.ok());
+  ASSERT_TRUE(dp.ok());
+  EXPECT_NEAR(dp->total_cost_ms, exhaustive->total_cost_ms, 1e-6);
+}
+
+TEST_F(DesignSolverTest, GreedyNoWorseThanEqualSplit) {
+  VirtualizationDesignProblem problem = TwoWorkloadProblem();
+  WorkloadCostModel cost(&problem, &store_);
+  auto greedy = SolveDesignProblem(problem, &cost, SearchAlgorithm::kGreedy);
+  ASSERT_TRUE(greedy.ok());
+  auto equal_cost = cost.TotalCost(EqualSplitSolution(problem).allocations);
+  ASSERT_TRUE(equal_cost.ok());
+  EXPECT_LE(greedy->total_cost_ms, *equal_cost + 1e-9);
+}
+
+TEST_F(DesignSolverTest, RecommendationShiftsCpuTowardsCpuBoundWorkload) {
+  VirtualizationDesignProblem problem = TwoWorkloadProblem();
+  Advisor advisor(&store_);
+  auto solution = advisor.Recommend(problem);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  // Workload 1 is CPU-bound; it should receive more than half the CPU.
+  EXPECT_GT(solution->allocations[1].cpu, 0.5);
+  EXPECT_LT(solution->allocations[0].cpu, 0.5);
+}
+
+TEST_F(DesignSolverTest, RecommendedDesignBeatsEqualSplitWhenMeasured) {
+  // The paper's bottom line (Figure 5 logic): the design chosen from
+  // estimates must actually run faster than the default equal split.
+  VirtualizationDesignProblem problem = TwoWorkloadProblem();
+  Advisor advisor(&store_);
+  auto solution = advisor.Recommend(problem);
+  ASSERT_TRUE(solution.ok());
+  auto recommended = Advisor::Measure(problem, solution->allocations);
+  auto equal =
+      Advisor::Measure(problem, EqualSplitSolution(problem).allocations);
+  ASSERT_TRUE(recommended.ok()) << recommended.status();
+  ASSERT_TRUE(equal.ok());
+  EXPECT_LT(recommended->total_seconds, equal->total_seconds);
+}
+
+TEST_F(DesignSolverTest, TwoResourceDesign) {
+  // Controlling CPU and I/O together: the CPU-bound workload should get
+  // CPU, the I/O-bound workload should get I/O bandwidth.
+  VirtualizationDesignProblem problem =
+      TwoWorkloadProblem({ResourceKind::kCpu, ResourceKind::kIo});
+  Advisor advisor(&store_);
+  auto solution =
+      advisor.Recommend(problem, SearchAlgorithm::kDynamicProgramming);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  EXPECT_GT(solution->allocations[1].cpu, 0.5);
+  EXPECT_GT(solution->allocations[0].io, 0.5);
+  // Feasibility on both axes.
+  EXPECT_NEAR(solution->allocations[0].cpu + solution->allocations[1].cpu,
+              1.0, 1e-9);
+  EXPECT_NEAR(solution->allocations[0].io + solution->allocations[1].io,
+              1.0, 1e-9);
+}
+
+TEST_F(DesignSolverTest, MeasureRejectsInfeasibleAllocations) {
+  VirtualizationDesignProblem problem = TwoWorkloadProblem();
+  std::vector<ResourceShare> infeasible = {ResourceShare(0.7, 0.5, 0.5),
+                                           ResourceShare(0.7, 0.5, 0.5)};
+  EXPECT_TRUE(Advisor::Measure(problem, infeasible)
+                  .status()
+                  .IsResourceExhausted());
+}
+
+TEST_F(DesignSolverTest, ThreeWorkloads) {
+  VirtualizationDesignProblem problem = TwoWorkloadProblem();
+  problem.workloads.push_back(Workload::Repeated("cpu2", kCpuQuery, 1));
+  problem.databases.push_back(&db_);
+  problem.grid_steps = 9;
+  Advisor advisor(&store_);
+  auto solution = advisor.Recommend(problem);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  double total = 0.0;
+  for (const ResourceShare& share : solution->allocations) {
+    total += share.cpu;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Equal memory split across three.
+  EXPECT_NEAR(solution->allocations[0].memory, 1.0 / 3.0, 1e-9);
+}
+
+TEST_F(DesignSolverTest, DynamicRedesignBeatsStaticAcrossPhaseShift) {
+  VirtualizationDesignProblem base = TwoWorkloadProblem();
+  // Phase 0: VM1 io-bound, VM2 cpu-bound. Phase 1: roles swap.
+  std::vector<std::vector<Workload>> phases = {
+      {Workload::Repeated("io", kIoQuery, 2),
+       Workload::Repeated("cpu", kCpuQuery, 2)},
+      {Workload::Repeated("cpu", kCpuQuery, 2),
+       Workload::Repeated("io", kIoQuery, 2)},
+  };
+  auto comparison = CompareStaticVsDynamic(base, phases, store_);
+  ASSERT_TRUE(comparison.ok()) << comparison.status();
+  ASSERT_EQ(comparison->dynamic_designs.size(), 2u);
+  // Dynamic re-design can only help (it re-optimizes each phase).
+  EXPECT_LE(comparison->dynamic_total_seconds,
+            comparison->static_total_seconds * 1.001);
+  // And with a role swap it should help measurably.
+  EXPECT_LT(comparison->dynamic_total_seconds,
+            0.95 * comparison->static_total_seconds);
+}
+
+TEST_F(DesignSolverTest, ImportanceWeightShiftsAllocation) {
+  // Paper Section 7 extension: two *identical* CPU-bound workloads, but
+  // one carries a higher service-level weight. Unweighted, the optimum is
+  // the equal split; weighted, the search must favor the important one.
+  VirtualizationDesignProblem problem = TwoWorkloadProblem();
+  problem.workloads = {Workload::Repeated("gold", kCpuQuery, 2),
+                       Workload::Repeated("bronze", kCpuQuery, 2)};
+  problem.workloads[0].importance = 4.0;
+  Advisor advisor(&store_);
+  auto weighted = advisor.Recommend(problem);
+  ASSERT_TRUE(weighted.ok()) << weighted.status();
+  EXPECT_GT(weighted->allocations[0].cpu, 0.5);
+
+  problem.workloads[0].importance = 1.0;
+  auto unweighted = advisor.Recommend(problem);
+  ASSERT_TRUE(unweighted.ok());
+  EXPECT_DOUBLE_EQ(unweighted->allocations[0].cpu, 0.5);
+}
+
+TEST_F(DesignSolverTest, ImportanceScalesCostLinearly) {
+  VirtualizationDesignProblem problem = TwoWorkloadProblem();
+  WorkloadCostModel plain(&problem, &store_);
+  auto base = plain.Cost(1, ResourceShare(0.5, 0.5, 0.5));
+  ASSERT_TRUE(base.ok());
+  problem.workloads[1].importance = 3.0;
+  WorkloadCostModel weighted(&problem, &store_);
+  auto scaled = weighted.Cost(1, ResourceShare(0.5, 0.5, 0.5));
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_NEAR(*scaled, 3.0 * *base, 1e-9);
+}
+
+TEST_F(DesignSolverTest, ColdPerStatementMeasurementIsSlower) {
+  // Repeated statements run warm by default; the cold_per_statement option
+  // (modeling a database larger than VM memory) re-pays the I/O each time.
+  VirtualizationDesignProblem problem = TwoWorkloadProblem();
+  problem.workloads = {Workload::Repeated("io-a", kIoQuery, 3),
+                       Workload::Repeated("io-b", kIoQuery, 3)};
+  const auto allocations = EqualSplitSolution(problem).allocations;
+  auto warm = Advisor::Measure(problem, allocations);
+  Advisor::MeasureOptions options;
+  options.cold_per_statement = true;
+  auto cold = Advisor::Measure(problem, allocations, options);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(cold.ok());
+  // Warm: 1 cold + 2 cached scans. Cold: 3 cold scans.
+  EXPECT_GT(cold->total_seconds, 1.5 * warm->total_seconds);
+  EXPECT_GT(cold->max_seconds, 0.0);
+  EXPECT_LE(cold->max_seconds, cold->total_seconds);
+}
+
+}  // namespace
+}  // namespace vdb::core

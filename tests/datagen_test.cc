@@ -1,0 +1,250 @@
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "datagen/calibration_db.h"
+#include "datagen/synthetic.h"
+#include "datagen/tpch.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "util/string_util.h"
+
+namespace vdb::datagen {
+namespace {
+
+using catalog::Catalog;
+using catalog::DeserializeTuple;
+using catalog::TableInfo;
+using catalog::Tuple;
+using catalog::TypeId;
+
+class DatagenTest : public ::testing::Test {
+ protected:
+  DatagenTest() : pool_(&disk_, 4096), catalog_(&disk_, &pool_) {}
+
+  storage::DiskManager disk_;
+  storage::BufferPool pool_;
+  Catalog catalog_;
+};
+
+TEST_F(DatagenTest, GenerateTableBasics) {
+  ColumnSpec id;
+  id.name = "id";
+  id.distribution = Distribution::kSequential;
+  ColumnSpec v;
+  v.name = "v";
+  v.distribution = Distribution::kUniform;
+  v.min_value = 0;
+  v.max_value = 9;
+  ASSERT_TRUE(GenerateTable(&catalog_, "t", {id, v}, 200, 1).ok());
+  auto table = catalog_.GetTable("t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->heap->NumRecords(), 200u);
+  int64_t expected_id = 0;
+  for (auto it = (*table)->heap->Begin(); it.Valid(); it.Next()) {
+    auto tuple = DeserializeTuple(it.record(), (*table)->schema);
+    ASSERT_TRUE(tuple.ok());
+    EXPECT_EQ((*tuple)[0].AsInt64(), expected_id++);
+    EXPECT_GE((*tuple)[1].AsInt64(), 0);
+    EXPECT_LE((*tuple)[1].AsInt64(), 9);
+  }
+}
+
+TEST_F(DatagenTest, DeterministicAcrossRuns) {
+  ColumnSpec v;
+  v.name = "v";
+  v.distribution = Distribution::kUniform;
+  v.min_value = 0;
+  v.max_value = 1000000;
+  ASSERT_TRUE(GenerateTable(&catalog_, "a", {v}, 100, 99).ok());
+  ASSERT_TRUE(GenerateTable(&catalog_, "b", {v}, 100, 99).ok());
+  auto ta = catalog_.GetTable("a");
+  auto tb = catalog_.GetTable("b");
+  auto ita = (*ta)->heap->Begin();
+  auto itb = (*tb)->heap->Begin();
+  while (ita.Valid() && itb.Valid()) {
+    EXPECT_EQ(ita.record(), itb.record());
+    ita.Next();
+    itb.Next();
+  }
+  EXPECT_EQ(ita.Valid(), itb.Valid());
+}
+
+TEST_F(DatagenTest, NullFractionRespected) {
+  ColumnSpec v;
+  v.name = "v";
+  v.distribution = Distribution::kUniform;
+  v.null_fraction = 0.25;
+  ASSERT_TRUE(GenerateTable(&catalog_, "t", {v}, 2000, 5).ok());
+  auto table = catalog_.GetTable("t");
+  int nulls = 0;
+  for (auto it = (*table)->heap->Begin(); it.Valid(); it.Next()) {
+    auto tuple = DeserializeTuple(it.record(), (*table)->schema);
+    if ((*tuple)[0].is_null()) ++nulls;
+  }
+  EXPECT_NEAR(nulls / 2000.0, 0.25, 0.04);
+}
+
+TEST_F(DatagenTest, RandomTextLengthAndAlphabet) {
+  Random rng(1);
+  const std::string text = RandomText(40, &rng);
+  EXPECT_GE(text.size(), 40u);
+  EXPECT_LT(text.size(), 60u);
+  for (char c : text) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || c == ' ') << c;
+  }
+}
+
+TEST_F(DatagenTest, CalibrationDbShapes) {
+  CalibrationDbConfig config;
+  config.base_rows = 500;
+  ASSERT_TRUE(GenerateCalibrationDb(&catalog_, config).ok());
+  auto small = catalog_.GetTable("cal_small");
+  auto large = catalog_.GetTable("cal_large");
+  auto indexed = catalog_.GetTable("cal_indexed");
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_EQ((*small)->heap->NumRecords(), 500u);
+  EXPECT_EQ((*large)->heap->NumRecords(), 4000u);
+  EXPECT_EQ((*indexed)->indexes.size(), 2u);
+  EXPECT_TRUE((*small)->stats.Analyzed());
+  // Column a is sequential-unique.
+  EXPECT_EQ((*small)->stats.columns[0].ndv, 500u);
+}
+
+class TpchTest : public ::testing::Test {
+ protected:
+  TpchTest() : pool_(&disk_, 8192), catalog_(&disk_, &pool_) {
+    TpchConfig config;
+    config.scale_factor = 0.002;
+    config.seed = 11;
+    VDB_CHECK(GenerateTpch(&catalog_, config).ok());
+  }
+
+  TableInfo* Table(const std::string& name) {
+    auto table = catalog_.GetTable(name);
+    VDB_CHECK(table.ok());
+    return *table;
+  }
+
+  storage::DiskManager disk_;
+  storage::BufferPool pool_;
+  Catalog catalog_;
+};
+
+TEST_F(TpchTest, AllTablesPresentWithExpectedCardinalities) {
+  EXPECT_EQ(Table("region")->heap->NumRecords(), 5u);
+  EXPECT_EQ(Table("nation")->heap->NumRecords(), 25u);
+  const uint64_t customers = Table("customer")->heap->NumRecords();
+  EXPECT_EQ(customers, 300u);  // 150000 * 0.002
+  EXPECT_EQ(Table("orders")->heap->NumRecords(), customers * 10);
+  const uint64_t orders = Table("orders")->heap->NumRecords();
+  const uint64_t lines = Table("lineitem")->heap->NumRecords();
+  EXPECT_GE(lines, orders);        // >= 1 line per order
+  EXPECT_LE(lines, orders * 7);    // <= 7 lines per order
+  EXPECT_EQ(Table("partsupp")->heap->NumRecords(),
+            Table("part")->heap->NumRecords() * 4);
+}
+
+TEST_F(TpchTest, ForeignKeysResolve) {
+  // Every order's custkey exists in customer (keys are 1..N sequential).
+  const int64_t num_customers =
+      static_cast<int64_t>(Table("customer")->heap->NumRecords());
+  TableInfo* orders = Table("orders");
+  for (auto it = orders->heap->Begin(); it.Valid(); it.Next()) {
+    auto tuple = DeserializeTuple(it.record(), orders->schema);
+    ASSERT_TRUE(tuple.ok());
+    const int64_t custkey = (*tuple)[1].AsInt64();
+    ASSERT_GE(custkey, 1);
+    ASSERT_LE(custkey, num_customers);
+  }
+}
+
+TEST_F(TpchTest, DatesConsistent) {
+  TableInfo* lineitem = Table("lineitem");
+  const auto& schema = lineitem->schema;
+  const size_t ship = *schema.ColumnIndex("l_shipdate");
+  const size_t commit = *schema.ColumnIndex("l_commitdate");
+  const size_t receipt = *schema.ColumnIndex("l_receiptdate");
+  for (auto it = lineitem->heap->Begin(); it.Valid(); it.Next()) {
+    auto tuple = DeserializeTuple(it.record(), schema);
+    ASSERT_TRUE(tuple.ok());
+    const int64_t shipdate = (*tuple)[ship].AsInt64();
+    const int64_t receiptdate = (*tuple)[receipt].AsInt64();
+    ASSERT_GT(receiptdate, shipdate);
+    ASSERT_GE((*tuple)[commit].AsInt64(), TpchStartDate());
+    ASSERT_GE(shipdate, TpchStartDate());
+    ASSERT_LE(receiptdate, TpchEndDate() + 31);
+  }
+}
+
+TEST_F(TpchTest, SomeLineitemsMissCommitDate) {
+  // Q4's EXISTS predicate needs lineitems with commitdate < receiptdate;
+  // with commit ~ U[30,90] and receipt up to 152 days out, a large
+  // fraction qualifies but not all.
+  TableInfo* lineitem = Table("lineitem");
+  const auto& schema = lineitem->schema;
+  const size_t commit = *schema.ColumnIndex("l_commitdate");
+  const size_t receipt = *schema.ColumnIndex("l_receiptdate");
+  uint64_t late = 0;
+  uint64_t total = 0;
+  for (auto it = lineitem->heap->Begin(); it.Valid(); it.Next()) {
+    auto tuple = DeserializeTuple(it.record(), schema);
+    ++total;
+    if ((*tuple)[commit].AsInt64() < (*tuple)[receipt].AsInt64()) ++late;
+  }
+  EXPECT_GT(late, 0u);
+  EXPECT_LT(late, total);
+}
+
+TEST_F(TpchTest, SpecialRequestsCommentsRare) {
+  TableInfo* orders = Table("orders");
+  const size_t comment = *orders->schema.ColumnIndex("o_comment");
+  uint64_t matches = 0;
+  uint64_t total = 0;
+  for (auto it = orders->heap->Begin(); it.Valid(); it.Next()) {
+    auto tuple = DeserializeTuple(it.record(), orders->schema);
+    ++total;
+    if (LikeMatch((*tuple)[comment].AsString(), "%special%requests%")) {
+      ++matches;
+    }
+  }
+  EXPECT_GT(matches, 0u);
+  EXPECT_LT(static_cast<double>(matches) / static_cast<double>(total), 0.05);
+}
+
+TEST_F(TpchTest, IndexesCreatedAndConsistent) {
+  auto index = catalog_.GetIndex("orders_pk");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->tree->NumEntries(),
+            Table("orders")->heap->NumRecords());
+  auto lineitem_order = catalog_.GetIndex("lineitem_order");
+  ASSERT_TRUE(lineitem_order.ok());
+  EXPECT_EQ((*lineitem_order)->tree->NumEntries(),
+            Table("lineitem")->heap->NumRecords());
+  // Point lookup through the index returns that order's lineitems.
+  auto rids = (*lineitem_order)->tree->Lookup(1);
+  ASSERT_TRUE(rids.ok());
+  EXPECT_GE(rids->size(), 1u);
+  EXPECT_LE(rids->size(), 7u);
+}
+
+TEST_F(TpchTest, StatisticsAnalyzed) {
+  TableInfo* orders = Table("orders");
+  ASSERT_TRUE(orders->stats.Analyzed());
+  EXPECT_EQ(orders->stats.row_count, orders->heap->NumRecords());
+  const size_t date_col = *orders->schema.ColumnIndex("o_orderdate");
+  const auto& date_stats = orders->stats.columns[date_col];
+  EXPECT_GE(date_stats.min, static_cast<double>(TpchStartDate()));
+  EXPECT_LE(date_stats.max, static_cast<double>(TpchEndDate()));
+  EXPECT_FALSE(date_stats.histogram.empty());
+  // o_orderpriority has exactly 5 distinct values.
+  const size_t priority_col = *orders->schema.ColumnIndex("o_orderpriority");
+  EXPECT_EQ(orders->stats.columns[priority_col].ndv, 5u);
+}
+
+}  // namespace
+}  // namespace vdb::datagen

@@ -1,0 +1,405 @@
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "datagen/tpch.h"
+#include "exec/database.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/params.h"
+#include "optimizer/selectivity.h"
+#include "plan/planner.h"
+#include "plan/rewriter.h"
+#include "sim/machine.h"
+#include "sim/virtual_machine.h"
+#include "sql/parser.h"
+
+namespace vdb::optimizer {
+namespace {
+
+using catalog::TypeId;
+
+TEST(ParamsTest, WorkVectorPricing) {
+  OptimizerParams params;
+  params.seq_page_cost = 1.0;
+  params.random_page_cost = 4.0;
+  params.cpu_tuple_cost = 0.01;
+  params.cpu_index_tuple_cost = 0.005;
+  params.cpu_operator_cost = 0.0025;
+  WorkVector work;
+  work.seq_pages = 100;
+  work.tuples = 1000;
+  work.operator_evals = 2000;
+  EXPECT_DOUBLE_EQ(work.Cost(params), 100.0 + 10.0 + 5.0);
+  work.random_pages = 10;
+  work.index_tuples = 100;
+  EXPECT_DOUBLE_EQ(work.Cost(params), 115.0 + 40.0 + 0.5);
+}
+
+TEST(ParamsTest, CalibratedVectorRoundTrip) {
+  OptimizerParams params;
+  std::array<double, OptimizerParams::kNumCalibrated> v = {1, 2, 3, 4, 5};
+  params.SetCalibratedVector(v);
+  EXPECT_EQ(params.CalibratedVector(), v);
+  EXPECT_DOUBLE_EQ(params.random_page_cost, 2.0);
+}
+
+TEST(CostModelTest, SeqScanLinearInPages) {
+  OptimizerParams params;
+  CostModel model(params);
+  const WorkVector small = model.SeqScan(10, 1000, 2);
+  const WorkVector large = model.SeqScan(100, 10000, 2);
+  EXPECT_DOUBLE_EQ(large.seq_pages, 10.0 * small.seq_pages);
+  EXPECT_DOUBLE_EQ(large.tuples, 10.0 * small.tuples);
+}
+
+TEST(CostModelTest, IndexHeapPagesCardenasAndCache) {
+  OptimizerParams params;
+  params.effective_cache_size_pages = 1000000;  // everything cached
+  CostModel cached(params);
+  // With few probes into a big table, ~1 page per probe.
+  EXPECT_NEAR(cached.IndexHeapPages(10, 100000), 10.0, 0.1);
+  // Many probes into a small table can't exceed the table size when the
+  // cache holds it.
+  EXPECT_LE(cached.IndexHeapPages(100000, 50), 50.0 + 1e-9);
+
+  params.effective_cache_size_pages = 10;  // tiny cache
+  CostModel uncached(params);
+  // Re-visits now miss: more page fetches than distinct pages.
+  EXPECT_GT(uncached.IndexHeapPages(100000, 50), 1000.0);
+  // A bigger cache never increases cost.
+  EXPECT_LE(cached.IndexHeapPages(100000, 50),
+            uncached.IndexHeapPages(100000, 50));
+}
+
+TEST(CostModelTest, SortSpillsBeyondWorkMem) {
+  OptimizerParams params;
+  params.work_mem_bytes = 1 << 20;
+  CostModel model(params);
+  const WorkVector in_memory = model.Sort(1000, 100);     // 100 KB
+  const WorkVector spilled = model.Sort(100000, 100);     // 10 MB
+  EXPECT_DOUBLE_EQ(in_memory.seq_pages, 0.0);
+  EXPECT_GT(spilled.seq_pages, 0.0);
+}
+
+TEST(CostModelTest, HashJoinSpillsBeyondWorkMem) {
+  OptimizerParams params;
+  params.work_mem_bytes = 1 << 20;
+  CostModel model(params);
+  EXPECT_DOUBLE_EQ(
+      model.HashJoin(1000, 50, 1000, 50, 1000, 0).seq_pages, 0.0);
+  EXPECT_GT(model.HashJoin(1000, 50, 100000, 50, 1000, 0).seq_pages, 0.0);
+}
+
+class OptimizerQueryTest : public ::testing::Test {
+ protected:
+  OptimizerQueryTest() {
+    using datagen::ColumnSpec;
+    using datagen::Distribution;
+    ColumnSpec key;
+    key.name = "k";
+    key.distribution = Distribution::kSequential;
+    ColumnSpec val;
+    val.name = "v";
+    val.distribution = Distribution::kUniform;
+    val.min_value = 0;
+    val.max_value = 99;
+    ColumnSpec txt;
+    txt.name = "s";
+    txt.type = TypeId::kString;
+    txt.distribution = Distribution::kRandomText;
+    txt.string_length = 30;
+    VDB_CHECK(datagen::GenerateTable(db_.catalog(), "big",
+                                     {key, val, txt}, 20000, 3)
+                  .ok());
+    VDB_CHECK(datagen::GenerateTable(db_.catalog(), "small",
+                                     {key, val}, 200, 4)
+                  .ok());
+    VDB_CHECK(db_.catalog()->CreateIndex("big_k", "big", "k").ok());
+    VDB_CHECK(db_.catalog()->CreateIndex("big_v", "big", "v").ok());
+    VDB_CHECK(db_.catalog()->AnalyzeAll().ok());
+  }
+
+  Result<PhysicalNodePtr> Prepare(const std::string& sql) {
+    return db_.Prepare(sql);
+  }
+
+  static const PhysicalNode* FindOp(const PhysicalNode* node, PhysOp op) {
+    if (node->op == op) return node;
+    for (const auto& child : node->children) {
+      if (const PhysicalNode* found = FindOp(child.get(), op)) return found;
+    }
+    return nullptr;
+  }
+
+  exec::Database db_;
+};
+
+TEST_F(OptimizerQueryTest, PointLookupUsesIndex) {
+  auto plan = Prepare("select v from big where k = 12345");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  const auto* index_scan = FindOp(plan->get(), PhysOp::kIndexScan);
+  ASSERT_NE(index_scan, nullptr) << (*plan)->ToString();
+  const auto* scan = static_cast<const PhysIndexScan*>(index_scan);
+  EXPECT_TRUE(scan->has_lower);
+  EXPECT_TRUE(scan->has_upper);
+  EXPECT_EQ(scan->lower, 12345);
+  EXPECT_EQ(scan->upper, 12345);
+}
+
+TEST_F(OptimizerQueryTest, WideRangeUsesSeqScan) {
+  auto plan = Prepare("select v from big where k > 5");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(FindOp(plan->get(), PhysOp::kSeqScan), nullptr)
+      << (*plan)->ToString();
+  EXPECT_EQ(FindOp(plan->get(), PhysOp::kIndexScan), nullptr);
+}
+
+TEST_F(OptimizerQueryTest, NarrowRangeUsesIndex) {
+  // Under 2007-disk default parameters (random reads ~60x a sequential
+  // page), only very narrow ranges beat a sequential scan of this table.
+  auto plan = Prepare("select v from big where k between 100 and 102");
+  ASSERT_TRUE(plan.ok());
+  const auto* index_scan = FindOp(plan->get(), PhysOp::kIndexScan);
+  ASSERT_NE(index_scan, nullptr) << (*plan)->ToString();
+  const auto* scan = static_cast<const PhysIndexScan*>(index_scan);
+  EXPECT_EQ(scan->lower, 100);
+  EXPECT_EQ(scan->upper, 102);
+}
+
+TEST_F(OptimizerQueryTest, WideRangePrefersSeqScanOverIndex) {
+  // A 20-key range fetches ~20 random pages (~150ms of seeks) versus a
+  // ~50ms sequential scan; the optimizer must keep the seq scan.
+  auto plan = Prepare("select v from big where k between 100 and 120");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(FindOp(plan->get(), PhysOp::kSeqScan), nullptr);
+  EXPECT_EQ(FindOp(plan->get(), PhysOp::kIndexScan), nullptr);
+  // But its row estimate must use range (not independence) selectivity.
+  EXPECT_NEAR((*plan)->estimated_rows, 21.0, 10.0);
+}
+
+TEST_F(OptimizerQueryTest, ResidualKeptWithIndex) {
+  auto plan = Prepare(
+      "select v from big where k = 77 and s like '%beans%'");
+  ASSERT_TRUE(plan.ok());
+  const auto* index_scan = FindOp(plan->get(), PhysOp::kIndexScan);
+  ASSERT_NE(index_scan, nullptr);
+  const auto* scan = static_cast<const PhysIndexScan*>(index_scan);
+  ASSERT_NE(scan->residual_filter, nullptr);
+}
+
+TEST_F(OptimizerQueryTest, EquiJoinPrefersHashJoin) {
+  auto plan = Prepare(
+      "select big.v from big, small where big.k = small.k");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(FindOp(plan->get(), PhysOp::kHashJoin), nullptr)
+      << (*plan)->ToString();
+}
+
+TEST_F(OptimizerQueryTest, JoinEstimatesRowsReasonably) {
+  auto plan = Prepare(
+      "select big.v from big, small where big.k = small.k");
+  ASSERT_TRUE(plan.ok());
+  const auto* join = FindOp(plan->get(), PhysOp::kHashJoin);
+  ASSERT_NE(join, nullptr);
+  // k is unique in big; each of small's 200 rows matches once.
+  EXPECT_GT(join->estimated_rows, 20.0);
+  EXPECT_LT(join->estimated_rows, 2000.0);
+}
+
+TEST_F(OptimizerQueryTest, CrossJoinFallsBackToNestedLoop) {
+  auto plan = Prepare("select small.v from small, small s2 limit 3");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(FindOp(plan->get(), PhysOp::kNestedLoopJoin), nullptr)
+      << (*plan)->ToString();
+}
+
+TEST_F(OptimizerQueryTest, OrderByLimitFusesToTopN) {
+  auto plan = Prepare("select v from big order by v desc limit 5");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(FindOp(plan->get(), PhysOp::kTopN), nullptr)
+      << (*plan)->ToString();
+  EXPECT_EQ(FindOp(plan->get(), PhysOp::kSort), nullptr);
+  // TopN must be estimated cheaper than the unfused sort+limit: compare
+  // against the plain full sort.
+  auto sorted = Prepare("select v from big order by v desc");
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_LT((*plan)->total_cost_ms, (*sorted)->total_cost_ms);
+}
+
+TEST_F(OptimizerQueryTest, HugeLimitKeepsPlainSort) {
+  // If the retained rows would not fit work_mem, TopN is not used.
+  OptimizerParams params;
+  params.work_mem_bytes = 1024;  // 1 KiB
+  db_.SetOptimizerParams(params);
+  auto plan = Prepare("select v, s from big order by v limit 10000");
+  db_.SetOptimizerParams(OptimizerParams());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(FindOp(plan->get(), PhysOp::kSort), nullptr)
+      << (*plan)->ToString();
+}
+
+TEST_F(OptimizerQueryTest, WhatIfParamsShiftPlanChoice) {
+  // With random pages as cheap as sequential ones and a huge cache, the
+  // index path wins a much wider range than under default (disk) params.
+  const std::string sql = "select v from big where k < 4000";
+
+  OptimizerParams disk_like;
+  disk_like.seq_page_cost = 0.13;
+  disk_like.random_page_cost = 7.7;
+  disk_like.effective_cache_size_pages = 64;
+  db_.SetOptimizerParams(disk_like);
+  auto disk_plan = Prepare(sql);
+  ASSERT_TRUE(disk_plan.ok());
+
+  OptimizerParams memory_like = disk_like;
+  memory_like.random_page_cost = 0.13;
+  memory_like.effective_cache_size_pages = 1u << 20;
+  memory_like.cpu_tuple_cost = 0.01;  // CPU-starved VM: touching every
+  memory_like.cpu_operator_cost = 0.01;  // tuple is expensive
+  db_.SetOptimizerParams(memory_like);
+  auto memory_plan = Prepare(sql);
+  ASSERT_TRUE(memory_plan.ok());
+
+  EXPECT_NE(FindOp(disk_plan->get(), PhysOp::kSeqScan), nullptr)
+      << (*disk_plan)->ToString();
+  EXPECT_NE(FindOp(memory_plan->get(), PhysOp::kIndexScan), nullptr)
+      << (*memory_plan)->ToString();
+}
+
+TEST_F(OptimizerQueryTest, CostsScaleWithParams) {
+  auto plan = Prepare("select count(*) from big");
+  ASSERT_TRUE(plan.ok());
+  const double base_cost = (*plan)->total_cost_ms;
+  OptimizerParams slow;
+  slow.seq_page_cost = 100.0;
+  db_.SetOptimizerParams(slow);
+  auto slow_plan = Prepare("select count(*) from big");
+  ASSERT_TRUE(slow_plan.ok());
+  EXPECT_GT((*slow_plan)->total_cost_ms, base_cost);
+}
+
+TEST_F(OptimizerQueryTest, EstimatesOrderSelectivity) {
+  auto narrow = Prepare("select v from big where v = 7");
+  auto wide = Prepare("select v from big where v < 90");
+  ASSERT_TRUE(narrow.ok());
+  ASSERT_TRUE(wide.ok());
+  EXPECT_LT((*narrow)->estimated_rows, (*wide)->estimated_rows);
+  // v uniform over 100 values: equality ~1% of rows.
+  EXPECT_NEAR((*narrow)->estimated_rows, 200.0, 150.0);
+  EXPECT_NEAR((*wide)->estimated_rows, 18000.0, 2500.0);
+}
+
+// Join ordering on a TPC-H star-ish query: the optimizer should not start
+// from the biggest table.
+TEST(JoinOrderTest, TpchQ3ShapeIsReasonable) {
+  exec::Database db;
+  datagen::TpchConfig config;
+  config.scale_factor = 0.002;
+  ASSERT_TRUE(datagen::GenerateTpch(db.catalog(), config).ok());
+  auto plan = db.Prepare(
+      "select o_orderkey, sum(l_extendedprice * (1 - l_discount)) as "
+      "revenue from customer, orders, lineitem where c_mktsegment = "
+      "'BUILDING' and c_custkey = o_custkey and l_orderkey = o_orderkey "
+      "and o_orderdate < date '1995-03-15' group by o_orderkey order by "
+      "revenue desc limit 10");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Expect at least one hash join in the plan, with the ORDER BY+LIMIT
+  // fused into a TopN on top.
+  EXPECT_EQ((*plan)->op, PhysOp::kTopN) << (*plan)->ToString();
+  const std::string text = (*plan)->ToString();
+  EXPECT_NE(text.find("HashJoin"), std::string::npos) << text;
+}
+
+// Beyond 12 relations the join-order DP hands off to the greedy
+// ordering; the plan must still be correct and connected.
+TEST(JoinOrderTest, GreedyFallbackForManyRelations) {
+  exec::Database db;
+  using datagen::ColumnSpec;
+  using datagen::Distribution;
+  const int kTables = 13;
+  std::string sql = "select count(*) from ";
+  for (int i = 0; i < kTables; ++i) {
+    ColumnSpec key;
+    key.name = "k";
+    key.distribution = Distribution::kSequential;
+    const std::string name = "t" + std::to_string(i);
+    VDB_CHECK_OK(datagen::GenerateTable(&*db.catalog(), name, {key},
+                                        20 + i, 100 + i));
+    if (i > 0) sql += ", ";
+    sql += name;
+  }
+  VDB_CHECK_OK(db.catalog()->AnalyzeAll());
+  sql += " where ";
+  for (int i = 1; i < kTables; ++i) {
+    if (i > 1) sql += " and ";
+    sql += "t" + std::to_string(i - 1) + ".k = t" + std::to_string(i) +
+           ".k";
+  }
+  auto plan = db.Prepare(sql);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Execute: chain join over sequential keys -> 20 surviving rows
+  // (the smallest table bounds the chain).
+  sim::VirtualMachine vm("vm", sim::MachineSpec::PaperTestbed(),
+                         sim::HypervisorModel::Ideal(),
+                         sim::ResourceShare(1.0, 1.0, 1.0));
+  VDB_CHECK_OK(db.ApplyVmConfig(vm));
+  auto result = db.ExecutePlan(**plan, vm);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].AsInt64(), 20);
+}
+
+TEST(JoinOrderTest, TooManyRelationsRejectedCleanly) {
+  exec::Database db;
+  using datagen::ColumnSpec;
+  using datagen::Distribution;
+  std::string sql = "select count(*) from ";
+  for (int i = 0; i < 21; ++i) {
+    ColumnSpec key;
+    key.name = "k";
+    key.distribution = Distribution::kSequential;
+    const std::string name = "m" + std::to_string(i);
+    VDB_CHECK_OK(
+        datagen::GenerateTable(&*db.catalog(), name, {key}, 5, 200 + i));
+    if (i > 0) sql += ", ";
+    sql += name;
+  }
+  auto plan = db.Prepare(sql);
+  EXPECT_TRUE(plan.status().IsNotSupported());
+}
+
+TEST(OptimizerEdgeTest, UnanalyzedTableStillPlans) {
+  exec::Database db;
+  auto table = db.catalog()->CreateTable(
+      "raw", catalog::Schema({catalog::Column("x", TypeId::kInt64)}));
+  ASSERT_TRUE(table.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db.catalog()
+                    ->Insert(*table, {catalog::Value::Int64(i)})
+                    .ok());
+  }
+  // No Analyze: the optimizer must fall back to heap counts + defaults.
+  auto plan = db.Prepare("select count(*) from raw where x < 50");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_GT((*plan)->estimated_rows, 0.0);
+}
+
+TEST(OptimizerEdgeTest, EmptyTablePlansAndExecutes) {
+  exec::Database db;
+  auto table = db.catalog()->CreateTable(
+      "nothing", catalog::Schema({catalog::Column("x", TypeId::kInt64)}));
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(db.catalog()->AnalyzeAll().ok());
+  sim::VirtualMachine vm("vm", sim::MachineSpec::Small(),
+                         sim::HypervisorModel::Ideal(),
+                         sim::ResourceShare(1.0, 1.0, 1.0));
+  VDB_CHECK_OK(db.ApplyVmConfig(vm));
+  auto result = db.Execute("select sum(x), count(*) from nothing", vm);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_TRUE(result->rows[0][0].is_null());
+  EXPECT_EQ(result->rows[0][1].AsInt64(), 0);
+}
+
+}  // namespace
+}  // namespace vdb::optimizer

@@ -1,0 +1,421 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "plan/expr.h"
+#include "plan/logical.h"
+#include "plan/planner.h"
+#include "plan/rewriter.h"
+#include "sql/parser.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace vdb::plan {
+namespace {
+
+using catalog::Column;
+using catalog::Schema;
+using catalog::TypeId;
+using catalog::Value;
+
+// --- bound expression evaluation -----------------------------------------
+
+BoundExprPtr Const(Value v) { return std::make_unique<ConstantExpr>(v); }
+
+BoundExprPtr Col(int table, int index, TypeId type) {
+  return std::make_unique<ColumnExpr>(ColumnId{table, index}, "c", type);
+}
+
+BoundExprPtr Bin(sql::BinaryOp op, BoundExprPtr l, BoundExprPtr r,
+                 TypeId type) {
+  return std::make_unique<BinaryBoundExpr>(op, std::move(l), std::move(r),
+                                           type);
+}
+
+TEST(BoundExprTest, ArithmeticAndComparison) {
+  auto add = Bin(sql::BinaryOp::kAdd, Const(Value::Int64(2)),
+                 Const(Value::Int64(3)), TypeId::kInt64);
+  EXPECT_EQ(add->Evaluate({}).AsInt64(), 5);
+  auto mul = Bin(sql::BinaryOp::kMul, Const(Value::Double(2.5)),
+                 Const(Value::Int64(4)), TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(mul->Evaluate({}).AsDouble(), 10.0);
+  auto lt = Bin(sql::BinaryOp::kLt, Const(Value::Int64(1)),
+                Const(Value::Double(1.5)), TypeId::kBool);
+  EXPECT_TRUE(lt->Evaluate({}).AsBool());
+}
+
+TEST(BoundExprTest, DivisionByZeroIsNull) {
+  auto div = Bin(sql::BinaryOp::kDiv, Const(Value::Int64(1)),
+                 Const(Value::Int64(0)), TypeId::kInt64);
+  EXPECT_TRUE(div->Evaluate({}).is_null());
+  auto mod = Bin(sql::BinaryOp::kMod, Const(Value::Int64(1)),
+                 Const(Value::Int64(0)), TypeId::kInt64);
+  EXPECT_TRUE(mod->Evaluate({}).is_null());
+}
+
+TEST(BoundExprTest, ThreeValuedLogicAnd) {
+  const Value kNull = Value::Null(TypeId::kBool);
+  const Value kTrue = Value::Bool(true);
+  const Value kFalse = Value::Bool(false);
+  auto eval_and = [&](Value a, Value b) {
+    auto expr = Bin(sql::BinaryOp::kAnd, Const(a), Const(b), TypeId::kBool);
+    return expr->Evaluate({});
+  };
+  EXPECT_TRUE(eval_and(kTrue, kTrue).AsBool());
+  EXPECT_FALSE(eval_and(kTrue, kFalse).AsBool());
+  // FALSE AND NULL = FALSE (either order).
+  EXPECT_FALSE(eval_and(kFalse, kNull).AsBool());
+  EXPECT_FALSE(eval_and(kNull, kFalse).AsBool());
+  // TRUE AND NULL = NULL.
+  EXPECT_TRUE(eval_and(kTrue, kNull).is_null());
+  EXPECT_TRUE(eval_and(kNull, kNull).is_null());
+}
+
+TEST(BoundExprTest, ThreeValuedLogicOr) {
+  const Value kNull = Value::Null(TypeId::kBool);
+  const Value kTrue = Value::Bool(true);
+  const Value kFalse = Value::Bool(false);
+  auto eval_or = [&](Value a, Value b) {
+    auto expr = Bin(sql::BinaryOp::kOr, Const(a), Const(b), TypeId::kBool);
+    return expr->Evaluate({});
+  };
+  EXPECT_TRUE(eval_or(kFalse, kTrue).AsBool());
+  // TRUE OR NULL = TRUE (either order).
+  EXPECT_TRUE(eval_or(kTrue, kNull).AsBool());
+  EXPECT_TRUE(eval_or(kNull, kTrue).AsBool());
+  // FALSE OR NULL = NULL.
+  EXPECT_TRUE(eval_or(kFalse, kNull).is_null());
+}
+
+TEST(BoundExprTest, ComparisonWithNullIsNull) {
+  auto expr = Bin(sql::BinaryOp::kEq, Const(Value::Null(TypeId::kInt64)),
+                  Const(Value::Int64(1)), TypeId::kBool);
+  EXPECT_TRUE(expr->Evaluate({}).is_null());
+  EXPECT_FALSE(EvaluatesToTrue(*expr, {}));
+}
+
+TEST(BoundExprTest, ColumnResolution) {
+  auto col = Col(3, 1, TypeId::kInt64);
+  Layout layout;
+  layout[ColumnId{3, 1}] = 0;
+  ASSERT_TRUE(col->ResolveSlots(layout).ok());
+  catalog::Tuple row{Value::Int64(42)};
+  EXPECT_EQ(col->Evaluate(row).AsInt64(), 42);
+  // Missing column errors.
+  auto missing = Col(9, 9, TypeId::kInt64);
+  EXPECT_FALSE(missing->ResolveSlots(layout).ok());
+}
+
+TEST(BoundExprTest, LikeEvaluation) {
+  auto like = std::make_unique<LikeBoundExpr>(
+      Const(Value::String("special requests")), "%special%requests%",
+      false);
+  EXPECT_TRUE(like->Evaluate({}).AsBool());
+  auto not_like = std::make_unique<LikeBoundExpr>(
+      Const(Value::String("nothing here")), "%special%requests%", true);
+  EXPECT_TRUE(not_like->Evaluate({}).AsBool());
+  auto null_like = std::make_unique<LikeBoundExpr>(
+      Const(Value::Null(TypeId::kString)), "%x%", false);
+  EXPECT_TRUE(null_like->Evaluate({}).is_null());
+}
+
+TEST(BoundExprTest, InListEvaluation) {
+  std::vector<Value> list{Value::Int64(1), Value::Int64(3)};
+  auto in = std::make_unique<InListBoundExpr>(Const(Value::Int64(3)), list,
+                                              false);
+  EXPECT_TRUE(in->Evaluate({}).AsBool());
+  auto not_in = std::make_unique<InListBoundExpr>(Const(Value::Int64(2)),
+                                                  list, true);
+  EXPECT_TRUE(not_in->Evaluate({}).AsBool());
+}
+
+TEST(BoundExprTest, OpCountWeightsLike) {
+  auto cmp = Bin(sql::BinaryOp::kEq, Col(0, 0, TypeId::kInt64),
+                 Const(Value::Int64(1)), TypeId::kBool);
+  auto like = std::make_unique<LikeBoundExpr>(Col(0, 1, TypeId::kString),
+                                              "%special%requests%", false);
+  EXPECT_GT(like->OpCount(), cmp->OpCount());
+}
+
+TEST(BoundExprTest, CloneIsDeep) {
+  auto expr = Bin(sql::BinaryOp::kAdd, Col(0, 0, TypeId::kInt64),
+                  Const(Value::Int64(1)), TypeId::kInt64);
+  auto clone = expr->Clone();
+  Layout layout;
+  layout[ColumnId{0, 0}] = 0;
+  ASSERT_TRUE(clone->ResolveSlots(layout).ok());
+  // Original remains unresolved; clone works.
+  catalog::Tuple row{Value::Int64(9)};
+  EXPECT_EQ(clone->Evaluate(row).AsInt64(), 10);
+}
+
+// --- planner --------------------------------------------------------------
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest() : pool_(&disk_, 512), catalog_(&disk_, &pool_) {
+    VDB_CHECK(catalog_
+                  .CreateTable("t",
+                               Schema({Column("a", TypeId::kInt64),
+                                       Column("b", TypeId::kInt64),
+                                       Column("s", TypeId::kString),
+                                       Column("d", TypeId::kDouble)}))
+                  .ok());
+    VDB_CHECK(catalog_
+                  .CreateTable("u", Schema({Column("a", TypeId::kInt64),
+                                            Column("x", TypeId::kInt64)}))
+                  .ok());
+  }
+
+  Result<LogicalNodePtr> PlanSql(const std::string& sql) {
+    auto stmt = sql::ParseSelect(sql);
+    if (!stmt.ok()) return stmt.status();
+    Planner planner(&catalog_);
+    return planner.Plan(**stmt);
+  }
+
+  Result<LogicalNodePtr> PlanAndPush(const std::string& sql) {
+    auto plan = PlanSql(sql);
+    if (!plan.ok()) return plan.status();
+    return PushDownPredicates(std::move(*plan));
+  }
+
+  storage::DiskManager disk_;
+  storage::BufferPool pool_;
+  catalog::Catalog catalog_;
+};
+
+TEST_F(PlannerTest, SimpleSelectShape) {
+  auto plan = PlanSql("select a, b from t where a > 5");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Project over Filter over Get.
+  EXPECT_EQ((*plan)->op, LogicalOp::kProject);
+  EXPECT_EQ((*plan)->output.size(), 2u);
+  const LogicalNode* filter = (*plan)->children[0].get();
+  EXPECT_EQ(filter->op, LogicalOp::kFilter);
+  EXPECT_EQ(filter->children[0]->op, LogicalOp::kGet);
+}
+
+TEST_F(PlannerTest, SelectStarExpandsAllColumns) {
+  auto plan = PlanSql("select * from t");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->output.size(), 4u);
+  EXPECT_EQ((*plan)->output[0].name, "a");
+  EXPECT_EQ((*plan)->output[3].name, "d");
+}
+
+TEST_F(PlannerTest, UnknownTableAndColumnErrors) {
+  EXPECT_TRUE(PlanSql("select a from nope").status().IsNotFound());
+  EXPECT_TRUE(PlanSql("select zzz from t").status().IsNotFound());
+}
+
+TEST_F(PlannerTest, AmbiguousColumnError) {
+  // `a` exists in both t and u.
+  auto plan = PlanSql("select a from t, u");
+  EXPECT_TRUE(plan.status().IsInvalidArgument());
+  // Qualified reference is fine.
+  EXPECT_TRUE(PlanSql("select t.a from t, u").ok());
+}
+
+TEST_F(PlannerTest, TypeErrors) {
+  EXPECT_FALSE(PlanSql("select a + s from t").ok());
+  EXPECT_FALSE(PlanSql("select * from t where a like '%x%'").ok());
+  EXPECT_FALSE(PlanSql("select * from t where s > 5").ok());
+  EXPECT_FALSE(PlanSql("select * from t where a").ok());
+  EXPECT_FALSE(PlanSql("select sum(s) from t").ok());
+}
+
+TEST_F(PlannerTest, ConstantFolding) {
+  auto plan = PlanSql("select a * (2 + 3) from t");
+  ASSERT_TRUE(plan.ok());
+  const auto* project = static_cast<const LogicalProject*>(plan->get());
+  const auto* mul =
+      dynamic_cast<const BinaryBoundExpr*>(project->exprs[0].get());
+  ASSERT_NE(mul, nullptr);
+  const auto* folded =
+      dynamic_cast<const ConstantExpr*>(&mul->right());
+  ASSERT_NE(folded, nullptr);
+  EXPECT_EQ(folded->value().AsInt64(), 5);
+}
+
+TEST_F(PlannerTest, AggregatePlanShape) {
+  auto plan = PlanSql(
+      "select b, count(*), sum(a) from t group by b having count(*) > 1 "
+      "order by b");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Sort > Project > Filter(having) > Aggregate > Get.
+  const LogicalNode* node = plan->get();
+  ASSERT_EQ(node->op, LogicalOp::kSort);
+  node = node->children[0].get();
+  ASSERT_EQ(node->op, LogicalOp::kProject);
+  node = node->children[0].get();
+  ASSERT_EQ(node->op, LogicalOp::kFilter);
+  node = node->children[0].get();
+  ASSERT_EQ(node->op, LogicalOp::kAggregate);
+  const auto* aggregate = static_cast<const LogicalAggregate*>(node);
+  EXPECT_EQ(aggregate->group_exprs.size(), 1u);
+  ASSERT_EQ(aggregate->aggs.size(), 2u);
+  EXPECT_EQ(aggregate->aggs[0].kind, AggKind::kCountStar);
+  EXPECT_EQ(aggregate->aggs[1].kind, AggKind::kSum);
+}
+
+TEST_F(PlannerTest, AggregateWithoutGroupBy) {
+  auto plan = PlanSql("select count(*), avg(d) from t");
+  ASSERT_TRUE(plan.ok());
+  const LogicalNode* project = plan->get();
+  const auto* aggregate = static_cast<const LogicalAggregate*>(
+      project->children[0].get());
+  EXPECT_TRUE(aggregate->group_exprs.empty());
+  EXPECT_EQ(aggregate->aggs.size(), 2u);
+  EXPECT_EQ(aggregate->aggs[1].output_type, TypeId::kDouble);
+}
+
+TEST_F(PlannerTest, NonGroupedColumnRejected) {
+  EXPECT_FALSE(PlanSql("select a, count(*) from t group by b").ok());
+}
+
+TEST_F(PlannerTest, JoinPlanShape) {
+  auto plan = PlanSql("select t.a, u.x from t join u on t.a = u.a");
+  ASSERT_TRUE(plan.ok());
+  const LogicalNode* join = (*plan)->children[0].get();
+  ASSERT_EQ(join->op, LogicalOp::kJoin);
+  EXPECT_EQ(static_cast<const LogicalJoin*>(join)->join_type,
+            LogicalJoinType::kInner);
+  EXPECT_EQ(join->output.size(), 6u);
+}
+
+TEST_F(PlannerTest, ExistsBecomesSemiJoin) {
+  auto plan = PlanSql(
+      "select b from t where exists (select * from u where u.a = t.a and "
+      "u.x > 3)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  const LogicalNode* join = (*plan)->children[0].get();
+  ASSERT_EQ(join->op, LogicalOp::kJoin);
+  const auto* semi = static_cast<const LogicalJoin*>(join);
+  EXPECT_EQ(semi->join_type, LogicalJoinType::kSemi);
+  ASSERT_NE(semi->condition, nullptr);
+  // Semi-join output is the outer side only.
+  EXPECT_EQ(join->output.size(), 4u);
+  // The uncorrelated u.x > 3 is a filter on the inner side.
+  EXPECT_EQ(join->children[1]->op, LogicalOp::kFilter);
+}
+
+TEST_F(PlannerTest, NotExistsBecomesAntiJoin) {
+  auto plan = PlanSql(
+      "select b from t where not exists (select * from u where u.a = t.a)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  const auto* join =
+      static_cast<const LogicalJoin*>((*plan)->children[0].get());
+  EXPECT_EQ(join->join_type, LogicalJoinType::kAnti);
+}
+
+TEST_F(PlannerTest, DerivedTable) {
+  auto plan = PlanSql(
+      "select total from (select b, sum(a) from t group by b) as agg (key, "
+      "total) where total > 10");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ((*plan)->output.size(), 1u);
+  EXPECT_EQ((*plan)->output[0].name, "total");
+}
+
+TEST_F(PlannerTest, DistinctBecomesAggregate) {
+  auto plan = PlanSql("select distinct b from t");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->op, LogicalOp::kAggregate);
+  const auto* distinct = static_cast<const LogicalAggregate*>(plan->get());
+  EXPECT_TRUE(distinct->aggs.empty());
+  EXPECT_EQ(distinct->group_exprs.size(), 1u);
+}
+
+TEST_F(PlannerTest, OrderByAliasAndLimit) {
+  auto plan = PlanSql(
+      "select b, sum(a) as total from t group by b order by total desc "
+      "limit 5");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ((*plan)->op, LogicalOp::kLimit);
+  EXPECT_EQ(static_cast<const LogicalLimit*>(plan->get())->limit, 5);
+  const auto* sort =
+      static_cast<const LogicalSort*>((*plan)->children[0].get());
+  ASSERT_EQ(sort->keys.size(), 1u);
+  EXPECT_FALSE(sort->keys[0].ascending);
+}
+
+TEST_F(PlannerTest, OrderByUnknownColumnFails) {
+  EXPECT_FALSE(PlanSql("select a from t order by zzz").ok());
+}
+
+// --- pushdown --------------------------------------------------------------
+
+TEST_F(PlannerTest, PushdownSplitsConjunctsAcrossJoin) {
+  auto plan = PlanAndPush(
+      "select t.b from t, u where t.a = u.a and t.b > 1 and u.x < 5");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Project > Join(condition t.a = u.a) > Filter(Get t), Filter(Get u).
+  const LogicalNode* join = (*plan)->children[0].get();
+  ASSERT_EQ(join->op, LogicalOp::kJoin);
+  const auto* inner = static_cast<const LogicalJoin*>(join);
+  EXPECT_EQ(inner->join_type, LogicalJoinType::kInner);
+  ASSERT_NE(inner->condition, nullptr);
+  ASSERT_EQ(join->children[0]->op, LogicalOp::kFilter);
+  ASSERT_EQ(join->children[1]->op, LogicalOp::kFilter);
+  EXPECT_EQ(join->children[0]->children[0]->op, LogicalOp::kGet);
+  EXPECT_EQ(join->children[1]->children[0]->op, LogicalOp::kGet);
+}
+
+TEST_F(PlannerTest, PushdownMergesFilters) {
+  auto plan = PlanAndPush("select a from t where a > 1 and a < 10");
+  ASSERT_TRUE(plan.ok());
+  const LogicalNode* filter = (*plan)->children[0].get();
+  ASSERT_EQ(filter->op, LogicalOp::kFilter);
+  // Both conjuncts merged into one filter above the Get.
+  EXPECT_EQ(filter->children[0]->op, LogicalOp::kGet);
+}
+
+TEST_F(PlannerTest, LeftJoinOnConditionPushesToRightOnly) {
+  auto plan = PlanAndPush(
+      "select t.a from t left join u on t.a = u.a and u.x > 0");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  const LogicalNode* join = (*plan)->children[0].get();
+  ASSERT_EQ(join->op, LogicalOp::kJoin);
+  const auto* left_join = static_cast<const LogicalJoin*>(join);
+  EXPECT_EQ(left_join->join_type, LogicalJoinType::kLeft);
+  // u.x > 0 pushed into the right input; equality stays as the condition.
+  EXPECT_EQ(join->children[1]->op, LogicalOp::kFilter);
+  ASSERT_NE(left_join->condition, nullptr);
+  EXPECT_EQ(left_join->condition->ToString(), "(a = a)");
+}
+
+TEST_F(PlannerTest, WherePredicateOnLeftJoinRightSideStaysAbove) {
+  auto plan = PlanAndPush(
+      "select t.a from t left join u on t.a = u.a where u.x > 0");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // The filter must remain above the left join.
+  const LogicalNode* filter = (*plan)->children[0].get();
+  ASSERT_EQ(filter->op, LogicalOp::kFilter);
+  EXPECT_EQ(filter->children[0]->op, LogicalOp::kJoin);
+}
+
+TEST_F(PlannerTest, CrossJoinUpgradedToInnerByWhere) {
+  auto plan = PlanAndPush("select t.b from t, u where t.a = u.a");
+  ASSERT_TRUE(plan.ok());
+  const auto* join =
+      static_cast<const LogicalJoin*>((*plan)->children[0].get());
+  EXPECT_EQ(join->join_type, LogicalJoinType::kInner);
+  ASSERT_NE(join->condition, nullptr);
+}
+
+TEST_F(PlannerTest, SemiJoinInnerPredicatePushed) {
+  auto plan = PlanAndPush(
+      "select b from t where exists (select * from u where u.a = t.a and "
+      "u.x > 3) and t.b < 7");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  const LogicalNode* join = (*plan)->children[0].get();
+  ASSERT_EQ(join->op, LogicalOp::kJoin);
+  // t.b < 7 pushed to outer (left) side below the semi join.
+  EXPECT_EQ(join->children[0]->op, LogicalOp::kFilter);
+  EXPECT_EQ(join->children[1]->op, LogicalOp::kFilter);
+}
+
+}  // namespace
+}  // namespace vdb::plan

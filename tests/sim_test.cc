@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "sim/resources.h"
+#include "sim/sim_clock.h"
+#include "sim/virtual_machine.h"
+#include "sim/vmm.h"
+
+namespace vdb::sim {
+namespace {
+
+TEST(ResourceShareTest, ValidateAcceptsUnitRange) {
+  EXPECT_TRUE(ResourceShare(0.5, 0.5, 0.5).Validate().ok());
+  EXPECT_TRUE(ResourceShare(1.0, 1.0, 1.0).Validate().ok());
+  EXPECT_TRUE(ResourceShare(0.01, 1.0, 0.3).Validate().ok());
+}
+
+TEST(ResourceShareTest, ValidateRejectsOutOfRange) {
+  EXPECT_FALSE(ResourceShare(0.0, 0.5, 0.5).Validate().ok());
+  EXPECT_FALSE(ResourceShare(0.5, 1.5, 0.5).Validate().ok());
+  EXPECT_FALSE(ResourceShare(0.5, 0.5, -0.1).Validate().ok());
+}
+
+TEST(ResourceShareTest, GetSetRoundTrip) {
+  ResourceShare share;
+  share.Set(ResourceKind::kCpu, 0.25);
+  share.Set(ResourceKind::kMemory, 0.5);
+  share.Set(ResourceKind::kIo, 0.75);
+  EXPECT_DOUBLE_EQ(share.Get(ResourceKind::kCpu), 0.25);
+  EXPECT_DOUBLE_EQ(share.Get(ResourceKind::kMemory), 0.5);
+  EXPECT_DOUBLE_EQ(share.Get(ResourceKind::kIo), 0.75);
+}
+
+TEST(ResourceShareTest, EqualSplit) {
+  const ResourceShare share = ResourceShare::EqualSplit(4);
+  EXPECT_DOUBLE_EQ(share.cpu, 0.25);
+  EXPECT_DOUBLE_EQ(share.memory, 0.25);
+  EXPECT_DOUBLE_EQ(share.io, 0.25);
+}
+
+TEST(VirtualMachineTest, FullShareIdealHypervisorMatchesMachine) {
+  const MachineSpec machine = MachineSpec::PaperTestbed();
+  VirtualMachine vm("vm", machine, HypervisorModel::Ideal(),
+                    ResourceShare(1.0, 1.0, 1.0));
+  EXPECT_DOUBLE_EQ(vm.EffectiveCpuOpsPerSec(), machine.cpu_ops_per_sec);
+  EXPECT_EQ(vm.MemoryBytes(), machine.memory_bytes);
+}
+
+TEST(VirtualMachineTest, CpuScalesWithShare) {
+  const MachineSpec machine = MachineSpec::PaperTestbed();
+  VirtualMachine half("a", machine, HypervisorModel::Ideal(),
+                      ResourceShare(0.5, 1.0, 1.0));
+  VirtualMachine quarter("b", machine, HypervisorModel::Ideal(),
+                         ResourceShare(0.25, 1.0, 1.0));
+  EXPECT_DOUBLE_EQ(half.EffectiveCpuOpsPerSec(),
+                   0.5 * machine.cpu_ops_per_sec);
+  EXPECT_DOUBLE_EQ(quarter.EffectiveCpuOpsPerSec(),
+                   0.25 * machine.cpu_ops_per_sec);
+}
+
+TEST(VirtualMachineTest, OverheadGrowsAsShareShrinks) {
+  const MachineSpec machine = MachineSpec::PaperTestbed();
+  const HypervisorModel xen = HypervisorModel::XenLike();
+  VirtualMachine big("a", machine, xen, ResourceShare(0.75, 0.5, 0.5));
+  VirtualMachine small("b", machine, xen, ResourceShare(0.25, 0.5, 0.5));
+  EXPECT_GT(small.CpuOverheadFraction(), big.CpuOverheadFraction());
+  // Effective rate is still monotone in the share.
+  EXPECT_GT(big.EffectiveCpuOpsPerSec(), small.EffectiveCpuOpsPerSec());
+  // And sub-proportional: half the share of a 3x bigger slice yields less
+  // than 3x the rate... (the small VM gets less per share unit).
+  EXPECT_LT(small.EffectiveCpuOpsPerSec() / 0.25,
+            big.EffectiveCpuOpsPerSec() / 0.75);
+}
+
+TEST(VirtualMachineTest, IoTimesScaleInverselyWithShare) {
+  const MachineSpec machine = MachineSpec::PaperTestbed();
+  VirtualMachine full("a", machine, HypervisorModel::Ideal(),
+                      ResourceShare(1.0, 1.0, 1.0));
+  VirtualMachine half("b", machine, HypervisorModel::Ideal(),
+                      ResourceShare(1.0, 1.0, 0.5));
+  EXPECT_NEAR(half.SeqReadSecondsPerPage(8192),
+              2.0 * full.SeqReadSecondsPerPage(8192), 1e-12);
+  EXPECT_NEAR(half.RandomReadSeconds(), 2.0 * full.RandomReadSeconds(),
+              1e-12);
+  EXPECT_NEAR(half.WriteSecondsPerPage(8192),
+              2.0 * full.WriteSecondsPerPage(8192), 1e-12);
+}
+
+TEST(VirtualMachineTest, RandomReadSlowerThanSequential) {
+  const MachineSpec machine = MachineSpec::PaperTestbed();
+  VirtualMachine vm("a", machine, HypervisorModel::XenLike(),
+                    ResourceShare(0.5, 0.5, 0.5));
+  EXPECT_GT(vm.RandomReadSeconds(), vm.SeqReadSecondsPerPage(8192));
+}
+
+TEST(VmmTest, CreateAndLookup) {
+  VirtualMachineMonitor vmm(MachineSpec::Small());
+  auto vm = vmm.CreateVm("db1", ResourceShare(0.5, 0.5, 0.5));
+  ASSERT_TRUE(vm.ok());
+  EXPECT_EQ((*vm)->name(), "db1");
+  auto found = vmm.GetVm("db1");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, *vm);
+  EXPECT_TRUE(vmm.GetVm("nope").status().IsNotFound());
+}
+
+TEST(VmmTest, RejectsDuplicateNames) {
+  VirtualMachineMonitor vmm(MachineSpec::Small());
+  ASSERT_TRUE(vmm.CreateVm("db1", ResourceShare(0.3, 0.3, 0.3)).ok());
+  EXPECT_TRUE(vmm.CreateVm("db1", ResourceShare(0.3, 0.3, 0.3))
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST(VmmTest, RejectsOversubscription) {
+  VirtualMachineMonitor vmm(MachineSpec::Small());
+  ASSERT_TRUE(vmm.CreateVm("a", ResourceShare(0.6, 0.5, 0.5)).ok());
+  auto second = vmm.CreateVm("b", ResourceShare(0.6, 0.5, 0.5));
+  EXPECT_TRUE(second.status().IsResourceExhausted());
+  // But a fitting VM is fine.
+  EXPECT_TRUE(vmm.CreateVm("c", ResourceShare(0.4, 0.5, 0.5)).ok());
+}
+
+TEST(VmmTest, ExactFullAllocationAllowed) {
+  VirtualMachineMonitor vmm(MachineSpec::Small());
+  const ResourceShare third(1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0);
+  EXPECT_TRUE(vmm.CreateVm("a", third).ok());
+  EXPECT_TRUE(vmm.CreateVm("b", third).ok());
+  EXPECT_TRUE(vmm.CreateVm("c", third).ok());
+  EXPECT_NEAR(vmm.AllocatedShare(ResourceKind::kCpu), 1.0, 1e-9);
+}
+
+TEST(VmmTest, SetShareDynamicReconfiguration) {
+  VirtualMachineMonitor vmm(MachineSpec::Small());
+  auto a = vmm.CreateVm("a", ResourceShare(0.5, 0.5, 0.5));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(vmm.CreateVm("b", ResourceShare(0.5, 0.5, 0.5)).ok());
+  // Growing `a` beyond the free pool fails.
+  EXPECT_TRUE(
+      vmm.SetShare("a", ResourceShare(0.6, 0.5, 0.5)).IsResourceExhausted());
+  // Shrinking then growing the other works.
+  EXPECT_TRUE(vmm.SetShare("a", ResourceShare(0.25, 0.5, 0.5)).ok());
+  EXPECT_TRUE(vmm.SetShare("b", ResourceShare(0.75, 0.5, 0.5)).ok());
+  EXPECT_DOUBLE_EQ((*a)->share().cpu, 0.25);
+}
+
+TEST(VmmTest, DestroyReleasesShares) {
+  VirtualMachineMonitor vmm(MachineSpec::Small());
+  ASSERT_TRUE(vmm.CreateVm("a", ResourceShare(0.9, 0.9, 0.9)).ok());
+  EXPECT_TRUE(vmm.CreateVm("b", ResourceShare(0.2, 0.2, 0.2))
+                  .status()
+                  .IsResourceExhausted());
+  ASSERT_TRUE(vmm.DestroyVm("a").ok());
+  EXPECT_TRUE(vmm.CreateVm("b", ResourceShare(0.2, 0.2, 0.2)).ok());
+  EXPECT_TRUE(vmm.DestroyVm("a").IsNotFound());
+}
+
+TEST(VmmTest, VmsListsInCreationOrder) {
+  VirtualMachineMonitor vmm(MachineSpec::Small());
+  ASSERT_TRUE(vmm.CreateVm("a", ResourceShare(0.2, 0.2, 0.2)).ok());
+  ASSERT_TRUE(vmm.CreateVm("b", ResourceShare(0.2, 0.2, 0.2)).ok());
+  auto vms = vmm.Vms();
+  ASSERT_EQ(vms.size(), 2u);
+  EXPECT_EQ(vms[0]->name(), "a");
+  EXPECT_EQ(vms[1]->name(), "b");
+}
+
+TEST(SimClockTest, AdvancesAndIgnoresNegative) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 0.0);
+  clock.Advance(1.5);
+  clock.Advance(-2.0);
+  clock.Advance(0.5);
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 2.0);
+  clock.Reset();
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 0.0);
+}
+
+// Property sweep: effective CPU rate is monotonically increasing in the CPU
+// share for any hypervisor overhead configuration we use.
+class CpuMonotonicityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CpuMonotonicityTest, EffectiveRateMonotoneInShare) {
+  const MachineSpec machine = MachineSpec::PaperTestbed();
+  HypervisorModel hyp = HypervisorModel::XenLike();
+  hyp.cpu_share_overhead_slope = GetParam();
+  double prev = 0.0;
+  for (double share = 0.05; share <= 1.0; share += 0.05) {
+    VirtualMachine vm("x", machine, hyp, ResourceShare(share, 0.5, 0.5));
+    const double rate = vm.EffectiveCpuOpsPerSec();
+    EXPECT_GT(rate, prev) << "share=" << share;
+    prev = rate;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OverheadSlopes, CpuMonotonicityTest,
+                         ::testing::Values(0.0, 0.05, 0.10, 0.20, 0.40));
+
+}  // namespace
+}  // namespace vdb::sim

@@ -1,0 +1,372 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sql/ast.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace vdb::sql {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a, b2 FROM t WHERE a >= 10.5;");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = *tokens;
+  EXPECT_TRUE(t[0].IsKeyword("SELECT"));
+  EXPECT_EQ(t[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(t[1].text, "a");
+  EXPECT_EQ(t[2].type, TokenType::kComma);
+  EXPECT_EQ(t[3].text, "b2");
+  EXPECT_TRUE(t[4].IsKeyword("FROM"));
+  EXPECT_TRUE(t[6].IsKeyword("WHERE"));
+  EXPECT_TRUE(t[8].IsOperator(">="));
+  EXPECT_EQ(t[9].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(t[9].float_value, 10.5);
+  EXPECT_EQ(t[10].type, TokenType::kSemicolon);
+  EXPECT_EQ(t.back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("select SeLeCt SELECT");
+  ASSERT_TRUE(tokens.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE((*tokens)[i].IsKeyword("SELECT"));
+  }
+}
+
+TEST(LexerTest, IdentifiersLowercased) {
+  auto tokens = Tokenize("MyTable.MyColumn");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "mytable");
+  EXPECT_EQ((*tokens)[1].type, TokenType::kDot);
+  EXPECT_EQ((*tokens)[2].text, "mycolumn");
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = Tokenize("'hello' 'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "hello");
+  EXPECT_EQ((*tokens)[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+}
+
+TEST(LexerTest, OperatorsAndNotEqual) {
+  auto tokens = Tokenize("a <> b != c <= d");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[1].IsOperator("<>"));
+  EXPECT_TRUE((*tokens)[3].IsOperator("<>"));  // != normalizes to <>
+  EXPECT_TRUE((*tokens)[5].IsOperator("<="));
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Tokenize("a -- comment here\n b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "a");
+  EXPECT_EQ((*tokens)[1].text, "b");
+  EXPECT_EQ((*tokens)[2].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, UnexpectedCharacter) {
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+TEST(ParserTest, MinimalSelect) {
+  auto stmt = ParseSelect("select a from t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->items.size(), 1u);
+  EXPECT_EQ((*stmt)->from.size(), 1u);
+  EXPECT_EQ((*stmt)->from[0].table.name, "t");
+  EXPECT_EQ((*stmt)->where, nullptr);
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = ParseSelect("select * from t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->items[0].expr->type, ExprType::kStar);
+}
+
+TEST(ParserTest, Aliases) {
+  auto stmt = ParseSelect("select a as x, b y from t1 as u, t2 v");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->items[0].alias, "x");
+  EXPECT_EQ((*stmt)->items[1].alias, "y");
+  EXPECT_EQ((*stmt)->from[0].table.alias, "u");
+  EXPECT_EQ((*stmt)->from[1].table.alias, "v");
+  EXPECT_EQ((*stmt)->from[1].join_type, JoinType::kCross);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = ParseSelect("select 1 + 2 * 3 from t");
+  ASSERT_TRUE(stmt.ok());
+  const auto* add = dynamic_cast<const BinaryExpr*>(
+      (*stmt)->items[0].expr.get());
+  ASSERT_NE(add, nullptr);
+  EXPECT_EQ(add->op, BinaryOp::kAdd);
+  const auto* mul = dynamic_cast<const BinaryExpr*>(add->right.get());
+  ASSERT_NE(mul, nullptr);
+  EXPECT_EQ(mul->op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, BooleanPrecedence) {
+  // a = 1 OR b = 2 AND c = 3  =>  a=1 OR (b=2 AND c=3)
+  auto stmt = ParseSelect("select * from t where a = 1 or b = 2 and c = 3");
+  ASSERT_TRUE(stmt.ok());
+  const auto* or_expr =
+      dynamic_cast<const BinaryExpr*>((*stmt)->where.get());
+  ASSERT_NE(or_expr, nullptr);
+  EXPECT_EQ(or_expr->op, BinaryOp::kOr);
+  const auto* and_expr =
+      dynamic_cast<const BinaryExpr*>(or_expr->right.get());
+  ASSERT_NE(and_expr, nullptr);
+  EXPECT_EQ(and_expr->op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, NotBindsTighterThanAnd) {
+  auto stmt = ParseSelect("select * from t where not a = 1 and b = 2");
+  ASSERT_TRUE(stmt.ok());
+  const auto* and_expr =
+      dynamic_cast<const BinaryExpr*>((*stmt)->where.get());
+  ASSERT_NE(and_expr, nullptr);
+  EXPECT_EQ(and_expr->op, BinaryOp::kAnd);
+  EXPECT_EQ(and_expr->left->type, ExprType::kUnary);
+}
+
+TEST(ParserTest, PredicateForms) {
+  auto stmt = ParseSelect(
+      "select * from t where a between 1 and 10 and b not in (1, 2, 3) "
+      "and c like '%x%' and d not like 'y%' and e is null and f is not "
+      "null");
+  ASSERT_TRUE(stmt.ok());
+  const std::string text = (*stmt)->where->ToString();
+  EXPECT_NE(text.find("BETWEEN"), std::string::npos);
+  EXPECT_NE(text.find("NOT IN"), std::string::npos);
+  EXPECT_NE(text.find("LIKE '%x%'"), std::string::npos);
+  EXPECT_NE(text.find("NOT LIKE 'y%'"), std::string::npos);
+  EXPECT_NE(text.find("IS NULL"), std::string::npos);
+  EXPECT_NE(text.find("IS NOT NULL"), std::string::npos);
+}
+
+TEST(ParserTest, DateLiteral) {
+  auto stmt = ParseSelect(
+      "select * from t where d >= date '1994-01-01'");
+  ASSERT_TRUE(stmt.ok());
+  const auto* cmp = dynamic_cast<const BinaryExpr*>((*stmt)->where.get());
+  ASSERT_NE(cmp, nullptr);
+  const auto* lit = dynamic_cast<const LiteralExpr*>(cmp->right.get());
+  ASSERT_NE(lit, nullptr);
+  EXPECT_EQ(lit->value.type(), catalog::TypeId::kDate);
+  EXPECT_EQ(lit->value.ToString(), "1994-01-01");
+}
+
+TEST(ParserTest, BadDateLiteral) {
+  EXPECT_FALSE(ParseSelect("select date 'nope' from t").ok());
+}
+
+TEST(ParserTest, Aggregates) {
+  auto stmt = ParseSelect(
+      "select count(*), count(distinct a), sum(b * 2), avg(c), min(d), "
+      "max(e) from t group by f having count(*) > 5");
+  ASSERT_TRUE(stmt.ok());
+  const auto* count_star = dynamic_cast<const FunctionCallExpr*>(
+      (*stmt)->items[0].expr.get());
+  ASSERT_NE(count_star, nullptr);
+  EXPECT_TRUE(count_star->star);
+  const auto* count_distinct = dynamic_cast<const FunctionCallExpr*>(
+      (*stmt)->items[1].expr.get());
+  ASSERT_NE(count_distinct, nullptr);
+  EXPECT_TRUE(count_distinct->distinct);
+  EXPECT_EQ((*stmt)->group_by.size(), 1u);
+  ASSERT_NE((*stmt)->having, nullptr);
+}
+
+TEST(ParserTest, Joins) {
+  auto stmt = ParseSelect(
+      "select * from a join b on a.x = b.x left outer join c on b.y = c.y "
+      "cross join d");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ((*stmt)->from.size(), 4u);
+  EXPECT_EQ((*stmt)->from[1].join_type, JoinType::kInner);
+  ASSERT_NE((*stmt)->from[1].join_condition, nullptr);
+  EXPECT_EQ((*stmt)->from[2].join_type, JoinType::kLeft);
+  EXPECT_EQ((*stmt)->from[3].join_type, JoinType::kCross);
+  EXPECT_EQ((*stmt)->from[3].join_condition, nullptr);
+}
+
+TEST(ParserTest, ExistsSubquery) {
+  auto stmt = ParseSelect(
+      "select * from orders where exists (select * from lineitem where "
+      "l_orderkey = o_orderkey)");
+  ASSERT_TRUE(stmt.ok());
+  const auto* exists =
+      dynamic_cast<const ExistsExpr*>((*stmt)->where.get());
+  ASSERT_NE(exists, nullptr);
+  EXPECT_FALSE(exists->negated);
+  EXPECT_EQ(exists->subquery->from[0].table.name, "lineitem");
+}
+
+TEST(ParserTest, NotExistsViaNot) {
+  auto stmt = ParseSelect(
+      "select * from t where not exists (select * from u where u.a = t.a)");
+  ASSERT_TRUE(stmt.ok());
+  const auto* not_expr =
+      dynamic_cast<const UnaryExpr*>((*stmt)->where.get());
+  ASSERT_NE(not_expr, nullptr);
+  EXPECT_EQ(not_expr->operand->type, ExprType::kExists);
+}
+
+TEST(ParserTest, InSubquery) {
+  auto stmt = ParseSelect(
+      "select * from orders where o_orderkey in (select l_orderkey from "
+      "lineitem where l_quantity > 300)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  const auto* in =
+      dynamic_cast<const InSubqueryExpr*>((*stmt)->where.get());
+  ASSERT_NE(in, nullptr);
+  EXPECT_FALSE(in->negated);
+  EXPECT_EQ(in->subquery->from[0].table.name, "lineitem");
+  // NOT IN (subquery).
+  stmt = ParseSelect(
+      "select * from t where a not in (select b from u)");
+  ASSERT_TRUE(stmt.ok());
+  const auto* not_in =
+      dynamic_cast<const InSubqueryExpr*>((*stmt)->where.get());
+  ASSERT_NE(not_in, nullptr);
+  EXPECT_TRUE(not_in->negated);
+}
+
+TEST(ParserTest, ScalarSubquery) {
+  auto stmt = ParseSelect(
+      "select * from t where a < (select avg(b) from u) + 1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  const auto* cmp = dynamic_cast<const BinaryExpr*>((*stmt)->where.get());
+  ASSERT_NE(cmp, nullptr);
+  const auto* add = dynamic_cast<const BinaryExpr*>(cmp->right.get());
+  ASSERT_NE(add, nullptr);
+  EXPECT_EQ(add->left->type, ExprType::kScalarSubquery);
+}
+
+TEST(ParserTest, DerivedTableWithColumnAliases) {
+  auto stmt = ParseSelect(
+      "select c_count, count(*) from (select c_custkey, count(o_orderkey) "
+      "from customer group by c_custkey) as c_orders (c_custkey, c_count) "
+      "group by c_count");
+  ASSERT_TRUE(stmt.ok());
+  const TableRef& ref = (*stmt)->from[0].table;
+  EXPECT_EQ(ref.kind, TableRef::Kind::kSubquery);
+  EXPECT_EQ(ref.alias, "c_orders");
+  ASSERT_EQ(ref.column_aliases.size(), 2u);
+  EXPECT_EQ(ref.column_aliases[0], "c_custkey");
+  EXPECT_EQ(ref.column_aliases[1], "c_count");
+}
+
+TEST(ParserTest, OrderByAndLimit) {
+  auto stmt = ParseSelect(
+      "select a, b from t order by a desc, b asc, a + b limit 10");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ((*stmt)->order_by.size(), 3u);
+  EXPECT_FALSE((*stmt)->order_by[0].ascending);
+  EXPECT_TRUE((*stmt)->order_by[1].ascending);
+  EXPECT_TRUE((*stmt)->order_by[2].ascending);
+  EXPECT_EQ((*stmt)->limit, 10);
+}
+
+TEST(ParserTest, CaseExpression) {
+  auto stmt = ParseSelect(
+      "select sum(case when p_type like 'PROMO%' then l_extendedprice "
+      "else 0 end) from lineitem");
+  ASSERT_TRUE(stmt.ok());
+  const auto* sum = dynamic_cast<const FunctionCallExpr*>(
+      (*stmt)->items[0].expr.get());
+  ASSERT_NE(sum, nullptr);
+  ASSERT_EQ(sum->args.size(), 1u);
+  const auto* case_expr =
+      dynamic_cast<const CaseExpr*>(sum->args[0].get());
+  ASSERT_NE(case_expr, nullptr);
+  EXPECT_EQ(case_expr->branches.size(), 1u);
+  ASSERT_NE(case_expr->else_result, nullptr);
+}
+
+TEST(ParserTest, SelectWithoutFrom) {
+  auto stmt = ParseSelect("select 1 + 1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE((*stmt)->from.empty());
+}
+
+TEST(ParserTest, ErrorsOnMalformedInput) {
+  EXPECT_FALSE(ParseSelect("").ok());
+  EXPECT_FALSE(ParseSelect("selec a from t").ok());
+  EXPECT_FALSE(ParseSelect("select from t").ok());
+  EXPECT_FALSE(ParseSelect("select a from").ok());
+  EXPECT_FALSE(ParseSelect("select a from t where").ok());
+  EXPECT_FALSE(ParseSelect("select a from t group a").ok());
+  EXPECT_FALSE(ParseSelect("select a from t limit x").ok());
+  EXPECT_FALSE(ParseSelect("select a from t extra junk").ok());
+  EXPECT_FALSE(ParseSelect("select a from (select b from u)").ok())
+      << "subquery without alias must fail";
+  EXPECT_FALSE(ParseSelect("select a from t join u").ok())
+      << "JOIN without ON must fail";
+  EXPECT_FALSE(ParseSelect("select count(* from t").ok());
+  EXPECT_FALSE(ParseSelect("select case end from t").ok());
+}
+
+TEST(ParserTest, ToStringRoundTripReparses) {
+  const char* queries[] = {
+      "select a, sum(b) as total from t where a > 5 group by a having "
+      "sum(b) > 100 order by total desc limit 3",
+      "select * from a join b on a.x = b.x where a.y between 1 and 2",
+      "select count(*) from t where s like '%x%' and not exists (select * "
+      "from u where u.k = t.k)",
+  };
+  for (const char* sql : queries) {
+    auto stmt = ParseSelect(sql);
+    ASSERT_TRUE(stmt.ok()) << sql;
+    const std::string printed = (*stmt)->ToString();
+    auto reparsed = ParseSelect(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    EXPECT_EQ((*reparsed)->ToString(), printed);
+  }
+}
+
+// The actual TPC-H query texts used by the experiments must parse.
+class TpchQueryParseTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TpchQueryParseTest, Parses) {
+  auto stmt = ParseSelect(GetParam());
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, TpchQueryParseTest,
+    ::testing::Values(
+        // Q1 (pricing summary)
+        "select l_returnflag, l_linestatus, sum(l_quantity), "
+        "sum(l_extendedprice), sum(l_extendedprice * (1 - l_discount)), "
+        "avg(l_quantity), count(*) from lineitem where l_shipdate <= date "
+        "'1998-09-02' group by l_returnflag, l_linestatus order by "
+        "l_returnflag, l_linestatus",
+        // Q4 (order priority checking)
+        "select o_orderpriority, count(*) as order_count from orders where "
+        "o_orderdate >= date '1993-07-01' and o_orderdate < date "
+        "'1993-10-01' and exists (select * from lineitem where l_orderkey "
+        "= o_orderkey and l_commitdate < l_receiptdate) group by "
+        "o_orderpriority order by o_orderpriority",
+        // Q6 (forecasting revenue change)
+        "select sum(l_extendedprice * l_discount) as revenue from lineitem "
+        "where l_shipdate >= date '1994-01-01' and l_shipdate < date "
+        "'1995-01-01' and l_discount between 0.05 and 0.07 and l_quantity "
+        "< 24",
+        // Q13 (customer distribution)
+        "select c_count, count(*) as custdist from (select c_custkey, "
+        "count(o_orderkey) from customer left outer join orders on "
+        "c_custkey = o_custkey and o_comment not like "
+        "'%special%requests%' group by c_custkey) as c_orders (c_custkey, "
+        "c_count) group by c_count order by custdist desc, c_count desc"));
+
+}  // namespace
+}  // namespace vdb::sql

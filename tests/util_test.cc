@@ -1,0 +1,322 @@
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/linalg.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace vdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table t");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "Not found: table t");
+}
+
+TEST(StatusTest, AllConstructorsMatchPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status { return Status::IOError("disk"); };
+  auto wrapper = [&]() -> Status {
+    VDB_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsIOError());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto produce = [](bool ok) -> Result<std::string> {
+    if (ok) return std::string("value");
+    return Status::Internal("bad");
+  };
+  auto consume = [&](bool ok) -> Result<size_t> {
+    VDB_ASSIGN_OR_RETURN(std::string v, produce(ok));
+    return v.size();
+  };
+  ASSERT_TRUE(consume(true).ok());
+  EXPECT_EQ(*consume(true), 5u);
+  EXPECT_TRUE(consume(false).status().IsInternal());
+}
+
+TEST(RandomTest, Deterministic) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1);
+  Random b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Random rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Random rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RandomTest, ZipfSkewsLow) {
+  Random rng(13);
+  int low = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t v = rng.Zipf(1000, 0.9);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 1000u);
+    if (v <= 10) ++low;
+  }
+  // With theta=0.9 the first 10 ranks carry far more than 1% of the mass.
+  EXPECT_GT(low, n / 10);
+}
+
+TEST(StringUtilTest, SplitJoin) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtilTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("SeLeCt"), "SELECT");
+  EXPECT_TRUE(EqualsIgnoreCase("GROUP", "group"));
+  EXPECT_FALSE(EqualsIgnoreCase("GROUP", "groups"));
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_TRUE(EndsWith("abcdef", "def"));
+  EXPECT_FALSE(EndsWith("ef", "def"));
+}
+
+TEST(StringUtilTest, LikeMatchBasics) {
+  EXPECT_TRUE(LikeMatch("hello", "hello"));
+  EXPECT_FALSE(LikeMatch("hello", "hellO"));
+  EXPECT_TRUE(LikeMatch("hello", "h%"));
+  EXPECT_TRUE(LikeMatch("hello", "%o"));
+  EXPECT_TRUE(LikeMatch("hello", "%ell%"));
+  EXPECT_TRUE(LikeMatch("hello", "h_llo"));
+  EXPECT_FALSE(LikeMatch("hello", "h_lo"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+}
+
+TEST(StringUtilTest, LikeMatchBacktracking) {
+  // Requires retrying the '%' expansion.
+  EXPECT_TRUE(LikeMatch("special requests", "%special%requests%"));
+  EXPECT_TRUE(LikeMatch("xxspecialxxrequestsxx", "%special%requests%"));
+  EXPECT_FALSE(LikeMatch("requests special", "%special%requests%"));
+  EXPECT_TRUE(LikeMatch("aaa", "%a%a%"));
+}
+
+TEST(StringUtilTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KiB");
+  EXPECT_EQ(FormatBytes(3ULL << 30), "3.0 GiB");
+}
+
+TEST(LinalgTest, SolveIdentity) {
+  Matrix a = Matrix::Identity(3);
+  auto x = SolveLinearSystem(a, {1.0, 2.0, 3.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ((*x)[0], 1.0);
+  EXPECT_DOUBLE_EQ((*x)[1], 2.0);
+  EXPECT_DOUBLE_EQ((*x)[2], 3.0);
+}
+
+TEST(LinalgTest, SolveGeneral) {
+  // 2x + y = 5 ; x - y = 1  => x = 2, y = 1
+  Matrix a(2, 2);
+  a.At(0, 0) = 2;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = -1;
+  auto x = SolveLinearSystem(a, {5.0, 1.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 1.0, 1e-12);
+}
+
+TEST(LinalgTest, SolveNeedsPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a(2, 2);
+  a.At(0, 0) = 0;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = 0;
+  auto x = SolveLinearSystem(a, {3.0, 4.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 4.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(LinalgTest, SingularDetected) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 2;
+  a.At(1, 1) = 4;
+  auto x = SolveLinearSystem(a, {1.0, 2.0});
+  EXPECT_FALSE(x.ok());
+  EXPECT_TRUE(x.status().IsInternal());
+}
+
+TEST(LinalgTest, ShapeErrors) {
+  Matrix a(2, 3);
+  EXPECT_TRUE(SolveLinearSystem(a, {1, 2}).status().IsInvalidArgument());
+  Matrix b(2, 2);
+  EXPECT_TRUE(SolveLinearSystem(b, {1, 2, 3}).status().IsInvalidArgument());
+}
+
+TEST(LinalgTest, LeastSquaresRecoversExactSystem) {
+  // Overdetermined but consistent: y = 3a + 2b.
+  Matrix a(4, 2);
+  const double rows[4][2] = {{1, 0}, {0, 1}, {1, 1}, {2, 1}};
+  std::vector<double> b(4);
+  for (int i = 0; i < 4; ++i) {
+    a.At(i, 0) = rows[i][0];
+    a.At(i, 1) = rows[i][1];
+    b[i] = 3.0 * rows[i][0] + 2.0 * rows[i][1];
+  }
+  auto x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-6);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-6);
+  EXPECT_LT(ResidualRms(a, *x, b), 1e-6);
+}
+
+TEST(LinalgTest, LeastSquaresMinimizesNoise) {
+  // y = 5x plus symmetric noise; slope estimate stays near 5.
+  Matrix a(6, 1);
+  std::vector<double> b(6);
+  const double noise[6] = {0.1, -0.1, 0.05, -0.05, 0.02, -0.02};
+  for (int i = 0; i < 6; ++i) {
+    const double x = i + 1;
+    a.At(i, 0) = x;
+    b[i] = 5.0 * x + noise[i];
+  }
+  auto x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 5.0, 0.02);
+}
+
+TEST(LinalgTest, NonNegativeLeastSquaresClampsNegative) {
+  // Unconstrained solution has a negative component; NNLS must not.
+  Matrix a(3, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = 0;
+  a.At(2, 0) = 0;
+  a.At(2, 1) = 1;
+  // Target pulls x1 negative: b = (0, 1, -1).
+  auto x = NonNegativeLeastSquares(a, {0.0, 1.0, -1.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_GE((*x)[0], 0.0);
+  EXPECT_GE((*x)[1], 0.0);
+}
+
+TEST(LinalgTest, MatrixVectorProducts) {
+  Matrix a(2, 3);
+  int v = 1;
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) a.At(r, c) = v++;
+  }
+  // a = [1 2 3; 4 5 6]
+  auto av = a.TimesVector({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(av[0], 6.0);
+  EXPECT_DOUBLE_EQ(av[1], 15.0);
+  auto atv = a.TransposeTimesVector({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(atv[0], 5.0);
+  EXPECT_DOUBLE_EQ(atv[1], 7.0);
+  EXPECT_DOUBLE_EQ(atv[2], 9.0);
+  Matrix ata = a.TransposeTimes(a);
+  EXPECT_DOUBLE_EQ(ata.At(0, 0), 17.0);
+  EXPECT_DOUBLE_EQ(ata.At(2, 2), 45.0);
+}
+
+}  // namespace
+}  // namespace vdb

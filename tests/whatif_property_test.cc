@@ -1,0 +1,214 @@
+// Property tests for the paper's central requirement (Section 4): the
+// optimizer's estimates under calibrated P(R) don't need to match actual
+// times, but they must *rank* alternatives the way actual measurements
+// do — across queries at a fixed allocation, and across allocations for
+// a fixed query — and they must respond monotonically to resources.
+
+#include <gtest/gtest.h>
+
+#include "calib/calibration.h"
+#include "calib/grid.h"
+#include "datagen/calibration_db.h"
+#include "datagen/synthetic.h"
+#include "exec/database.h"
+#include "sim/machine.h"
+#include "sim/virtual_machine.h"
+
+namespace vdb {
+namespace {
+
+using sim::ResourceShare;
+
+/// Shared, expensive environment: calibration DB + a few query targets,
+/// and a calibrated store over a (cpu, io) grid.
+class WhatIfEnv {
+ public:
+  WhatIfEnv() {
+    machine_ = sim::MachineSpec::PaperTestbed();
+    datagen::CalibrationDbConfig config;
+    config.base_rows = 8000;
+    VDB_CHECK_OK(datagen::GenerateCalibrationDb(db_.catalog(), config));
+    // Extra workload tables with distinct profiles.
+    using datagen::ColumnSpec;
+    using datagen::Distribution;
+    ColumnSpec key;
+    key.name = "k";
+    key.distribution = Distribution::kSequential;
+    ColumnSpec text;
+    text.name = "s";
+    text.type = catalog::TypeId::kString;
+    text.distribution = Distribution::kRandomText;
+    text.string_length = 40;
+    ColumnSpec pad = text;
+    pad.name = "pad";
+    pad.string_length = 800;
+    VDB_CHECK_OK(
+        datagen::GenerateTable(db_.catalog(), "wide", {key, pad}, 6000, 31));
+    VDB_CHECK_OK(datagen::GenerateTable(db_.catalog(), "texty",
+                                        {key, text}, 25000, 32));
+    VDB_CHECK_OK(db_.catalog()->AnalyzeAll());
+
+    calib::CalibrationGridSpec spec;
+    spec.cpu_shares = {0.2, 0.5, 0.8};
+    spec.memory_shares = {0.5};
+    spec.io_shares = {0.2, 0.5, 0.8};
+    auto store = calib::CalibrateGrid(&db_, machine_,
+                                      sim::HypervisorModel::XenLike(), spec);
+    VDB_CHECK(store.ok()) << store.status();
+    store_ = std::move(*store);
+  }
+
+  static WhatIfEnv& Get() {
+    static WhatIfEnv* env = new WhatIfEnv();
+    return *env;
+  }
+
+  double Estimate(const std::string& sql, const ResourceShare& share) {
+    auto params = store_.Lookup(share);
+    VDB_CHECK(params.ok());
+    db_.SetOptimizerParams(*params);
+    auto plan = db_.Prepare(sql);
+    VDB_CHECK(plan.ok()) << plan.status();
+    return (*plan)->total_cost_ms;
+  }
+
+  double Actual(const std::string& sql, const ResourceShare& share) {
+    sim::VirtualMachine vm("vm", machine_,
+                           sim::HypervisorModel::XenLike(), share);
+    VDB_CHECK_OK(db_.ApplyVmConfig(vm));
+    auto params = store_.Lookup(share);
+    VDB_CHECK(params.ok());
+    db_.SetOptimizerParams(*params);
+    VDB_CHECK_OK(db_.DropCaches());
+    auto result = db_.Execute(sql, vm);
+    VDB_CHECK(result.ok()) << result.status();
+    return result->elapsed_seconds * 1000.0;
+  }
+
+  sim::MachineSpec machine_;
+  exec::Database db_;
+  calib::CalibrationStore store_;
+};
+
+const char* const kQueries[] = {
+    "select count(*) from cal_small",
+    "select count(*) from cal_large",
+    "select count(*) from cal_large where b < 100 and c < 1000",
+    "select count(*) from wide",
+    "select count(*) from texty where s like '%foxes%' and s like "
+    "'%deposits%'",
+    "select b, count(*), sum(d) from cal_large group by b",
+};
+
+// --- Property 1: cross-query ranking at a fixed allocation -----------------
+
+class CrossQueryRankingTest
+    : public ::testing::TestWithParam<ResourceShare> {};
+
+TEST_P(CrossQueryRankingTest, EstimatesRankQueriesLikeActuals) {
+  WhatIfEnv& env = WhatIfEnv::Get();
+  const ResourceShare share = GetParam();
+  std::vector<double> estimated;
+  std::vector<double> actual;
+  for (const char* sql : kQueries) {
+    estimated.push_back(env.Estimate(sql, share));
+    actual.push_back(env.Actual(sql, share));
+  }
+  // For every well-separated pair (2x), the estimate ordering agrees.
+  for (size_t i = 0; i < estimated.size(); ++i) {
+    for (size_t j = 0; j < estimated.size(); ++j) {
+      if (actual[i] > 2.0 * actual[j]) {
+        EXPECT_GT(estimated[i], estimated[j])
+            << "queries " << i << " vs " << j << " at "
+            << share.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Allocations, CrossQueryRankingTest,
+    ::testing::Values(ResourceShare(0.25, 0.5, 0.5),
+                      ResourceShare(0.5, 0.5, 0.5),
+                      ResourceShare(0.75, 0.5, 0.25),
+                      ResourceShare(0.4, 0.5, 0.7)));
+
+// --- Property 2: cross-allocation ranking for a fixed query ----------------
+
+class CrossAllocationRankingTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CrossAllocationRankingTest, EstimatesRankAllocationsLikeActuals) {
+  WhatIfEnv& env = WhatIfEnv::Get();
+  const std::string sql = GetParam();
+  const ResourceShare shares[] = {
+      ResourceShare(0.2, 0.5, 0.2), ResourceShare(0.2, 0.5, 0.8),
+      ResourceShare(0.8, 0.5, 0.2), ResourceShare(0.8, 0.5, 0.8)};
+  std::vector<double> estimated;
+  std::vector<double> actual;
+  for (const ResourceShare& share : shares) {
+    estimated.push_back(env.Estimate(sql, share));
+    actual.push_back(env.Actual(sql, share));
+  }
+  for (size_t i = 0; i < estimated.size(); ++i) {
+    for (size_t j = 0; j < estimated.size(); ++j) {
+      if (actual[i] > 1.5 * actual[j]) {
+        EXPECT_GT(estimated[i], estimated[j])
+            << shares[i].ToString() << " vs " << shares[j].ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Queries, CrossAllocationRankingTest,
+                         ::testing::Values(kQueries[1], kQueries[3],
+                                           kQueries[4]));
+
+// --- Property 3: estimated cost is monotone in resources -------------------
+
+class MonotoneCostTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MonotoneCostTest, MoreCpuNeverIncreasesEstimatedCost) {
+  WhatIfEnv& env = WhatIfEnv::Get();
+  const std::string sql = GetParam();
+  double previous = -1.0;
+  for (double cpu : {0.2, 0.35, 0.5, 0.65, 0.8}) {
+    const double cost = env.Estimate(sql, ResourceShare(cpu, 0.5, 0.5));
+    if (previous >= 0) {
+      EXPECT_LE(cost, previous * 1.0001) << "cpu=" << cpu;
+    }
+    previous = cost;
+  }
+}
+
+TEST_P(MonotoneCostTest, MoreIoNeverIncreasesEstimatedCost) {
+  WhatIfEnv& env = WhatIfEnv::Get();
+  const std::string sql = GetParam();
+  double previous = -1.0;
+  for (double io : {0.2, 0.35, 0.5, 0.65, 0.8}) {
+    const double cost = env.Estimate(sql, ResourceShare(0.5, 0.5, io));
+    if (previous >= 0) {
+      EXPECT_LE(cost, previous * 1.0001) << "io=" << io;
+    }
+    previous = cost;
+  }
+}
+
+TEST_P(MonotoneCostTest, MoreCpuNeverIncreasesActualTime) {
+  WhatIfEnv& env = WhatIfEnv::Get();
+  const std::string sql = GetParam();
+  double previous = -1.0;
+  for (double cpu : {0.25, 0.5, 0.75}) {
+    const double ms = env.Actual(sql, ResourceShare(cpu, 0.5, 0.5));
+    if (previous >= 0) {
+      EXPECT_LE(ms, previous * 1.0001) << "cpu=" << cpu;
+    }
+    previous = ms;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Queries, MonotoneCostTest,
+                         ::testing::ValuesIn(kQueries));
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,78 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/workload_io.h"
+
+namespace vdb::core {
+namespace {
+
+TEST(WorkloadIoTest, SplitsStatementsOnSemicolons) {
+  auto workload = ParseWorkloadText(
+      "w", "select 1 from t; select 2 from u;\nselect 3 from v");
+  ASSERT_TRUE(workload.ok());
+  ASSERT_EQ(workload->statements.size(), 3u);
+  EXPECT_EQ(workload->statements[0], "select 1 from t");
+  EXPECT_EQ(workload->statements[2], "select 3 from v");
+}
+
+TEST(WorkloadIoTest, IgnoresCommentsAndBlankStatements) {
+  auto workload = ParseWorkloadText(
+      "w",
+      "-- header comment\n"
+      "select a from t; -- trailing comment\n"
+      ";;\n"
+      "select b from t;\n");
+  ASSERT_TRUE(workload.ok());
+  ASSERT_EQ(workload->statements.size(), 2u);
+  EXPECT_EQ(workload->statements[1], "select b from t");
+}
+
+TEST(WorkloadIoTest, SemicolonInsideStringLiteralDoesNotSplit) {
+  auto workload = ParseWorkloadText(
+      "w", "select count(*) from t where s = 'a;b'; select 1 from t");
+  ASSERT_TRUE(workload.ok());
+  ASSERT_EQ(workload->statements.size(), 2u);
+  EXPECT_NE(workload->statements[0].find("'a;b'"), std::string::npos);
+}
+
+TEST(WorkloadIoTest, EscapedQuoteInsideLiteral) {
+  auto workload = ParseWorkloadText(
+      "w", "select count(*) from t where s = 'it''s; fine'");
+  ASSERT_TRUE(workload.ok());
+  ASSERT_EQ(workload->statements.size(), 1u);
+}
+
+TEST(WorkloadIoTest, CommentMarkerInsideLiteralPreserved) {
+  auto workload =
+      ParseWorkloadText("w", "select count(*) from t where s like '%--%'");
+  ASSERT_TRUE(workload.ok());
+  EXPECT_NE(workload->statements[0].find("'%--%'"), std::string::npos);
+}
+
+TEST(WorkloadIoTest, Errors) {
+  EXPECT_TRUE(ParseWorkloadText("w", "").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseWorkloadText("w", "-- only comments\n").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseWorkloadText("w", "select 'oops from t")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(LoadWorkloadFile("/nonexistent/w.sql").status().IsIOError());
+}
+
+TEST(WorkloadIoTest, LoadFileAndDeriveName) {
+  const std::string path = ::testing::TempDir() + "/my_workload.sql";
+  {
+    std::ofstream out(path);
+    out << "select 1 from t;\nselect 2 from t;\n";
+  }
+  auto workload = LoadWorkloadFile(path);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->name, "my_workload");
+  EXPECT_EQ(workload->statements.size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vdb::core
