@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_advisor_vs_equal.dir/bench_advisor_vs_equal.cc.o"
+  "CMakeFiles/bench_advisor_vs_equal.dir/bench_advisor_vs_equal.cc.o.d"
+  "bench_advisor_vs_equal"
+  "bench_advisor_vs_equal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_advisor_vs_equal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

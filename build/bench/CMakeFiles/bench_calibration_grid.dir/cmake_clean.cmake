@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_calibration_grid.dir/bench_calibration_grid.cc.o"
+  "CMakeFiles/bench_calibration_grid.dir/bench_calibration_grid.cc.o.d"
+  "bench_calibration_grid"
+  "bench_calibration_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_calibration_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_redesign.dir/bench_dynamic_redesign.cc.o"
+  "CMakeFiles/bench_dynamic_redesign.dir/bench_dynamic_redesign.cc.o.d"
+  "bench_dynamic_redesign"
+  "bench_dynamic_redesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_redesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_shift.dir/bench_plan_shift.cc.o"
+  "CMakeFiles/bench_plan_shift.dir/bench_plan_shift.cc.o.d"
+  "bench_plan_shift"
+  "bench_plan_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

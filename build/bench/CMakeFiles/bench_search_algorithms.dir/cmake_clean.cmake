@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_search_algorithms.dir/bench_search_algorithms.cc.o"
+  "CMakeFiles/bench_search_algorithms.dir/bench_search_algorithms.cc.o.d"
+  "bench_search_algorithms"
+  "bench_search_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_search_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

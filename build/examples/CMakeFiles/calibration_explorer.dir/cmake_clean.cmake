@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_explorer.dir/calibration_explorer.cpp.o"
+  "CMakeFiles/calibration_explorer.dir/calibration_explorer.cpp.o.d"
+  "calibration_explorer"
+  "calibration_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

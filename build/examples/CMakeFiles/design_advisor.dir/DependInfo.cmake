@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/design_advisor.cpp" "examples/CMakeFiles/design_advisor.dir/design_advisor.cpp.o" "gcc" "examples/CMakeFiles/design_advisor.dir/design_advisor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/vdb_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/vdb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/vdb_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/vdb_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/vdb_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/vdb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/vdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_tuning.dir/whatif_tuning.cpp.o"
+  "CMakeFiles/whatif_tuning.dir/whatif_tuning.cpp.o.d"
+  "whatif_tuning"
+  "whatif_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

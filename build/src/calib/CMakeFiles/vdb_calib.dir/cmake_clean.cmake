@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_calib.dir/calibration.cc.o"
+  "CMakeFiles/vdb_calib.dir/calibration.cc.o.d"
+  "CMakeFiles/vdb_calib.dir/grid.cc.o"
+  "CMakeFiles/vdb_calib.dir/grid.cc.o.d"
+  "CMakeFiles/vdb_calib.dir/store.cc.o"
+  "CMakeFiles/vdb_calib.dir/store.cc.o.d"
+  "libvdb_calib.a"
+  "libvdb_calib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

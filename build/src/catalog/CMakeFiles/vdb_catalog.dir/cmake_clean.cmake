@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_catalog.dir/catalog.cc.o"
+  "CMakeFiles/vdb_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/vdb_catalog.dir/schema.cc.o"
+  "CMakeFiles/vdb_catalog.dir/schema.cc.o.d"
+  "CMakeFiles/vdb_catalog.dir/stats.cc.o"
+  "CMakeFiles/vdb_catalog.dir/stats.cc.o.d"
+  "CMakeFiles/vdb_catalog.dir/value.cc.o"
+  "CMakeFiles/vdb_catalog.dir/value.cc.o.d"
+  "libvdb_catalog.a"
+  "libvdb_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_core.dir/advisor.cc.o"
+  "CMakeFiles/vdb_core.dir/advisor.cc.o.d"
+  "CMakeFiles/vdb_core.dir/cost_model.cc.o"
+  "CMakeFiles/vdb_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/vdb_core.dir/dynamic.cc.o"
+  "CMakeFiles/vdb_core.dir/dynamic.cc.o.d"
+  "CMakeFiles/vdb_core.dir/problem.cc.o"
+  "CMakeFiles/vdb_core.dir/problem.cc.o.d"
+  "CMakeFiles/vdb_core.dir/search.cc.o"
+  "CMakeFiles/vdb_core.dir/search.cc.o.d"
+  "CMakeFiles/vdb_core.dir/workload_io.cc.o"
+  "CMakeFiles/vdb_core.dir/workload_io.cc.o.d"
+  "libvdb_core.a"
+  "libvdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

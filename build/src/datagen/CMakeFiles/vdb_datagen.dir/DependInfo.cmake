@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/calibration_db.cc" "src/datagen/CMakeFiles/vdb_datagen.dir/calibration_db.cc.o" "gcc" "src/datagen/CMakeFiles/vdb_datagen.dir/calibration_db.cc.o.d"
+  "/root/repo/src/datagen/synthetic.cc" "src/datagen/CMakeFiles/vdb_datagen.dir/synthetic.cc.o" "gcc" "src/datagen/CMakeFiles/vdb_datagen.dir/synthetic.cc.o.d"
+  "/root/repo/src/datagen/tpch.cc" "src/datagen/CMakeFiles/vdb_datagen.dir/tpch.cc.o" "gcc" "src/datagen/CMakeFiles/vdb_datagen.dir/tpch.cc.o.d"
+  "/root/repo/src/datagen/tpch_queries.cc" "src/datagen/CMakeFiles/vdb_datagen.dir/tpch_queries.cc.o" "gcc" "src/datagen/CMakeFiles/vdb_datagen.dir/tpch_queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/vdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

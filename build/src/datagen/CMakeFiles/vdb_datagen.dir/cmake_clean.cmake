@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_datagen.dir/calibration_db.cc.o"
+  "CMakeFiles/vdb_datagen.dir/calibration_db.cc.o.d"
+  "CMakeFiles/vdb_datagen.dir/synthetic.cc.o"
+  "CMakeFiles/vdb_datagen.dir/synthetic.cc.o.d"
+  "CMakeFiles/vdb_datagen.dir/tpch.cc.o"
+  "CMakeFiles/vdb_datagen.dir/tpch.cc.o.d"
+  "CMakeFiles/vdb_datagen.dir/tpch_queries.cc.o"
+  "CMakeFiles/vdb_datagen.dir/tpch_queries.cc.o.d"
+  "libvdb_datagen.a"
+  "libvdb_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

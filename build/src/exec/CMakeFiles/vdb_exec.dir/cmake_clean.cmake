@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_exec.dir/database.cc.o"
+  "CMakeFiles/vdb_exec.dir/database.cc.o.d"
+  "CMakeFiles/vdb_exec.dir/execution_context.cc.o"
+  "CMakeFiles/vdb_exec.dir/execution_context.cc.o.d"
+  "CMakeFiles/vdb_exec.dir/executor.cc.o"
+  "CMakeFiles/vdb_exec.dir/executor.cc.o.d"
+  "libvdb_exec.a"
+  "libvdb_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

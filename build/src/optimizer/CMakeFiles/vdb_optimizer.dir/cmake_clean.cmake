@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_optimizer.dir/cost_model.cc.o"
+  "CMakeFiles/vdb_optimizer.dir/cost_model.cc.o.d"
+  "CMakeFiles/vdb_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/vdb_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/vdb_optimizer.dir/params.cc.o"
+  "CMakeFiles/vdb_optimizer.dir/params.cc.o.d"
+  "CMakeFiles/vdb_optimizer.dir/physical.cc.o"
+  "CMakeFiles/vdb_optimizer.dir/physical.cc.o.d"
+  "CMakeFiles/vdb_optimizer.dir/selectivity.cc.o"
+  "CMakeFiles/vdb_optimizer.dir/selectivity.cc.o.d"
+  "libvdb_optimizer.a"
+  "libvdb_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

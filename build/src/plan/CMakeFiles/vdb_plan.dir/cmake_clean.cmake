@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_plan.dir/expr.cc.o"
+  "CMakeFiles/vdb_plan.dir/expr.cc.o.d"
+  "CMakeFiles/vdb_plan.dir/logical.cc.o"
+  "CMakeFiles/vdb_plan.dir/logical.cc.o.d"
+  "CMakeFiles/vdb_plan.dir/planner.cc.o"
+  "CMakeFiles/vdb_plan.dir/planner.cc.o.d"
+  "CMakeFiles/vdb_plan.dir/rewriter.cc.o"
+  "CMakeFiles/vdb_plan.dir/rewriter.cc.o.d"
+  "libvdb_plan.a"
+  "libvdb_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_sim.dir/machine.cc.o"
+  "CMakeFiles/vdb_sim.dir/machine.cc.o.d"
+  "CMakeFiles/vdb_sim.dir/resources.cc.o"
+  "CMakeFiles/vdb_sim.dir/resources.cc.o.d"
+  "CMakeFiles/vdb_sim.dir/virtual_machine.cc.o"
+  "CMakeFiles/vdb_sim.dir/virtual_machine.cc.o.d"
+  "CMakeFiles/vdb_sim.dir/vmm.cc.o"
+  "CMakeFiles/vdb_sim.dir/vmm.cc.o.d"
+  "libvdb_sim.a"
+  "libvdb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

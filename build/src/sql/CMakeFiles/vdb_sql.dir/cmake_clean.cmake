@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_sql.dir/ast.cc.o"
+  "CMakeFiles/vdb_sql.dir/ast.cc.o.d"
+  "CMakeFiles/vdb_sql.dir/lexer.cc.o"
+  "CMakeFiles/vdb_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/vdb_sql.dir/parser.cc.o"
+  "CMakeFiles/vdb_sql.dir/parser.cc.o.d"
+  "libvdb_sql.a"
+  "libvdb_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_storage.dir/btree.cc.o"
+  "CMakeFiles/vdb_storage.dir/btree.cc.o.d"
+  "CMakeFiles/vdb_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/vdb_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/vdb_storage.dir/heap_file.cc.o"
+  "CMakeFiles/vdb_storage.dir/heap_file.cc.o.d"
+  "libvdb_storage.a"
+  "libvdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
