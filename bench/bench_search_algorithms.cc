@@ -4,7 +4,10 @@
 // This harness compares the three searchers on mixed TPC-H workload sets:
 // solution quality (estimated total cost), number of Cost(W,R)
 // evaluations, and host search time, with exhaustive search as ground
-// truth where feasible.
+// truth where feasible. Each searcher also runs with a 4-thread cost
+// fan-out (SearchOptions{num_threads}), which must reproduce the serial
+// solution bit-for-bit; on machines with >= 4 hardware threads the
+// exhaustive search must additionally show a >= 2x wall-clock speedup.
 
 #include <chrono>
 #include <cstdio>
@@ -14,6 +17,7 @@
 #include "core/cost_model.h"
 #include "core/search.h"
 #include "datagen/tpch_queries.h"
+#include "util/thread_pool.h"
 
 namespace vdb {
 namespace {
@@ -79,12 +83,17 @@ int Run() {
                        {sim::ResourceKind::kCpu, sim::ResourceKind::kIo},
                        9});
 
+  const int hardware_threads = util::ThreadPool::HardwareConcurrency();
   bench::PrintTitle(
       "Search algorithm comparison for the virtualization design problem");
+  std::printf("hardware threads: %d\n", hardware_threads);
   std::printf("%-13s %-20s %14s %10s %10s %9s\n", "scenario", "algorithm",
               "est. cost", "vs best", "evals", "host (s)");
 
   bool all_ok = true;
+  bool parallel_identical = true;
+  double exhaustive_speedup_sum = 0.0;
+  int exhaustive_speedup_count = 0;
   for (const Scenario& scenario : scenarios) {
     core::VirtualizationDesignProblem problem;
     problem.machine = machine;
@@ -120,6 +129,39 @@ int Run() {
       rows.push_back({core::SearchAlgorithmName(algorithm),
                       solution->total_cost_ms, solution->evaluations,
                       seconds, true});
+
+      // Re-run with a 4-thread cost fan-out against a cold cache: the
+      // parallel search must reproduce the serial solution bit-for-bit.
+      core::WorkloadCostModel parallel_cost(&problem, &*store);
+      core::SearchOptions options;
+      options.num_threads = 4;
+      const auto parallel_start = std::chrono::steady_clock::now();
+      auto parallel =
+          core::SolveDesignProblem(problem, &parallel_cost, algorithm, options);
+      const double parallel_seconds = HostSeconds(parallel_start);
+      if (!parallel.ok() ||
+          parallel->total_cost_ms != solution->total_cost_ms ||
+          parallel->allocations.size() != solution->allocations.size()) {
+        parallel_identical = false;
+      } else {
+        for (size_t i = 0; i < parallel->allocations.size(); ++i) {
+          for (sim::ResourceKind r : problem.controlled) {
+            if (parallel->allocations[i].Get(r) !=
+                solution->allocations[i].Get(r)) {
+              parallel_identical = false;
+            }
+          }
+        }
+      }
+      if (algorithm == core::SearchAlgorithm::kExhaustive &&
+          parallel_seconds > 0) {
+        const double speedup = seconds / parallel_seconds;
+        exhaustive_speedup_sum += speedup;
+        ++exhaustive_speedup_count;
+        std::printf("%-13s %-20s %14s %10s %10s %8.2f  (%.2fx vs serial)\n",
+                    scenario.name, "exhaustive(4 thr)", "(same)", "-", "-",
+                    parallel_seconds, speedup);
+      }
     }
     // Equal-split reference.
     {
@@ -147,9 +189,27 @@ int Run() {
     }
     bench::PrintRule();
   }
+  const double mean_speedup =
+      exhaustive_speedup_count > 0
+          ? exhaustive_speedup_sum / exhaustive_speedup_count
+          : 0.0;
   std::printf("all searchers within 10%% of the best design: %s\n",
               all_ok ? "YES" : "NO");
-  return all_ok ? 0 : 1;
+  std::printf("4-thread solutions identical to serial: %s\n",
+              parallel_identical ? "YES" : "NO");
+  std::printf("mean exhaustive speedup at 4 threads: %.2fx\n", mean_speedup);
+  if (hardware_threads >= 4) {
+    // The >= 2x gate only makes sense when 4 worker threads can actually
+    // run in parallel; on smaller machines the speedup is informational.
+    const bool fast_enough = mean_speedup >= 2.0;
+    std::printf("speedup >= 2x at 4 threads: %s\n",
+                fast_enough ? "YES" : "NO");
+    if (!fast_enough) all_ok = false;
+  } else {
+    std::printf("speedup >= 2x at 4 threads: SKIPPED (%d hardware threads)\n",
+                hardware_threads);
+  }
+  return (all_ok && parallel_identical) ? 0 : 1;
 }
 
 }  // namespace

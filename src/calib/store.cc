@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <set>
+#include <sstream>
 
 namespace vdb::calib {
 
@@ -178,12 +179,31 @@ Result<CalibrationStore> CalibrationStore::LoadFromFile(
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open '" + path + "'");
   CalibrationStore store;
-  sim::ResourceShare share;
-  std::array<double, optimizer::OptimizerParams::kNumCalibrated> vec;
-  uint64_t cache_pages = 0;
-  uint64_t work_mem = 0;
-  while (in >> share.cpu >> share.memory >> share.io >> vec[0] >> vec[1] >>
-         vec[2] >> vec[3] >> vec[4] >> cache_pages >> work_mem) {
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::istringstream fields(line);
+    sim::ResourceShare share;
+    std::array<double, optimizer::OptimizerParams::kNumCalibrated> vec;
+    uint64_t cache_pages = 0;
+    uint64_t work_mem = 0;
+    if (!(fields >> share.cpu >> share.memory >> share.io >> vec[0] >>
+          vec[1] >> vec[2] >> vec[3] >> vec[4] >> cache_pages >> work_mem)) {
+      // Blank lines are tolerated; a partial or unparseable record is a
+      // hard error — silently stopping here would truncate the grid and
+      // skew every interpolated lookup.
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      return Status::IOError("malformed calibration record at line " +
+                             std::to_string(line_number) + " of '" + path +
+                             "'");
+    }
+    std::string trailing;
+    if (fields >> trailing) {
+      return Status::IOError("trailing garbage at line " +
+                             std::to_string(line_number) + " of '" + path +
+                             "'");
+    }
     optimizer::OptimizerParams params;
     params.SetCalibratedVector(vec);
     params.effective_cache_size_pages = cache_pages;

@@ -8,9 +8,10 @@
 namespace vdb::core {
 
 Result<DesignSolution> Advisor::Recommend(
-    const VirtualizationDesignProblem& problem, SearchAlgorithm algorithm) {
+    const VirtualizationDesignProblem& problem, SearchAlgorithm algorithm,
+    const SearchOptions& options) {
   WorkloadCostModel cost(&problem, store_);
-  return SolveDesignProblem(problem, &cost, algorithm);
+  return SolveDesignProblem(problem, &cost, algorithm, options);
 }
 
 Result<MeasuredOutcome> Advisor::Measure(

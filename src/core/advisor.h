@@ -29,10 +29,13 @@ class Advisor {
   Advisor(const Advisor&) = delete;
   Advisor& operator=(const Advisor&) = delete;
 
-  /// Recommends a design for the problem using `algorithm`.
+  /// Recommends a design for the problem using `algorithm`. `options`
+  /// controls the search-layer fan-out (e.g. worker threads); any setting
+  /// yields the same recommendation.
   Result<DesignSolution> Recommend(
       const VirtualizationDesignProblem& problem,
-      SearchAlgorithm algorithm = SearchAlgorithm::kDynamicProgramming);
+      SearchAlgorithm algorithm = SearchAlgorithm::kDynamicProgramming,
+      const SearchOptions& options = SearchOptions{});
 
   struct MeasureOptions {
     /// Drop the page cache before each workload.

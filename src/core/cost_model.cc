@@ -9,27 +9,36 @@ Result<double> WorkloadCostModel::Cost(size_t index,
   if (index >= problem_->workloads.size()) {
     return Status::InvalidArgument("workload index out of range");
   }
-  const Key key{index, std::llround(share.cpu * 1000.0),
-                std::llround(share.memory * 1000.0),
-                std::llround(share.io * 1000.0)};
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++cache_hits_;
-    return it->second;
+  const Key key{index, std::llround(share.cpu * 1e9),
+                std::llround(share.memory * 1e9),
+                std::llround(share.io * 1e9)};
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
-  ++evaluations_;
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
   VDB_ASSIGN_OR_RETURN(optimizer::OptimizerParams params,
                        store_->Lookup(share));
-  exec::Database* db = problem_->databases[index];
-  db->SetOptimizerParams(params);
+  const exec::Database* db = problem_->databases[index];
   double total_ms = 0.0;
   for (const std::string& sql : problem_->workloads[index].statements) {
-    VDB_ASSIGN_OR_RETURN(optimizer::PhysicalNodePtr plan, db->Prepare(sql));
+    // Side-effect-free what-if preparation: the database's own optimizer
+    // parameters are never touched, so concurrent Cost calls are safe and
+    // later Prepare calls outside the cost model see unchanged state.
+    VDB_ASSIGN_OR_RETURN(optimizer::PhysicalNodePtr plan,
+                         db->Prepare(sql, params));
     total_ms += plan->total_cost_ms;
   }
   // Service-level weight (paper Section 7 extension).
   total_ms *= problem_->workloads[index].importance;
-  cache_[key] = total_ms;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    cache_.emplace(key, total_ms);
+  }
   return total_ms;
 }
 

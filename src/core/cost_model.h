@@ -1,6 +1,9 @@
 #ifndef VDB_CORE_COST_MODEL_H_
 #define VDB_CORE_COST_MODEL_H_
 
+#include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "calib/store.h"
@@ -19,7 +22,17 @@ namespace vdb::core {
 /// so plan changes induced by the allocation are captured.
 ///
 /// Evaluations are memoized per (workload, quantized allocation); the
-/// combinatorial searches re-visit allocations heavily.
+/// combinatorial searches re-visit allocations heavily. Shares are
+/// quantized at 1e-9 resolution, far below any allocation grid we search
+/// (distinct designs with grid_steps up to ~10^8 never collide).
+///
+/// Thread-safe: Cost never mutates the underlying Database (it uses the
+/// side-effect-free what-if Prepare), the memo cache is mutex-guarded, and
+/// the counters are atomic, so the parallel searches may call Cost
+/// concurrently from a thread pool. Two threads that miss on the same key
+/// simultaneously may both evaluate it (the result is identical and the
+/// second insert is a no-op), so `evaluations()` can exceed the number of
+/// distinct keys under concurrency; it is exact in serial use.
 class WorkloadCostModel {
  public:
   WorkloadCostModel(const VirtualizationDesignProblem* problem,
@@ -35,35 +48,43 @@ class WorkloadCostModel {
   /// Total cost of a full design.
   Result<double> TotalCost(const std::vector<sim::ResourceShare>& shares);
 
-  uint64_t evaluations() const { return evaluations_; }
-  uint64_t cache_hits() const { return cache_hits_; }
+  /// Cache misses: full what-if optimizations performed.
+  uint64_t evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+  uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  /// Total Cost() invocations (hits + misses) — the searches' call volume.
+  uint64_t calls() const { return evaluations() + cache_hits(); }
 
  private:
   struct Key {
     size_t index;
-    int64_t cpu_milli;
-    int64_t mem_milli;
-    int64_t io_milli;
+    int64_t cpu_nano;
+    int64_t mem_nano;
+    int64_t io_nano;
     bool operator==(const Key& other) const {
-      return index == other.index && cpu_milli == other.cpu_milli &&
-             mem_milli == other.mem_milli && io_milli == other.io_milli;
+      return index == other.index && cpu_nano == other.cpu_nano &&
+             mem_nano == other.mem_nano && io_nano == other.io_nano;
     }
   };
   struct KeyHash {
     size_t operator()(const Key& key) const {
       size_t h = key.index;
-      h = h * 1000003 + static_cast<size_t>(key.cpu_milli);
-      h = h * 1000003 + static_cast<size_t>(key.mem_milli);
-      h = h * 1000003 + static_cast<size_t>(key.io_milli);
+      h = h * 1000003 + static_cast<size_t>(key.cpu_nano);
+      h = h * 1000003 + static_cast<size_t>(key.mem_nano);
+      h = h * 1000003 + static_cast<size_t>(key.io_nano);
       return h;
     }
   };
 
   const VirtualizationDesignProblem* problem_;
   const calib::CalibrationStore* store_;
+  std::mutex cache_mu_;
   std::unordered_map<Key, double, KeyHash> cache_;
-  uint64_t evaluations_ = 0;
-  uint64_t cache_hits_ = 0;
+  std::atomic<uint64_t> evaluations_{0};
+  std::atomic<uint64_t> cache_hits_{0};
 };
 
 }  // namespace vdb::core

@@ -46,6 +46,9 @@ struct DesignSolution {
   double total_cost_ms = 0.0;
   /// Number of Cost(W, R) evaluations the search performed.
   uint64_t evaluations = 0;
+  /// Improvement rounds taken by iterative searches (greedy unit moves);
+  /// 0 for single-pass algorithms.
+  uint64_t iterations = 0;
   std::string algorithm;
 
   std::string ToString() const;

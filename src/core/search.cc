@@ -1,11 +1,14 @@
 #include "core/search.h"
-#include <functional>
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <functional>
+#include <future>
+#include <memory>
+#include <utility>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace vdb::core {
 
@@ -63,30 +66,76 @@ double NumCompositions(int total, int parts) {
   return result;
 }
 
-Result<DesignSolution> SolveExhaustive(
-    const VirtualizationDesignProblem& problem, WorkloadCostModel* cost) {
-  const int n = static_cast<int>(problem.NumWorkloads());
-  const int m = static_cast<int>(problem.controlled.size());
-  const double designs =
-      std::pow(NumCompositions(problem.grid_steps, n), m);
-  if (designs > 2e6) {
-    return Status::InvalidArgument(
-        "exhaustive search space too large (" +
-        std::to_string(static_cast<uint64_t>(designs)) +
-        " designs); use greedy or dynamic programming");
-  }
+// ---------------------------------------------------------------------------
+// Cost fan-out
 
-  UnitMatrix units(n, std::vector<int>(m, 1));
+// One Cost(workload, share) evaluation to perform.
+struct CostJob {
+  size_t workload;
+  sim::ResourceShare share;
+};
+
+// Evaluates jobs[k] into (*out)[k], serially when `pool` is null and on the
+// pool otherwise. The cost model memoizes and is thread-safe, so the values
+// are identical either way. Returns the first failure in job order.
+Status EvaluateCosts(WorkloadCostModel* cost, const std::vector<CostJob>& jobs,
+                     std::vector<double>* out, util::ThreadPool* pool) {
+  out->assign(jobs.size(), 0.0);
+  if (pool == nullptr) {
+    for (size_t k = 0; k < jobs.size(); ++k) {
+      VDB_ASSIGN_OR_RETURN((*out)[k],
+                           cost->Cost(jobs[k].workload, jobs[k].share));
+    }
+    return Status::OK();
+  }
+  std::vector<std::future<Result<double>>> futures;
+  futures.reserve(jobs.size());
+  for (const CostJob& job : jobs) {
+    futures.push_back(pool->Submit(
+        [cost, job]() { return cost->Cost(job.workload, job.share); }));
+  }
+  Status failure = Status::OK();
+  for (size_t k = 0; k < futures.size(); ++k) {
+    Result<double> result = futures[k].get();
+    if (!result.ok()) {
+      if (failure.ok()) failure = result.status();
+      continue;
+    }
+    (*out)[k] = *result;
+  }
+  return failure;
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive search
+
+// Recursive enumeration over (workload, resource) unit choices, tracking the
+// first-encountered minimum (strict '<', matching the historical serial
+// order, so ties always resolve to the lexicographically earliest design).
+struct ExhaustiveEnumerator {
+  const VirtualizationDesignProblem* problem;
+  WorkloadCostModel* cost;
+  int n;
+  int m;
+  UnitMatrix units;
+  std::vector<int> remaining;
   UnitMatrix best_units;
   double best_total = -1.0;
   Status failure = Status::OK();
 
-  // Recursive enumeration over (workload, resource) unit choices.
-  std::vector<int> remaining(m, problem.grid_steps);
-  std::function<void(int, int)> enumerate = [&](int i, int r) {
+  ExhaustiveEnumerator(const VirtualizationDesignProblem& p,
+                       WorkloadCostModel* c)
+      : problem(&p),
+        cost(c),
+        n(static_cast<int>(p.NumWorkloads())),
+        m(static_cast<int>(p.controlled.size())),
+        units(n, std::vector<int>(m, 1)),
+        remaining(m, p.grid_steps) {}
+
+  void Enumerate(int i, int r) {
     if (!failure.ok()) return;
     if (i == n) {
-      auto total = TotalOf(problem, cost, units);
+      auto total = TotalOf(*problem, cost, units);
       if (!total.ok()) {
         failure = total.status();
         return;
@@ -98,7 +147,7 @@ Result<DesignSolution> SolveExhaustive(
       return;
     }
     if (r == m) {
-      enumerate(i + 1, 0);
+      Enumerate(i + 1, 0);
       return;
     }
     const int workloads_after = n - i - 1;
@@ -106,7 +155,7 @@ Result<DesignSolution> SolveExhaustive(
       // Last workload takes whatever remains.
       units[i][r] = remaining[r];
       remaining[r] = 0;
-      enumerate(i, r + 1);
+      Enumerate(i, r + 1);
       remaining[r] = units[i][r];
       units[i][r] = 1;
       return;
@@ -114,12 +163,78 @@ Result<DesignSolution> SolveExhaustive(
     for (int take = 1; take <= remaining[r] - workloads_after; ++take) {
       units[i][r] = take;
       remaining[r] -= take;
-      enumerate(i, r + 1);
+      Enumerate(i, r + 1);
       remaining[r] += take;
       units[i][r] = 1;
     }
+  }
+};
+
+Result<DesignSolution> SolveExhaustive(
+    const VirtualizationDesignProblem& problem, WorkloadCostModel* cost,
+    util::ThreadPool* pool) {
+  const int n = static_cast<int>(problem.NumWorkloads());
+  const int m = static_cast<int>(problem.controlled.size());
+  const double designs =
+      std::pow(NumCompositions(problem.grid_steps, n), m);
+  if (designs > 2e6) {
+    return Status::InvalidArgument(
+        "exhaustive search space too large (" +
+        std::to_string(static_cast<uint64_t>(designs)) +
+        " designs); use greedy or dynamic programming");
+  }
+
+  if (pool == nullptr || n < 2) {
+    ExhaustiveEnumerator enumerator(problem, cost);
+    enumerator.Enumerate(0, 0);
+    VDB_RETURN_NOT_OK(enumerator.failure);
+    if (enumerator.best_total < 0) {
+      return Status::Internal("exhaustive search found no design");
+    }
+    return SolutionFromUnits(problem, enumerator.best_units,
+                             enumerator.best_total, "exhaustive");
+  }
+
+  // Partition the enumeration over the first workload's units of the first
+  // controlled resource — exactly the outermost loop of the serial
+  // recursion — and merge the per-partition minima in ascending `take`
+  // order, reproducing the serial first-encountered tie-breaking.
+  struct PartitionBest {
+    Status status = Status::OK();
+    UnitMatrix units;
+    double total = -1.0;
   };
-  enumerate(0, 0);
+  std::vector<std::future<PartitionBest>> futures;
+  const int max_take = problem.grid_steps - (n - 1);
+  for (int take = 1; take <= max_take; ++take) {
+    futures.push_back(pool->Submit([&problem, cost, take]() {
+      ExhaustiveEnumerator enumerator(problem, cost);
+      enumerator.units[0][0] = take;
+      enumerator.remaining[0] -= take;
+      enumerator.Enumerate(0, 1);
+      PartitionBest best;
+      best.status = enumerator.failure;
+      best.units = std::move(enumerator.best_units);
+      best.total = enumerator.best_total;
+      return best;
+    }));
+  }
+  UnitMatrix best_units;
+  double best_total = -1.0;
+  Status failure = Status::OK();
+  for (std::future<PartitionBest>& future : futures) {
+    PartitionBest partition = future.get();
+    if (!partition.status.ok()) {
+      if (failure.ok()) failure = partition.status;
+      continue;
+    }
+    if (partition.total >= 0 &&
+        (best_total < 0 || partition.total < best_total)) {
+      best_total = partition.total;
+      best_units = std::move(partition.units);
+    }
+  }
+  (void)m;
   VDB_RETURN_NOT_OK(failure);
   if (best_total < 0) {
     return Status::Internal("exhaustive search found no design");
@@ -127,43 +242,71 @@ Result<DesignSolution> SolveExhaustive(
   return SolutionFromUnits(problem, best_units, best_total, "exhaustive");
 }
 
+// ---------------------------------------------------------------------------
+// Greedy search
+
 Result<DesignSolution> SolveGreedy(
-    const VirtualizationDesignProblem& problem, WorkloadCostModel* cost) {
+    const VirtualizationDesignProblem& problem, WorkloadCostModel* cost,
+    util::ThreadPool* pool) {
   const int n = static_cast<int>(problem.NumWorkloads());
   const int m = static_cast<int>(problem.controlled.size());
   UnitMatrix units = EqualUnits(problem);
   VDB_ASSIGN_OR_RETURN(double current, TotalOf(problem, cost, units));
 
+  uint64_t iterations = 0;
   for (;;) {
+    // Batch the iteration's cost-model work: per-workload baselines plus,
+    // for every controlled resource, the cost of each workload giving up
+    // or receiving one unit. O(n·m) Cost calls; every (r, from, to) move
+    // delta below is pure arithmetic over these tables.
+    std::vector<CostJob> jobs;
+    jobs.reserve(static_cast<size_t>(n) * (1 + 2 * m));
+    for (int i = 0; i < n; ++i) {
+      jobs.push_back({static_cast<size_t>(i), ShareFromUnits(problem, units[i])});
+    }
+    // give_at[r][i] / recv_at[r][i]: index into `jobs`, or -1 when workload
+    // i cannot give a unit of r (it only holds one) or r has no giver.
+    std::vector<std::vector<int>> give_at(m, std::vector<int>(n, -1));
+    std::vector<std::vector<int>> recv_at(m, std::vector<int>(n, -1));
+    for (int r = 0; r < m; ++r) {
+      bool any_giver = false;
+      for (int from = 0; from < n; ++from) {
+        if (units[from][r] <= 1) continue;
+        any_giver = true;
+        std::vector<int> moved = units[from];
+        moved[r] -= 1;
+        give_at[r][from] = static_cast<int>(jobs.size());
+        jobs.push_back(
+            {static_cast<size_t>(from), ShareFromUnits(problem, moved)});
+      }
+      if (!any_giver) continue;
+      for (int to = 0; to < n; ++to) {
+        std::vector<int> moved = units[to];
+        moved[r] += 1;
+        recv_at[r][to] = static_cast<int>(jobs.size());
+        jobs.push_back(
+            {static_cast<size_t>(to), ShareFromUnits(problem, moved)});
+      }
+    }
+    std::vector<double> costs;
+    VDB_RETURN_NOT_OK(EvaluateCosts(cost, jobs, &costs, pool));
+
+    // Deterministic reduction in the serial (r, from, to) candidate order:
+    // strict '<' keeps the earliest best move on ties.
     double best_delta = -1e-9;  // require strict improvement
     int best_r = -1;
     int best_from = -1;
     int best_to = -1;
     for (int r = 0; r < m; ++r) {
       for (int from = 0; from < n; ++from) {
-        if (units[from][r] <= 1) continue;
+        if (give_at[r][from] < 0) continue;
         for (int to = 0; to < n; ++to) {
           if (to == from) continue;
           // Cost delta of moving one unit of resource r: only the two
           // touched workloads change.
-          VDB_ASSIGN_OR_RETURN(
-              double from_before,
-              cost->Cost(from, ShareFromUnits(problem, units[from])));
-          VDB_ASSIGN_OR_RETURN(
-              double to_before,
-              cost->Cost(to, ShareFromUnits(problem, units[to])));
-          std::vector<int> from_units = units[from];
-          std::vector<int> to_units = units[to];
-          from_units[r] -= 1;
-          to_units[r] += 1;
-          VDB_ASSIGN_OR_RETURN(
-              double from_after,
-              cost->Cost(from, ShareFromUnits(problem, from_units)));
-          VDB_ASSIGN_OR_RETURN(
-              double to_after,
-              cost->Cost(to, ShareFromUnits(problem, to_units)));
           const double delta =
-              (from_after + to_after) - (from_before + to_before);
+              (costs[give_at[r][from]] + costs[recv_at[r][to]]) -
+              (costs[from] + costs[to]);
           if (delta < best_delta) {
             best_delta = delta;
             best_r = r;
@@ -177,13 +320,20 @@ Result<DesignSolution> SolveGreedy(
     units[best_from][best_r] -= 1;
     units[best_to][best_r] += 1;
     current += best_delta;
+    ++iterations;
   }
   VDB_ASSIGN_OR_RETURN(current, TotalOf(problem, cost, units));
-  return SolutionFromUnits(problem, units, current, "greedy");
+  DesignSolution solution = SolutionFromUnits(problem, units, current, "greedy");
+  solution.iterations = iterations;
+  return solution;
 }
 
+// ---------------------------------------------------------------------------
+// Dynamic programming
+
 Result<DesignSolution> SolveDp(const VirtualizationDesignProblem& problem,
-                               WorkloadCostModel* cost) {
+                               WorkloadCostModel* cost,
+                               util::ThreadPool* pool) {
   const int n = static_cast<int>(problem.NumWorkloads());
   const int m = static_cast<int>(problem.controlled.size());
   if (m > 2) {
@@ -192,6 +342,33 @@ Result<DesignSolution> SolveDp(const VirtualizationDesignProblem& problem,
         "(state space grows as steps^m); use greedy for three");
   }
   const int steps = problem.grid_steps;
+
+  if (pool != nullptr) {
+    // Parallel leaf pre-evaluation: the recurrence only ever evaluates
+    // Cost(i, a) for per-resource unit counts a in [1, steps - n + 1]
+    // (each of the other n-1 workloads keeps at least one unit), and it
+    // reaches every such cell. Warming the memo cache with exactly that
+    // set in parallel leaves the serial recursion below cache-hit only,
+    // so the result — and the evaluation count — match the serial run.
+    const int max_units = steps - n + 1;
+    std::vector<CostJob> jobs;
+    for (int i = 0; i < n; ++i) {
+      for (int a0 = 1; a0 <= max_units; ++a0) {
+        if (m == 2) {
+          for (int a1 = 1; a1 <= max_units; ++a1) {
+            jobs.push_back({static_cast<size_t>(i),
+                            ShareFromUnits(problem, {a0, a1})});
+          }
+        } else {
+          jobs.push_back(
+              {static_cast<size_t>(i), ShareFromUnits(problem, {a0})});
+        }
+      }
+    }
+    std::vector<double> warm;
+    VDB_RETURN_NOT_OK(EvaluateCosts(cost, jobs, &warm, pool));
+  }
+
   // State: (workload i, remaining units u0, u1). For m == 1, u1 is fixed 0.
   const int dim1 = steps + 1;
   const int dim2 = m == 2 ? steps + 1 : 1;
@@ -289,25 +466,38 @@ sim::ResourceShare ShareFromUnits(
 
 Result<DesignSolution> SolveDesignProblem(
     const VirtualizationDesignProblem& problem, WorkloadCostModel* cost,
-    SearchAlgorithm algorithm) {
+    SearchAlgorithm algorithm, const SearchOptions& options) {
   VDB_RETURN_NOT_OK(problem.Validate());
+  const int num_threads = options.num_threads == 0
+                              ? util::ThreadPool::HardwareConcurrency()
+                              : options.num_threads;
+  std::unique_ptr<util::ThreadPool> pool;
+  if (num_threads > 1) {
+    pool = std::make_unique<util::ThreadPool>(num_threads);
+  }
   const uint64_t evals_before = cost->evaluations();
   Result<DesignSolution> solution = Status::Internal("unreachable");
   switch (algorithm) {
     case SearchAlgorithm::kExhaustive:
-      solution = SolveExhaustive(problem, cost);
+      solution = SolveExhaustive(problem, cost, pool.get());
       break;
     case SearchAlgorithm::kGreedy:
-      solution = SolveGreedy(problem, cost);
+      solution = SolveGreedy(problem, cost, pool.get());
       break;
     case SearchAlgorithm::kDynamicProgramming:
-      solution = SolveDp(problem, cost);
+      solution = SolveDp(problem, cost, pool.get());
       break;
   }
   if (solution.ok()) {
     solution->evaluations = cost->evaluations() - evals_before;
   }
   return solution;
+}
+
+Result<DesignSolution> SolveDesignProblem(
+    const VirtualizationDesignProblem& problem, WorkloadCostModel* cost,
+    SearchAlgorithm algorithm) {
+  return SolveDesignProblem(problem, cost, algorithm, SearchOptions{});
 }
 
 }  // namespace vdb::core

@@ -21,6 +21,17 @@ enum class SearchAlgorithm {
 
 const char* SearchAlgorithmName(SearchAlgorithm algorithm);
 
+/// Tuning knobs for the search layer.
+struct SearchOptions {
+  /// Worker threads used to fan out Cost(W, R) evaluations. 1 (the
+  /// default) runs fully serially; 0 means one thread per hardware
+  /// thread. Any value returns bit-identical allocations and
+  /// total_cost_ms — parallelism only changes wall-clock time (the
+  /// candidate order and tie-breaking of the serial search are preserved
+  /// by a deterministic reduction).
+  int num_threads = 1;
+};
+
 /// Builds the full share vector for workload `index` given its units of
 /// each controlled resource; uncontrolled resources get an equal split.
 sim::ResourceShare ShareFromUnits(const VirtualizationDesignProblem& problem,
@@ -32,11 +43,22 @@ sim::ResourceShare ShareFromUnits(const VirtualizationDesignProblem& problem,
 /// `grid_steps`.
 ///
 /// - kExhaustive enumerates all splits (fails with InvalidArgument if the
-///   space exceeds ~2M designs).
+///   space exceeds ~2M designs). Parallelized by partitioning the
+///   enumeration over the first workload's unit choices.
 /// - kGreedy starts from the equal split and repeatedly applies the best
 ///   single-unit transfer between two workloads until no move improves.
+///   Each iteration costs O(n·m) cost-model calls: the per-workload
+///   baseline costs and the give/receive costs per (resource, workload)
+///   are computed once (in parallel) and every (r, from, to) move delta
+///   is derived arithmetically.
 /// - kDynamicProgramming exploits the separability of the objective and is
-///   exact for one or two controlled resources.
+///   exact for one or two controlled resources. Parallelized by a leaf
+///   pre-evaluation pass that warms the cost-model cache with every
+///   (workload, allocation) cell the DP recurrence can touch.
+Result<DesignSolution> SolveDesignProblem(
+    const VirtualizationDesignProblem& problem, WorkloadCostModel* cost,
+    SearchAlgorithm algorithm, const SearchOptions& options);
+
 Result<DesignSolution> SolveDesignProblem(
     const VirtualizationDesignProblem& problem, WorkloadCostModel* cost,
     SearchAlgorithm algorithm);

@@ -20,14 +20,29 @@ Status Database::ApplyVmConfig(const sim::VirtualMachine& vm) {
 
 Status Database::DropCaches() { return pool_->EvictAll(); }
 
-Result<optimizer::PhysicalNodePtr> Database::Prepare(
-    const std::string& sql) {
+Result<plan::LogicalNodePtr> Database::PlanLogical(
+    const std::string& sql) const {
   VDB_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStatement> stmt,
                        sql::ParseSelect(sql));
   plan::Planner planner(catalog_.get());
   VDB_ASSIGN_OR_RETURN(plan::LogicalNodePtr logical, planner.Plan(*stmt));
-  logical = plan::PushDownPredicates(std::move(logical));
+  return plan::PushDownPredicates(std::move(logical));
+}
+
+Result<optimizer::PhysicalNodePtr> Database::Prepare(
+    const std::string& sql) {
+  VDB_ASSIGN_OR_RETURN(plan::LogicalNodePtr logical, PlanLogical(sql));
   return optimizer_.Optimize(*logical);
+}
+
+Result<optimizer::PhysicalNodePtr> Database::Prepare(
+    const std::string& sql,
+    const optimizer::OptimizerParams& params) const {
+  VDB_ASSIGN_OR_RETURN(plan::LogicalNodePtr logical, PlanLogical(sql));
+  // A private optimizer keeps what-if costing free of side effects on this
+  // database and makes concurrent Prepare calls race-free.
+  optimizer::Optimizer whatif(params);
+  return whatif.Optimize(*logical);
 }
 
 Result<QueryResult> Database::Execute(const std::string& sql,

@@ -69,6 +69,16 @@ class Database {
   /// plan, whose total_cost_ms is the estimated execution time.
   Result<optimizer::PhysicalNodePtr> Prepare(const std::string& sql);
 
+  /// Side-effect-free what-if preparation: optimizes `sql` under `params`
+  /// without touching the database's own optimizer state. Safe to call
+  /// concurrently from multiple threads against the same Database (each
+  /// call plans with a private optimizer over the read-only catalog), so
+  /// the design-search layer can evaluate many candidate allocations in
+  /// parallel.
+  Result<optimizer::PhysicalNodePtr> Prepare(
+      const std::string& sql,
+      const optimizer::OptimizerParams& params) const;
+
   /// Parses, optimizes, and executes `sql` inside `vm`, charging simulated
   /// time to the VM's resources.
   Result<QueryResult> Execute(const std::string& sql,
@@ -79,6 +89,10 @@ class Database {
                                   const sim::VirtualMachine& vm);
 
  private:
+  /// Shared front half of Prepare: parse, bind, and rewrite `sql` into a
+  /// logical plan. Read-only with respect to the database.
+  Result<plan::LogicalNodePtr> PlanLogical(const std::string& sql) const;
+
   std::unique_ptr<storage::DiskManager> disk_;
   std::unique_ptr<storage::BufferPool> pool_;
   std::unique_ptr<catalog::Catalog> catalog_;

@@ -1,0 +1,67 @@
+#ifndef VDB_UTIL_THREAD_POOL_H_
+#define VDB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace vdb::util {
+
+/// A fixed-size worker pool with a futures-style Submit API.
+///
+/// Tasks run in FIFO submission order (each on whichever worker frees up
+/// first). The pool joins all workers on destruction after draining the
+/// queue, so submitted tasks always complete unless the process exits.
+///
+/// Thread-safe: Submit may be called concurrently from any thread,
+/// including from inside a task (tasks must not *block* on futures of
+/// tasks submitted to the same pool, or the pool can deadlock when all
+/// workers wait — the search layer only ever blocks from the caller's
+/// thread).
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; values < 1 are clamped to 1.
+  /// Use HardwareConcurrency() to size the pool to the machine.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Number of hardware threads, with a sane fallback of 1.
+  static int HardwareConcurrency();
+
+  /// Schedules `fn` and returns a future for its result. Exceptions
+  /// thrown by `fn` propagate through the future.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vdb::util
+
+#endif  // VDB_UTIL_THREAD_POOL_H_

@@ -1,4 +1,5 @@
 #include <cstdio>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
@@ -108,6 +109,54 @@ TEST(CalibrationStoreTest, SaveLoadRoundTrip) {
   EXPECT_DOUBLE_EQ(back->random_page_cost, 7.5);
   EXPECT_EQ(back->effective_cache_size_pages, 4321u);
   EXPECT_EQ(back->work_mem_bytes, 1234567u);
+  std::remove(path.c_str());
+}
+
+TEST(CalibrationStoreTest, LoadRejectsTruncatedRecord) {
+  // Regression: LoadFromFile used to stop silently at the first partial
+  // record, yielding a truncated store that skewed interpolation.
+  const std::string path = ::testing::TempDir() + "/calib_truncated.txt";
+  {
+    CalibrationStore store;
+    store.Put(ResourceShare(0.25, 0.5, 0.75), ParamsWith(1, 4, 0.01));
+    ASSERT_TRUE(store.SaveToFile(path).ok());
+    std::ofstream out(path, std::ios::app);
+    out << "0.5 0.5 0.5 1.0 2.0\n";  // record cut off mid-way
+  }
+  auto loaded = CalibrationStore::LoadFromFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError()) << loaded.status();
+  EXPECT_NE(loaded.status().ToString().find("line 2"), std::string::npos)
+      << loaded.status();
+  std::remove(path.c_str());
+}
+
+TEST(CalibrationStoreTest, LoadRejectsTrailingGarbage) {
+  const std::string path = ::testing::TempDir() + "/calib_garbage.txt";
+  {
+    CalibrationStore store;
+    store.Put(ResourceShare(0.25, 0.5, 0.75), ParamsWith(1, 4, 0.01));
+    ASSERT_TRUE(store.SaveToFile(path).ok());
+    std::ofstream out(path, std::ios::app);
+    out << "0.5 0.5 0.5 1 2 3 4 5 100 200 EXTRA\n";
+  }
+  auto loaded = CalibrationStore::LoadFromFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError()) << loaded.status();
+  std::remove(path.c_str());
+}
+
+TEST(CalibrationStoreTest, LoadToleratesBlankLines) {
+  const std::string path = ::testing::TempDir() + "/calib_blank.txt";
+  {
+    std::ofstream out(path);
+    out << "0.25 0.5 0.75 1 4 0.01 0.005 0.00025 8192 8388608\n";
+    out << "\n  \t\n";
+    out << "0.75 0.5 0.25 2 8 0.03 0.005 0.00025 8192 8388608\n";
+  }
+  auto loaded = CalibrationStore::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), 2u);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,330 @@
+// Tests for the thread-safe what-if costing and the parallel design
+// search: serial and parallel searches must return bit-identical
+// solutions, costing must not mutate database state, the memo cache must
+// be concurrency-safe and collision-free at fine grids, and greedy must
+// spend only O(n·m) cost-model calls per improvement round.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "calib/grid.h"
+#include "calib/store.h"
+#include "core/advisor.h"
+#include "core/cost_model.h"
+#include "core/problem.h"
+#include "core/search.h"
+#include "core/workload.h"
+#include "datagen/calibration_db.h"
+#include "datagen/synthetic.h"
+#include "exec/database.h"
+#include "sim/machine.h"
+
+namespace vdb::core {
+namespace {
+
+using sim::ResourceKind;
+using sim::ResourceShare;
+
+/// One database with an I/O-heavy and a CPU-heavy table plus the
+/// calibration tables, and a calibration store over a CPU x IO grid.
+/// Smaller than the core_test fixture: these tests solve many design
+/// problems, so keep each Cost evaluation cheap.
+class ParallelSearchTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kIoQuery =
+      "select count(*) from wide_table";
+  static constexpr const char* kCpuQuery =
+      "select count(*) from text_table where s like '%foxes%' and t like "
+      "'%haggle%'";
+
+  ParallelSearchTest() {
+    machine_ = sim::MachineSpec::PaperTestbed();
+    datagen::CalibrationDbConfig cal_config;
+    cal_config.base_rows = 1000;
+    VDB_CHECK_OK(datagen::GenerateCalibrationDb(db_.catalog(), cal_config));
+
+    using datagen::ColumnSpec;
+    using datagen::Distribution;
+    ColumnSpec key;
+    key.name = "k";
+    key.distribution = Distribution::kSequential;
+    ColumnSpec pad;
+    pad.name = "pad";
+    pad.type = catalog::TypeId::kString;
+    pad.distribution = Distribution::kRandomText;
+    pad.string_length = 1500;
+    VDB_CHECK_OK(datagen::GenerateTable(db_.catalog(), "wide_table",
+                                        {key, pad}, 1500, 21));
+    ColumnSpec s;
+    s.name = "s";
+    s.type = catalog::TypeId::kString;
+    s.distribution = Distribution::kRandomText;
+    s.string_length = 30;
+    ColumnSpec t = s;
+    t.name = "t";
+    VDB_CHECK_OK(datagen::GenerateTable(db_.catalog(), "text_table",
+                                        {key, s, t}, 10000, 22));
+    VDB_CHECK_OK(db_.catalog()->AnalyzeAll());
+
+    calib::CalibrationGridSpec spec;
+    spec.cpu_shares = {0.15, 0.5, 0.85};
+    spec.memory_shares = {0.5};
+    spec.io_shares = {0.15, 0.5, 0.85};
+    auto store = calib::CalibrateGrid(&db_, machine_,
+                                      sim::HypervisorModel::XenLike(), spec);
+    VDB_CHECK(store.ok()) << store.status();
+    store_ = std::move(*store);
+  }
+
+  VirtualizationDesignProblem MakeProblem(
+      int num_workloads, std::vector<ResourceKind> controlled,
+      int grid_steps) {
+    VirtualizationDesignProblem problem;
+    problem.machine = machine_;
+    for (int i = 0; i < num_workloads; ++i) {
+      problem.workloads.push_back(Workload::Repeated(
+          i % 2 == 0 ? "io-bound" : "cpu-bound",
+          i % 2 == 0 ? kIoQuery : kCpuQuery, 1 + i % 2));
+      problem.databases.push_back(&db_);
+    }
+    problem.controlled = std::move(controlled);
+    problem.grid_steps = grid_steps;
+    return problem;
+  }
+
+  sim::MachineSpec machine_;
+  exec::Database db_;
+  calib::CalibrationStore store_;
+};
+
+void ExpectIdenticalSolutions(const DesignSolution& serial,
+                              const DesignSolution& parallel) {
+  EXPECT_EQ(serial.total_cost_ms, parallel.total_cost_ms);
+  ASSERT_EQ(serial.allocations.size(), parallel.allocations.size());
+  for (size_t i = 0; i < serial.allocations.size(); ++i) {
+    EXPECT_EQ(serial.allocations[i].cpu, parallel.allocations[i].cpu) << i;
+    EXPECT_EQ(serial.allocations[i].memory, parallel.allocations[i].memory)
+        << i;
+    EXPECT_EQ(serial.allocations[i].io, parallel.allocations[i].io) << i;
+  }
+}
+
+TEST_F(ParallelSearchTest, ParallelMatchesSerialForAllAlgorithms) {
+  for (SearchAlgorithm algorithm :
+       {SearchAlgorithm::kExhaustive, SearchAlgorithm::kGreedy,
+        SearchAlgorithm::kDynamicProgramming}) {
+    VirtualizationDesignProblem problem =
+        MakeProblem(2, {ResourceKind::kCpu}, 12);
+    WorkloadCostModel serial_cost(&problem, &store_);
+    auto serial = SolveDesignProblem(problem, &serial_cost, algorithm,
+                                     SearchOptions{1});
+    ASSERT_TRUE(serial.ok())
+        << SearchAlgorithmName(algorithm) << ": " << serial.status();
+    WorkloadCostModel parallel_cost(&problem, &store_);
+    auto parallel = SolveDesignProblem(problem, &parallel_cost, algorithm,
+                                       SearchOptions{4});
+    ASSERT_TRUE(parallel.ok())
+        << SearchAlgorithmName(algorithm) << ": " << parallel.status();
+    ExpectIdenticalSolutions(*serial, *parallel);
+  }
+}
+
+TEST_F(ParallelSearchTest, ParallelMatchesSerialTwoResourcesThreeWorkloads) {
+  for (SearchAlgorithm algorithm :
+       {SearchAlgorithm::kExhaustive, SearchAlgorithm::kGreedy,
+        SearchAlgorithm::kDynamicProgramming}) {
+    VirtualizationDesignProblem problem =
+        MakeProblem(3, {ResourceKind::kCpu, ResourceKind::kIo}, 7);
+    WorkloadCostModel serial_cost(&problem, &store_);
+    auto serial = SolveDesignProblem(problem, &serial_cost, algorithm,
+                                     SearchOptions{1});
+    ASSERT_TRUE(serial.ok())
+        << SearchAlgorithmName(algorithm) << ": " << serial.status();
+    WorkloadCostModel parallel_cost(&problem, &store_);
+    auto parallel = SolveDesignProblem(problem, &parallel_cost, algorithm,
+                                       SearchOptions{8});
+    ASSERT_TRUE(parallel.ok())
+        << SearchAlgorithmName(algorithm) << ": " << parallel.status();
+    ExpectIdenticalSolutions(*serial, *parallel);
+  }
+}
+
+TEST_F(ParallelSearchTest, ZeroThreadsMeansHardwareConcurrency) {
+  VirtualizationDesignProblem problem =
+      MakeProblem(2, {ResourceKind::kCpu}, 10);
+  WorkloadCostModel serial_cost(&problem, &store_);
+  auto serial = SolveDesignProblem(problem, &serial_cost,
+                                   SearchAlgorithm::kGreedy, SearchOptions{1});
+  ASSERT_TRUE(serial.ok());
+  WorkloadCostModel auto_cost(&problem, &store_);
+  auto automatic = SolveDesignProblem(
+      problem, &auto_cost, SearchAlgorithm::kGreedy, SearchOptions{0});
+  ASSERT_TRUE(automatic.ok());
+  ExpectIdenticalSolutions(*serial, *automatic);
+}
+
+TEST_F(ParallelSearchTest, WhatIfCostingLeavesOptimizerParamsUntouched) {
+  // Regression: WorkloadCostModel::Cost used to leave the database's
+  // optimizer parameterized with the last-evaluated allocation, so any
+  // later Prepare outside the cost model silently planned under stale
+  // what-if params.
+  VirtualizationDesignProblem problem =
+      MakeProblem(2, {ResourceKind::kCpu}, 10);
+  const optimizer::OptimizerParams before = db_.optimizer()->params();
+  auto baseline = db_.Prepare(kCpuQuery);
+  ASSERT_TRUE(baseline.ok());
+  const double baseline_cost = (*baseline)->total_cost_ms;
+
+  WorkloadCostModel cost(&problem, &store_);
+  ASSERT_TRUE(cost.Cost(1, ResourceShare(0.2, 0.5, 0.5)).ok());
+  ASSERT_TRUE(cost
+                  .TotalCost({ResourceShare(0.3, 0.5, 0.5),
+                              ResourceShare(0.7, 0.5, 0.5)})
+                  .ok());
+
+  const optimizer::OptimizerParams after = db_.optimizer()->params();
+  EXPECT_EQ(before.CalibratedVector(), after.CalibratedVector());
+  EXPECT_EQ(before.effective_cache_size_pages,
+            after.effective_cache_size_pages);
+  EXPECT_EQ(before.work_mem_bytes, after.work_mem_bytes);
+  // And plans prepared afterwards are costed exactly as before.
+  auto replay = db_.Prepare(kCpuQuery);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ((*replay)->total_cost_ms, baseline_cost);
+}
+
+TEST_F(ParallelSearchTest, CacheKeysDoNotCollideOnFineGrids) {
+  // Regression: the memo key used to quantize shares at 1/1000, so
+  // allocations closer than 0.0005 collided and returned the wrong
+  // cached cost. 1e-9 resolution separates any realistic grid.
+  VirtualizationDesignProblem problem =
+      MakeProblem(2, {ResourceKind::kCpu}, 10);
+  WorkloadCostModel cost(&problem, &store_);
+  ASSERT_TRUE(cost.Cost(1, ResourceShare(0.5000, 0.5, 0.5)).ok());
+  ASSERT_TRUE(cost.Cost(1, ResourceShare(0.50042, 0.5, 0.5)).ok());
+  EXPECT_EQ(cost.evaluations(), 2u);
+  EXPECT_EQ(cost.cache_hits(), 0u);
+  // The same share still hits.
+  ASSERT_TRUE(cost.Cost(1, ResourceShare(0.50042, 0.5, 0.5)).ok());
+  EXPECT_EQ(cost.evaluations(), 2u);
+  EXPECT_EQ(cost.cache_hits(), 1u);
+}
+
+TEST_F(ParallelSearchTest, ConcurrentCostCallsAgreeAndCacheStaysConsistent) {
+  VirtualizationDesignProblem problem =
+      MakeProblem(2, {ResourceKind::kCpu}, 10);
+  WorkloadCostModel cost(&problem, &store_);
+  // Reference values, computed serially.
+  std::vector<double> expected;
+  for (int s = 1; s <= 9; ++s) {
+    auto c = cost.Cost(s % 2, ResourceShare(s / 10.0, 0.5, 0.5));
+    ASSERT_TRUE(c.ok());
+    expected.push_back(*c);
+  }
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cost, &expected, &mismatches, t]() {
+      for (int round = 0; round < kRounds; ++round) {
+        const int s = 1 + (t + round) % 9;
+        auto c = cost.Cost(s % 2, ResourceShare(s / 10.0, 0.5, 0.5));
+        if (!c.ok() || *c != expected[s - 1]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // Every concurrent call after the serial warm-up was a cache hit.
+  EXPECT_EQ(cost.cache_hits(), kThreads * kRounds);
+  EXPECT_EQ(cost.evaluations(), 9u);
+}
+
+TEST_F(ParallelSearchTest, GreedyIterationCostsLinearCalls) {
+  // Regression: greedy used to recompute the per-workload baseline costs
+  // inside the innermost move loop — O(n²·m) Cost calls per iteration.
+  // Now an iteration batches n baselines plus at most 2·n·m give/receive
+  // costs, and the bracketing TotalOf passes add 2·n calls overall.
+  VirtualizationDesignProblem problem =
+      MakeProblem(3, {ResourceKind::kCpu, ResourceKind::kIo}, 9);
+  const uint64_t n = problem.NumWorkloads();
+  const uint64_t m = problem.controlled.size();
+  WorkloadCostModel cost(&problem, &store_);
+  auto solution = SolveDesignProblem(problem, &cost,
+                                     SearchAlgorithm::kGreedy);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  ASSERT_GT(solution->iterations, 0u);  // equal split is not optimal here
+  const uint64_t per_iteration = n + 2 * n * m;
+  const uint64_t bound = (solution->iterations + 1) * per_iteration + 2 * n;
+  EXPECT_LE(cost.calls(), bound)
+      << "greedy issued more than O(n·m) cost-model calls per iteration ("
+      << cost.calls() << " calls over " << solution->iterations
+      << " iterations)";
+}
+
+TEST_F(ParallelSearchTest, LargerExhaustiveInstanceStaysDeterministic) {
+  // A wider partition fan-out (13 partitions over 4+ workers) on a
+  // three-workload instance; wall-clock speedup itself is asserted by
+  // bench_search_algorithms, where each evaluation is expensive enough
+  // to dominate the pool overhead.
+  VirtualizationDesignProblem problem =
+      MakeProblem(3, {ResourceKind::kCpu}, 14);
+  WorkloadCostModel serial_cost(&problem, &store_);
+  auto serial = SolveDesignProblem(problem, &serial_cost,
+                                   SearchAlgorithm::kExhaustive,
+                                   SearchOptions{1});
+  ASSERT_TRUE(serial.ok());
+  WorkloadCostModel parallel_cost(&problem, &store_);
+  auto parallel = SolveDesignProblem(problem, &parallel_cost,
+                                     SearchAlgorithm::kExhaustive,
+                                     SearchOptions{4});
+  ASSERT_TRUE(parallel.ok());
+  ExpectIdenticalSolutions(*serial, *parallel);
+  // Both explored the same design space: the parallel run evaluates the
+  // same unique keys (plus possible duplicate concurrent misses).
+  EXPECT_GE(parallel_cost.evaluations(), serial_cost.evaluations());
+}
+
+TEST_F(ParallelSearchTest, SideEffectFreePrepareIsConcurrencySafe) {
+  // Many threads running what-if Prepare with different params against
+  // one shared database must neither crash (TSan-clean) nor interfere:
+  // every thread sees costs consistent with its own params.
+  auto p_low = store_.Lookup(ResourceShare(0.15, 0.5, 0.5));
+  auto p_high = store_.Lookup(ResourceShare(0.85, 0.5, 0.5));
+  ASSERT_TRUE(p_low.ok());
+  ASSERT_TRUE(p_high.ok());
+  auto low_ref = db_.Prepare(kCpuQuery, *p_low);
+  auto high_ref = db_.Prepare(kCpuQuery, *p_high);
+  ASSERT_TRUE(low_ref.ok());
+  ASSERT_TRUE(high_ref.ok());
+  const double low_cost = (*low_ref)->total_cost_ms;
+  const double high_cost = (*high_ref)->total_cost_ms;
+  ASSERT_NE(low_cost, high_cost);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    const bool low = t % 2 == 0;
+    threads.emplace_back([&, low]() {
+      const optimizer::OptimizerParams& params = low ? *p_low : *p_high;
+      const double expected = low ? low_cost : high_cost;
+      for (int round = 0; round < 20; ++round) {
+        auto plan = db_.Prepare(kCpuQuery, params);
+        if (!plan.ok() || (*plan)->total_cost_ms != expected) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace vdb::core

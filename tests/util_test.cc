@@ -1,5 +1,12 @@
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <future>
+#include <mutex>
+#include <set>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -10,6 +17,7 @@
 #include "util/result.h"
 #include "util/status.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace vdb {
 namespace {
@@ -316,6 +324,85 @@ TEST(LinalgTest, MatrixVectorProducts) {
   Matrix ata = a.TransposeTimes(a);
   EXPECT_DOUBLE_EQ(ata.At(0, 0), 17.0);
   EXPECT_DOUBLE_EQ(ata.At(2, 2), 45.0);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValuesThroughFutures) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  util::ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  EXPECT_EQ(pool.Submit([]() { return 7; }).get(), 7);
+  EXPECT_GE(util::ThreadPool::HardwareConcurrency(), 1);
+}
+
+TEST(ThreadPoolTest, RunsTasksOnMultipleThreads) {
+  util::ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  std::atomic<int> started{0};
+  std::vector<std::future<void>> futures;
+  // Each task waits until all four workers hold a task, proving four
+  // distinct threads run concurrently.
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(pool.Submit([&]() {
+      started.fetch_add(1);
+      while (started.load() < 4) std::this_thread::yield();
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(std::this_thread::get_id());
+    }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsThroughFutures) {
+  util::ThreadPool pool(2);
+  auto future =
+      pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The worker survives the exception and keeps serving tasks.
+  EXPECT_EQ(pool.Submit([]() { return 3; }).get(), 3);
+}
+
+TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
+  std::atomic<int> completed{0};
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&completed]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        completed.fetch_add(1);
+      });
+    }
+  }  // destructor joins after the queue drains
+  EXPECT_EQ(completed.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitIsSafeFromManyThreads) {
+  util::ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&pool, &sum]() {
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < 50; ++i) {
+        futures.push_back(pool.Submit([&sum]() { sum.fetch_add(1); }));
+      }
+      for (auto& future : futures) future.get();
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  EXPECT_EQ(sum.load(), 200);
 }
 
 }  // namespace
