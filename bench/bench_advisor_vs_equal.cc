@@ -15,8 +15,12 @@ namespace vdb {
 namespace {
 
 int Run() {
+  bench::InitMetrics();
+  bench::BenchReport report("advisor_vs_equal");
+  bench::Stopwatch total_watch;
   const sim::MachineSpec machine = bench::ExperimentMachine();
 
+  bench::Stopwatch calibrate_watch;
   auto calibration_db = bench::MakeCalibrationDatabase();
   calib::CalibrationGridSpec spec;
   spec.cpu_shares = {0.2, 0.4, 0.6, 0.8};
@@ -27,6 +31,7 @@ int Run() {
                            sim::HypervisorModel::XenLike(), spec);
   if (!store.ok()) return 1;
   calibration_db.reset();
+  report.AddTiming("calibrate_grid_s", calibrate_watch.Seconds());
 
   auto db1 = bench::MakeTpchDatabase();
   auto db2 = bench::MakeTpchDatabase();
@@ -56,6 +61,7 @@ int Run() {
   core::Advisor::MeasureOptions options;
   options.cold_per_statement = true;
   bool all_ok = true;
+  int mix_index = 0;
   for (const Mix& mix : mixes) {
     core::VirtualizationDesignProblem problem;
     problem.machine = machine;
@@ -92,6 +98,11 @@ int Run() {
     std::printf("%-22s %9.1fs %9.1fs %9.1fs %11.1f%%\n", mix.name,
                 equal_outcome->total_seconds,
                 advisor_outcome->total_seconds, oracle, 100.0 * gain);
+    const std::string mix_key = "mix" + std::to_string(mix_index++);
+    report.AddValue(mix_key + "/equal_s", equal_outcome->total_seconds);
+    report.AddValue(mix_key + "/advisor_s", advisor_outcome->total_seconds);
+    report.AddValue(mix_key + "/oracle_s", oracle);
+    report.AddValue(mix_key + "/advisor_gain", gain);
     // The advisor must never measurably lose to equal split, and must be
     // within 10% of the measured oracle.
     if (advisor_outcome->total_seconds >
@@ -105,7 +116,9 @@ int Run() {
       "advisor never loses to equal split and stays within 10%% of the "
       "measured oracle: %s\n",
       all_ok ? "YES" : "NO");
-  return all_ok ? 0 : 1;
+  report.AddValue("shape_holds", all_ok ? 1 : 0);
+  report.AddTiming("total_s", total_watch.Seconds());
+  return report.Finish(all_ok ? 0 : 1);
 }
 
 }  // namespace

@@ -18,6 +18,9 @@ namespace vdb {
 namespace {
 
 int Run() {
+  bench::InitMetrics();
+  bench::BenchReport report("calibration_grid");
+  bench::Stopwatch total_watch;
   const sim::MachineSpec machine = bench::ExperimentMachine();
   datagen::CalibrationDbConfig config;
   config.base_rows = 12000;  // memory axis not exercised here
@@ -41,6 +44,7 @@ int Run() {
       sim::ResourceShare(0.7, 0.5, 0.4), sim::ResourceShare(0.25, 0.5, 0.75)};
 
   // Ground truth at the held-out points.
+  bench::Stopwatch truth_watch;
   calib::Calibrator calibrator(calibration_db.get());
   std::vector<optimizer::OptimizerParams> truth;
   for (const sim::ResourceShare& share : held_out) {
@@ -50,6 +54,7 @@ int Run() {
     if (!result.ok()) return 1;
     truth.push_back(result->params);
   }
+  report.AddTiming("ground_truth_calibration_s", truth_watch.Seconds());
 
   auto tpch = bench::MakeTpchDatabase();
   const std::string q3 = *datagen::TpchQuery(3);
@@ -72,9 +77,14 @@ int Run() {
     spec.cpu_shares = density.axis;
     spec.memory_shares = {0.5};
     spec.io_shares = density.axis;
+    bench::Stopwatch grid_watch;
     auto store = calib::CalibrateGrid(calibration_db.get(), machine,
                                       sim::HypervisorModel::XenLike(), spec);
     if (!store.ok()) return 1;
+    const std::string grid_key =
+        "grid_" + std::to_string(density.axis.size()) + "x" +
+        std::to_string(density.axis.size());
+    report.AddTiming(grid_key + "/calibrate_s", grid_watch.Seconds());
 
     double max_param_error = 0.0;
     double max_cost_error = 0.0;
@@ -98,6 +108,8 @@ int Run() {
     std::printf("%-15s %8zu %21.1f%% %21.1f%%\n", density.name,
                 store->size(), 100.0 * max_param_error,
                 100.0 * max_cost_error);
+    report.AddValue(grid_key + "/max_param_error", max_param_error);
+    report.AddValue(grid_key + "/max_cost_error", max_cost_error);
     if (density.axis.size() == 3) coarse_cost_error = max_cost_error;
     if (density.axis.size() == 5) fine_cost_error = max_cost_error;
   }
@@ -112,7 +124,9 @@ int Run() {
   const bool ok = fine_cost_error <= coarse_cost_error + 1e-9 &&
                   fine_cost_error < 0.25;
   std::printf("grid-densification shape holds: %s\n", ok ? "YES" : "NO");
-  return ok ? 0 : 1;
+  report.AddValue("shape_holds", ok ? 1 : 0);
+  report.AddTiming("total_s", total_watch.Seconds());
+  return report.Finish(ok ? 0 : 1);
 }
 
 }  // namespace

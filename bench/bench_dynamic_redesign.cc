@@ -14,8 +14,12 @@ namespace vdb {
 namespace {
 
 int Run() {
+  bench::InitMetrics();
+  bench::BenchReport report("dynamic_redesign");
+  bench::Stopwatch total_watch;
   const sim::MachineSpec machine = bench::ExperimentMachine();
 
+  bench::Stopwatch calibrate_watch;
   auto calibration_db = bench::MakeCalibrationDatabase();
   calib::CalibrationGridSpec spec;
   spec.cpu_shares = {0.25, 0.5, 0.75};
@@ -26,6 +30,7 @@ int Run() {
                            sim::HypervisorModel::XenLike(), spec);
   if (!store.ok()) return 1;
   calibration_db.reset();
+  report.AddTiming("calibrate_grid_s", calibrate_watch.Seconds());
 
   auto db1 = bench::MakeTpchDatabase();
   auto db2 = bench::MakeTpchDatabase();
@@ -48,12 +53,14 @@ int Run() {
       {wl("cpu-a", 13, 2), wl("cpu-b", 13, 2)},
   };
 
+  bench::Stopwatch compare_watch;
   auto comparison = core::CompareStaticVsDynamic(base, phases, *store);
   if (!comparison.ok()) {
     std::fprintf(stderr, "comparison failed: %s\n",
                  comparison.status().ToString().c_str());
     return 1;
   }
+  report.AddTiming("compare_s", compare_watch.Seconds());
 
   bench::PrintTitle(
       "Static deployment-time design vs dynamic per-phase re-design");
@@ -82,7 +89,12 @@ int Run() {
           comparison->static_total_seconds * 1.001 &&
       gain > 0.02;
   std::printf("dynamic-redesign shape holds: %s\n", ok ? "YES" : "NO");
-  return ok ? 0 : 1;
+  report.AddValue("static_total_s", comparison->static_total_seconds);
+  report.AddValue("dynamic_total_s", comparison->dynamic_total_seconds);
+  report.AddValue("dynamic_gain", gain);
+  report.AddValue("shape_holds", ok ? 1 : 0);
+  report.AddTiming("total_s", total_watch.Seconds());
+  return report.Finish(ok ? 0 : 1);
 }
 
 }  // namespace

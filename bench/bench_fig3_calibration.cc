@@ -18,6 +18,9 @@ namespace vdb {
 namespace {
 
 int Run() {
+  bench::InitMetrics();
+  bench::BenchReport report("fig3_calibration");
+  bench::Stopwatch total_watch;
   auto db = bench::MakeCalibrationDatabase();
   const sim::MachineSpec machine = bench::ScaledMemoryMachine();
   calib::Calibrator calibrator(db.get());
@@ -30,6 +33,7 @@ int Run() {
               machine.name.c_str());
 
   // One calibration per (cpu, memory) grid cell.
+  bench::Stopwatch grid_watch;
   double tuple_ms[3][3];
   double tuple_ratio[3][3];
   double residual[3][3];
@@ -56,6 +60,8 @@ int Run() {
                    result->residual_rms_ms);
     }
   }
+
+  report.AddTiming("calibration_grid_s", grid_watch.Seconds());
 
   std::printf("cpu_tuple_cost [microseconds per tuple]\n");
   std::printf("%-14s %12s %12s %12s\n", "", "cpu=25%", "cpu=50%",
@@ -96,7 +102,11 @@ int Run() {
       mem_effect);
   const bool shape_holds = cpu_effect > 1.5 && mem_effect > 1.05;
   std::printf("figure-3 shape holds: %s\n", shape_holds ? "YES" : "NO");
-  return shape_holds ? 0 : 1;
+  report.AddValue("cpu_effect", cpu_effect);
+  report.AddValue("mem_effect", mem_effect);
+  report.AddValue("shape_holds", shape_holds ? 1 : 0);
+  report.AddTiming("total_s", total_watch.Seconds());
+  return report.Finish(shape_holds ? 0 : 1);
 }
 
 }  // namespace

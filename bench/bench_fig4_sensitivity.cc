@@ -17,9 +17,13 @@ namespace vdb {
 namespace {
 
 int Run() {
+  bench::InitMetrics();
+  bench::BenchReport report("fig4_sensitivity");
+  bench::Stopwatch total_watch;
   const sim::MachineSpec machine = bench::ExperimentMachine();
 
   // Offline step (paper Section 5): calibrate P(R) for the CPU grid.
+  bench::Stopwatch calibrate_watch;
   auto calibration_db = bench::MakeCalibrationDatabase();
   calib::CalibrationGridSpec spec;
   spec.cpu_shares = {0.25, 0.50, 0.75};
@@ -34,8 +38,10 @@ int Run() {
     return 1;
   }
   calibration_db.reset();
+  report.AddTiming("calibrate_grid_s", calibrate_watch.Seconds());
 
   auto db = bench::MakeTpchDatabase();
+  bench::Stopwatch measure_watch;
   const double shares[] = {0.25, 0.50, 0.75};
   const int queries[] = {4, 13};
 
@@ -74,6 +80,8 @@ int Run() {
     }
   }
 
+  report.AddTiming("measure_s", measure_watch.Seconds());
+
   bench::PrintTitle(
       "Figure 4: sensitivity of Q4 and Q13 to the CPU allocation");
   std::printf("memory and I/O fixed at 50%%; normalized to cpu=50%%\n\n");
@@ -106,7 +114,13 @@ int Run() {
       q13_actual_swing > 1.7 && q4_actual_swing < 1.35 &&
       q13_estimated_swing > 1.5 * q4_estimated_swing;
   std::printf("figure-4 shape holds: %s\n", shape_holds ? "YES" : "NO");
-  return shape_holds ? 0 : 1;
+  report.AddValue("q4_actual_swing", q4_actual_swing);
+  report.AddValue("q13_actual_swing", q13_actual_swing);
+  report.AddValue("q4_estimated_swing", q4_estimated_swing);
+  report.AddValue("q13_estimated_swing", q13_estimated_swing);
+  report.AddValue("shape_holds", shape_holds ? 1 : 0);
+  report.AddTiming("total_s", total_watch.Seconds());
+  return report.Finish(shape_holds ? 0 : 1);
 }
 
 }  // namespace

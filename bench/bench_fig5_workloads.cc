@@ -19,8 +19,12 @@ namespace vdb {
 namespace {
 
 int Run() {
+  bench::InitMetrics();
+  bench::BenchReport report("fig5_workloads");
+  bench::Stopwatch total_watch;
   const sim::MachineSpec machine = bench::ExperimentMachine();
 
+  bench::Stopwatch calibrate_watch;
   auto calibration_db = bench::MakeCalibrationDatabase();
   calib::CalibrationGridSpec spec;
   spec.cpu_shares = {0.25, 0.375, 0.50, 0.625, 0.75};
@@ -35,6 +39,7 @@ int Run() {
     return 1;
   }
   calibration_db.reset();
+  report.AddTiming("calibrate_grid_s", calibrate_watch.Seconds());
 
   // Two database instances (one per VM), same TPC-H contents.
   auto db1 = bench::MakeTpchDatabase();
@@ -50,6 +55,7 @@ int Run() {
   problem.grid_steps = 4;  // allocations in multiples of 25%
 
   // What the advisor recommends from estimates alone.
+  bench::Stopwatch advisor_watch;
   core::Advisor advisor(&*store);
   auto recommended = advisor.Recommend(problem);
   if (!recommended.ok()) {
@@ -59,6 +65,7 @@ int Run() {
   }
   std::fprintf(stderr, "[advisor] %s\n",
                recommended->ToString().c_str());
+  report.AddTiming("advisor_recommend_s", advisor_watch.Seconds());
 
   // The paper's two candidate designs. Queries repeat within a workload,
   // so caches are dropped between statements (the paper's database is
@@ -70,12 +77,14 @@ int Run() {
   const std::vector<sim::ResourceShare> skewed = {
       sim::ResourceShare(0.25, 0.5, 0.5), sim::ResourceShare(0.75, 0.5, 0.5)};
 
+  bench::Stopwatch measure_watch;
   auto equal_outcome = core::Advisor::Measure(problem, equal_split, options);
   auto skewed_outcome = core::Advisor::Measure(problem, skewed, options);
   if (!equal_outcome.ok() || !skewed_outcome.ok()) {
     std::fprintf(stderr, "measurement failed\n");
     return 1;
   }
+  report.AddTiming("measure_s", measure_watch.Seconds());
 
   bench::PrintTitle("Figure 5: workload execution time under the two designs");
   std::printf("%-18s %16s %16s\n", "workload", "default (50/50)",
@@ -107,7 +116,12 @@ int Run() {
       skewed_outcome->total_seconds < equal_outcome->total_seconds &&
       recommended->allocations[1].cpu > 0.5;
   std::printf("figure-5 shape holds: %s\n", shape_holds ? "YES" : "NO");
-  return shape_holds ? 0 : 1;
+  report.AddValue("q13_gain", q13_gain);
+  report.AddValue("q4_loss", q4_loss);
+  report.AddValue("recommended_w2_cpu", recommended->allocations[1].cpu);
+  report.AddValue("shape_holds", shape_holds ? 1 : 0);
+  report.AddTiming("total_s", total_watch.Seconds());
+  return report.Finish(shape_holds ? 0 : 1);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "calib/calibration.h"
 #include "core/cost_model.h"
 #include "core/search.h"
@@ -145,7 +146,44 @@ void BM_BTreeInsertLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_BTreeInsertLookup);
 
+// Console reporter that additionally captures each run's per-iteration
+// real time into the BenchReport, so the perf gate can track the
+// microbenchmarks from BENCH_micro_operators.json.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(bench::BenchReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration ||
+          run.iterations == 0) {
+        continue;
+      }
+      report_->AddTiming(run.benchmark_name() + "/iter_s",
+                         run.real_accumulated_time /
+                             static_cast<double>(run.iterations));
+    }
+  }
+
+ private:
+  bench::BenchReport* report_;
+};
+
 }  // namespace
 }  // namespace vdb
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with the JSON side channel bolted on.
+int main(int argc, char** argv) {
+  vdb::bench::InitMetrics();
+  vdb::bench::BenchReport report("micro_operators");
+  vdb::bench::Stopwatch total_watch;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  vdb::JsonCaptureReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  report.AddTiming("total_s", total_watch.Seconds());
+  return report.Finish(0);
+}

@@ -29,6 +29,9 @@ bool UsesIndex(const optimizer::PhysicalNode* node) {
 }
 
 int Run() {
+  bench::InitMetrics();
+  bench::BenchReport report("plan_shift");
+  bench::Stopwatch total_watch;
   const sim::MachineSpec machine = bench::ExperimentMachine();
   datagen::CalibrationDbConfig config;
   config.base_rows = 70000;
@@ -51,8 +54,13 @@ int Run() {
   bool saw_seq_at_40 = false;
   for (double cpu : shares) {
     sim::VirtualMachine vm = bench::MakeVm(machine, cpu, 0.5, 0.5);
+    bench::Stopwatch calibrate_watch;
     auto calibrated = calibrator.Calibrate(vm);
     if (!calibrated.ok()) return 1;
+    char cpu_key[48];
+    std::snprintf(cpu_key, sizeof(cpu_key), "cpu_%02d/calibrate_s",
+                  static_cast<int>(100 * cpu));
+    report.AddTiming(cpu_key, calibrate_watch.Seconds());
     db->SetOptimizerParams(calibrated->params);
 
     auto prefers_index = [&](int width) -> bool {
@@ -84,6 +92,10 @@ int Run() {
     saw_seq_at_40 = saw_seq_at_40 || !index_at_40;
     std::printf("%8.0f%% %22d keys %18s\n", 100 * cpu, lo,
                 index_at_40 ? "IndexScan" : "SeqScan");
+    char width_key[48];
+    std::snprintf(width_key, sizeof(width_key), "cpu_%02d/crossover_width",
+                  static_cast<int>(100 * cpu));
+    report.AddValue(width_key, lo);
     if (previous_crossover >= 0 && lo > previous_crossover) {
       monotone = false;  // crossover must not grow with the CPU share
     }
@@ -102,7 +114,11 @@ int Run() {
       plan_at_40_differs ? "YES" : "NO");
   const bool ok = monotone && plan_at_40_differs;
   std::printf("plan-shift shape holds: %s\n", ok ? "YES" : "NO");
-  return ok ? 0 : 1;
+  report.AddValue("monotone", monotone ? 1 : 0);
+  report.AddValue("plan_at_40_differs", plan_at_40_differs ? 1 : 0);
+  report.AddValue("shape_holds", ok ? 1 : 0);
+  report.AddTiming("total_s", total_watch.Seconds());
+  return report.Finish(ok ? 0 : 1);
 }
 
 }  // namespace

@@ -29,8 +29,12 @@ double HostSeconds(const std::chrono::steady_clock::time_point& start) {
 }
 
 int Run() {
+  bench::InitMetrics();
+  bench::BenchReport report("search_algorithms");
+  bench::Stopwatch total_watch;
   const sim::MachineSpec machine = bench::ExperimentMachine();
 
+  bench::Stopwatch setup_watch;
   auto calibration_db = bench::MakeCalibrationDatabase();
   calib::CalibrationGridSpec spec;
   spec.cpu_shares = {0.1, 0.25, 0.5, 0.75, 0.9};
@@ -47,6 +51,7 @@ int Run() {
   calibration_db.reset();
 
   auto db = bench::MakeTpchDatabase();
+  report.AddTiming("setup_s", setup_watch.Seconds());
   auto workload = [&](const char* name, int query, int copies) {
     return core::Workload::Repeated(name, *datagen::TpchQuery(query),
                                     copies);
@@ -54,30 +59,31 @@ int Run() {
 
   struct Scenario {
     const char* name;
+    const char* key;  // sanitized, for BENCH_*.json timing keys
     std::vector<core::Workload> workloads;
     std::vector<sim::ResourceKind> controlled;
     int grid_steps;
   };
   std::vector<Scenario> scenarios;
-  scenarios.push_back({"N=2, cpu",
+  scenarios.push_back({"N=2, cpu", "n2_cpu",
                        {workload("io", 4, 2), workload("cpu", 13, 2)},
                        {sim::ResourceKind::kCpu},
                        16});
-  scenarios.push_back({"N=3, cpu",
+  scenarios.push_back({"N=3, cpu", "n3_cpu",
                        {workload("io", 4, 2), workload("cpu", 13, 2),
                         workload("scan", 1, 1)},
                        {sim::ResourceKind::kCpu},
                        12});
-  scenarios.push_back({"N=4, cpu",
+  scenarios.push_back({"N=4, cpu", "n4_cpu",
                        {workload("io", 4, 1), workload("cpu", 13, 1),
                         workload("scan", 1, 1), workload("join", 3, 1)},
                        {sim::ResourceKind::kCpu},
                        12});
-  scenarios.push_back({"N=2, cpu+io",
+  scenarios.push_back({"N=2, cpu+io", "n2_cpu_io",
                        {workload("io", 4, 2), workload("cpu", 13, 2)},
                        {sim::ResourceKind::kCpu, sim::ResourceKind::kIo},
                        10});
-  scenarios.push_back({"N=3, cpu+io",
+  scenarios.push_back({"N=3, cpu+io", "n3_cpu_io",
                        {workload("io", 4, 2), workload("cpu", 13, 2),
                         workload("mix", 12, 1)},
                        {sim::ResourceKind::kCpu, sim::ResourceKind::kIo},
@@ -129,6 +135,9 @@ int Run() {
       rows.push_back({core::SearchAlgorithmName(algorithm),
                       solution->total_cost_ms, solution->evaluations,
                       seconds, true});
+      report.AddTiming(std::string(scenario.key) + "/" +
+                           core::SearchAlgorithmName(algorithm) + "_s",
+                       seconds);
 
       // Re-run with a 4-thread cost fan-out against a cold cache: the
       // parallel search must reproduce the serial solution bit-for-bit.
@@ -156,6 +165,8 @@ int Run() {
       if (algorithm == core::SearchAlgorithm::kExhaustive &&
           parallel_seconds > 0) {
         const double speedup = seconds / parallel_seconds;
+        report.AddTiming(std::string(scenario.key) + "/exhaustive_4thr_s",
+                         parallel_seconds);
         exhaustive_speedup_sum += speedup;
         ++exhaustive_speedup_count;
         std::printf("%-13s %-20s %14s %10s %10s %8.2f  (%.2fx vs serial)\n",
@@ -209,7 +220,61 @@ int Run() {
     std::printf("speedup >= 2x at 4 threads: SKIPPED (%d hardware threads)\n",
                 hardware_threads);
   }
-  return (all_ok && parallel_identical) ? 0 : 1;
+
+  // Observability overhead check (DESIGN.md §9 budget): the same greedy
+  // search (cold cost-model cache each time) with the metrics registry on
+  // vs off. Best-of-3 on each side to shave scheduler noise; the ratio is
+  // recorded in the JSON for CI's perf gate (baseline 1.0, so a >25%
+  // metrics tax fails the perf-smoke job).
+  {
+    core::VirtualizationDesignProblem problem;
+    problem.machine = machine;
+    problem.workloads = scenarios[1].workloads;
+    problem.databases.assign(scenarios[1].workloads.size(), db.get());
+    problem.controlled = scenarios[1].controlled;
+    problem.grid_steps = scenarios[1].grid_steps;
+    auto& registry = obs::MetricsRegistry::Global();
+    const bool was_enabled = registry.enabled();
+    auto best_of = [&](bool metrics_on) -> double {
+      registry.set_enabled(metrics_on);
+      double best = -1.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        // Batch 10 solves per rep so the measured interval is ~10 ms:
+        // sub-millisecond intervals are scheduler noise, not signal.
+        bench::Stopwatch watch;
+        for (int solve = 0; solve < 10; ++solve) {
+          core::WorkloadCostModel cost(&problem, &*store);
+          auto solution = core::SolveDesignProblem(
+              problem, &cost, core::SearchAlgorithm::kGreedy);
+          if (!solution.ok()) return -1.0;
+        }
+        const double seconds = watch.Seconds();
+        if (best < 0 || seconds < best) best = seconds;
+      }
+      return best;
+    };
+    const double off_seconds = best_of(false);
+    const double on_seconds = best_of(true);
+    registry.set_enabled(was_enabled);
+    if (off_seconds > 0 && on_seconds > 0) {
+      const double ratio = on_seconds / off_seconds;
+      std::printf(
+          "metrics overhead (greedy %s): off %.3fs, on %.3fs -> %.3fx\n",
+          scenarios[1].name, off_seconds, on_seconds, ratio);
+      report.AddTiming("overhead_check/metrics_off_s", off_seconds);
+      report.AddTiming("overhead_check/metrics_on_s", on_seconds);
+      report.AddValue("metrics_overhead_ratio", ratio);
+    } else {
+      all_ok = false;
+    }
+  }
+
+  report.AddValue("all_within_10pct", all_ok ? 1 : 0);
+  report.AddValue("parallel_identical", parallel_identical ? 1 : 0);
+  report.AddValue("mean_exhaustive_speedup_4thr", mean_speedup);
+  report.AddValue("hardware_threads", hardware_threads);
+  report.AddTiming("total_s", total_watch.Seconds());
+  return report.Finish((all_ok && parallel_identical) ? 0 : 1);
 }
 
 }  // namespace

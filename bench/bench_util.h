@@ -1,15 +1,22 @@
 #ifndef VDB_BENCH_BENCH_UTIL_H_
 #define VDB_BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "calib/grid.h"
 #include "calib/store.h"
 #include "datagen/calibration_db.h"
 #include "datagen/tpch.h"
 #include "exec/database.h"
+#include "obs/metrics.h"
 #include "sim/machine.h"
 #include "sim/virtual_machine.h"
 
@@ -100,6 +107,126 @@ inline void PrintTitle(const std::string& title) {
   std::printf("%s\n", title.c_str());
   PrintRule('=');
 }
+
+/// Turns the global metrics registry on for this bench run, unless the
+/// user opted out with VDB_METRICS=0. Call once at the top of main.
+inline void InitMetrics() {
+  const char* env = std::getenv("VDB_METRICS");
+  const bool enabled = env == nullptr || std::string(env) != "0";
+  obs::MetricsRegistry::Global().set_enabled(enabled);
+}
+
+/// Host wall-clock stopwatch for instrumenting bench phases.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Machine-readable bench results: named timings (host seconds) and
+/// values, written as BENCH_<name>.json — together with a snapshot of the
+/// global metrics registry — into the directory named by VDB_BENCH_OUT
+/// (default: the working directory). The stdout report is unchanged;
+/// this is the side channel CI's perf gate parses.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void AddTiming(const std::string& key, double seconds) {
+    timings_.emplace_back(key, seconds);
+  }
+  void AddValue(const std::string& key, double value) {
+    values_.emplace_back(key, value);
+  }
+
+  std::string OutputPath() const {
+    const char* dir = std::getenv("VDB_BENCH_OUT");
+    std::string path = (dir != nullptr && *dir != '\0') ? dir : ".";
+    if (path.back() != '/') path.push_back('/');
+    return path + "BENCH_" + name_ + ".json";
+  }
+
+  /// Writes the JSON file. Returns false — after printing why — when the
+  /// file cannot be written or the write comes up short, so a broken CI
+  /// filesystem cannot silently pass.
+  bool Write() const {
+    const std::string path = OutputPath();
+    const std::string json = ToJson();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BENCH: cannot open %s for writing: %s\n",
+                   path.c_str(), std::strerror(errno));
+      return false;
+    }
+    const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    const bool flushed = std::fflush(f) == 0;
+    const bool closed = std::fclose(f) == 0;
+    if (written != json.size() || !flushed || !closed) {
+      std::fprintf(stderr, "BENCH: short or failed write to %s\n",
+                   path.c_str());
+      return false;
+    }
+    std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+    return true;
+  }
+
+  /// Write() + exit-code plumbing: preserves a failing `exit_code`, and
+  /// turns an I/O failure into exit 1 even when the bench itself passed.
+  int Finish(int exit_code) const {
+    const bool wrote = Write();
+    if (exit_code != 0) return exit_code;
+    return wrote ? 0 : 1;
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n  \"bench\": \"" + name_ + "\",\n";
+    out += "  \"schema_version\": 1,\n";
+    out += "  \"timings\": {";
+    AppendNumberMap(&out, timings_);
+    out += "},\n  \"values\": {";
+    AppendNumberMap(&out, values_);
+    out += "},\n  \"metrics\": ";
+    out += Indent(obs::MetricsRegistry::Global().ToJson(2), 2);
+    out += "\n}\n";
+    return out;
+  }
+
+ private:
+  static void AppendNumberMap(
+      std::string* out,
+      const std::vector<std::pair<std::string, double>>& entries) {
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.9g", entries[i].second);
+      *out += "\n    \"" + entries[i].first + "\": " + buf;
+    }
+    if (!entries.empty()) *out += "\n  ";
+  }
+
+  // Re-indents a rendered JSON block to sit at `by` spaces depth.
+  static std::string Indent(const std::string& json, int by) {
+    std::string out;
+    out.reserve(json.size());
+    for (char c : json) {
+      out.push_back(c);
+      if (c == '\n') out.append(static_cast<size_t>(by), ' ');
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, double>> timings_;
+  std::vector<std::pair<std::string, double>> values_;
+};
 
 }  // namespace vdb::bench
 

@@ -10,6 +10,7 @@
 //   \tables                list tables with row/page counts
 //   \cold                  drop the buffer pool (cold cache)
 //   \timing on|off         toggle the timing footer
+//   \metrics [json|reset|on|off]   engine metrics (DESIGN.md §9)
 //   \help                  this text
 //   \q                     quit
 //
@@ -23,6 +24,7 @@
 
 #include "datagen/tpch.h"
 #include "exec/database.h"
+#include "obs/metrics.h"
 #include "sim/machine.h"
 #include "sim/virtual_machine.h"
 #include "util/string_util.h"
@@ -39,7 +41,33 @@ void PrintHelp() {
       "  \\tables                list tables\n"
       "  \\cold                  drop the buffer pool\n"
       "  \\timing on|off         toggle the timing footer\n"
+      "  \\metrics               show engine metrics since startup\n"
+      "  \\metrics json          the same, as a JSON snapshot\n"
+      "  \\metrics reset         zero all metrics\n"
+      "  \\metrics on|off        enable/disable metric collection\n"
       "  \\q                     quit\n");
+}
+
+void PrintMetrics(const obs::MetricsSnapshot& snapshot) {
+  if (snapshot.counters.empty() && snapshot.gauges.empty() &&
+      snapshot.histograms.empty()) {
+    std::printf("(no metrics recorded)\n");
+    return;
+  }
+  for (const auto& [name, value] : snapshot.counters) {
+    std::printf("  %-28s %12llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::printf("  %-28s %12.3f\n", name.c_str(), value);
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    std::printf(
+        "  %-28s n=%llu sum=%.3fs p50=%.3gms p95=%.3gms p99=%.3gms\n",
+        name.c_str(), static_cast<unsigned long long>(h.count),
+        h.sum_seconds, 1000 * h.p50_seconds, 1000 * h.p95_seconds,
+        1000 * h.p99_seconds);
+  }
 }
 
 void PrintRows(const exec::QueryResult& result, size_t max_rows) {
@@ -73,6 +101,8 @@ int main(int argc, char** argv) {
   datagen::TpchConfig config;
   config.scale_factor = scale_factor;
   VDB_CHECK_OK(datagen::GenerateTpch(db.catalog(), config));
+
+  obs::MetricsRegistry::Global().set_enabled(true);
 
   const sim::MachineSpec machine = sim::MachineSpec::PaperTestbed();
   sim::VirtualMachine vm("shell-vm", machine,
@@ -116,6 +146,23 @@ int main(int argc, char** argv) {
         args >> mode;
         timing = mode != "off";
         std::printf("timing %s\n", timing ? "on" : "off");
+      } else if (command == "\\metrics") {
+        std::string mode;
+        args >> mode;
+        auto& registry = obs::MetricsRegistry::Global();
+        if (mode.empty()) {
+          PrintMetrics(registry.Snapshot());
+        } else if (mode == "json") {
+          std::printf("%s\n", registry.ToJson().c_str());
+        } else if (mode == "reset") {
+          registry.Reset();
+          std::printf("metrics reset\n");
+        } else if (mode == "on" || mode == "off") {
+          registry.set_enabled(mode == "on");
+          std::printf("metrics %s\n", mode.c_str());
+        } else {
+          std::printf("usage: \\metrics [json|reset|on|off]\n");
+        }
       } else if (command == "\\vm") {
         double cpu = 0;
         double memory = 0;

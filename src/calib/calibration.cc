@@ -2,11 +2,32 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/linalg.h"
 
 namespace vdb::calib {
 
 namespace {
+
+// Calibration instrumentation (DESIGN.md §9). The NNLS solver publishes
+// its own iteration counts under linalg.nnls_*.
+struct CalibMetrics {
+  obs::Counter* runs;
+  obs::Counter* queries_executed;
+  obs::Histogram* run_latency;
+  obs::Gauge* residual_rms_ms;
+
+  static const CalibMetrics& Get() {
+    static const CalibMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return CalibMetrics{registry.GetCounter("calib.runs"),
+                          registry.GetCounter("calib.queries_executed"),
+                          registry.GetHistogram("calib.run_latency"),
+                          registry.GetGauge("calib.residual_rms_ms")};
+    }();
+    return metrics;
+  }
+};
 
 std::string Key(uint64_t rows, double fraction) {
   return std::to_string(
@@ -64,6 +85,9 @@ std::vector<CalibrationQuery> CalibrationSuite(uint64_t indexed_rows) {
 
 Result<CalibrationResult> Calibrator::Calibrate(
     const sim::VirtualMachine& vm) {
+  const CalibMetrics& metrics = CalibMetrics::Get();
+  metrics.runs->Add();
+  obs::ScopedTimer run_timer(metrics.run_latency);
   VDB_RETURN_NOT_OK(db_->ApplyVmConfig(vm));
   // Seed parameters pin the plan choices for the suite: the paper designs
   // the synthetic queries "so that the optimizer chooses specific plans".
@@ -110,6 +134,7 @@ Result<CalibrationResult> Calibrator::Calibrate(
     }
     VDB_ASSIGN_OR_RETURN(exec::QueryResult result,
                          db_->ExecutePlan(*plan, vm));
+    metrics.queries_executed->Add();
     const auto row = work.AsArray();
     for (int c = 0; c < optimizer::OptimizerParams::kNumCalibrated; ++c) {
       a.At(q, c) = row[c];
@@ -129,6 +154,7 @@ Result<CalibrationResult> Calibrator::Calibrate(
       db_->config().buffer_pool_pages;
   result.params.work_mem_bytes = db_->config().work_mem_bytes;
   result.residual_rms_ms = ResidualRms(a, solution, b);
+  metrics.residual_rms_ms->Set(result.residual_rms_ms);
   result.num_queries = static_cast<int>(n);
   result.measured_ms = b;
   result.fitted_ms = a.TimesVector(solution);

@@ -2,13 +2,42 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace vdb::core {
+
+namespace {
+
+// Process-wide instrumentation (DESIGN.md §9). The pointers are resolved
+// once; every operation below is a no-op while metrics are disabled.
+struct CostModelMetrics {
+  obs::Counter* calls;
+  obs::Counter* cache_hits;
+  obs::Counter* probes;
+  obs::Histogram* probe_latency;
+
+  static const CostModelMetrics& Get() {
+    static const CostModelMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return CostModelMetrics{
+          registry.GetCounter("cost_model.calls"),
+          registry.GetCounter("cost_model.cache_hits"),
+          registry.GetCounter("cost_model.probes"),
+          registry.GetHistogram("cost_model.probe_latency")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 Result<double> WorkloadCostModel::Cost(size_t index,
                                        const sim::ResourceShare& share) {
   if (index >= problem_->workloads.size()) {
     return Status::InvalidArgument("workload index out of range");
   }
+  const CostModelMetrics& metrics = CostModelMetrics::Get();
+  metrics.calls->Add();
   const Key key{index, std::llround(share.cpu * 1e9),
                 std::llround(share.memory * 1e9),
                 std::llround(share.io * 1e9)};
@@ -17,10 +46,13 @@ Result<double> WorkloadCostModel::Cost(size_t index,
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      metrics.cache_hits->Add();
       return it->second;
     }
   }
   evaluations_.fetch_add(1, std::memory_order_relaxed);
+  metrics.probes->Add();
+  obs::ScopedTimer probe_timer(metrics.probe_latency);
   VDB_ASSIGN_OR_RETURN(optimizer::OptimizerParams params,
                        store_->Lookup(share));
   const exec::Database* db = problem_->databases[index];

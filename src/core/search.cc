@@ -7,12 +7,41 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace vdb::core {
 
 namespace {
+
+// Search-layer instrumentation (DESIGN.md §9). "Moves evaluated" counts
+// candidate designs scored: full designs for exhaustive, (r, from, to)
+// transfers for greedy, and recurrence cells for DP. Hot loops accumulate
+// locally and publish once per batch, so a disabled registry costs one
+// relaxed load per batch rather than per candidate.
+struct SearchMetrics {
+  obs::Counter* solves;
+  obs::Counter* iterations;
+  obs::Counter* moves_evaluated;
+  obs::Counter* cost_jobs;
+  obs::Histogram* wall_time[3];  // indexed by SearchAlgorithm
+
+  static const SearchMetrics& Get() {
+    static const SearchMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return SearchMetrics{
+          registry.GetCounter("search.solves"),
+          registry.GetCounter("search.iterations"),
+          registry.GetCounter("search.moves_evaluated"),
+          registry.GetCounter("search.cost_jobs"),
+          {registry.GetHistogram("search.exhaustive.wall_time"),
+           registry.GetHistogram("search.greedy.wall_time"),
+           registry.GetHistogram("search.dp.wall_time")}};
+    }();
+    return metrics;
+  }
+};
 
 // Units held by every workload for every controlled resource:
 // units[i][r] with sum_i units[i][r] == grid_steps.
@@ -80,6 +109,7 @@ struct CostJob {
 // are identical either way. Returns the first failure in job order.
 Status EvaluateCosts(WorkloadCostModel* cost, const std::vector<CostJob>& jobs,
                      std::vector<double>* out, util::ThreadPool* pool) {
+  SearchMetrics::Get().cost_jobs->Add(jobs.size());
   out->assign(jobs.size(), 0.0);
   if (pool == nullptr) {
     for (size_t k = 0; k < jobs.size(); ++k) {
@@ -121,6 +151,7 @@ struct ExhaustiveEnumerator {
   std::vector<int> remaining;
   UnitMatrix best_units;
   double best_total = -1.0;
+  uint64_t designs_scored = 0;
   Status failure = Status::OK();
 
   ExhaustiveEnumerator(const VirtualizationDesignProblem& p,
@@ -135,6 +166,7 @@ struct ExhaustiveEnumerator {
   void Enumerate(int i, int r) {
     if (!failure.ok()) return;
     if (i == n) {
+      ++designs_scored;
       auto total = TotalOf(*problem, cost, units);
       if (!total.ok()) {
         failure = total.status();
@@ -187,6 +219,7 @@ Result<DesignSolution> SolveExhaustive(
   if (pool == nullptr || n < 2) {
     ExhaustiveEnumerator enumerator(problem, cost);
     enumerator.Enumerate(0, 0);
+    SearchMetrics::Get().moves_evaluated->Add(enumerator.designs_scored);
     VDB_RETURN_NOT_OK(enumerator.failure);
     if (enumerator.best_total < 0) {
       return Status::Internal("exhaustive search found no design");
@@ -203,6 +236,7 @@ Result<DesignSolution> SolveExhaustive(
     Status status = Status::OK();
     UnitMatrix units;
     double total = -1.0;
+    uint64_t designs_scored = 0;
   };
   std::vector<std::future<PartitionBest>> futures;
   const int max_take = problem.grid_steps - (n - 1);
@@ -216,14 +250,17 @@ Result<DesignSolution> SolveExhaustive(
       best.status = enumerator.failure;
       best.units = std::move(enumerator.best_units);
       best.total = enumerator.best_total;
+      best.designs_scored = enumerator.designs_scored;
       return best;
     }));
   }
   UnitMatrix best_units;
   double best_total = -1.0;
+  uint64_t designs_scored = 0;
   Status failure = Status::OK();
   for (std::future<PartitionBest>& future : futures) {
     PartitionBest partition = future.get();
+    designs_scored += partition.designs_scored;
     if (!partition.status.ok()) {
       if (failure.ok()) failure = partition.status;
       continue;
@@ -235,6 +272,7 @@ Result<DesignSolution> SolveExhaustive(
     }
   }
   (void)m;
+  SearchMetrics::Get().moves_evaluated->Add(designs_scored);
   VDB_RETURN_NOT_OK(failure);
   if (best_total < 0) {
     return Status::Internal("exhaustive search found no design");
@@ -297,11 +335,13 @@ Result<DesignSolution> SolveGreedy(
     int best_r = -1;
     int best_from = -1;
     int best_to = -1;
+    uint64_t moves_scored = 0;
     for (int r = 0; r < m; ++r) {
       for (int from = 0; from < n; ++from) {
         if (give_at[r][from] < 0) continue;
         for (int to = 0; to < n; ++to) {
           if (to == from) continue;
+          ++moves_scored;
           // Cost delta of moving one unit of resource r: only the two
           // touched workloads change.
           const double delta =
@@ -316,12 +356,14 @@ Result<DesignSolution> SolveGreedy(
         }
       }
     }
+    SearchMetrics::Get().moves_evaluated->Add(moves_scored);
     if (best_r < 0) break;
     units[best_from][best_r] -= 1;
     units[best_to][best_r] += 1;
     current += best_delta;
     ++iterations;
   }
+  SearchMetrics::Get().iterations->Add(iterations);
   VDB_ASSIGN_OR_RETURN(current, TotalOf(problem, cost, units));
   DesignSolution solution = SolutionFromUnits(problem, units, current, "greedy");
   solution.iterations = iterations;
@@ -381,10 +423,12 @@ Result<DesignSolution> SolveDp(const VirtualizationDesignProblem& problem,
   std::vector<std::vector<std::vector<Cell>>> memo(
       n, std::vector<std::vector<Cell>>(dim1, std::vector<Cell>(dim2)));
 
+  uint64_t cells_evaluated = 0;
   std::function<Result<double>(int, int, int)> dp =
       [&](int i, int u0, int u1) -> Result<double> {
     Cell& cell = memo[i][u0][m == 2 ? u1 : 0];
     if (cell.cost >= 0) return cell.cost;
+    ++cells_evaluated;
     const int after = n - i - 1;
     if (after == 0) {
       std::vector<int> units = {u0};
@@ -422,7 +466,10 @@ Result<DesignSolution> SolveDp(const VirtualizationDesignProblem& problem,
     return best;
   };
 
-  VDB_ASSIGN_OR_RETURN(double total, dp(0, steps, m == 2 ? steps : 0));
+  Result<double> dp_total = dp(0, steps, m == 2 ? steps : 0);
+  SearchMetrics::Get().moves_evaluated->Add(cells_evaluated);
+  VDB_RETURN_NOT_OK(dp_total.status());
+  const double total = *dp_total;
   // Reconstruct.
   UnitMatrix units(n, std::vector<int>(m, 0));
   int u0 = steps;
@@ -475,6 +522,10 @@ Result<DesignSolution> SolveDesignProblem(
   if (num_threads > 1) {
     pool = std::make_unique<util::ThreadPool>(num_threads);
   }
+  const SearchMetrics& metrics = SearchMetrics::Get();
+  metrics.solves->Add();
+  obs::ScopedTimer wall_timer(
+      metrics.wall_time[static_cast<int>(algorithm)]);
   const uint64_t evals_before = cost->evaluations();
   Result<DesignSolution> solution = Status::Internal("unreachable");
   switch (algorithm) {

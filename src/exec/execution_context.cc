@@ -1,8 +1,32 @@
 #include "exec/execution_context.h"
 
+#include "obs/metrics.h"
 #include "storage/page.h"
 
 namespace vdb::exec {
+
+namespace {
+
+// Page-level I/O instrumentation (DESIGN.md §9): one relaxed atomic load
+// per physical page transfer when disabled, which is noise next to the
+// simulated-time bookkeeping the same call performs.
+struct IoMetrics {
+  obs::Counter* pages_read;
+  obs::Counter* pages_written;
+  obs::Counter* spill_pages;
+
+  static const IoMetrics& Get() {
+    static const IoMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return IoMetrics{registry.GetCounter("exec.pages_read"),
+                       registry.GetCounter("exec.pages_written"),
+                       registry.GetCounter("exec.spill_pages")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ExecutionContext::ExecutionContext(const sim::VirtualMachine* vm,
                                    storage::BufferPool* pool,
@@ -25,6 +49,7 @@ void ExecutionContext::ChargeCpu(double ops) {
 
 void ExecutionContext::OnPageRead(storage::AccessPattern pattern) {
   ++physical_reads_;
+  IoMetrics::Get().pages_read->Add();
   const double seconds =
       pattern == storage::AccessPattern::kSequential
           ? vm_->SeqReadSecondsPerPage(storage::kPageSize)
@@ -36,6 +61,7 @@ void ExecutionContext::OnPageRead(storage::AccessPattern pattern) {
 }
 
 void ExecutionContext::OnPageWrite() {
+  IoMetrics::Get().pages_written->Add();
   const double seconds = vm_->WriteSecondsPerPage(storage::kPageSize);
   io_seconds_ += seconds;
   clock_.Advance(seconds);
@@ -44,6 +70,7 @@ void ExecutionContext::OnPageWrite() {
 
 void ExecutionContext::ChargeSpillWrite(double pages) {
   if (pages <= 0.0) return;
+  IoMetrics::Get().spill_pages->Add(static_cast<uint64_t>(pages));
   const double seconds =
       pages * vm_->WriteSecondsPerPage(storage::kPageSize);
   io_seconds_ += seconds;
@@ -53,6 +80,7 @@ void ExecutionContext::ChargeSpillWrite(double pages) {
 
 void ExecutionContext::ChargeSpillRead(double pages) {
   if (pages <= 0.0) return;
+  IoMetrics::Get().spill_pages->Add(static_cast<uint64_t>(pages));
   const double seconds =
       pages * vm_->SeqReadSecondsPerPage(storage::kPageSize);
   io_seconds_ += seconds;

@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "storage/page.h"
 #include "util/logging.h"
 
@@ -190,6 +191,20 @@ Result<plan::BoundExprPtr> Executor::Resolve(
 }
 
 Result<std::vector<Tuple>> Executor::Run(const PhysicalNode& node) {
+  // Executor instrumentation (DESIGN.md §9): operator invocations and
+  // tuples flowing across plan edges. One Add per operator node, never
+  // per tuple, so the executor's inner loops stay unmetered.
+  static obs::Counter* const operators_executed =
+      obs::MetricsRegistry::Global().GetCounter("exec.operators_executed");
+  static obs::Counter* const tuples_produced =
+      obs::MetricsRegistry::Global().GetCounter("exec.tuples_produced");
+  operators_executed->Add();
+  Result<std::vector<Tuple>> rows = RunNode(node);
+  if (rows.ok()) tuples_produced->Add(rows->size());
+  return rows;
+}
+
+Result<std::vector<Tuple>> Executor::RunNode(const PhysicalNode& node) {
   switch (node.op) {
     case optimizer::PhysOp::kSeqScan:
       return RunSeqScan(static_cast<const optimizer::PhysSeqScan&>(node));

@@ -31,6 +31,8 @@ class Executor {
       const optimizer::PhysicalNode& node);
 
  private:
+  Result<std::vector<catalog::Tuple>> RunNode(
+      const optimizer::PhysicalNode& node);
   Result<std::vector<catalog::Tuple>> RunSeqScan(
       const optimizer::PhysSeqScan& scan);
   Result<std::vector<catalog::Tuple>> RunIndexScan(

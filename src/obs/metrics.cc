@@ -1,0 +1,489 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace vdb::obs {
+
+namespace {
+
+// bucket index for a sample: bit_width(nanos), clamped to the table.
+// nanos == 0 lands in bucket 0; bucket k >= 1 covers [2^(k-1), 2^k).
+int BucketIndex(uint64_t nanos) {
+  const int width = std::bit_width(nanos);
+  return width >= Histogram::kNumBuckets ? Histogram::kNumBuckets - 1
+                                         : width;
+}
+
+// Representative value (seconds) for a bucket: the geometric midpoint of
+// its [2^(k-1), 2^k) nanosecond range.
+double BucketMidSeconds(int bucket) {
+  if (bucket == 0) return 0.0;
+  const double lo = std::ldexp(1.0, bucket - 1);
+  return 1e-9 * lo * std::sqrt(2.0);
+}
+
+void AtomicMin(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t current = target->load(std::memory_order_relaxed);
+  while (value < current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t current = target->load(std::memory_order_relaxed);
+  while (value > current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::RecordAlways(uint64_t nanos) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  AtomicMin(&min_nanos_, nanos);
+  AtomicMax(&max_nanos_, nanos);
+  buckets_[BucketIndex(nanos)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_nanos_.store(0, std::memory_order_relaxed);
+  min_nanos_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_nanos_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+double Histogram::min_seconds() const {
+  const uint64_t nanos = min_nanos_.load(std::memory_order_relaxed);
+  return nanos == UINT64_MAX ? 0.0 : 1e-9 * static_cast<double>(nanos);
+}
+
+double Histogram::max_seconds() const {
+  return 1e-9 *
+         static_cast<double>(max_nanos_.load(std::memory_order_relaxed));
+}
+
+double Histogram::QuantileSeconds(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the quantile sample, 1-based: ceil(q * total), at least 1.
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(
+                                q * static_cast<double>(total))));
+  uint64_t seen = 0;
+  for (int k = 0; k < kNumBuckets; ++k) {
+    seen += buckets_[k].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketMidSeconds(k);
+  }
+  return max_seconds();  // racing counts; fall back to the max
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (gauges_.count(name) || histograms_.count(name)) return nullptr;
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(
+                                     &enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(name) || histograms_.count(name)) return nullptr;
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(&enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(name) || gauges_.count(name)) return nullptr;
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name,
+                      std::unique_ptr<Histogram>(new Histogram(&enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSample sample;
+    sample.count = histogram->count();
+    sample.sum_seconds = histogram->sum_seconds();
+    sample.min_seconds = histogram->min_seconds();
+    sample.max_seconds = histogram->max_seconds();
+    sample.p50_seconds = histogram->QuantileSeconds(0.50);
+    sample.p95_seconds = histogram->QuantileSeconds(0.95);
+    sample.p99_seconds = histogram->QuantileSeconds(0.99);
+    snapshot.histograms[name] = sample;
+  }
+  return snapshot;
+}
+
+// ---------------------------------------------------------------------------
+// JSON emit
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string FormatDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  // JSON requires a leading digit; %g never emits one-less forms, but
+  // guard against "inf"/"nan" textual forms anyway.
+  if (std::strpbrk(buf, "infa") != nullptr &&
+      std::strpbrk(buf, "0123456789") == nullptr) {
+    return "0";
+  }
+  return buf;
+}
+
+struct JsonWriter {
+  std::string out;
+  int indent;
+  int depth = 0;
+
+  void Newline() {
+    if (indent < 0) return;
+    out.push_back('\n');
+    out.append(static_cast<size_t>(depth * indent), ' ');
+  }
+  void OpenObject() {
+    out.push_back('{');
+    ++depth;
+  }
+  void CloseObject() {
+    --depth;
+    Newline();
+    out.push_back('}');
+  }
+  void Key(const std::string& name) {
+    AppendEscaped(&out, name);
+    out += indent < 0 ? ":" : ": ";
+  }
+};
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson(int indent) const {
+  JsonWriter w{.out = {}, .indent = indent};
+  w.OpenObject();
+
+  w.Newline();
+  w.Key("counters");
+  w.OpenObject();
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) w.out.push_back(',');
+    first = false;
+    w.Newline();
+    w.Key(name);
+    w.out += std::to_string(value);
+  }
+  w.CloseObject();
+  w.out.push_back(',');
+
+  w.Newline();
+  w.Key("gauges");
+  w.OpenObject();
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) w.out.push_back(',');
+    first = false;
+    w.Newline();
+    w.Key(name);
+    w.out += FormatDouble(value);
+  }
+  w.CloseObject();
+  w.out.push_back(',');
+
+  w.Newline();
+  w.Key("histograms");
+  w.OpenObject();
+  first = true;
+  for (const auto& [name, sample] : histograms) {
+    if (!first) w.out.push_back(',');
+    first = false;
+    w.Newline();
+    w.Key(name);
+    w.OpenObject();
+    const std::pair<const char*, double> fields[] = {
+        {"sum_s", sample.sum_seconds}, {"min_s", sample.min_seconds},
+        {"max_s", sample.max_seconds}, {"p50_s", sample.p50_seconds},
+        {"p95_s", sample.p95_seconds}, {"p99_s", sample.p99_seconds}};
+    w.Newline();
+    w.Key("count");
+    w.out += std::to_string(sample.count);
+    for (const auto& [key, value] : fields) {
+      w.out.push_back(',');
+      w.Newline();
+      w.Key(key);
+      w.out += FormatDouble(value);
+    }
+    w.CloseObject();
+  }
+  w.CloseObject();
+
+  w.CloseObject();
+  return w.out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON parse (the subset ToJson emits: objects, string keys, numbers)
+
+namespace {
+
+struct JsonParser {
+  const char* p;
+  const char* end;
+  std::string error;
+
+  bool Fail(const std::string& message) {
+    if (error.empty()) error = message;
+    return false;
+  }
+  void SkipSpace() {
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  }
+  bool Expect(char c) {
+    SkipSpace();
+    if (p >= end || *p != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++p;
+    return true;
+  }
+  bool PeekIs(char c) {
+    SkipSpace();
+    return p < end && *p == c;
+  }
+  bool ParseString(std::string* out) {
+    SkipSpace();
+    if (p >= end || *p != '"') return Fail("expected string");
+    ++p;
+    out->clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return Fail("bad escape");
+        switch (*p) {
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'u': {
+            if (end - p < 5) return Fail("bad \\u escape");
+            out->push_back(static_cast<char>(
+                std::strtol(std::string(p + 1, p + 5).c_str(), nullptr,
+                            16)));
+            p += 4;
+            break;
+          }
+          default:
+            out->push_back(*p);
+        }
+        ++p;
+      } else {
+        out->push_back(*p++);
+      }
+    }
+    if (p >= end) return Fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+  bool ParseNumber(double* out) {
+    SkipSpace();
+    char* after = nullptr;
+    *out = std::strtod(p, &after);
+    if (after == p) return Fail("expected number");
+    p = after;
+    return true;
+  }
+  // Parses {"key": number, ...} via callback.
+  template <typename Fn>
+  bool ParseFlatObject(Fn&& on_field) {
+    if (!Expect('{')) return false;
+    if (PeekIs('}')) {
+      ++p;
+      return true;
+    }
+    for (;;) {
+      std::string key;
+      double value = 0;
+      if (!ParseString(&key)) return false;
+      if (!Expect(':')) return false;
+      if (!ParseNumber(&value)) return false;
+      if (!on_field(key, value)) return false;
+      SkipSpace();
+      if (PeekIs(',')) {
+        ++p;
+        continue;
+      }
+      return Expect('}');
+    }
+  }
+};
+
+}  // namespace
+
+bool MetricsSnapshot::FromJson(const std::string& json, MetricsSnapshot* out,
+                               std::string* error) {
+  *out = MetricsSnapshot();
+  JsonParser parser{json.data(), json.data() + json.size(), {}};
+  bool ok = [&]() -> bool {
+    if (!parser.Expect('{')) return false;
+    if (parser.PeekIs('}')) {
+      ++parser.p;
+      return true;
+    }
+    for (;;) {
+      std::string section;
+      if (!parser.ParseString(&section)) return false;
+      if (!parser.Expect(':')) return false;
+      if (section == "counters") {
+        if (!parser.ParseFlatObject([&](const std::string& k, double v) {
+              out->counters[k] = static_cast<uint64_t>(v);
+              return true;
+            })) {
+          return false;
+        }
+      } else if (section == "gauges") {
+        if (!parser.ParseFlatObject([&](const std::string& k, double v) {
+              out->gauges[k] = v;
+              return true;
+            })) {
+          return false;
+        }
+      } else if (section == "histograms") {
+        if (!parser.Expect('{')) return false;
+        if (parser.PeekIs('}')) {
+          ++parser.p;
+        } else {
+          for (;;) {
+            std::string name;
+            if (!parser.ParseString(&name)) return false;
+            if (!parser.Expect(':')) return false;
+            HistogramSample sample;
+            if (!parser.ParseFlatObject([&](const std::string& k, double v) {
+                  if (k == "count") {
+                    sample.count = static_cast<uint64_t>(v);
+                  } else if (k == "sum_s") {
+                    sample.sum_seconds = v;
+                  } else if (k == "min_s") {
+                    sample.min_seconds = v;
+                  } else if (k == "max_s") {
+                    sample.max_seconds = v;
+                  } else if (k == "p50_s") {
+                    sample.p50_seconds = v;
+                  } else if (k == "p95_s") {
+                    sample.p95_seconds = v;
+                  } else if (k == "p99_s") {
+                    sample.p99_seconds = v;
+                  } else {
+                    return parser.Fail("unknown histogram field " + k);
+                  }
+                  return true;
+                })) {
+              return false;
+            }
+            out->histograms[name] = sample;
+            parser.SkipSpace();
+            if (parser.PeekIs(',')) {
+              ++parser.p;
+              continue;
+            }
+            if (!parser.Expect('}')) return false;
+            break;
+          }
+        }
+      } else {
+        return parser.Fail("unknown section " + section);
+      }
+      parser.SkipSpace();
+      if (parser.PeekIs(',')) {
+        ++parser.p;
+        continue;
+      }
+      return parser.Expect('}');
+    }
+  }();
+  if (!ok && error != nullptr) {
+    *error = parser.error.empty() ? "malformed metrics JSON" : parser.error;
+  }
+  return ok;
+}
+
+}  // namespace vdb::obs

@@ -1,0 +1,220 @@
+#ifndef VDB_OBS_METRICS_H_
+#define VDB_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+// Observability layer: process-wide counters, gauges, and latency
+// histograms with JSON export (DESIGN.md §9).
+//
+// The subsystem is freestanding (standard library only) so that every
+// layer — including util — may instrument itself without dependency
+// cycles. All metric operations are thread-safe, and every recording
+// operation (Add/Set/Record/ScopedTimer) is allocation-free and reduces
+// to one relaxed atomic load plus a branch when the owning registry is
+// disabled (the default). Registering a metric allocates once; hot paths
+// should hold the returned pointer (e.g. in a function-local static) and
+// never look names up per event.
+namespace vdb::obs {
+
+class MetricsRegistry;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (queue depths, residuals, ...).
+class Gauge {
+ public:
+  void Set(double v) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(double delta) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Latency histogram over power-of-two nanosecond buckets (bucket k holds
+/// samples with bit_width(nanos) == k, i.e. [2^(k-1), 2^k)), spanning
+/// 1 ns .. ~18 s per bucket family and saturating above. Quantiles are
+/// approximate: the reported value is the geometric midpoint of the
+/// bucket containing the quantile, so it is accurate to within ~sqrt(2)x
+/// — plenty for the p50/p95/p99 latency shapes the benches track.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void RecordNanos(uint64_t nanos) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    RecordAlways(nanos);
+  }
+  void RecordSeconds(double seconds) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    if (seconds < 0) seconds = 0;
+    RecordAlways(static_cast<uint64_t>(seconds * 1e9));
+  }
+
+  bool recording_enabled() const {
+    return enabled_->load(std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum_seconds() const {
+    return 1e-9 * static_cast<double>(
+                      sum_nanos_.load(std::memory_order_relaxed));
+  }
+  double min_seconds() const;
+  double max_seconds() const;
+  /// Approximate quantile in seconds; q in [0, 1]. 0 when empty.
+  double QuantileSeconds(double q) const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  void RecordAlways(uint64_t nanos);
+  void Reset();
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_nanos_{0};
+  std::atomic<uint64_t> min_nanos_{UINT64_MAX};
+  std::atomic<uint64_t> max_nanos_{0};
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// RAII span: records its lifetime into a Histogram. Reads the clock only
+/// when the histogram is enabled at construction time, so a disabled
+/// registry pays one atomic load and no syscalls.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram != nullptr && histogram->recording_enabled()
+                       ? histogram
+                       : nullptr) {
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (histogram_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->RecordNanos(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// ---------------------------------------------------------------------------
+// Snapshots
+
+struct HistogramSample {
+  uint64_t count = 0;
+  double sum_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+/// A point-in-time copy of every metric in a registry, serializable to
+/// (and parseable back from) JSON.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSample> histograms;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}.
+  /// `indent` < 0 emits a single line.
+  std::string ToJson(int indent = 2) const;
+
+  /// Parses ToJson() output. Returns false and sets *error on malformed
+  /// input. Accepts any field order; unknown histogram fields are errors.
+  static bool FromJson(const std::string& json, MetricsSnapshot* out,
+                       std::string* error);
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+
+/// Owns metrics by name. Thread-safe; returned metric pointers are stable
+/// for the registry's lifetime (metrics are never deleted, and Reset only
+/// zeroes values). Recording is gated on the registry-wide enabled flag,
+/// which defaults to off.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry that the engine's instrumentation uses.
+  static MetricsRegistry& Global();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Finds or creates. A name names one kind of metric forever; asking
+  /// for an existing name with a different kind returns nullptr.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Zeroes every metric (pointers stay valid).
+  void Reset();
+
+  MetricsSnapshot Snapshot() const;
+  std::string ToJson(int indent = 2) const { return Snapshot().ToJson(indent); }
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace vdb::obs
+
+#endif  // VDB_OBS_METRICS_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace vdb {
@@ -118,11 +119,17 @@ Result<std::vector<double>> LeastSquares(const Matrix& a,
 
 Result<std::vector<double>> NonNegativeLeastSquares(
     const Matrix& a, const std::vector<double>& b, double ridge) {
+  static obs::Counter* const solves =
+      obs::MetricsRegistry::Global().GetCounter("linalg.nnls_solves");
+  static obs::Counter* const iterations =
+      obs::MetricsRegistry::Global().GetCounter("linalg.nnls_iterations");
+  solves->Add();
   VDB_ASSIGN_OR_RETURN(std::vector<double> x, LeastSquares(a, b, ridge));
   std::vector<bool> clamped(x.size(), false);
   // Active-set style iteration: clamp the most negative variable to zero,
   // re-solve the reduced system, repeat. At most cols() iterations.
   for (size_t iter = 0; iter < x.size(); ++iter) {
+    iterations->Add();
     // Find most negative unclamped component.
     size_t worst = x.size();
     double worst_value = -1e-12;

@@ -1,8 +1,44 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
 
 namespace vdb::util {
+
+namespace {
+
+// Pool instrumentation (DESIGN.md §9). Queue depth is sampled on every
+// enqueue/dequeue (both already hold the pool mutex); queue_wait measures
+// enqueue -> dequeue, task_latency measures dequeue -> completion.
+struct PoolMetrics {
+  obs::Gauge* queue_depth;
+  obs::Counter* tasks_completed;
+  obs::Histogram* queue_wait;
+  obs::Histogram* task_latency;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return PoolMetrics{
+          registry.GetGauge("thread_pool.queue_depth"),
+          registry.GetCounter("thread_pool.tasks_completed"),
+          registry.GetHistogram("thread_pool.queue_wait"),
+          registry.GetHistogram("thread_pool.task_latency")};
+    }();
+    return metrics;
+  }
+};
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
@@ -27,24 +63,41 @@ int ThreadPool::HardwareConcurrency() {
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
+  const PoolMetrics& metrics = PoolMetrics::Get();
+  // Clock read only when a histogram will actually consume it.
+  const uint64_t enqueued_nanos =
+      metrics.queue_wait->recording_enabled() ? NowNanos() : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), enqueued_nanos});
+    metrics.queue_depth->Set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop() {
+  const PoolMetrics& metrics = PoolMetrics::Get();
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      metrics.queue_depth->Set(static_cast<double>(queue_.size()));
     }
-    task();
+    if (task.enqueued_nanos != 0) {
+      const uint64_t now = NowNanos();
+      if (now > task.enqueued_nanos) {
+        metrics.queue_wait->RecordNanos(now - task.enqueued_nanos);
+      }
+    }
+    {
+      obs::ScopedTimer latency_timer(metrics.task_latency);
+      task.fn();
+    }
+    metrics.tasks_completed->Add();
   }
 }
 

@@ -2,6 +2,7 @@
 #define VDB_UTIL_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -52,12 +53,19 @@ class ThreadPool {
   }
 
  private:
+  // A queued task plus its enqueue timestamp (0 when metrics were
+  // disabled at enqueue time; see thread_pool.cc instrumentation).
+  struct QueuedTask {
+    std::function<void()> fn;
+    uint64_t enqueued_nanos = 0;
+  };
+
   void Enqueue(std::function<void()> task);
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,311 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+// Allocation probe for the disabled-mode zero-allocation guarantee
+// (DESIGN.md §9): every operator new in this binary bumps a counter that
+// tests sample around a critical region.
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace vdb::obs {
+namespace {
+
+TEST(CounterTest, DisabledByDefault) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  ASSERT_NE(counter, nullptr);
+  counter->Add();
+  counter->Add(41);
+  EXPECT_EQ(counter->value(), 0u);
+}
+
+TEST(CounterTest, CountsWhenEnabled) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Counter* counter = registry.GetCounter("c");
+  counter->Add();
+  counter->Add(41);
+  EXPECT_EQ(counter->value(), 42u);
+}
+
+TEST(CounterTest, SameNameSamePointer) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("c"), registry.GetCounter("c"));
+  EXPECT_NE(registry.GetCounter("c"), registry.GetCounter("d"));
+}
+
+TEST(CounterTest, KindMismatchReturnsNull) {
+  MetricsRegistry registry;
+  ASSERT_NE(registry.GetCounter("m"), nullptr);
+  EXPECT_EQ(registry.GetGauge("m"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("m"), nullptr);
+  ASSERT_NE(registry.GetGauge("g"), nullptr);
+  EXPECT_EQ(registry.GetCounter("g"), nullptr);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Gauge* gauge = registry.GetGauge("g");
+  gauge->Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge->value(), 2.5);
+  gauge->Add(1.25);
+  gauge->Add(-0.75);
+  EXPECT_DOUBLE_EQ(gauge->value(), 3.0);
+
+  registry.set_enabled(false);
+  gauge->Set(99.0);
+  EXPECT_DOUBLE_EQ(gauge->value(), 3.0);
+}
+
+TEST(HistogramTest, CountSumMinMax) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Histogram* h = registry.GetHistogram("h");
+  h->RecordNanos(1000);       // 1 us
+  h->RecordNanos(1000000);    // 1 ms
+  h->RecordSeconds(0.5);      // 500 ms
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_NEAR(h->sum_seconds(), 0.501001, 1e-9);
+  EXPECT_NEAR(h->min_seconds(), 1e-6, 1e-12);
+  EXPECT_NEAR(h->max_seconds(), 0.5, 1e-9);
+}
+
+TEST(HistogramTest, QuantilesWithinBucketResolution) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Histogram* h = registry.GetHistogram("h");
+  // 90 fast samples at ~1 us, 10 slow at ~1 ms: p50 must sit in the fast
+  // band, p99 in the slow band. Buckets are power-of-two, so allow 2x.
+  for (int i = 0; i < 90; ++i) h->RecordNanos(1000);
+  for (int i = 0; i < 10; ++i) h->RecordNanos(1000000);
+  const double p50 = h->QuantileSeconds(0.50);
+  const double p99 = h->QuantileSeconds(0.99);
+  EXPECT_GE(p50, 0.5e-6);
+  EXPECT_LE(p50, 2e-6);
+  EXPECT_GE(p99, 0.5e-3);
+  EXPECT_LE(p99, 2e-3);
+  EXPECT_LE(h->QuantileSeconds(0.0), p50);
+  EXPECT_GE(h->QuantileSeconds(1.0), p99);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Histogram* h = registry.GetHistogram("h");
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_DOUBLE_EQ(h->QuantileSeconds(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h->min_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(h->max_seconds(), 0.0);
+}
+
+TEST(ScopedTimerTest, RecordsWhenEnabled) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Histogram* h = registry.GetHistogram("span");
+  { ScopedTimer timer(h); }
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_GE(h->max_seconds(), 0.0);
+}
+
+TEST(ScopedTimerTest, NoOpWhenDisabledOrNull) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("span");
+  { ScopedTimer timer(h); }
+  { ScopedTimer timer(nullptr); }
+  EXPECT_EQ(h->count(), 0u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsPointers) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Counter* counter = registry.GetCounter("c");
+  Gauge* gauge = registry.GetGauge("g");
+  Histogram* h = registry.GetHistogram("h");
+  counter->Add(7);
+  gauge->Set(1.5);
+  h->RecordNanos(500);
+  registry.Reset();
+  EXPECT_EQ(registry.GetCounter("c"), counter);
+  EXPECT_EQ(registry.GetGauge("g"), gauge);
+  EXPECT_EQ(registry.GetHistogram("h"), h);
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+  counter->Add(3);
+  EXPECT_EQ(counter->value(), 3u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Counter* counter = registry.GetCounter("c");
+  Histogram* h = registry.GetHistogram("h");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Add();
+        h->RecordNanos(static_cast<uint64_t>(t * kPerThread + i + 1));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter->value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_NEAR(h->min_seconds(), 1e-9, 1e-15);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        registry.GetCounter("shared." + std::to_string(i % 10))->Add();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  uint64_t total = 0;
+  for (const auto& [name, value] : registry.Snapshot().counters) {
+    total += value;
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * 100);
+}
+
+TEST(MetricsRegistryTest, DisabledOperationsDoNotAllocate) {
+  MetricsRegistry registry;  // disabled
+  Counter* counter = registry.GetCounter("c");
+  Gauge* gauge = registry.GetGauge("g");
+  Histogram* h = registry.GetHistogram("h");
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    counter->Add();
+    gauge->Set(static_cast<double>(i));
+    h->RecordNanos(123);
+    ScopedTimer timer(h);
+  }
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), before);
+}
+
+TEST(MetricsRegistryTest, EnabledRecordingDoesNotAllocate) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  Counter* counter = registry.GetCounter("c");
+  Histogram* h = registry.GetHistogram("h");
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    counter->Add();
+    h->RecordNanos(static_cast<uint64_t>(i + 1));
+  }
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), before);
+}
+
+TEST(SnapshotTest, JsonRoundTrip) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.GetCounter("cost_model.probes")->Add(12345);
+  registry.GetCounter("search.iterations")->Add(7);
+  registry.GetGauge("calib.residual_rms_ms")->Set(0.125);
+  Histogram* h = registry.GetHistogram("search.greedy.wall_time");
+  for (int i = 0; i < 100; ++i) h->RecordNanos(1000 * (i + 1));
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const std::string json = snapshot.ToJson();
+
+  MetricsSnapshot parsed;
+  std::string error;
+  ASSERT_TRUE(MetricsSnapshot::FromJson(json, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.counters, snapshot.counters);
+  ASSERT_EQ(parsed.gauges.size(), 1u);
+  EXPECT_NEAR(parsed.gauges.at("calib.residual_rms_ms"), 0.125, 1e-12);
+  ASSERT_EQ(parsed.histograms.size(), 1u);
+  const HistogramSample& a =
+      snapshot.histograms.at("search.greedy.wall_time");
+  const HistogramSample& b =
+      parsed.histograms.at("search.greedy.wall_time");
+  EXPECT_EQ(b.count, a.count);
+  EXPECT_NEAR(b.sum_seconds, a.sum_seconds, 1e-12);
+  EXPECT_NEAR(b.min_seconds, a.min_seconds, 1e-12);
+  EXPECT_NEAR(b.max_seconds, a.max_seconds, 1e-12);
+  EXPECT_NEAR(b.p50_seconds, a.p50_seconds, 1e-12);
+  EXPECT_NEAR(b.p95_seconds, a.p95_seconds, 1e-12);
+  EXPECT_NEAR(b.p99_seconds, a.p99_seconds, 1e-12);
+}
+
+TEST(SnapshotTest, SingleLineJsonRoundTrip) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  registry.GetCounter("c")->Add(3);
+  const std::string json = registry.ToJson(-1);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  MetricsSnapshot parsed;
+  std::string error;
+  ASSERT_TRUE(MetricsSnapshot::FromJson(json, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.counters.at("c"), 3u);
+}
+
+TEST(SnapshotTest, EmptyRegistryRoundTrip) {
+  MetricsRegistry registry;
+  MetricsSnapshot parsed;
+  std::string error;
+  ASSERT_TRUE(MetricsSnapshot::FromJson(registry.ToJson(), &parsed, &error))
+      << error;
+  EXPECT_TRUE(parsed.counters.empty());
+  EXPECT_TRUE(parsed.gauges.empty());
+  EXPECT_TRUE(parsed.histograms.empty());
+}
+
+TEST(SnapshotTest, FromJsonRejectsMalformedInput) {
+  MetricsSnapshot parsed;
+  std::string error;
+  EXPECT_FALSE(MetricsSnapshot::FromJson("", &parsed, &error));
+  EXPECT_FALSE(MetricsSnapshot::FromJson("{", &parsed, &error));
+  EXPECT_FALSE(MetricsSnapshot::FromJson("[]", &parsed, &error));
+  EXPECT_FALSE(MetricsSnapshot::FromJson(
+      R"({"counters": {"c": "not-a-number"}})", &parsed, &error));
+  EXPECT_FALSE(MetricsSnapshot::FromJson(
+      R"({"histograms": {"h": {"bogus_field": 1}}})", &parsed, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SnapshotTest, GlobalRegistryIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace vdb::obs

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Perf gate for CI: compare BENCH_*.json timings against bench/baseline.json.
+
+Usage:
+    check_bench_regression.py --bench-dir DIR [--baseline bench/baseline.json]
+                              [--threshold 0.25]
+
+The baseline file lists, per bench, the tracked keys and their reference
+values. A tracked key may name a timing (seconds) or a value (e.g. the
+metrics_overhead_ratio); each is looked up first in the bench report's
+"timings" map, then in "values". The gate fails when a tracked entry
+exceeds baseline * (1 + threshold), when a tracked entry or the bench's
+report file is missing, or when a report is structurally invalid.
+
+Timings below `min_seconds` (default 0.05s) are checked for presence but
+not compared: they are dominated by scheduler noise on shared runners.
+
+Baseline format:
+{
+  "threshold": 0.25,            # optional override, fraction
+  "min_seconds": 0.05,          # optional noise floor for timings
+  "benches": {
+    "search_algorithms": {
+      "total_s": 120.0,
+      "metrics_overhead_ratio": 1.0
+    }
+  }
+}
+
+Only the standard library is used; exit code 0 = pass, 1 = fail.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f), None
+    except OSError as e:
+        return None, f"cannot read {path}: {e}"
+    except json.JSONDecodeError as e:
+        return None, f"{path} is not valid JSON: {e}"
+
+
+def validate_report(report, path):
+    """Structural check of one BENCH_*.json file."""
+    errors = []
+    if not isinstance(report, dict):
+        return [f"{path}: top level is not an object"]
+    for field in ("bench", "schema_version", "timings", "values"):
+        if field not in report:
+            errors.append(f"{path}: missing field '{field}'")
+    for section in ("timings", "values"):
+        entries = report.get(section, {})
+        if not isinstance(entries, dict):
+            errors.append(f"{path}: '{section}' is not an object")
+            continue
+        for key, value in entries.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"{path}: {section}[{key}] is not a number")
+    return errors
+
+
+def lookup(report, key):
+    if key in report.get("timings", {}):
+        return report["timings"][key], True
+    if key in report.get("values", {}):
+        return report["values"][key], False
+    return None, False
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench-dir", required=True,
+                        help="directory holding the BENCH_*.json reports")
+    parser.add_argument("--baseline", default="bench/baseline.json",
+                        help="checked-in baseline file")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="allowed fractional regression "
+                             "(overrides the baseline's value)")
+    args = parser.parse_args()
+
+    baseline, err = load_json(args.baseline)
+    if err:
+        print(f"FAIL: {err}")
+        return 1
+    if not isinstance(baseline, dict) or "benches" not in baseline:
+        print(f"FAIL: {args.baseline} has no 'benches' section")
+        return 1
+
+    threshold = args.threshold
+    if threshold is None:
+        threshold = float(baseline.get("threshold", 0.25))
+    min_seconds = float(baseline.get("min_seconds", 0.05))
+
+    failures = []
+    rows = []
+    for bench_name, tracked in sorted(baseline["benches"].items()):
+        report_path = os.path.join(args.bench_dir,
+                                   f"BENCH_{bench_name}.json")
+        report, err = load_json(report_path)
+        if err:
+            failures.append(err)
+            continue
+        structural = validate_report(report, report_path)
+        if structural:
+            failures.extend(structural)
+            continue
+        if report.get("bench") != bench_name:
+            failures.append(
+                f"{report_path}: names bench "
+                f"'{report.get('bench')}', expected '{bench_name}'")
+            continue
+        for key, reference in sorted(tracked.items()):
+            current, is_timing = lookup(report, key)
+            if current is None:
+                failures.append(
+                    f"{bench_name}: tracked key '{key}' missing from report")
+                continue
+            limit = reference * (1.0 + threshold)
+            noise = is_timing and reference < min_seconds
+            regressed = not noise and current > limit
+            rows.append((bench_name, key, reference, current, limit,
+                         "SKIP(noise)" if noise else
+                         ("FAIL" if regressed else "ok")))
+            if regressed:
+                failures.append(
+                    f"{bench_name}/{key}: {current:.4g} exceeds baseline "
+                    f"{reference:.4g} by more than {100 * threshold:.0f}% "
+                    f"(limit {limit:.4g})")
+
+    if rows:
+        name_width = max(len(f"{b}/{k}") for b, k, *_ in rows)
+        print(f"{'tracked entry':<{name_width}} {'baseline':>12} "
+              f"{'current':>12} {'limit':>12}  status")
+        for bench_name, key, reference, current, limit, status in rows:
+            print(f"{bench_name + '/' + key:<{name_width}} "
+                  f"{reference:>12.4g} {current:>12.4g} {limit:>12.4g}  "
+                  f"{status}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} problem(s):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nPASS: {len(rows)} tracked entries within "
+          f"{100 * threshold:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
