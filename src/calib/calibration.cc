@@ -1,19 +1,26 @@
 #include "calib/calibration.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "obs/metrics.h"
 #include "util/linalg.h"
+#include "util/logging.h"
+#include "util/random.h"
 
 namespace vdb::calib {
 
 namespace {
 
-// Calibration instrumentation (DESIGN.md §9). The NNLS solver publishes
-// its own iteration counts under linalg.nnls_*.
+// Calibration instrumentation (DESIGN.md §9/§10). The NNLS solver
+// publishes its own iteration counts under linalg.nnls_*.
 struct CalibMetrics {
   obs::Counter* runs;
   obs::Counter* queries_executed;
+  obs::Counter* retries;
+  obs::Counter* rejected_samples;
+  obs::Counter* failed_queries;
+  obs::Counter* flagged_fits;
   obs::Histogram* run_latency;
   obs::Gauge* residual_rms_ms;
 
@@ -22,6 +29,10 @@ struct CalibMetrics {
       auto& registry = obs::MetricsRegistry::Global();
       return CalibMetrics{registry.GetCounter("calib.runs"),
                           registry.GetCounter("calib.queries_executed"),
+                          registry.GetCounter("calib.retries"),
+                          registry.GetCounter("calib.rejected_samples"),
+                          registry.GetCounter("calib.failed_queries"),
+                          registry.GetCounter("calib.flagged_fits"),
                           registry.GetHistogram("calib.run_latency"),
                           registry.GetGauge("calib.residual_rms_ms")};
     }();
@@ -38,6 +49,72 @@ std::string Range(uint64_t rows, double fraction, int span) {
   const int64_t lo =
       static_cast<int64_t>(static_cast<double>(rows - 1) * fraction);
   return std::to_string(lo) + " and " + std::to_string(lo + span - 1);
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+// One execution with transient-failure retry. The exponential backoff is
+// *simulated*: it is accrued into stats->backoff_ms (with deterministic
+// ±10% jitter) rather than slept on the host, so tests stay fast and the
+// policy stays measurable.
+Result<exec::QueryResult> RunWithRetry(exec::Database* db,
+                                       const optimizer::PhysicalNode& plan,
+                                       const sim::VirtualMachine& vm,
+                                       const CalibrationOptions& options,
+                                       Random* jitter,
+                                       CalibrationRunStats* stats) {
+  double backoff_ms = options.backoff_initial_ms;
+  Status last = Status::Internal("calibration run never attempted");
+  for (int attempt = 0;; ++attempt) {
+    Result<exec::QueryResult> run = db->ExecutePlan(plan, vm);
+    if (run.ok()) return run;
+    last = run.status();
+    if (attempt >= options.max_retries) break;
+    stats->retries += 1;
+    CalibMetrics::Get().retries->Add();
+    stats->backoff_ms += backoff_ms * (0.9 + 0.2 * jitter->NextDouble());
+    backoff_ms *= options.backoff_multiplier;
+  }
+  return last;
+}
+
+// Robust aggregation (DESIGN.md §10): MAD outlier rejection centered on
+// the median, then the mean of the survivors (the mean is the more
+// statistically efficient location estimate once the heavy tail has been
+// clipped). Requires >= 3 samples to reject; with fewer there is no
+// robust scale estimate.
+double AggregateSamples(const std::vector<double>& samples,
+                        const CalibrationOptions& options, int* rejected) {
+  *rejected = 0;
+  std::vector<double> kept = samples;
+  if (samples.size() >= 3) {
+    const double median = Median(samples);
+    std::vector<double> deviations;
+    deviations.reserve(samples.size());
+    for (double v : samples) deviations.push_back(std::fabs(v - median));
+    const double robust_sigma = 1.4826 * Median(deviations);
+    // When the majority of samples agree exactly (the deterministic
+    // simulator's common case), sigma is 0 and anything off the median —
+    // i.e. every injected spike — is rejected; the epsilon absorbs
+    // floating-point wiggle only.
+    const double cutoff =
+        std::max(options.outlier_mad_cutoff * robust_sigma,
+                 1e-9 * std::max(std::fabs(median), 1.0));
+    kept.clear();
+    for (double v : samples) {
+      if (std::fabs(v - median) <= cutoff) kept.push_back(v);
+    }
+    *rejected = static_cast<int>(samples.size() - kept.size());
+  }
+  double sum = 0.0;
+  for (double v : kept) sum += v;
+  return sum / static_cast<double>(kept.size());
 }
 
 }  // namespace
@@ -84,7 +161,14 @@ std::vector<CalibrationQuery> CalibrationSuite(uint64_t indexed_rows) {
 }
 
 Result<CalibrationResult> Calibrator::Calibrate(
-    const sim::VirtualMachine& vm) {
+    const sim::VirtualMachine& vm, const CalibrationOptions& options) {
+  if (options.repeats < 1) {
+    return Status::InvalidArgument("CalibrationOptions.repeats must be >= 1");
+  }
+  if (options.max_retries < 0 || options.huber_iterations < 0) {
+    return Status::InvalidArgument(
+        "CalibrationOptions retry/huber counts must be >= 0");
+  }
   const CalibMetrics& metrics = CalibMetrics::Get();
   metrics.runs->Add();
   obs::ScopedTimer run_timer(metrics.run_latency);
@@ -114,11 +198,19 @@ Result<CalibrationResult> Calibrator::Calibrate(
   if (n < optimizer::OptimizerParams::kNumCalibrated) {
     return Status::InvalidArgument("calibration suite too small");
   }
-  Matrix a(n, optimizer::OptimizerParams::kNumCalibrated);
-  std::vector<double> b(n);
+
+  Random jitter(options.seed);
+  CalibrationResult result;
+  std::vector<std::array<double, optimizer::OptimizerParams::kNumCalibrated>>
+      rows;
+  std::vector<double> b;
+  rows.reserve(n);
+  b.reserve(n);
 
   for (size_t q = 0; q < n; ++q) {
     const CalibrationQuery& query = suite_[q];
+    // Planning failures are real bugs (bad suite / missing tables), never
+    // transient — they abort the run.
     VDB_ASSIGN_OR_RETURN(optimizer::PhysicalNodePtr plan,
                          db_->Prepare(query.sql));
     optimizer::WorkVector work = plan->TotalWork();
@@ -126,25 +218,130 @@ Result<CalibrationResult> Calibrator::Calibrate(
       // Warm the cache with one unmeasured run, and model the measured run
       // as I/O-free. (If the database exceeds the VM's memory, the warm
       // run still misses and the CPU parameters honestly absorb it.)
-      VDB_RETURN_NOT_OK(db_->ExecutePlan(*plan, vm).status());
+      Result<exec::QueryResult> warm =
+          RunWithRetry(db_, *plan, vm, options, &jitter, &result.stats);
+      if (!warm.ok()) {
+        result.stats.failed_queries += 1;
+        metrics.failed_queries->Add();
+        result.warnings.push_back("query '" + query.name +
+                                  "' dropped (warm-up failed): " +
+                                  warm.status().ToString());
+        continue;
+      }
       work.seq_pages = 0;
       work.random_pages = 0;
-    } else {
-      VDB_RETURN_NOT_OK(db_->DropCaches());
     }
-    VDB_ASSIGN_OR_RETURN(exec::QueryResult result,
-                         db_->ExecutePlan(*plan, vm));
-    metrics.queries_executed->Add();
-    const auto row = work.AsArray();
+
+    std::vector<double> samples;
+    samples.reserve(options.repeats);
+    for (int k = 0; k < options.repeats; ++k) {
+      if (!query.warm_cache) VDB_RETURN_NOT_OK(db_->DropCaches());
+      Result<exec::QueryResult> run =
+          RunWithRetry(db_, *plan, vm, options, &jitter, &result.stats);
+      if (!run.ok()) {
+        result.warnings.push_back("query '" + query.name + "' sample " +
+                                  std::to_string(k + 1) + " abandoned: " +
+                                  run.status().ToString());
+        continue;
+      }
+      metrics.queries_executed->Add();
+      result.stats.measurements += 1;
+      samples.push_back(run->elapsed_seconds * 1000.0);
+      if (options.early_stop_rel_spread > 0.0 && samples.size() >= 2) {
+        const auto [mn, mx] =
+            std::minmax_element(samples.begin(), samples.end());
+        const double scale = std::max(Median(samples), 1e-12);
+        if ((*mx - *mn) / scale < options.early_stop_rel_spread) break;
+      }
+    }
+    if (samples.empty()) {
+      result.stats.failed_queries += 1;
+      metrics.failed_queries->Add();
+      result.warnings.push_back("query '" + query.name +
+                                "' dropped: no sample survived " +
+                                std::to_string(options.max_retries) +
+                                " retries per attempt");
+      continue;
+    }
+
+    int rejected = 0;
+    const double value = AggregateSamples(samples, options, &rejected);
+    if (rejected > 0) {
+      result.stats.rejected_samples += rejected;
+      metrics.rejected_samples->Add(static_cast<uint64_t>(rejected));
+      result.warnings.push_back("query '" + query.name + "': rejected " +
+                                std::to_string(rejected) + " of " +
+                                std::to_string(samples.size()) +
+                                " samples as outliers");
+    }
+    rows.push_back(work.AsArray());
+    b.push_back(value);
+  }
+
+  if (rows.size() <
+      static_cast<size_t>(optimizer::OptimizerParams::kNumCalibrated)) {
+    return Status::InvalidArgument(
+        "too few successful calibration queries (" +
+        std::to_string(rows.size()) + " of " + std::to_string(n) +
+        "; need >= " +
+        std::to_string(optimizer::OptimizerParams::kNumCalibrated) + ")");
+  }
+
+  Matrix a(rows.size(), optimizer::OptimizerParams::kNumCalibrated);
+  for (size_t r = 0; r < rows.size(); ++r) {
     for (int c = 0; c < optimizer::OptimizerParams::kNumCalibrated; ++c) {
-      a.At(q, c) = row[c];
+      a.At(r, c) = rows[r][c];
     }
-    b[q] = result.elapsed_seconds * 1000.0;
+  }
+
+  // The fitted system: identical to (a, b) for absolute weighting; scaled
+  // per-equation by 1/measured for relative weighting, which matches the
+  // multiplicative noise model and stops the largest queries from
+  // monopolizing the (collinear) CPU parameter split.
+  Matrix af = a;
+  std::vector<double> bf = b;
+  if (options.weighting == CalibrationOptions::FitWeighting::kRelative) {
+    for (size_t r = 0; r < bf.size(); ++r) {
+      const double scale = 1.0 / std::max(b[r], 1e-9);
+      for (size_t c = 0; c < af.cols(); ++c) af.At(r, c) *= scale;
+      bf[r] = b[r] * scale;
+    }
   }
 
   VDB_ASSIGN_OR_RETURN(std::vector<double> solution,
-                       NonNegativeLeastSquares(a, b));
-  CalibrationResult result;
+                       NonNegativeLeastSquares(af, bf));
+
+  // IRLS/Huber robust refit: bound the influence of equations the initial
+  // fit explains badly (surviving spikes, contaminated grid points).
+  // Residuals are taken in the fitted (possibly relative) scale.
+  for (int iter = 0; iter < options.huber_iterations; ++iter) {
+    const std::vector<double> fitted = af.TimesVector(solution);
+    std::vector<double> abs_residuals(bf.size());
+    for (size_t i = 0; i < bf.size(); ++i) {
+      abs_residuals[i] = std::fabs(fitted[i] - bf[i]);
+    }
+    const double sigma = 1.4826 * Median(abs_residuals);
+    if (sigma < 1e-9) break;  // effectively exact fit — weights all 1
+    const double cutoff = options.huber_cutoff_sigma * sigma;
+    Matrix aw(af.rows(), af.cols());
+    std::vector<double> bw(bf.size());
+    for (size_t i = 0; i < bf.size(); ++i) {
+      const double weight =
+          abs_residuals[i] <= cutoff ? 1.0 : cutoff / abs_residuals[i];
+      const double sw = std::sqrt(weight);
+      for (size_t c = 0; c < af.cols(); ++c) aw.At(i, c) = sw * af.At(i, c);
+      bw[i] = sw * bf[i];
+    }
+    Result<std::vector<double>> refit = NonNegativeLeastSquares(aw, bw);
+    if (!refit.ok()) {
+      result.warnings.push_back("Huber refit pass " +
+                                std::to_string(iter + 1) + " failed: " +
+                                refit.status().ToString());
+      break;
+    }
+    solution = std::move(*refit);
+  }
+
   std::array<double, optimizer::OptimizerParams::kNumCalibrated> vec;
   for (int i = 0; i < optimizer::OptimizerParams::kNumCalibrated; ++i) {
     vec[i] = solution[i];
@@ -155,9 +352,19 @@ Result<CalibrationResult> Calibrator::Calibrate(
   result.params.work_mem_bytes = db_->config().work_mem_bytes;
   result.residual_rms_ms = ResidualRms(a, solution, b);
   metrics.residual_rms_ms->Set(result.residual_rms_ms);
-  result.num_queries = static_cast<int>(n);
+  result.num_queries = static_cast<int>(rows.size());
   result.measured_ms = b;
   result.fitted_ms = a.TimesVector(solution);
+  if (result.residual_rms_ms > options.residual_budget_ms) {
+    result.accepted = false;
+    metrics.flagged_fits->Add();
+    result.warnings.push_back(
+        "fit residual " + std::to_string(result.residual_rms_ms) +
+        " ms exceeds budget " + std::to_string(options.residual_budget_ms) +
+        " ms");
+    VDB_LOG(Warning) << "calibration at " << vm.share().ToString()
+                     << " flagged: " << result.warnings.back();
+  }
   return result;
 }
 

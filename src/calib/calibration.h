@@ -1,6 +1,8 @@
 #ifndef VDB_CALIB_CALIBRATION_H_
 #define VDB_CALIB_CALIBRATION_H_
 
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -34,25 +36,133 @@ struct CalibrationQuery {
 /// touches real entries.
 std::vector<CalibrationQuery> CalibrationSuite(uint64_t indexed_rows);
 
+/// Knobs for the robust measurement and fitting pipeline (DESIGN.md §10).
+/// The defaults reproduce classic single-shot calibration: one measured
+/// run per query, no retries, a plain non-negative least-squares fit, and
+/// an unlimited residual budget. All times are milliseconds.
+struct CalibrationOptions {
+  /// Measured runs per query; the aggregate is the median of the runs
+  /// that survive outlier rejection. Must be >= 1.
+  int repeats = 1;
+
+  /// Extra attempts per run when an execution fails (e.g. an injected
+  /// transient fault): a run is retried up to `max_retries` times with
+  /// exponential backoff before the sample is abandoned. 0 disables.
+  int max_retries = 0;
+
+  /// First retry waits this long (simulated — accrued in
+  /// CalibrationRunStats::backoff_ms, never slept on the host), doubling
+  /// by `backoff_multiplier` per subsequent retry, with ±10% jitter.
+  double backoff_initial_ms = 10.0;
+  double backoff_multiplier = 2.0;
+
+  /// A sample is rejected as an outlier when its distance to the median
+  /// exceeds `outlier_mad_cutoff` robust standard deviations
+  /// (1.4826 * MAD). Applied only when a query has >= 3 samples.
+  double outlier_mad_cutoff = 3.5;
+
+  /// Stop repeating a query early once >= 2 samples agree within this
+  /// relative spread ((max-min)/median). The simulator is deterministic,
+  /// so noise-free runs converge after 2 samples and the robust path
+  /// costs far less than `repeats`x single-shot. Set to 0 to always take
+  /// all `repeats` samples.
+  double early_stop_rel_spread = 1e-3;
+
+  /// IRLS refinement passes on top of the initial NNLS solve: each pass
+  /// re-solves with Huber weights (unit weight within
+  /// `huber_cutoff_sigma` robust standard deviations of residual, then
+  /// decaying as 1/|r|), bounding the influence of any single bad
+  /// equation. 0 keeps the plain NNLS solution.
+  int huber_iterations = 0;
+  double huber_cutoff_sigma = 1.345;
+
+  /// How equations are weighted in the least-squares objective.
+  /// `kAbsolute` minimizes residuals in milliseconds, so the largest
+  /// queries dominate; `kRelative` scales every equation by its measured
+  /// time, which matches the multiplicative noise model and spreads the
+  /// identification of collinear CPU parameters across all equations
+  /// (markedly lower parameter variance under noise).
+  enum class FitWeighting { kAbsolute, kRelative };
+  FitWeighting weighting = FitWeighting::kAbsolute;
+
+  /// Fits whose RMS residual (ms) exceeds this budget are still returned
+  /// but marked `accepted = false` with a warning — the caller (e.g. the
+  /// grid) decides whether to keep, re-run, or drop the point.
+  double residual_budget_ms = std::numeric_limits<double>::infinity();
+
+  /// Seeds the deterministic backoff jitter stream.
+  uint64_t seed = 42;
+
+  /// The preset used by benches and the robustness tests: median-of-5
+  /// measurement with retries, a Huber refit, and relative weighting.
+  static CalibrationOptions Robust() {
+    CalibrationOptions options;
+    options.repeats = 5;
+    options.max_retries = 3;
+    options.huber_iterations = 3;
+    options.weighting = FitWeighting::kRelative;
+    return options;
+  }
+};
+
+/// Counters describing what the robust measurement layer did during one
+/// calibration run. All zero on the classic single-shot path.
+struct CalibrationRunStats {
+  /// Successful measured executions (excludes warm-up runs and failures).
+  int measurements = 0;
+  /// Re-executions performed after transient failures.
+  int retries = 0;
+  /// Samples discarded by MAD outlier rejection.
+  int rejected_samples = 0;
+  /// Queries dropped entirely (no sample survived retry exhaustion).
+  int failed_queries = 0;
+  /// Total simulated backoff delay accrued across retries (ms).
+  double backoff_ms = 0.0;
+};
+
 /// Output of one calibration run at a fixed resource allocation.
+/// `params` entries are per-unit times in milliseconds (see
+/// optimizer::OptimizerParams).
 struct CalibrationResult {
   optimizer::OptimizerParams params;
-  /// Root-mean-square residual of the least-squares fit (milliseconds).
+  /// Root-mean-square residual of the least-squares fit (milliseconds),
+  /// over the equations actually used.
   double residual_rms_ms = 0.0;
-  /// Number of equations (queries) used.
+  /// Number of equations (successfully measured queries) used.
   int num_queries = 0;
-  /// Per-query measured times (ms), for diagnostics.
+  /// Per-used-query aggregated measured times (ms), for diagnostics.
   std::vector<double> measured_ms;
-  /// Per-query model-predicted times under the fitted params (ms).
+  /// Per-used-query model-predicted times under the fitted params (ms).
   std::vector<double> fitted_ms;
+  /// False when the fit exceeded CalibrationOptions::residual_budget_ms;
+  /// the parameters are still populated (best available fit).
+  bool accepted = true;
+  /// What the robust measurement layer observed (retries, rejections, …).
+  CalibrationRunStats stats;
+  /// Human-readable notes about degraded measurements (dropped queries,
+  /// rejected samples, budget violations). Empty on a clean run.
+  std::vector<std::string> warnings;
 };
 
 /// Runs the calibration process of paper Section 5 against a database that
 /// contains the calibration tables: configure the instance for the VM's
 /// allocation, execute the suite, and solve the resulting linear system
-/// for the five time parameters of P (non-negative least squares). The
-/// capacity parameters of P (effective cache size, work_mem) are set
-/// directly from the VM-derived instance configuration.
+/// for the five time parameters of P (non-negative least squares, with an
+/// optional Huber/IRLS robust refit). The capacity parameters of P
+/// (effective cache size, work_mem) are set directly from the VM-derived
+/// instance configuration.
+///
+/// Thread-safety: a Calibrator mutates its Database (VM reconfiguration,
+/// cache drops, plan-pinning optimizer params) and must not run
+/// concurrently with any other use of that Database.
+///
+/// Error behavior: Calibrate fails when the database lacks the
+/// calibration tables, a suite query cannot be planned, or — after
+/// per-query retries and drops — fewer than
+/// OptimizerParams::kNumCalibrated equations remain
+/// (InvalidArgument). Individual execution failures are retried
+/// (CalibrationOptions::max_retries) and then degrade to a dropped
+/// equation plus a warning, not an error.
 class Calibrator {
  public:
   explicit Calibrator(exec::Database* db) : db_(db) {}
@@ -60,8 +170,16 @@ class Calibrator {
   Calibrator(const Calibrator&) = delete;
   Calibrator& operator=(const Calibrator&) = delete;
 
-  /// Calibrates P for the given VM (i.e. for its resource allocation R).
-  Result<CalibrationResult> Calibrate(const sim::VirtualMachine& vm);
+  /// Calibrates P for the given VM (i.e. for its resource allocation R)
+  /// using the classic single-shot defaults.
+  Result<CalibrationResult> Calibrate(const sim::VirtualMachine& vm) {
+    return Calibrate(vm, CalibrationOptions{});
+  }
+
+  /// Calibrates P with the full robust pipeline: repeat-and-reject
+  /// measurement, retry with backoff, Huber refit, residual acceptance.
+  Result<CalibrationResult> Calibrate(const sim::VirtualMachine& vm,
+                                      const CalibrationOptions& options);
 
   /// Uses a custom suite instead of the default (which is built from the
   /// calibration tables' sizes on first use).

@@ -1,19 +1,36 @@
 #include "calib/grid.h"
 
+#include "obs/metrics.h"
 #include "sim/virtual_machine.h"
+#include "util/logging.h"
 
 namespace vdb::calib {
+
+std::string CalibrationGridReport::Summary() const {
+  std::string summary = std::to_string(points.size()) + " points: " +
+                        std::to_string(succeeded) + " ok, " +
+                        std::to_string(failed) + " failed, " +
+                        std::to_string(flagged) + " over residual budget";
+  return summary;
+}
 
 Result<CalibrationStore> CalibrateGrid(
     exec::Database* db, const sim::MachineSpec& machine,
     const sim::HypervisorModel& hypervisor, const CalibrationGridSpec& spec,
-    const CalibrationProgress& progress) {
+    const CalibrationOptions& options, const CalibrationProgress& progress,
+    CalibrationGridReport* report) {
   if (spec.cpu_shares.empty() || spec.memory_shares.empty() ||
       spec.io_shares.empty()) {
     return Status::InvalidArgument("calibration grid axis is empty");
   }
+  obs::Counter* failed_points =
+      obs::MetricsRegistry::Global().GetCounter("calib.grid.failed_points");
   CalibrationStore store;
   Calibrator calibrator(db);
+  CalibrationGridReport local_report;
+  CalibrationGridReport* out = report != nullptr ? report : &local_report;
+  out->points.clear();
+  out->succeeded = out->failed = out->flagged = 0;
   for (double cpu : spec.cpu_shares) {
     for (double memory : spec.memory_shares) {
       for (double io : spec.io_shares) {
@@ -21,14 +38,46 @@ Result<CalibrationStore> CalibrateGrid(
         VDB_RETURN_NOT_OK(share.Validate());
         sim::VirtualMachine vm("calibration-vm", machine, hypervisor,
                                share);
-        VDB_ASSIGN_OR_RETURN(CalibrationResult result,
-                             calibrator.Calibrate(vm));
-        store.Put(share, result.params);
-        if (progress) progress(share, result);
+        GridPointReport point;
+        point.share = share;
+        Result<CalibrationResult> result =
+            calibrator.Calibrate(vm, options);
+        if (!result.ok()) {
+          // A dead grid point is a degraded grid, not a dead grid: record
+          // it, leave a hole, keep calibrating the rest.
+          point.ok = false;
+          point.error = result.status().ToString();
+          out->failed += 1;
+          failed_points->Add();
+          VDB_LOG(Warning) << "calibration grid point " << share.ToString()
+                           << " failed: " << point.error;
+        } else {
+          point.ok = true;
+          point.accepted = result->accepted;
+          point.residual_rms_ms = result->residual_rms_ms;
+          point.stats = result->stats;
+          out->succeeded += 1;
+          if (!result->accepted) out->flagged += 1;
+          store.Put(share, result->params);
+          if (progress) progress(share, *result);
+        }
+        out->points.push_back(std::move(point));
       }
     }
   }
+  if (out->succeeded == 0) {
+    return Status::Internal("every calibration grid point failed (" +
+                            out->points.front().error + ", ...)");
+  }
   return store;
+}
+
+Result<CalibrationStore> CalibrateGrid(
+    exec::Database* db, const sim::MachineSpec& machine,
+    const sim::HypervisorModel& hypervisor, const CalibrationGridSpec& spec,
+    const CalibrationProgress& progress) {
+  return CalibrateGrid(db, machine, hypervisor, spec, CalibrationOptions{},
+                       progress, nullptr);
 }
 
 }  // namespace vdb::calib

@@ -2,6 +2,7 @@
 #define VDB_CALIB_GRID_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "calib/calibration.h"
@@ -18,14 +19,58 @@ struct CalibrationGridSpec {
   std::vector<double> io_shares = {0.50};
 };
 
-/// Called after each grid point with the allocation and its fit.
+/// Called after each *successful* grid point with the allocation and its
+/// fit (including flagged fits — check CalibrationResult::accepted).
 using CalibrationProgress = std::function<void(
     const sim::ResourceShare&, const CalibrationResult&)>;
+
+/// Per-point outcome of a grid calibration.
+struct GridPointReport {
+  sim::ResourceShare share;
+  /// Calibration produced parameters (they are in the store).
+  bool ok = false;
+  /// False when the fit exceeded the residual budget (still stored, so
+  /// interpolation has no hole, but the caller should re-run the point).
+  bool accepted = true;
+  double residual_rms_ms = 0.0;
+  CalibrationRunStats stats;
+  /// Status message when `ok` is false.
+  std::string error;
+};
+
+/// Outcome of a whole grid run: per-point detail plus tallies. A failed
+/// point leaves a hole in the store; interpolation near it degrades to the
+/// nearest calibrated neighbors.
+struct CalibrationGridReport {
+  std::vector<GridPointReport> points;
+  int succeeded = 0;
+  /// Points that produced no parameters at all.
+  int failed = 0;
+  /// Points fitted but over the residual budget (subset of succeeded).
+  int flagged = 0;
+
+  /// One-line human-readable summary ("9 points: 8 ok, 1 failed, ...").
+  std::string Summary() const;
+};
 
 /// Calibrates P(R) for every allocation in `spec`'s grid. This is the
 /// paper's offline, per-machine process: `db` must already contain the
 /// calibration database; each point configures a VM on `machine` with that
 /// allocation, runs the suite, and records the fitted parameters.
+///
+/// A point whose calibration fails is recorded in `report` (if given) and
+/// skipped — the grid keeps going. The call errors only when *zero* points
+/// succeed (nothing to store) or on invalid input (empty axis, malformed
+/// share). Thread-safety: mutates `db`; one grid run per Database at a
+/// time.
+Result<CalibrationStore> CalibrateGrid(
+    exec::Database* db, const sim::MachineSpec& machine,
+    const sim::HypervisorModel& hypervisor, const CalibrationGridSpec& spec,
+    const CalibrationOptions& options,
+    const CalibrationProgress& progress = nullptr,
+    CalibrationGridReport* report = nullptr);
+
+/// Single-shot-measurement grid (CalibrationOptions defaults).
 Result<CalibrationStore> CalibrateGrid(
     exec::Database* db, const sim::MachineSpec& machine,
     const sim::HypervisorModel& hypervisor, const CalibrationGridSpec& spec,

@@ -1,11 +1,14 @@
 #include "calib/store.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
-#include <set>
 #include <sstream>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
 
 namespace vdb::calib {
 
@@ -13,10 +16,47 @@ namespace {
 
 constexpr double kShareEpsilon = 1e-9;
 
+// Lookup-path instrumentation (DESIGN.md §10): how often callers hit grid
+// points exactly vs. rely on interpolation or its degraded fallbacks.
+struct StoreMetrics {
+  obs::Counter* exact_hits;
+  obs::Counter* interpolated;
+  obs::Counter* clamped;
+  obs::Counter* nearest_fallback;
+
+  static const StoreMetrics& Get() {
+    static const StoreMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return StoreMetrics{
+          registry.GetCounter("calib.store.exact_hits"),
+          registry.GetCounter("calib.store.interpolated"),
+          registry.GetCounter("calib.store.clamped"),
+          registry.GetCounter("calib.store.nearest_fallback")};
+    }();
+    return metrics;
+  }
+};
+
+// Warn-once flags live at namespace scope (not in the store) so the store
+// stays trivially movable; "once" therefore means once per process, which
+// is the right rate for a log line that only flags a systematic condition.
+std::atomic<bool> g_warned_clamped{false};
+std::atomic<bool> g_warned_nearest{false};
+
+void WarnOnce(std::atomic<bool>* flag, const std::string& message) {
+  if (!flag->exchange(true, std::memory_order_relaxed)) {
+    VDB_LOG(Warning) << message;
+  }
+}
+
 bool SameShare(const sim::ResourceShare& a, const sim::ResourceShare& b) {
   return std::fabs(a.cpu - b.cpu) < kShareEpsilon &&
          std::fabs(a.memory - b.memory) < kShareEpsilon &&
          std::fabs(a.io - b.io) < kShareEpsilon;
+}
+
+int64_t QuantizeComponent(double v) {
+  return static_cast<int64_t>(std::llround(v / kShareEpsilon));
 }
 
 // Bracketing values of `v` within the sorted axis; both equal when v is at
@@ -42,19 +82,52 @@ void Bracket(const std::vector<double>& axis, double v, double* lo,
 
 }  // namespace
 
+size_t CalibrationStore::QuantizedShareHash::operator()(
+    const QuantizedShare& q) const {
+  size_t h = std::hash<int64_t>{}(q.cpu);
+  h ^= std::hash<int64_t>{}(q.memory) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+       (h >> 2);
+  h ^= std::hash<int64_t>{}(q.io) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+       (h >> 2);
+  return h;
+}
+
+void CalibrationStore::InsertAxisValue(std::vector<double>* axis,
+                                       double value) {
+  auto it = std::lower_bound(axis->begin(), axis->end(),
+                             value - kShareEpsilon);
+  if (it != axis->end() && std::fabs(*it - value) < kShareEpsilon) return;
+  axis->insert(it, value);
+}
+
 void CalibrationStore::Put(const sim::ResourceShare& share,
                            const optimizer::OptimizerParams& params) {
-  for (Entry& entry : entries_) {
-    if (SameShare(entry.share, share)) {
-      entry.params = params;
+  const QuantizedShare key{QuantizeComponent(share.cpu),
+                           QuantizeComponent(share.memory),
+                           QuantizeComponent(share.io)};
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (SameShare(entries_[i].share, share)) {
+      entries_[i].params = params;
+      index_[key] = i;
       return;
     }
   }
   entries_.push_back(Entry{share, params});
+  index_[key] = entries_.size() - 1;
+  InsertAxisValue(&cpu_axis_, share.cpu);
+  InsertAxisValue(&mem_axis_, share.memory);
+  InsertAxisValue(&io_axis_, share.io);
 }
 
 const CalibrationStore::Entry* CalibrationStore::FindExact(
     const sim::ResourceShare& share) const {
+  const QuantizedShare key{QuantizeComponent(share.cpu),
+                           QuantizeComponent(share.memory),
+                           QuantizeComponent(share.io)};
+  auto it = index_.find(key);
+  if (it != index_.end()) return &entries_[it->second];
+  // Quantization buckets and the epsilon tolerance disagree right at
+  // bucket boundaries; the scan preserves the epsilon semantics there.
   for (const Entry& entry : entries_) {
     if (SameShare(entry.share, share)) return &entry;
   }
@@ -90,20 +163,19 @@ Result<optimizer::OptimizerParams> CalibrationStore::Lookup(
   if (entries_.empty()) {
     return Status::NotFound("calibration store is empty");
   }
-  if (const Entry* exact = FindExact(share)) return exact->params;
-
-  // Build the grid axes present in the store.
-  std::set<double> cpu_set;
-  std::set<double> mem_set;
-  std::set<double> io_set;
-  for (const Entry& entry : entries_) {
-    cpu_set.insert(entry.share.cpu);
-    mem_set.insert(entry.share.memory);
-    io_set.insert(entry.share.io);
+  const StoreMetrics& metrics = StoreMetrics::Get();
+  if (const Entry* exact = FindExact(share)) {
+    metrics.exact_hits->Add();
+    return exact->params;
   }
-  const std::vector<double> cpu_axis(cpu_set.begin(), cpu_set.end());
-  const std::vector<double> mem_axis(mem_set.begin(), mem_set.end());
-  const std::vector<double> io_axis(io_set.begin(), io_set.end());
+
+  const bool outside_hull =
+      share.cpu < cpu_axis_.front() - kShareEpsilon ||
+      share.cpu > cpu_axis_.back() + kShareEpsilon ||
+      share.memory < mem_axis_.front() - kShareEpsilon ||
+      share.memory > mem_axis_.back() + kShareEpsilon ||
+      share.io < io_axis_.front() - kShareEpsilon ||
+      share.io > io_axis_.back() + kShareEpsilon;
 
   double c0;
   double c1;
@@ -111,9 +183,9 @@ Result<optimizer::OptimizerParams> CalibrationStore::Lookup(
   double m1;
   double i0;
   double i1;
-  Bracket(cpu_axis, share.cpu, &c0, &c1);
-  Bracket(mem_axis, share.memory, &m0, &m1);
-  Bracket(io_axis, share.io, &i0, &i1);
+  Bracket(cpu_axis_, share.cpu, &c0, &c1);
+  Bracket(mem_axis_, share.memory, &m0, &m1);
+  Bracket(io_axis_, share.io, &i0, &i1);
 
   auto weight = [](double lo, double hi, double v) {
     return hi > lo ? (v - lo) / (hi - lo) : 0.0;
@@ -136,7 +208,14 @@ Result<optimizer::OptimizerParams> CalibrationStore::Lookup(
                                         di ? i1 : i0);
         const Entry* entry = FindExact(corner);
         if (entry == nullptr) {
-          // Incomplete grid cell: fall back to the nearest stored point.
+          // Incomplete grid cell (e.g. a failed calibration point left a
+          // hole): degrade to the nearest stored point.
+          metrics.nearest_fallback->Add();
+          WarnOnce(&g_warned_nearest,
+                   "calibration store: incomplete grid cell at " +
+                       share.ToString() +
+                       "; falling back to nearest stored point (warning "
+                       "logged once)");
           return FindNearest(share)->params;
         }
         const auto vec = entry->params.CalibratedVector();
@@ -149,6 +228,14 @@ Result<optimizer::OptimizerParams> CalibrationStore::Lookup(
         work_mem += w * static_cast<double>(entry->params.work_mem_bytes);
       }
     }
+  }
+  metrics.interpolated->Add();
+  if (outside_hull) {
+    metrics.clamped->Add();
+    WarnOnce(&g_warned_clamped,
+             "calibration store: allocation " + share.ToString() +
+                 " is outside the calibrated grid; clamping to the grid "
+                 "hull (warning logged once)");
   }
   optimizer::OptimizerParams params;
   params.SetCalibratedVector(accumulated);

@@ -1,7 +1,9 @@
 #ifndef VDB_CALIB_STORE_H_
 #define VDB_CALIB_STORE_H_
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "optimizer/params.h"
@@ -17,18 +19,29 @@ namespace vdb::calib {
 /// As the paper observes, P depends only on the machine and R — not on the
 /// database or workload — so one store serves every virtualization design
 /// problem on that machine. The store can be persisted to a text file.
+///
+/// Thread-safety: Lookup and the other const members are safe to call
+/// concurrently (the parallel design search does); Put and LoadFromFile
+/// must not race with anything. The object is movable, so
+/// Result<CalibrationStore> round-trips work.
 class CalibrationStore {
  public:
   CalibrationStore() = default;
 
-  /// Adds (or replaces) the parameters calibrated at `share`.
+  /// Adds (or replaces) the parameters calibrated at `share`. Shares are
+  /// fractions in (0, 1]; parameter entries are per-unit times in
+  /// milliseconds (see optimizer::OptimizerParams).
   void Put(const sim::ResourceShare& share,
            const optimizer::OptimizerParams& params);
 
-  /// Returns P for `share`: exact if it is a stored grid point, otherwise
-  /// interpolated (clamped to the grid's bounding box; falls back to the
-  /// nearest stored point if the surrounding cell is incomplete).
-  /// Fails if the store is empty.
+  /// Returns P for `share`. Grid points hit an exact fast path (hash
+  /// probe, epsilon-scan fallback); off-grid allocations are trilinearly
+  /// interpolated from the surrounding cell's corners. Allocations outside
+  /// the grid's bounding box are clamped to it, and an incomplete
+  /// surrounding cell (a failed grid point, or a non-rectangular store)
+  /// degrades to the nearest stored point — both log a once-per-process
+  /// warning and bump the calib.store.* counters. Fails with NotFound only
+  /// when the store is empty.
   Result<optimizer::OptimizerParams> Lookup(
       const sim::ResourceShare& share) const;
 
@@ -38,7 +51,9 @@ class CalibrationStore {
   /// The stored grid points.
   std::vector<sim::ResourceShare> Points() const;
 
-  /// Text (one line per entry) persistence.
+  /// Text (one line per entry) persistence. SaveToFile reports IOError on
+  /// unwritable paths; LoadFromFile rejects partial or trailing-garbage
+  /// records with the offending line number rather than truncating.
   Status SaveToFile(const std::string& path) const;
   static Result<CalibrationStore> LoadFromFile(const std::string& path);
 
@@ -48,10 +63,34 @@ class CalibrationStore {
     optimizer::OptimizerParams params;
   };
 
+  /// Shares quantized to 1e-9 (the exact-match tolerance) for hashing.
+  struct QuantizedShare {
+    int64_t cpu = 0;
+    int64_t memory = 0;
+    int64_t io = 0;
+    bool operator==(const QuantizedShare&) const = default;
+  };
+  struct QuantizedShareHash {
+    size_t operator()(const QuantizedShare& q) const;
+  };
+
   const Entry* FindExact(const sim::ResourceShare& share) const;
   const Entry* FindNearest(const sim::ResourceShare& share) const;
 
+  /// Inserts `value` into the sorted `axis` unless an epsilon-equal value
+  /// is already present.
+  static void InsertAxisValue(std::vector<double>* axis, double value);
+
   std::vector<Entry> entries_;
+  /// Exact-match index: quantized share -> entries_ position. A hash miss
+  /// still falls back to an epsilon scan, so quantization-boundary shares
+  /// keep the historical tolerance semantics.
+  std::unordered_map<QuantizedShare, size_t, QuantizedShareHash> index_;
+  /// Distinct per-resource grid coordinates, sorted ascending; maintained
+  /// by Put so Lookup does not rebuild them.
+  std::vector<double> cpu_axis_;
+  std::vector<double> mem_axis_;
+  std::vector<double> io_axis_;
 };
 
 }  // namespace vdb::calib

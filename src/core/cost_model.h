@@ -19,7 +19,11 @@ namespace vdb::core {
 /// times of the workload's statements, with the optimizer switched into
 /// virtualization-aware what-if mode by loading the calibrated P(R_i) from
 /// the calibration store. Each statement is re-optimized per allocation,
-/// so plan changes induced by the allocation are captured.
+/// so plan changes induced by the allocation are captured. Allocations
+/// need not coincide with calibration grid points: the store answers
+/// off-grid lookups by trilinear interpolation (clamping outside the grid
+/// hull — see calib/store.h), so the searches may probe any share the
+/// problem's grid generates.
 ///
 /// Evaluations are memoized per (workload, quantized allocation); the
 /// combinatorial searches re-visit allocations heavily. Shares are

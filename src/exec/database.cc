@@ -53,6 +53,11 @@ Result<QueryResult> Database::Execute(const std::string& sql,
 
 Result<QueryResult> Database::ExecutePlan(
     const optimizer::PhysicalNode& plan, const sim::VirtualMachine& vm) {
+  // Fault injection decides before the plan runs, so a failed "run" does
+  // not disturb the buffer pool the way a completed one would.
+  if (noise_ != nullptr) {
+    VDB_RETURN_NOT_OK(noise_->MaybeInjectFault("query execution"));
+  }
   ExecutionContext context(&vm, pool_.get(), config_.work_mem_bytes);
   Executor executor(&context);
   VDB_ASSIGN_OR_RETURN(std::vector<catalog::Tuple> rows,
@@ -68,6 +73,14 @@ Result<QueryResult> Database::ExecutePlan(
   result.estimated_ms = plan.total_cost_ms;
   result.physical_reads = context.PhysicalReads();
   result.plan_text = plan.ToString();
+  if (noise_ != nullptr) {
+    // Perturb the measured wall time proportionally to the noisy CPU/IO
+    // mix; the component breakdown stays exact for diagnostics.
+    const double base = result.cpu_seconds + result.io_seconds;
+    const double noisy =
+        noise_->PerturbSeconds(result.cpu_seconds, result.io_seconds);
+    if (base > 0.0) result.elapsed_seconds *= noisy / base;
+  }
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include "exec/execution_context.h"
 #include "exec/executor.h"
 #include "optimizer/optimizer.h"
+#include "sim/noise.h"
 #include "sim/virtual_machine.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -80,13 +81,24 @@ class Database {
       const optimizer::OptimizerParams& params) const;
 
   /// Parses, optimizes, and executes `sql` inside `vm`, charging simulated
-  /// time to the VM's resources.
+  /// time to the VM's resources. Fails with the parser/planner error for
+  /// malformed SQL, or with ResourceExhausted when an installed noise
+  /// model injects a transient fault (see set_noise_model).
   Result<QueryResult> Execute(const std::string& sql,
                               const sim::VirtualMachine& vm);
 
-  /// Executes an already-prepared plan.
+  /// Executes an already-prepared plan. Same error behavior as Execute.
   Result<QueryResult> ExecutePlan(const optimizer::PhysicalNode& plan,
                                   const sim::VirtualMachine& vm);
+
+  /// Installs a measurement noise / fault-injection model (non-owning;
+  /// nullptr uninstalls). While installed, every ExecutePlan either fails
+  /// transiently (ResourceExhausted, decided by the model before the plan
+  /// runs) or has its measured elapsed_seconds perturbed; cpu_seconds /
+  /// io_seconds and all row results stay exact. `noise` must outlive its
+  /// installation. Used to test calibration robustness (DESIGN.md §10).
+  void set_noise_model(sim::NoiseModel* noise) { noise_ = noise; }
+  sim::NoiseModel* noise_model() const { return noise_; }
 
  private:
   /// Shared front half of Prepare: parse, bind, and rewrite `sql` into a
@@ -98,6 +110,7 @@ class Database {
   std::unique_ptr<catalog::Catalog> catalog_;
   optimizer::Optimizer optimizer_;
   DbInstanceConfig config_;
+  sim::NoiseModel* noise_ = nullptr;
 };
 
 }  // namespace vdb::exec

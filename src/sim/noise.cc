@@ -1,0 +1,96 @@
+#include "sim/noise.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace vdb::sim {
+
+namespace {
+
+// Fault/noise instrumentation (DESIGN.md §9/§10). Resolved once; no-ops
+// while the global registry is disabled.
+struct NoiseMetrics {
+  obs::Counter* faults_injected;
+  obs::Counter* spikes_injected;
+  obs::Counter* perturbations;
+
+  static const NoiseMetrics& Get() {
+    static const NoiseMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return NoiseMetrics{
+          registry.GetCounter("sim.noise.faults_injected"),
+          registry.GetCounter("sim.noise.spikes_injected"),
+          registry.GetCounter("sim.noise.perturbations")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+Status NoiseModel::MaybeInjectFault(const std::string& context) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool fail = false;
+  if (forced_failures_ > 0) {
+    --forced_failures_;
+    fail = true;
+  } else if (options_.transient_failure_probability > 0.0 &&
+             rng_.Bernoulli(options_.transient_failure_probability)) {
+    fail = true;
+  }
+  if (!fail) return Status::OK();
+  ++faults_injected_;
+  NoiseMetrics::Get().faults_injected->Add();
+  return Status::ResourceExhausted("injected transient fault during " +
+                                   context);
+}
+
+double NoiseModel::PerturbSeconds(double cpu_seconds, double io_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++perturbations_;
+  NoiseMetrics::Get().perturbations->Add();
+  // Multiplicative Gaussian factors, clamped so a deep-left-tail draw can
+  // never produce a negative "measured" time.
+  const double cpu_factor = std::max(
+      0.0, 1.0 + options_.cpu_sigma * rng_.NextGaussian());
+  const double io_factor =
+      std::max(0.0, 1.0 + options_.io_sigma * rng_.NextGaussian());
+  double total = cpu_seconds * cpu_factor + io_seconds * io_factor;
+  if (options_.spike_probability > 0.0 &&
+      rng_.Bernoulli(options_.spike_probability)) {
+    total *= rng_.UniformDouble(options_.spike_min_factor,
+                                options_.spike_max_factor);
+    ++spikes_injected_;
+    NoiseMetrics::Get().spikes_injected->Add();
+  }
+  return std::max(0.0, total);
+}
+
+void NoiseModel::InjectFailures(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  forced_failures_ = std::max(0, n);
+}
+
+uint64_t NoiseModel::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_injected_;
+}
+
+uint64_t NoiseModel::spikes_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spikes_injected_;
+}
+
+uint64_t NoiseModel::perturbations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return perturbations_;
+}
+
+void NoiseModel::Reseed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_.Seed(seed);
+  forced_failures_ = 0;
+}
+
+}  // namespace vdb::sim

@@ -1,0 +1,110 @@
+#ifndef VDB_SIM_NOISE_H_
+#define VDB_SIM_NOISE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace vdb::sim {
+
+/// Configuration of the measurement-noise / fault-injection model.
+///
+/// All noise is *relative* (multiplicative), so one spec works across
+/// queries whose true times span orders of magnitude. Every field defaults
+/// to "off"; a default-constructed NoiseModel is a deterministic no-op.
+struct NoiseOptions {
+  /// Relative standard deviation of Gaussian noise applied to the CPU
+  /// portion of a measurement (0.10 = sigma of 10% of the true value).
+  double cpu_sigma = 0.0;
+
+  /// Relative standard deviation of Gaussian noise applied to the I/O
+  /// portion of a measurement.
+  double io_sigma = 0.0;
+
+  /// Probability (in [0, 1]) that a measurement is a heavy-tail spike:
+  /// the whole measurement is multiplied by a factor drawn uniformly
+  /// from [spike_min_factor, spike_max_factor]. Models a neighbor VM
+  /// stealing the machine mid-run.
+  double spike_probability = 0.0;
+  double spike_min_factor = 2.0;
+  double spike_max_factor = 8.0;
+
+  /// Probability (in [0, 1]) that a query execution fails transiently
+  /// before producing a measurement (ResourceExhausted). Models VM
+  /// scheduling hiccups / connection drops during calibration.
+  double transient_failure_probability = 0.0;
+
+  /// Seed for the deterministic noise stream: the same options produce
+  /// the same sequence of perturbations and faults run after run.
+  uint64_t seed = 42;
+};
+
+/// Deterministic, seedable noise and fault injection for simulated query
+/// timing. Installed on an exec::Database (set_noise_model) it perturbs
+/// every executed query's measured elapsed time and occasionally fails an
+/// execution, so the robustness of the calibration pipeline (repeats,
+/// outlier rejection, retries — DESIGN.md §10) is testable without real
+/// measurement variance.
+///
+/// Units: perturbation operates on seconds (any consistent unit works —
+/// the noise is multiplicative). Error behavior: MaybeInjectFault is the
+/// only failing operation and returns ResourceExhausted for injected
+/// transient faults. Thread-safety: all methods are safe to call
+/// concurrently (the generator is mutex-guarded); the draw order — and
+/// therefore the exact noise stream — is deterministic only when queries
+/// execute in a deterministic order, as the single-threaded calibration
+/// path does.
+class NoiseModel {
+ public:
+  NoiseModel() : NoiseModel(NoiseOptions{}) {}
+  explicit NoiseModel(const NoiseOptions& options)
+      : options_(options), rng_(options.seed) {}
+
+  NoiseModel(const NoiseModel&) = delete;
+  NoiseModel& operator=(const NoiseModel&) = delete;
+
+  const NoiseOptions& options() const { return options_; }
+
+  /// Decides whether the execution about to start fails transiently.
+  /// Returns OK to proceed, or ResourceExhausted (mentioning `context`)
+  /// for an injected fault. Consumes one Bernoulli draw per call, plus
+  /// any pending InjectFailures burst first.
+  Status MaybeInjectFault(const std::string& context);
+
+  /// Returns a perturbed total for a measurement composed of
+  /// `cpu_seconds` CPU time and `io_seconds` I/O time: each component
+  /// gets its own Gaussian factor (clamped to stay non-negative), and
+  /// with spike_probability the sum is additionally multiplied by a
+  /// heavy-tail factor. Never returns a negative value.
+  double PerturbSeconds(double cpu_seconds, double io_seconds);
+
+  /// Deterministic fault burst for tests: the next `n` MaybeInjectFault
+  /// calls fail unconditionally (before any probabilistic draw).
+  void InjectFailures(int n);
+
+  /// Lifetime counters (also published as obs counters
+  /// `sim.noise.faults_injected` / `spikes_injected` / `perturbations`).
+  uint64_t faults_injected() const;
+  uint64_t spikes_injected() const;
+  uint64_t perturbations() const;
+
+  /// Restarts the deterministic noise stream from `seed` and clears any
+  /// pending InjectFailures burst (counters are not reset).
+  void Reseed(uint64_t seed);
+
+ private:
+  NoiseOptions options_;
+  mutable std::mutex mu_;
+  Random rng_;
+  int forced_failures_ = 0;
+  uint64_t faults_injected_ = 0;
+  uint64_t spikes_injected_ = 0;
+  uint64_t perturbations_ = 0;
+};
+
+}  // namespace vdb::sim
+
+#endif  // VDB_SIM_NOISE_H_

@@ -17,6 +17,9 @@ namespace vdb::sim {
 /// machines created on it, and enforces that the shares handed out for each
 /// resource never exceed the whole machine (the paper's constraint
 /// `sum_i r_ij <= 1` for every resource j).
+///
+/// Not thread-safe: create/destroy/reshare from one thread at a time.
+/// Returned VirtualMachine pointers are owned by the monitor.
 class VirtualMachineMonitor {
  public:
   explicit VirtualMachineMonitor(

@@ -1,0 +1,383 @@
+// Robustness tests for calibration under measurement noise and faults
+// (DESIGN.md §10): seeded noise must not move the fitted parameters far
+// from their noise-free values, spikes must be rejected, transient
+// failures must be retried (and degrade to dropped equations, not
+// aborts), and grid calibration must survive dead points.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "calib/calibration.h"
+#include "calib/grid.h"
+#include "datagen/calibration_db.h"
+#include "exec/database.h"
+#include "sim/machine.h"
+#include "sim/noise.h"
+#include "sim/virtual_machine.h"
+
+namespace vdb::calib {
+namespace {
+
+using sim::NoiseModel;
+using sim::NoiseOptions;
+using sim::ResourceShare;
+
+// --- NoiseModel unit tests -------------------------------------------------
+
+TEST(NoiseModelTest, DefaultIsANoOp) {
+  NoiseModel noise;
+  EXPECT_TRUE(noise.MaybeInjectFault("test").ok());
+  EXPECT_DOUBLE_EQ(noise.PerturbSeconds(0.25, 0.75), 1.0);
+  EXPECT_EQ(noise.faults_injected(), 0u);
+  EXPECT_EQ(noise.spikes_injected(), 0u);
+}
+
+TEST(NoiseModelTest, DeterministicForAGivenSeed) {
+  NoiseOptions options;
+  options.cpu_sigma = 0.1;
+  options.io_sigma = 0.2;
+  options.spike_probability = 0.1;
+  options.seed = 7;
+  NoiseModel a(options);
+  NoiseModel b(options);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.PerturbSeconds(1.0, 2.0), b.PerturbSeconds(1.0, 2.0));
+  }
+}
+
+TEST(NoiseModelTest, ReseedRestartsTheStream) {
+  NoiseOptions options;
+  options.cpu_sigma = 0.1;
+  NoiseModel noise(options);
+  const double first = noise.PerturbSeconds(1.0, 0.0);
+  noise.PerturbSeconds(1.0, 0.0);
+  noise.Reseed(options.seed);
+  EXPECT_DOUBLE_EQ(noise.PerturbSeconds(1.0, 0.0), first);
+}
+
+TEST(NoiseModelTest, InjectFailuresBurstFailsExactlyN) {
+  NoiseModel noise;  // zero probabilistic failure rate
+  noise.InjectFailures(3);
+  for (int i = 0; i < 3; ++i) {
+    Status status = noise.MaybeInjectFault("burst");
+    EXPECT_TRUE(status.IsResourceExhausted()) << status.ToString();
+  }
+  EXPECT_TRUE(noise.MaybeInjectFault("burst").ok());
+  EXPECT_EQ(noise.faults_injected(), 3u);
+}
+
+TEST(NoiseModelTest, FaultRateRoughlyMatchesProbability) {
+  NoiseOptions options;
+  options.transient_failure_probability = 0.1;
+  NoiseModel noise(options);
+  int failures = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (!noise.MaybeInjectFault("rate").ok()) ++failures;
+  }
+  EXPECT_GT(failures, 800);
+  EXPECT_LT(failures, 1200);
+}
+
+TEST(NoiseModelTest, CertainSpikeInflatesMeasurement) {
+  NoiseOptions options;
+  options.spike_probability = 1.0;
+  options.spike_min_factor = 2.0;
+  options.spike_max_factor = 8.0;
+  NoiseModel noise(options);
+  for (int i = 0; i < 50; ++i) {
+    const double perturbed = noise.PerturbSeconds(1.0, 1.0);
+    EXPECT_GE(perturbed, 2.0 * 2.0);
+    EXPECT_LE(perturbed, 2.0 * 8.0);
+  }
+  EXPECT_EQ(noise.spikes_injected(), 50u);
+}
+
+// --- Calibration under noise ----------------------------------------------
+
+class CalibRobustnessTest : public ::testing::Test {
+ protected:
+  CalibRobustnessTest() {
+    datagen::CalibrationDbConfig config;
+    config.base_rows = 2000;
+    VDB_CHECK_OK(datagen::GenerateCalibrationDb(db_.catalog(), config));
+  }
+
+  ~CalibRobustnessTest() override { db_.set_noise_model(nullptr); }
+
+  sim::VirtualMachine Vm(double cpu, double memory, double io) {
+    return sim::VirtualMachine("vm", sim::MachineSpec::PaperTestbed(),
+                               sim::HypervisorModel::XenLike(),
+                               ResourceShare(cpu, memory, io));
+  }
+
+  exec::Database db_;
+};
+
+TEST_F(CalibRobustnessTest, SingleShotPathHasNoRobustSideEffects) {
+  Calibrator calibrator(&db_);
+  auto result = calibrator.Calibrate(Vm(0.5, 0.5, 0.5));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->accepted);
+  EXPECT_TRUE(result->warnings.empty());
+  EXPECT_EQ(result->stats.retries, 0);
+  EXPECT_EQ(result->stats.rejected_samples, 0);
+  EXPECT_EQ(result->stats.failed_queries, 0);
+  EXPECT_DOUBLE_EQ(result->stats.backoff_ms, 0.0);
+}
+
+TEST_F(CalibRobustnessTest, RecoversParametersUnderNoiseAndFaults) {
+  // The acceptance scenario: 10% relative Gaussian noise, 5% heavy-tail
+  // spikes, 2% transient failures, fixed seed — at every Figure-3 grid
+  // point the robust pipeline must land cpu_tuple_cost within 15% of its
+  // noise-free value.
+  Calibrator calibrator(&db_);
+  NoiseOptions noise_options;
+  noise_options.cpu_sigma = 0.10;
+  noise_options.io_sigma = 0.10;
+  noise_options.spike_probability = 0.05;
+  noise_options.transient_failure_probability = 0.02;
+  noise_options.seed = 1234;
+  NoiseModel noise(noise_options);
+
+  for (double cpu : {0.25, 0.5, 0.75}) {
+    for (double memory : {0.25, 0.5, 0.75}) {
+      db_.set_noise_model(nullptr);
+      auto clean = calibrator.Calibrate(Vm(cpu, memory, 0.5));
+      ASSERT_TRUE(clean.ok()) << clean.status();
+
+      db_.set_noise_model(&noise);
+      auto noisy = calibrator.Calibrate(Vm(cpu, memory, 0.5),
+                                        CalibrationOptions::Robust());
+      ASSERT_TRUE(noisy.ok()) << noisy.status();
+      EXPECT_NEAR(noisy->params.cpu_tuple_cost,
+                  clean->params.cpu_tuple_cost,
+                  0.15 * clean->params.cpu_tuple_cost)
+          << "at cpu=" << cpu << " memory=" << memory;
+      EXPECT_NEAR(noisy->params.seq_page_cost, clean->params.seq_page_cost,
+                  0.15 * clean->params.seq_page_cost)
+          << "at cpu=" << cpu << " memory=" << memory;
+      // The robust layer actually took repeated samples under this noise.
+      EXPECT_GT(noisy->stats.measurements, noisy->num_queries);
+    }
+  }
+}
+
+TEST_F(CalibRobustnessTest, SpikesAreRejectedByMadFilter) {
+  Calibrator calibrator(&db_);
+  auto clean = calibrator.Calibrate(Vm(0.5, 0.5, 0.5));
+  ASSERT_TRUE(clean.ok()) << clean.status();
+
+  // Spikes only: no Gaussian noise, so every non-spiked sample is exact
+  // and every spiked one is >= 2x — the MAD filter must drop the spikes
+  // and the fit must match the noise-free run almost exactly. (The rate
+  // stays low enough that a clean majority per 5-sample query is
+  // near-certain; a spiked *median* is unrecoverable by any filter.)
+  NoiseOptions noise_options;
+  noise_options.spike_probability = 0.1;
+  noise_options.seed = 99;
+  NoiseModel noise(noise_options);
+  db_.set_noise_model(&noise);
+
+  CalibrationOptions options = CalibrationOptions::Robust();
+  options.early_stop_rel_spread = 0.0;  // take all 5 samples
+  auto robust = calibrator.Calibrate(Vm(0.5, 0.5, 0.5), options);
+  ASSERT_TRUE(robust.ok()) << robust.status();
+  EXPECT_GT(noise.spikes_injected(), 0u);
+  EXPECT_GT(robust->stats.rejected_samples, 0);
+  EXPECT_NEAR(robust->params.cpu_tuple_cost, clean->params.cpu_tuple_cost,
+              0.02 * clean->params.cpu_tuple_cost);
+  EXPECT_NEAR(robust->params.seq_page_cost, clean->params.seq_page_cost,
+              0.02 * clean->params.seq_page_cost);
+}
+
+TEST_F(CalibRobustnessTest, TransientFailuresAreRetried) {
+  NoiseModel noise;
+  db_.set_noise_model(&noise);
+  noise.InjectFailures(2);
+
+  Calibrator calibrator(&db_);
+  CalibrationOptions options;
+  options.max_retries = 3;
+  auto result = calibrator.Calibrate(Vm(0.5, 0.5, 0.5), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->stats.retries, 2);
+  EXPECT_EQ(result->stats.failed_queries, 0);
+  EXPECT_GT(result->stats.backoff_ms, 0.0);
+  EXPECT_EQ(result->num_queries, static_cast<int>(calibrator.suite().size()));
+}
+
+TEST_F(CalibRobustnessTest, RetryExhaustionDropsQueriesButSucceeds) {
+  NoiseModel noise;
+  db_.set_noise_model(&noise);
+  // With max_retries = 0 and repeats = 1, each injected failure kills one
+  // query's only attempt: the first four queries drop, eleven equations
+  // remain, and the fit still succeeds (degraded, with warnings).
+  noise.InjectFailures(4);
+
+  Calibrator calibrator(&db_);
+  auto result = calibrator.Calibrate(Vm(0.5, 0.5, 0.5));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->stats.failed_queries, 4);
+  EXPECT_EQ(result->num_queries,
+            static_cast<int>(calibrator.suite().size()) - 4);
+  EXPECT_FALSE(result->warnings.empty());
+  EXPECT_GT(result->params.cpu_tuple_cost, 0.0);
+}
+
+TEST_F(CalibRobustnessTest, TooManyFailuresIsAnError) {
+  NoiseModel noise;
+  db_.set_noise_model(&noise);
+  noise.InjectFailures(15);  // kill every query in the suite
+
+  Calibrator calibrator(&db_);
+  auto result = calibrator.Calibrate(Vm(0.5, 0.5, 0.5));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument()) << result.status();
+}
+
+TEST_F(CalibRobustnessTest, ResidualBudgetFlagsButStillReturnsFit) {
+  Calibrator calibrator(&db_);
+  CalibrationOptions options;
+  options.residual_budget_ms = 1e-9;  // no real fit is this good
+  auto result = calibrator.Calibrate(Vm(0.5, 0.5, 0.5), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->accepted);
+  EXPECT_GT(result->params.cpu_tuple_cost, 0.0);
+  ASSERT_FALSE(result->warnings.empty());
+  EXPECT_NE(result->warnings.back().find("budget"), std::string::npos);
+}
+
+TEST_F(CalibRobustnessTest, InvalidOptionsAreRejected) {
+  Calibrator calibrator(&db_);
+  CalibrationOptions options;
+  options.repeats = 0;
+  EXPECT_TRUE(calibrator.Calibrate(Vm(0.5, 0.5, 0.5), options)
+                  .status()
+                  .IsInvalidArgument());
+  options.repeats = 1;
+  options.max_retries = -1;
+  EXPECT_TRUE(calibrator.Calibrate(Vm(0.5, 0.5, 0.5), options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// --- Grid behavior under faults -------------------------------------------
+
+TEST_F(CalibRobustnessTest, GridContinuesPastADeadPoint) {
+  NoiseModel noise;
+  db_.set_noise_model(&noise);
+  // 15 failures with no retries kill every query of the first grid point;
+  // the second point then calibrates cleanly.
+  noise.InjectFailures(15);
+
+  CalibrationGridSpec spec;
+  spec.cpu_shares = {0.25, 0.75};
+  spec.memory_shares = {0.5};
+  spec.io_shares = {0.5};
+  CalibrationGridReport report;
+  auto store = CalibrateGrid(&db_, sim::MachineSpec::PaperTestbed(),
+                             sim::HypervisorModel::XenLike(), spec,
+                             CalibrationOptions{}, nullptr, &report);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ(store->size(), 1u);
+  EXPECT_EQ(report.succeeded, 1);
+  EXPECT_EQ(report.failed, 1);
+  ASSERT_EQ(report.points.size(), 2u);
+  EXPECT_FALSE(report.points[0].ok);
+  EXPECT_NE(report.points[0].error.find("too few"), std::string::npos)
+      << report.points[0].error;
+  EXPECT_TRUE(report.points[1].ok);
+  EXPECT_NE(report.Summary().find("1 failed"), std::string::npos);
+  // The hole is covered: lookups near the dead point still resolve.
+  EXPECT_TRUE(store->Lookup(ResourceShare(0.25, 0.5, 0.5)).ok());
+}
+
+TEST_F(CalibRobustnessTest, GridFailsOnlyWhenEveryPointDies) {
+  NoiseModel noise;
+  db_.set_noise_model(&noise);
+  noise.InjectFailures(30);  // both points' suites fail entirely
+
+  CalibrationGridSpec spec;
+  spec.cpu_shares = {0.25, 0.75};
+  spec.memory_shares = {0.5};
+  spec.io_shares = {0.5};
+  CalibrationGridReport report;
+  auto store = CalibrateGrid(&db_, sim::MachineSpec::PaperTestbed(),
+                             sim::HypervisorModel::XenLike(), spec,
+                             CalibrationOptions{}, nullptr, &report);
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(report.failed, 2);
+  EXPECT_EQ(report.succeeded, 0);
+}
+
+TEST_F(CalibRobustnessTest, GridFlagsPointsOverResidualBudget) {
+  CalibrationGridSpec spec;
+  spec.cpu_shares = {0.25, 0.75};
+  spec.memory_shares = {0.5};
+  spec.io_shares = {0.5};
+  CalibrationOptions options;
+  options.residual_budget_ms = 1e-9;
+  CalibrationGridReport report;
+  auto store = CalibrateGrid(&db_, sim::MachineSpec::PaperTestbed(),
+                             sim::HypervisorModel::XenLike(), spec, options,
+                             nullptr, &report);
+  ASSERT_TRUE(store.ok()) << store.status();
+  // Flagged fits are still stored (no interpolation hole), just reported.
+  EXPECT_EQ(store->size(), 2u);
+  EXPECT_EQ(report.succeeded, 2);
+  EXPECT_EQ(report.flagged, 2);
+  for (const GridPointReport& point : report.points) {
+    EXPECT_TRUE(point.ok);
+    EXPECT_FALSE(point.accepted);
+    EXPECT_GT(point.residual_rms_ms, 1e-9);
+  }
+}
+
+// --- Interpolation at and between grid points ------------------------------
+
+TEST_F(CalibRobustnessTest, InterpolationExactAtPointsAndMonotoneBetween) {
+  CalibrationGridSpec spec;
+  spec.cpu_shares = {0.25, 0.75};
+  spec.memory_shares = {0.5};
+  spec.io_shares = {0.5};
+  auto store = CalibrateGrid(&db_, sim::MachineSpec::PaperTestbed(),
+                             sim::HypervisorModel::XenLike(), spec);
+  ASSERT_TRUE(store.ok()) << store.status();
+
+  auto lo = store->Lookup(ResourceShare(0.25, 0.5, 0.5));
+  auto hi = store->Lookup(ResourceShare(0.75, 0.5, 0.5));
+  ASSERT_TRUE(lo.ok());
+  ASSERT_TRUE(hi.ok());
+  const auto lo_vec = lo->CalibratedVector();
+  const auto hi_vec = hi->CalibratedVector();
+
+  // The exact midpoint is the average of the corners; every off-grid
+  // point is componentwise between them and monotone along the axis.
+  auto mid = store->Lookup(ResourceShare(0.5, 0.5, 0.5));
+  ASSERT_TRUE(mid.ok());
+  const auto mid_vec = mid->CalibratedVector();
+  for (int k = 0; k < optimizer::OptimizerParams::kNumCalibrated; ++k) {
+    EXPECT_NEAR(mid_vec[k], 0.5 * (lo_vec[k] + hi_vec[k]),
+                1e-9 + 1e-9 * std::fabs(lo_vec[k] + hi_vec[k]))
+        << "component " << k;
+  }
+  double previous_tuple_cost = lo->cpu_tuple_cost;
+  for (double cpu : {0.35, 0.45, 0.55, 0.65}) {
+    auto params = store->Lookup(ResourceShare(cpu, 0.5, 0.5));
+    ASSERT_TRUE(params.ok()) << "cpu=" << cpu;
+    const auto vec = params->CalibratedVector();
+    for (int k = 0; k < optimizer::OptimizerParams::kNumCalibrated; ++k) {
+      EXPECT_GE(vec[k], std::min(lo_vec[k], hi_vec[k]) - 1e-12);
+      EXPECT_LE(vec[k], std::max(lo_vec[k], hi_vec[k]) + 1e-12);
+    }
+    // CPU costs shrink as the CPU share grows (linear in between).
+    EXPECT_LE(params->cpu_tuple_cost, previous_tuple_cost + 1e-12)
+        << "cpu=" << cpu;
+    previous_tuple_cost = params->cpu_tuple_cost;
+  }
+}
+
+}  // namespace
+}  // namespace vdb::calib

@@ -4,6 +4,9 @@
 // do — across queries at a fixed allocation, and across allocations for
 // a fixed query — and they must respond monotonically to resources.
 
+#include <algorithm>
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "calib/calibration.h"
@@ -209,6 +212,67 @@ TEST_P(MonotoneCostTest, MoreCpuNeverIncreasesActualTime) {
 
 INSTANTIATE_TEST_SUITE_P(Queries, MonotoneCostTest,
                          ::testing::ValuesIn(kQueries));
+
+// --- Property 4: off-grid allocations interpolate sensibly -----------------
+//
+// The calibration grid covers cpu/io in {0.2, 0.5, 0.8}; the allocations
+// below sit strictly between grid points, so every lookup exercises the
+// trilinear interpolation path rather than the exact-match fast path.
+
+INSTANTIATE_TEST_SUITE_P(
+    OffGridAllocations, CrossQueryRankingTest,
+    ::testing::Values(ResourceShare(0.3, 0.5, 0.6),
+                      ResourceShare(0.65, 0.5, 0.35)));
+
+TEST(OffGridInterpolationTest, ParamsAreConvexBetweenGridPoints) {
+  WhatIfEnv& env = WhatIfEnv::Get();
+  auto lo = env.store_.Lookup(ResourceShare(0.2, 0.5, 0.5));
+  auto hi = env.store_.Lookup(ResourceShare(0.5, 0.5, 0.5));
+  auto mid = env.store_.Lookup(ResourceShare(0.35, 0.5, 0.5));
+  ASSERT_TRUE(lo.ok());
+  ASSERT_TRUE(hi.ok());
+  ASSERT_TRUE(mid.ok());
+  const auto lo_vec = lo->CalibratedVector();
+  const auto hi_vec = hi->CalibratedVector();
+  const auto mid_vec = mid->CalibratedVector();
+  for (int k = 0; k < optimizer::OptimizerParams::kNumCalibrated; ++k) {
+    // 0.35 is the exact midpoint of [0.2, 0.5].
+    EXPECT_NEAR(mid_vec[k], 0.5 * (lo_vec[k] + hi_vec[k]),
+                1e-9 + 1e-9 * std::abs(lo_vec[k] + hi_vec[k]))
+        << "component " << k;
+  }
+}
+
+TEST(OffGridInterpolationTest, LookupIsContinuousAtGridPoints) {
+  WhatIfEnv& env = WhatIfEnv::Get();
+  for (const ResourceShare& point : env.store_.Points()) {
+    auto exact = env.store_.Lookup(point);
+    auto nearby = env.store_.Lookup(ResourceShare(
+        point.cpu + 1e-7, point.memory - 1e-7, point.io + 1e-7));
+    ASSERT_TRUE(exact.ok());
+    ASSERT_TRUE(nearby.ok());
+    EXPECT_NEAR(nearby->cpu_tuple_cost, exact->cpu_tuple_cost,
+                1e-4 * exact->cpu_tuple_cost + 1e-12)
+        << point.ToString();
+    EXPECT_NEAR(nearby->seq_page_cost, exact->seq_page_cost,
+                1e-4 * exact->seq_page_cost + 1e-12)
+        << point.ToString();
+  }
+}
+
+TEST(OffGridInterpolationTest, EstimatesInterpolateBetweenGridEstimates) {
+  WhatIfEnv& env = WhatIfEnv::Get();
+  // For each query, the what-if estimate at an off-grid allocation lies
+  // between the estimates at the bracketing grid allocations (the cost is
+  // linear in P's time parameters, and P interpolates linearly).
+  for (const char* sql : kQueries) {
+    const double lo = env.Estimate(sql, ResourceShare(0.5, 0.5, 0.2));
+    const double hi = env.Estimate(sql, ResourceShare(0.5, 0.5, 0.5));
+    const double mid = env.Estimate(sql, ResourceShare(0.5, 0.5, 0.35));
+    EXPECT_GE(mid, std::min(lo, hi) - 1e-9) << sql;
+    EXPECT_LE(mid, std::max(lo, hi) + 1e-9) << sql;
+  }
+}
 
 }  // namespace
 }  // namespace vdb

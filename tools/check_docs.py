@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Docs gate for CI: the front-door documents must match the repo.
+
+Checks, using only the standard library:
+
+  1. Every file path referenced in backticks in README.md, DESIGN.md,
+     EXPERIMENTS.md, or CONTRIBUTING.md exists (include-style paths such
+     as `calib/store.h` are resolved under src/ as well).
+  2. Every `bench_*` name mentioned in the docs has a source file
+     bench/<name>.cc, and every bench/bench_*.cc is mentioned in
+     README.md's bench table.
+  3. Required sections exist: README's quickstart, DESIGN.md's
+     "Robustness model", EXPERIMENTS.md's step-by-step figure guide.
+  4. The quickstart's shell commands reference binaries that are real
+     CMake targets (grepped from CMakeLists.txt files).
+
+Exit code 0 = pass, 1 = fail (each problem printed on its own line).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOCS = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "CONTRIBUTING.md"]
+
+# Backtick spans that look like file paths: either contain a slash or
+# start with a dot or carry a recognizably file-ish extension.
+PATH_EXTS = (".md", ".py", ".json", ".h", ".cc", ".cpp", ".sql", ".txt",
+             ".yml", ".clang-format")
+# Generated or environment-dependent names that are not tracked files.
+SKIP_PREFIXES = ("build/", "build-", "bench-out", "BENCH_", "$", "~", "http")
+
+
+def is_path_candidate(span: str) -> bool:
+    if not span or " " in span or "<" in span or "*" in span:
+        return False
+    if span.startswith(SKIP_PREFIXES):
+        return False
+    if span.startswith("."):
+        return True
+    if "/" in span:
+        return span.endswith(PATH_EXTS) or span.endswith("/")
+    return span.endswith(PATH_EXTS)
+
+
+def resolve(span: str) -> bool:
+    span = span.rstrip("/")
+    return any((ROOT / prefix / span).exists()
+               for prefix in ("", "src", "tests"))
+
+
+def main() -> int:
+    problems = []
+    texts = {}
+    for name in DOCS:
+        path = ROOT / name
+        if not path.exists():
+            problems.append(f"{name}: missing")
+            continue
+        texts[name] = path.read_text(encoding="utf-8")
+
+    # 1. Referenced paths exist.
+    for name, text in texts.items():
+        for span in re.findall(r"`([^`\n]+)`", text):
+            if is_path_candidate(span) and not resolve(span):
+                problems.append(f"{name}: references nonexistent file `{span}`")
+
+    # 2. Bench names <-> bench sources, both directions.
+    mentioned = set()
+    for name, text in texts.items():
+        for bench in set(re.findall(r"\bbench_[a-z0-9_]+\b", text)):
+            mentioned.add(bench)
+            if not (ROOT / "bench" / f"{bench}.cc").exists():
+                problems.append(
+                    f"{name}: mentions `{bench}` but bench/{bench}.cc "
+                    "does not exist")
+    readme = texts.get("README.md", "")
+    for source in sorted((ROOT / "bench").glob("bench_*.cc")):
+        if source.stem not in readme:
+            problems.append(
+                f"README.md: bench table is missing {source.name}")
+
+    # 3. Required sections.
+    required = {
+        "README.md": ["Five-minute quickstart", "Module map", "obs/"],
+        "DESIGN.md": ["Robustness model"],
+        "EXPERIMENTS.md": ["Reproducing Figures 3"],
+        "CONTRIBUTING.md": ["clang-format", "VDB_SANITIZE",
+                            "check_bench_regression.py"],
+    }
+    for name, needles in required.items():
+        for needle in needles:
+            if needle not in texts.get(name, ""):
+                problems.append(f"{name}: required section/phrase "
+                                f"{needle!r} not found")
+
+    # 4. Quickstart binaries are real CMake targets.
+    cmake_text = "\n".join(
+        p.read_text(encoding="utf-8") for p in ROOT.rglob("CMakeLists.txt"))
+    for binary in re.findall(r"\./build/\S*/(\w+)", readme):
+        if not re.search(rf"\b{re.escape(binary)}\b", cmake_text):
+            problems.append(
+                f"README.md: quickstart runs `{binary}` but no CMake "
+                "target with that name exists")
+
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if not problems:
+        print(f"docs check passed ({len(texts)} documents)")
+    return 1 if not texts or problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
