@@ -895,7 +895,15 @@ Result<PhysicalNodePtr> Optimizer::TranslateSpecialJoin(
         OpsOf(nl_join->condition.get()));
     result = std::move(nl_join);
   }
-  result->output = join.output;
+  // Declare the output in the *physical* children's column order, not the
+  // logical join's: a swapped join below can permute a child's columns,
+  // and the executor emits left-child ++ right-child (or left-child only
+  // for semi/anti) positionally.
+  result->output = left->output;
+  if (join.join_type == LogicalJoinType::kLeft) {
+    result->output.insert(result->output.end(), right->output.begin(),
+                          right->output.end());
+  }
   result->estimated_rows = output_rows;
   result->estimated_width = WidthOf(result->output);
   result->total_cost_ms = left->total_cost_ms + right->total_cost_ms +

@@ -48,6 +48,9 @@ Result<TypeId> ArithmeticResultType(BinaryOp op, TypeId left, TypeId right) {
     return Status::InvalidArgument("arithmetic on non-numeric operand");
   }
   if (left == TypeId::kDouble || right == TypeId::kDouble) {
+    if (op == BinaryOp::kMod) {
+      return Status::InvalidArgument("MOD requires integer operands");
+    }
     return TypeId::kDouble;
   }
   if (left == TypeId::kDate || right == TypeId::kDate) {
@@ -304,6 +307,12 @@ Result<LogicalNodePtr> Planner::PlanExists(
   if (!sub.group_by.empty() || sub.having != nullptr || sub.from.empty()) {
     return Status::NotSupported(
         "EXISTS subqueries with grouping are not supported");
+  }
+  if (sub.limit >= 0) {
+    // The semi/anti join this lowers to cannot honor a row cap, and
+    // EXISTS (... LIMIT 0) must be false — not "ignore the LIMIT".
+    return Status::NotSupported(
+        "LIMIT in EXISTS subqueries is not supported");
   }
   // Plan the subquery's FROM clause; its WHERE is handled here because its
   // conjuncts may reference the outer query (correlation).

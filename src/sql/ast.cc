@@ -1,6 +1,35 @@
 #include "sql/ast.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
 namespace vdb::sql {
+
+namespace {
+
+/// Renders a double so that re-parsing yields the same bits. The lexer has
+/// no exponent syntax, so the result must be plain decimal: try the
+/// shortest %g form that round-trips without an exponent, then fall back
+/// to fixed-point with enough digits.
+std::string FormatDoubleLiteral(double value) {
+  char buf[512];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strchr(buf, 'e') != nullptr ||
+        std::strchr(buf, 'E') != nullptr) {
+      break;
+    }
+    if (std::strtod(buf, nullptr) == value) return buf;
+  }
+  for (int precision = 17; precision <= 340; precision += 17) {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    if (std::strtod(buf, nullptr) == value) return buf;
+  }
+  return buf;
+}
+
+}  // namespace
 
 const char* BinaryOpName(BinaryOp op) {
   switch (op) {
@@ -41,6 +70,9 @@ ScalarSubqueryExpr::~ScalarSubqueryExpr() = default;
 std::string LiteralExpr::ToString() const {
   if (!value.is_null() && value.type() == catalog::TypeId::kString) {
     return "'" + value.AsString() + "'";
+  }
+  if (!value.is_null() && value.type() == catalog::TypeId::kDouble) {
+    return FormatDoubleLiteral(value.AsDouble());
   }
   return value.ToString();
 }
@@ -153,6 +185,14 @@ std::string SelectStatement::ToString() const {
       }
       if (!item.table.alias.empty() && item.table.alias != item.table.name) {
         result += " AS " + item.table.alias;
+        if (!item.table.column_aliases.empty()) {
+          result += " (";
+          for (size_t c = 0; c < item.table.column_aliases.size(); ++c) {
+            if (c > 0) result += ", ";
+            result += item.table.column_aliases[c];
+          }
+          result += ")";
+        }
       }
       if (item.join_condition != nullptr) {
         result += " ON " + item.join_condition->ToString();

@@ -1,0 +1,69 @@
+#ifndef VDB_TESTING_DIFFERENTIAL_H_
+#define VDB_TESTING_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "testing/generator.h"
+
+namespace vdb::fuzz {
+
+/// Knobs for one differential-testing campaign.
+struct DifferentialOptions {
+  /// Queries generated and checked per seed.
+  int queries_per_seed = 8;
+  /// Schema/query generation tuning.
+  GeneratorOptions generator;
+  /// Also re-run each matching query under mutated environments (memory
+  /// share, optimizer parameters) and require identical rows — plan choice
+  /// must never change results.
+  bool check_environment_invariance = true;
+  /// Shrinking budget: maximum number of candidate reductions tried when
+  /// minimizing a failure.
+  int max_shrink_steps = 300;
+};
+
+/// A minimized differential-testing failure, with everything needed to
+/// reproduce it by hand.
+struct FailureReport {
+  uint64_t seed = 0;
+  /// Schema synopsis (SchemaPlan::ToString) of the failing database.
+  std::string schema;
+  /// Minimized failing statement.
+  std::string sql;
+  /// The original (pre-shrink) statement.
+  std::string original_sql;
+  /// Human-readable description of the disagreement.
+  std::string detail;
+  /// Command line that reproduces the failure.
+  std::string repro;
+
+  std::string ToString() const;
+};
+
+/// Counters accumulated over a campaign.
+struct CampaignStats {
+  uint64_t queries = 0;
+  uint64_t matched = 0;
+  /// Engine returned NotSupported (dialect corner the planner rejects).
+  uint64_t skipped = 0;
+  /// Engine and oracle both failed (and agreed to fail).
+  uint64_t agreed_errors = 0;
+
+  std::string ToString() const;
+};
+
+/// Runs the differential check for one seed: builds the seed's schema and
+/// data, generates `queries_per_seed` statements, executes each against
+/// the engine and the reference oracle, and compares results. On
+/// disagreement the failing query is shrunk and reported via `failure`
+/// (return value true). Returns false if the whole seed matched.
+///
+/// Internal errors (I/O, schema materialization) surface as a throwing
+/// FailureReport with the error in `detail`.
+bool RunDifferentialSeed(uint64_t seed, const DifferentialOptions& options,
+                         CampaignStats* stats, FailureReport* failure);
+
+}  // namespace vdb::fuzz
+
+#endif  // VDB_TESTING_DIFFERENTIAL_H_

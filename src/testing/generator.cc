@@ -1,0 +1,852 @@
+#include "testing/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+namespace vdb::fuzz {
+
+using catalog::TypeId;
+using catalog::Value;
+using sql::BinaryOp;
+using sql::ExprPtr;
+using sql::ExprType;
+
+namespace {
+
+// Mirrors the datagen word list so generated string literals and LIKE
+// patterns sometimes match real rows.
+constexpr std::array<const char*, 8> kProbeWords = {
+    "furiously", "deposits", "accounts", "foxes",
+    "ideas",     "final",    "regular",  "pinto"};
+
+ExprPtr MakeInt(int64_t v) {
+  return std::make_unique<sql::LiteralExpr>(Value::Int64(v));
+}
+
+ExprPtr MakeDouble(double v) {
+  return std::make_unique<sql::LiteralExpr>(Value::Double(v));
+}
+
+ExprPtr MakeString(std::string v) {
+  return std::make_unique<sql::LiteralExpr>(Value::String(std::move(v)));
+}
+
+BinaryOp RandomComparisonOp(Random* rng) {
+  static constexpr std::array<BinaryOp, 6> kOps = {
+      BinaryOp::kEq, BinaryOp::kNe, BinaryOp::kLt,
+      BinaryOp::kLe, BinaryOp::kGt, BinaryOp::kGe};
+  return kOps[rng->Uniform(kOps.size())];
+}
+
+ExprPtr MakeCmp(BinaryOp op, ExprPtr left, ExprPtr right) {
+  return std::make_unique<sql::BinaryExpr>(op, std::move(left),
+                                           std::move(right));
+}
+
+bool TypeInClass(TypeId type, char type_class) {
+  switch (type_class) {
+    case 'n':
+      return type == TypeId::kInt64 || type == TypeId::kDouble ||
+             type == TypeId::kDate;
+    case 'i':
+      return type == TypeId::kInt64;
+    case 's':
+      return type == TypeId::kString;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Schema generation
+
+SchemaPlan GenerateSchemaPlan(Random* rng, const GeneratorOptions& options) {
+  SchemaPlan schema;
+  const int num_tables =
+      static_cast<int>(rng->UniformInt(options.min_tables,
+                                       options.max_tables));
+  for (int t = 0; t < num_tables; ++t) {
+    TablePlan table;
+    table.name = "t" + std::to_string(t);
+    datagen::ColumnSpec key;
+    key.name = "c0";
+    key.type = TypeId::kInt64;
+    key.distribution = datagen::Distribution::kSequential;
+    key.min_value = 0;
+    table.columns.push_back(key);
+
+    const int extra = static_cast<int>(
+        rng->UniformInt(options.min_columns, options.max_columns));
+    for (int c = 1; c <= extra; ++c) {
+      datagen::ColumnSpec spec;
+      spec.name = "c" + std::to_string(c);
+      switch (rng->Uniform(6)) {
+        case 0: {  // low-cardinality int (join/group friendly)
+          static constexpr std::array<int64_t, 4> kHi = {3, 10, 50, 1000};
+          spec.type = TypeId::kInt64;
+          spec.distribution = datagen::Distribution::kUniform;
+          spec.min_value = 0;
+          spec.max_value = static_cast<double>(kHi[rng->Uniform(kHi.size())]);
+          break;
+        }
+        case 1:
+          spec.type = TypeId::kInt64;
+          spec.distribution = datagen::Distribution::kZipf;
+          spec.min_value = 1;
+          spec.max_value = 100;
+          spec.zipf_theta = rng->UniformDouble(0.6, 1.1);
+          break;
+        case 2:
+          spec.type = TypeId::kDouble;
+          spec.distribution = datagen::Distribution::kUniformReal;
+          spec.min_value = 0;
+          spec.max_value = 100;
+          break;
+        case 3:
+          spec.type = TypeId::kString;
+          spec.distribution = datagen::Distribution::kRandomText;
+          spec.string_length =
+              static_cast<uint32_t>(rng->UniformInt(8, 16));
+          break;
+        case 4:
+          spec.type = TypeId::kDate;
+          spec.distribution = datagen::Distribution::kUniform;
+          spec.min_value = 10000;
+          spec.max_value = 10400;
+          break;
+        default:
+          spec.type = TypeId::kInt64;
+          spec.distribution = datagen::Distribution::kUniform;
+          spec.min_value = -50;
+          spec.max_value = 50;
+          break;
+      }
+      static constexpr std::array<double, 4> kNullFractions = {0.0, 0.0, 0.1,
+                                                               0.3};
+      spec.null_fraction = kNullFractions[rng->Uniform(kNullFractions.size())];
+      table.columns.push_back(spec);
+    }
+
+    table.num_rows = rng->UniformInt(
+        static_cast<int64_t>(options.min_rows),
+        static_cast<int64_t>(options.max_rows));
+    table.data_seed = rng->NextUint64();
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      const datagen::ColumnSpec& spec = table.columns[c];
+      if (spec.type != TypeId::kInt64 && spec.type != TypeId::kDate) continue;
+      if (spec.null_fraction > 0.0) continue;  // index keys must be non-null
+      const double p =
+          c == 0 ? options.index_probability : options.index_probability / 2;
+      if (rng->Bernoulli(p)) table.indexed_columns.push_back(c);
+    }
+    schema.tables.push_back(std::move(table));
+  }
+  return schema;
+}
+
+Status SchemaPlan::Materialize(catalog::Catalog* cat) const {
+  for (const TablePlan& table : tables) {
+    VDB_RETURN_NOT_OK(datagen::GenerateTable(cat, table.name, table.columns,
+                                             table.num_rows,
+                                             table.data_seed));
+    for (size_t c : table.indexed_columns) {
+      VDB_RETURN_NOT_OK(
+          cat->CreateIndex(table.name + "_idx_" + table.columns[c].name,
+                           table.name, table.columns[c].name)
+              .status());
+    }
+  }
+  return cat->AnalyzeAll();
+}
+
+std::string SchemaPlan::ToString() const {
+  std::string out;
+  for (const TablePlan& table : tables) {
+    if (!out.empty()) out += "; ";
+    out += table.name + "(";
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      if (c > 0) out += ", ";
+      out += table.columns[c].name;
+      out += " ";
+      out += catalog::TypeIdName(table.columns[c].type);
+    }
+    out += ") " + std::to_string(table.num_rows) + " rows";
+    for (size_t c : table.indexed_columns) {
+      out += " [idx " + table.columns[c].name + "]";
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Expression cloning
+
+ExprPtr CloneExpr(const sql::Expr& expr) {
+  switch (expr.type) {
+    case ExprType::kLiteral:
+      return std::make_unique<sql::LiteralExpr>(
+          static_cast<const sql::LiteralExpr&>(expr).value);
+    case ExprType::kColumnRef: {
+      const auto& ref = static_cast<const sql::ColumnRefExpr&>(expr);
+      return std::make_unique<sql::ColumnRefExpr>(ref.table, ref.column);
+    }
+    case ExprType::kStar:
+      return std::make_unique<sql::StarExpr>();
+    case ExprType::kUnary: {
+      const auto& unary = static_cast<const sql::UnaryExpr&>(expr);
+      return std::make_unique<sql::UnaryExpr>(unary.op,
+                                              CloneExpr(*unary.operand));
+    }
+    case ExprType::kBinary: {
+      const auto& binary = static_cast<const sql::BinaryExpr&>(expr);
+      return std::make_unique<sql::BinaryExpr>(
+          binary.op, CloneExpr(*binary.left), CloneExpr(*binary.right));
+    }
+    case ExprType::kFunctionCall: {
+      const auto& call = static_cast<const sql::FunctionCallExpr&>(expr);
+      std::vector<ExprPtr> args;
+      args.reserve(call.args.size());
+      for (const ExprPtr& arg : call.args) args.push_back(CloneExpr(*arg));
+      return std::make_unique<sql::FunctionCallExpr>(
+          call.name, std::move(args), call.star, call.distinct);
+    }
+    case ExprType::kBetween: {
+      const auto& between = static_cast<const sql::BetweenExpr&>(expr);
+      return std::make_unique<sql::BetweenExpr>(
+          CloneExpr(*between.value), CloneExpr(*between.low),
+          CloneExpr(*between.high), between.negated);
+    }
+    case ExprType::kInList: {
+      const auto& in = static_cast<const sql::InListExpr&>(expr);
+      std::vector<ExprPtr> list;
+      list.reserve(in.list.size());
+      for (const ExprPtr& item : in.list) list.push_back(CloneExpr(*item));
+      return std::make_unique<sql::InListExpr>(CloneExpr(*in.value),
+                                               std::move(list), in.negated);
+    }
+    case ExprType::kInSubquery: {
+      const auto& in = static_cast<const sql::InSubqueryExpr&>(expr);
+      return std::make_unique<sql::InSubqueryExpr>(
+          CloneExpr(*in.value), CloneSelect(*in.subquery), in.negated);
+    }
+    case ExprType::kScalarSubquery: {
+      const auto& sub = static_cast<const sql::ScalarSubqueryExpr&>(expr);
+      return std::make_unique<sql::ScalarSubqueryExpr>(
+          CloneSelect(*sub.subquery));
+    }
+    case ExprType::kLike: {
+      const auto& like = static_cast<const sql::LikeExpr&>(expr);
+      return std::make_unique<sql::LikeExpr>(CloneExpr(*like.value),
+                                             like.pattern, like.negated);
+    }
+    case ExprType::kIsNull: {
+      const auto& is_null = static_cast<const sql::IsNullExpr&>(expr);
+      return std::make_unique<sql::IsNullExpr>(CloneExpr(*is_null.value),
+                                               is_null.negated);
+    }
+    case ExprType::kExists: {
+      const auto& exists = static_cast<const sql::ExistsExpr&>(expr);
+      return std::make_unique<sql::ExistsExpr>(CloneSelect(*exists.subquery),
+                                               exists.negated);
+    }
+    case ExprType::kCase: {
+      const auto& case_expr = static_cast<const sql::CaseExpr&>(expr);
+      std::vector<std::pair<ExprPtr, ExprPtr>> branches;
+      branches.reserve(case_expr.branches.size());
+      for (const auto& [when, then] : case_expr.branches) {
+        branches.emplace_back(CloneExpr(*when), CloneExpr(*then));
+      }
+      return std::make_unique<sql::CaseExpr>(
+          std::move(branches), case_expr.else_result != nullptr
+                                   ? CloneExpr(*case_expr.else_result)
+                                   : nullptr);
+    }
+  }
+  return nullptr;  // unreachable: all ExprType cases handled above
+}
+
+std::unique_ptr<sql::SelectStatement> CloneSelect(
+    const sql::SelectStatement& stmt) {
+  auto out = std::make_unique<sql::SelectStatement>();
+  for (const sql::SelectItem& item : stmt.items) {
+    sql::SelectItem copy;
+    copy.expr = CloneExpr(*item.expr);
+    copy.alias = item.alias;
+    out->items.push_back(std::move(copy));
+  }
+  for (const sql::FromItem& item : stmt.from) {
+    sql::FromItem copy;
+    copy.table.kind = item.table.kind;
+    copy.table.name = item.table.name;
+    copy.table.alias = item.table.alias;
+    copy.table.column_aliases = item.table.column_aliases;
+    if (item.table.subquery != nullptr) {
+      copy.table.subquery = CloneSelect(*item.table.subquery);
+    }
+    copy.join_type = item.join_type;
+    if (item.join_condition != nullptr) {
+      copy.join_condition = CloneExpr(*item.join_condition);
+    }
+    out->from.push_back(std::move(copy));
+  }
+  if (stmt.where != nullptr) out->where = CloneExpr(*stmt.where);
+  for (const ExprPtr& group : stmt.group_by) {
+    out->group_by.push_back(CloneExpr(*group));
+  }
+  if (stmt.having != nullptr) out->having = CloneExpr(*stmt.having);
+  for (const sql::OrderByItem& item : stmt.order_by) {
+    sql::OrderByItem copy;
+    copy.expr = CloneExpr(*item.expr);
+    copy.ascending = item.ascending;
+    out->order_by.push_back(std::move(copy));
+  }
+  out->limit = stmt.limit;
+  out->distinct = stmt.distinct;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Query generation
+
+const TablePlan& QueryGenerator::RandomTable() {
+  return schema_->tables[rng_->Uniform(schema_->tables.size())];
+}
+
+QueryGenerator::Binding QueryGenerator::BindTable(const TablePlan& table,
+                                                  std::string alias) {
+  Binding binding;
+  binding.alias = std::move(alias);
+  for (const datagen::ColumnSpec& spec : table.columns) {
+    ColumnInfo info;
+    info.name = spec.name;
+    info.type = spec.type;
+    info.nullable = spec.null_fraction > 0.0;
+    if (spec.distribution == datagen::Distribution::kSequential) {
+      info.lo = spec.min_value;
+      info.hi = spec.min_value + static_cast<double>(table.num_rows);
+    } else {
+      info.lo = spec.min_value;
+      info.hi = spec.max_value;
+    }
+    binding.columns.push_back(std::move(info));
+  }
+  return binding;
+}
+
+bool QueryGenerator::PickColumn(const Scope& scope, char type_class,
+                                std::string* alias, ColumnInfo* column) {
+  std::vector<std::pair<size_t, size_t>> candidates;
+  for (size_t b = 0; b < scope.size(); ++b) {
+    for (size_t c = 0; c < scope[b].columns.size(); ++c) {
+      if (TypeInClass(scope[b].columns[c].type, type_class)) {
+        candidates.emplace_back(b, c);
+      }
+    }
+  }
+  if (candidates.empty()) return false;
+  const auto [b, c] = candidates[rng_->Uniform(candidates.size())];
+  *alias = scope[b].alias;
+  *column = scope[b].columns[c];
+  return true;
+}
+
+ExprPtr QueryGenerator::ColumnRef(const std::string& alias,
+                                  const ColumnInfo& column) {
+  return std::make_unique<sql::ColumnRefExpr>(alias, column.name);
+}
+
+ExprPtr QueryGenerator::LiteralNear(const ColumnInfo& column) {
+  if (column.type == TypeId::kString) {
+    return MakeString(kProbeWords[rng_->Uniform(kProbeWords.size())]);
+  }
+  const int64_t lo = static_cast<int64_t>(column.lo);
+  const int64_t hi = static_cast<int64_t>(column.hi);
+  // Occasionally out of range (empty/full scans are valid results too).
+  const int64_t slack = std::max<int64_t>(1, (hi - lo) / 4);
+  const int64_t v = rng_->UniformInt(lo - slack, hi + slack);
+  if (column.type == TypeId::kDouble && rng_->Bernoulli(0.5)) {
+    return MakeDouble(static_cast<double>(v) + 0.5);
+  }
+  // Date columns compare fine against integer day numbers; a bare date
+  // literal would not round-trip through ToString -> parser.
+  return MakeInt(v);
+}
+
+QueryGenerator::TypedExpr QueryGenerator::NumericScalarTyped(
+    const Scope& scope, int depth) {
+  const uint64_t pick = rng_->Uniform(depth > 0 ? 4 : 3);
+  switch (pick) {
+    case 0: {
+      std::string alias;
+      ColumnInfo column;
+      // Non-date numeric column; dates only allow add/sub arithmetic, so
+      // keep them out of generic scalars.
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        if (PickColumn(scope, 'n', &alias, &column) &&
+            column.type != TypeId::kDate) {
+          return {ColumnRef(alias, column), column.type};
+        }
+      }
+      return {MakeInt(rng_->UniformInt(-100, 100)), TypeId::kInt64};
+    }
+    case 1:
+      return {MakeInt(rng_->UniformInt(-100, 100)), TypeId::kInt64};
+    case 2:
+      return {MakeDouble(rng_->UniformDouble(-100, 100)), TypeId::kDouble};
+    default: {
+      TypedExpr left = NumericScalarTyped(scope, depth - 1);
+      TypedExpr right = NumericScalarTyped(scope, 0);
+      const bool any_double =
+          left.type == TypeId::kDouble || right.type == TypeId::kDouble;
+      // MOD is integer-only (the planner rejects it on doubles).
+      static constexpr std::array<BinaryOp, 5> kOps = {
+          BinaryOp::kAdd, BinaryOp::kSub, BinaryOp::kMul, BinaryOp::kDiv,
+          BinaryOp::kMod};
+      const BinaryOp op = kOps[rng_->Uniform(any_double ? 4 : 5)];
+      return {std::make_unique<sql::BinaryExpr>(op, std::move(left.expr),
+                                                std::move(right.expr)),
+              any_double ? TypeId::kDouble : TypeId::kInt64};
+    }
+  }
+}
+
+ExprPtr QueryGenerator::NumericScalar(const Scope& scope, int depth) {
+  return NumericScalarTyped(scope, depth).expr;
+}
+
+ExprPtr QueryGenerator::Comparison(const Scope& scope) {
+  std::string alias;
+  ColumnInfo column;
+  switch (rng_->Uniform(6)) {
+    case 0:  // string comparison / LIKE / IN-list of words
+      if (PickColumn(scope, 's', &alias, &column)) {
+        const uint64_t kind = rng_->Uniform(3);
+        if (kind == 0) {
+          return MakeCmp(RandomComparisonOp(rng_), ColumnRef(alias, column),
+                         LiteralNear(column));
+        }
+        if (kind == 1) {
+          std::string pattern =
+              std::string(rng_->Bernoulli(0.5) ? "%" : "") +
+              kProbeWords[rng_->Uniform(kProbeWords.size())] + "%";
+          return std::make_unique<sql::LikeExpr>(ColumnRef(alias, column),
+                                                 std::move(pattern),
+                                                 rng_->Bernoulli(0.3));
+        }
+        std::vector<ExprPtr> list;
+        const int n = static_cast<int>(rng_->UniformInt(1, 3));
+        for (int i = 0; i < n; ++i) {
+          list.push_back(
+              MakeString(kProbeWords[rng_->Uniform(kProbeWords.size())]));
+        }
+        return std::make_unique<sql::InListExpr>(ColumnRef(alias, column),
+                                                 std::move(list),
+                                                 rng_->Bernoulli(0.3));
+      }
+      [[fallthrough]];
+    case 1:  // column vs literal near its range
+      if (PickColumn(scope, 'n', &alias, &column)) {
+        return MakeCmp(RandomComparisonOp(rng_), ColumnRef(alias, column),
+                       LiteralNear(column));
+      }
+      [[fallthrough]];
+    case 2: {  // BETWEEN
+      if (PickColumn(scope, 'n', &alias, &column)) {
+        ExprPtr low = LiteralNear(column);
+        ExprPtr high = LiteralNear(column);
+        return std::make_unique<sql::BetweenExpr>(
+            ColumnRef(alias, column), std::move(low), std::move(high),
+            rng_->Bernoulli(0.2));
+      }
+      return MakeCmp(BinaryOp::kGt, MakeInt(1), MakeInt(0));
+    }
+    case 3:  // int IN-list
+      if (PickColumn(scope, 'i', &alias, &column)) {
+        std::vector<ExprPtr> list;
+        const int n = static_cast<int>(rng_->UniformInt(1, 4));
+        for (int i = 0; i < n; ++i) list.push_back(LiteralNear(column));
+        return std::make_unique<sql::InListExpr>(ColumnRef(alias, column),
+                                                 std::move(list),
+                                                 rng_->Bernoulli(0.3));
+      }
+      [[fallthrough]];
+    case 4:  // IS [NOT] NULL
+      if (PickColumn(scope, 'a', &alias, &column)) {
+        return std::make_unique<sql::IsNullExpr>(ColumnRef(alias, column),
+                                                 rng_->Bernoulli(0.5));
+      }
+      [[fallthrough]];
+    default:  // scalar vs scalar
+      return MakeCmp(RandomComparisonOp(rng_), NumericScalar(scope, 1),
+                     NumericScalar(scope, 1));
+  }
+}
+
+ExprPtr QueryGenerator::Predicate(const Scope& scope, int depth) {
+  if (depth <= 0) return Comparison(scope);
+  switch (rng_->Uniform(10)) {
+    case 0:
+    case 1:
+    case 2:
+      return std::make_unique<sql::BinaryExpr>(BinaryOp::kAnd,
+                                               Predicate(scope, depth - 1),
+                                               Predicate(scope, depth - 1));
+    case 3:
+    case 4:
+      return std::make_unique<sql::BinaryExpr>(BinaryOp::kOr,
+                                               Predicate(scope, depth - 1),
+                                               Predicate(scope, depth - 1));
+    case 5:
+      return std::make_unique<sql::UnaryExpr>(sql::UnaryOp::kNot,
+                                              Predicate(scope, depth - 1));
+    default:
+      return Comparison(scope);
+  }
+}
+
+std::unique_ptr<sql::SelectStatement> QueryGenerator::SimpleSubquery(
+    const Scope& outer, bool correlated, bool scalar_agg) {
+  const TablePlan& table = RandomTable();
+  const std::string alias = "s" + std::to_string(alias_counter_++);
+  Scope inner_scope;
+  inner_scope.push_back(BindTable(table, alias));
+
+  auto stmt = std::make_unique<sql::SelectStatement>();
+  if (scalar_agg) {
+    // A guaranteed-single-row subquery: one global aggregate.
+    std::string agg_alias;
+    ColumnInfo agg_column;
+    sql::SelectItem item;
+    if (PickColumn(inner_scope, 'n', &agg_alias, &agg_column) &&
+        agg_column.type != TypeId::kDate && rng_->Bernoulli(0.7)) {
+      static constexpr std::array<const char*, 4> kAggs = {"sum", "min",
+                                                           "max", "avg"};
+      std::vector<ExprPtr> args;
+      args.push_back(ColumnRef(agg_alias, agg_column));
+      item.expr = std::make_unique<sql::FunctionCallExpr>(
+          kAggs[rng_->Uniform(kAggs.size())], std::move(args), false, false);
+    } else {
+      item.expr = std::make_unique<sql::FunctionCallExpr>(
+          "count", std::vector<ExprPtr>(), true, false);
+    }
+    stmt->items.push_back(std::move(item));
+  } else {
+    std::string col_alias;
+    ColumnInfo column;
+    sql::SelectItem item;
+    if (!PickColumn(inner_scope, 'i', &col_alias, &column)) {
+      col_alias = alias;
+      column = inner_scope[0].columns[0];
+    }
+    item.expr = ColumnRef(col_alias, column);
+    stmt->items.push_back(std::move(item));
+  }
+
+  sql::FromItem from;
+  from.table.kind = sql::TableRef::Kind::kBaseTable;
+  from.table.name = table.name;
+  from.table.alias = alias;
+  stmt->from.push_back(std::move(from));
+
+  ExprPtr where;
+  if (rng_->Bernoulli(0.7)) where = Predicate(inner_scope, 1);
+  if (correlated) {
+    // One conjunct ties an inner column to an outer column; the planner
+    // turns it into the semi/anti-join condition.
+    std::string inner_alias;
+    std::string outer_alias;
+    ColumnInfo inner_column;
+    ColumnInfo outer_column;
+    if (PickColumn(inner_scope, 'i', &inner_alias, &inner_column) &&
+        PickColumn(outer, 'i', &outer_alias, &outer_column)) {
+      ExprPtr link = MakeCmp(
+          rng_->Bernoulli(0.7) ? BinaryOp::kEq : RandomComparisonOp(rng_),
+          ColumnRef(inner_alias, inner_column),
+          ColumnRef(outer_alias, outer_column));
+      where = where == nullptr
+                  ? std::move(link)
+                  : std::make_unique<sql::BinaryExpr>(
+                        BinaryOp::kAnd, std::move(where), std::move(link));
+    }
+  }
+  stmt->where = std::move(where);
+  return stmt;
+}
+
+ExprPtr QueryGenerator::SubqueryPredicate(const Scope& outer) {
+  switch (rng_->Uniform(3)) {
+    case 0: {  // [NOT] EXISTS (...), possibly correlated
+      auto sub = SimpleSubquery(outer, rng_->Bernoulli(0.6), false);
+      return std::make_unique<sql::ExistsExpr>(std::move(sub),
+                                               rng_->Bernoulli(0.3));
+    }
+    case 1: {  // value [NOT] IN (SELECT intcol ...), uncorrelated
+      auto sub = SimpleSubquery(outer, false, false);
+      std::string alias;
+      ColumnInfo column;
+      ExprPtr value = PickColumn(outer, 'i', &alias, &column)
+                          ? ColumnRef(alias, column)
+                          : MakeInt(rng_->UniformInt(0, 50));
+      return std::make_unique<sql::InSubqueryExpr>(
+          std::move(value), std::move(sub), rng_->Bernoulli(0.3));
+    }
+    default: {  // scalar cmp (SELECT agg ...)
+      auto sub = SimpleSubquery(outer, false, true);
+      return MakeCmp(RandomComparisonOp(rng_), NumericScalar(outer, 1),
+                     std::make_unique<sql::ScalarSubqueryExpr>(
+                         std::move(sub)));
+    }
+  }
+}
+
+GeneratedQuery QueryGenerator::Generate() { return GenerateSelect(); }
+
+GeneratedQuery QueryGenerator::GenerateSelect() {
+  GeneratedQuery query;
+  auto stmt = std::make_unique<sql::SelectStatement>();
+  Scope scope;
+
+  // FROM: 1..max_from_items tables (base tables or one derived table).
+  const int max_items = std::min<int>(options_.max_from_items, 3);
+  const uint64_t roll = rng_->Uniform(100);
+  const int num_from = roll < 50 ? 1 : (roll < 85 ? std::min(2, max_items)
+                                                  : max_items);
+  for (int i = 0; i < num_from; ++i) {
+    sql::FromItem item;
+    const std::string alias = "f" + std::to_string(alias_counter_++);
+    if (i == 0 && rng_->Bernoulli(0.15)) {
+      // Derived table: a simple projection+filter subquery whose output
+      // columns get fresh aliases.
+      const TablePlan& table = RandomTable();
+      const std::string inner_alias = "d" + std::to_string(alias_counter_++);
+      Scope inner_scope;
+      inner_scope.push_back(BindTable(table, inner_alias));
+      auto sub = std::make_unique<sql::SelectStatement>();
+      Binding binding;
+      binding.alias = alias;
+      const size_t keep = 1 + rng_->Uniform(inner_scope[0].columns.size());
+      for (size_t c = 0; c < keep; ++c) {
+        const ColumnInfo& column = inner_scope[0].columns[c];
+        sql::SelectItem sub_item;
+        sub_item.expr = ColumnRef(inner_alias, column);
+        sub->items.push_back(std::move(sub_item));
+        item.table.column_aliases.push_back("v" + std::to_string(c));
+        ColumnInfo renamed = column;
+        renamed.name = item.table.column_aliases.back();
+        binding.columns.push_back(std::move(renamed));
+      }
+      sql::FromItem sub_from;
+      sub_from.table.kind = sql::TableRef::Kind::kBaseTable;
+      sub_from.table.name = table.name;
+      sub_from.table.alias = inner_alias;
+      sub->from.push_back(std::move(sub_from));
+      if (rng_->Bernoulli(0.6)) sub->where = Predicate(inner_scope, 1);
+      item.table.kind = sql::TableRef::Kind::kSubquery;
+      item.table.alias = alias;
+      item.table.subquery = std::move(sub);
+      scope.push_back(std::move(binding));
+    } else {
+      const TablePlan& table = RandomTable();
+      item.table.kind = sql::TableRef::Kind::kBaseTable;
+      item.table.name = table.name;
+      item.table.alias = alias;
+      scope.push_back(BindTable(table, alias));
+    }
+    if (i > 0) {
+      const uint64_t join_roll = rng_->Uniform(100);
+      if (join_roll < 25) {
+        item.join_type = sql::JoinType::kCross;
+      } else {
+        item.join_type = join_roll < 70 ? sql::JoinType::kInner
+                                        : sql::JoinType::kLeft;
+        // Equi-join between an earlier int column and one of the new
+        // table's int columns, plus an occasional extra conjunct.
+        Scope left_scope(scope.begin(), scope.end() - 1);
+        Scope right_scope(scope.end() - 1, scope.end());
+        std::string left_alias;
+        std::string right_alias;
+        ColumnInfo left_column;
+        ColumnInfo right_column;
+        ExprPtr condition;
+        if (PickColumn(left_scope, 'i', &left_alias, &left_column) &&
+            PickColumn(right_scope, 'i', &right_alias, &right_column)) {
+          condition = MakeCmp(BinaryOp::kEq,
+                              ColumnRef(left_alias, left_column),
+                              ColumnRef(right_alias, right_column));
+        } else {
+          condition = Predicate(scope, 1);
+        }
+        if (rng_->Bernoulli(0.3)) {
+          condition = std::make_unique<sql::BinaryExpr>(
+              BinaryOp::kAnd, std::move(condition), Comparison(scope));
+        }
+        item.join_condition = std::move(condition);
+      }
+    }
+    stmt->from.push_back(std::move(item));
+  }
+
+  const bool aggregate = rng_->Bernoulli(0.35);
+  if (aggregate) {
+    // GROUP BY 0-2 columns; select list = group columns + aggregates.
+    const int num_groups = static_cast<int>(rng_->UniformInt(0, 2));
+    std::vector<std::pair<std::string, ColumnInfo>> group_cols;
+    for (int g = 0; g < num_groups; ++g) {
+      std::string alias;
+      ColumnInfo column;
+      if (!PickColumn(scope, 'a', &alias, &column)) break;
+      bool duplicate = false;
+      for (const auto& [a, c] : group_cols) {
+        if (a == alias && c.name == column.name) duplicate = true;
+      }
+      if (duplicate) continue;
+      group_cols.emplace_back(alias, column);
+    }
+    for (const auto& [alias, column] : group_cols) {
+      stmt->group_by.push_back(ColumnRef(alias, column));
+      sql::SelectItem item;
+      item.expr = ColumnRef(alias, column);
+      stmt->items.push_back(std::move(item));
+    }
+    const int num_aggs = static_cast<int>(rng_->UniformInt(1, 3));
+    for (int a = 0; a < num_aggs; ++a) {
+      sql::SelectItem item;
+      std::string alias;
+      ColumnInfo column;
+      switch (rng_->Uniform(6)) {
+        case 0:
+          item.expr = std::make_unique<sql::FunctionCallExpr>(
+              "count", std::vector<ExprPtr>(), true, false);
+          break;
+        case 1:
+        case 2:
+          if (PickColumn(scope, 'n', &alias, &column) &&
+              column.type != TypeId::kDate) {
+            std::vector<ExprPtr> args;
+            args.push_back(ColumnRef(alias, column));
+            item.expr = std::make_unique<sql::FunctionCallExpr>(
+                rng_->Bernoulli(0.5) ? "sum" : "avg", std::move(args), false,
+                false);
+            break;
+          }
+          [[fallthrough]];
+        case 3:
+        case 4:
+          if (PickColumn(scope, 'a', &alias, &column) &&
+              column.type != TypeId::kBool) {
+            std::vector<ExprPtr> args;
+            args.push_back(ColumnRef(alias, column));
+            item.expr = std::make_unique<sql::FunctionCallExpr>(
+                rng_->Bernoulli(0.5) ? "min" : "max", std::move(args), false,
+                false);
+            break;
+          }
+          [[fallthrough]];
+        default: {
+          if (!PickColumn(scope, 'a', &alias, &column)) {
+            item.expr = std::make_unique<sql::FunctionCallExpr>(
+                "count", std::vector<ExprPtr>(), true, false);
+            break;
+          }
+          std::vector<ExprPtr> args;
+          args.push_back(ColumnRef(alias, column));
+          item.expr = std::make_unique<sql::FunctionCallExpr>(
+              "count", std::move(args), false, rng_->Bernoulli(0.3));
+          break;
+        }
+      }
+      stmt->items.push_back(std::move(item));
+    }
+    if (rng_->Bernoulli(0.4)) {
+      // HAVING over an aggregate (COUNT(*) keeps it always well-typed).
+      ExprPtr agg = std::make_unique<sql::FunctionCallExpr>(
+          "count", std::vector<ExprPtr>(), true, false);
+      stmt->having = MakeCmp(RandomComparisonOp(rng_), std::move(agg),
+                             MakeInt(rng_->UniformInt(0, 10)));
+    }
+  } else {
+    // Plain select list: columns, arithmetic, or CASE.
+    if (num_from == 1 && rng_->Bernoulli(0.1)) {
+      sql::SelectItem item;
+      item.expr = std::make_unique<sql::StarExpr>();
+      stmt->items.push_back(std::move(item));
+      query.stmt = std::move(stmt);
+      // SELECT * keeps no ORDER BY/LIMIT bookkeeping; compare unordered.
+      if (rng_->Bernoulli(0.2)) query.stmt->distinct = true;
+      if (rng_->Bernoulli(0.75)) {
+        query.stmt->where = Predicate(scope, options_.max_predicate_depth);
+      }
+      return query;
+    }
+    const int num_items = static_cast<int>(rng_->UniformInt(1, 4));
+    for (int i = 0; i < num_items; ++i) {
+      sql::SelectItem item;
+      const uint64_t pick = rng_->Uniform(10);
+      std::string alias;
+      ColumnInfo column;
+      if (pick < 7 && PickColumn(scope, 'a', &alias, &column)) {
+        item.expr = ColumnRef(alias, column);
+      } else if (pick < 9) {
+        item.expr = NumericScalar(scope, 2);
+      } else {
+        // CASE WHEN pred THEN int WHEN pred THEN int [ELSE int] END
+        std::vector<std::pair<ExprPtr, ExprPtr>> branches;
+        const int num_branches = static_cast<int>(rng_->UniformInt(1, 2));
+        for (int b = 0; b < num_branches; ++b) {
+          branches.emplace_back(Predicate(scope, 1),
+                                MakeInt(rng_->UniformInt(0, 100)));
+        }
+        ExprPtr else_result =
+            rng_->Bernoulli(0.7) ? MakeInt(rng_->UniformInt(0, 100))
+                                 : nullptr;
+        item.expr = std::make_unique<sql::CaseExpr>(std::move(branches),
+                                                    std::move(else_result));
+      }
+      stmt->items.push_back(std::move(item));
+    }
+    stmt->distinct = rng_->Bernoulli(0.2);
+  }
+
+  // WHERE: a random predicate, plus (top-level conjunct only) an optional
+  // subquery predicate — the planner de-correlates EXISTS/IN only there.
+  ExprPtr where;
+  if (rng_->Bernoulli(0.75)) {
+    where = Predicate(scope, options_.max_predicate_depth);
+  }
+  if (!aggregate && rng_->Bernoulli(0.2)) {
+    ExprPtr sub = SubqueryPredicate(scope);
+    where = where == nullptr ? std::move(sub)
+                             : std::make_unique<sql::BinaryExpr>(
+                                   BinaryOp::kAnd, std::move(where),
+                                   std::move(sub));
+  }
+  stmt->where = std::move(where);
+
+  // ORDER BY covers every select item (so LIMIT output is a unique
+  // multiset even with duplicate sort keys); random key order/direction.
+  if (rng_->Bernoulli(aggregate ? 0.6 : 0.5)) {
+    std::vector<size_t> perm(stmt->items.size());
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    for (size_t i = perm.size(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng_->Uniform(i)]);
+    }
+    for (size_t i : perm) {
+      sql::OrderByItem item;
+      item.expr = CloneExpr(*stmt->items[i].expr);
+      item.ascending = rng_->Bernoulli(0.7);
+      query.sort_columns.emplace_back(i, item.ascending);
+      stmt->order_by.push_back(std::move(item));
+    }
+    if (rng_->Bernoulli(0.4)) {
+      stmt->limit = rng_->UniformInt(0, 30);
+    }
+  }
+
+  query.stmt = std::move(stmt);
+  return query;
+}
+
+}  // namespace vdb::fuzz

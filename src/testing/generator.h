@@ -1,0 +1,153 @@
+#ifndef VDB_TESTING_GENERATOR_H_
+#define VDB_TESTING_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "datagen/synthetic.h"
+#include "sql/ast.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace vdb::fuzz {
+
+/// One generated table: name, column specs (datagen distributions), row
+/// count, and the columns to index. Everything needed to rebuild the table
+/// bit-identically from the plan alone.
+struct TablePlan {
+  std::string name;
+  std::vector<datagen::ColumnSpec> columns;
+  uint64_t num_rows = 0;
+  uint64_t data_seed = 0;
+  /// Indexable (BIGINT/DATE) column positions to build B+-trees over.
+  std::vector<size_t> indexed_columns;
+};
+
+/// A generated schema: the tables of one differential-testing database.
+/// Deterministic in the seed that produced it; `Materialize` rebuilds the
+/// same catalog contents on every call.
+struct SchemaPlan {
+  std::vector<TablePlan> tables;
+
+  /// Creates the tables, fills them, builds the indexes, and runs ANALYZE.
+  Status Materialize(catalog::Catalog* cat) const;
+
+  /// Human-readable synopsis ("t0(c0 bigint, ...) 87 rows [idx c0]").
+  std::string ToString() const;
+};
+
+/// Tuning knobs for schema and query generation. The defaults keep the
+/// reference oracle's nested-loop cost bounded (tables are small) while
+/// still exercising joins, spills, and index plans.
+struct GeneratorOptions {
+  int min_tables = 1;
+  int max_tables = 3;
+  int min_columns = 2;  // in addition to the unique key column c0
+  int max_columns = 5;
+  uint64_t min_rows = 0;
+  uint64_t max_rows = 120;
+  /// Probability that an indexable column gets an index.
+  double index_probability = 0.4;
+  /// Maximum FROM items per query (joins).
+  int max_from_items = 3;
+  /// Maximum boolean connective depth in WHERE.
+  int max_predicate_depth = 3;
+};
+
+/// A generated query: the AST plus the bookkeeping the differential
+/// harness needs to compare ordered results. When `order_by` is emitted it
+/// always covers every select item (so ties are identical rows and the
+/// result multiset is unique even under LIMIT); `sort_columns` maps each
+/// ORDER BY key to (select-item position, ascending).
+struct GeneratedQuery {
+  std::unique_ptr<sql::SelectStatement> stmt;
+  std::vector<std::pair<size_t, bool>> sort_columns;
+
+  std::string Sql() const { return stmt->ToString(); }
+};
+
+/// Deterministic random SQL generator over a SchemaPlan. Produces only
+/// statements the engine's dialect accepts (type-checked against the
+/// schema): filters (comparisons, BETWEEN, IN, LIKE, IS NULL, AND/OR/NOT),
+/// multi-way joins (cross/inner/left), the five aggregates with GROUP
+/// BY/HAVING, DISTINCT, ORDER BY/LIMIT, EXISTS / IN / scalar subqueries,
+/// and derived tables.
+class QueryGenerator {
+ public:
+  QueryGenerator(const SchemaPlan* schema, Random* rng,
+                 GeneratorOptions options = {})
+      : schema_(schema), rng_(rng), options_(options) {}
+
+  GeneratedQuery Generate();
+
+ private:
+  struct ColumnInfo {
+    std::string name;
+    catalog::TypeId type = catalog::TypeId::kInt64;
+    bool nullable = false;
+    /// Approximate data range, for picking selective literals.
+    double lo = 0;
+    double hi = 1000;
+  };
+  /// One visible FROM binding: alias plus its columns.
+  struct Binding {
+    std::string alias;
+    std::vector<ColumnInfo> columns;
+  };
+  using Scope = std::vector<Binding>;
+
+  const TablePlan& RandomTable();
+  static Binding BindTable(const TablePlan& table, std::string alias);
+
+  /// Picks a random column of `type_class` from the scope; returns false
+  /// if none exists. `type_class` is one of 'n' (numeric: int/double/
+  /// date), 'i' (int64 only, no date), 's' (string), 'a' (any type).
+  bool PickColumn(const Scope& scope, char type_class, std::string* alias,
+                  ColumnInfo* column);
+
+  struct TypedExpr {
+    sql::ExprPtr expr;
+    catalog::TypeId type = catalog::TypeId::kInt64;
+  };
+
+  sql::ExprPtr ColumnRef(const std::string& alias, const ColumnInfo& column);
+  /// A literal near the column's data range (selective but non-trivial).
+  sql::ExprPtr LiteralNear(const ColumnInfo& column);
+  /// Numeric scalar of non-date type (int64/double), for arithmetic.
+  /// Tracks the static type so it never emits MOD on double operands
+  /// (rejected by the planner) and keeps int/double division explicit.
+  TypedExpr NumericScalarTyped(const Scope& scope, int depth);
+  sql::ExprPtr NumericScalar(const Scope& scope, int depth);
+  sql::ExprPtr Comparison(const Scope& scope);
+  sql::ExprPtr Predicate(const Scope& scope, int depth);
+  /// A top-level WHERE conjunct that is an EXISTS / IN / scalar-subquery
+  /// predicate (the planner de-correlates these only at top level).
+  sql::ExprPtr SubqueryPredicate(const Scope& outer);
+  std::unique_ptr<sql::SelectStatement> SimpleSubquery(const Scope& outer,
+                                                       bool correlated,
+                                                       bool scalar_agg);
+
+  GeneratedQuery GenerateSelect();
+
+  const SchemaPlan* schema_;
+  Random* rng_;
+  GeneratorOptions options_;
+  int alias_counter_ = 0;
+};
+
+/// Generates a random schema plan (deterministic in `rng`'s state).
+SchemaPlan GenerateSchemaPlan(Random* rng, const GeneratorOptions& options);
+
+/// Deep copy of a parsed expression (the AST has no Clone; the generator
+/// and the failure shrinker both need one).
+sql::ExprPtr CloneExpr(const sql::Expr& expr);
+
+/// Deep copy of a select statement.
+std::unique_ptr<sql::SelectStatement> CloneSelect(
+    const sql::SelectStatement& stmt);
+
+}  // namespace vdb::fuzz
+
+#endif  // VDB_TESTING_GENERATOR_H_

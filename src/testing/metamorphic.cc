@@ -1,0 +1,422 @@
+#include "testing/metamorphic.h"
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "calib/store.h"
+#include "core/cost_model.h"
+#include "core/problem.h"
+#include "core/search.h"
+#include "datagen/synthetic.h"
+#include "exec/database.h"
+#include "optimizer/params.h"
+#include "sim/machine.h"
+#include "sim/resources.h"
+#include "sim/virtual_machine.h"
+#include "util/random.h"
+
+namespace vdb::fuzz {
+
+namespace {
+
+using optimizer::OptimizerParams;
+using sim::ResourceKind;
+using sim::ResourceShare;
+
+/// Synthetic monotone calibration store: every per-unit time improves as
+/// its resource's share grows (CPU costs scale with 1/cpu, IO costs with
+/// 1/io) and the capacity parameters grow linearly with the memory share.
+/// Under such a store, more resources can never make an estimate worse —
+/// the metamorphic monotonicity oracle.
+calib::CalibrationStore MakeMonotoneStore(const std::vector<double>& axis) {
+  calib::CalibrationStore store;
+  const OptimizerParams base;
+  for (double cpu : axis) {
+    for (double memory : axis) {
+      for (double io : axis) {
+        OptimizerParams params = base;
+        const double cpu_penalty = 1.0 / cpu;
+        const double io_penalty = 1.0 / io;
+        params.cpu_tuple_cost = base.cpu_tuple_cost * cpu_penalty;
+        params.cpu_index_tuple_cost =
+            base.cpu_index_tuple_cost * cpu_penalty;
+        params.cpu_operator_cost = base.cpu_operator_cost * cpu_penalty;
+        params.seq_page_cost = base.seq_page_cost * io_penalty;
+        params.random_page_cost = base.random_page_cost * io_penalty;
+        params.effective_cache_size_pages = static_cast<uint64_t>(
+            static_cast<double>(base.effective_cache_size_pages) * memory);
+        params.work_mem_bytes = static_cast<uint64_t>(
+            static_cast<double>(base.work_mem_bytes) * memory);
+        store.Put(ResourceShare(cpu, memory, io), params);
+      }
+    }
+  }
+  return store;
+}
+
+/// Shared fixture: one database with a CPU-profile table and an
+/// IO-profile table, a two-workload design problem over it, and the
+/// synthetic monotone store.
+struct MetamorphicEnv {
+  exec::Database db;
+  core::VirtualizationDesignProblem problem;
+  calib::CalibrationStore store;
+  std::vector<double> axis{0.2, 0.5, 0.8};
+
+  Status Build() {
+    using datagen::ColumnSpec;
+    using datagen::Distribution;
+    ColumnSpec key;
+    key.name = "k";
+    key.distribution = Distribution::kSequential;
+    ColumnSpec group;
+    group.name = "g";
+    group.distribution = Distribution::kUniform;
+    group.min_value = 0;
+    group.max_value = 40;
+    ColumnSpec metric;
+    metric.name = "v";
+    metric.type = catalog::TypeId::kDouble;
+    metric.distribution = Distribution::kUniformReal;
+    ColumnSpec pad;
+    pad.name = "pad";
+    pad.type = catalog::TypeId::kString;
+    pad.distribution = Distribution::kRandomText;
+    pad.string_length = 220;
+    VDB_RETURN_NOT_OK(datagen::GenerateTable(db.catalog(), "mm_cpu",
+                                             {key, group, metric}, 4000,
+                                             91));
+    VDB_RETURN_NOT_OK(
+        datagen::GenerateTable(db.catalog(), "mm_io", {key, pad}, 2500, 92));
+    VDB_RETURN_NOT_OK(db.catalog()->AnalyzeAll());
+
+    problem.machine = sim::MachineSpec::Small();
+    problem.workloads = {
+        core::Workload("cpu-bound",
+                       {"select g, count(*), sum(v) from mm_cpu group by g",
+                        "select count(*) from mm_cpu where g < 20 and "
+                        "v < 50.0"}),
+        core::Workload("io-bound", {"select count(*) from mm_io",
+                                    "select count(*) from mm_io where "
+                                    "pad like '%the%'"}),
+    };
+    problem.databases = {&db, &db};
+    store = MakeMonotoneStore(axis);
+    return Status::OK();
+  }
+};
+
+std::string Violation(const std::string& invariant,
+                      const std::string& detail) {
+  return invariant + ": " + detail;
+}
+
+// --- Invariant 1: probe-order invariance / determinism ---------------------
+
+void CheckProbeOrderInvariance(MetamorphicEnv* env, Random* rng,
+                               int num_probes,
+                               std::vector<std::string>* violations) {
+  std::vector<ResourceShare> probes;
+  for (int i = 0; i < num_probes; ++i) {
+    probes.emplace_back(rng->UniformDouble(0.2, 0.8),
+                        rng->UniformDouble(0.2, 0.8),
+                        rng->UniformDouble(0.2, 0.8));
+  }
+  const size_t workloads = env->problem.NumWorkloads();
+  std::vector<std::vector<double>> forward(workloads);
+  core::WorkloadCostModel model_a(&env->problem, &env->store);
+  for (size_t w = 0; w < workloads; ++w) {
+    for (const ResourceShare& share : probes) {
+      auto cost = model_a.Cost(w, share);
+      if (!cost.ok()) {
+        violations->push_back(
+            Violation("probe-order", "Cost failed: " +
+                                         cost.status().message()));
+        return;
+      }
+      forward[w].push_back(*cost);
+    }
+  }
+  // Fresh model, reversed probe order, workloads interleaved the other
+  // way: every value must be bit-identical.
+  core::WorkloadCostModel model_b(&env->problem, &env->store);
+  for (size_t i = probes.size(); i-- > 0;) {
+    for (size_t w = workloads; w-- > 0;) {
+      auto cost = model_b.Cost(w, probes[i]);
+      if (!cost.ok()) {
+        violations->push_back(
+            Violation("probe-order", "reversed Cost failed: " +
+                                         cost.status().message()));
+        return;
+      }
+      if (*cost != forward[w][i]) {
+        std::ostringstream out;
+        out << "Cost(w" << w << ", {" << probes[i].cpu << ", "
+            << probes[i].memory << ", " << probes[i].io
+            << "}) depends on probe order: " << forward[w][i] << " vs "
+            << *cost;
+        violations->push_back(Violation("probe-order", out.str()));
+        return;
+      }
+    }
+  }
+}
+
+// --- Invariant 2: side-effect freedom of const what-if Prepare -------------
+
+void CheckSideEffectFreedom(MetamorphicEnv* env, Random* rng,
+                            std::vector<std::string>* violations) {
+  const std::string sql = env->problem.workloads[0].statements[0];
+  auto installed = env->store.Lookup(ResourceShare(0.5, 0.5, 0.5));
+  if (!installed.ok()) {
+    violations->push_back(Violation("side-effects", "store lookup failed"));
+    return;
+  }
+  env->db.SetOptimizerParams(*installed);
+  auto before = env->db.Prepare(sql);
+  if (!before.ok()) {
+    violations->push_back(
+        Violation("side-effects", "Prepare failed: " +
+                                      before.status().message()));
+    return;
+  }
+  // A burst of what-if probes under very different parameters...
+  for (int i = 0; i < 5; ++i) {
+    ResourceShare probe(rng->UniformDouble(0.2, 0.8),
+                        rng->UniformDouble(0.2, 0.8),
+                        rng->UniformDouble(0.2, 0.8));
+    auto params = env->store.Lookup(probe);
+    if (!params.ok()) continue;
+    auto whatif = env->db.Prepare(sql, *params);
+    if (!whatif.ok()) {
+      violations->push_back(
+          Violation("side-effects", "what-if Prepare failed: " +
+                                        whatif.status().message()));
+      return;
+    }
+  }
+  // ...must leave the installed state untouched.
+  auto after = env->db.Prepare(sql);
+  if (!after.ok()) {
+    violations->push_back(
+        Violation("side-effects", "re-Prepare failed: " +
+                                      after.status().message()));
+    return;
+  }
+  if ((*before)->total_cost_ms != (*after)->total_cost_ms) {
+    std::ostringstream out;
+    out << "what-if Prepare mutated optimizer state: estimate "
+        << (*before)->total_cost_ms << " -> " << (*after)->total_cost_ms;
+    violations->push_back(Violation("side-effects", out.str()));
+  }
+  // And the const overload under the installed params must agree with the
+  // mutating path exactly.
+  auto same = env->db.Prepare(sql, *installed);
+  if (same.ok() &&
+      (*same)->total_cost_ms != (*before)->total_cost_ms) {
+    std::ostringstream out;
+    out << "const and mutating Prepare disagree under identical params: "
+        << (*same)->total_cost_ms << " vs " << (*before)->total_cost_ms;
+    violations->push_back(Violation("side-effects", out.str()));
+  }
+}
+
+// --- Invariant 3: resource monotonicity ------------------------------------
+
+void CheckMonotonicity(MetamorphicEnv* env,
+                       std::vector<std::string>* violations) {
+  struct Sweep {
+    size_t workload;
+    ResourceKind resource;
+    const char* label;
+  };
+  const Sweep sweeps[] = {
+      {0, ResourceKind::kCpu, "cpu-bound workload vs CPU share"},
+      {1, ResourceKind::kIo, "io-bound workload vs IO share"},
+      {1, ResourceKind::kMemory, "io-bound workload vs memory share"},
+  };
+  // On- and off-grid points, strictly increasing.
+  const double points[] = {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
+  core::WorkloadCostModel model(&env->problem, &env->store);
+  for (const Sweep& sweep : sweeps) {
+    double previous = -1.0;
+    double previous_share = 0.0;
+    for (double value : points) {
+      ResourceShare share(0.5, 0.5, 0.5);
+      share.Set(sweep.resource, value);
+      auto cost = model.Cost(sweep.workload, share);
+      if (!cost.ok()) {
+        violations->push_back(
+            Violation("monotonicity", std::string(sweep.label) +
+                                          ": Cost failed: " +
+                                          cost.status().message()));
+        break;
+      }
+      // Capacity parameters are interpolated with integer rounding, so
+      // allow a sliver of slack on top of exact non-increase.
+      if (previous >= 0.0 && *cost > previous * (1.0 + 1e-9) + 1e-9) {
+        std::ostringstream out;
+        out << sweep.label << ": cost increased from " << previous << " at "
+            << previous_share << " to " << *cost << " at " << value;
+        violations->push_back(Violation("monotonicity", out.str()));
+        break;
+      }
+      previous = *cost;
+      previous_share = value;
+    }
+  }
+}
+
+// --- Invariant 4: store exact hits vs interpolation ------------------------
+
+void CheckStoreConsistency(MetamorphicEnv* env,
+                           std::vector<std::string>* violations) {
+  const std::vector<double>& axis = env->axis;
+  // Exact grid hits return the stored parameters bit-identically.
+  for (double cpu : axis) {
+    for (double memory : axis) {
+      for (double io : axis) {
+        ResourceShare share(cpu, memory, io);
+        auto looked_up = env->store.Lookup(share);
+        if (!looked_up.ok()) {
+          violations->push_back(
+              Violation("store", "grid-point lookup failed: " +
+                                     looked_up.status().message()));
+          return;
+        }
+        // Recompute the expected params independently of MakeMonotoneStore
+        // (a shared helper would hide a Put/Lookup bug).
+        OptimizerParams expected;
+        const OptimizerParams base;
+        expected.cpu_tuple_cost = base.cpu_tuple_cost / cpu;
+        expected.cpu_index_tuple_cost = base.cpu_index_tuple_cost / cpu;
+        expected.cpu_operator_cost = base.cpu_operator_cost / cpu;
+        expected.seq_page_cost = base.seq_page_cost / io;
+        expected.random_page_cost = base.random_page_cost / io;
+        expected.effective_cache_size_pages = static_cast<uint64_t>(
+            static_cast<double>(base.effective_cache_size_pages) * memory);
+        expected.work_mem_bytes = static_cast<uint64_t>(
+            static_cast<double>(base.work_mem_bytes) * memory);
+        if (looked_up->CalibratedVector() != expected.CalibratedVector() ||
+            looked_up->effective_cache_size_pages !=
+                expected.effective_cache_size_pages ||
+            looked_up->work_mem_bytes != expected.work_mem_bytes) {
+          std::ostringstream out;
+          out << "exact hit at (" << cpu << ", " << memory << ", " << io
+              << ") does not return the stored parameters";
+          violations->push_back(Violation("store", out.str()));
+          return;
+        }
+      }
+    }
+  }
+  // Midpoint lookups along each axis match hand-computed linear
+  // interpolation of the two surrounding corners.
+  for (size_t i = 0; i + 1 < axis.size(); ++i) {
+    const double low = axis[i];
+    const double high = axis[i + 1];
+    const double mid = 0.5 * (low + high);
+    for (int r = 0; r < sim::kNumResources; ++r) {
+      const ResourceKind kind = static_cast<ResourceKind>(r);
+      ResourceShare a(0.5, 0.5, 0.5);
+      ResourceShare b = a;
+      ResourceShare m = a;
+      a.Set(kind, low);
+      b.Set(kind, high);
+      m.Set(kind, mid);
+      auto pa = env->store.Lookup(a);
+      auto pb = env->store.Lookup(b);
+      auto pm = env->store.Lookup(m);
+      if (!pa.ok() || !pb.ok() || !pm.ok()) {
+        violations->push_back(Violation("store", "midpoint lookup failed"));
+        return;
+      }
+      const auto va = pa->CalibratedVector();
+      const auto vb = pb->CalibratedVector();
+      const auto vm = pm->CalibratedVector();
+      for (size_t k = 0; k < va.size(); ++k) {
+        const double expected = 0.5 * (va[k] + vb[k]);
+        if (std::fabs(vm[k] - expected) >
+            1e-12 + 1e-9 * std::fabs(expected)) {
+          std::ostringstream out;
+          out << "midpoint interpolation off-axis " << r << " param " << k
+              << ": got " << vm[k] << ", expected " << expected;
+          violations->push_back(Violation("store", out.str()));
+          return;
+        }
+      }
+    }
+  }
+}
+
+// --- Invariant 5: exhaustive search is the ground truth --------------------
+
+void CheckSearchOptimality(MetamorphicEnv* env, int grid_steps,
+                           std::vector<std::string>* violations) {
+  struct Config {
+    std::vector<ResourceKind> controlled;
+    const char* label;
+  };
+  const Config configs[] = {
+      {{ResourceKind::kCpu}, "cpu-only"},
+      {{ResourceKind::kCpu, ResourceKind::kIo}, "cpu+io"},
+  };
+  for (const Config& config : configs) {
+    core::VirtualizationDesignProblem problem = env->problem;
+    problem.controlled = config.controlled;
+    problem.grid_steps = grid_steps;
+    core::WorkloadCostModel model(&problem, &env->store);
+    auto exhaustive = core::SolveDesignProblem(
+        problem, &model, core::SearchAlgorithm::kExhaustive);
+    auto greedy =
+        core::SolveDesignProblem(problem, &model,
+                                 core::SearchAlgorithm::kGreedy);
+    auto dp = core::SolveDesignProblem(
+        problem, &model, core::SearchAlgorithm::kDynamicProgramming);
+    if (!exhaustive.ok() || !greedy.ok() || !dp.ok()) {
+      violations->push_back(
+          Violation("search", std::string(config.label) +
+                                  ": a search algorithm failed"));
+      continue;
+    }
+    const double scale = 1e-9 * std::fabs(exhaustive->total_cost_ms) + 1e-9;
+    if (exhaustive->total_cost_ms > greedy->total_cost_ms + scale) {
+      std::ostringstream out;
+      out << config.label << ": greedy (" << greedy->total_cost_ms
+          << " ms) beat exhaustive (" << exhaustive->total_cost_ms
+          << " ms)";
+      violations->push_back(Violation("search", out.str()));
+    }
+    if (std::fabs(exhaustive->total_cost_ms - dp->total_cost_ms) > scale) {
+      std::ostringstream out;
+      out << config.label << ": DP (" << dp->total_cost_ms
+          << " ms) disagrees with exhaustive ("
+          << exhaustive->total_cost_ms << " ms)";
+      violations->push_back(Violation("search", out.str()));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> RunMetamorphicChecks(
+    uint64_t seed, const MetamorphicOptions& options) {
+  std::vector<std::string> violations;
+  MetamorphicEnv env;
+  Status built = env.Build();
+  if (!built.ok()) {
+    violations.push_back("environment setup failed: " + built.message());
+    return violations;
+  }
+  Random rng(seed);
+  CheckProbeOrderInvariance(&env, &rng, options.num_probes, &violations);
+  CheckSideEffectFreedom(&env, &rng, &violations);
+  CheckMonotonicity(&env, &violations);
+  CheckStoreConsistency(&env, &violations);
+  CheckSearchOptimality(&env, options.grid_steps, &violations);
+  return violations;
+}
+
+}  // namespace vdb::fuzz

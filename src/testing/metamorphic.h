@@ -1,0 +1,42 @@
+#ifndef VDB_TESTING_METAMORPHIC_H_
+#define VDB_TESTING_METAMORPHIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vdb::fuzz {
+
+/// Knobs for the metamorphic what-if checks.
+struct MetamorphicOptions {
+  /// Random probe allocations per invariant.
+  int num_probes = 10;
+  /// Discretization of the design problems handed to the searches.
+  int grid_steps = 6;
+};
+
+/// Runs the metamorphic invariants of the virtualization layer for one
+/// seed and returns a description of every violation (empty = all hold):
+///
+///  1. Probe-order invariance: Cost(W, R) is a pure function — evaluating
+///     the same allocations in a different order, through a fresh cost
+///     model, yields bit-identical values.
+///  2. Side-effect freedom: the const what-if Prepare(sql, params) leaves
+///     the database's own optimizer state untouched (the mutating
+///     Prepare's estimate is unchanged afterwards).
+///  3. Resource monotonicity: under a synthetic store whose parameters
+///     improve monotonically with each share, Cost is non-increasing in
+///     added CPU for a CPU-bound workload and in added IO for an IO-bound
+///     workload, both on and off the calibration grid.
+///  4. Store consistency: exact grid-point hits return the stored
+///     parameters bit-identically, and midpoint lookups match the
+///     hand-computed linear interpolation of the surrounding corners.
+///  5. Search optimality: exhaustive search is never beaten by greedy or
+///     dynamic programming on the same DesignProblem, and DP (exact for
+///     the configurations tested) matches exhaustive.
+std::vector<std::string> RunMetamorphicChecks(
+    uint64_t seed, const MetamorphicOptions& options = {});
+
+}  // namespace vdb::fuzz
+
+#endif  // VDB_TESTING_METAMORPHIC_H_

@@ -1,0 +1,1400 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "storage/heap_file.h"
+#include "util/string_util.h"
+
+namespace vdb::fuzz {
+
+namespace {
+
+using catalog::TypeId;
+using catalog::Tuple;
+using catalog::Value;
+using sql::BinaryOp;
+using sql::ExprType;
+
+// ---------------------------------------------------------------------------
+// Type rules (mirroring plan/planner.cc so the oracle errors exactly where
+// the binder errors).
+
+Result<TypeId> ArithResultType(BinaryOp op, TypeId left, TypeId right) {
+  if (left == TypeId::kString || right == TypeId::kString ||
+      left == TypeId::kBool || right == TypeId::kBool) {
+    return Status::InvalidArgument("arithmetic on non-numeric operand");
+  }
+  if (left == TypeId::kDouble || right == TypeId::kDouble) {
+    if (op == BinaryOp::kMod) {
+      return Status::InvalidArgument("MOD requires integer operands");
+    }
+    return TypeId::kDouble;
+  }
+  if (left == TypeId::kDate || right == TypeId::kDate) {
+    if (op == BinaryOp::kAdd || op == BinaryOp::kSub) {
+      return (left == TypeId::kDate && right == TypeId::kDate)
+                 ? TypeId::kInt64
+                 : TypeId::kDate;
+    }
+    return Status::InvalidArgument("invalid arithmetic on DATE");
+  }
+  return TypeId::kInt64;
+}
+
+Status CheckComparable(TypeId left, TypeId right) {
+  if ((left == TypeId::kString) != (right == TypeId::kString)) {
+    return Status::InvalidArgument(
+        "cannot compare string with non-string value");
+  }
+  return Status::OK();
+}
+
+bool IsComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsAggregateName(const std::string& name) {
+  return name == "count" || name == "sum" || name == "avg" ||
+         name == "min" || name == "max";
+}
+
+// SQL LIKE matcher, written independently from util/string_util's
+// (recursive, obviously correct) so the oracle does not share the engine's
+// matching code.
+bool RefLikeMatch(std::string_view value, std::string_view pattern) {
+  if (pattern.empty()) return value.empty();
+  if (pattern[0] == '%') {
+    for (size_t skip = 0; skip <= value.size(); ++skip) {
+      if (RefLikeMatch(value.substr(skip), pattern.substr(1))) return true;
+    }
+    return false;
+  }
+  if (value.empty()) return false;
+  if (pattern[0] != '_' && pattern[0] != value[0]) return false;
+  return RefLikeMatch(value.substr(1), pattern.substr(1));
+}
+
+// Three-valued boolean helpers: Value is Bool or null-Bool.
+Value Bool3(bool b) { return Value::Bool(b); }
+Value Null3() { return Value::Null(TypeId::kBool); }
+bool IsTrue(const Value& v) { return !v.is_null() && v.AsBool(); }
+
+// Output column name for a select item (mirrors ColumnNameForItem).
+std::string ItemName(const sql::SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->type == ExprType::kColumnRef) {
+    return static_cast<const sql::ColumnRefExpr*>(item.expr.get())->column;
+  }
+  return item.expr->ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate bookkeeping
+
+enum class RefAggKind { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+struct RefAggCall {
+  const sql::FunctionCallExpr* call = nullptr;
+  RefAggKind kind = RefAggKind::kCountStar;
+  bool distinct = false;
+  TypeId output_type = TypeId::kInt64;
+  std::string text;
+};
+
+// Mirrors the executor's AggState: SUM/AVG accumulate in double; DISTINCT
+// dedups on "<type>:<ToString>"; MIN/MAX use Value::Compare.
+struct RefAggState {
+  int64_t count = 0;
+  double sum = 0.0;
+  bool sum_is_double = false;
+  Value min_value;
+  Value max_value;
+  bool has_min_max = false;
+  std::set<std::string> distinct_seen;
+
+  void Update(const RefAggCall& call, const Value& v) {
+    if (call.kind == RefAggKind::kCountStar) {
+      ++count;
+      return;
+    }
+    if (v.is_null()) return;
+    if (call.distinct) {
+      std::string key = std::to_string(static_cast<int>(v.type())) + ":" +
+                        v.ToString();
+      if (!distinct_seen.insert(std::move(key)).second) return;
+    }
+    ++count;
+    switch (call.kind) {
+      case RefAggKind::kSum:
+      case RefAggKind::kAvg:
+        sum += v.AsDouble();
+        sum_is_double = sum_is_double || v.type() == TypeId::kDouble;
+        break;
+      case RefAggKind::kMin:
+      case RefAggKind::kMax:
+        if (!has_min_max || Value::Compare(v, min_value) < 0) min_value = v;
+        if (!has_min_max || Value::Compare(v, max_value) > 0) max_value = v;
+        has_min_max = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  Value Finalize(const RefAggCall& call) const {
+    switch (call.kind) {
+      case RefAggKind::kCountStar:
+      case RefAggKind::kCount:
+        return Value::Int64(count);
+      case RefAggKind::kSum:
+        if (count == 0) return Value::Null(call.output_type);
+        if (call.output_type == TypeId::kDouble || sum_is_double) {
+          return Value::Double(sum);
+        }
+        return Value::Int64(static_cast<int64_t>(sum));
+      case RefAggKind::kAvg:
+        if (count == 0) return Value::Null(TypeId::kDouble);
+        return Value::Double(sum / static_cast<double>(count));
+      case RefAggKind::kMin:
+        return has_min_max ? min_value : Value::Null(call.output_type);
+      case RefAggKind::kMax:
+        return has_min_max ? max_value : Value::Null(call.output_type);
+    }
+    return Value::Null(call.output_type);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Evaluator
+
+/// One FROM binding with resolved column names/types and a slot offset
+/// into the concatenated row.
+struct Frame {
+  std::string alias;
+  std::vector<std::string> names;
+  std::vector<TypeId> types;
+  size_t offset = 0;
+};
+
+/// Environment for resolution and evaluation. `row` is null while only
+/// type checking. `parent` links an EXISTS subquery to its outer row.
+struct Env {
+  const Env* parent = nullptr;
+  const std::vector<Frame>* frames = nullptr;
+  const Tuple* row = nullptr;
+};
+
+struct ResolvedColumn {
+  const Env* env = nullptr;
+  size_t slot = 0;
+  TypeId type = TypeId::kInt64;
+};
+
+class Evaluator {
+ public:
+  explicit Evaluator(catalog::Catalog* cat) : catalog_(cat) {}
+
+  Result<RefResult> EvaluateSelect(const sql::SelectStatement& stmt,
+                                   const Env* outer);
+
+ private:
+  // --- resolution ---------------------------------------------------------
+  Result<ResolvedColumn> Resolve(const sql::ColumnRefExpr& ref,
+                                 const Env& env) const;
+
+  // --- static type checking (mirrors the binder) --------------------------
+  Result<TypeId> TypeCheck(const sql::Expr& expr, const Env& env);
+  Status TypeCheckStatement(const sql::SelectStatement& stmt,
+                            const Env& env);
+
+  // --- aggregate collection (mirrors Planner::CollectAggregates) ----------
+  Status CollectAggregates(const sql::Expr& expr,
+                           std::vector<const sql::FunctionCallExpr*>* out);
+
+  // --- evaluation ---------------------------------------------------------
+  Result<Value> Eval(const sql::Expr& expr, const Env& env);
+  Result<Value> EvalBinary(const sql::BinaryExpr& expr, const Env& env);
+  Result<bool> EvalExists(const sql::ExistsExpr& exists, const Env& env);
+  Result<Value> EvalScalarSubquery(const sql::SelectStatement& sub);
+  Result<Value> EvalInSubquery(const sql::InSubqueryExpr& in,
+                               const Env& env);
+  /// Post-aggregation evaluation: group-by expressions and aggregate calls
+  /// resolve by text against the group's values (mirrors BindPostAggExpr).
+  Result<Value> EvalPostAgg(const sql::Expr& expr,
+                            const std::vector<std::string>& group_texts,
+                            const Tuple& group_values,
+                            const std::vector<RefAggCall>& agg_calls,
+                            const Tuple& agg_values);
+
+  /// Materializes one FROM source (base table or derived subquery).
+  Status MaterializeSource(const sql::TableRef& ref, Frame* frame,
+                           std::vector<Tuple>* rows);
+
+  catalog::Catalog* catalog_;
+  std::map<const sql::SelectStatement*, Value> scalar_cache_;
+};
+
+Result<ResolvedColumn> Evaluator::Resolve(const sql::ColumnRefExpr& ref,
+                                          const Env& env) const {
+  for (const Env* e = &env; e != nullptr; e = e->parent) {
+    const ResolvedColumn* found = nullptr;
+    ResolvedColumn candidate;
+    bool ambiguous = false;
+    for (const Frame& frame : *e->frames) {
+      if (!ref.table.empty() && !EqualsIgnoreCase(frame.alias, ref.table)) {
+        continue;
+      }
+      for (size_t c = 0; c < frame.names.size(); ++c) {
+        if (!EqualsIgnoreCase(frame.names[c], ref.column)) continue;
+        if (found != nullptr) ambiguous = true;
+        candidate.env = e;
+        candidate.slot = frame.offset + c;
+        candidate.type = frame.types[c];
+        found = &candidate;
+      }
+    }
+    if (ambiguous) {
+      return Status::InvalidArgument("ambiguous column reference: " +
+                                     ref.ToString());
+    }
+    if (found != nullptr) return candidate;
+  }
+  return Status::NotFound("column not found: " + ref.ToString());
+}
+
+Result<TypeId> Evaluator::TypeCheck(const sql::Expr& expr, const Env& env) {
+  switch (expr.type) {
+    case ExprType::kLiteral:
+      return static_cast<const sql::LiteralExpr&>(expr).value.type();
+    case ExprType::kColumnRef: {
+      VDB_ASSIGN_OR_RETURN(
+          ResolvedColumn column,
+          Resolve(static_cast<const sql::ColumnRefExpr&>(expr), env));
+      return column.type;
+    }
+    case ExprType::kStar:
+      return Status::InvalidArgument("'*' is not valid here");
+    case ExprType::kUnary: {
+      const auto& unary = static_cast<const sql::UnaryExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(TypeId operand, TypeCheck(*unary.operand, env));
+      if (unary.op == sql::UnaryOp::kNot) {
+        if (operand != TypeId::kBool) {
+          return Status::InvalidArgument("NOT requires a boolean operand");
+        }
+        return TypeId::kBool;
+      }
+      if (operand == TypeId::kString || operand == TypeId::kBool) {
+        return Status::InvalidArgument("unary minus on non-numeric");
+      }
+      return operand;
+    }
+    case ExprType::kBinary: {
+      const auto& binary = static_cast<const sql::BinaryExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(TypeId left, TypeCheck(*binary.left, env));
+      VDB_ASSIGN_OR_RETURN(TypeId right, TypeCheck(*binary.right, env));
+      if (binary.op == BinaryOp::kAnd || binary.op == BinaryOp::kOr) {
+        if (left != TypeId::kBool || right != TypeId::kBool) {
+          return Status::InvalidArgument("AND/OR require boolean operands");
+        }
+        return TypeId::kBool;
+      }
+      if (IsComparisonOp(binary.op)) {
+        VDB_RETURN_NOT_OK(CheckComparable(left, right));
+        return TypeId::kBool;
+      }
+      return ArithResultType(binary.op, left, right);
+    }
+    case ExprType::kFunctionCall: {
+      const auto& call = static_cast<const sql::FunctionCallExpr&>(expr);
+      if (!IsAggregateName(call.name)) {
+        return Status::NotSupported("unknown function: " + call.name);
+      }
+      if (call.star) return TypeId::kInt64;
+      if (call.args.size() != 1) {
+        return Status::InvalidArgument("aggregate " + call.name +
+                                       " takes exactly one argument");
+      }
+      VDB_ASSIGN_OR_RETURN(TypeId arg, TypeCheck(*call.args[0], env));
+      if ((call.name == "sum" || call.name == "avg") &&
+          (arg == TypeId::kString || arg == TypeId::kBool)) {
+        return Status::InvalidArgument("sum/avg require a numeric argument");
+      }
+      if (call.name == "count") return TypeId::kInt64;
+      if (call.name == "avg") return TypeId::kDouble;
+      return arg;
+    }
+    case ExprType::kBetween: {
+      const auto& between = static_cast<const sql::BetweenExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(TypeId value, TypeCheck(*between.value, env));
+      VDB_ASSIGN_OR_RETURN(TypeId low, TypeCheck(*between.low, env));
+      VDB_ASSIGN_OR_RETURN(TypeId high, TypeCheck(*between.high, env));
+      VDB_RETURN_NOT_OK(CheckComparable(value, low));
+      VDB_RETURN_NOT_OK(CheckComparable(value, high));
+      return TypeId::kBool;
+    }
+    case ExprType::kInList: {
+      const auto& in = static_cast<const sql::InListExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(TypeId value, TypeCheck(*in.value, env));
+      for (const sql::ExprPtr& item : in.list) {
+        if (item->type != ExprType::kLiteral) {
+          return Status::NotSupported("IN list elements must be constants");
+        }
+        VDB_ASSIGN_OR_RETURN(TypeId element, TypeCheck(*item, env));
+        VDB_RETURN_NOT_OK(CheckComparable(value, element));
+      }
+      return TypeId::kBool;
+    }
+    case ExprType::kInSubquery: {
+      const auto& in = static_cast<const sql::InSubqueryExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(TypeId value, TypeCheck(*in.value, env));
+      // The subquery is planned standalone (uncorrelated).
+      Env empty;
+      std::vector<Frame> no_frames;
+      empty.frames = &no_frames;
+      VDB_ASSIGN_OR_RETURN(RefResult sub,
+                           EvaluateSelect(*in.subquery, nullptr));
+      if (sub.column_types.size() != 1) {
+        return Status::InvalidArgument(
+            "IN subquery must produce exactly one column, got " +
+            std::to_string(sub.column_types.size()));
+      }
+      VDB_RETURN_NOT_OK(CheckComparable(value, sub.column_types[0]));
+      return TypeId::kBool;
+    }
+    case ExprType::kScalarSubquery: {
+      const auto& scalar = static_cast<const sql::ScalarSubqueryExpr&>(expr);
+      const sql::SelectStatement& sub = *scalar.subquery;
+      bool has_aggregate = false;
+      for (const sql::SelectItem& item : sub.items) {
+        if (item.expr->type == ExprType::kStar) continue;
+        std::vector<const sql::FunctionCallExpr*> found;
+        VDB_RETURN_NOT_OK(CollectAggregates(*item.expr, &found));
+        has_aggregate = has_aggregate || !found.empty();
+      }
+      if (!has_aggregate || !sub.group_by.empty()) {
+        return Status::NotSupported(
+            "scalar subqueries must be single-row global aggregates");
+      }
+      VDB_ASSIGN_OR_RETURN(Value v, EvalScalarSubquery(sub));
+      return v.type();
+    }
+    case ExprType::kLike: {
+      const auto& like = static_cast<const sql::LikeExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(TypeId value, TypeCheck(*like.value, env));
+      if (value != TypeId::kString) {
+        return Status::InvalidArgument("LIKE requires a string operand");
+      }
+      return TypeId::kBool;
+    }
+    case ExprType::kIsNull:
+      VDB_RETURN_NOT_OK(
+          TypeCheck(*static_cast<const sql::IsNullExpr&>(expr).value, env)
+              .status());
+      return TypeId::kBool;
+    case ExprType::kExists: {
+      const auto& exists = static_cast<const sql::ExistsExpr&>(expr);
+      const sql::SelectStatement& sub = *exists.subquery;
+      if (!sub.group_by.empty() || sub.having != nullptr ||
+          sub.from.empty()) {
+        return Status::NotSupported(
+            "EXISTS subqueries with grouping are not supported");
+      }
+      if (sub.limit >= 0) {
+        return Status::NotSupported(
+            "LIMIT in EXISTS subqueries is not supported");
+      }
+      // FROM binds without outer scope; WHERE sees outer (correlation).
+      std::vector<Frame> frames;
+      size_t offset = 0;
+      for (const sql::FromItem& item : sub.from) {
+        Frame frame;
+        std::vector<Tuple> ignored;
+        VDB_RETURN_NOT_OK(MaterializeSource(item.table, &frame, &ignored));
+        frame.offset = offset;
+        offset += frame.names.size();
+        if (item.join_condition != nullptr) {
+          Env join_env;
+          join_env.frames = &frames;
+          // join conditions bind against inner scope only
+          std::vector<Frame> so_far = frames;
+          so_far.push_back(frame);
+          Env inner_env;
+          inner_env.frames = &so_far;
+          VDB_ASSIGN_OR_RETURN(TypeId cond,
+                               TypeCheck(*item.join_condition, inner_env));
+          if (cond != TypeId::kBool) {
+            return Status::InvalidArgument("join condition must be boolean");
+          }
+        }
+        frames.push_back(std::move(frame));
+      }
+      if (sub.where != nullptr) {
+        Env combined;
+        combined.parent = &env;
+        combined.frames = &frames;
+        VDB_ASSIGN_OR_RETURN(TypeId where, TypeCheck(*sub.where, combined));
+        if (where != TypeId::kBool) {
+          return Status::InvalidArgument("WHERE predicate must be boolean");
+        }
+      }
+      return TypeId::kBool;
+    }
+    case ExprType::kCase: {
+      const auto& case_expr = static_cast<const sql::CaseExpr&>(expr);
+      TypeId result_type = TypeId::kInt64;
+      bool type_set = false;
+      for (const auto& [when, then] : case_expr.branches) {
+        VDB_ASSIGN_OR_RETURN(TypeId when_type, TypeCheck(*when, env));
+        if (when_type != TypeId::kBool) {
+          return Status::InvalidArgument("CASE WHEN must be boolean");
+        }
+        VDB_ASSIGN_OR_RETURN(TypeId then_type, TypeCheck(*then, env));
+        if (!type_set) {
+          result_type = then_type;
+          type_set = true;
+        } else if (then_type == TypeId::kDouble &&
+                   result_type == TypeId::kInt64) {
+          result_type = TypeId::kDouble;
+        } else if (then_type == TypeId::kInt64 &&
+                   result_type == TypeId::kDouble) {
+          // keep double
+        } else if (then_type != result_type) {
+          return Status::InvalidArgument(
+              "CASE branches have incompatible types");
+        }
+      }
+      if (case_expr.else_result != nullptr) {
+        VDB_ASSIGN_OR_RETURN(TypeId else_type,
+                             TypeCheck(*case_expr.else_result, env));
+        if (else_type == TypeId::kDouble && result_type == TypeId::kInt64) {
+          result_type = TypeId::kDouble;
+        }
+      }
+      return result_type;
+    }
+  }
+  return Status::Internal("unhandled expression type");
+}
+
+Status Evaluator::CollectAggregates(
+    const sql::Expr& expr,
+    std::vector<const sql::FunctionCallExpr*>* out) {
+  switch (expr.type) {
+    case ExprType::kFunctionCall: {
+      const auto& call = static_cast<const sql::FunctionCallExpr&>(expr);
+      if (!IsAggregateName(call.name)) {
+        return Status::NotSupported("unknown function: " + call.name);
+      }
+      for (const sql::ExprPtr& arg : call.args) {
+        std::vector<const sql::FunctionCallExpr*> nested;
+        VDB_RETURN_NOT_OK(CollectAggregates(*arg, &nested));
+        if (!nested.empty()) {
+          return Status::InvalidArgument("aggregates cannot be nested");
+        }
+      }
+      for (const sql::FunctionCallExpr* existing : *out) {
+        if (existing->ToString() == call.ToString()) return Status::OK();
+      }
+      out->push_back(&call);
+      return Status::OK();
+    }
+    case ExprType::kUnary:
+      return CollectAggregates(
+          *static_cast<const sql::UnaryExpr&>(expr).operand, out);
+    case ExprType::kBinary: {
+      const auto& binary = static_cast<const sql::BinaryExpr&>(expr);
+      VDB_RETURN_NOT_OK(CollectAggregates(*binary.left, out));
+      return CollectAggregates(*binary.right, out);
+    }
+    case ExprType::kBetween: {
+      const auto& between = static_cast<const sql::BetweenExpr&>(expr);
+      VDB_RETURN_NOT_OK(CollectAggregates(*between.value, out));
+      VDB_RETURN_NOT_OK(CollectAggregates(*between.low, out));
+      return CollectAggregates(*between.high, out);
+    }
+    case ExprType::kInList: {
+      const auto& in = static_cast<const sql::InListExpr&>(expr);
+      VDB_RETURN_NOT_OK(CollectAggregates(*in.value, out));
+      for (const sql::ExprPtr& item : in.list) {
+        VDB_RETURN_NOT_OK(CollectAggregates(*item, out));
+      }
+      return Status::OK();
+    }
+    case ExprType::kInSubquery:
+      return CollectAggregates(
+          *static_cast<const sql::InSubqueryExpr&>(expr).value, out);
+    case ExprType::kLike:
+      return CollectAggregates(
+          *static_cast<const sql::LikeExpr&>(expr).value, out);
+    case ExprType::kIsNull:
+      return CollectAggregates(
+          *static_cast<const sql::IsNullExpr&>(expr).value, out);
+    case ExprType::kCase: {
+      const auto& case_expr = static_cast<const sql::CaseExpr&>(expr);
+      for (const auto& [when, then] : case_expr.branches) {
+        VDB_RETURN_NOT_OK(CollectAggregates(*when, out));
+        VDB_RETURN_NOT_OK(CollectAggregates(*then, out));
+      }
+      if (case_expr.else_result != nullptr) {
+        return CollectAggregates(*case_expr.else_result, out);
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::OK();
+  }
+}
+
+Result<Value> Evaluator::EvalBinary(const sql::BinaryExpr& expr,
+                                    const Env& env) {
+  // AND/OR: three-valued logic with short-circuiting (safe because every
+  // operand was type-checked up front).
+  if (expr.op == BinaryOp::kAnd || expr.op == BinaryOp::kOr) {
+    VDB_ASSIGN_OR_RETURN(Value lv, Eval(*expr.left, env));
+    const bool l_null = lv.is_null();
+    const bool l_true = !l_null && lv.AsBool();
+    if (expr.op == BinaryOp::kAnd && !l_null && !l_true) return Bool3(false);
+    if (expr.op == BinaryOp::kOr && l_true) return Bool3(true);
+    VDB_ASSIGN_OR_RETURN(Value rv, Eval(*expr.right, env));
+    const bool r_null = rv.is_null();
+    const bool r_true = !r_null && rv.AsBool();
+    if (expr.op == BinaryOp::kAnd) {
+      if (!r_null && !r_true) return Bool3(false);
+      if (l_null || r_null) return Null3();
+      return Bool3(true);
+    }
+    if (r_true) return Bool3(true);
+    if (l_null || r_null) return Null3();
+    return Bool3(false);
+  }
+
+  VDB_ASSIGN_OR_RETURN(Value lv, Eval(*expr.left, env));
+  VDB_ASSIGN_OR_RETURN(Value rv, Eval(*expr.right, env));
+  if (IsComparisonOp(expr.op)) {
+    if (lv.is_null() || rv.is_null()) return Null3();
+    const int cmp = Value::Compare(lv, rv);
+    switch (expr.op) {
+      case BinaryOp::kEq:
+        return Bool3(cmp == 0);
+      case BinaryOp::kNe:
+        return Bool3(cmp != 0);
+      case BinaryOp::kLt:
+        return Bool3(cmp < 0);
+      case BinaryOp::kLe:
+        return Bool3(cmp <= 0);
+      case BinaryOp::kGt:
+        return Bool3(cmp > 0);
+      default:
+        return Bool3(cmp >= 0);
+    }
+  }
+
+  // Arithmetic: result type from the operands' static types (null values
+  // still carry their type tags).
+  VDB_ASSIGN_OR_RETURN(TypeId type,
+                       ArithResultType(expr.op, lv.type(), rv.type()));
+  if (lv.is_null() || rv.is_null()) return Value::Null(type);
+  if (type == TypeId::kDouble) {
+    const double a = lv.AsDouble();
+    const double b = rv.AsDouble();
+    switch (expr.op) {
+      case BinaryOp::kAdd:
+        return Value::Double(a + b);
+      case BinaryOp::kSub:
+        return Value::Double(a - b);
+      case BinaryOp::kMul:
+        return Value::Double(a * b);
+      case BinaryOp::kDiv:
+        return b == 0.0 ? Value::Null(TypeId::kDouble)
+                        : Value::Double(a / b);
+      default:
+        return Status::Internal("unexpected double arithmetic op");
+    }
+  }
+  const int64_t a = lv.AsInt64();
+  const int64_t b = rv.AsInt64();
+  switch (expr.op) {
+    case BinaryOp::kAdd:
+      return type == TypeId::kDate ? Value::Date(a + b) : Value::Int64(a + b);
+    case BinaryOp::kSub:
+      return type == TypeId::kDate ? Value::Date(a - b) : Value::Int64(a - b);
+    case BinaryOp::kMul:
+      return Value::Int64(a * b);
+    case BinaryOp::kDiv:
+      return b == 0 ? Value::Null(TypeId::kInt64) : Value::Int64(a / b);
+    case BinaryOp::kMod:
+      return b == 0 ? Value::Null(TypeId::kInt64) : Value::Int64(a % b);
+    default:
+      return Status::Internal("unexpected integer arithmetic op");
+  }
+}
+
+Result<bool> Evaluator::EvalExists(const sql::ExistsExpr& exists,
+                                   const Env& env) {
+  const sql::SelectStatement& sub = *exists.subquery;
+  // Materialize the subquery's FROM (uncorrelated), then test its WHERE
+  // with the outer row visible. TypeCheck already rejected grouped/LIMIT
+  // forms.
+  std::vector<Frame> frames;
+  std::vector<Tuple> rows;
+  for (size_t i = 0; i < sub.from.size(); ++i) {
+    Frame frame;
+    std::vector<Tuple> source_rows;
+    VDB_RETURN_NOT_OK(
+        MaterializeSource(sub.from[i].table, &frame, &source_rows));
+    frame.offset = i == 0 ? 0 : frames.back().offset +
+                                    frames.back().names.size();
+    if (i == 0) {
+      rows = std::move(source_rows);
+    } else {
+      std::vector<Frame> joined = frames;
+      joined.push_back(frame);
+      std::vector<Tuple> next;
+      for (const Tuple& left : rows) {
+        bool matched = false;
+        for (const Tuple& right : source_rows) {
+          Tuple combined = left;
+          combined.insert(combined.end(), right.begin(), right.end());
+          if (sub.from[i].join_condition != nullptr) {
+            Env join_env;
+            join_env.frames = &joined;
+            join_env.row = &combined;
+            VDB_ASSIGN_OR_RETURN(
+                Value v, Eval(*sub.from[i].join_condition, join_env));
+            if (!IsTrue(v)) continue;
+          }
+          matched = true;
+          next.push_back(std::move(combined));
+        }
+        if (sub.from[i].join_type == sql::JoinType::kLeft && !matched) {
+          Tuple combined = left;
+          for (TypeId type : frame.types) {
+            combined.push_back(Value::Null(type));
+          }
+          next.push_back(std::move(combined));
+        }
+      }
+      rows = std::move(next);
+    }
+    frames.push_back(std::move(frame));
+  }
+  for (const Tuple& row : rows) {
+    if (sub.where == nullptr) return true;
+    Env sub_env;
+    sub_env.parent = &env;
+    sub_env.frames = &frames;
+    sub_env.row = &row;
+    VDB_ASSIGN_OR_RETURN(Value v, Eval(*sub.where, sub_env));
+    if (IsTrue(v)) return true;
+  }
+  return false;
+}
+
+Result<Value> Evaluator::EvalScalarSubquery(const sql::SelectStatement& sub) {
+  auto it = scalar_cache_.find(&sub);
+  if (it != scalar_cache_.end()) return it->second;
+  VDB_ASSIGN_OR_RETURN(RefResult result, EvaluateSelect(sub, nullptr));
+  if (result.column_types.size() != 1) {
+    return Status::InvalidArgument(
+        "scalar subquery must produce exactly one column");
+  }
+  if (result.rows.size() != 1) {
+    return Status::Internal("scalar subquery did not yield one row");
+  }
+  Value v = result.rows[0][0];
+  scalar_cache_.emplace(&sub, v);
+  return v;
+}
+
+Result<Value> Evaluator::EvalInSubquery(const sql::InSubqueryExpr& in,
+                                        const Env& env) {
+  VDB_ASSIGN_OR_RETURN(Value outer, Eval(*in.value, env));
+  VDB_ASSIGN_OR_RETURN(RefResult sub, EvaluateSelect(*in.subquery, nullptr));
+  if (sub.column_types.size() != 1) {
+    return Status::InvalidArgument(
+        "IN subquery must produce exactly one column, got " +
+        std::to_string(sub.column_types.size()));
+  }
+  // The engine plans [NOT] IN as a semi/anti join on outer = inner, i.e.
+  // (NOT) EXISTS semantics: NULLs (either side) never match.
+  bool matched = false;
+  if (!outer.is_null()) {
+    for (const Tuple& row : sub.rows) {
+      if (!row[0].is_null() && Value::Compare(outer, row[0]) == 0) {
+        matched = true;
+        break;
+      }
+    }
+  }
+  return Bool3(in.negated ? !matched : matched);
+}
+
+Result<Value> Evaluator::Eval(const sql::Expr& expr, const Env& env) {
+  switch (expr.type) {
+    case ExprType::kLiteral:
+      return static_cast<const sql::LiteralExpr&>(expr).value;
+    case ExprType::kColumnRef: {
+      VDB_ASSIGN_OR_RETURN(
+          ResolvedColumn column,
+          Resolve(static_cast<const sql::ColumnRefExpr&>(expr), env));
+      return (*column.env->row)[column.slot];
+    }
+    case ExprType::kStar:
+      return Status::InvalidArgument("'*' is not valid here");
+    case ExprType::kUnary: {
+      const auto& unary = static_cast<const sql::UnaryExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(Value v, Eval(*unary.operand, env));
+      if (v.is_null()) return v;
+      if (unary.op == sql::UnaryOp::kNot) return Bool3(!v.AsBool());
+      if (v.type() == TypeId::kDouble) return Value::Double(-v.AsDouble());
+      return v.type() == TypeId::kDate ? Value::Date(-v.AsInt64())
+                                       : Value::Int64(-v.AsInt64());
+    }
+    case ExprType::kBinary:
+      return EvalBinary(static_cast<const sql::BinaryExpr&>(expr), env);
+    case ExprType::kFunctionCall:
+      return Status::InvalidArgument(
+          "aggregate call outside aggregation context");
+    case ExprType::kBetween: {
+      // value [NOT] BETWEEN lo AND hi == (value >= lo) AND (value <= hi),
+      // negated: (value < lo) OR (value > hi); NULL propagates 3VL.
+      const auto& between = static_cast<const sql::BetweenExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(Value v, Eval(*between.value, env));
+      VDB_ASSIGN_OR_RETURN(Value lo, Eval(*between.low, env));
+      VDB_ASSIGN_OR_RETURN(Value hi, Eval(*between.high, env));
+      Value ge = (v.is_null() || lo.is_null())
+                     ? Null3()
+                     : Bool3(between.negated
+                                 ? Value::Compare(v, lo) < 0
+                                 : Value::Compare(v, lo) >= 0);
+      Value le = (v.is_null() || hi.is_null())
+                     ? Null3()
+                     : Bool3(between.negated
+                                 ? Value::Compare(v, hi) > 0
+                                 : Value::Compare(v, hi) <= 0);
+      if (between.negated) {  // OR
+        if (IsTrue(ge) || IsTrue(le)) return Bool3(true);
+        if (ge.is_null() || le.is_null()) return Null3();
+        return Bool3(false);
+      }
+      if ((!ge.is_null() && !ge.AsBool()) || (!le.is_null() && !le.AsBool()))
+        return Bool3(false);
+      if (ge.is_null() || le.is_null()) return Null3();
+      return Bool3(true);
+    }
+    case ExprType::kInList: {
+      const auto& in = static_cast<const sql::InListExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(Value v, Eval(*in.value, env));
+      if (v.is_null()) return Null3();
+      for (const sql::ExprPtr& item : in.list) {
+        VDB_ASSIGN_OR_RETURN(Value candidate, Eval(*item, env));
+        if (!candidate.is_null() && Value::Compare(v, candidate) == 0) {
+          return Bool3(!in.negated);
+        }
+      }
+      return Bool3(in.negated);
+    }
+    case ExprType::kInSubquery:
+      return EvalInSubquery(static_cast<const sql::InSubqueryExpr&>(expr),
+                            env);
+    case ExprType::kScalarSubquery:
+      return EvalScalarSubquery(
+          *static_cast<const sql::ScalarSubqueryExpr&>(expr).subquery);
+    case ExprType::kLike: {
+      const auto& like = static_cast<const sql::LikeExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(Value v, Eval(*like.value, env));
+      if (v.is_null()) return Null3();
+      const bool match = RefLikeMatch(v.AsString(), like.pattern);
+      return Bool3(like.negated ? !match : match);
+    }
+    case ExprType::kIsNull: {
+      const auto& is_null = static_cast<const sql::IsNullExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(Value v, Eval(*is_null.value, env));
+      return Bool3(is_null.negated ? !v.is_null() : v.is_null());
+    }
+    case ExprType::kExists: {
+      const auto& exists = static_cast<const sql::ExistsExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(bool found, EvalExists(exists, env));
+      return Bool3(exists.negated ? !found : found);
+    }
+    case ExprType::kCase: {
+      const auto& case_expr = static_cast<const sql::CaseExpr&>(expr);
+      for (const auto& [when, then] : case_expr.branches) {
+        VDB_ASSIGN_OR_RETURN(Value cond, Eval(*when, env));
+        if (IsTrue(cond)) return Eval(*then, env);
+      }
+      if (case_expr.else_result != nullptr) {
+        return Eval(*case_expr.else_result, env);
+      }
+      VDB_ASSIGN_OR_RETURN(TypeId type, TypeCheck(expr, env));
+      return Value::Null(type);
+    }
+  }
+  return Status::Internal("unhandled expression type");
+}
+
+Result<Value> Evaluator::EvalPostAgg(
+    const sql::Expr& expr, const std::vector<std::string>& group_texts,
+    const Tuple& group_values, const std::vector<RefAggCall>& agg_calls,
+    const Tuple& agg_values) {
+  const std::string text = expr.ToString();
+  for (size_t g = 0; g < group_texts.size(); ++g) {
+    if (group_texts[g] == text) return group_values[g];
+  }
+  for (size_t a = 0; a < agg_calls.size(); ++a) {
+    if (agg_calls[a].text == text) return agg_values[a];
+  }
+  switch (expr.type) {
+    case ExprType::kLiteral:
+      return static_cast<const sql::LiteralExpr&>(expr).value;
+    case ExprType::kUnary: {
+      const auto& unary = static_cast<const sql::UnaryExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(Value v,
+                           EvalPostAgg(*unary.operand, group_texts,
+                                       group_values, agg_calls, agg_values));
+      if (v.is_null()) return v;
+      if (unary.op == sql::UnaryOp::kNot) return Bool3(!v.AsBool());
+      if (v.type() == TypeId::kDouble) return Value::Double(-v.AsDouble());
+      return Value::Int64(-v.AsInt64());
+    }
+    case ExprType::kBinary: {
+      const auto& binary = static_cast<const sql::BinaryExpr&>(expr);
+      VDB_ASSIGN_OR_RETURN(Value lv,
+                           EvalPostAgg(*binary.left, group_texts,
+                                       group_values, agg_calls, agg_values));
+      VDB_ASSIGN_OR_RETURN(Value rv,
+                           EvalPostAgg(*binary.right, group_texts,
+                                       group_values, agg_calls, agg_values));
+      if (binary.op == BinaryOp::kAnd || binary.op == BinaryOp::kOr) {
+        const bool l_null = lv.is_null();
+        const bool r_null = rv.is_null();
+        const bool l_true = !l_null && lv.AsBool();
+        const bool r_true = !r_null && rv.AsBool();
+        if (binary.op == BinaryOp::kAnd) {
+          if ((!l_null && !l_true) || (!r_null && !r_true)) {
+            return Bool3(false);
+          }
+          if (l_null || r_null) return Null3();
+          return Bool3(true);
+        }
+        if (l_true || r_true) return Bool3(true);
+        if (l_null || r_null) return Null3();
+        return Bool3(false);
+      }
+      if (IsComparisonOp(binary.op)) {
+        if (lv.is_null() || rv.is_null()) return Null3();
+        const int cmp = Value::Compare(lv, rv);
+        switch (binary.op) {
+          case BinaryOp::kEq:
+            return Bool3(cmp == 0);
+          case BinaryOp::kNe:
+            return Bool3(cmp != 0);
+          case BinaryOp::kLt:
+            return Bool3(cmp < 0);
+          case BinaryOp::kLe:
+            return Bool3(cmp <= 0);
+          case BinaryOp::kGt:
+            return Bool3(cmp > 0);
+          default:
+            return Bool3(cmp >= 0);
+        }
+      }
+      VDB_ASSIGN_OR_RETURN(TypeId type,
+                           ArithResultType(binary.op, lv.type(), rv.type()));
+      if (lv.is_null() || rv.is_null()) return Value::Null(type);
+      if (type == TypeId::kDouble) {
+        const double a = lv.AsDouble();
+        const double b = rv.AsDouble();
+        switch (binary.op) {
+          case BinaryOp::kAdd:
+            return Value::Double(a + b);
+          case BinaryOp::kSub:
+            return Value::Double(a - b);
+          case BinaryOp::kMul:
+            return Value::Double(a * b);
+          default:
+            return b == 0.0 ? Value::Null(TypeId::kDouble)
+                            : Value::Double(a / b);
+        }
+      }
+      const int64_t a = lv.AsInt64();
+      const int64_t b = rv.AsInt64();
+      switch (binary.op) {
+        case BinaryOp::kAdd:
+          return Value::Int64(a + b);
+        case BinaryOp::kSub:
+          return Value::Int64(a - b);
+        case BinaryOp::kMul:
+          return Value::Int64(a * b);
+        case BinaryOp::kDiv:
+          return b == 0 ? Value::Null(TypeId::kInt64) : Value::Int64(a / b);
+        default:
+          return b == 0 ? Value::Null(TypeId::kInt64) : Value::Int64(a % b);
+      }
+    }
+    default:
+      return Status::InvalidArgument(
+          "expression references a column outside GROUP BY: " + text);
+  }
+}
+
+Status Evaluator::MaterializeSource(const sql::TableRef& ref, Frame* frame,
+                                    std::vector<Tuple>* rows) {
+  if (ref.kind == sql::TableRef::Kind::kBaseTable) {
+    VDB_ASSIGN_OR_RETURN(catalog::TableInfo * table,
+                         catalog_->GetTable(ref.name));
+    frame->alias = ref.alias.empty() ? ref.name : ref.alias;
+    for (const catalog::Column& column : table->schema.columns()) {
+      frame->names.push_back(column.name);
+      frame->types.push_back(column.type);
+    }
+    for (auto it = table->heap->Begin(); it.Valid(); it.Next()) {
+      VDB_ASSIGN_OR_RETURN(
+          Tuple tuple,
+          catalog::DeserializeTuple(it.record(), table->schema));
+      rows->push_back(std::move(tuple));
+    }
+    return Status::OK();
+  }
+  // Derived table: evaluated standalone (no correlation), column aliases
+  // renaming its outputs.
+  VDB_ASSIGN_OR_RETURN(RefResult sub, EvaluateSelect(*ref.subquery, nullptr));
+  if (!ref.column_aliases.empty() &&
+      ref.column_aliases.size() != sub.column_names.size()) {
+    return Status::InvalidArgument(
+        "derived table '" + ref.alias + "' has " +
+        std::to_string(sub.column_names.size()) + " columns but " +
+        std::to_string(ref.column_aliases.size()) + " aliases");
+  }
+  frame->alias = ref.alias;
+  frame->names = ref.column_aliases.empty() ? sub.column_names
+                                            : ref.column_aliases;
+  frame->types = sub.column_types;
+  *rows = std::move(sub.rows);
+  return Status::OK();
+}
+
+// NULLS LAST on ascending keys, mirroring the executor's CompareForSort.
+int RefCompareForSort(const Value& a, const Value& b, bool ascending) {
+  const bool a_null = a.is_null();
+  const bool b_null = b.is_null();
+  if (a_null && b_null) return 0;
+  if (a_null) return ascending ? 1 : -1;
+  if (b_null) return ascending ? -1 : 1;
+  const int cmp = Value::Compare(a, b);
+  return ascending ? cmp : -cmp;
+}
+
+// Equality for DISTINCT / GROUP BY keys: NULLs compare equal.
+bool KeysEqual(const Tuple& a, const Tuple& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const bool a_null = a[i].is_null();
+    const bool b_null = b[i].is_null();
+    if (a_null != b_null) return false;
+    if (a_null) continue;
+    if (Value::Compare(a[i], b[i]) != 0) return false;
+  }
+  return true;
+}
+
+Result<RefResult> Evaluator::EvaluateSelect(const sql::SelectStatement& stmt,
+                                            const Env* outer) {
+  if (stmt.from.empty()) {
+    return Status::NotSupported("SELECT without FROM is not supported");
+  }
+
+  // ---- FROM: nested-loop joins over fully materialized sources ----------
+  std::vector<Frame> frames;
+  std::vector<Tuple> rows;
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    const sql::FromItem& item = stmt.from[i];
+    Frame frame;
+    std::vector<Tuple> source_rows;
+    VDB_RETURN_NOT_OK(MaterializeSource(item.table, &frame, &source_rows));
+    frame.offset =
+        frames.empty() ? 0 : frames.back().offset + frames.back().names.size();
+    if (i == 0) {
+      rows = std::move(source_rows);
+      frames.push_back(std::move(frame));
+      continue;
+    }
+    std::vector<Frame> joined = frames;
+    joined.push_back(frame);
+    if (item.join_condition != nullptr) {
+      Env check_env;
+      check_env.frames = &joined;
+      VDB_ASSIGN_OR_RETURN(TypeId cond_type,
+                           TypeCheck(*item.join_condition, check_env));
+      if (cond_type != TypeId::kBool) {
+        return Status::InvalidArgument("join condition must be boolean");
+      }
+    }
+    std::vector<Tuple> next;
+    for (const Tuple& left : rows) {
+      bool matched = false;
+      for (const Tuple& right : source_rows) {
+        Tuple combined = left;
+        combined.insert(combined.end(), right.begin(), right.end());
+        if (item.join_condition != nullptr) {
+          Env join_env;
+          join_env.frames = &joined;
+          join_env.row = &combined;
+          VDB_ASSIGN_OR_RETURN(Value v,
+                               Eval(*item.join_condition, join_env));
+          if (!IsTrue(v)) continue;
+        }
+        matched = true;
+        next.push_back(std::move(combined));
+      }
+      if (item.join_type == sql::JoinType::kLeft && !matched) {
+        Tuple combined = left;
+        for (TypeId type : frame.types) combined.push_back(Value::Null(type));
+        next.push_back(std::move(combined));
+      }
+    }
+    rows = std::move(next);
+    frames.push_back(std::move(frame));
+  }
+
+  Env base_env;
+  base_env.parent = outer;
+  base_env.frames = &frames;
+
+  // ---- Static checks before touching rows --------------------------------
+  std::vector<const sql::FunctionCallExpr*> agg_asts;
+  bool select_star = false;
+  for (const sql::SelectItem& item : stmt.items) {
+    if (item.expr->type == ExprType::kStar) {
+      select_star = true;
+      continue;
+    }
+    VDB_RETURN_NOT_OK(CollectAggregates(*item.expr, &agg_asts));
+  }
+  if (stmt.having != nullptr) {
+    VDB_RETURN_NOT_OK(CollectAggregates(*stmt.having, &agg_asts));
+  }
+  for (const sql::OrderByItem& item : stmt.order_by) {
+    VDB_RETURN_NOT_OK(CollectAggregates(*item.expr, &agg_asts));
+  }
+  const bool grouped = !stmt.group_by.empty() || !agg_asts.empty();
+  if (grouped && select_star) {
+    return Status::InvalidArgument(
+        "SELECT * cannot be combined with aggregation");
+  }
+  if (stmt.having != nullptr && !grouped) {
+    return Status::InvalidArgument("HAVING requires aggregation");
+  }
+  if (stmt.where != nullptr) {
+    VDB_ASSIGN_OR_RETURN(TypeId where_type, TypeCheck(*stmt.where, base_env));
+    if (where_type != TypeId::kBool) {
+      return Status::InvalidArgument("WHERE predicate must be boolean: " +
+                                     stmt.where->ToString());
+    }
+  }
+
+  // ---- WHERE -------------------------------------------------------------
+  if (stmt.where != nullptr) {
+    std::vector<Tuple> kept;
+    for (Tuple& row : rows) {
+      Env env = base_env;
+      env.row = &row;
+      VDB_ASSIGN_OR_RETURN(Value v, Eval(*stmt.where, env));
+      if (IsTrue(v)) kept.push_back(std::move(row));
+    }
+    rows = std::move(kept);
+  }
+
+  RefResult result;
+
+  // ---- Aggregation / projection ------------------------------------------
+  std::vector<Tuple> projected;
+  // Sort keys for the ungrouped path, evaluated against the base row
+  // (mirrors the engine's sort-below-project plan shape).
+  std::vector<std::vector<Value>> base_sort_keys;
+  bool sorted_on_base = false;
+
+  if (grouped) {
+    // Describe each distinct aggregate call (dedup by text, as the
+    // planner does).
+    std::vector<RefAggCall> agg_calls;
+    for (const sql::FunctionCallExpr* call : agg_asts) {
+      RefAggCall described;
+      described.call = call;
+      described.text = call->ToString();
+      described.distinct = call->distinct;
+      if (call->name == "count") {
+        described.kind = call->star ? RefAggKind::kCountStar
+                                    : RefAggKind::kCount;
+        described.output_type = TypeId::kInt64;
+      } else {
+        if (call->name == "sum") described.kind = RefAggKind::kSum;
+        if (call->name == "avg") described.kind = RefAggKind::kAvg;
+        if (call->name == "min") described.kind = RefAggKind::kMin;
+        if (call->name == "max") described.kind = RefAggKind::kMax;
+        VDB_ASSIGN_OR_RETURN(TypeId arg_type,
+                             TypeCheck(*call->args[0], base_env));
+        described.output_type =
+            call->name == "avg" ? TypeId::kDouble : arg_type;
+      }
+      agg_calls.push_back(described);
+    }
+    std::vector<std::string> group_texts;
+    for (const sql::ExprPtr& group : stmt.group_by) {
+      VDB_RETURN_NOT_OK(TypeCheck(*group, base_env).status());
+      group_texts.push_back(group->ToString());
+    }
+
+    // Accumulate per group, first-seen order.
+    struct Group {
+      Tuple key;
+      std::vector<RefAggState> states;
+    };
+    std::vector<Group> groups;
+    for (const Tuple& row : rows) {
+      Env env = base_env;
+      env.row = &row;
+      Tuple key;
+      for (const sql::ExprPtr& group : stmt.group_by) {
+        VDB_ASSIGN_OR_RETURN(Value v, Eval(*group, env));
+        key.push_back(std::move(v));
+      }
+      Group* target = nullptr;
+      for (Group& group : groups) {
+        if (KeysEqual(group.key, key)) {
+          target = &group;
+          break;
+        }
+      }
+      if (target == nullptr) {
+        groups.push_back(Group{std::move(key),
+                               std::vector<RefAggState>(agg_calls.size())});
+        target = &groups.back();
+      }
+      for (size_t a = 0; a < agg_calls.size(); ++a) {
+        Value v;
+        if (!agg_calls[a].call->star) {
+          VDB_ASSIGN_OR_RETURN(v, Eval(*agg_calls[a].call->args[0], env));
+        }
+        target->states[a].Update(agg_calls[a], v);
+      }
+    }
+    if (groups.empty() && stmt.group_by.empty()) {
+      // Global aggregate over zero rows: one row of initial values.
+      groups.push_back(Group{{}, std::vector<RefAggState>(agg_calls.size())});
+    }
+
+    for (const Group& group : groups) {
+      Tuple agg_values;
+      for (size_t a = 0; a < agg_calls.size(); ++a) {
+        agg_values.push_back(group.states[a].Finalize(agg_calls[a]));
+      }
+      if (stmt.having != nullptr) {
+        VDB_ASSIGN_OR_RETURN(
+            Value keep, EvalPostAgg(*stmt.having, group_texts, group.key,
+                                    agg_calls, agg_values));
+        if (!IsTrue(keep)) continue;
+      }
+      Tuple out;
+      for (const sql::SelectItem& item : stmt.items) {
+        VDB_ASSIGN_OR_RETURN(
+            Value v, EvalPostAgg(*item.expr, group_texts, group.key,
+                                 agg_calls, agg_values));
+        out.push_back(std::move(v));
+      }
+      projected.push_back(std::move(out));
+    }
+
+    for (const sql::SelectItem& item : stmt.items) {
+      result.column_names.push_back(ItemName(item));
+      const std::string text = item.expr->ToString();
+      TypeId type = TypeId::kInt64;
+      bool resolved = false;
+      for (size_t g = 0; g < group_texts.size() && !resolved; ++g) {
+        if (group_texts[g] == text) {
+          VDB_ASSIGN_OR_RETURN(type, TypeCheck(*stmt.group_by[g], base_env));
+          resolved = true;
+        }
+      }
+      for (const RefAggCall& call : agg_calls) {
+        if (!resolved && call.text == text) {
+          type = call.output_type;
+          resolved = true;
+        }
+      }
+      if (!resolved) {
+        VDB_ASSIGN_OR_RETURN(type, TypeCheck(*item.expr, base_env));
+      }
+      result.column_types.push_back(type);
+    }
+  } else {
+    // Plain projection; sort keys are computed against the base rows when
+    // the engine would sort below the project (no DISTINCT).
+    std::vector<const sql::Expr*> item_exprs;
+    for (const sql::SelectItem& item : stmt.items) {
+      if (item.expr->type == ExprType::kStar) {
+        for (const Frame& frame : frames) {
+          for (size_t c = 0; c < frame.names.size(); ++c) {
+            result.column_names.push_back(frame.names[c]);
+            result.column_types.push_back(frame.types[c]);
+            item_exprs.push_back(nullptr);  // direct slot copy
+          }
+        }
+        continue;
+      }
+      VDB_ASSIGN_OR_RETURN(TypeId type, TypeCheck(*item.expr, base_env));
+      result.column_names.push_back(ItemName(item));
+      result.column_types.push_back(type);
+      item_exprs.push_back(item.expr.get());
+    }
+
+    sorted_on_base = !stmt.order_by.empty() && !stmt.distinct;
+    if (sorted_on_base) {
+      for (const sql::OrderByItem& item : stmt.order_by) {
+        if (!TypeCheck(*item.expr, base_env).ok()) {
+          sorted_on_base = false;  // engine falls back to text matching
+          break;
+        }
+      }
+    }
+
+    for (const Tuple& row : rows) {
+      Env env = base_env;
+      env.row = &row;
+      Tuple out;
+      size_t slot = 0;
+      for (const sql::SelectItem& item : stmt.items) {
+        if (item.expr->type == ExprType::kStar) {
+          for (const Value& v : row) out.push_back(v);
+          slot += row.size();
+          continue;
+        }
+        VDB_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, env));
+        out.push_back(std::move(v));
+        ++slot;
+      }
+      if (sorted_on_base) {
+        std::vector<Value> keys;
+        for (const sql::OrderByItem& item : stmt.order_by) {
+          VDB_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, env));
+          keys.push_back(std::move(v));
+        }
+        base_sort_keys.push_back(std::move(keys));
+      }
+      projected.push_back(std::move(out));
+    }
+  }
+
+  // ---- DISTINCT (before ORDER BY, as in the engine) ----------------------
+  if (stmt.distinct) {
+    std::vector<Tuple> unique;
+    for (Tuple& row : projected) {
+      bool seen = false;
+      for (const Tuple& existing : unique) {
+        if (KeysEqual(existing, row)) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) unique.push_back(std::move(row));
+    }
+    projected = std::move(unique);
+  }
+
+  // ---- ORDER BY ----------------------------------------------------------
+  if (!stmt.order_by.empty()) {
+    if (sorted_on_base) {
+      std::vector<size_t> order(projected.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](size_t a, size_t b) {
+                         for (size_t k = 0; k < stmt.order_by.size(); ++k) {
+                           const int cmp = RefCompareForSort(
+                               base_sort_keys[a][k], base_sort_keys[b][k],
+                               stmt.order_by[k].ascending);
+                           if (cmp != 0) return cmp < 0;
+                         }
+                         return false;
+                       });
+      std::vector<Tuple> sorted;
+      sorted.reserve(projected.size());
+      for (size_t i : order) sorted.push_back(std::move(projected[i]));
+      projected = std::move(sorted);
+    } else {
+      // Match ORDER BY expressions against output names, then item texts
+      // (mirrors the grouped/DISTINCT planner path).
+      std::vector<std::string> item_texts;
+      for (const sql::SelectItem& item : stmt.items) {
+        item_texts.push_back(item.expr->type == ExprType::kStar
+                                 ? "*"
+                                 : item.expr->ToString());
+      }
+      std::vector<std::pair<size_t, bool>> keys;
+      for (const sql::OrderByItem& item : stmt.order_by) {
+        const std::string text = item.expr->ToString();
+        int match = -1;
+        for (size_t i = 0; i < result.column_names.size(); ++i) {
+          if (EqualsIgnoreCase(result.column_names[i], text)) {
+            match = static_cast<int>(i);
+            break;
+          }
+        }
+        if (match < 0) {
+          for (size_t i = 0; i < item_texts.size(); ++i) {
+            if (item_texts[i] == text) {
+              match = static_cast<int>(i);
+              break;
+            }
+          }
+        }
+        if (match < 0) {
+          return Status::NotSupported(
+              "ORDER BY expression must name a select-list column: " + text);
+        }
+        keys.emplace_back(static_cast<size_t>(match), item.ascending);
+      }
+      std::stable_sort(projected.begin(), projected.end(),
+                       [&](const Tuple& a, const Tuple& b) {
+                         for (const auto& [slot, ascending] : keys) {
+                           const int cmp = RefCompareForSort(a[slot], b[slot],
+                                                             ascending);
+                           if (cmp != 0) return cmp < 0;
+                         }
+                         return false;
+                       });
+    }
+  }
+
+  // ---- LIMIT -------------------------------------------------------------
+  if (stmt.limit >= 0 &&
+      projected.size() > static_cast<size_t>(stmt.limit)) {
+    projected.resize(static_cast<size_t>(stmt.limit));
+  }
+
+  result.rows = std::move(projected);
+  return result;
+}
+
+}  // namespace
+
+Result<RefResult> ReferenceEvaluator::Evaluate(
+    const sql::SelectStatement& stmt) {
+  Evaluator evaluator(catalog_);
+  return evaluator.EvaluateSelect(stmt, nullptr);
+}
+
+}  // namespace vdb::fuzz

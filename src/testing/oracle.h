@@ -1,0 +1,45 @@
+#ifndef VDB_TESTING_ORACLE_H_
+#define VDB_TESTING_ORACLE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "sql/ast.h"
+#include "util/result.h"
+
+namespace vdb::fuzz {
+
+/// Result of the reference evaluator: projected rows plus per-column
+/// names/types (the latter needed when the result feeds a derived table).
+struct RefResult {
+  std::vector<std::string> column_names;
+  std::vector<catalog::TypeId> column_types;
+  std::vector<catalog::Tuple> rows;
+};
+
+/// A naive row-at-a-time interpreter for the engine's SQL dialect, written
+/// for obvious correctness: full materialization, nested-loop joins, no
+/// optimizer, no indexes, no buffer pool. It mirrors the engine's
+/// documented semantics — three-valued logic, NULLS LAST ordering,
+/// NULL-safe grouping, IN/NOT IN with (NOT) EXISTS semantics, division by
+/// zero yielding NULL, double-accumulated SUM — so its results are
+/// comparable with exec::Database::Execute over the same catalog.
+///
+/// Expressions are type-checked eagerly (mirroring the binder's rules)
+/// before any row is touched, so the oracle errors exactly where the
+/// engine's planner errors instead of silently succeeding on empty inputs
+/// or short-circuited operands.
+class ReferenceEvaluator {
+ public:
+  explicit ReferenceEvaluator(catalog::Catalog* cat) : catalog_(cat) {}
+
+  Result<RefResult> Evaluate(const sql::SelectStatement& stmt);
+
+ private:
+  catalog::Catalog* catalog_;
+};
+
+}  // namespace vdb::fuzz
+
+#endif  // VDB_TESTING_ORACLE_H_

@@ -296,5 +296,26 @@ TEST_F(CalibratorTest, EmptyGridAxisFails) {
   EXPECT_TRUE(store.status().IsInvalidArgument());
 }
 
+TEST(CalibrationStoreTest, LoadRejectsNonNumericField) {
+  const std::string path = ::testing::TempDir() + "/calib_nonnumeric.txt";
+  {
+    std::ofstream out(path);
+    out << "0.25 0.5 0.75 1 4 0.01 0.005 0.00025 8192 8388608\n";
+    out << "0.5 0.5 abc 1 4 0.01 0.005 0.00025 8192 8388608\n";
+  }
+  auto loaded = CalibrationStore::LoadFromFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError()) << loaded.status();
+  EXPECT_NE(loaded.status().ToString().find("line 2"), std::string::npos)
+      << loaded.status();
+  std::remove(path.c_str());
+}
+
+TEST(CalibrationStoreTest, LoadMissingFileIsIOError) {
+  auto loaded = CalibrationStore::LoadFromFile("/nonexistent/calib.txt");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError()) << loaded.status();
+}
+
 }  // namespace
 }  // namespace vdb::calib

@@ -1,0 +1,166 @@
+// Golden tests for the three reproduced paper figures. Each test replays
+// the corresponding bench recipe (bench/bench_fig{3,4,5}_*.cc) in-process
+// and asserts the exact headline numbers documented in EXPERIMENTS.md.
+// The simulated executor is deterministic, so these values are stable
+// across machines; the tolerances only absorb the rounding used in the
+// documentation. A drift here means the *model* changed, not the machine.
+//
+// These tests take tens of seconds each and carry the `slow` ctest label;
+// the tier-1 suite (`ctest -L tier1`) excludes them.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "calib/calibration.h"
+#include "calib/grid.h"
+#include "core/advisor.h"
+#include "datagen/tpch_queries.h"
+
+namespace vdb {
+namespace {
+
+// EXPERIMENTS.md documents the golden values to four decimal places.
+constexpr double kTol = 5e-4;
+
+TEST(FiguresGolden, Fig3CalibrationSensitivity) {
+  auto db = bench::MakeCalibrationDatabase();
+  const sim::MachineSpec machine = bench::ScaledMemoryMachine();
+  calib::Calibrator calibrator(db.get());
+
+  // The full 3x3 grid in the bench's iteration order: the calibration
+  // database carries cache state between calls, so the measured values
+  // (and the golden ratios) depend on it.
+  const double shares[] = {0.25, 0.50, 0.75};
+  double tuple_ms[3][3];
+  for (int m = 0; m < 3; ++m) {
+    for (int c = 0; c < 3; ++c) {
+      sim::VirtualMachine vm = bench::MakeVm(machine, shares[c], shares[m],
+                                             0.5);
+      auto result = calibrator.Calibrate(vm);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      tuple_ms[m][c] = result->params.cpu_tuple_cost;
+    }
+  }
+
+  const double cpu_effect = tuple_ms[1][0] / tuple_ms[1][2];
+  const double mem_effect = tuple_ms[0][1] / tuple_ms[2][1];
+  EXPECT_NEAR(cpu_effect, 2.2505, kTol);
+  EXPECT_NEAR(mem_effect, 3.5666, kTol);
+  // The paper's qualitative claim (figure-3 "shape").
+  EXPECT_GT(cpu_effect, 1.5);
+  EXPECT_GT(mem_effect, 1.05);
+}
+
+TEST(FiguresGolden, Fig4QuerySensitivity) {
+  const sim::MachineSpec machine = bench::ExperimentMachine();
+
+  // Offline: calibrate P(R) over the CPU grid.
+  auto calibration_db = bench::MakeCalibrationDatabase();
+  calib::CalibrationGridSpec spec;
+  spec.cpu_shares = {0.25, 0.50, 0.75};
+  spec.memory_shares = {0.50};
+  spec.io_shares = {0.50};
+  auto store = calib::CalibrateGrid(calibration_db.get(), machine,
+                                    sim::HypervisorModel::XenLike(), spec);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  calibration_db.reset();
+
+  auto db = bench::MakeTpchDatabase();
+  const double shares[] = {0.25, 0.50, 0.75};
+  const int queries[] = {4, 13};
+  double estimated[2][3];
+  double actual[2][3];
+  for (int q = 0; q < 2; ++q) {
+    auto sql = datagen::TpchQuery(queries[q]);
+    ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+    for (int c = 0; c < 3; ++c) {
+      sim::VirtualMachine vm = bench::MakeVm(machine, shares[c], 0.5, 0.5);
+      auto params = store->Lookup(vm.share());
+      ASSERT_TRUE(params.ok()) << params.status().ToString();
+      ASSERT_TRUE(db->ApplyVmConfig(vm).ok());
+      db->SetOptimizerParams(*params);
+      auto plan = db->Prepare(*sql);
+      ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+      estimated[q][c] = (*plan)->total_cost_ms / 1000.0;
+      ASSERT_TRUE(db->DropCaches().ok());
+      auto result = db->ExecutePlan(**plan, vm);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      actual[q][c] = result->elapsed_seconds;
+    }
+  }
+
+  const double q4_actual_swing = actual[0][0] / actual[0][2];
+  const double q13_actual_swing = actual[1][0] / actual[1][2];
+  const double q4_estimated_swing = estimated[0][0] / estimated[0][2];
+  const double q13_estimated_swing = estimated[1][0] / estimated[1][2];
+  EXPECT_NEAR(q4_actual_swing, 1.2291, kTol);
+  EXPECT_NEAR(q13_actual_swing, 2.0563, kTol);
+  EXPECT_NEAR(q4_estimated_swing, 1.2112, kTol);
+  EXPECT_NEAR(q13_estimated_swing, 2.0353, kTol);
+  // Figure-4 shape: Q13 is CPU-sensitive, Q4 is not, and the estimates
+  // separate the two.
+  EXPECT_GT(q13_actual_swing, 1.7);
+  EXPECT_LT(q4_actual_swing, 1.35);
+  EXPECT_GT(q13_estimated_swing, 1.5 * q4_estimated_swing);
+}
+
+TEST(FiguresGolden, Fig5WorkloadDesign) {
+  const sim::MachineSpec machine = bench::ExperimentMachine();
+
+  auto calibration_db = bench::MakeCalibrationDatabase();
+  calib::CalibrationGridSpec spec;
+  spec.cpu_shares = {0.25, 0.375, 0.50, 0.625, 0.75};
+  spec.memory_shares = {0.50};
+  spec.io_shares = {0.50};
+  auto store = calib::CalibrateGrid(calibration_db.get(), machine,
+                                    sim::HypervisorModel::XenLike(), spec);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  calibration_db.reset();
+
+  auto db1 = bench::MakeTpchDatabase();
+  auto db2 = bench::MakeTpchDatabase();
+  core::VirtualizationDesignProblem problem;
+  problem.machine = machine;
+  problem.workloads = {
+      core::Workload::Repeated("W1 (3 x Q4)", *datagen::TpchQuery(4), 3),
+      core::Workload::Repeated("W2 (9 x Q13)", *datagen::TpchQuery(13), 9)};
+  problem.databases = {db1.get(), db2.get()};
+  problem.controlled = {sim::ResourceKind::kCpu};
+  problem.grid_steps = 4;
+
+  core::Advisor advisor(&*store);
+  auto recommended = advisor.Recommend(problem);
+  ASSERT_TRUE(recommended.ok()) << recommended.status().ToString();
+  // The advisor must pick the paper's skewed 25/75 split from estimates
+  // alone.
+  EXPECT_DOUBLE_EQ(recommended->allocations[1].cpu, 0.75);
+
+  core::Advisor::MeasureOptions options;
+  options.cold_per_statement = true;
+  const std::vector<sim::ResourceShare> equal_split = {
+      sim::ResourceShare(0.50, 0.5, 0.5), sim::ResourceShare(0.50, 0.5, 0.5)};
+  const std::vector<sim::ResourceShare> skewed = {
+      sim::ResourceShare(0.25, 0.5, 0.5), sim::ResourceShare(0.75, 0.5, 0.5)};
+  auto equal_outcome = core::Advisor::Measure(problem, equal_split, options);
+  auto skewed_outcome = core::Advisor::Measure(problem, skewed, options);
+  ASSERT_TRUE(equal_outcome.ok()) << equal_outcome.status().ToString();
+  ASSERT_TRUE(skewed_outcome.ok()) << skewed_outcome.status().ToString();
+
+  const double q13_gain = 1.0 - skewed_outcome->workload_seconds[1] /
+                                    equal_outcome->workload_seconds[1];
+  const double q4_loss = skewed_outcome->workload_seconds[0] /
+                             equal_outcome->workload_seconds[0] -
+                         1.0;
+  EXPECT_NEAR(q13_gain, 0.2086, kTol);
+  EXPECT_NEAR(q4_loss, 0.1626, kTol);
+  // Figure-5 shape: the skewed design wins overall.
+  EXPECT_GT(q13_gain, 0.15);
+  EXPECT_LT(q4_loss, 0.25);
+  EXPECT_LT(skewed_outcome->total_seconds, equal_outcome->total_seconds);
+}
+
+}  // namespace
+}  // namespace vdb

@@ -368,5 +368,53 @@ INSTANTIATE_TEST_SUITE_P(
         "'%special%requests%' group by c_custkey) as c_orders (c_custkey, "
         "c_count) group by c_count order by custdist desc, c_count desc"));
 
+// Error paths must come back as Status with the byte offset of the
+// offending token — positions are what make fuzzer repros actionable.
+TEST(LexerTest, ErrorsReportByteOffsets) {
+  auto bad_char = Tokenize("select @ x");
+  ASSERT_FALSE(bad_char.ok());
+  EXPECT_NE(bad_char.status().ToString().find("at offset 7"),
+            std::string::npos)
+      << bad_char.status();
+
+  auto unterminated = Tokenize("select 'oops");
+  ASSERT_FALSE(unterminated.ok());
+  EXPECT_NE(unterminated.status().ToString().find("at offset"),
+            std::string::npos)
+      << unterminated.status();
+}
+
+TEST(ParserTest, ErrorsReportByteOffsets) {
+  auto at_end = ParseSelect("select a from t where");
+  ASSERT_FALSE(at_end.ok());
+  EXPECT_NE(at_end.status().ToString().find("at offset 21"),
+            std::string::npos)
+      << at_end.status();
+  EXPECT_NE(at_end.status().ToString().find("<end>"), std::string::npos)
+      << at_end.status();
+
+  auto bad_limit = ParseSelect("select a from t limit x");
+  ASSERT_FALSE(bad_limit.ok());
+  EXPECT_NE(bad_limit.status().ToString().find("at offset 22"),
+            std::string::npos)
+      << bad_limit.status();
+}
+
+// Adversarial nesting must resolve to a Status (or a parse), never a
+// crash; the fuzzer generates expressions in this shape.
+TEST(ParserTest, DeepNestingDoesNotCrash) {
+  constexpr int kDepth = 200;
+  std::string balanced = "select ";
+  for (int i = 0; i < kDepth; ++i) balanced += "(";
+  balanced += "1";
+  for (int i = 0; i < kDepth; ++i) balanced += ")";
+  EXPECT_TRUE(ParseSelect(balanced).ok());
+
+  std::string unbalanced = "select ";
+  for (int i = 0; i < kDepth; ++i) unbalanced += "(";
+  unbalanced += "1";
+  EXPECT_FALSE(ParseSelect(unbalanced).ok());
+}
+
 }  // namespace
 }  // namespace vdb::sql

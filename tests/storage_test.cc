@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <string>
@@ -444,6 +445,8 @@ TEST_F(BTreeTest, WorksWithTinyBufferPool) {
 class BTreeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(BTreeFuzzTest, MatchesReferenceMultimap) {
+  SCOPED_TRACE("re-run this seed with VDB_TEST_SEED=" +
+               std::to_string(GetParam()));
   DiskManager disk;
   BufferPool pool(&disk, 32);
   BPlusTree tree(&disk, &pool);
@@ -488,8 +491,20 @@ TEST_P(BTreeFuzzTest, MatchesReferenceMultimap) {
   }
 }
 
+// Default seed spread, overridable with VDB_TEST_SEED=<n> to reproduce a
+// single failing seed. The seed value is part of the test name.
+std::vector<uint64_t> FuzzSeeds() {
+  if (const char* env = std::getenv("VDB_TEST_SEED")) {
+    return {std::strtoull(env, nullptr, 10)};
+  }
+  return {1, 2, 3, 5, 8, 13};
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, BTreeFuzzTest,
-                         ::testing::Values(1, 2, 3, 5, 8, 13));
+                         ::testing::ValuesIn(FuzzSeeds()),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed_" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace vdb::storage

@@ -53,8 +53,9 @@ TEST(WorkloadIoTest, CommentMarkerInsideLiteralPreserved) {
 
 TEST(WorkloadIoTest, Errors) {
   EXPECT_TRUE(ParseWorkloadText("w", "").status().IsInvalidArgument());
-  EXPECT_TRUE(
-      ParseWorkloadText("w", "-- only comments\n").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseWorkloadText("w", "-- only comments\n")
+                  .status()
+                  .IsInvalidArgument());
   EXPECT_TRUE(ParseWorkloadText("w", "select 'oops from t")
                   .status()
                   .IsInvalidArgument());
@@ -72,6 +73,30 @@ TEST(WorkloadIoTest, LoadFileAndDeriveName) {
   EXPECT_EQ(workload->name, "my_workload");
   EXPECT_EQ(workload->statements.size(), 2u);
   std::remove(path.c_str());
+}
+
+// A workload file cut off inside a string literal must fail cleanly
+// (InvalidArgument from the parse, not a crash or a silent half-load).
+TEST(WorkloadIoTest, TruncatedFileFailsCleanly) {
+  const std::string path = ::testing::TempDir() + "/truncated_workload.sql";
+  {
+    std::ofstream out(path);
+    out << "select 1 from t;\nselect c from t where s = 'cut off";
+  }
+  auto workload = LoadWorkloadFile(path);
+  ASSERT_FALSE(workload.ok());
+  EXPECT_TRUE(workload.status().IsInvalidArgument()) << workload.status();
+  EXPECT_NE(workload.status().ToString().find("unterminated"),
+            std::string::npos)
+      << workload.status();
+  std::remove(path.c_str());
+}
+
+// Unreadable paths (here: a directory) must produce a Status, not a
+// crash or an empty workload that passes downstream.
+TEST(WorkloadIoTest, DirectoryPathFailsCleanly) {
+  auto workload = LoadWorkloadFile(::testing::TempDir());
+  EXPECT_FALSE(workload.ok());
 }
 
 }  // namespace

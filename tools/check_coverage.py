@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Warn-only coverage floor for CI.
+
+Usage:
+    check_coverage.py --summary coverage-summary.json
+                      [--floor tools/coverage_floor.json]
+
+Reads a gcovr JSON summary (`gcovr --json-summary`) and compares its
+line coverage percentage against the checked-in floor. The check never
+fails the build: dropping below the floor emits a GitHub Actions
+warning annotation so the regression is visible on the PR, while the
+floor itself is ratcheted up manually as coverage improves.
+
+Floor format (tools/coverage_floor.json):
+{
+  "line_percent": 55.0
+}
+
+Only the standard library is used; exit code is always 0 unless the
+inputs themselves are unreadable.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_json(path, what):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {what} '{path}': {e}")
+        sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--summary", required=True,
+                        help="gcovr --json-summary output")
+    parser.add_argument("--floor", default="tools/coverage_floor.json")
+    args = parser.parse_args()
+
+    summary = load_json(args.summary, "coverage summary")
+    floor = load_json(args.floor, "coverage floor")
+
+    line_percent = summary.get("line_percent")
+    if line_percent is None:
+        print("error: summary has no 'line_percent' field")
+        sys.exit(1)
+    floor_percent = floor.get("line_percent", 0.0)
+
+    print(f"line coverage: {line_percent:.1f}% (floor: {floor_percent:.1f}%)")
+    if line_percent < floor_percent:
+        # GitHub Actions warning annotation; deliberately not an error.
+        print(f"::warning title=Coverage below floor::line coverage "
+              f"{line_percent:.1f}% is below the checked-in floor "
+              f"{floor_percent:.1f}% (tools/coverage_floor.json)")
+    else:
+        print("coverage floor satisfied")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -84,10 +84,11 @@ def main() -> int:
     # 3. Required sections.
     required = {
         "README.md": ["Five-minute quickstart", "Module map", "obs/"],
-        "DESIGN.md": ["Robustness model"],
+        "DESIGN.md": ["Robustness model", "Testing strategy"],
         "EXPERIMENTS.md": ["Reproducing Figures 3"],
         "CONTRIBUTING.md": ["clang-format", "VDB_SANITIZE",
-                            "check_bench_regression.py"],
+                            "check_bench_regression.py", "vdb_fuzz",
+                            "ctest -L tier1", "check_coverage.py"],
     }
     for name, needles in required.items():
         for needle in needles:
@@ -95,7 +96,20 @@ def main() -> int:
                 problems.append(f"{name}: required section/phrase "
                                 f"{needle!r} not found")
 
-    # 4. Quickstart binaries are real CMake targets.
+    # 4. Every src/ module (including src/testing/) is documented in
+    # README's module map and DESIGN.md's layout.
+    for module_dir in sorted((ROOT / "src").iterdir()):
+        if not module_dir.is_dir():
+            continue
+        name = module_dir.name
+        if f"{name}/" not in readme:
+            problems.append(
+                f"README.md: module map is missing src/{name}/")
+        design = texts.get("DESIGN.md", "")
+        if name not in design:
+            problems.append(f"DESIGN.md: never mentions src/{name}/")
+
+    # 5. Quickstart binaries are real CMake targets.
     cmake_text = "\n".join(
         p.read_text(encoding="utf-8") for p in ROOT.rglob("CMakeLists.txt"))
     for binary in re.findall(r"\./build/\S*/(\w+)", readme):

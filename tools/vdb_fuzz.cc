@@ -1,0 +1,146 @@
+// Differential / metamorphic fuzzing driver (see DESIGN.md §11).
+//
+// Usage:
+//   vdb_fuzz --seeds 0..500              range of seeds, SQL + metamorphic
+//   vdb_fuzz --seed 1234                 one seed
+//   vdb_fuzz --mode sql|metamorphic|all  which checks to run (default all)
+//   vdb_fuzz --queries N                 SQL queries per seed (default 8)
+//   vdb_fuzz --no-env-invariance         skip environment re-runs (faster)
+//
+// Every failure is minimized (query shrinking) and printed with the exact
+// command line that reproduces it. Exit status: 0 when every seed passed,
+// 1 on any mismatch or invariant violation, 2 on bad usage.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "testing/differential.h"
+#include "testing/metamorphic.h"
+
+namespace {
+
+struct CliOptions {
+  uint64_t first_seed = 0;
+  uint64_t last_seed = 0;
+  std::string mode = "all";
+  vdb::fuzz::DifferentialOptions differential;
+  // Metamorphic checks are environment-level (not per-query), so one run
+  // per kMetamorphicStride seeds keeps campaigns fast without losing the
+  // seed diversity of the probe randomness.
+  static constexpr uint64_t kMetamorphicStride = 25;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seeds A..B | --seed N] [--mode sql|metamorphic"
+               "|all]\n               [--queries N] [--no-env-invariance]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseSeeds(const std::string& arg, uint64_t* first, uint64_t* last) {
+  const size_t dots = arg.find("..");
+  try {
+    if (dots == std::string::npos) {
+      *first = *last = std::stoull(arg);
+      return true;
+    }
+    *first = std::stoull(arg.substr(0, dots));
+    *last = std::stoull(arg.substr(dots + 2));
+    return *first <= *last;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  bool run_metamorphic_every_seed = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seeds" || arg == "--seed") {
+      const char* value = next();
+      if (value == nullptr ||
+          !ParseSeeds(value, &options.first_seed, &options.last_seed)) {
+        return Usage(argv[0]);
+      }
+      // A single named seed always runs every mode in full.
+      run_metamorphic_every_seed =
+          run_metamorphic_every_seed || arg == "--seed";
+    } else if (arg == "--mode") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      options.mode = value;
+      if (options.mode != "sql" && options.mode != "metamorphic" &&
+          options.mode != "all") {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--queries") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      options.differential.queries_per_seed = std::atoi(value);
+      if (options.differential.queries_per_seed <= 0) return Usage(argv[0]);
+    } else if (arg == "--no-env-invariance") {
+      options.differential.check_environment_invariance = false;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  const bool run_sql = options.mode == "sql" || options.mode == "all";
+  const bool run_meta =
+      options.mode == "metamorphic" || options.mode == "all";
+
+  vdb::fuzz::CampaignStats stats;
+  int failures = 0;
+  uint64_t metamorphic_runs = 0;
+  for (uint64_t seed = options.first_seed; seed <= options.last_seed;
+       ++seed) {
+    if (run_sql) {
+      vdb::fuzz::FailureReport report;
+      if (vdb::fuzz::RunDifferentialSeed(seed, options.differential, &stats,
+                                         &report)) {
+        std::printf("%s\n", report.ToString().c_str());
+        ++failures;
+      }
+    }
+    if (run_meta &&
+        (run_metamorphic_every_seed || options.mode == "metamorphic" ||
+         seed % CliOptions::kMetamorphicStride == options.first_seed %
+                                                      CliOptions::
+                                                          kMetamorphicStride)) {
+      ++metamorphic_runs;
+      for (const std::string& violation :
+           vdb::fuzz::RunMetamorphicChecks(seed)) {
+        std::printf("metamorphic violation (seed %llu): %s\n"
+                    "  repro:  vdb_fuzz --seed %llu --mode metamorphic\n",
+                    static_cast<unsigned long long>(seed), violation.c_str(),
+                    static_cast<unsigned long long>(seed));
+        ++failures;
+      }
+    }
+    if ((seed - options.first_seed) % 50 == 49) {
+      std::printf("... seed %llu: %s\n",
+                  static_cast<unsigned long long>(seed),
+                  stats.ToString().c_str());
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("seeds %llu..%llu: %s; %llu metamorphic runs; %d failure%s\n",
+              static_cast<unsigned long long>(options.first_seed),
+              static_cast<unsigned long long>(options.last_seed),
+              stats.ToString().c_str(),
+              static_cast<unsigned long long>(metamorphic_runs), failures,
+              failures == 1 ? "" : "s");
+  return failures == 0 ? 0 : 1;
+}
