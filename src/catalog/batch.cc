@@ -1,0 +1,167 @@
+#include "catalog/batch.h"
+
+#include <functional>
+
+#include "util/logging.h"
+
+namespace vdb::catalog {
+
+void ValueVector::Reset(TypeId type, size_t n) {
+  type_ = type;
+  size_ = n;
+  nulls_.assign(n, 0);
+  switch (type) {
+    case TypeId::kDouble:
+      doubles_.resize(n);
+      break;
+    case TypeId::kString:
+      // resize (not assign) keeps each retained string's heap buffer.
+      strings_.resize(n);
+      break;
+    default:
+      ints_.resize(n);
+      break;
+  }
+}
+
+Value ValueVector::GetValue(size_t i) const {
+  if (nulls_[i] != 0) return Value::Null(type_);
+  switch (type_) {
+    case TypeId::kBool:
+      return Value::Bool(ints_[i] != 0);
+    case TypeId::kDouble:
+      return Value::Double(doubles_[i]);
+    case TypeId::kDate:
+      return Value::Date(ints_[i]);
+    case TypeId::kString:
+      return Value::String(strings_[i]);
+    default:
+      return Value::Int64(ints_[i]);
+  }
+}
+
+void ValueVector::SetValue(size_t i, const Value& v) {
+  if (v.is_null()) {
+    nulls_[i] = 1;
+    return;
+  }
+  switch (type_) {
+    case TypeId::kBool:
+      SetInt64(i, v.AsBool() ? 1 : 0);
+      break;
+    case TypeId::kDouble:
+      SetDouble(i, v.AsDouble());
+      break;
+    case TypeId::kString:
+      SetString(i, v.AsString());
+      break;
+    default:
+      SetInt64(i, v.type() == TypeId::kBool ? (v.AsBool() ? 1 : 0)
+                                            : v.AsInt64());
+      break;
+  }
+}
+
+void ValueVector::CopyFrom(const ValueVector& src, size_t src_row,
+                           size_t dst_row) {
+  VDB_DCHECK(src.type_ == type_);
+  if (src.nulls_[src_row] != 0) {
+    nulls_[dst_row] = 1;
+    return;
+  }
+  nulls_[dst_row] = 0;
+  switch (type_) {
+    case TypeId::kDouble:
+      doubles_[dst_row] = src.doubles_[src_row];
+      break;
+    case TypeId::kString:
+      strings_[dst_row] = src.strings_[src_row];
+      break;
+    default:
+      ints_[dst_row] = src.ints_[src_row];
+      break;
+  }
+}
+
+size_t ValueVector::HashAt(size_t i) const {
+  if (nulls_[i] != 0) return 0x9e3779b97f4a7c15ULL;
+  switch (type_) {
+    case TypeId::kString:
+      return std::hash<std::string>{}(strings_[i]);
+    case TypeId::kDouble:
+      return std::hash<double>{}(doubles_[i]);
+    default:
+      return std::hash<int64_t>{}(ints_[i]);
+  }
+}
+
+int CompareAt(const ValueVector& a, size_t i, const ValueVector& b,
+              size_t j) {
+  const TypeId at = a.type();
+  const TypeId bt = b.type();
+  if (at == TypeId::kString || bt == TypeId::kString) {
+    VDB_CHECK(at == TypeId::kString && bt == TypeId::kString)
+        << "comparing string with non-string";
+    return a.GetString(i).compare(b.GetString(j));
+  }
+  if (at == TypeId::kDouble || bt == TypeId::kDouble) {
+    const double da = a.AsDouble(i);
+    const double db = b.AsDouble(j);
+    if (da < db) return -1;
+    if (da > db) return 1;
+    return 0;
+  }
+  const int64_t ia = a.GetInt64(i);
+  const int64_t ib = b.GetInt64(j);
+  if (ia < ib) return -1;
+  if (ia > ib) return 1;
+  return 0;
+}
+
+int CompareWithValue(const ValueVector& a, size_t i, const Value& v) {
+  const TypeId at = a.type();
+  const TypeId vt = v.type();
+  if (at == TypeId::kString || vt == TypeId::kString) {
+    VDB_CHECK(at == TypeId::kString && vt == TypeId::kString)
+        << "comparing string with non-string";
+    return a.GetString(i).compare(v.AsString());
+  }
+  if (at == TypeId::kDouble || vt == TypeId::kDouble) {
+    const double da = a.AsDouble(i);
+    const double db = v.AsDouble();
+    if (da < db) return -1;
+    if (da > db) return 1;
+    return 0;
+  }
+  const int64_t ia = a.GetInt64(i);
+  const int64_t ib = v.AsInt64();
+  if (ia < ib) return -1;
+  if (ia > ib) return 1;
+  return 0;
+}
+
+void Batch::Reset(const std::vector<TypeId>& types, size_t n) {
+  columns.resize(types.size());
+  for (size_t c = 0; c < types.size(); ++c) {
+    columns[c].Reset(types[c], n);
+  }
+  num_rows = 0;
+  sel.clear();
+}
+
+void Batch::SetRowCount(size_t n) {
+  num_rows = n;
+  sel.resize(n);
+  std::iota(sel.begin(), sel.end(), 0);
+}
+
+std::vector<Value> Batch::RowAsTuple(size_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns.size());
+  for (const ValueVector& column : columns) {
+    out.push_back(column.GetValue(row));
+  }
+  return out;
+}
+
+}  // namespace vdb::catalog

@@ -111,6 +111,118 @@ Result<Tuple> DeserializeTuple(std::string_view data, const Schema& schema) {
   return tuple;
 }
 
+Status DeserializeTupleInto(std::string_view data, const Schema& schema,
+                            Batch* batch, size_t row,
+                            const std::vector<uint8_t>* wanted) {
+  size_t pos = 0;
+  auto need = [&](size_t n) -> bool { return pos + n <= data.size(); };
+  for (size_t i = 0; i < schema.NumColumns(); ++i) {
+    ValueVector& column = batch->columns[i];
+    if (!need(1)) return Status::Internal("truncated tuple (null flag)");
+    const bool is_null = data[pos++] != 0;
+    if (is_null) {
+      column.SetNull(row);
+      continue;
+    }
+    const bool skip = wanted != nullptr && (*wanted)[i] == 0;
+    if (schema.column(i).type == TypeId::kString) {
+      if (!need(4)) return Status::Internal("truncated tuple (length)");
+      uint32_t len = 0;
+      std::memcpy(&len, data.data() + pos, sizeof(len));
+      pos += sizeof(len);
+      if (!need(len)) return Status::Internal("truncated tuple (string)");
+      if (skip) {
+        column.SetNull(row);
+      } else {
+        column.SetString(row, data.substr(pos, len));
+      }
+      pos += len;
+    } else if (skip) {
+      if (!need(8)) return Status::Internal("truncated tuple (payload)");
+      pos += 8;
+      column.SetNull(row);
+    } else if (schema.column(i).type == TypeId::kDouble) {
+      if (!need(8)) return Status::Internal("truncated tuple (double)");
+      double d = 0;
+      std::memcpy(&d, data.data() + pos, sizeof(d));
+      pos += sizeof(d);
+      column.SetDouble(row, d);
+    } else {
+      if (!need(8)) return Status::Internal("truncated tuple (int)");
+      int64_t v = 0;
+      std::memcpy(&v, data.data() + pos, sizeof(v));
+      pos += sizeof(v);
+      column.SetInt64(row, v);
+    }
+  }
+  return Status::OK();
+}
+
+Status DeserializeRecordsInto(const std::string_view* records, size_t count,
+                              const Schema& schema, Batch* batch,
+                              size_t start_row,
+                              const std::vector<uint8_t>* wanted) {
+  // Hoist the per-column dispatch data out of the row loop: the Schema's
+  // Column structs drag string names through the cache, and the mask
+  // lookup branches are loop-invariant.
+  struct ColPlan {
+    TypeId type;
+    bool keep;
+    ValueVector* column;
+  };
+  const size_t num_columns = schema.NumColumns();
+  std::vector<ColPlan> cols(num_columns);
+  for (size_t i = 0; i < num_columns; ++i) {
+    cols[i] = ColPlan{schema.column(i).type,
+                      wanted == nullptr || (*wanted)[i] != 0,
+                      &batch->columns[i]};
+  }
+  for (size_t r = 0; r < count; ++r) {
+    const char* p = records[r].data();
+    const char* const end = p + records[r].size();
+    const size_t row = start_row + r;
+    for (size_t i = 0; i < num_columns; ++i) {
+      if (p >= end) return Status::Internal("truncated tuple (null flag)");
+      const bool is_null = *p++ != 0;
+      const ColPlan& col = cols[i];
+      if (is_null) {
+        col.column->SetNull(row);
+        continue;
+      }
+      if (col.type == TypeId::kString) {
+        if (end - p < 4) return Status::Internal("truncated tuple (length)");
+        uint32_t len = 0;
+        std::memcpy(&len, p, sizeof(len));
+        p += sizeof(len);
+        if (static_cast<size_t>(end - p) < len) {
+          return Status::Internal("truncated tuple (string)");
+        }
+        if (col.keep) {
+          col.column->SetString(row, std::string_view(p, len));
+        } else {
+          col.column->SetNull(row);
+        }
+        p += len;
+      } else {
+        if (end - p < 8) return Status::Internal("truncated tuple (payload)");
+        if (!col.keep) {
+          col.column->SetNull(row);
+        } else if (col.type == TypeId::kDouble) {
+          double d = 0;
+          std::memcpy(&d, p, sizeof(d));
+          col.column->SetDouble(row, d);
+        } else {
+          int64_t v = 0;
+          std::memcpy(&v, p, sizeof(v));
+          col.column->SetInt64(row, v);
+        }
+        p += 8;
+      }
+    }
+  }
+  return Status::OK();
+}
+
 std::string TupleToString(const Tuple& tuple) {
   std::string result = "(";
   for (size_t i = 0; i < tuple.size(); ++i) {

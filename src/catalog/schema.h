@@ -2,8 +2,10 @@
 #define VDB_CATALOG_SCHEMA_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "catalog/batch.h"
 #include "catalog/value.h"
 #include "util/result.h"
 
@@ -63,6 +65,27 @@ std::string SerializeTuple(const Tuple& tuple, const Schema& schema);
 
 /// Inverse of SerializeTuple. Fails on truncated input.
 Result<Tuple> DeserializeTuple(std::string_view data, const Schema& schema);
+
+/// Deserializes one record straight into physical row `row` of `batch`,
+/// without boxing fields into Values. The batch must already be Reset to
+/// this schema's column types with capacity > `row`.
+///
+/// `wanted`, when non-null, is a per-schema-position mask (same length as
+/// the schema): columns with a zero entry are skipped over in the record
+/// and left NULL in the batch instead of being materialized. Scans use
+/// this for lazy materialization of columns the plan never reads.
+Status DeserializeTupleInto(std::string_view data, const Schema& schema,
+                            Batch* batch, size_t row,
+                            const std::vector<uint8_t>* wanted = nullptr);
+
+/// Bulk form of DeserializeTupleInto: decodes `count` records into
+/// consecutive physical rows of `batch` starting at `start_row`. The
+/// per-column type and mask dispatch is hoisted out of the row loop, so
+/// this is the preferred path for page-at-a-time scans.
+Status DeserializeRecordsInto(const std::string_view* records, size_t count,
+                              const Schema& schema, Batch* batch,
+                              size_t start_row,
+                              const std::vector<uint8_t>* wanted = nullptr);
 
 /// Renders a tuple as "(v1, v2, ...)".
 std::string TupleToString(const Tuple& tuple);

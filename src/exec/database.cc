@@ -1,5 +1,9 @@
 #include "exec/database.h"
 
+#include <cstdlib>
+#include <cstring>
+
+#include "exec/batch_executor.h"
 #include "plan/planner.h"
 #include "plan/rewriter.h"
 #include "sql/parser.h"
@@ -11,6 +15,10 @@ Database::Database() {
   pool_ = std::make_unique<storage::BufferPool>(disk_.get(),
                                                 config_.buffer_pool_pages);
   catalog_ = std::make_unique<catalog::Catalog>(disk_.get(), pool_.get());
+  const char* mode = std::getenv("VDB_EXEC_MODE");
+  if (mode != nullptr && std::strcmp(mode, "row") == 0) {
+    exec_mode_ = ExecMode::kRow;
+  }
 }
 
 Status Database::ApplyVmConfig(const sim::VirtualMachine& vm) {
@@ -59,9 +67,14 @@ Result<QueryResult> Database::ExecutePlan(
     VDB_RETURN_NOT_OK(noise_->MaybeInjectFault("query execution"));
   }
   ExecutionContext context(&vm, pool_.get(), config_.work_mem_bytes);
-  Executor executor(&context);
-  VDB_ASSIGN_OR_RETURN(std::vector<catalog::Tuple> rows,
-                       executor.Run(plan));
+  std::vector<catalog::Tuple> rows;
+  if (exec_mode_ == ExecMode::kBatch) {
+    BatchExecutor executor(&context);
+    VDB_ASSIGN_OR_RETURN(rows, executor.Run(plan));
+  } else {
+    Executor executor(&context);
+    VDB_ASSIGN_OR_RETURN(rows, executor.Run(plan));
+  }
   QueryResult result;
   for (const plan::OutputColumn& column : plan.output) {
     result.column_names.push_back(column.name);

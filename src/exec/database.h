@@ -18,6 +18,15 @@
 
 namespace vdb::exec {
 
+/// Which execution engine a Database runs plans with. Both engines return
+/// identical rows and charge identical simulated time (except under plain
+/// LIMIT, where each stops early at its own granularity); the differential
+/// fuzzer cross-checks them against each other.
+enum class ExecMode {
+  kRow,    // row-at-a-time materializing Executor
+  kBatch,  // vectorized BatchExecutor (the default)
+};
+
 /// Result of one executed query.
 struct QueryResult {
   std::vector<std::string> column_names;
@@ -100,6 +109,13 @@ class Database {
   void set_noise_model(sim::NoiseModel* noise) { noise_ = noise; }
   sim::NoiseModel* noise_model() const { return noise_; }
 
+  /// Selects the execution engine. Defaults to ExecMode::kBatch unless the
+  /// VDB_EXEC_MODE environment variable is set to "row" at construction
+  /// time (the escape hatch for comparing engines and bisecting
+  /// divergences).
+  void set_exec_mode(ExecMode mode) { exec_mode_ = mode; }
+  ExecMode exec_mode() const { return exec_mode_; }
+
  private:
   /// Shared front half of Prepare: parse, bind, and rewrite `sql` into a
   /// logical plan. Read-only with respect to the database.
@@ -111,6 +127,7 @@ class Database {
   optimizer::Optimizer optimizer_;
   DbInstanceConfig config_;
   sim::NoiseModel* noise_ = nullptr;
+  ExecMode exec_mode_ = ExecMode::kBatch;
 };
 
 }  // namespace vdb::exec

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
 #include <unordered_map>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "storage/page.h"
@@ -14,7 +14,6 @@ namespace vdb::exec {
 namespace {
 
 using catalog::Tuple;
-using catalog::TypeId;
 using catalog::Value;
 using optimizer::PhysicalNode;
 using plan::BoundExpr;
@@ -23,174 +22,10 @@ using plan::EvaluatesToTrue;
 using plan::LogicalJoinType;
 using plan::OutputColumn;
 
-// Hashable key for grouping and hash joins: a vector of values. Grouping
-// treats NULLs as equal (SQL GROUP BY semantics); join-key NULLs are
-// filtered out before reaching the table.
-struct ValueKey {
-  std::vector<Value> values;
-
-  bool operator==(const ValueKey& other) const {
-    if (values.size() != other.values.size()) return false;
-    for (size_t i = 0; i < values.size(); ++i) {
-      const bool a_null = values[i].is_null();
-      const bool b_null = other.values[i].is_null();
-      if (a_null != b_null) return false;
-      if (a_null) continue;
-      if (Value::Compare(values[i], other.values[i]) != 0) return false;
-    }
-    return true;
-  }
-};
-
-struct ValueKeyHash {
-  size_t operator()(const ValueKey& key) const {
-    size_t h = 14695981039346656037ULL;
-    for (const Value& v : key.values) {
-      h = (h ^ v.Hash()) * 1099511628211ULL;
-    }
-    return h;
-  }
-};
-
-double PagesFor(double bytes) {
-  return std::max(1.0,
-                  std::ceil(bytes / static_cast<double>(storage::kPageSize)));
-}
-
-// Three-way tuple comparison for ORDER BY (NULLS LAST on ascending keys).
-int CompareForSort(const Value& a, const Value& b, bool ascending) {
-  const bool a_null = a.is_null();
-  const bool b_null = b.is_null();
-  if (a_null && b_null) return 0;
-  if (a_null) return ascending ? 1 : -1;
-  if (b_null) return ascending ? -1 : 1;
-  const int cmp = Value::Compare(a, b);
-  return ascending ? cmp : -cmp;
-}
-
-// Evaluates each expression of `exprs` over `row`.
-std::vector<Value> EvalAll(const std::vector<BoundExprPtr>& exprs,
-                           const Tuple& row) {
-  std::vector<Value> out;
-  out.reserve(exprs.size());
-  for (const BoundExprPtr& expr : exprs) {
-    out.push_back(expr->Evaluate(row));
-  }
-  return out;
-}
-
-double TotalOps(const std::vector<BoundExprPtr>& exprs) {
-  double ops = 0;
-  for (const BoundExprPtr& expr : exprs) ops += expr->OpCount();
-  return ops;
-}
-
-// Running state of one aggregate within one group.
-struct AggState {
-  int64_t count = 0;
-  double sum = 0.0;
-  bool sum_is_double = false;
-  Value min_value;
-  Value max_value;
-  bool has_min_max = false;
-  std::set<std::string> distinct_seen;
-
-  void Update(const plan::AggSpec& spec, const Value& v) {
-    if (spec.kind == plan::AggKind::kCountStar) {
-      ++count;
-      return;
-    }
-    if (v.is_null()) return;
-    if (spec.distinct) {
-      std::string key = std::to_string(static_cast<int>(v.type())) + ":" +
-                        v.ToString();
-      if (!distinct_seen.insert(std::move(key)).second) return;
-    }
-    ++count;
-    switch (spec.kind) {
-      case plan::AggKind::kSum:
-      case plan::AggKind::kAvg:
-        sum += v.AsDouble();
-        sum_is_double =
-            sum_is_double || v.type() == TypeId::kDouble;
-        break;
-      case plan::AggKind::kMin:
-        if (!has_min_max || Value::Compare(v, min_value) < 0) min_value = v;
-        if (!has_min_max || Value::Compare(v, max_value) > 0) max_value = v;
-        has_min_max = true;
-        break;
-      case plan::AggKind::kMax:
-        if (!has_min_max || Value::Compare(v, min_value) < 0) min_value = v;
-        if (!has_min_max || Value::Compare(v, max_value) > 0) max_value = v;
-        has_min_max = true;
-        break;
-      default:
-        break;
-    }
-  }
-
-  Value Finalize(const plan::AggSpec& spec) const {
-    switch (spec.kind) {
-      case plan::AggKind::kCountStar:
-      case plan::AggKind::kCount:
-        return Value::Int64(count);
-      case plan::AggKind::kSum:
-        if (count == 0) return Value::Null(spec.output_type);
-        if (spec.output_type == TypeId::kDouble || sum_is_double) {
-          return Value::Double(sum);
-        }
-        return Value::Int64(static_cast<int64_t>(sum));
-      case plan::AggKind::kAvg:
-        if (count == 0) return Value::Null(TypeId::kDouble);
-        return Value::Double(sum / static_cast<double>(count));
-      case plan::AggKind::kMin:
-        return has_min_max ? min_value : Value::Null(spec.output_type);
-      case plan::AggKind::kMax:
-        return has_min_max ? max_value : Value::Null(spec.output_type);
-    }
-    return Value::Null(spec.output_type);
-  }
-};
-
-Tuple ConcatRows(const Tuple& left, const Tuple& right) {
-  Tuple out;
-  out.reserve(left.size() + right.size());
-  out.insert(out.end(), left.begin(), left.end());
-  out.insert(out.end(), right.begin(), right.end());
-  return out;
-}
-
-Tuple NullsFor(const std::vector<OutputColumn>& columns) {
-  Tuple out;
-  out.reserve(columns.size());
-  for (const OutputColumn& column : columns) {
-    out.push_back(Value::Null(column.type));
-  }
-  return out;
-}
-
 }  // namespace
 
-double ApproxTupleBytes(const Tuple& tuple) {
-  double bytes = 8.0;  // row header
-  for (const Value& v : tuple) {
-    if (!v.is_null() && v.type() == TypeId::kString) {
-      bytes += 13.0 + static_cast<double>(v.AsString().size());
-    } else {
-      bytes += 9.0;
-    }
-  }
-  return bytes;
-}
-
-Result<plan::BoundExprPtr> Executor::Resolve(
-    const BoundExpr& expr, const std::vector<OutputColumn>& input) {
-  BoundExprPtr clone = expr.Clone();
-  VDB_RETURN_NOT_OK(clone->ResolveSlots(plan::MakeLayout(input)));
-  return clone;
-}
-
-Result<std::vector<Tuple>> Executor::Run(const PhysicalNode& node) {
+Result<std::vector<Tuple>> Executor::Run(const PhysicalNode& node,
+                                         size_t budget) {
   // Executor instrumentation (DESIGN.md §9): operator invocations and
   // tuples flowing across plan edges. One Add per operator node, never
   // per tuple, so the executor's inner loops stay unmetered.
@@ -199,33 +34,36 @@ Result<std::vector<Tuple>> Executor::Run(const PhysicalNode& node) {
   static obs::Counter* const tuples_produced =
       obs::MetricsRegistry::Global().GetCounter("exec.tuples_produced");
   operators_executed->Add();
-  Result<std::vector<Tuple>> rows = RunNode(node);
+  Result<std::vector<Tuple>> rows = RunNode(node, budget);
   if (rows.ok()) tuples_produced->Add(rows->size());
   return rows;
 }
 
-Result<std::vector<Tuple>> Executor::RunNode(const PhysicalNode& node) {
+Result<std::vector<Tuple>> Executor::RunNode(const PhysicalNode& node,
+                                             size_t budget) {
   switch (node.op) {
     case optimizer::PhysOp::kSeqScan:
-      return RunSeqScan(static_cast<const optimizer::PhysSeqScan&>(node));
+      return RunSeqScan(static_cast<const optimizer::PhysSeqScan&>(node),
+                        budget);
     case optimizer::PhysOp::kIndexScan:
-      return RunIndexScan(
-          static_cast<const optimizer::PhysIndexScan&>(node));
+      return RunIndexScan(static_cast<const optimizer::PhysIndexScan&>(node),
+                          budget);
     case optimizer::PhysOp::kFilter:
-      return RunFilter(static_cast<const optimizer::PhysFilter&>(node));
+      return RunFilter(static_cast<const optimizer::PhysFilter&>(node),
+                       budget);
     case optimizer::PhysOp::kProject:
-      return RunProject(static_cast<const optimizer::PhysProject&>(node));
+      return RunProject(static_cast<const optimizer::PhysProject&>(node),
+                        budget);
     case optimizer::PhysOp::kSort:
       return RunSort(static_cast<const optimizer::PhysSort&>(node));
     case optimizer::PhysOp::kTopN:
       return RunTopN(static_cast<const optimizer::PhysTopN&>(node));
     case optimizer::PhysOp::kLimit:
-      return RunLimit(static_cast<const optimizer::PhysLimit&>(node));
+      return RunLimit(static_cast<const optimizer::PhysLimit&>(node), budget);
     case optimizer::PhysOp::kHashJoin:
       return RunHashJoin(static_cast<const optimizer::PhysHashJoin&>(node));
     case optimizer::PhysOp::kMergeJoin:
-      return RunMergeJoin(
-          static_cast<const optimizer::PhysMergeJoin&>(node));
+      return RunMergeJoin(static_cast<const optimizer::PhysMergeJoin&>(node));
     case optimizer::PhysOp::kNestedLoopJoin:
       return RunNestedLoopJoin(
           static_cast<const optimizer::PhysNestedLoopJoin&>(node));
@@ -237,15 +75,15 @@ Result<std::vector<Tuple>> Executor::RunNode(const PhysicalNode& node) {
 }
 
 Result<std::vector<Tuple>> Executor::RunSeqScan(
-    const optimizer::PhysSeqScan& scan) {
+    const optimizer::PhysSeqScan& scan, size_t budget) {
   const CpuWorkModel& cpu = context_->cpu_model();
+  std::vector<Tuple> out;
+  if (budget == 0) return out;
   BoundExprPtr filter;
   if (scan.filter != nullptr) {
-    VDB_ASSIGN_OR_RETURN(filter, Resolve(*scan.filter, scan.output));
+    VDB_ASSIGN_OR_RETURN(filter, ResolveExpr(*scan.filter, scan.output));
   }
-  const double filter_ops =
-      filter != nullptr ? filter->OpCount() : 0.0;
-  std::vector<Tuple> out;
+  const double filter_ops = filter != nullptr ? filter->OpCount() : 0.0;
   for (auto it = scan.table->heap->Begin(); it.Valid(); it.Next()) {
     context_->ChargeCpu(cpu.ops_per_tuple);
     VDB_ASSIGN_OR_RETURN(
@@ -256,21 +94,22 @@ Result<std::vector<Tuple>> Executor::RunSeqScan(
       if (!EvaluatesToTrue(*filter, tuple)) continue;
     }
     out.push_back(std::move(tuple));
+    if (out.size() >= budget) break;
   }
   return out;
 }
 
 Result<std::vector<Tuple>> Executor::RunIndexScan(
-    const optimizer::PhysIndexScan& scan) {
+    const optimizer::PhysIndexScan& scan, size_t budget) {
   const CpuWorkModel& cpu = context_->cpu_model();
+  std::vector<Tuple> out;
+  if (budget == 0) return out;
   BoundExprPtr residual;
   if (scan.residual_filter != nullptr) {
     VDB_ASSIGN_OR_RETURN(residual,
-                         Resolve(*scan.residual_filter, scan.output));
+                         ResolveExpr(*scan.residual_filter, scan.output));
   }
-  const double residual_ops =
-      residual != nullptr ? residual->OpCount() : 0.0;
-  std::vector<Tuple> out;
+  const double residual_ops = residual != nullptr ? residual->OpCount() : 0.0;
   if (scan.has_lower && scan.has_upper && scan.lower > scan.upper) {
     return out;
   }
@@ -291,34 +130,40 @@ Result<std::vector<Tuple>> Executor::RunIndexScan(
       if (!EvaluatesToTrue(*residual, tuple)) continue;
     }
     out.push_back(std::move(tuple));
+    if (out.size() >= budget) break;
   }
   return out;
 }
 
 Result<std::vector<Tuple>> Executor::RunFilter(
-    const optimizer::PhysFilter& filter) {
+    const optimizer::PhysFilter& filter, size_t budget) {
   const CpuWorkModel& cpu = context_->cpu_model();
-  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> input, Run(*filter.children[0]));
+  if (budget == 0) return std::vector<Tuple>{};
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> input,
+                       Run(*filter.children[0], kNoBudget));
   VDB_ASSIGN_OR_RETURN(
       BoundExprPtr condition,
-      Resolve(*filter.condition, filter.children[0]->output));
+      ResolveExpr(*filter.condition, filter.children[0]->output));
   const double ops = condition->OpCount();
   std::vector<Tuple> out;
   for (Tuple& row : input) {
     context_->ChargeCpu(ops * cpu.ops_per_operator);
     if (EvaluatesToTrue(*condition, row)) out.push_back(std::move(row));
+    if (out.size() >= budget) break;
   }
   return out;
 }
 
 Result<std::vector<Tuple>> Executor::RunProject(
-    const optimizer::PhysProject& project) {
+    const optimizer::PhysProject& project, size_t budget) {
   const CpuWorkModel& cpu = context_->cpu_model();
-  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> input, Run(*project.children[0]));
+  // Projection is one-to-one, so the row budget passes straight through.
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> input,
+                       Run(*project.children[0], budget));
   std::vector<BoundExprPtr> exprs;
   for (const BoundExprPtr& expr : project.exprs) {
     VDB_ASSIGN_OR_RETURN(BoundExprPtr resolved,
-                         Resolve(*expr, project.children[0]->output));
+                         ResolveExpr(*expr, project.children[0]->output));
     exprs.push_back(std::move(resolved));
   }
   const double ops = TotalOps(exprs);
@@ -331,15 +176,15 @@ Result<std::vector<Tuple>> Executor::RunProject(
   return out;
 }
 
-Result<std::vector<Tuple>> Executor::RunSort(
-    const optimizer::PhysSort& sort) {
+Result<std::vector<Tuple>> Executor::RunSort(const optimizer::PhysSort& sort) {
   const CpuWorkModel& cpu = context_->cpu_model();
-  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> input, Run(*sort.children[0]));
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> input,
+                       Run(*sort.children[0], kNoBudget));
   std::vector<BoundExprPtr> keys;
   std::vector<bool> ascending;
   for (const optimizer::PhysSort::Key& key : sort.keys) {
     VDB_ASSIGN_OR_RETURN(BoundExprPtr resolved,
-                         Resolve(*key.expr, sort.children[0]->output));
+                         ResolveExpr(*key.expr, sort.children[0]->output));
     keys.push_back(std::move(resolved));
     ascending.push_back(key.ascending);
   }
@@ -364,15 +209,14 @@ Result<std::vector<Tuple>> Executor::RunSort(
 
   std::vector<size_t> order(input.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(),
-                   [&](size_t a, size_t b) {
-                     for (size_t k = 0; k < keys.size(); ++k) {
-                       const int cmp = CompareForSort(
-                           key_rows[a][k], key_rows[b][k], ascending[k]);
-                       if (cmp != 0) return cmp < 0;
-                     }
-                     return false;
-                   });
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      const int cmp =
+          CompareForSort(key_rows[a][k], key_rows[b][k], ascending[k]);
+      if (cmp != 0) return cmp < 0;
+    }
+    return false;
+  });
   std::vector<Tuple> out;
   out.reserve(input.size());
   for (size_t index : order) out.push_back(std::move(input[index]));
@@ -382,16 +226,20 @@ Result<std::vector<Tuple>> Executor::RunSort(
 Result<std::vector<Tuple>> Executor::RunTopN(
     const optimizer::PhysTopN& top_n) {
   const CpuWorkModel& cpu = context_->cpu_model();
-  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> input, Run(*top_n.children[0]));
+  const size_t k =
+      top_n.limit <= 0 ? 0 : static_cast<size_t>(top_n.limit);
+  // LIMIT 0: nothing can qualify, so skip the child entirely.
+  if (k == 0) return std::vector<Tuple>{};
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> input,
+                       Run(*top_n.children[0], kNoBudget));
   std::vector<BoundExprPtr> keys;
   std::vector<bool> ascending;
   for (const optimizer::PhysSort::Key& key : top_n.keys) {
     VDB_ASSIGN_OR_RETURN(BoundExprPtr resolved,
-                         Resolve(*key.expr, top_n.children[0]->output));
+                         ResolveExpr(*key.expr, top_n.children[0]->output));
     keys.push_back(std::move(resolved));
     ascending.push_back(key.ascending);
   }
-  const size_t k = static_cast<size_t>(top_n.limit);
   // (key vector, input index) entries; `worse` orders the heap so that
   // the WORST retained row is at the front, ready for replacement.
   struct Entry {
@@ -408,17 +256,17 @@ Result<std::vector<Tuple>> Executor::RunTopN(
   std::vector<Entry> heap;
   heap.reserve(k + 1);
   const double n = static_cast<double>(input.size());
-  context_->ChargeCpu(2.0 * n *
-                      std::log2(std::max<double>(2.0, static_cast<double>(
-                                                          std::max<size_t>(
-                                                              k, 2)))) *
-                      cpu.ops_per_comparison);
+  context_->ChargeCpu(
+      2.0 * n *
+      std::log2(std::max<double>(
+          2.0, static_cast<double>(std::max<size_t>(k, 2)))) *
+      cpu.ops_per_comparison);
   for (size_t i = 0; i < input.size(); ++i) {
     Entry entry{EvalAll(keys, input[i]), i};
     if (heap.size() < k) {
       heap.push_back(std::move(entry));
       std::push_heap(heap.begin(), heap.end(), worse);
-    } else if (k > 0 && worse(entry, heap.front())) {
+    } else if (worse(entry, heap.front())) {
       std::pop_heap(heap.begin(), heap.end(), worse);
       heap.back() = std::move(entry);
       std::push_heap(heap.begin(), heap.end(), worse);
@@ -435,11 +283,15 @@ Result<std::vector<Tuple>> Executor::RunTopN(
 }
 
 Result<std::vector<Tuple>> Executor::RunLimit(
-    const optimizer::PhysLimit& limit) {
-  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> input, Run(*limit.children[0]));
-  if (static_cast<int64_t>(input.size()) > limit.limit) {
-    input.resize(static_cast<size_t>(limit.limit));
-  }
+    const optimizer::PhysLimit& limit, size_t budget) {
+  const size_t cap =
+      limit.limit <= 0 ? 0 : static_cast<size_t>(limit.limit);
+  const size_t child_budget = std::min(budget, cap);
+  // LIMIT 0 (or a zero budget from above): skip the child entirely.
+  if (child_budget == 0) return std::vector<Tuple>{};
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> input,
+                       Run(*limit.children[0], child_budget));
+  if (input.size() > child_budget) input.resize(child_budget);
   return input;
 }
 
@@ -448,19 +300,21 @@ Result<std::vector<Tuple>> Executor::RunHashJoin(
   const CpuWorkModel& cpu = context_->cpu_model();
   const PhysicalNode& left_child = *join.children[0];
   const PhysicalNode& right_child = *join.children[1];
-  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> left_rows, Run(left_child));
-  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> right_rows, Run(right_child));
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> left_rows,
+                       Run(left_child, kNoBudget));
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> right_rows,
+                       Run(right_child, kNoBudget));
 
   std::vector<BoundExprPtr> left_keys;
   std::vector<BoundExprPtr> right_keys;
   for (const BoundExprPtr& key : join.left_keys) {
     VDB_ASSIGN_OR_RETURN(BoundExprPtr resolved,
-                         Resolve(*key, left_child.output));
+                         ResolveExpr(*key, left_child.output));
     left_keys.push_back(std::move(resolved));
   }
   for (const BoundExprPtr& key : join.right_keys) {
     VDB_ASSIGN_OR_RETURN(BoundExprPtr resolved,
-                         Resolve(*key, right_child.output));
+                         ResolveExpr(*key, right_child.output));
     right_keys.push_back(std::move(resolved));
   }
   BoundExprPtr residual;
@@ -468,23 +322,39 @@ Result<std::vector<Tuple>> Executor::RunHashJoin(
   combined.insert(combined.end(), right_child.output.begin(),
                   right_child.output.end());
   if (join.residual != nullptr) {
-    VDB_ASSIGN_OR_RETURN(residual, Resolve(*join.residual, combined));
+    VDB_ASSIGN_OR_RETURN(residual, ResolveExpr(*join.residual, combined));
   }
-  const double residual_ops =
-      residual != nullptr ? residual->OpCount() : 0.0;
+  const double residual_ops = residual != nullptr ? residual->OpCount() : 0.0;
 
-  // Build side: right input.
-  std::unordered_map<ValueKey, std::vector<const Tuple*>, ValueKeyHash>
-      table;
+  // Single-column keys skip EvalAll and borrow the value from the row.
+  const plan::ColumnExpr* left_col = SingleColumnKey(left_keys);
+  const plan::ColumnExpr* right_col = SingleColumnKey(right_keys);
+  const size_t num_keys = right_keys.size();
+
+  // Build side: right input. Buckets map the key hash to build-row
+  // indices; key equality is re-checked at probe time, so hash collisions
+  // behave exactly like the exact-key map this replaces.
+  std::unordered_map<size_t, std::vector<uint32_t>> table;
+  table.reserve(EstimateReserve(right_child.estimated_rows));
+  std::vector<std::vector<Value>> build_keys;
+  if (right_col == nullptr) build_keys.resize(right_rows.size());
   double build_bytes = 0.0;
-  for (const Tuple& row : right_rows) {
+  for (uint32_t i = 0; i < right_rows.size(); ++i) {
+    const Tuple& row = right_rows[i];
     context_->ChargeCpu(cpu.ops_per_hash + cpu.ops_per_tuple);
     build_bytes += ApproxTupleBytes(row);
-    ValueKey key{EvalAll(right_keys, row)};
-    bool has_null = false;
-    for (const Value& v : key.values) has_null = has_null || v.is_null();
-    if (has_null) continue;  // NULL keys never join
-    table[std::move(key)].push_back(&row);
+    if (right_col != nullptr) {
+      const Value& v = row[right_col->slot()];
+      if (v.is_null()) continue;  // NULL keys never join
+      table[CombineHash(kHashSeed, v.Hash())].push_back(i);
+    } else {
+      std::vector<Value> key = EvalAll(right_keys, row);
+      bool has_null = false;
+      for (const Value& v : key) has_null = has_null || v.is_null();
+      if (has_null) continue;
+      table[HashValues(key.data(), key.size())].push_back(i);
+      build_keys[i] = std::move(key);
+    }
   }
   if (build_bytes > static_cast<double>(context_->work_mem_bytes())) {
     // Grace hash join: both sides spilled and re-read once.
@@ -496,16 +366,31 @@ Result<std::vector<Tuple>> Executor::RunHashJoin(
   }
 
   std::vector<Tuple> out;
+  std::vector<Value> probe_storage;
   for (const Tuple& left_row : left_rows) {
     context_->ChargeCpu(cpu.ops_per_hash);
-    ValueKey key{EvalAll(left_keys, left_row)};
+    const Value* probe = nullptr;
+    if (left_col != nullptr) {
+      probe = &left_row[left_col->slot()];
+    } else {
+      probe_storage = EvalAll(left_keys, left_row);
+      probe = probe_storage.data();
+    }
     bool has_null = false;
-    for (const Value& v : key.values) has_null = has_null || v.is_null();
+    for (size_t i = 0; i < num_keys; ++i) {
+      has_null = has_null || probe[i].is_null();
+    }
     bool matched = false;
     if (!has_null) {
-      auto it = table.find(key);
+      auto it = table.find(HashValues(probe, num_keys));
       if (it != table.end()) {
-        for (const Tuple* right_row : it->second) {
+        for (uint32_t ri : it->second) {
+          const Tuple& right_row = right_rows[ri];
+          const Value* build = right_col != nullptr
+                                   ? &right_row[right_col->slot()]
+                                   : build_keys[ri].data();
+          // Equality before any charge: collisions stay free.
+          if (!KeysEqual(probe, build, num_keys)) continue;
           context_->ChargeCpu(cpu.ops_per_comparison +
                               residual_ops * cpu.ops_per_operator);
           bool passes = true;
@@ -513,7 +398,7 @@ Result<std::vector<Tuple>> Executor::RunHashJoin(
           if (residual != nullptr ||
               join.join_type == LogicalJoinType::kInner ||
               join.join_type == LogicalJoinType::kLeft) {
-            combined_row = ConcatRows(left_row, *right_row);
+            combined_row = ConcatRows(left_row, right_row);
           }
           if (residual != nullptr) {
             passes = EvaluatesToTrue(*residual, combined_row);
@@ -536,8 +421,7 @@ Result<std::vector<Tuple>> Executor::RunHashJoin(
       case LogicalJoinType::kLeft:
         if (!matched) {
           context_->ChargeCpu(cpu.ops_per_tuple);
-          out.push_back(
-              ConcatRows(left_row, NullsFor(right_child.output)));
+          out.push_back(ConcatRows(left_row, NullsFor(right_child.output)));
         }
         break;
       case LogicalJoinType::kSemi:
@@ -561,164 +445,59 @@ Result<std::vector<Tuple>> Executor::RunHashJoin(
 
 Result<std::vector<Tuple>> Executor::RunMergeJoin(
     const optimizer::PhysMergeJoin& join) {
-  const CpuWorkModel& cpu = context_->cpu_model();
   const PhysicalNode& left_child = *join.children[0];
   const PhysicalNode& right_child = *join.children[1];
-  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> left_rows, Run(left_child));
-  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> right_rows, Run(right_child));
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> left_rows,
+                       Run(left_child, kNoBudget));
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> right_rows,
+                       Run(right_child, kNoBudget));
   // Children are Sort nodes planted by the optimizer, so inputs arrive in
   // key order; re-evaluate keys for the merge.
   VDB_ASSIGN_OR_RETURN(BoundExprPtr left_key,
-                       Resolve(*join.left_key, left_child.output));
+                       ResolveExpr(*join.left_key, left_child.output));
   VDB_ASSIGN_OR_RETURN(BoundExprPtr right_key,
-                       Resolve(*join.right_key, right_child.output));
+                       ResolveExpr(*join.right_key, right_child.output));
   BoundExprPtr residual;
   std::vector<OutputColumn> combined = left_child.output;
   combined.insert(combined.end(), right_child.output.begin(),
                   right_child.output.end());
   if (join.residual != nullptr) {
-    VDB_ASSIGN_OR_RETURN(residual, Resolve(*join.residual, combined));
+    VDB_ASSIGN_OR_RETURN(residual, ResolveExpr(*join.residual, combined));
   }
-  const double residual_ops =
-      residual != nullptr ? residual->OpCount() : 0.0;
-
-  std::vector<Value> left_values;
-  left_values.reserve(left_rows.size());
-  for (const Tuple& row : left_rows) {
-    left_values.push_back(left_key->Evaluate(row));
-  }
-  std::vector<Value> right_values;
-  right_values.reserve(right_rows.size());
-  for (const Tuple& row : right_rows) {
-    right_values.push_back(right_key->Evaluate(row));
-  }
-
-  std::vector<Tuple> out;
-  size_t li = 0;
-  size_t ri = 0;
-  while (li < left_rows.size() && ri < right_rows.size()) {
-    context_->ChargeCpu(cpu.ops_per_comparison);
-    if (left_values[li].is_null()) {
-      ++li;  // NULL keys never join (sorted last)
-      continue;
-    }
-    if (right_values[ri].is_null()) {
-      ++ri;
-      continue;
-    }
-    const int cmp = Value::Compare(left_values[li], right_values[ri]);
-    if (cmp < 0) {
-      ++li;
-      continue;
-    }
-    if (cmp > 0) {
-      ++ri;
-      continue;
-    }
-    // Key group: [ri, rj) on the right with equal keys.
-    size_t rj = ri;
-    while (rj < right_rows.size() && !right_values[rj].is_null() &&
-           Value::Compare(left_values[li], right_values[rj]) == 0) {
-      ++rj;
-    }
-    while (li < left_rows.size() && !left_values[li].is_null() &&
-           Value::Compare(left_values[li], right_values[ri]) == 0) {
-      for (size_t r = ri; r < rj; ++r) {
-        context_->ChargeCpu(cpu.ops_per_comparison +
-                            residual_ops * cpu.ops_per_operator);
-        Tuple combined_row = ConcatRows(left_rows[li], right_rows[r]);
-        if (residual != nullptr &&
-            !EvaluatesToTrue(*residual, combined_row)) {
-          continue;
-        }
-        context_->ChargeCpu(cpu.ops_per_tuple);
-        out.push_back(std::move(combined_row));
-      }
-      ++li;
-    }
-    ri = rj;
-  }
-  return out;
+  return MergeJoinRows(context_, left_rows, right_rows, *left_key, *right_key,
+                       residual.get());
 }
 
 Result<std::vector<Tuple>> Executor::RunNestedLoopJoin(
     const optimizer::PhysNestedLoopJoin& join) {
-  const CpuWorkModel& cpu = context_->cpu_model();
   const PhysicalNode& left_child = *join.children[0];
   const PhysicalNode& right_child = *join.children[1];
-  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> left_rows, Run(left_child));
-  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> right_rows, Run(right_child));
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> left_rows,
+                       Run(left_child, kNoBudget));
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> right_rows,
+                       Run(right_child, kNoBudget));
 
   BoundExprPtr condition;
   std::vector<OutputColumn> combined = left_child.output;
   combined.insert(combined.end(), right_child.output.begin(),
                   right_child.output.end());
   if (join.condition != nullptr) {
-    VDB_ASSIGN_OR_RETURN(condition, Resolve(*join.condition, combined));
+    VDB_ASSIGN_OR_RETURN(condition, ResolveExpr(*join.condition, combined));
   }
-  const double cond_ops =
-      condition != nullptr ? condition->OpCount() : 0.0;
-
-  // The materialized inner may exceed work_mem: write once, then re-read
-  // per outer pass.
-  double inner_bytes = 0.0;
-  for (const Tuple& row : right_rows) inner_bytes += ApproxTupleBytes(row);
-  const bool spilled =
-      inner_bytes > static_cast<double>(context_->work_mem_bytes());
-  const double inner_pages = PagesFor(inner_bytes);
-  if (spilled) context_->ChargeSpillWrite(inner_pages);
-
-  std::vector<Tuple> out;
-  for (const Tuple& left_row : left_rows) {
-    if (spilled) context_->ChargeSpillRead(inner_pages);
-    bool matched = false;
-    for (const Tuple& right_row : right_rows) {
-      context_->ChargeCpu(cpu.ops_per_tuple +
-                          cond_ops * cpu.ops_per_operator);
-      Tuple combined_row = ConcatRows(left_row, right_row);
-      if (condition != nullptr &&
-          !EvaluatesToTrue(*condition, combined_row)) {
-        continue;
-      }
-      matched = true;
-      if (join.join_type == LogicalJoinType::kInner ||
-          join.join_type == LogicalJoinType::kCross ||
-          join.join_type == LogicalJoinType::kLeft) {
-        out.push_back(std::move(combined_row));
-      } else {
-        break;  // semi/anti need only existence
-      }
-    }
-    switch (join.join_type) {
-      case LogicalJoinType::kLeft:
-        if (!matched) {
-          out.push_back(
-              ConcatRows(left_row, NullsFor(right_child.output)));
-        }
-        break;
-      case LogicalJoinType::kSemi:
-        if (matched) out.push_back(left_row);
-        break;
-      case LogicalJoinType::kAnti:
-        if (!matched) out.push_back(left_row);
-        break;
-      default:
-        break;
-    }
-  }
-  return out;
+  return NestedLoopJoinRows(context_, join.join_type, right_child.output,
+                            left_rows, right_rows, condition.get());
 }
 
 Result<std::vector<Tuple>> Executor::RunHashAggregate(
     const optimizer::PhysHashAggregate& aggregate) {
   const CpuWorkModel& cpu = context_->cpu_model();
   const PhysicalNode& child = *aggregate.children[0];
-  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> input, Run(child));
+  VDB_ASSIGN_OR_RETURN(std::vector<Tuple> input, Run(child, kNoBudget));
 
   std::vector<BoundExprPtr> group_exprs;
   for (const BoundExprPtr& expr : aggregate.group_exprs) {
     VDB_ASSIGN_OR_RETURN(BoundExprPtr resolved,
-                         Resolve(*expr, child.output));
+                         ResolveExpr(*expr, child.output));
     group_exprs.push_back(std::move(resolved));
   }
   std::vector<plan::AggSpec> aggs;
@@ -736,20 +515,51 @@ Result<std::vector<Tuple>> Executor::RunHashAggregate(
     agg_ops += 1.0 + (spec.arg != nullptr ? spec.arg->OpCount() : 0);
   }
 
-  std::unordered_map<ValueKey, std::vector<AggState>, ValueKeyHash> groups;
-  std::vector<ValueKey> group_order;
+  // Single-column group keys borrow the value straight from the row.
+  const plan::ColumnExpr* group_col = SingleColumnKey(group_exprs);
+
+  // Groups live in insertion order (= output order); buckets map the key
+  // hash to group indices and collisions are resolved by KeysEqual.
+  struct Group {
+    ValueKey key;
+    std::vector<AggState> states;
+  };
+  std::vector<Group> groups;
+  std::unordered_map<size_t, std::vector<uint32_t>> buckets;
+  const size_t estimate = EstimateReserve(aggregate.estimated_rows);
+  groups.reserve(estimate);
+  buckets.reserve(estimate);
+  std::vector<Value> key_storage;
   for (const Tuple& row : input) {
     context_->ChargeCpu(cpu.ops_per_tuple + cpu.ops_per_hash +
                         (group_ops + agg_ops) * cpu.ops_per_operator);
-    ValueKey key{EvalAll(group_exprs, row)};
-    auto [it, inserted] =
-        groups.try_emplace(key, std::vector<AggState>(aggs.size()));
-    if (inserted) group_order.push_back(key);
+    const Value* key = nullptr;
+    size_t num_keys = group_exprs.size();
+    if (group_col != nullptr) {
+      key = &row[group_col->slot()];
+    } else {
+      key_storage = EvalAll(group_exprs, row);
+      key = key_storage.data();
+    }
+    std::vector<uint32_t>& bucket = buckets[HashValues(key, num_keys)];
+    Group* group = nullptr;
+    for (uint32_t gi : bucket) {
+      if (KeysEqual(groups[gi].key.values.data(), key, num_keys)) {
+        group = &groups[gi];
+        break;
+      }
+    }
+    if (group == nullptr) {
+      bucket.push_back(static_cast<uint32_t>(groups.size()));
+      groups.push_back(Group{ValueKey{std::vector<Value>(key, key + num_keys)},
+                             std::vector<AggState>(aggs.size())});
+      group = &groups.back();
+    }
     for (size_t a = 0; a < aggs.size(); ++a) {
       const plan::AggSpec& spec = aggs[a];
       Value v;
       if (spec.arg != nullptr) v = spec.arg->Evaluate(row);
-      it->second[a].Update(spec, v);
+      group->states[a].Update(spec, v);
     }
   }
 
@@ -765,12 +575,11 @@ Result<std::vector<Tuple>> Executor::RunHashAggregate(
     return out;
   }
   out.reserve(groups.size());
-  for (const ValueKey& key : group_order) {
+  for (const Group& group : groups) {
     context_->ChargeCpu(cpu.ops_per_tuple);
-    Tuple row = key.values;
-    const std::vector<AggState>& states = groups[key];
+    Tuple row = group.key.values;
     for (size_t a = 0; a < aggs.size(); ++a) {
-      row.push_back(states[a].Finalize(aggs[a]));
+      row.push_back(group.states[a].Finalize(aggs[a]));
     }
     out.push_back(std::move(row));
   }

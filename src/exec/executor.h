@@ -1,10 +1,12 @@
 #ifndef VDB_EXEC_EXECUTOR_H_
 #define VDB_EXEC_EXECUTOR_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "catalog/schema.h"
 #include "exec/execution_context.h"
+#include "exec/operator_common.h"
 #include "optimizer/physical.h"
 #include "util/result.h"
 
@@ -18,6 +20,11 @@ namespace vdb::exec {
 /// host memory); *simulated* memory pressure is still modeled faithfully —
 /// sorts, hash tables, and nested-loop inners that exceed the instance's
 /// work_mem charge spill I/O exactly as the optimizer's cost model assumes.
+///
+/// This is the row-at-a-time engine; BatchExecutor (the default, see
+/// DESIGN.md §12) runs the same plans vectorized. Both charge identical
+/// simulated time except under LIMIT, where each stops early in its own
+/// granularity (row vs. batch).
 class Executor {
  public:
   explicit Executor(ExecutionContext* context) : context_(context) {}
@@ -25,28 +32,33 @@ class Executor {
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
+  /// No row-count cap: run the operator to completion.
+  static constexpr size_t kNoBudget = static_cast<size_t>(-1);
+
   /// Runs the plan to completion and returns the result rows (in the
-  /// plan root's output-column order).
-  Result<std::vector<catalog::Tuple>> Run(
-      const optimizer::PhysicalNode& node);
+  /// plan root's output-column order). `budget` caps how many rows the
+  /// node needs to produce; LIMIT nodes shrink it so that scans and
+  /// filters below stop early instead of materializing the full input.
+  Result<std::vector<catalog::Tuple>> Run(const optimizer::PhysicalNode& node,
+                                          size_t budget = kNoBudget);
 
  private:
   Result<std::vector<catalog::Tuple>> RunNode(
-      const optimizer::PhysicalNode& node);
+      const optimizer::PhysicalNode& node, size_t budget);
   Result<std::vector<catalog::Tuple>> RunSeqScan(
-      const optimizer::PhysSeqScan& scan);
+      const optimizer::PhysSeqScan& scan, size_t budget);
   Result<std::vector<catalog::Tuple>> RunIndexScan(
-      const optimizer::PhysIndexScan& scan);
+      const optimizer::PhysIndexScan& scan, size_t budget);
   Result<std::vector<catalog::Tuple>> RunFilter(
-      const optimizer::PhysFilter& filter);
+      const optimizer::PhysFilter& filter, size_t budget);
   Result<std::vector<catalog::Tuple>> RunProject(
-      const optimizer::PhysProject& project);
+      const optimizer::PhysProject& project, size_t budget);
   Result<std::vector<catalog::Tuple>> RunSort(
       const optimizer::PhysSort& sort);
   Result<std::vector<catalog::Tuple>> RunTopN(
       const optimizer::PhysTopN& top_n);
   Result<std::vector<catalog::Tuple>> RunLimit(
-      const optimizer::PhysLimit& limit);
+      const optimizer::PhysLimit& limit, size_t budget);
   Result<std::vector<catalog::Tuple>> RunHashJoin(
       const optimizer::PhysHashJoin& join);
   Result<std::vector<catalog::Tuple>> RunMergeJoin(
@@ -56,16 +68,8 @@ class Executor {
   Result<std::vector<catalog::Tuple>> RunHashAggregate(
       const optimizer::PhysHashAggregate& aggregate);
 
-  // Clones `expr` and resolves its column slots against `input`.
-  Result<plan::BoundExprPtr> Resolve(
-      const plan::BoundExpr& expr,
-      const std::vector<plan::OutputColumn>& input);
-
   ExecutionContext* context_;
 };
-
-/// Approximate in-memory byte size of a tuple (for spill decisions).
-double ApproxTupleBytes(const catalog::Tuple& tuple);
 
 }  // namespace vdb::exec
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "catalog/batch.h"
 #include "catalog/schema.h"
 #include "catalog/value.h"
 #include "sql/ast.h"
@@ -72,6 +73,20 @@ class BoundExpr {
   /// Evaluates against a row (after ResolveSlots has been called).
   virtual catalog::Value Evaluate(const catalog::Tuple& row) const = 0;
 
+  /// Batch evaluation: computes this expression over every active row of
+  /// `batch` (per `batch.sel`), writing the result for the i-th active
+  /// row into `out` row i (dense layout). `out` is Reset by the callee;
+  /// its type reflects the values actually produced, which for most nodes
+  /// is `type()`. The base implementation falls back to row-at-a-time
+  /// Evaluate; hot node kinds override with columnar kernels.
+  virtual void EvaluateBatch(const catalog::Batch& batch,
+                             catalog::ValueVector* out) const;
+
+  /// Applies this expression as a SQL condition: keeps only the active
+  /// rows for which it evaluates to non-null true, shrinking `batch->sel`
+  /// in place (the batch-wise analogue of EvaluatesToTrue).
+  virtual void FilterBatch(catalog::Batch* batch) const;
+
   /// Resolves column references to slot positions for the given layout.
   /// Must be called (on a clone) before Evaluate.
   virtual Status ResolveSlots(const Layout& layout) = 0;
@@ -104,6 +119,9 @@ class ConstantExpr final : public BoundExpr {
   catalog::Value Evaluate(const catalog::Tuple&) const override {
     return value_;
   }
+  void EvaluateBatch(const catalog::Batch& batch,
+                     catalog::ValueVector* out) const override;
+  void FilterBatch(catalog::Batch* batch) const override;
   Status ResolveSlots(const Layout&) override { return Status::OK(); }
   BoundExprPtr Clone() const override {
     return std::make_unique<ConstantExpr>(value_);
@@ -128,6 +146,9 @@ class ColumnExpr final : public BoundExpr {
   catalog::Value Evaluate(const catalog::Tuple& row) const override {
     return row[slot_];
   }
+  void EvaluateBatch(const catalog::Batch& batch,
+                     catalog::ValueVector* out) const override;
+  void FilterBatch(catalog::Batch* batch) const override;
   Status ResolveSlots(const Layout& layout) override;
   BoundExprPtr Clone() const override {
     return std::make_unique<ColumnExpr>(id_, name_, type());
@@ -140,6 +161,8 @@ class ColumnExpr final : public BoundExpr {
 
   const ColumnId& id() const { return id_; }
   const std::string& name() const { return name_; }
+  /// Resolved input-row slot (valid after ResolveSlots).
+  size_t slot() const { return slot_; }
 
  private:
   ColumnId id_;
@@ -156,6 +179,8 @@ class UnaryBoundExpr final : public BoundExpr {
         operand_(std::move(operand)) {}
 
   catalog::Value Evaluate(const catalog::Tuple& row) const override;
+  void EvaluateBatch(const catalog::Batch& batch,
+                     catalog::ValueVector* out) const override;
   Status ResolveSlots(const Layout& layout) override {
     return operand_->ResolveSlots(layout);
   }
@@ -186,6 +211,9 @@ class BinaryBoundExpr final : public BoundExpr {
         right_(std::move(right)) {}
 
   catalog::Value Evaluate(const catalog::Tuple& row) const override;
+  void EvaluateBatch(const catalog::Batch& batch,
+                     catalog::ValueVector* out) const override;
+  void FilterBatch(catalog::Batch* batch) const override;
   Status ResolveSlots(const Layout& layout) override {
     VDB_RETURN_NOT_OK(left_->ResolveSlots(layout));
     return right_->ResolveSlots(layout);
@@ -222,6 +250,9 @@ class LikeBoundExpr final : public BoundExpr {
         negated_(negated) {}
 
   catalog::Value Evaluate(const catalog::Tuple& row) const override;
+  void EvaluateBatch(const catalog::Batch& batch,
+                     catalog::ValueVector* out) const override;
+  void FilterBatch(catalog::Batch* batch) const override;
   Status ResolveSlots(const Layout& layout) override {
     return value_->ResolveSlots(layout);
   }
@@ -259,6 +290,9 @@ class InListBoundExpr final : public BoundExpr {
         negated_(negated) {}
 
   catalog::Value Evaluate(const catalog::Tuple& row) const override;
+  void EvaluateBatch(const catalog::Batch& batch,
+                     catalog::ValueVector* out) const override;
+  void FilterBatch(catalog::Batch* batch) const override;
   Status ResolveSlots(const Layout& layout) override {
     return value_->ResolveSlots(layout);
   }
@@ -294,6 +328,9 @@ class IsNullBoundExpr final : public BoundExpr {
     const bool is_null = value_->Evaluate(row).is_null();
     return catalog::Value::Bool(negated_ ? !is_null : is_null);
   }
+  void EvaluateBatch(const catalog::Batch& batch,
+                     catalog::ValueVector* out) const override;
+  void FilterBatch(catalog::Batch* batch) const override;
   Status ResolveSlots(const Layout& layout) override {
     return value_->ResolveSlots(layout);
   }

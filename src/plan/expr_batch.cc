@@ -1,0 +1,483 @@
+// Batch (columnar) evaluation kernels for bound expressions. Each kernel
+// must be value-equivalent to the scalar Evaluate in expr.cc: same NULL
+// propagation, same type of every produced value, same three-valued
+// logic. The differential fuzzer cross-checks the two paths query for
+// query, so any divergence here is a test failure, not just a perf bug.
+
+#include <algorithm>
+#include <iterator>
+
+#include "plan/expr.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace vdb::plan {
+
+namespace {
+
+using catalog::Batch;
+using catalog::TypeId;
+using catalog::Value;
+using catalog::ValueVector;
+
+// View over an evaluated operand. Columns are borrowed straight from the
+// batch (indexed by physical row id), constants materialize one slot that
+// every row maps to, and anything else evaluates into a dense scratch
+// vector (indexed by active position). `Index` translates an active
+// position into the right index for `vec()`.
+class OperandView {
+ public:
+  OperandView(const BoundExpr& expr, const Batch& batch) {
+    if (expr.kind() == BoundExprKind::kColumn) {
+      vec_ = &batch.columns[static_cast<const ColumnExpr&>(expr).slot()];
+      mode_ = kBorrowed;
+    } else if (expr.kind() == BoundExprKind::kConstant) {
+      const Value& v = static_cast<const ConstantExpr&>(expr).value();
+      scratch_.Reset(v.type(), 1);
+      scratch_.SetValue(0, v);
+      vec_ = &scratch_;
+      mode_ = kConstant;
+    } else {
+      expr.EvaluateBatch(batch, &scratch_);
+      vec_ = &scratch_;
+      mode_ = kDense;
+    }
+  }
+
+  const ValueVector& vec() const { return *vec_; }
+
+  size_t Index(const Batch& batch, size_t pos) const {
+    switch (mode_) {
+      case kBorrowed:
+        return batch.sel[pos];
+      case kConstant:
+        return 0;
+      default:
+        return pos;
+    }
+  }
+
+ private:
+  enum Mode { kBorrowed, kConstant, kDense };
+  Mode mode_ = kDense;
+  const ValueVector* vec_ = nullptr;
+  ValueVector scratch_;
+};
+
+bool ComparisonHolds(sql::BinaryOp op, int cmp) {
+  switch (op) {
+    case sql::BinaryOp::kEq:
+      return cmp == 0;
+    case sql::BinaryOp::kNe:
+      return cmp != 0;
+    case sql::BinaryOp::kLt:
+      return cmp < 0;
+    case sql::BinaryOp::kLe:
+      return cmp <= 0;
+    case sql::BinaryOp::kGt:
+      return cmp > 0;
+    default:
+      return cmp >= 0;
+  }
+}
+
+bool IsComparison(sql::BinaryOp op) {
+  switch (op) {
+    case sql::BinaryOp::kEq:
+    case sql::BinaryOp::kNe:
+    case sql::BinaryOp::kLt:
+    case sql::BinaryOp::kLe:
+    case sql::BinaryOp::kGt:
+    case sql::BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Compacts `batch->sel` keeping the active rows whose dense result in
+// `flags` (a kBool vector) is non-null true.
+void CompactByBools(const ValueVector& flags, Batch* batch) {
+  size_t kept = 0;
+  for (size_t i = 0; i < batch->sel.size(); ++i) {
+    if (!flags.IsNull(i) && flags.GetInt64(i) != 0) {
+      batch->sel[kept++] = batch->sel[i];
+    }
+  }
+  batch->sel.resize(kept);
+}
+
+}  // namespace
+
+void BoundExpr::EvaluateBatch(const Batch& batch, ValueVector* out) const {
+  out->Reset(type(), batch.sel.size());
+  for (size_t i = 0; i < batch.sel.size(); ++i) {
+    out->SetValue(i, Evaluate(batch.RowAsTuple(batch.sel[i])));
+  }
+}
+
+void BoundExpr::FilterBatch(Batch* batch) const {
+  ValueVector result;
+  EvaluateBatch(*batch, &result);
+  CompactByBools(result, batch);
+}
+
+void ConstantExpr::EvaluateBatch(const Batch& batch,
+                                 ValueVector* out) const {
+  out->Reset(value_.type(), batch.sel.size());
+  for (size_t i = 0; i < batch.sel.size(); ++i) {
+    out->SetValue(i, value_);
+  }
+}
+
+void ConstantExpr::FilterBatch(Batch* batch) const {
+  if (value_.is_null() || !value_.AsBool()) batch->sel.clear();
+}
+
+void ColumnExpr::EvaluateBatch(const Batch& batch, ValueVector* out) const {
+  const ValueVector& column = batch.columns[slot_];
+  out->Reset(column.type(), batch.sel.size());
+  for (size_t i = 0; i < batch.sel.size(); ++i) {
+    out->CopyFrom(column, batch.sel[i], i);
+  }
+}
+
+void ColumnExpr::FilterBatch(Batch* batch) const {
+  const ValueVector& column = batch->columns[slot_];
+  size_t kept = 0;
+  for (size_t i = 0; i < batch->sel.size(); ++i) {
+    const uint32_t row = batch->sel[i];
+    if (!column.IsNull(row) && column.GetInt64(row) != 0) {
+      batch->sel[kept++] = batch->sel[i];
+    }
+  }
+  batch->sel.resize(kept);
+}
+
+void UnaryBoundExpr::EvaluateBatch(const Batch& batch,
+                                   ValueVector* out) const {
+  const size_t n = batch.sel.size();
+  const OperandView operand(*operand_, batch);
+  const ValueVector& v = operand.vec();
+  if (op_ == sql::UnaryOp::kNegate) {
+    // Mirrors the scalar path: double stays double, every other numeric
+    // negates on the int64 channel (so -DATE deliberately yields int64).
+    const TypeId out_type =
+        v.type() == TypeId::kDouble ? TypeId::kDouble : TypeId::kInt64;
+    out->Reset(out_type, n);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t j = operand.Index(batch, i);
+      if (v.IsNull(j)) {
+        out->SetNull(i);
+      } else if (out_type == TypeId::kDouble) {
+        out->SetDouble(i, -v.GetDouble(j));
+      } else {
+        out->SetInt64(i, -v.GetInt64(j));
+      }
+    }
+    return;
+  }
+  out->Reset(TypeId::kBool, n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t j = operand.Index(batch, i);
+    if (v.IsNull(j)) {
+      out->SetNull(i);
+    } else {
+      out->SetInt64(i, v.GetInt64(j) != 0 ? 0 : 1);
+    }
+  }
+}
+
+void BinaryBoundExpr::EvaluateBatch(const Batch& batch,
+                                    ValueVector* out) const {
+  using sql::BinaryOp;
+  const size_t n = batch.sel.size();
+
+  if (op_ == BinaryOp::kAnd || op_ == BinaryOp::kOr) {
+    // Both sides are side-effect free, so evaluating the right side even
+    // where the scalar path would short-circuit produces the same values.
+    const OperandView left(*left_, batch);
+    const OperandView right(*right_, batch);
+    const ValueVector& l = left.vec();
+    const ValueVector& r = right.vec();
+    out->Reset(TypeId::kBool, n);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t li = left.Index(batch, i);
+      const size_t ri = right.Index(batch, i);
+      const bool l_null = l.IsNull(li);
+      const bool r_null = r.IsNull(ri);
+      const bool l_true = !l_null && l.GetInt64(li) != 0;
+      const bool r_true = !r_null && r.GetInt64(ri) != 0;
+      if (op_ == BinaryOp::kAnd) {
+        if ((!l_null && !l_true) || (!r_null && !r_true)) {
+          out->SetInt64(i, 0);
+        } else if (l_null || r_null) {
+          out->SetNull(i);
+        } else {
+          out->SetInt64(i, 1);
+        }
+      } else {
+        if (l_true || r_true) {
+          out->SetInt64(i, 1);
+        } else if (l_null || r_null) {
+          out->SetNull(i);
+        } else {
+          out->SetInt64(i, 0);
+        }
+      }
+    }
+    return;
+  }
+
+  const OperandView left(*left_, batch);
+  const OperandView right(*right_, batch);
+  const ValueVector& l = left.vec();
+  const ValueVector& r = right.vec();
+
+  if (IsComparison(op_)) {
+    out->Reset(TypeId::kBool, n);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t li = left.Index(batch, i);
+      const size_t ri = right.Index(batch, i);
+      if (l.IsNull(li) || r.IsNull(ri)) {
+        out->SetNull(i);
+      } else {
+        out->SetInt64(
+            i, ComparisonHolds(op_, catalog::CompareAt(l, li, r, ri)) ? 1
+                                                                      : 0);
+      }
+    }
+    return;
+  }
+
+  // Arithmetic. The static type decides the channel exactly like the
+  // scalar path: kDouble computes on doubles, everything else on int64
+  // (with kDate results only for +/- per ArithmeticResultType).
+  if (type() == TypeId::kDouble) {
+    out->Reset(TypeId::kDouble, n);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t li = left.Index(batch, i);
+      const size_t ri = right.Index(batch, i);
+      if (l.IsNull(li) || r.IsNull(ri)) {
+        out->SetNull(i);
+        continue;
+      }
+      const double a = l.AsDouble(li);
+      const double b = r.AsDouble(ri);
+      switch (op_) {
+        case BinaryOp::kAdd:
+          out->SetDouble(i, a + b);
+          break;
+        case BinaryOp::kSub:
+          out->SetDouble(i, a - b);
+          break;
+        case BinaryOp::kMul:
+          out->SetDouble(i, a * b);
+          break;
+        case BinaryOp::kDiv:
+          if (b == 0.0) {
+            out->SetNull(i);
+          } else {
+            out->SetDouble(i, a / b);
+          }
+          break;
+        default:
+          out->SetNull(i);
+          break;
+      }
+    }
+    return;
+  }
+
+  const TypeId out_type =
+      type() == TypeId::kDate &&
+              (op_ == BinaryOp::kAdd || op_ == BinaryOp::kSub)
+          ? TypeId::kDate
+          : TypeId::kInt64;
+  out->Reset(out_type, n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t li = left.Index(batch, i);
+    const size_t ri = right.Index(batch, i);
+    if (l.IsNull(li) || r.IsNull(ri)) {
+      out->SetNull(i);
+      continue;
+    }
+    const int64_t a = l.GetInt64(li);
+    const int64_t b = r.GetInt64(ri);
+    switch (op_) {
+      case BinaryOp::kAdd:
+        out->SetInt64(i, a + b);
+        break;
+      case BinaryOp::kSub:
+        out->SetInt64(i, a - b);
+        break;
+      case BinaryOp::kMul:
+        out->SetInt64(i, a * b);
+        break;
+      case BinaryOp::kDiv:
+        if (b == 0) {
+          out->SetNull(i);
+        } else {
+          out->SetInt64(i, a / b);
+        }
+        break;
+      case BinaryOp::kMod:
+        if (b == 0) {
+          out->SetNull(i);
+        } else {
+          out->SetInt64(i, a % b);
+        }
+        break;
+      default:
+        out->SetNull(i);
+        break;
+    }
+  }
+}
+
+void BinaryBoundExpr::FilterBatch(Batch* batch) const {
+  using sql::BinaryOp;
+  if (op_ == BinaryOp::kAnd) {
+    // A row passes a AND b iff it passes both (non-null true is the only
+    // passing outcome), so chaining the selection vector is exact.
+    left_->FilterBatch(batch);
+    right_->FilterBatch(batch);
+    return;
+  }
+  if (op_ == BinaryOp::kOr) {
+    // Rows passing the left side pass outright; only the remainder needs
+    // the right side. Both subsets stay ascending, so a merge restores
+    // the selection order.
+    std::vector<uint32_t> original = batch->sel;
+    left_->FilterBatch(batch);
+    std::vector<uint32_t> passed_left = std::move(batch->sel);
+    batch->sel.clear();
+    std::set_difference(original.begin(), original.end(),
+                        passed_left.begin(), passed_left.end(),
+                        std::back_inserter(batch->sel));
+    right_->FilterBatch(batch);
+    std::vector<uint32_t> merged;
+    merged.reserve(passed_left.size() + batch->sel.size());
+    std::merge(passed_left.begin(), passed_left.end(), batch->sel.begin(),
+               batch->sel.end(), std::back_inserter(merged));
+    batch->sel = std::move(merged);
+    return;
+  }
+  if (IsComparison(op_)) {
+    const OperandView left(*left_, *batch);
+    const OperandView right(*right_, *batch);
+    const ValueVector& l = left.vec();
+    const ValueVector& r = right.vec();
+    size_t kept = 0;
+    for (size_t i = 0; i < batch->sel.size(); ++i) {
+      const size_t li = left.Index(*batch, i);
+      const size_t ri = right.Index(*batch, i);
+      if (l.IsNull(li) || r.IsNull(ri)) continue;
+      if (ComparisonHolds(op_, catalog::CompareAt(l, li, r, ri))) {
+        batch->sel[kept++] = batch->sel[i];
+      }
+    }
+    batch->sel.resize(kept);
+    return;
+  }
+  BoundExpr::FilterBatch(batch);
+}
+
+void LikeBoundExpr::EvaluateBatch(const Batch& batch,
+                                  ValueVector* out) const {
+  const size_t n = batch.sel.size();
+  const OperandView value(*value_, batch);
+  const ValueVector& v = value.vec();
+  out->Reset(TypeId::kBool, n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t j = value.Index(batch, i);
+    if (v.IsNull(j)) {
+      out->SetNull(i);
+    } else {
+      const bool match = LikeMatch(v.GetString(j), pattern_);
+      out->SetInt64(i, (negated_ ? !match : match) ? 1 : 0);
+    }
+  }
+}
+
+void LikeBoundExpr::FilterBatch(Batch* batch) const {
+  const OperandView value(*value_, *batch);
+  const ValueVector& v = value.vec();
+  size_t kept = 0;
+  for (size_t i = 0; i < batch->sel.size(); ++i) {
+    const size_t j = value.Index(*batch, i);
+    if (v.IsNull(j)) continue;
+    const bool match = LikeMatch(v.GetString(j), pattern_);
+    if (negated_ ? !match : match) batch->sel[kept++] = batch->sel[i];
+  }
+  batch->sel.resize(kept);
+}
+
+void InListBoundExpr::EvaluateBatch(const Batch& batch,
+                                    ValueVector* out) const {
+  const size_t n = batch.sel.size();
+  const OperandView value(*value_, batch);
+  const ValueVector& v = value.vec();
+  out->Reset(TypeId::kBool, n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t j = value.Index(batch, i);
+    if (v.IsNull(j)) {
+      out->SetNull(i);
+      continue;
+    }
+    bool found = false;
+    for (const Value& candidate : list_) {
+      if (!candidate.is_null() &&
+          catalog::CompareWithValue(v, j, candidate) == 0) {
+        found = true;
+        break;
+      }
+    }
+    out->SetInt64(i, (negated_ ? !found : found) ? 1 : 0);
+  }
+}
+
+void InListBoundExpr::FilterBatch(Batch* batch) const {
+  const OperandView value(*value_, *batch);
+  const ValueVector& v = value.vec();
+  size_t kept = 0;
+  for (size_t i = 0; i < batch->sel.size(); ++i) {
+    const size_t j = value.Index(*batch, i);
+    if (v.IsNull(j)) continue;
+    bool found = false;
+    for (const Value& candidate : list_) {
+      if (!candidate.is_null() &&
+          catalog::CompareWithValue(v, j, candidate) == 0) {
+        found = true;
+        break;
+      }
+    }
+    if (negated_ ? !found : found) batch->sel[kept++] = batch->sel[i];
+  }
+  batch->sel.resize(kept);
+}
+
+void IsNullBoundExpr::EvaluateBatch(const Batch& batch,
+                                    ValueVector* out) const {
+  const size_t n = batch.sel.size();
+  const OperandView value(*value_, batch);
+  const ValueVector& v = value.vec();
+  out->Reset(TypeId::kBool, n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool is_null = v.IsNull(value.Index(batch, i));
+    out->SetInt64(i, (negated_ ? !is_null : is_null) ? 1 : 0);
+  }
+}
+
+void IsNullBoundExpr::FilterBatch(Batch* batch) const {
+  const OperandView value(*value_, *batch);
+  const ValueVector& v = value.vec();
+  size_t kept = 0;
+  for (size_t i = 0; i < batch->sel.size(); ++i) {
+    const bool is_null = v.IsNull(value.Index(*batch, i));
+    if (negated_ ? !is_null : is_null) batch->sel[kept++] = batch->sel[i];
+  }
+  batch->sel.resize(kept);
+}
+
+}  // namespace vdb::plan

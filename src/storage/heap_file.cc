@@ -1,6 +1,7 @@
 #include "storage/heap_file.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace vdb::storage {
 
@@ -124,6 +125,34 @@ Status HeapFile::Delete(RecordId rid) {
   }
   VDB_RETURN_NOT_OK(pool_->UnpinPage(rid.page_id, dirty));
   return status;
+}
+
+Result<bool> HeapFile::ReadPageForScan(
+    size_t page_index, std::string* storage,
+    std::vector<RecordView>* out) const {
+  out->clear();
+  if (page_index >= pages_.size()) return false;
+  const PageId page_id = pages_[page_index];
+  VDB_ASSIGN_OR_RETURN(
+      Page * page, pool_->FetchPage(page_id, AccessPattern::kSequential));
+  storage->assign(page->data(), kPageSize);
+  VDB_RETURN_NOT_OK(pool_->UnpinPage(page_id, /*dirty=*/false));
+  const char* data = storage->data();
+  uint16_t num_slots = 0;
+  std::memcpy(&num_slots, data + kNumSlotsOff, sizeof(num_slots));
+  out->reserve(num_slots);
+  for (uint16_t slot = 0; slot < num_slots; ++slot) {
+    uint16_t offset = 0;
+    uint16_t length = 0;
+    std::memcpy(&offset, data + kSlotsStart + slot * kSlotSize,
+                sizeof(offset));
+    std::memcpy(&length, data + kSlotsStart + slot * kSlotSize + 2,
+                sizeof(length));
+    if (offset == 0) continue;
+    out->push_back(RecordView{RecordId{page_id, slot},
+                              std::string_view(data + offset, length)});
+  }
+  return true;
 }
 
 HeapFile::Iterator::Iterator(const HeapFile* heap) : heap_(heap) {

@@ -67,6 +67,21 @@ class HeapFile {
 
   Iterator Begin() const { return Iterator(this); }
 
+  /// One live record of a page, viewed in place (no per-record copy).
+  struct RecordView {
+    RecordId rid;
+    std::string_view data;
+  };
+
+  /// Reads the `page_index`-th page (a sequential access) and fills `out`
+  /// with views of its live records, backed by `storage` (the raw page
+  /// bytes, reused across calls — views stay valid until the next call).
+  /// Returns false once `page_index` is past the last page. Used by the
+  /// batch executor to scan a page at a time without allocating a string
+  /// per record the way Iterator does.
+  Result<bool> ReadPageForScan(size_t page_index, std::string* storage,
+                               std::vector<RecordView>* out) const;
+
  private:
   // Number of live (non-deleted) records on the given page; loads via pool.
   friend class Iterator;

@@ -152,7 +152,8 @@ struct CheckResult {
 
 CheckResult CheckQuery(exec::Database* db, const sim::VirtualMachine& vm,
                        const GeneratedQuery& query,
-                       bool check_environment_invariance) {
+                       bool check_environment_invariance,
+                       bool check_engine_equivalence) {
   const std::string sql = query.Sql();
   Result<exec::QueryResult> engine = db->Execute(sql, vm);
   ReferenceEvaluator oracle(db->catalog());
@@ -190,6 +191,30 @@ CheckResult CheckQuery(exec::Database* db, const sim::VirtualMachine& vm,
   if (!query.sort_columns.empty()) {
     diff = CheckSorted(engine->rows, query.sort_columns);
     if (!diff.empty()) return {Outcome::kMismatch, diff};
+  }
+
+  if (check_engine_equivalence) {
+    // The row and batch engines must be indistinguishable: same rows,
+    // same ordering. (Under plain LIMIT both pick the same prefix, since
+    // they visit input rows in the same order.)
+    const exec::ExecMode original = db->exec_mode();
+    db->set_exec_mode(original == exec::ExecMode::kBatch
+                          ? exec::ExecMode::kRow
+                          : exec::ExecMode::kBatch);
+    Result<exec::QueryResult> cross = db->Execute(sql, vm);
+    db->set_exec_mode(original);
+    diff.clear();
+    if (cross.ok()) {
+      diff = CompareRowSets(cross->rows, engine->rows);
+      if (diff.empty() && !query.sort_columns.empty()) {
+        diff = CheckSorted(cross->rows, query.sort_columns);
+      }
+    } else if (!cross.status().IsNotSupported()) {
+      diff = "other engine failed: " + cross.status().message();
+    }
+    if (!diff.empty()) {
+      return {Outcome::kMismatch, "row vs batch engines disagree: " + diff};
+    }
   }
 
   if (check_environment_invariance) {
@@ -335,14 +360,15 @@ std::vector<GeneratedQuery> ShrinkCandidates(const GeneratedQuery& query) {
 /// mismatches, until none does or the budget runs out.
 GeneratedQuery Shrink(exec::Database* db, const sim::VirtualMachine& vm,
                       GeneratedQuery query, bool environment_invariance,
-                      int budget) {
+                      bool engine_equivalence, int budget) {
   bool progress = true;
   while (progress && budget > 0) {
     progress = false;
     for (GeneratedQuery& candidate : ShrinkCandidates(query)) {
       if (--budget < 0) break;
-      CheckResult check =
-          CheckQuery(db, vm, candidate, environment_invariance);
+      CheckResult check = CheckQuery(db, vm, candidate,
+                                     environment_invariance,
+                                     engine_equivalence);
       if (check.outcome == Outcome::kMismatch) {
         query = std::move(candidate);
         progress = true;
@@ -399,7 +425,8 @@ bool RunDifferentialSeed(uint64_t seed, const DifferentialOptions& options,
     GeneratedQuery query = generator.Generate();
     ++stats->queries;
     CheckResult check =
-        CheckQuery(&db, vm, query, options.check_environment_invariance);
+        CheckQuery(&db, vm, query, options.check_environment_invariance,
+                   options.check_engine_equivalence);
     switch (check.outcome) {
       case Outcome::kMatch:
         ++stats->matched;
@@ -418,9 +445,10 @@ bool RunDifferentialSeed(uint64_t seed, const DifferentialOptions& options,
     failure->original_sql = query.Sql();
     GeneratedQuery minimized =
         Shrink(&db, vm, std::move(query), options.check_environment_invariance,
-               options.max_shrink_steps);
+               options.check_engine_equivalence, options.max_shrink_steps);
     CheckResult final_check =
-        CheckQuery(&db, vm, minimized, options.check_environment_invariance);
+        CheckQuery(&db, vm, minimized, options.check_environment_invariance,
+                   options.check_engine_equivalence);
     failure->sql = minimized.Sql();
     failure->detail = final_check.outcome == Outcome::kMismatch
                           ? final_check.detail

@@ -18,6 +18,10 @@ struct DifferentialOptions {
   /// share, optimizer parameters) and require identical rows — plan choice
   /// must never change results.
   bool check_environment_invariance = true;
+  /// Also re-run each query on the other execution engine (row vs batch,
+  /// whichever the database is not currently using) and require identical
+  /// rows and ordering — the two engines must be indistinguishable.
+  bool check_engine_equivalence = true;
   /// Shrinking budget: maximum number of candidate reductions tried when
   /// minimizing a failure.
   int max_shrink_steps = 300;

@@ -9,8 +9,12 @@ The baseline file lists, per bench, the tracked keys and their reference
 values. A tracked key may name a timing (seconds) or a value (e.g. the
 metrics_overhead_ratio); each is looked up first in the bench report's
 "timings" map, then in "values". The gate fails when a tracked entry
-exceeds baseline * (1 + threshold), when a tracked entry or the bench's
-report file is missing, or when a report is structurally invalid.
+regresses past the threshold (exceeds baseline * (1 + threshold) for
+lower-is-better entries, or falls below baseline * (1 - threshold) for
+higher-is-better ones), when a tracked entry or the bench's report file
+is missing, or when a report is structurally invalid. An entry that
+*improves* past the threshold passes but prints a ratchet reminder to
+tighten the checked-in baseline so the gain is locked in.
 
 Timings below `min_seconds` (default 0.05s) are checked for presence but
 not compared: they are dominated by scheduler noise on shared runners.
@@ -22,7 +26,11 @@ Baseline format:
   "benches": {
     "search_algorithms": {
       "total_s": 120.0,
-      "metrics_overhead_ratio": 1.0
+      "metrics_overhead_ratio": 1.0,
+      "BM_ScanBatchEngine/rows_per_sec": {
+        "value": 50e6,           # throughput entries are objects with a
+        "higher_is_better": true # direction flag; plain numbers mean
+      }                          # lower-is-better
     }
   }
 }
@@ -98,6 +106,7 @@ def main():
     min_seconds = float(baseline.get("min_seconds", 0.05))
 
     failures = []
+    ratchets = []
     rows = []
     for bench_name, tracked in sorted(baseline["benches"].items()):
         report_path = os.path.join(args.bench_dir,
@@ -115,23 +124,41 @@ def main():
                 f"{report_path}: names bench "
                 f"'{report.get('bench')}', expected '{bench_name}'")
             continue
-        for key, reference in sorted(tracked.items()):
+        for key, entry in sorted(tracked.items()):
+            higher_is_better = False
+            reference = entry
+            if isinstance(entry, dict):
+                reference = entry["value"]
+                higher_is_better = bool(entry.get("higher_is_better", False))
             current, is_timing = lookup(report, key)
             if current is None:
                 failures.append(
                     f"{bench_name}: tracked key '{key}' missing from report")
                 continue
-            limit = reference * (1.0 + threshold)
+            if higher_is_better:
+                limit = reference * (1.0 - threshold)
+                improved_past = current > reference * (1.0 + threshold)
+                regression = f"falls below baseline {reference:.4g}"
+            else:
+                limit = reference * (1.0 + threshold)
+                improved_past = current < reference * (1.0 - threshold)
+                regression = f"exceeds baseline {reference:.4g}"
             noise = is_timing and reference < min_seconds
-            regressed = not noise and current > limit
+            regressed = not noise and (current < limit if higher_is_better
+                                       else current > limit)
             rows.append((bench_name, key, reference, current, limit,
                          "SKIP(noise)" if noise else
                          ("FAIL" if regressed else "ok")))
             if regressed:
                 failures.append(
-                    f"{bench_name}/{key}: {current:.4g} exceeds baseline "
-                    f"{reference:.4g} by more than {100 * threshold:.0f}% "
+                    f"{bench_name}/{key}: {current:.4g} {regression} "
+                    f"by more than {100 * threshold:.0f}% "
                     f"(limit {limit:.4g})")
+            elif not noise and improved_past:
+                ratchets.append(
+                    f"{bench_name}/{key}: {current:.4g} beats baseline "
+                    f"{reference:.4g} by more than {100 * threshold:.0f}% "
+                    f"— ratchet the baseline to lock in the gain")
 
     if rows:
         name_width = max(len(f"{b}/{k}") for b, k, *_ in rows)
@@ -141,6 +168,12 @@ def main():
             print(f"{bench_name + '/' + key:<{name_width}} "
                   f"{reference:>12.4g} {current:>12.4g} {limit:>12.4g}  "
                   f"{status}")
+
+    if ratchets:
+        print(f"\nRATCHET: {len(ratchets)} entries improved past the "
+              f"threshold — consider updating {args.baseline}:")
+        for ratchet in ratchets:
+            print(f"  - {ratchet}")
 
     if failures:
         print(f"\nFAIL: {len(failures)} problem(s):")
