@@ -105,17 +105,23 @@ BENCHMARK(BM_GroupAggregate);
 // engine is expected to hold a large multiple over the row engine on
 // scan-heavy shapes.
 void RunEngineThroughput(benchmark::State& state, exec::ExecMode mode,
-                         const char* sql, double rows_per_query) {
+                         const char* sql, double rows_per_query,
+                         int threads = 1) {
   exec::Database* db = GlobalDb();
   sim::VirtualMachine vm = BenchVm();
   VDB_CHECK_OK(db->ApplyVmConfig(vm));
   const exec::ExecMode saved = db->exec_mode();
+  const exec::QueryOptions saved_options = db->query_options();
   db->set_exec_mode(mode);
+  exec::QueryOptions options = saved_options;
+  options.num_threads = threads;
+  db->set_query_options(options);
   for (auto _ : state) {
     auto result = db->Execute(sql, vm);
     VDB_CHECK(result.ok()) << result.status();
     benchmark::DoNotOptimize(result->rows.size());
   }
+  db->set_query_options(saved_options);
   db->set_exec_mode(saved);
   state.counters["rows_per_sec"] = benchmark::Counter(
       rows_per_query * static_cast<double>(state.iterations()),
@@ -145,6 +151,23 @@ void BM_ScanFilterBatchEngine(benchmark::State& state) {
                       "select count(*) from t where v < 100", 50000);
 }
 BENCHMARK(BM_ScanFilterBatchEngine);
+
+// Morsel-parallel variants: same queries, four workers. On multi-core
+// hosts these should hold a healthy multiple over the serial batch
+// numbers; the baseline entries are set from a single-core machine, so
+// the gate only catches regressions against that conservative floor.
+void BM_ScanBatchEngine4T(benchmark::State& state) {
+  RunEngineThroughput(state, exec::ExecMode::kBatch,
+                      "select count(*) from t", 50000, /*threads=*/4);
+}
+BENCHMARK(BM_ScanBatchEngine4T);
+
+void BM_ScanFilterBatchEngine4T(benchmark::State& state) {
+  RunEngineThroughput(state, exec::ExecMode::kBatch,
+                      "select count(*) from t where v < 100", 50000,
+                      /*threads=*/4);
+}
+BENCHMARK(BM_ScanFilterBatchEngine4T);
 
 void BM_OptimizerPrepareJoin(benchmark::State& state) {
   exec::Database* db = GlobalDb();

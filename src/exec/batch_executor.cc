@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <deque>
+#include <future>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -10,6 +12,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "exec/executor.h"
+#include "exec/morsel.h"
 #include "obs/metrics.h"
 #include "storage/btree.h"
 #include "storage/heap_file.h"
@@ -157,6 +161,42 @@ Status DrainBatches(BatchOp* op, std::vector<Batch>* out) {
     batch = Batch{};
   }
 }
+
+/// Runs a budget-capped subtree on the row engine and re-batches its
+/// rows. LIMIT stops at a data-dependent row mid-batch, so exact charge
+/// parity with the row engine is only reachable at row granularity: the
+/// subtree beneath a LIMIT executes (and charges) exactly as the row
+/// engine would, which makes LIMIT queries charge identically on both
+/// engines bit for bit. LIMIT 0 never pulls this operator, matching the
+/// row engine's child skip.
+class BudgetedExecOp final : public BatchOp {
+ public:
+  BudgetedExecOp(ExecutionContext* context, const PhysicalNode& node,
+                 size_t budget)
+      : BatchOp("row_budget"),
+        context_(context),
+        node_(node),
+        budget_(budget) {}
+
+ protected:
+  Result<bool> NextImpl(Batch* out) override {
+    if (!built_) {
+      built_ = true;
+      Executor executor(context_);
+      VDB_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
+                           executor.Run(node_, budget_));
+      emitter_.SetRows(std::move(rows), DeclaredTypes(node_.output));
+    }
+    return emitter_.Emit(out);
+  }
+
+ private:
+  ExecutionContext* context_;
+  const PhysicalNode& node_;
+  const size_t budget_;
+  bool built_ = false;
+  RowsEmitter emitter_;
+};
 
 // ---------------------------------------------------------------------------
 // Leaf operators
@@ -628,12 +668,16 @@ class TopNOp final : public BatchOp {
 
 class HashJoinOp final : public BatchOp {
  public:
-  HashJoinOp(ExecutionContext* context, const optimizer::PhysHashJoin& join,
+  /// `workers` may be null (serial build). With a pool of 2+ threads the
+  /// build side is hashed by parallel workers; see Build().
+  HashJoinOp(ExecutionContext* context, util::ThreadPool* workers,
+             const optimizer::PhysHashJoin& join,
              std::vector<BoundExprPtr> left_keys,
              std::vector<BoundExprPtr> right_keys, BoundExprPtr residual,
              std::unique_ptr<BatchOp> left, std::unique_ptr<BatchOp> right)
       : BatchOp("hash_join"),
         context_(context),
+        workers_(workers),
         join_(join),
         left_keys_(std::move(left_keys)),
         right_keys_(std::move(right_keys)),
@@ -746,24 +790,86 @@ class HashJoinOp final : public BatchOp {
     std::unordered_map<size_t, std::vector<RowRef>> table;
     table.reserve(EstimateReserve(join_.children[1]->estimated_rows));
     double build_bytes = 0.0;
-    for (uint32_t b = 0; b < right_batches_.size(); ++b) {
-      const Batch& batch = right_batches_[b];
-      const uint32_t active = static_cast<uint32_t>(batch.NumActive());
-      for (uint32_t p = 0; p < active; ++p) {
-        context_->ChargeCpu(cpu.ops_per_hash + cpu.ops_per_tuple);
-        build_bytes += ApproxBatchRowBytes(batch, batch.sel[p]);
-        size_t h = kHashSeed;
-        bool has_null = false;
-        for (size_t k = 0; k < num_keys; ++k) {
-          auto [vec, idx] = right_key(b, p, k);
-          if (vec->IsNull(idx)) {
-            has_null = true;
-            break;
-          }
-          h = CombineHash(h, vec->HashAt(idx));
+    const bool parallel_build = workers_ != nullptr && workers_->size() > 1 &&
+                                right_batches_.size() > 1;
+    if (parallel_build) {
+      // Workers hash contiguous batch ranges into local tables while the
+      // coordinator runs the unchanged serial per-row charge/spill-bytes
+      // loop (identical charge sequence, bitwise-identical spill
+      // decision). Merging per-hash buckets in worker index order
+      // restores the global build-row order, so the finished table —
+      // including the first-match row semi/anti joins see — is exactly
+      // the serial one.
+      using LocalTable = std::unordered_map<size_t, std::vector<RowRef>>;
+      const size_t num_workers = std::min(
+          static_cast<size_t>(workers_->size()), right_batches_.size());
+      const size_t per_worker =
+          (right_batches_.size() + num_workers - 1) / num_workers;
+      std::vector<std::future<LocalTable>> futures;
+      for (size_t w = 0; w < num_workers; ++w) {
+        const uint32_t begin = static_cast<uint32_t>(w * per_worker);
+        const uint32_t end = static_cast<uint32_t>(
+            std::min(right_batches_.size(), (w + 1) * per_worker));
+        if (begin >= end) break;
+        futures.push_back(
+            workers_->Submit([this, begin, end, num_keys, &right_key]() {
+              LocalTable local;
+              for (uint32_t b = begin; b < end; ++b) {
+                const uint32_t active =
+                    static_cast<uint32_t>(right_batches_[b].NumActive());
+                for (uint32_t p = 0; p < active; ++p) {
+                  size_t h = kHashSeed;
+                  bool has_null = false;
+                  for (size_t k = 0; k < num_keys; ++k) {
+                    auto [vec, idx] = right_key(b, p, k);
+                    if (vec->IsNull(idx)) {
+                      has_null = true;
+                      break;
+                    }
+                    h = CombineHash(h, vec->HashAt(idx));
+                  }
+                  if (has_null) continue;  // NULL keys never join
+                  local[h].push_back(RowRef{b, p});
+                }
+              }
+              return local;
+            }));
+      }
+      for (uint32_t b = 0; b < right_batches_.size(); ++b) {
+        const Batch& batch = right_batches_[b];
+        const uint32_t active = static_cast<uint32_t>(batch.NumActive());
+        for (uint32_t p = 0; p < active; ++p) {
+          context_->ChargeCpu(cpu.ops_per_hash + cpu.ops_per_tuple);
+          build_bytes += ApproxBatchRowBytes(batch, batch.sel[p]);
         }
-        if (has_null) continue;  // NULL keys never join
-        table[h].push_back(RowRef{b, p});
+      }
+      for (std::future<LocalTable>& future : futures) {
+        LocalTable local = future.get();
+        for (auto& [h, refs] : local) {
+          std::vector<RowRef>& dst = table[h];
+          dst.insert(dst.end(), refs.begin(), refs.end());
+        }
+      }
+    } else {
+      for (uint32_t b = 0; b < right_batches_.size(); ++b) {
+        const Batch& batch = right_batches_[b];
+        const uint32_t active = static_cast<uint32_t>(batch.NumActive());
+        for (uint32_t p = 0; p < active; ++p) {
+          context_->ChargeCpu(cpu.ops_per_hash + cpu.ops_per_tuple);
+          build_bytes += ApproxBatchRowBytes(batch, batch.sel[p]);
+          size_t h = kHashSeed;
+          bool has_null = false;
+          for (size_t k = 0; k < num_keys; ++k) {
+            auto [vec, idx] = right_key(b, p, k);
+            if (vec->IsNull(idx)) {
+              has_null = true;
+              break;
+            }
+            h = CombineHash(h, vec->HashAt(idx));
+          }
+          if (has_null) continue;  // NULL keys never join
+          table[h].push_back(RowRef{b, p});
+        }
       }
     }
     if (build_bytes > static_cast<double>(context_->work_mem_bytes())) {
@@ -871,6 +977,7 @@ class HashJoinOp final : public BatchOp {
   }
 
   ExecutionContext* context_;
+  util::ThreadPool* workers_;
   const optimizer::PhysHashJoin& join_;
   std::vector<BoundExprPtr> left_keys_;
   std::vector<BoundExprPtr> right_keys_;
@@ -1075,6 +1182,248 @@ class HashAggregateOp final : public BatchOp {
   std::unique_ptr<BatchOp> child_;
   bool built_ = false;
   RowsEmitter emitter_;
+};
+
+/// Coordinator side of a morsel-parallel pipeline (see morsel.h): slices
+/// the scan into morsels, keeps a bounded window of them in flight on the
+/// worker pool, and emits each worker batch after replaying its recorded
+/// charges, in strict morsel order — so rows, simulated charges, and
+/// buffer-pool state are bit-identical to the serial pipeline. With an
+/// aggregate terminal it instead merges the workers' partial groups in
+/// morsel order (first-appearance order equals the serial insertion
+/// order) and finalizes exactly like HashAggregateOp.
+class MorselPipelineOp final : public BatchOp {
+ public:
+  struct Stage {
+    MorselPipelineSpec::Stage::Kind kind =
+        MorselPipelineSpec::Stage::Kind::kFilter;
+    BoundExprPtr filter;                // kFilter
+    std::vector<BoundExprPtr> project;  // kProject
+  };
+
+  MorselPipelineOp(ExecutionContext* context, storage::BufferPool* pool,
+                   util::ThreadPool* workers,
+                   const optimizer::PhysSeqScan& scan,
+                   BoundExprPtr scan_filter, std::vector<uint8_t> wanted,
+                   std::vector<Stage> stages,
+                   const optimizer::PhysHashAggregate* aggregate,
+                   std::vector<BoundExprPtr> group_exprs,
+                   std::vector<plan::AggSpec> aggs)
+      : BatchOp(aggregate != nullptr ? "morsel_aggregate"
+                                     : "morsel_pipeline"),
+        context_(context),
+        workers_(workers),
+        scan_filter_(std::move(scan_filter)),
+        wanted_(std::move(wanted)),
+        stages_(std::move(stages)),
+        agg_node_(aggregate),
+        group_exprs_(std::move(group_exprs)),
+        aggs_(std::move(aggs)),
+        dispatcher_(context, pool, scan.table->heap.get()) {
+    for (const catalog::Column& column : scan.table->schema.columns()) {
+      scan_types_.push_back(column.type);
+    }
+    spec_.schema = &scan.table->schema;
+    spec_.scan_types = scan_types_;
+    spec_.wanted = wanted_.empty() ? nullptr : &wanted_;
+    spec_.scan_filter = scan_filter_.get();
+    spec_.scan_filter_ops =
+        scan_filter_ != nullptr ? scan_filter_->OpCount() : 0.0;
+    for (const Stage& stage : stages_) {
+      MorselPipelineSpec::Stage s;
+      s.kind = stage.kind;
+      if (stage.kind == MorselPipelineSpec::Stage::Kind::kFilter) {
+        s.filter = stage.filter.get();
+        s.ops = stage.filter->OpCount();
+      } else {
+        s.project = &stage.project;
+        s.ops = TotalOps(stage.project);
+      }
+      spec_.stages.push_back(s);
+    }
+    if (agg_node_ != nullptr) {
+      spec_.aggregate = true;
+      spec_.group_exprs = &group_exprs_;
+      spec_.aggs = &aggs_;
+      spec_.group_col = SingleColumnKey(group_exprs_);
+      spec_.group_ops = TotalOps(group_exprs_);
+      for (const plan::AggSpec& spec : aggs_) {
+        spec_.agg_ops +=
+            1.0 + (spec.arg != nullptr ? spec.arg->OpCount() : 0);
+      }
+    }
+    spec_.cpu = &context->cpu_model();
+  }
+
+  ~MorselPipelineOp() override {
+    // Workers reference spec_ and the op-owned expressions; drain any
+    // still-running morsels before those die (e.g. after an early exit).
+    for (std::future<MorselResult>& future : inflight_) {
+      if (future.valid()) future.wait();
+    }
+  }
+
+ protected:
+  Result<bool> NextImpl(Batch* out) override {
+    if (agg_node_ != nullptr) {
+      if (!built_) {
+        built_ = true;
+        VDB_RETURN_NOT_OK(BuildAggregate());
+      }
+      return emitter_.Emit(out);
+    }
+    while (true) {
+      if (have_current_ && batch_cursor_ < current_.batches.size()) {
+        MorselResult::BatchOut& batch_out = current_.batches[batch_cursor_++];
+        ReplayCharges(context_, batch_out.events);
+        rows_in_ += batch_out.rows_scanned;
+        *out = std::move(batch_out.batch);
+        VDB_RETURN_NOT_OK(Pump());
+        return true;
+      }
+      if (have_current_) {
+        pending_trailing_.insert(pending_trailing_.end(),
+                                 current_.trailing.begin(),
+                                 current_.trailing.end());
+        have_current_ = false;
+      }
+      VDB_RETURN_NOT_OK(Pump());
+      if (inflight_.empty()) {
+        // Exhausted. The trailing empty-page fetches replay now, exactly
+        // where the serial scan charges them (its final, empty fill).
+        ReplayCharges(context_, pending_trailing_);
+        pending_trailing_.clear();
+        return false;
+      }
+      current_ = inflight_.front().get();
+      inflight_.pop_front();
+      VDB_RETURN_NOT_OK(current_.status);
+      batch_cursor_ = 0;
+      have_current_ = true;
+    }
+  }
+
+ private:
+  /// Tops the in-flight window up to 2x the pool size: reads pages on
+  /// the coordinator (strict serial order, so the buffer pool sees the
+  /// serial fetch sequence) and hands the morsels to workers.
+  Status Pump() {
+    const size_t window = 2 * static_cast<size_t>(workers_->size());
+    while (!dispatcher_done_ && inflight_.size() < window) {
+      Morsel morsel;
+      VDB_ASSIGN_OR_RETURN(bool more, dispatcher_.NextMorsel(&morsel));
+      if (!more) {
+        dispatcher_done_ = true;
+        break;
+      }
+      const MorselPipelineSpec* spec = &spec_;
+      inflight_.push_back(
+          workers_->Submit([spec, m = std::move(morsel)]() mutable {
+            return RunMorsel(*spec, std::move(m));
+          }));
+    }
+    return Status::OK();
+  }
+
+  /// Aggregate mode: drains every morsel, replaying charges and merging
+  /// partial groups in morsel order, then finalizes like the serial op.
+  Status BuildAggregate() {
+    const CpuWorkModel& cpu = context_->cpu_model();
+    const size_t num_keys = group_exprs_.size();
+    std::vector<PartialGroup> merged;
+    std::unordered_map<size_t, std::vector<uint32_t>> buckets;
+    const size_t estimate = EstimateReserve(agg_node_->estimated_rows);
+    merged.reserve(estimate);
+    buckets.reserve(estimate);
+    VDB_RETURN_NOT_OK(Pump());
+    while (!inflight_.empty()) {
+      MorselResult result = inflight_.front().get();
+      inflight_.pop_front();
+      VDB_RETURN_NOT_OK(result.status);
+      VDB_RETURN_NOT_OK(Pump());  // refill the window while merging
+      for (MorselResult::BatchOut& batch_out : result.batches) {
+        ReplayCharges(context_, batch_out.events);
+        rows_in_ += batch_out.rows_scanned;
+      }
+      pending_trailing_.insert(pending_trailing_.end(),
+                               result.trailing.begin(),
+                               result.trailing.end());
+      for (PartialGroup& group : result.groups) {
+        if (num_keys == 0) {
+          if (merged.empty()) {
+            merged.push_back(std::move(group));
+          } else {
+            for (size_t a = 0; a < aggs_.size(); ++a) {
+              merged.front().states[a].Merge(group.states[a]);
+            }
+          }
+          continue;
+        }
+        const size_t h = HashValues(group.key.data(), num_keys);
+        std::vector<uint32_t>& bucket = buckets[h];
+        PartialGroup* dst = nullptr;
+        for (uint32_t gi : bucket) {
+          if (KeysEqual(merged[gi].key.data(), group.key.data(), num_keys)) {
+            dst = &merged[gi];
+            break;
+          }
+        }
+        if (dst == nullptr) {
+          bucket.push_back(static_cast<uint32_t>(merged.size()));
+          merged.push_back(std::move(group));
+        } else {
+          for (size_t a = 0; a < aggs_.size(); ++a) {
+            dst->states[a].Merge(group.states[a]);
+          }
+        }
+      }
+    }
+    ReplayCharges(context_, pending_trailing_);
+    pending_trailing_.clear();
+
+    std::vector<Tuple> rows;
+    if (merged.empty() && group_exprs_.empty()) {
+      // Global aggregate over zero rows yields one row of initial values.
+      Tuple row;
+      for (const plan::AggSpec& spec : aggs_) {
+        row.push_back(AggState().Finalize(spec));
+      }
+      context_->ChargeCpu(cpu.ops_per_tuple);
+      rows.push_back(std::move(row));
+    } else {
+      rows.reserve(merged.size());
+      for (const PartialGroup& group : merged) {
+        context_->ChargeCpu(cpu.ops_per_tuple);
+        Tuple row = group.key;
+        for (size_t a = 0; a < aggs_.size(); ++a) {
+          row.push_back(group.states[a].Finalize(aggs_[a]));
+        }
+        rows.push_back(std::move(row));
+      }
+    }
+    emitter_.SetRows(std::move(rows), DeclaredTypes(agg_node_->output));
+    return Status::OK();
+  }
+
+  ExecutionContext* context_;
+  util::ThreadPool* workers_;
+  BoundExprPtr scan_filter_;
+  std::vector<uint8_t> wanted_;
+  std::vector<Stage> stages_;
+  const optimizer::PhysHashAggregate* agg_node_;
+  std::vector<BoundExprPtr> group_exprs_;
+  std::vector<plan::AggSpec> aggs_;
+  std::vector<TypeId> scan_types_;
+  MorselPipelineSpec spec_;
+  MorselDispatcher dispatcher_;
+  bool dispatcher_done_ = false;
+  std::deque<std::future<MorselResult>> inflight_;
+  MorselResult current_;
+  size_t batch_cursor_ = 0;
+  bool have_current_ = false;
+  std::vector<ChargeEvent> pending_trailing_;
+  bool built_ = false;       // aggregate mode
+  RowsEmitter emitter_;      // aggregate mode
 };
 
 /// Merge join delegates the join loop (and its charges) to the shared
@@ -1294,8 +1643,21 @@ Result<bool> BatchOp::Next(catalog::Batch* out) {
 // BatchExecutor
 
 Result<std::unique_ptr<BatchOp>> BatchExecutor::Build(
-    const PhysicalNode& node) {
+    const PhysicalNode& node, size_t budget) {
   std::unique_ptr<BatchOp> op;
+  if (budget != Executor::kNoBudget) {
+    // An enclosing LIMIT capped this subtree: run it on the row engine
+    // for exact charge parity (see BudgetedExecOp).
+    op = std::make_unique<BudgetedExecOp>(context_, node, budget);
+    ops_.push_back(op.get());
+    return op;
+  }
+  VDB_ASSIGN_OR_RETURN(std::unique_ptr<BatchOp> parallel,
+                       TryBuildMorselPipeline(node));
+  if (parallel != nullptr) {
+    ops_.push_back(parallel.get());
+    return parallel;
+  }
   switch (node.op) {
     case optimizer::PhysOp::kSeqScan: {
       const auto& scan = static_cast<const optimizer::PhysSeqScan&>(node);
@@ -1325,7 +1687,7 @@ Result<std::unique_ptr<BatchOp>> BatchExecutor::Build(
     case optimizer::PhysOp::kFilter: {
       const auto& filter = static_cast<const optimizer::PhysFilter&>(node);
       VDB_ASSIGN_OR_RETURN(std::unique_ptr<BatchOp> child,
-                           Build(*filter.children[0]));
+                           Build(*filter.children[0], Executor::kNoBudget));
       VDB_ASSIGN_OR_RETURN(
           BoundExprPtr condition,
           ResolveExpr(*filter.condition, filter.children[0]->output));
@@ -1336,7 +1698,7 @@ Result<std::unique_ptr<BatchOp>> BatchExecutor::Build(
     case optimizer::PhysOp::kProject: {
       const auto& project = static_cast<const optimizer::PhysProject&>(node);
       VDB_ASSIGN_OR_RETURN(std::unique_ptr<BatchOp> child,
-                           Build(*project.children[0]));
+                           Build(*project.children[0], Executor::kNoBudget));
       std::vector<BoundExprPtr> exprs;
       for (const BoundExprPtr& expr : project.exprs) {
         VDB_ASSIGN_OR_RETURN(BoundExprPtr resolved,
@@ -1350,7 +1712,7 @@ Result<std::unique_ptr<BatchOp>> BatchExecutor::Build(
     case optimizer::PhysOp::kSort: {
       const auto& sort = static_cast<const optimizer::PhysSort&>(node);
       VDB_ASSIGN_OR_RETURN(std::unique_ptr<BatchOp> child,
-                           Build(*sort.children[0]));
+                           Build(*sort.children[0], Executor::kNoBudget));
       std::vector<BoundExprPtr> keys;
       std::vector<bool> ascending;
       for (const optimizer::PhysSort::Key& key : sort.keys) {
@@ -1368,7 +1730,7 @@ Result<std::unique_ptr<BatchOp>> BatchExecutor::Build(
     case optimizer::PhysOp::kTopN: {
       const auto& top_n = static_cast<const optimizer::PhysTopN&>(node);
       VDB_ASSIGN_OR_RETURN(std::unique_ptr<BatchOp> child,
-                           Build(*top_n.children[0]));
+                           Build(*top_n.children[0], Executor::kNoBudget));
       std::vector<BoundExprPtr> keys;
       std::vector<bool> ascending;
       for (const optimizer::PhysSort::Key& key : top_n.keys) {
@@ -1384,17 +1746,23 @@ Result<std::unique_ptr<BatchOp>> BatchExecutor::Build(
     }
     case optimizer::PhysOp::kLimit: {
       const auto& limit = static_cast<const optimizer::PhysLimit&>(node);
+      // The capped subtree runs on the row engine (BudgetedExecOp above),
+      // so the early exit charges exactly what the row engine charges.
+      // LIMIT 0 yields budget 0; LimitOp then never pulls the child,
+      // matching RunLimit's child skip.
+      const size_t cap =
+          limit.limit <= 0 ? 0 : static_cast<size_t>(limit.limit);
       VDB_ASSIGN_OR_RETURN(std::unique_ptr<BatchOp> child,
-                           Build(*limit.children[0]));
+                           Build(*limit.children[0], cap));
       op = std::make_unique<LimitOp>(limit.limit, std::move(child));
       break;
     }
     case optimizer::PhysOp::kHashJoin: {
       const auto& join = static_cast<const optimizer::PhysHashJoin&>(node);
       VDB_ASSIGN_OR_RETURN(std::unique_ptr<BatchOp> left,
-                           Build(*join.children[0]));
+                           Build(*join.children[0], Executor::kNoBudget));
       VDB_ASSIGN_OR_RETURN(std::unique_ptr<BatchOp> right,
-                           Build(*join.children[1]));
+                           Build(*join.children[1], Executor::kNoBudget));
       std::vector<BoundExprPtr> left_keys;
       std::vector<BoundExprPtr> right_keys;
       for (const BoundExprPtr& key : join.left_keys) {
@@ -1415,16 +1783,17 @@ Result<std::unique_ptr<BatchOp>> BatchExecutor::Build(
         VDB_ASSIGN_OR_RETURN(residual, ResolveExpr(*join.residual, combined));
       }
       op = std::make_unique<HashJoinOp>(
-          context_, join, std::move(left_keys), std::move(right_keys),
-          std::move(residual), std::move(left), std::move(right));
+          context_, workers_, join, std::move(left_keys),
+          std::move(right_keys), std::move(residual), std::move(left),
+          std::move(right));
       break;
     }
     case optimizer::PhysOp::kMergeJoin: {
       const auto& join = static_cast<const optimizer::PhysMergeJoin&>(node);
       VDB_ASSIGN_OR_RETURN(std::unique_ptr<BatchOp> left,
-                           Build(*join.children[0]));
+                           Build(*join.children[0], Executor::kNoBudget));
       VDB_ASSIGN_OR_RETURN(std::unique_ptr<BatchOp> right,
-                           Build(*join.children[1]));
+                           Build(*join.children[1], Executor::kNoBudget));
       VDB_ASSIGN_OR_RETURN(
           BoundExprPtr left_key,
           ResolveExpr(*join.left_key, join.children[0]->output));
@@ -1447,9 +1816,9 @@ Result<std::unique_ptr<BatchOp>> BatchExecutor::Build(
       const auto& join =
           static_cast<const optimizer::PhysNestedLoopJoin&>(node);
       VDB_ASSIGN_OR_RETURN(std::unique_ptr<BatchOp> left,
-                           Build(*join.children[0]));
+                           Build(*join.children[0], Executor::kNoBudget));
       VDB_ASSIGN_OR_RETURN(std::unique_ptr<BatchOp> right,
-                           Build(*join.children[1]));
+                           Build(*join.children[1], Executor::kNoBudget));
       BoundExprPtr condition;
       if (join.condition != nullptr) {
         std::vector<OutputColumn> combined = join.children[0]->output;
@@ -1468,7 +1837,7 @@ Result<std::unique_ptr<BatchOp>> BatchExecutor::Build(
       const auto& aggregate =
           static_cast<const optimizer::PhysHashAggregate&>(node);
       VDB_ASSIGN_OR_RETURN(std::unique_ptr<BatchOp> child,
-                           Build(*aggregate.children[0]));
+                           Build(*aggregate.children[0], Executor::kNoBudget));
       std::vector<BoundExprPtr> group_exprs;
       for (const BoundExprPtr& expr : aggregate.group_exprs) {
         VDB_ASSIGN_OR_RETURN(
@@ -1497,11 +1866,98 @@ Result<std::unique_ptr<BatchOp>> BatchExecutor::Build(
   return op;
 }
 
+Result<std::unique_ptr<BatchOp>> BatchExecutor::TryBuildMorselPipeline(
+    const PhysicalNode& node) {
+  std::unique_ptr<BatchOp> none;
+  if (workers_ == nullptr || pool_ == nullptr || workers_->size() < 2) {
+    return none;
+  }
+  // Match [non-DISTINCT HashAggregate →] (Filter | Project)* → SeqScan.
+  const optimizer::PhysHashAggregate* aggregate = nullptr;
+  const PhysicalNode* cursor = &node;
+  if (cursor->op == optimizer::PhysOp::kHashAggregate) {
+    const auto& agg =
+        static_cast<const optimizer::PhysHashAggregate&>(*cursor);
+    bool mergeable = true;
+    for (const plan::AggSpec& spec : agg.aggs) {
+      // DISTINCT partials cannot be merged (see AggState::Merge); the
+      // aggregate stays serial, but its input chain may still match when
+      // the serial HashAggregateOp builds its child recursively.
+      if (spec.distinct) mergeable = false;
+    }
+    if (mergeable) {
+      aggregate = &agg;
+      cursor = agg.children[0].get();
+    }
+  }
+  std::vector<const PhysicalNode*> chain;  // top-down
+  while (cursor->op == optimizer::PhysOp::kFilter ||
+         cursor->op == optimizer::PhysOp::kProject) {
+    chain.push_back(cursor);
+    cursor = cursor->children[0].get();
+  }
+  if (cursor->op != optimizer::PhysOp::kSeqScan) return none;
+  const auto& scan = static_cast<const optimizer::PhysSeqScan&>(*cursor);
+
+  BoundExprPtr scan_filter;
+  if (scan.filter != nullptr) {
+    VDB_ASSIGN_OR_RETURN(scan_filter, ResolveExpr(*scan.filter, scan.output));
+  }
+  std::vector<MorselPipelineOp::Stage> stages;  // bottom-up
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const PhysicalNode& stage_node = **it;
+    MorselPipelineOp::Stage stage;
+    if (stage_node.op == optimizer::PhysOp::kFilter) {
+      const auto& filter =
+          static_cast<const optimizer::PhysFilter&>(stage_node);
+      stage.kind = MorselPipelineSpec::Stage::Kind::kFilter;
+      VDB_ASSIGN_OR_RETURN(
+          stage.filter,
+          ResolveExpr(*filter.condition, filter.children[0]->output));
+    } else {
+      const auto& project =
+          static_cast<const optimizer::PhysProject&>(stage_node);
+      stage.kind = MorselPipelineSpec::Stage::Kind::kProject;
+      for (const BoundExprPtr& expr : project.exprs) {
+        VDB_ASSIGN_OR_RETURN(
+            BoundExprPtr resolved,
+            ResolveExpr(*expr, project.children[0]->output));
+        stage.project.push_back(std::move(resolved));
+      }
+    }
+    stages.push_back(std::move(stage));
+  }
+  std::vector<BoundExprPtr> group_exprs;
+  std::vector<plan::AggSpec> aggs;
+  if (aggregate != nullptr) {
+    for (const BoundExprPtr& expr : aggregate->group_exprs) {
+      VDB_ASSIGN_OR_RETURN(
+          BoundExprPtr resolved,
+          ResolveExpr(*expr, aggregate->children[0]->output));
+      group_exprs.push_back(std::move(resolved));
+    }
+    for (const plan::AggSpec& spec : aggregate->aggs) {
+      plan::AggSpec resolved = spec.Clone();
+      if (resolved.arg != nullptr) {
+        VDB_RETURN_NOT_OK(resolved.arg->ResolveSlots(
+            plan::MakeLayout(aggregate->children[0]->output)));
+      }
+      aggs.push_back(std::move(resolved));
+    }
+  }
+  std::unique_ptr<BatchOp> op = std::make_unique<MorselPipelineOp>(
+      context_, pool_, workers_, scan, std::move(scan_filter),
+      ScanWantedMask(scan.output, scan.table->schema.NumColumns(), needed_),
+      std::move(stages), aggregate, std::move(group_exprs), std::move(aggs));
+  return op;
+}
+
 Result<std::vector<Tuple>> BatchExecutor::Run(const PhysicalNode& node) {
   ops_.clear();
   needed_.clear();
   CollectNeededColumns(node, /*is_root=*/true, &needed_);
-  VDB_ASSIGN_OR_RETURN(std::unique_ptr<BatchOp> root, Build(node));
+  VDB_ASSIGN_OR_RETURN(std::unique_ptr<BatchOp> root,
+                       Build(node, Executor::kNoBudget));
   std::vector<Tuple> rows;
   Batch batch;
   while (true) {

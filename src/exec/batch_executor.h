@@ -10,7 +10,9 @@
 #include "exec/execution_context.h"
 #include "exec/operator_common.h"
 #include "optimizer/physical.h"
+#include "storage/buffer_pool.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace vdb::exec {
 
@@ -64,12 +66,26 @@ class BatchOp {
 /// §12). Charges the ExecutionContext exactly the same simulated CPU and
 /// I/O as the row-at-a-time Executor — batched as per-batch lump sums —
 /// and touches buffer-pool pages in the same order, so measured times
-/// agree with the row engine to float rounding. The one documented
-/// divergence is LIMIT, where each engine stops early at its own
-/// granularity (row vs. batch).
+/// agree with the row engine to float rounding. Under LIMIT the subtree
+/// the row engine would run with a finite row budget is delegated to the
+/// row engine itself, so even data-dependent early exits charge
+/// identically on both engines.
+///
+/// With a thread pool attached (see the constructor), eligible scan
+/// pipelines — scan → filter/project chains, optionally topped by a
+/// non-DISTINCT hash aggregate — run morsel-parallel on the pool while
+/// every simulated charge is recorded by the workers and replayed by the
+/// coordinator in serial order, keeping results and simulated time
+/// bit-identical to a single-threaded run (see morsel.h).
 class BatchExecutor {
  public:
-  explicit BatchExecutor(ExecutionContext* context) : context_(context) {}
+  /// `pool` and `workers` enable the morsel-parallel operators: when both
+  /// are non-null and `workers->size() > 1`, eligible pipelines fan out
+  /// across the pool. With the defaults the executor is serial.
+  explicit BatchExecutor(ExecutionContext* context,
+                         storage::BufferPool* pool = nullptr,
+                         util::ThreadPool* workers = nullptr)
+      : context_(context), pool_(pool), workers_(workers) {}
 
   BatchExecutor(const BatchExecutor&) = delete;
   BatchExecutor& operator=(const BatchExecutor&) = delete;
@@ -80,10 +96,20 @@ class BatchExecutor {
 
  private:
   /// Recursively builds the operator tree for `node`, registering each
-  /// operator in `ops_` for post-run instrumentation.
-  Result<std::unique_ptr<BatchOp>> Build(const optimizer::PhysicalNode& node);
+  /// operator in `ops_` for post-run instrumentation. A finite `budget`
+  /// (set by an enclosing LIMIT) delegates the whole subtree to the row
+  /// engine for exact charge parity.
+  Result<std::unique_ptr<BatchOp>> Build(const optimizer::PhysicalNode& node,
+                                         size_t budget);
+
+  /// Returns a MorselPipelineOp for `node` if it matches an eligible
+  /// parallel pipeline shape, nullptr to fall back to the serial build.
+  Result<std::unique_ptr<BatchOp>> TryBuildMorselPipeline(
+      const optimizer::PhysicalNode& node);
 
   ExecutionContext* context_;
+  storage::BufferPool* pool_;
+  util::ThreadPool* workers_;
   std::vector<BatchOp*> ops_;
   /// Columns consumed by the plan being built; computed once per Run.
   NeededColumns needed_;

@@ -19,6 +19,11 @@ Database::Database() {
   if (mode != nullptr && std::strcmp(mode, "row") == 0) {
     exec_mode_ = ExecMode::kRow;
   }
+  const char* threads = std::getenv("VDB_EXEC_THREADS");
+  if (threads != nullptr) {
+    const int n = std::atoi(threads);
+    if (n > 1) query_options_.num_threads = n;
+  }
 }
 
 Status Database::ApplyVmConfig(const sim::VirtualMachine& vm) {
@@ -69,7 +74,18 @@ Result<QueryResult> Database::ExecutePlan(
   ExecutionContext context(&vm, pool_.get(), config_.work_mem_bytes);
   std::vector<catalog::Tuple> rows;
   if (exec_mode_ == ExecMode::kBatch) {
-    BatchExecutor executor(&context);
+    // Morsel-parallel execution: the pool is created lazily (and resized
+    // on knob changes) so serial databases never spawn threads.
+    util::ThreadPool* workers = nullptr;
+    if (query_options_.num_threads > 1) {
+      if (workers_ == nullptr ||
+          workers_->size() != query_options_.num_threads) {
+        workers_ =
+            std::make_unique<util::ThreadPool>(query_options_.num_threads);
+      }
+      workers = workers_.get();
+    }
+    BatchExecutor executor(&context, pool_.get(), workers);
     VDB_ASSIGN_OR_RETURN(rows, executor.Run(plan));
   } else {
     Executor executor(&context);

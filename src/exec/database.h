@@ -15,13 +15,15 @@
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace vdb::exec {
 
 /// Which execution engine a Database runs plans with. Both engines return
-/// identical rows and charge identical simulated time (except under plain
-/// LIMIT, where each stops early at its own granularity); the differential
-/// fuzzer cross-checks them against each other.
+/// identical rows and charge identical simulated time — including under
+/// LIMIT, where the batch engine runs the capped subtree at the row
+/// engine's charge granularity; the differential fuzzer cross-checks them
+/// against each other.
 enum class ExecMode {
   kRow,    // row-at-a-time materializing Executor
   kBatch,  // vectorized BatchExecutor (the default)
@@ -116,6 +118,16 @@ class Database {
   void set_exec_mode(ExecMode mode) { exec_mode_ = mode; }
   ExecMode exec_mode() const { return exec_mode_; }
 
+  /// Per-query execution knobs, applied to every subsequent ExecutePlan.
+  /// num_threads > 1 runs eligible batch-engine pipelines morsel-parallel
+  /// (DESIGN.md §12) with results and simulated charges bit-identical to
+  /// the serial engine. Defaults from the VDB_EXEC_THREADS environment
+  /// variable at construction time; 1 otherwise.
+  void set_query_options(const QueryOptions& options) {
+    query_options_ = options;
+  }
+  const QueryOptions& query_options() const { return query_options_; }
+
  private:
   /// Shared front half of Prepare: parse, bind, and rewrite `sql` into a
   /// logical plan. Read-only with respect to the database.
@@ -128,6 +140,10 @@ class Database {
   DbInstanceConfig config_;
   sim::NoiseModel* noise_ = nullptr;
   ExecMode exec_mode_ = ExecMode::kBatch;
+  QueryOptions query_options_;
+  /// Lazily created batch-engine worker pool, sized to
+  /// query_options_.num_threads (absent while num_threads <= 1).
+  std::unique_ptr<util::ThreadPool> workers_;
 };
 
 }  // namespace vdb::exec

@@ -34,6 +34,18 @@ struct DbInstanceConfig {
   }
 };
 
+/// Per-query execution knobs, set on the Database and read by every
+/// subsequent ExecutePlan. Distinct from DbInstanceConfig: these do not
+/// derive from the VM's resources, they select how the engine uses them.
+struct QueryOptions {
+  /// Worker threads for the batch engine's morsel-parallel operators.
+  /// 1 (the default) runs the serial code path, bit-identical to the
+  /// pre-parallel engine; values < 1 are treated as 1. The row engine
+  /// ignores this knob. Overridable at Database construction with the
+  /// VDB_EXEC_THREADS environment variable.
+  int num_threads = 1;
+};
+
 }  // namespace vdb::exec
 
 #endif  // VDB_EXEC_DB_CONFIG_H_

@@ -23,8 +23,9 @@ namespace vdb::exec {
 ///
 /// This is the row-at-a-time engine; BatchExecutor (the default, see
 /// DESIGN.md §12) runs the same plans vectorized. Both charge identical
-/// simulated time except under LIMIT, where each stops early in its own
-/// granularity (row vs. batch).
+/// simulated time; under LIMIT the batch engine switches its budgeted
+/// subtree to this engine's per-row charge granularity, so even early
+/// exits charge the same.
 class Executor {
  public:
   explicit Executor(ExecutionContext* context) : context_(context) {}

@@ -1,0 +1,357 @@
+#include "exec/morsel.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace vdb::exec {
+
+namespace {
+
+using catalog::Batch;
+using catalog::Value;
+using catalog::ValueVector;
+
+// Morsel instrumentation (DESIGN.md §9/§12). Dispatch counters tick on
+// the coordinator; exec_latency is recorded from worker threads (the
+// registry's metric objects are atomics, shared freely across threads).
+struct MorselMetrics {
+  obs::Counter* dispatched;
+  obs::Counter* rows_dispatched;
+  obs::Histogram* exec_latency;
+
+  static const MorselMetrics& Get() {
+    static const MorselMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return MorselMetrics{registry.GetCounter("exec.morsel.dispatched"),
+                           registry.GetCounter("exec.morsel.rows_dispatched"),
+                           registry.GetHistogram("exec.morsel.exec_latency")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+void ReplayCharges(ExecutionContext* context,
+                   const std::vector<ChargeEvent>& events) {
+  for (const ChargeEvent& event : events) {
+    switch (event.kind) {
+      case ChargeEvent::Kind::kCpu:
+        context->ChargeCpu(event.cpu_ops);
+        break;
+      case ChargeEvent::Kind::kPageRead:
+        context->OnPageRead(event.pattern);
+        break;
+      case ChargeEvent::Kind::kPageWrite:
+        context->OnPageWrite();
+        break;
+    }
+  }
+}
+
+MorselDispatcher::MorselDispatcher(ExecutionContext* context,
+                                   storage::BufferPool* pool,
+                                   const storage::HeapFile* heap)
+    : context_(context), pool_(pool), heap_(heap) {}
+
+Result<bool> MorselDispatcher::NextMorsel(Morsel* out) {
+  out->index = next_index_;
+  out->pages.clear();
+  out->records.clear();
+  out->batch_io.clear();
+  out->trailing_io.clear();
+
+  // Fetch events keyed by the record count at fetch time / batch size;
+  // normalized into batch_io / trailing_io once the morsel is complete.
+  std::vector<std::vector<ChargeEvent>> slots;
+  bool any_events = false;
+
+  // Drain records carried over from the page that straddled the previous
+  // morsel's boundary; its fetch was already attributed there.
+  if (carry_cursor_ < carry_records_.size()) {
+    const uint32_t page_slot = static_cast<uint32_t>(out->pages.size());
+    out->pages.push_back(carry_page_);
+    while (carry_cursor_ < carry_records_.size() &&
+           out->records.size() < Morsel::kRecordsPerMorsel) {
+      Morsel::Record record = carry_records_[carry_cursor_++];
+      record.page = page_slot;
+      out->records.push_back(record);
+    }
+    if (carry_cursor_ >= carry_records_.size()) {
+      carry_records_.clear();
+      carry_cursor_ = 0;
+      carry_page_.reset();
+    }
+  }
+
+  while (out->records.size() < Morsel::kRecordsPerMorsel && !done_) {
+    std::vector<ChargeEvent> events;
+    RecordingIoListener recorder(&events);
+    pool_->SetIoListener(&recorder);
+    Result<bool> more =
+        heap_->ReadPageForScan(page_index_, &storage_, &views_);
+    pool_->SetIoListener(context_);
+    if (!more.ok()) return more.status();
+    ++page_index_;
+    if (!events.empty()) {
+      const size_t slot = out->records.size() / Batch::kDefaultRows;
+      if (slots.size() <= slot) slots.resize(slot + 1);
+      slots[slot].insert(slots[slot].end(), events.begin(), events.end());
+      any_events = true;
+    }
+    if (!*more) {
+      done_ = true;
+      continue;
+    }
+    if (views_.empty()) continue;  // no live records on this page
+
+    // Freeze the page bytes: views become (offset, length) against the
+    // frozen string, which is shared if the page straddles the boundary.
+    std::vector<std::pair<uint32_t, uint32_t>> spans;
+    spans.reserve(views_.size());
+    for (const storage::HeapFile::RecordView& view : views_) {
+      spans.emplace_back(
+          static_cast<uint32_t>(view.data.data() - storage_.data()),
+          static_cast<uint32_t>(view.data.size()));
+    }
+    auto bytes = std::make_shared<const std::string>(std::move(storage_));
+    const uint32_t page_slot = static_cast<uint32_t>(out->pages.size());
+    out->pages.push_back(bytes);
+    size_t i = 0;
+    for (; i < spans.size() && out->records.size() < Morsel::kRecordsPerMorsel;
+         ++i) {
+      out->records.push_back(
+          Morsel::Record{page_slot, spans[i].first, spans[i].second});
+    }
+    if (i < spans.size()) {
+      carry_page_ = bytes;
+      carry_records_.clear();
+      for (; i < spans.size(); ++i) {
+        carry_records_.push_back(
+            Morsel::Record{0, spans[i].first, spans[i].second});
+      }
+      carry_cursor_ = 0;
+    }
+  }
+
+  const size_t nbatches =
+      (out->records.size() + Batch::kDefaultRows - 1) / Batch::kDefaultRows;
+  out->batch_io.resize(nbatches);
+  for (size_t s = 0; s < slots.size(); ++s) {
+    if (s < nbatches) {
+      out->batch_io[s] = std::move(slots[s]);
+    } else {
+      out->trailing_io.insert(out->trailing_io.end(), slots[s].begin(),
+                              slots[s].end());
+    }
+  }
+
+  if (out->records.empty() && !any_events) return false;
+  ++next_index_;
+  const MorselMetrics& metrics = MorselMetrics::Get();
+  metrics.dispatched->Add();
+  metrics.rows_dispatched->Add(out->records.size());
+  return true;
+}
+
+namespace {
+
+// Mirrors HashAggregateOp's per-batch update over morsel-local state; the
+// per-batch CPU lump is appended to `events` so it replays in the same
+// position the serial engine charges it.
+void AccumulateAggregate(const MorselPipelineSpec& spec, const Batch& batch,
+                         std::vector<ChargeEvent>* events,
+                         std::vector<PartialGroup>* groups,
+                         std::unordered_map<size_t, std::vector<uint32_t>>*
+                             buckets,
+                         std::vector<ValueVector>* group_cols,
+                         std::vector<ValueVector>* agg_cols) {
+  const CpuWorkModel& cpu = *spec.cpu;
+  const std::vector<plan::BoundExprPtr>& group_exprs = *spec.group_exprs;
+  const std::vector<plan::AggSpec>& aggs = *spec.aggs;
+  const size_t num_keys = group_exprs.size();
+  const size_t n = batch.NumActive();
+  if (spec.group_col == nullptr) {
+    for (size_t k = 0; k < num_keys; ++k) {
+      group_exprs[k]->EvaluateBatch(batch, &(*group_cols)[k]);
+    }
+  }
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (aggs[a].arg != nullptr) {
+      aggs[a].arg->EvaluateBatch(batch, &(*agg_cols)[a]);
+    }
+  }
+  events->push_back(CpuEvent(
+      static_cast<double>(n) *
+      (cpu.ops_per_tuple + cpu.ops_per_hash +
+       (spec.group_ops + spec.agg_ops) * cpu.ops_per_operator)));
+  if (num_keys == 0) {
+    // Global aggregate: one group, bulk COUNT(*) (HashAggregateOp's fast
+    // path).
+    if (groups->empty()) {
+      PartialGroup g;
+      g.states.assign(aggs.size(), AggState{});
+      groups->push_back(std::move(g));
+    }
+    PartialGroup& group = groups->front();
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const plan::AggSpec& agg_spec = aggs[a];
+      if (agg_spec.kind == plan::AggKind::kCountStar) {
+        group.states[a].count += static_cast<int64_t>(n);
+        continue;
+      }
+      if (agg_spec.arg == nullptr) continue;
+      for (size_t p = 0; p < n; ++p) {
+        group.states[a].Update(agg_spec, (*agg_cols)[a].GetValue(p));
+      }
+    }
+    return;
+  }
+  auto key_at = [&](size_t k,
+                    size_t p) -> std::pair<const ValueVector*, size_t> {
+    if (spec.group_col != nullptr) {
+      return {&batch.columns[spec.group_col->slot()], batch.sel[p]};
+    }
+    return {&(*group_cols)[k], p};
+  };
+  for (size_t p = 0; p < n; ++p) {
+    size_t h = kHashSeed;
+    for (size_t k = 0; k < num_keys; ++k) {
+      auto [vec, idx] = key_at(k, p);
+      h = CombineHash(h, vec->HashAt(idx));
+    }
+    std::vector<uint32_t>& bucket = (*buckets)[h];
+    PartialGroup* group = nullptr;
+    for (uint32_t gi : bucket) {
+      const std::vector<Value>& gkey = (*groups)[gi].key;
+      bool equal = true;
+      for (size_t k = 0; k < num_keys; ++k) {
+        auto [vec, idx] = key_at(k, p);
+        const bool a_null = vec->IsNull(idx);
+        const bool b_null = gkey[k].is_null();
+        if (a_null != b_null) {
+          equal = false;
+          break;
+        }
+        if (a_null) continue;
+        if (catalog::CompareWithValue(*vec, idx, gkey[k]) != 0) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        group = &(*groups)[gi];
+        break;
+      }
+    }
+    if (group == nullptr) {
+      bucket.push_back(static_cast<uint32_t>(groups->size()));
+      PartialGroup g;
+      g.key.reserve(num_keys);
+      for (size_t k = 0; k < num_keys; ++k) {
+        auto [vec, idx] = key_at(k, p);
+        g.key.push_back(vec->GetValue(idx));
+      }
+      g.states.assign(aggs.size(), AggState{});
+      groups->push_back(std::move(g));
+      group = &groups->back();
+    }
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const plan::AggSpec& agg_spec = aggs[a];
+      Value v;
+      if (agg_spec.arg != nullptr) v = (*agg_cols)[a].GetValue(p);
+      group->states[a].Update(agg_spec, v);
+    }
+  }
+}
+
+}  // namespace
+
+MorselResult RunMorsel(const MorselPipelineSpec& spec, Morsel morsel) {
+  obs::ScopedTimer timer(MorselMetrics::Get().exec_latency);
+  const CpuWorkModel& cpu = *spec.cpu;
+  MorselResult result;
+  const size_t nrec = morsel.records.size();
+  const size_t nbatches =
+      (nrec + Batch::kDefaultRows - 1) / Batch::kDefaultRows;
+  result.batches.reserve(nbatches);
+
+  std::unordered_map<size_t, std::vector<uint32_t>> buckets;
+  std::vector<ValueVector> group_cols;
+  std::vector<ValueVector> agg_cols;
+  if (spec.aggregate) {
+    group_cols.resize(spec.group_exprs->size());
+    agg_cols.resize(spec.aggs->size());
+  }
+
+  std::vector<std::string_view> views;
+  size_t rec = 0;
+  for (size_t b = 0; b < nbatches; ++b) {
+    MorselResult::BatchOut out;
+    out.events = std::move(morsel.batch_io[b]);
+    const size_t take = std::min(Batch::kDefaultRows, nrec - rec);
+
+    // Scan: mirror SeqScanOp's fill (the single bulk deserialize is
+    // equivalent to its incremental per-page fills).
+    Batch batch;
+    batch.Reset(spec.scan_types, Batch::kDefaultRows);
+    views.clear();
+    for (size_t i = 0; i < take; ++i) {
+      const Morsel::Record& r = morsel.records[rec + i];
+      views.emplace_back(morsel.pages[r.page]->data() + r.offset, r.length);
+    }
+    Status status = catalog::DeserializeRecordsInto(
+        views.data(), take, *spec.schema, &batch, 0, spec.wanted);
+    if (!status.ok()) {
+      result.status = std::move(status);
+      return result;
+    }
+    out.rows_scanned = take;
+    out.events.push_back(
+        CpuEvent(static_cast<double>(take) * cpu.ops_per_tuple));
+    batch.SetRowCount(take);
+    if (spec.scan_filter != nullptr) {
+      out.events.push_back(CpuEvent(static_cast<double>(take) *
+                                    spec.scan_filter_ops *
+                                    cpu.ops_per_operator));
+      spec.scan_filter->FilterBatch(&batch);
+    }
+
+    for (const MorselPipelineSpec::Stage& stage : spec.stages) {
+      const size_t n = batch.NumActive();
+      if (stage.kind == MorselPipelineSpec::Stage::Kind::kFilter) {
+        out.events.push_back(CpuEvent(static_cast<double>(n) * stage.ops *
+                                      cpu.ops_per_operator));
+        stage.filter->FilterBatch(&batch);
+      } else {
+        out.events.push_back(
+            CpuEvent(static_cast<double>(n) *
+                     (cpu.ops_per_tuple + stage.ops * cpu.ops_per_operator)));
+        Batch projected;
+        projected.columns.resize(stage.project->size());
+        for (size_t c = 0; c < stage.project->size(); ++c) {
+          (*stage.project)[c]->EvaluateBatch(batch, &projected.columns[c]);
+        }
+        projected.SetRowCount(n);
+        batch = std::move(projected);
+      }
+    }
+
+    if (spec.aggregate) {
+      AccumulateAggregate(spec, batch, &out.events, &result.groups, &buckets,
+                          &group_cols, &agg_cols);
+    } else {
+      out.batch = std::move(batch);
+    }
+    result.batches.push_back(std::move(out));
+    rec += take;
+  }
+
+  result.trailing = std::move(morsel.trailing_io);
+  return result;
+}
+
+}  // namespace vdb::exec

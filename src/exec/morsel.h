@@ -1,0 +1,207 @@
+#ifndef VDB_EXEC_MORSEL_H_
+#define VDB_EXEC_MORSEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/batch.h"
+#include "catalog/schema.h"
+#include "exec/execution_context.h"
+#include "exec/operator_common.h"
+#include "plan/expr.h"
+#include "plan/logical.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "util/result.h"
+
+// Morsel-driven parallel scan pipelines (DESIGN.md §12).
+//
+// The coordinator thread slices a heap scan into fixed-size morsels and
+// hands each to a ThreadPool worker, which runs the fused scan → filter →
+// project (→ partial aggregate) pipeline over it. Workers never touch the
+// ExecutionContext or the buffer pool; the coordinator fetches pages
+// itself (preserving the serial engine's exact page-access order and
+// therefore its buffer-pool hit/miss/eviction sequence) while *recording*
+// the simulated charges each fetch would have produced, and replays every
+// recorded and computed charge in serial batch order as results are
+// emitted. Because a morsel is a whole multiple of the batch size, worker
+// batch boundaries land exactly on the serial engine's, so the replayed
+// charge sequence — and thus the accumulated floating-point simulated
+// time — is bit-identical to a single-threaded run.
+
+namespace vdb::exec {
+
+/// One recorded simulated-charge event, replayed on the coordinator in
+/// exact serial order.
+struct ChargeEvent {
+  enum class Kind : uint8_t { kCpu, kPageRead, kPageWrite };
+
+  Kind kind = Kind::kCpu;
+  double cpu_ops = 0.0;  // kCpu only
+  storage::AccessPattern pattern =
+      storage::AccessPattern::kSequential;  // kPageRead only
+};
+
+inline ChargeEvent CpuEvent(double ops) {
+  return ChargeEvent{ChargeEvent::Kind::kCpu, ops,
+                     storage::AccessPattern::kSequential};
+}
+
+/// Applies recorded events to the context in order, reproducing the exact
+/// ChargeCpu / page-I/O call sequence the serial engine would have made.
+void ReplayCharges(ExecutionContext* context,
+                   const std::vector<ChargeEvent>& events);
+
+/// Buffer-pool listener that appends the I/O events a page fetch produces
+/// to a list instead of charging them; the coordinator installs it around
+/// each page read and replays the events when the corresponding batch is
+/// emitted.
+class RecordingIoListener final : public storage::IoListener {
+ public:
+  explicit RecordingIoListener(std::vector<ChargeEvent>* out) : out_(out) {}
+
+  void OnPageRead(storage::AccessPattern pattern) override {
+    out_->push_back(ChargeEvent{ChargeEvent::Kind::kPageRead, 0.0, pattern});
+  }
+  void OnPageWrite() override {
+    out_->push_back(ChargeEvent{ChargeEvent::Kind::kPageWrite, 0.0,
+                                storage::AccessPattern::kSequential});
+  }
+
+ private:
+  std::vector<ChargeEvent>* out_;
+};
+
+/// A scan work unit: up to kRecordsPerMorsel live records plus the page
+/// fetches recorded while the coordinator read them. kRecordsPerMorsel is
+/// a multiple of Batch::kDefaultRows so the worker's batch boundaries are
+/// the serial engine's batch boundaries.
+struct Morsel {
+  static constexpr size_t kRecordsPerMorsel = 4 * catalog::Batch::kDefaultRows;
+
+  /// One live record, as (page, byte range) into `pages`.
+  struct Record {
+    uint32_t page = 0;
+    uint32_t offset = 0;
+    uint32_t length = 0;
+  };
+
+  size_t index = 0;  // dispatch order
+  /// Raw page bytes backing `records`. A page straddling a morsel
+  /// boundary is shared (not re-read) by both morsels.
+  std::vector<std::shared_ptr<const std::string>> pages;
+  std::vector<Record> records;
+  /// Recorded fetch events per local batch: slot b holds the fetches the
+  /// serial engine performs while filling batch b (a fetch lands in the
+  /// batch whose fill it happened during — the batch holding the page's
+  /// first record, or, for a page with no live records, the batch being
+  /// filled when it was skipped over).
+  std::vector<std::vector<ChargeEvent>> batch_io;
+  /// Fetches past the last record (a tail of empty pages); the serial
+  /// engine charges these during its final, empty fill attempt, so they
+  /// replay after the last batch, before the scan reports exhaustion.
+  std::vector<ChargeEvent> trailing_io;
+};
+
+/// Slices a heap scan into morsels. Runs on the coordinator only: pages
+/// are read through the buffer pool in strict sequential order (the
+/// serial engine's order), with fetch charges recorded rather than
+/// applied.
+class MorselDispatcher {
+ public:
+  MorselDispatcher(ExecutionContext* context, storage::BufferPool* pool,
+                   const storage::HeapFile* heap);
+
+  /// Fills `out` with the next morsel; returns false once the scan is
+  /// exhausted. A morsel can carry zero records (a tail of empty pages,
+  /// returned for its trailing events) but never zero of both.
+  Result<bool> NextMorsel(Morsel* out);
+
+ private:
+  ExecutionContext* context_;
+  storage::BufferPool* pool_;
+  const storage::HeapFile* heap_;
+  size_t page_index_ = 0;
+  size_t next_index_ = 0;
+  bool done_ = false;
+  /// Records of the last page read that did not fit the previous morsel
+  /// (the page straddles the boundary; its fetch was already attributed).
+  std::shared_ptr<const std::string> carry_page_;
+  std::vector<Morsel::Record> carry_records_;
+  size_t carry_cursor_ = 0;
+  std::string storage_;
+  std::vector<storage::HeapFile::RecordView> views_;
+};
+
+/// The pipeline every worker runs over its morsels. All pointers
+/// reference state owned by the coordinator's operator and are only read:
+/// batch expression evaluation is const with stack-local scratch, so one
+/// spec is safely shared across workers.
+struct MorselPipelineSpec {
+  // Scan: deserialize into all-schema-column batches (lazy columns masked
+  // by `wanted`), then the optional inline filter.
+  const catalog::Schema* schema = nullptr;
+  std::vector<catalog::TypeId> scan_types;
+  const std::vector<uint8_t>* wanted = nullptr;  // nullptr = all columns
+  const plan::BoundExpr* scan_filter = nullptr;
+  double scan_filter_ops = 0.0;
+
+  /// A fused FilterOp/ProjectOp stage, charged exactly as the serial
+  /// operator charges it.
+  struct Stage {
+    enum class Kind : uint8_t { kFilter, kProject };
+
+    Kind kind = Kind::kFilter;
+    const plan::BoundExpr* filter = nullptr;                       // kFilter
+    const std::vector<plan::BoundExprPtr>* project = nullptr;      // kProject
+    double ops = 0.0;  // OpCount total of the stage's expressions
+  };
+  std::vector<Stage> stages;
+
+  // Optional terminal partial aggregate (never DISTINCT — those partials
+  // cannot be merged and stay on the serial path).
+  bool aggregate = false;
+  const std::vector<plan::BoundExprPtr>* group_exprs = nullptr;
+  const std::vector<plan::AggSpec>* aggs = nullptr;
+  /// Single-column group key borrow fast path (see HashAggregateOp).
+  const plan::ColumnExpr* group_col = nullptr;
+  double group_ops = 0.0;
+  double agg_ops = 0.0;
+
+  const CpuWorkModel* cpu = nullptr;
+};
+
+/// One group of a worker's partial aggregate, in morsel-local insertion
+/// order (the coordinator merges morsels in dispatch order, so the global
+/// first-appearance order equals the serial engine's insertion order).
+struct PartialGroup {
+  std::vector<catalog::Value> key;
+  std::vector<AggState> states;
+};
+
+/// Everything a worker hands back for one morsel.
+struct MorselResult {
+  /// One output batch plus the charges its production incurs, in serial
+  /// order: recorded page fetches first, then the scan / stage CPU lumps,
+  /// then (aggregate mode) the per-batch aggregation lump.
+  struct BatchOut {
+    catalog::Batch batch;  // empty in aggregate mode (folded into groups)
+    std::vector<ChargeEvent> events;
+    size_t rows_scanned = 0;
+  };
+
+  Status status = Status::OK();
+  std::vector<BatchOut> batches;
+  std::vector<ChargeEvent> trailing;  // the morsel's trailing_io
+  std::vector<PartialGroup> groups;   // aggregate mode only
+};
+
+/// Runs the pipeline over one morsel. Pure worker function: reads the
+/// shared spec and page bytes, writes only its own result.
+MorselResult RunMorsel(const MorselPipelineSpec& spec, Morsel morsel);
+
+}  // namespace vdb::exec
+
+#endif  // VDB_EXEC_MORSEL_H_

@@ -95,6 +95,25 @@ bool IsComparison(sql::BinaryOp op) {
   }
 }
 
+// Which comparison channel a (left, right) vector pair resolves to.
+// catalog::CompareAt re-derives this from the operand types on every row;
+// both types are batch-invariant, so the comparison kernels hoist the
+// dispatch out of the loop and run a tight typed body the compiler can
+// auto-vectorize. The channel choice mirrors CompareAt exactly: strings
+// compare as strings, any double operand promotes both sides to double,
+// everything else (int64 / bool / date) compares on the int64 channel.
+enum class CompareChannel { kInt64, kDouble, kGeneric };
+
+CompareChannel ChannelFor(const ValueVector& l, const ValueVector& r) {
+  if (l.type() == TypeId::kString || r.type() == TypeId::kString) {
+    return CompareChannel::kGeneric;
+  }
+  if (l.type() == TypeId::kDouble || r.type() == TypeId::kDouble) {
+    return CompareChannel::kDouble;
+  }
+  return CompareChannel::kInt64;
+}
+
 // Compacts `batch->sel` keeping the active rows whose dense result in
 // `flags` (a kBool vector) is non-null true.
 void CompactByBools(const ValueVector& flags, Batch* batch) {
@@ -236,16 +255,48 @@ void BinaryBoundExpr::EvaluateBatch(const Batch& batch,
 
   if (IsComparison(op_)) {
     out->Reset(TypeId::kBool, n);
-    for (size_t i = 0; i < n; ++i) {
-      const size_t li = left.Index(batch, i);
-      const size_t ri = right.Index(batch, i);
-      if (l.IsNull(li) || r.IsNull(ri)) {
-        out->SetNull(i);
-      } else {
-        out->SetInt64(
-            i, ComparisonHolds(op_, catalog::CompareAt(l, li, r, ri)) ? 1
-                                                                      : 0);
-      }
+    switch (ChannelFor(l, r)) {
+      case CompareChannel::kInt64:
+        for (size_t i = 0; i < n; ++i) {
+          const size_t li = left.Index(batch, i);
+          const size_t ri = right.Index(batch, i);
+          if (l.IsNull(li) || r.IsNull(ri)) {
+            out->SetNull(i);
+            continue;
+          }
+          const int64_t a = l.GetInt64(li);
+          const int64_t b = r.GetInt64(ri);
+          out->SetInt64(
+              i, ComparisonHolds(op_, a < b ? -1 : (a > b ? 1 : 0)) ? 1 : 0);
+        }
+        break;
+      case CompareChannel::kDouble:
+        for (size_t i = 0; i < n; ++i) {
+          const size_t li = left.Index(batch, i);
+          const size_t ri = right.Index(batch, i);
+          if (l.IsNull(li) || r.IsNull(ri)) {
+            out->SetNull(i);
+            continue;
+          }
+          const double a = l.AsDouble(li);
+          const double b = r.AsDouble(ri);
+          out->SetInt64(
+              i, ComparisonHolds(op_, a < b ? -1 : (a > b ? 1 : 0)) ? 1 : 0);
+        }
+        break;
+      case CompareChannel::kGeneric:
+        for (size_t i = 0; i < n; ++i) {
+          const size_t li = left.Index(batch, i);
+          const size_t ri = right.Index(batch, i);
+          if (l.IsNull(li) || r.IsNull(ri)) {
+            out->SetNull(i);
+            continue;
+          }
+          out->SetInt64(
+              i, ComparisonHolds(op_, catalog::CompareAt(l, li, r, ri)) ? 1
+                                                                        : 0);
+        }
+        break;
     }
     return;
   }
@@ -369,13 +420,41 @@ void BinaryBoundExpr::FilterBatch(Batch* batch) const {
     const ValueVector& l = left.vec();
     const ValueVector& r = right.vec();
     size_t kept = 0;
-    for (size_t i = 0; i < batch->sel.size(); ++i) {
-      const size_t li = left.Index(*batch, i);
-      const size_t ri = right.Index(*batch, i);
-      if (l.IsNull(li) || r.IsNull(ri)) continue;
-      if (ComparisonHolds(op_, catalog::CompareAt(l, li, r, ri))) {
-        batch->sel[kept++] = batch->sel[i];
-      }
+    switch (ChannelFor(l, r)) {
+      case CompareChannel::kInt64:
+        for (size_t i = 0; i < batch->sel.size(); ++i) {
+          const size_t li = left.Index(*batch, i);
+          const size_t ri = right.Index(*batch, i);
+          if (l.IsNull(li) || r.IsNull(ri)) continue;
+          const int64_t a = l.GetInt64(li);
+          const int64_t b = r.GetInt64(ri);
+          if (ComparisonHolds(op_, a < b ? -1 : (a > b ? 1 : 0))) {
+            batch->sel[kept++] = batch->sel[i];
+          }
+        }
+        break;
+      case CompareChannel::kDouble:
+        for (size_t i = 0; i < batch->sel.size(); ++i) {
+          const size_t li = left.Index(*batch, i);
+          const size_t ri = right.Index(*batch, i);
+          if (l.IsNull(li) || r.IsNull(ri)) continue;
+          const double a = l.AsDouble(li);
+          const double b = r.AsDouble(ri);
+          if (ComparisonHolds(op_, a < b ? -1 : (a > b ? 1 : 0))) {
+            batch->sel[kept++] = batch->sel[i];
+          }
+        }
+        break;
+      case CompareChannel::kGeneric:
+        for (size_t i = 0; i < batch->sel.size(); ++i) {
+          const size_t li = left.Index(*batch, i);
+          const size_t ri = right.Index(*batch, i);
+          if (l.IsNull(li) || r.IsNull(ri)) continue;
+          if (ComparisonHolds(op_, catalog::CompareAt(l, li, r, ri))) {
+            batch->sel[kept++] = batch->sel[i];
+          }
+        }
+        break;
     }
     batch->sel.resize(kept);
     return;

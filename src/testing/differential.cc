@@ -119,6 +119,41 @@ std::string CompareRowSets(std::vector<Tuple> engine,
   return "";
 }
 
+/// Compares the simulated charges of two cold-cache runs of one query.
+/// `bitwise` demands exact equality — serial and morsel-parallel batch
+/// runs replay the identical charge sequence, so any difference is a bug.
+/// Otherwise doubles may differ by float rounding between the row engine's
+/// per-row charges and the batch engine's per-batch lump sums, but
+/// physical reads stay exact either way.
+std::string CompareCharges(const exec::QueryResult& a,
+                           const exec::QueryResult& b, bool bitwise) {
+  if (a.physical_reads != b.physical_reads) {
+    return "physical_reads differ: " + std::to_string(a.physical_reads) +
+           " vs " + std::to_string(b.physical_reads);
+  }
+  const auto close = [bitwise](double x, double y) {
+    if (bitwise) return x == y;
+    return std::fabs(x - y) <=
+           1e-12 + 1e-9 * std::max(std::fabs(x), std::fabs(y));
+  };
+  const auto describe = [](const char* name, double x, double y) {
+    std::ostringstream out;
+    out.precision(17);
+    out << name << " differs: " << x << " vs " << y;
+    return out.str();
+  };
+  if (!close(a.cpu_seconds, b.cpu_seconds)) {
+    return describe("cpu_seconds", a.cpu_seconds, b.cpu_seconds);
+  }
+  if (!close(a.io_seconds, b.io_seconds)) {
+    return describe("io_seconds", a.io_seconds, b.io_seconds);
+  }
+  if (!close(a.elapsed_seconds, b.elapsed_seconds)) {
+    return describe("elapsed_seconds", a.elapsed_seconds, b.elapsed_seconds);
+  }
+  return "";
+}
+
 /// Checks that `rows` are sorted on `sort_columns` (output-column index,
 /// ascending), using the engine's own values. An ORDER BY result that is
 /// the right multiset but misordered is still a bug.
@@ -194,26 +229,58 @@ CheckResult CheckQuery(exec::Database* db, const sim::VirtualMachine& vm,
   }
 
   if (check_engine_equivalence) {
-    // The row and batch engines must be indistinguishable: same rows,
-    // same ordering. (Under plain LIMIT both pick the same prefix, since
-    // they visit input rows in the same order.)
+    // The row and batch engines must be indistinguishable: same rows, same
+    // ordering, and — including under LIMIT — the same simulated charges.
+    // Each run starts cold so buffer-pool state cannot explain a charge
+    // difference.
     const exec::ExecMode original = db->exec_mode();
-    db->set_exec_mode(original == exec::ExecMode::kBatch
-                          ? exec::ExecMode::kRow
-                          : exec::ExecMode::kBatch);
-    Result<exec::QueryResult> cross = db->Execute(sql, vm);
-    db->set_exec_mode(original);
-    diff.clear();
-    if (cross.ok()) {
-      diff = CompareRowSets(cross->rows, engine->rows);
-      if (diff.empty() && !query.sort_columns.empty()) {
-        diff = CheckSorted(cross->rows, query.sort_columns);
+    const exec::QueryOptions saved_options = db->query_options();
+    const auto run_cold = [&](exec::ExecMode mode, int threads) {
+      db->set_exec_mode(mode);
+      exec::QueryOptions options = saved_options;
+      options.num_threads = threads;
+      db->set_query_options(options);
+      (void)db->DropCaches();
+      Result<exec::QueryResult> result = db->Execute(sql, vm);
+      db->set_query_options(saved_options);
+      db->set_exec_mode(original);
+      return result;
+    };
+    const auto check_against = [&](const Result<exec::QueryResult>& a,
+                                   const exec::QueryResult& b,
+                                   bool bitwise) -> std::string {
+      if (!a.ok()) {
+        if (a.status().IsNotSupported()) return "";
+        return "other engine failed: " + a.status().message();
       }
-    } else if (!cross.status().IsNotSupported()) {
-      diff = "other engine failed: " + cross.status().message();
-    }
-    if (!diff.empty()) {
-      return {Outcome::kMismatch, "row vs batch engines disagree: " + diff};
+      std::string d = CompareRowSets(a->rows, b.rows);
+      if (d.empty() && !query.sort_columns.empty()) {
+        d = CheckSorted(a->rows, query.sort_columns);
+      }
+      if (d.empty()) d = CompareCharges(*a, b, bitwise);
+      return d;
+    };
+
+    Result<exec::QueryResult> batch = run_cold(exec::ExecMode::kBatch, 1);
+    if (batch.ok()) {
+      Result<exec::QueryResult> row = run_cold(exec::ExecMode::kRow, 1);
+      diff = check_against(row, *batch, /*bitwise=*/false);
+      if (!diff.empty()) {
+        return {Outcome::kMismatch,
+                "row vs batch engines disagree: " + diff};
+      }
+      // Serial vs morsel-parallel batch runs replay the exact same charge
+      // sequence, so everything must match bitwise.
+      Result<exec::QueryResult> parallel =
+          run_cold(exec::ExecMode::kBatch, 4);
+      diff = check_against(parallel, *batch, /*bitwise=*/true);
+      if (!diff.empty()) {
+        return {Outcome::kMismatch,
+                "serial vs parallel batch engines disagree: " + diff};
+      }
+    } else if (!batch.status().IsNotSupported()) {
+      return {Outcome::kMismatch,
+              "batch engine failed on re-run: " + batch.status().message()};
     }
   }
 

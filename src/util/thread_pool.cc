@@ -62,6 +62,11 @@ int ThreadPool::HardwareConcurrency() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this]() { return queue_.empty() && active_ == 0; });
+}
+
 void ThreadPool::Enqueue(std::function<void()> task) {
   const PoolMetrics& metrics = PoolMetrics::Get();
   // Clock read only when a histogram will actually consume it.
@@ -85,6 +90,7 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      ++active_;
       metrics.queue_depth->Set(static_cast<double>(queue_.size()));
     }
     if (task.enqueued_nanos != 0) {
@@ -95,9 +101,20 @@ void ThreadPool::WorkerLoop() {
     }
     {
       obs::ScopedTimer latency_timer(metrics.task_latency);
-      task.fn();
+      // Submit() routes exceptions into the task's future; this guard
+      // covers raw closures, so a throwing task can neither kill the
+      // worker thread nor strand Wait() on a never-decremented count.
+      try {
+        task.fn();
+      } catch (...) {
+      }
     }
     metrics.tasks_completed->Add();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) done_cv_.notify_all();
+    }
   }
 }
 

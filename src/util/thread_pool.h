@@ -40,6 +40,12 @@ class ThreadPool {
   /// Number of hardware threads, with a sane fallback of 1.
   static int HardwareConcurrency();
 
+  /// Blocks until the queue is empty and no worker is running a task.
+  /// Tasks submitted while Wait blocks extend the wait; a task that threw
+  /// still counts as finished, so Wait never deadlocks on failures. Must
+  /// not be called from inside a task (it would wait for itself).
+  void Wait();
+
   /// Schedules `fn` and returns a future for its result. Exceptions
   /// thrown by `fn` propagate through the future.
   template <typename F>
@@ -65,7 +71,11 @@ class ThreadPool {
 
   std::mutex mu_;
   std::condition_variable cv_;
+  /// Signals Wait() whenever the pool might have gone idle.
+  std::condition_variable done_cv_;
   std::deque<QueuedTask> queue_;
+  /// Tasks currently executing on a worker (dequeued but not finished).
+  size_t active_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -226,6 +226,41 @@ TEST_F(BatchEngineTest, LimitCrossingBatchBoundary) {
   EXPECT_EQ(RunBoth("SELECT id FROM t LIMIT 1025").size(), 1025u);
 }
 
+TEST_F(BatchEngineTest, LimitChargesMatchRowEngineExactly) {
+  // Regression: the batch engine used to deserialize (and charge for) a
+  // whole 1024-row batch even when a small LIMIT consumed only a few
+  // rows. The capped subtree now runs at the row engine's granularity, so
+  // simulated charges agree exactly — not just to a tolerance — on every
+  // LIMIT shape, including data-dependent early exits mid-batch.
+  // ORDER BY ... LIMIT is absent: the optimizer fuses it into TopN,
+  // which both engines run natively (the row engine per row, the batch
+  // engine as per-batch lump sums), so it only agrees to float rounding
+  // like every other lump-summed operator. Plain LIMIT plans agree
+  // exactly.
+  const std::vector<std::string> queries = {
+      "SELECT id FROM t LIMIT 3",
+      "SELECT id FROM t LIMIT 0",
+      "SELECT id, val FROM t WHERE grp = 5 LIMIT 7",
+      "SELECT grp, COUNT(*) FROM t GROUP BY grp LIMIT 4",
+      "SELECT id FROM t LIMIT 1025",
+  };
+  for (const std::string& sql : queries) {
+    db_.set_exec_mode(ExecMode::kBatch);
+    VDB_CHECK_OK(db_.DropCaches());
+    auto batch = db_.Execute(sql, vm_);
+    VDB_CHECK(batch.ok()) << batch.status();
+    db_.set_exec_mode(ExecMode::kRow);
+    VDB_CHECK_OK(db_.DropCaches());
+    auto row = db_.Execute(sql, vm_);
+    VDB_CHECK(row.ok()) << row.status();
+    EXPECT_EQ(Render(batch->rows), Render(row->rows)) << sql;
+    EXPECT_EQ(batch->physical_reads, row->physical_reads) << sql;
+    EXPECT_DOUBLE_EQ(batch->cpu_seconds, row->cpu_seconds) << sql;
+    EXPECT_DOUBLE_EQ(batch->io_seconds, row->io_seconds) << sql;
+    EXPECT_DOUBLE_EQ(batch->elapsed_seconds, row->elapsed_seconds) << sql;
+  }
+}
+
 TEST_F(BatchEngineTest, EmptyBatchesPropagateThroughTheTree) {
   // Only the tail of the table matches: every earlier batch reaches the
   // filter and leaves it with zero active rows, and downstream operators

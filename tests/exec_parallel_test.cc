@@ -1,0 +1,215 @@
+// Morsel-parallel engine tests (DESIGN.md §12): serial and parallel batch
+// runs of the same query must be indistinguishable — identical rows in
+// identical order and bit-identical simulated charges — because workers
+// only record charge events and the coordinator replays them in serial
+// order. The cases below pick at the seams of that design: empty tables,
+// tables smaller than one morsel, morsel boundaries that do not align
+// with 1024-row batches, more threads than morsels, aggregate merges,
+// joins, ORDER BY, and the LIMIT shapes that never parallelize.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "exec/database.h"
+#include "obs/metrics.h"
+#include "sim/machine.h"
+#include "sim/virtual_machine.h"
+
+namespace vdb::exec {
+namespace {
+
+using catalog::Column;
+using catalog::Schema;
+using catalog::Tuple;
+using catalog::TypeId;
+using catalog::Value;
+
+// 6500 rows: more than one 4096-record morsel, with a partial second
+// morsel whose size is not a multiple of the 1024-row batch either. Pages
+// hold a data-dependent number of records, so the morsel boundary lands
+// mid-page and exercises the dispatcher's carry-over path.
+constexpr int64_t kBigRows = 6500;
+constexpr int64_t kSmallRows = 50;
+
+class ParallelEngineTest : public ::testing::Test {
+ protected:
+  ParallelEngineTest()
+      : vm_("vm", sim::MachineSpec::Small(), sim::HypervisorModel::Ideal(),
+            sim::ResourceShare(1.0, 1.0, 1.0)) {
+    VDB_CHECK_OK(db_.ApplyVmConfig(vm_));
+    auto big = db_.catalog()->CreateTable(
+        "big", Schema({Column("id", TypeId::kInt64),
+                       Column("name", TypeId::kString),
+                       Column("grp", TypeId::kInt64),
+                       Column("val", TypeId::kDouble)}));
+    VDB_CHECK(big.ok());
+    for (int64_t id = 0; id < kBigRows; ++id) {
+      // Variable-length names shift record boundaries across pages; every
+      // 7th value is NULL so null handling runs in every morsel.
+      std::string name = "n" + std::string(1 + id % 9, 'x') +
+                         std::to_string(id % 131);
+      Value val = (id % 7 == 0) ? Value::Null(TypeId::kDouble)
+                                : Value::Double(static_cast<double>(id) / 3);
+      VDB_CHECK_OK(db_.catalog()->Insert(
+          *big, Tuple{Value::Int64(id), Value::String(std::move(name)),
+                      Value::Int64(id % 17), std::move(val)}));
+    }
+    auto small = db_.catalog()->CreateTable(
+        "small", Schema({Column("id", TypeId::kInt64),
+                         Column("tag", TypeId::kString)}));
+    VDB_CHECK(small.ok());
+    for (int64_t id = 0; id < kSmallRows; ++id) {
+      VDB_CHECK_OK(db_.catalog()->Insert(
+          *small, Tuple{Value::Int64(id),
+                        Value::String("tag" + std::to_string(id))}));
+    }
+    auto empty = db_.catalog()->CreateTable(
+        "nothing", Schema({Column("id", TypeId::kInt64),
+                           Column("val", TypeId::kDouble)}));
+    VDB_CHECK(empty.ok());
+    VDB_CHECK_OK(db_.catalog()->AnalyzeAll());
+  }
+
+  Result<QueryResult> RunCold(const std::string& sql, int threads) {
+    QueryOptions options;
+    options.num_threads = threads;
+    db_.set_query_options(options);
+    VDB_CHECK_OK(db_.DropCaches());
+    Result<QueryResult> result = db_.Execute(sql, vm_);
+    db_.set_query_options(QueryOptions{});
+    return result;
+  }
+
+  // Runs `sql` cold serially and cold with `threads` workers, and
+  // requires identical rows in identical order plus bit-identical
+  // simulated charges. Returns the serial rows.
+  std::vector<Tuple> RunSerialVsParallel(const std::string& sql,
+                                         int threads = 4) {
+    auto serial = RunCold(sql, 1);
+    VDB_CHECK(serial.ok()) << serial.status();
+    auto parallel = RunCold(sql, threads);
+    VDB_CHECK(parallel.ok()) << parallel.status();
+    EXPECT_EQ(Render(serial->rows), Render(parallel->rows)) << sql;
+    EXPECT_EQ(serial->physical_reads, parallel->physical_reads) << sql;
+    // Bitwise, not approximate: the parallel run replays the exact same
+    // charge sequence the serial run performs inline.
+    EXPECT_EQ(serial->cpu_seconds, parallel->cpu_seconds) << sql;
+    EXPECT_EQ(serial->io_seconds, parallel->io_seconds) << sql;
+    EXPECT_EQ(serial->elapsed_seconds, parallel->elapsed_seconds) << sql;
+    return std::move(serial->rows);
+  }
+
+  static std::vector<std::string> Render(const std::vector<Tuple>& rows) {
+    std::vector<std::string> out;
+    out.reserve(rows.size());
+    for (const Tuple& row : rows) {
+      std::string line;
+      for (const Value& v : row) {
+        line += v.is_null() ? "<null>" : v.ToString();
+        line += '|';
+      }
+      out.push_back(std::move(line));
+    }
+    return out;
+  }
+
+  sim::VirtualMachine vm_;
+  Database db_;
+};
+
+TEST_F(ParallelEngineTest, ScanFilterProjectAcrossMorselBoundaries) {
+  EXPECT_EQ(RunSerialVsParallel("SELECT id, name, val FROM big").size(),
+            static_cast<size_t>(kBigRows));
+  RunSerialVsParallel("SELECT id FROM big WHERE grp = 3");
+  RunSerialVsParallel("SELECT id + grp, val * 2.0 FROM big WHERE id % 5 = 1");
+  RunSerialVsParallel("SELECT name FROM big WHERE name LIKE 'nxx%'");
+}
+
+TEST_F(ParallelEngineTest, EmptyTableProducesNoChargesEitherWay) {
+  EXPECT_TRUE(RunSerialVsParallel("SELECT id FROM nothing").empty());
+  EXPECT_TRUE(
+      RunSerialVsParallel("SELECT id FROM nothing WHERE val > 0.0").empty());
+  auto counted = RunSerialVsParallel("SELECT COUNT(*) FROM nothing");
+  ASSERT_EQ(counted.size(), 1u);
+  EXPECT_EQ(counted[0][0], Value::Int64(0));
+}
+
+TEST_F(ParallelEngineTest, TableSmallerThanOneMorsel) {
+  EXPECT_EQ(RunSerialVsParallel("SELECT id, tag FROM small").size(),
+            static_cast<size_t>(kSmallRows));
+  RunSerialVsParallel("SELECT tag FROM small WHERE id >= 40");
+  RunSerialVsParallel("SELECT COUNT(*), MIN(tag) FROM small");
+}
+
+TEST_F(ParallelEngineTest, MoreThreadsThanMorsels) {
+  // The small table fits one morsel; eight workers mostly idle, and the
+  // single in-flight morsel must still produce the serial result.
+  RunSerialVsParallel("SELECT id, tag FROM small", /*threads=*/8);
+  RunSerialVsParallel("SELECT SUM(id) FROM small WHERE id % 2 = 0",
+                      /*threads=*/8);
+}
+
+TEST_F(ParallelEngineTest, AggregatesMergeToSerialResult) {
+  auto global = RunSerialVsParallel(
+      "SELECT COUNT(*), SUM(grp), MIN(name), MAX(val) FROM big");
+  ASSERT_EQ(global.size(), 1u);
+  EXPECT_EQ(global[0][0], Value::Int64(kBigRows));
+  EXPECT_EQ(
+      RunSerialVsParallel("SELECT grp, COUNT(*), SUM(val), AVG(val), "
+                          "MIN(id), MAX(id) FROM big GROUP BY grp")
+          .size(),
+      17u);
+  RunSerialVsParallel(
+      "SELECT grp, COUNT(*) FROM big WHERE id > 100 GROUP BY grp");
+}
+
+TEST_F(ParallelEngineTest, DistinctAggregatesFallBackToSerialPath) {
+  // DISTINCT partials cannot merge, so these plans skip the parallel
+  // aggregate; they must still return serial-identical rows and charges.
+  RunSerialVsParallel("SELECT COUNT(DISTINCT grp) FROM big");
+  RunSerialVsParallel(
+      "SELECT grp, COUNT(DISTINCT name) FROM big GROUP BY grp");
+}
+
+TEST_F(ParallelEngineTest, JoinsAndOrderByMatchSerial) {
+  auto joined = RunSerialVsParallel(
+      "SELECT b.id, s.tag FROM big b, small s WHERE b.grp = s.id "
+      "ORDER BY b.id");
+  EXPECT_FALSE(joined.empty());
+  RunSerialVsParallel(
+      "SELECT name, val FROM big ORDER BY name, id LIMIT 100");
+  RunSerialVsParallel("SELECT id FROM big WHERE grp < 4 ORDER BY val");
+}
+
+TEST_F(ParallelEngineTest, LimitShapesNeverDivergeUnderThreads) {
+  // Budgeted (LIMIT-capped) subtrees are delegated to the row engine and
+  // never parallelized, so thread count must not change anything.
+  RunSerialVsParallel("SELECT id FROM big LIMIT 3");
+  RunSerialVsParallel("SELECT id FROM big LIMIT 0");
+  RunSerialVsParallel("SELECT id FROM big WHERE grp = 5 LIMIT 7");
+  RunSerialVsParallel("SELECT id FROM big LIMIT 5000");
+}
+
+TEST_F(ParallelEngineTest, MorselPathActuallyRunsWhenParallel) {
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Counter* dispatched =
+      registry.GetCounter("exec.morsel.dispatched");
+  registry.set_enabled(true);
+  const uint64_t before = dispatched->value();
+  auto serial = RunCold("SELECT id FROM big", 1);
+  VDB_CHECK(serial.ok()) << serial.status();
+  EXPECT_EQ(dispatched->value(), before)
+      << "serial run must not dispatch morsels";
+  auto parallel = RunCold("SELECT id FROM big", 4);
+  VDB_CHECK(parallel.ok()) << parallel.status();
+  // 6500 records at 4096 per morsel is exactly two morsels.
+  EXPECT_EQ(dispatched->value(), before + 2);
+  registry.set_enabled(false);
+}
+
+}  // namespace
+}  // namespace vdb::exec

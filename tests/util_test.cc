@@ -374,6 +374,52 @@ TEST(ThreadPoolTest, PropagatesExceptionsThroughFutures) {
   EXPECT_EQ(pool.Submit([]() { return 3; }).get(), 3);
 }
 
+TEST(ThreadPoolTest, WaitBlocksUntilQueueAndWorkersIdle) {
+  util::ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&completed]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      completed.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(completed.load(), 64);
+  // Wait on an idle pool returns immediately, and the pool keeps serving.
+  pool.Wait();
+  EXPECT_EQ(pool.Submit([]() { return 5; }).get(), 5);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskDoesNotDeadlockWait) {
+  util::ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    if (i % 4 == 0) {
+      futures.push_back(pool.Submit(
+          []() -> void { throw std::runtime_error("task failed"); }));
+    } else {
+      futures.push_back(pool.Submit([&completed]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        completed.fetch_add(1);
+      }));
+    }
+  }
+  // A throwing task must count as finished: Wait returns instead of
+  // waiting forever on a task that unwound, and the queue fully drains.
+  pool.Wait();
+  EXPECT_EQ(completed.load(), 12);
+  int thrown = 0;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (const std::runtime_error&) {
+      ++thrown;
+    }
+  }
+  EXPECT_EQ(thrown, 4);
+}
+
 TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
   std::atomic<int> completed{0};
   {
