@@ -48,28 +48,6 @@ void PrintHelp() {
       "  \\q                     quit\n");
 }
 
-void PrintMetrics(const obs::MetricsSnapshot& snapshot) {
-  if (snapshot.counters.empty() && snapshot.gauges.empty() &&
-      snapshot.histograms.empty()) {
-    std::printf("(no metrics recorded)\n");
-    return;
-  }
-  for (const auto& [name, value] : snapshot.counters) {
-    std::printf("  %-28s %12llu\n", name.c_str(),
-                static_cast<unsigned long long>(value));
-  }
-  for (const auto& [name, value] : snapshot.gauges) {
-    std::printf("  %-28s %12.3f\n", name.c_str(), value);
-  }
-  for (const auto& [name, h] : snapshot.histograms) {
-    std::printf(
-        "  %-28s n=%llu sum=%.3fs p50=%.3gms p95=%.3gms p99=%.3gms\n",
-        name.c_str(), static_cast<unsigned long long>(h.count),
-        h.sum_seconds, 1000 * h.p50_seconds, 1000 * h.p95_seconds,
-        1000 * h.p99_seconds);
-  }
-}
-
 void PrintRows(const exec::QueryResult& result, size_t max_rows) {
   for (const std::string& name : result.column_names) {
     std::printf("%-18s", name.substr(0, 17).c_str());
@@ -151,7 +129,7 @@ int main(int argc, char** argv) {
         args >> mode;
         auto& registry = obs::MetricsRegistry::Global();
         if (mode.empty()) {
-          PrintMetrics(registry.Snapshot());
+          std::printf("%s", registry.Snapshot().ToText().c_str());
         } else if (mode == "json") {
           std::printf("%s\n", registry.ToJson().c_str());
         } else if (mode == "reset") {

@@ -1,0 +1,7 @@
+-- Tenant alpha: cheap single-table analytics over the synthetic `events`
+-- table (id sequential, grp Zipf 0..100, val uniform real, note text).
+select grp, count(*) as n, avg(val) as mean_val from events
+  where grp < 50 group by grp order by n desc limit 10;
+select count(*) from events where val between 100.0 and 200.0;
+select id, val from events where grp = 7 order by val desc limit 5;
+select max(val) as hi, min(val) as lo from events;

@@ -1,0 +1,7 @@
+-- Tenant beta: a mixed workload where the self-join aggregate is far
+-- beyond the tenant's budget_cpu_ms and must abort with BudgetExceeded
+-- (the two cheap statements keep its success rate non-zero).
+select count(*) from events where grp = 3;
+select a.grp, count(*) as pairs from events a join events b
+  on a.grp = b.grp group by a.grp order by pairs desc limit 5;
+select grp, count(*) from events where id < 1000 group by grp limit 5;

@@ -1337,6 +1337,11 @@ class MorselPipelineOp final : public BatchOp {
     buckets.reserve(estimate);
     VDB_RETURN_NOT_OK(Pump());
     while (!inflight_.empty()) {
+      // Per-morsel budget check point: an over-budget abort returns here
+      // mid-drain, and the destructor waits out the in-flight morsels.
+      if (BudgetGuard* guard = context_->budget_guard()) {
+        VDB_RETURN_NOT_OK(guard->Check());
+      }
       MorselResult result = inflight_.front().get();
       inflight_.pop_front();
       VDB_RETURN_NOT_OK(result.status);
@@ -1623,6 +1628,9 @@ std::vector<uint8_t> ScanWantedMask(const std::vector<OutputColumn>& output,
 // BatchOp
 
 Result<bool> BatchOp::Next(catalog::Batch* out) {
+  // Budget check point (budget.h): pulls happen at batch boundaries
+  // throughout the tree, including inside blocking operators' drains.
+  if (guard_ != nullptr) VDB_RETURN_NOT_OK(guard_->Check());
   const bool timed = obs::MetricsRegistry::Global().enabled();
   std::chrono::steady_clock::time_point start;
   if (timed) start = std::chrono::steady_clock::now();
@@ -1635,6 +1643,11 @@ Result<bool> BatchOp::Next(catalog::Batch* out) {
   if (more.ok() && *more) {
     ++batches_;
     rows_ += out->NumActive();
+    if (guard_ != nullptr && out->NumActive() > 0) {
+      guard_->ChargeMemory(static_cast<double>(out->NumActive()) *
+                           ApproxRowBytes(out->columns.size()));
+      VDB_RETURN_NOT_OK(guard_->Check());
+    }
   }
   return more;
 }
@@ -1958,6 +1971,12 @@ Result<std::vector<Tuple>> BatchExecutor::Run(const PhysicalNode& node) {
   CollectNeededColumns(node, /*is_root=*/true, &needed_);
   VDB_ASSIGN_OR_RETURN(std::unique_ptr<BatchOp> root,
                        Build(node, Executor::kNoBudget));
+  if (BudgetGuard* guard = context_->budget_guard()) {
+    // Arm every operator, not just the root: blocking operators (sort,
+    // aggregate, join builds) drain their children inside one NextImpl
+    // call, and the child pulls are where the budget has to bite.
+    for (BatchOp* op : ops_) op->set_budget_guard(guard);
+  }
   std::vector<Tuple> rows;
   Batch batch;
   while (true) {

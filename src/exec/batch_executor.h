@@ -7,6 +7,7 @@
 
 #include "catalog/batch.h"
 #include "catalog/schema.h"
+#include "exec/budget.h"
 #include "exec/execution_context.h"
 #include "exec/operator_common.h"
 #include "optimizer/physical.h"
@@ -48,6 +49,12 @@ class BatchOp {
   /// Only accumulated while the global metrics registry is enabled.
   double next_seconds() const { return next_seconds_; }
 
+  /// Attaches the query's cooperative budget guard (nullptr = none).
+  /// Every Next call becomes a check point and charges the memory budget
+  /// for the batch it produced, so blocking operators that drain their
+  /// child inside one NextImpl still abort at batch granularity.
+  void set_budget_guard(BudgetGuard* guard) { guard_ = guard; }
+
  protected:
   explicit BatchOp(const char* name) : name_(name) {}
 
@@ -60,6 +67,7 @@ class BatchOp {
   uint64_t batches_ = 0;
   uint64_t rows_ = 0;
   double next_seconds_ = 0.0;
+  BudgetGuard* guard_ = nullptr;
 };
 
 /// Vectorized executor: runs physical plans batch-at-a-time (DESIGN.md

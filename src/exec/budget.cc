@@ -1,0 +1,50 @@
+#include "exec/budget.h"
+
+#include <cstdio>
+
+#include "exec/execution_context.h"
+
+namespace vdb::exec {
+
+namespace {
+
+Status Exceeded(const char* axis, double used, double limit) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "query exceeded its %s budget (%.6g > %.6g)",
+                axis, used, limit);
+  return Status::BudgetExceeded(buf);
+}
+
+}  // namespace
+
+Status BudgetGuard::Check() const {
+  if (budget_.max_cpu_seconds > 0.0) {
+    const double used = context_->CpuSeconds();
+    if (used > budget_.max_cpu_seconds) {
+      return Exceeded("simulated-cpu-seconds", used, budget_.max_cpu_seconds);
+    }
+  }
+  if (budget_.max_elapsed_seconds > 0.0) {
+    const double used = context_->ElapsedSeconds();
+    if (used > budget_.max_elapsed_seconds) {
+      return Exceeded("simulated-elapsed-seconds", used,
+                      budget_.max_elapsed_seconds);
+    }
+  }
+  if (budget_.max_memory_bytes > 0.0 &&
+      memory_bytes_ > budget_.max_memory_bytes) {
+    return Exceeded("memory-bytes", memory_bytes_, budget_.max_memory_bytes);
+  }
+  if (budget_.max_host_seconds > 0.0) {
+    const double used =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    if (used > budget_.max_host_seconds) {
+      return Exceeded("host-seconds", used, budget_.max_host_seconds);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vdb::exec

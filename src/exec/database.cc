@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 
 #include "exec/batch_executor.h"
 #include "plan/planner.h"
@@ -72,6 +73,14 @@ Result<QueryResult> Database::ExecutePlan(
     VDB_RETURN_NOT_OK(noise_->MaybeInjectFault("query execution"));
   }
   ExecutionContext context(&vm, pool_.get(), config_.work_mem_bytes);
+  // Arm the cooperative budget before any operator runs. The guard lives
+  // on this frame, so an over-budget abort unwinds through the executor
+  // and destroys guard and context together — nothing leaks.
+  std::optional<BudgetGuard> guard;
+  if (!query_options_.budget.Unlimited()) {
+    guard.emplace(query_options_.budget, &context);
+    context.set_budget_guard(&*guard);
+  }
   std::vector<catalog::Tuple> rows;
   if (exec_mode_ == ExecMode::kBatch) {
     // Morsel-parallel execution: the pool is created lazily (and resized

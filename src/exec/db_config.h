@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "exec/budget.h"
 #include "sim/virtual_machine.h"
 #include "storage/page.h"
 
@@ -44,6 +45,9 @@ struct QueryOptions {
   /// ignores this knob. Overridable at Database construction with the
   /// VDB_EXEC_THREADS environment variable.
   int num_threads = 1;
+  /// Hard per-query resource limits enforced cooperatively inside both
+  /// engines (budget.h). All-zero (the default) disables enforcement.
+  QueryBudget budget;
 };
 
 }  // namespace vdb::exec

@@ -9,6 +9,8 @@
 
 namespace vdb::exec {
 
+class BudgetGuard;
+
 /// Ground-truth CPU work constants (abstract work units). These are the
 /// simulator's "physics": the executor charges them as it processes data,
 /// and the calibration process (paper Section 5) rediscovers their effect
@@ -67,6 +69,12 @@ class ExecutionContext final : public storage::IoListener {
 
   void Reset();
 
+  /// Attaches a cooperative per-query budget (non-owning; nullptr
+  /// detaches). Executors poll it at batch / morsel / operator boundaries
+  /// (see budget.h); the context itself never reads it.
+  void set_budget_guard(BudgetGuard* guard) { budget_guard_ = guard; }
+  BudgetGuard* budget_guard() const { return budget_guard_; }
+
  private:
   const sim::VirtualMachine* vm_;
   storage::BufferPool* pool_;
@@ -77,6 +85,7 @@ class ExecutionContext final : public storage::IoListener {
   double io_seconds_ = 0.0;
   double total_cpu_ops_ = 0.0;
   uint64_t physical_reads_ = 0;
+  BudgetGuard* budget_guard_ = nullptr;
 };
 
 }  // namespace vdb::exec

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "exec/budget.h"
 #include "obs/metrics.h"
 #include "storage/page.h"
 #include "util/logging.h"
@@ -22,6 +23,12 @@ using plan::EvaluatesToTrue;
 using plan::LogicalJoinType;
 using plan::OutputColumn;
 
+// Budget-guard poll period inside long scan/probe loops (power of two
+// minus one, used as a mask): frequent enough that an over-budget query
+// aborts mid-scan instead of after materializing its input, rare enough
+// to stay invisible next to the per-row simulated-time bookkeeping.
+constexpr size_t kBudgetPollMask = 4095;
+
 }  // namespace
 
 Result<std::vector<Tuple>> Executor::Run(const PhysicalNode& node,
@@ -34,8 +41,22 @@ Result<std::vector<Tuple>> Executor::Run(const PhysicalNode& node,
   static obs::Counter* const tuples_produced =
       obs::MetricsRegistry::Global().GetCounter("exec.tuples_produced");
   operators_executed->Add();
+  // Cooperative budget enforcement (budget.h): every operator entry is a
+  // check point, and each materialized result charges the memory budget
+  // with a coarse row-width estimate.
+  BudgetGuard* const guard = context_->budget_guard();
+  if (guard != nullptr) VDB_RETURN_NOT_OK(guard->Check());
   Result<std::vector<Tuple>> rows = RunNode(node, budget);
-  if (rows.ok()) tuples_produced->Add(rows->size());
+  if (rows.ok()) {
+    tuples_produced->Add(rows->size());
+    if (guard != nullptr) {
+      if (!rows->empty()) {
+        guard->ChargeMemory(static_cast<double>(rows->size()) *
+                            ApproxRowBytes(rows->front().size()));
+      }
+      VDB_RETURN_NOT_OK(guard->Check());
+    }
+  }
   return rows;
 }
 
@@ -84,7 +105,12 @@ Result<std::vector<Tuple>> Executor::RunSeqScan(
     VDB_ASSIGN_OR_RETURN(filter, ResolveExpr(*scan.filter, scan.output));
   }
   const double filter_ops = filter != nullptr ? filter->OpCount() : 0.0;
+  BudgetGuard* const guard = context_->budget_guard();
+  size_t scanned = 0;
   for (auto it = scan.table->heap->Begin(); it.Valid(); it.Next()) {
+    if (guard != nullptr && (++scanned & kBudgetPollMask) == 0) {
+      VDB_RETURN_NOT_OK(guard->Check());
+    }
     context_->ChargeCpu(cpu.ops_per_tuple);
     VDB_ASSIGN_OR_RETURN(
         Tuple tuple,
@@ -115,8 +141,13 @@ Result<std::vector<Tuple>> Executor::RunIndexScan(
   }
   auto it = scan.has_lower ? scan.index->tree->SeekGE(scan.lower)
                            : scan.index->tree->Begin();
+  BudgetGuard* const guard = context_->budget_guard();
+  size_t scanned = 0;
   for (; it.Valid(); it.Next()) {
     if (scan.has_upper && it.key() > scan.upper) break;
+    if (guard != nullptr && (++scanned & kBudgetPollMask) == 0) {
+      VDB_RETURN_NOT_OK(guard->Check());
+    }
     context_->ChargeCpu(cpu.ops_per_index_entry);
     const storage::RecordId rid = storage::RecordId::Unpack(it.value());
     VDB_ASSIGN_OR_RETURN(
@@ -367,7 +398,12 @@ Result<std::vector<Tuple>> Executor::RunHashJoin(
 
   std::vector<Tuple> out;
   std::vector<Value> probe_storage;
+  BudgetGuard* const guard = context_->budget_guard();
+  size_t probed = 0;
   for (const Tuple& left_row : left_rows) {
+    if (guard != nullptr && (++probed & kBudgetPollMask) == 0) {
+      VDB_RETURN_NOT_OK(guard->Check());
+    }
     context_->ChargeCpu(cpu.ops_per_hash);
     const Value* probe = nullptr;
     if (left_col != nullptr) {
@@ -530,7 +566,12 @@ Result<std::vector<Tuple>> Executor::RunHashAggregate(
   groups.reserve(estimate);
   buckets.reserve(estimate);
   std::vector<Value> key_storage;
+  BudgetGuard* const guard = context_->budget_guard();
+  size_t consumed = 0;
   for (const Tuple& row : input) {
+    if (guard != nullptr && (++consumed & kBudgetPollMask) == 0) {
+      VDB_RETURN_NOT_OK(guard->Check());
+    }
     context_->ChargeCpu(cpu.ops_per_tuple + cpu.ops_per_hash +
                         (group_ops + agg_ops) * cpu.ops_per_operator);
     const Value* key = nullptr;

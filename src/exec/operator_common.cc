@@ -2,7 +2,17 @@
 
 #include <utility>
 
+#include "exec/budget.h"
+
 namespace vdb::exec {
+
+namespace {
+
+// Budget-guard poll period for the shared O(n*m)-capable join loops
+// (mask over a power of two; see executor.cc for rationale).
+constexpr size_t kBudgetPollMask = 4095;
+
+}  // namespace
 
 using catalog::Tuple;
 using catalog::TypeId;
@@ -168,7 +178,12 @@ Result<std::vector<Tuple>> MergeJoinRows(
   std::vector<Tuple> out;
   size_t li = 0;
   size_t ri = 0;
+  BudgetGuard* const guard = context->budget_guard();
+  size_t steps = 0;
   while (li < left_rows.size() && ri < right_rows.size()) {
+    if (guard != nullptr && (++steps & kBudgetPollMask) == 0) {
+      VDB_RETURN_NOT_OK(guard->Check());
+    }
     context->ChargeCpu(cpu.ops_per_comparison);
     if (left_values[li].is_null()) {
       ++li;  // NULL keys never join (sorted last)
@@ -231,10 +246,15 @@ Result<std::vector<Tuple>> NestedLoopJoinRows(
   if (spilled) context->ChargeSpillWrite(inner_pages);
 
   std::vector<Tuple> out;
+  BudgetGuard* const guard = context->budget_guard();
+  size_t steps = 0;
   for (const Tuple& left_row : left_rows) {
     if (spilled) context->ChargeSpillRead(inner_pages);
     bool matched = false;
     for (const Tuple& right_row : right_rows) {
+      if (guard != nullptr && (++steps & kBudgetPollMask) == 0) {
+        VDB_RETURN_NOT_OK(guard->Check());
+      }
       context->ChargeCpu(cpu.ops_per_tuple + cond_ops * cpu.ops_per_operator);
       Tuple combined_row = ConcatRows(left_row, right_row);
       if (condition != nullptr &&

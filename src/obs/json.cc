@@ -1,0 +1,292 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace vdb::obs {
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string FormatJsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  // Guard against "inf"/"nan" textual forms, which are not JSON.
+  if (std::strpbrk(buf, "infa") != nullptr &&
+      std::strpbrk(buf, "0123456789") == nullptr) {
+    return "0";
+  }
+  return buf;
+}
+
+void JsonWriter::Prefix() {
+  if (have_key_) {
+    have_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;  // the root value
+  if (stack_.back()) out_.push_back(',');
+  stack_.back() = true;
+  NewlineIndent(stack_.size());
+}
+
+void JsonWriter::End(char closer) {
+  const bool had_elements = !stack_.empty() && stack_.back();
+  if (!stack_.empty()) stack_.pop_back();
+  if (had_elements) NewlineIndent(stack_.size());
+  out_.push_back(closer);
+}
+
+void JsonWriter::NewlineIndent(size_t depth) {
+  if (indent_ < 0) return;
+  out_.push_back('\n');
+  out_.append(depth * static_cast<size_t>(indent_), ' ');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string error;
+  int depth = 0;
+
+  static constexpr int kMaxDepth = 64;
+
+  bool Fail(const std::string& message) {
+    if (error.empty()) error = message;
+    return false;
+  }
+  void SkipSpace() {
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  }
+  bool Literal(const char* text, size_t len) {
+    if (static_cast<size_t>(end - p) < len ||
+        std::memcmp(p, text, len) != 0) {
+      return false;
+    }
+    p += len;
+    return true;
+  }
+  bool ParseString(std::string* out) {
+    SkipSpace();
+    if (p >= end || *p != '"') return Fail("expected string");
+    ++p;
+    out->clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return Fail("bad escape");
+        switch (*p) {
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'u': {
+            if (end - p < 5) return Fail("bad \\u escape");
+            const long code = std::strtol(
+                std::string(p + 1, p + 5).c_str(), nullptr, 16);
+            // Basic-multilingual-plane code points only; encode as UTF-8.
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(
+                  static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            p += 4;
+            break;
+          }
+          default:
+            out->push_back(*p);
+        }
+        ++p;
+      } else {
+        out->push_back(*p++);
+      }
+    }
+    if (p >= end) return Fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (p >= end) return Fail("unexpected end of input");
+    if (++depth > kMaxDepth) return Fail("document nested too deeply");
+    bool ok = ParseValueInner(out);
+    --depth;
+    return ok;
+  }
+  bool ParseValueInner(JsonValue* out) {
+    switch (*p) {
+      case '{': {
+        ++p;
+        out->type = JsonValue::Type::kObject;
+        SkipSpace();
+        if (p < end && *p == '}') {
+          ++p;
+          return true;
+        }
+        for (;;) {
+          std::string key;
+          if (!ParseString(&key)) return false;
+          SkipSpace();
+          if (p >= end || *p != ':') return Fail("expected ':'");
+          ++p;
+          JsonValue value;
+          if (!ParseValue(&value)) return false;
+          out->members.emplace_back(std::move(key), std::move(value));
+          SkipSpace();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == '}') {
+            ++p;
+            return true;
+          }
+          return Fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++p;
+        out->type = JsonValue::Type::kArray;
+        SkipSpace();
+        if (p < end && *p == ']') {
+          ++p;
+          return true;
+        }
+        for (;;) {
+          JsonValue value;
+          if (!ParseValue(&value)) return false;
+          out->items.push_back(std::move(value));
+          SkipSpace();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == ']') {
+            ++p;
+            return true;
+          }
+          return Fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->string_value);
+      case 't':
+        if (!Literal("true", 4)) return Fail("bad literal");
+        out->type = JsonValue::Type::kBool;
+        out->bool_value = true;
+        return true;
+      case 'f':
+        if (!Literal("false", 5)) return Fail("bad literal");
+        out->type = JsonValue::Type::kBool;
+        out->bool_value = false;
+        return true;
+      case 'n':
+        if (!Literal("null", 4)) return Fail("bad literal");
+        out->type = JsonValue::Type::kNull;
+        return true;
+      default: {
+        char* after = nullptr;
+        const double v = std::strtod(p, &after);
+        if (after == p || after > end) return Fail("expected value");
+        out->type = JsonValue::Type::kNumber;
+        out->number = v;
+        p = after;
+        return true;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::GetString(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->string_value : std::string();
+}
+
+double JsonValue::GetNumber(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error) {
+  *out = JsonValue();
+  Parser parser{text.data(), text.data() + text.size(), {}};
+  bool ok = parser.ParseValue(out);
+  if (ok) {
+    parser.SkipSpace();
+    if (parser.p != parser.end) {
+      ok = parser.Fail("trailing characters after document");
+    }
+  }
+  if (!ok && error != nullptr) {
+    *error = parser.error.empty() ? "malformed JSON" : parser.error;
+  }
+  return ok;
+}
+
+}  // namespace vdb::obs

@@ -1,0 +1,133 @@
+#ifndef VDB_OBS_JSON_H_
+#define VDB_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+// Minimal JSON support shared by the metrics snapshot (metrics.cc), the
+// server wire protocol (src/server/wire.cc), and the tools: a streaming
+// writer with automatic comma/indent management, and a small value-tree
+// parser for the subset the engine speaks (null, bool, number, string,
+// array, object with string keys). Freestanding — standard library only —
+// so it lives in obs next to its first user and below every other layer.
+namespace vdb::obs {
+
+/// Appends `s` to `*out` as a quoted JSON string, escaping quotes,
+/// backslashes, and control characters.
+void AppendJsonEscaped(std::string* out, std::string_view s);
+
+/// A JSON-legal rendering of `v` ("%.9g"; non-finite values become "0",
+/// which keeps emitted documents parseable everywhere).
+std::string FormatJsonNumber(double v);
+
+/// Builds a JSON document incrementally. Commas and newlines are managed
+/// automatically; `indent` < 0 emits a compact single line. The caller is
+/// responsible for well-formedness (every Begin matched by an End, a Key
+/// before each object member's value).
+class JsonWriter {
+ public:
+  explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+  void BeginObject() {
+    Prefix();
+    out_.push_back('{');
+    stack_.push_back(false);
+  }
+  void EndObject() { End('}'); }
+  void BeginArray() {
+    Prefix();
+    out_.push_back('[');
+    stack_.push_back(false);
+  }
+  void EndArray() { End(']'); }
+
+  void Key(std::string_view name) {
+    Prefix();
+    AppendJsonEscaped(&out_, name);
+    out_ += indent_ < 0 ? ":" : ": ";
+    have_key_ = true;
+  }
+
+  void String(std::string_view v) {
+    Prefix();
+    AppendJsonEscaped(&out_, v);
+  }
+  void Number(double v) {
+    Prefix();
+    out_ += FormatJsonNumber(v);
+  }
+  void Int(int64_t v) {
+    Prefix();
+    out_ += std::to_string(v);
+  }
+  void Uint(uint64_t v) {
+    Prefix();
+    out_ += std::to_string(v);
+  }
+  void Bool(bool v) {
+    Prefix();
+    out_ += v ? "true" : "false";
+  }
+  void Null() {
+    Prefix();
+    out_ += "null";
+  }
+  /// Splices pre-rendered JSON in value position (e.g. a nested document).
+  void Raw(std::string_view json) {
+    Prefix();
+    out_ += json;
+  }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Prefix();
+  void End(char closer);
+  void NewlineIndent(size_t depth);
+
+  std::string out_;
+  int indent_;
+  bool have_key_ = false;
+  /// One entry per open container: true once it has a first element.
+  std::vector<bool> stack_;
+};
+
+/// Parsed JSON value. Object member order is preserved.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// Object member lookup (first match); nullptr when absent or when this
+  /// value is not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Find + type convenience: empty string / 0 when absent or mistyped.
+  std::string GetString(std::string_view key) const;
+  double GetNumber(std::string_view key, double fallback = 0.0) const;
+};
+
+/// Parses `text` into `*out`. Trailing non-whitespace after the document
+/// is an error. Returns false and sets `*error` (if non-null) on
+/// malformed input.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error);
+
+}  // namespace vdb::obs
+
+#endif  // VDB_OBS_JSON_H_

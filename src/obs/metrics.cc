@@ -1,11 +1,11 @@
 #include "obs/metrics.h"
 
 #include <bit>
-#include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <cstring>
-#include <sstream>
+#include <utility>
+
+#include "obs/json.h"
 
 namespace vdb::obs {
 
@@ -163,327 +163,136 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 // ---------------------------------------------------------------------------
-// JSON emit
-
-namespace {
-
-void AppendEscaped(std::string* out, const std::string& s) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
-
-std::string FormatDouble(double v) {
-  if (!std::isfinite(v)) return "0";
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
-  // JSON requires a leading digit; %g never emits one-less forms, but
-  // guard against "inf"/"nan" textual forms anyway.
-  if (std::strpbrk(buf, "infa") != nullptr &&
-      std::strpbrk(buf, "0123456789") == nullptr) {
-    return "0";
-  }
-  return buf;
-}
-
-struct JsonWriter {
-  std::string out;
-  int indent;
-  int depth = 0;
-
-  void Newline() {
-    if (indent < 0) return;
-    out.push_back('\n');
-    out.append(static_cast<size_t>(depth * indent), ' ');
-  }
-  void OpenObject() {
-    out.push_back('{');
-    ++depth;
-  }
-  void CloseObject() {
-    --depth;
-    Newline();
-    out.push_back('}');
-  }
-  void Key(const std::string& name) {
-    AppendEscaped(&out, name);
-    out += indent < 0 ? ":" : ": ";
-  }
-};
-
-}  // namespace
+// JSON emit / parse / text render, on the shared writer and parser
+// (obs/json.h) that the server wire protocol uses too.
 
 std::string MetricsSnapshot::ToJson(int indent) const {
-  JsonWriter w{.out = {}, .indent = indent};
-  w.OpenObject();
-
-  w.Newline();
+  JsonWriter w(indent);
+  w.BeginObject();
   w.Key("counters");
-  w.OpenObject();
-  bool first = true;
+  w.BeginObject();
   for (const auto& [name, value] : counters) {
-    if (!first) w.out.push_back(',');
-    first = false;
-    w.Newline();
     w.Key(name);
-    w.out += std::to_string(value);
+    w.Uint(value);
   }
-  w.CloseObject();
-  w.out.push_back(',');
-
-  w.Newline();
+  w.EndObject();
   w.Key("gauges");
-  w.OpenObject();
-  first = true;
+  w.BeginObject();
   for (const auto& [name, value] : gauges) {
-    if (!first) w.out.push_back(',');
-    first = false;
-    w.Newline();
     w.Key(name);
-    w.out += FormatDouble(value);
+    w.Number(value);
   }
-  w.CloseObject();
-  w.out.push_back(',');
-
-  w.Newline();
+  w.EndObject();
   w.Key("histograms");
-  w.OpenObject();
-  first = true;
+  w.BeginObject();
   for (const auto& [name, sample] : histograms) {
-    if (!first) w.out.push_back(',');
-    first = false;
-    w.Newline();
     w.Key(name);
-    w.OpenObject();
+    w.BeginObject();
+    w.Key("count");
+    w.Uint(sample.count);
     const std::pair<const char*, double> fields[] = {
         {"sum_s", sample.sum_seconds}, {"min_s", sample.min_seconds},
         {"max_s", sample.max_seconds}, {"p50_s", sample.p50_seconds},
         {"p95_s", sample.p95_seconds}, {"p99_s", sample.p99_seconds}};
-    w.Newline();
-    w.Key("count");
-    w.out += std::to_string(sample.count);
     for (const auto& [key, value] : fields) {
-      w.out.push_back(',');
-      w.Newline();
       w.Key(key);
-      w.out += FormatDouble(value);
+      w.Number(value);
     }
-    w.CloseObject();
+    w.EndObject();
   }
-  w.CloseObject();
-
-  w.CloseObject();
-  return w.out;
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
 }
-
-// ---------------------------------------------------------------------------
-// JSON parse (the subset ToJson emits: objects, string keys, numbers)
-
-namespace {
-
-struct JsonParser {
-  const char* p;
-  const char* end;
-  std::string error;
-
-  bool Fail(const std::string& message) {
-    if (error.empty()) error = message;
-    return false;
-  }
-  void SkipSpace() {
-    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
-  }
-  bool Expect(char c) {
-    SkipSpace();
-    if (p >= end || *p != c) {
-      return Fail(std::string("expected '") + c + "'");
-    }
-    ++p;
-    return true;
-  }
-  bool PeekIs(char c) {
-    SkipSpace();
-    return p < end && *p == c;
-  }
-  bool ParseString(std::string* out) {
-    SkipSpace();
-    if (p >= end || *p != '"') return Fail("expected string");
-    ++p;
-    out->clear();
-    while (p < end && *p != '"') {
-      if (*p == '\\') {
-        ++p;
-        if (p >= end) return Fail("bad escape");
-        switch (*p) {
-          case 'n':
-            out->push_back('\n');
-            break;
-          case 't':
-            out->push_back('\t');
-            break;
-          case 'u': {
-            if (end - p < 5) return Fail("bad \\u escape");
-            out->push_back(static_cast<char>(
-                std::strtol(std::string(p + 1, p + 5).c_str(), nullptr,
-                            16)));
-            p += 4;
-            break;
-          }
-          default:
-            out->push_back(*p);
-        }
-        ++p;
-      } else {
-        out->push_back(*p++);
-      }
-    }
-    if (p >= end) return Fail("unterminated string");
-    ++p;  // closing quote
-    return true;
-  }
-  bool ParseNumber(double* out) {
-    SkipSpace();
-    char* after = nullptr;
-    *out = std::strtod(p, &after);
-    if (after == p) return Fail("expected number");
-    p = after;
-    return true;
-  }
-  // Parses {"key": number, ...} via callback.
-  template <typename Fn>
-  bool ParseFlatObject(Fn&& on_field) {
-    if (!Expect('{')) return false;
-    if (PeekIs('}')) {
-      ++p;
-      return true;
-    }
-    for (;;) {
-      std::string key;
-      double value = 0;
-      if (!ParseString(&key)) return false;
-      if (!Expect(':')) return false;
-      if (!ParseNumber(&value)) return false;
-      if (!on_field(key, value)) return false;
-      SkipSpace();
-      if (PeekIs(',')) {
-        ++p;
-        continue;
-      }
-      return Expect('}');
-    }
-  }
-};
-
-}  // namespace
 
 bool MetricsSnapshot::FromJson(const std::string& json, MetricsSnapshot* out,
                                std::string* error) {
   *out = MetricsSnapshot();
-  JsonParser parser{json.data(), json.data() + json.size(), {}};
-  bool ok = [&]() -> bool {
-    if (!parser.Expect('{')) return false;
-    if (parser.PeekIs('}')) {
-      ++parser.p;
-      return true;
-    }
-    for (;;) {
-      std::string section;
-      if (!parser.ParseString(&section)) return false;
-      if (!parser.Expect(':')) return false;
-      if (section == "counters") {
-        if (!parser.ParseFlatObject([&](const std::string& k, double v) {
-              out->counters[k] = static_cast<uint64_t>(v);
-              return true;
-            })) {
-          return false;
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  JsonValue root;
+  std::string parse_error;
+  if (!ParseJson(json, &root, &parse_error)) return fail(parse_error);
+  if (!root.is_object()) return fail("expected a top-level object");
+  for (const auto& [section, value] : root.members) {
+    if (section == "counters") {
+      if (!value.is_object()) return fail("counters must be an object");
+      for (const auto& [name, v] : value.members) {
+        if (!v.is_number()) return fail("counter " + name + " not a number");
+        out->counters[name] = static_cast<uint64_t>(v.number);
+      }
+    } else if (section == "gauges") {
+      if (!value.is_object()) return fail("gauges must be an object");
+      for (const auto& [name, v] : value.members) {
+        if (!v.is_number()) return fail("gauge " + name + " not a number");
+        out->gauges[name] = v.number;
+      }
+    } else if (section == "histograms") {
+      if (!value.is_object()) return fail("histograms must be an object");
+      for (const auto& [name, h] : value.members) {
+        if (!h.is_object()) {
+          return fail("histogram " + name + " not an object");
         }
-      } else if (section == "gauges") {
-        if (!parser.ParseFlatObject([&](const std::string& k, double v) {
-              out->gauges[k] = v;
-              return true;
-            })) {
-          return false;
-        }
-      } else if (section == "histograms") {
-        if (!parser.Expect('{')) return false;
-        if (parser.PeekIs('}')) {
-          ++parser.p;
-        } else {
-          for (;;) {
-            std::string name;
-            if (!parser.ParseString(&name)) return false;
-            if (!parser.Expect(':')) return false;
-            HistogramSample sample;
-            if (!parser.ParseFlatObject([&](const std::string& k, double v) {
-                  if (k == "count") {
-                    sample.count = static_cast<uint64_t>(v);
-                  } else if (k == "sum_s") {
-                    sample.sum_seconds = v;
-                  } else if (k == "min_s") {
-                    sample.min_seconds = v;
-                  } else if (k == "max_s") {
-                    sample.max_seconds = v;
-                  } else if (k == "p50_s") {
-                    sample.p50_seconds = v;
-                  } else if (k == "p95_s") {
-                    sample.p95_seconds = v;
-                  } else if (k == "p99_s") {
-                    sample.p99_seconds = v;
-                  } else {
-                    return parser.Fail("unknown histogram field " + k);
-                  }
-                  return true;
-                })) {
-              return false;
-            }
-            out->histograms[name] = sample;
-            parser.SkipSpace();
-            if (parser.PeekIs(',')) {
-              ++parser.p;
-              continue;
-            }
-            if (!parser.Expect('}')) return false;
-            break;
+        HistogramSample sample;
+        for (const auto& [field, v] : h.members) {
+          if (!v.is_number()) {
+            return fail("histogram field " + field + " not a number");
+          }
+          if (field == "count") {
+            sample.count = static_cast<uint64_t>(v.number);
+          } else if (field == "sum_s") {
+            sample.sum_seconds = v.number;
+          } else if (field == "min_s") {
+            sample.min_seconds = v.number;
+          } else if (field == "max_s") {
+            sample.max_seconds = v.number;
+          } else if (field == "p50_s") {
+            sample.p50_seconds = v.number;
+          } else if (field == "p95_s") {
+            sample.p95_seconds = v.number;
+          } else if (field == "p99_s") {
+            sample.p99_seconds = v.number;
+          } else {
+            return fail("unknown histogram field " + field);
           }
         }
-      } else {
-        return parser.Fail("unknown section " + section);
+        out->histograms[name] = sample;
       }
-      parser.SkipSpace();
-      if (parser.PeekIs(',')) {
-        ++parser.p;
-        continue;
-      }
-      return parser.Expect('}');
+    } else {
+      return fail("unknown section " + section);
     }
-  }();
-  if (!ok && error != nullptr) {
-    *error = parser.error.empty() ? "malformed metrics JSON" : parser.error;
   }
-  return ok;
+  return true;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  if (counters.empty() && gauges.empty() && histograms.empty()) {
+    return "(no metrics recorded)\n";
+  }
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(line, sizeof(line), "  %-28s %12llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : gauges) {
+    std::snprintf(line, sizeof(line), "  %-28s %12.3f\n", name.c_str(),
+                  value);
+    out += line;
+  }
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(
+        line, sizeof(line),
+        "  %-28s n=%llu sum=%.3fs p50=%.3gms p95=%.3gms p99=%.3gms\n",
+        name.c_str(), static_cast<unsigned long long>(h.count),
+        h.sum_seconds, 1000 * h.p50_seconds, 1000 * h.p95_seconds,
+        1000 * h.p99_seconds);
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace vdb::obs

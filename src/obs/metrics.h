@@ -172,6 +172,10 @@ struct MetricsSnapshot {
   /// input. Accepts any field order; unknown histogram fields are errors.
   static bool FromJson(const std::string& json, MetricsSnapshot* out,
                        std::string* error);
+
+  /// Human-readable rendering (one aligned line per metric) — the format
+  /// vdbsh's \metrics command and the server's metrics dump share.
+  std::string ToText() const;
 };
 
 // ---------------------------------------------------------------------------

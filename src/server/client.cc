@@ -1,0 +1,87 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace vdb::server {
+
+WireClient::~WireClient() { Close(); }
+
+WireClient::WireClient(WireClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+WireClient& WireClient::operator=(WireClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void WireClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<WireClient> WireClient::Connect(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad server address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                           ": " + detail);
+  }
+  WireClient client;
+  client.fd_ = fd;
+  return client;
+}
+
+Result<WireResponse> WireClient::RoundTrip(const WireRequest& request) {
+  if (fd_ < 0) return Status::IOError("client is not connected");
+  VDB_RETURN_NOT_OK(WriteFrame(fd_, FormatRequest(request)));
+  std::string payload;
+  VDB_ASSIGN_OR_RETURN(const bool alive, ReadFrame(fd_, &payload));
+  if (!alive) {
+    Close();
+    return Status::IOError("server closed the connection");
+  }
+  return ParseResponse(payload);
+}
+
+Result<WireResponse> WireClient::Query(const std::string& tenant,
+                                       const std::string& sql) {
+  WireRequest request;
+  request.tenant = tenant;
+  request.sql = sql;
+  return RoundTrip(request);
+}
+
+Result<WireResponse> WireClient::Command(const std::string& tenant,
+                                         const std::string& command,
+                                         const std::string& arg) {
+  WireRequest request;
+  request.tenant = tenant;
+  request.command = command;
+  request.arg = arg;
+  return RoundTrip(request);
+}
+
+}  // namespace vdb::server

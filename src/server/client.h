@@ -1,0 +1,49 @@
+#ifndef VDB_SERVER_CLIENT_H_
+#define VDB_SERVER_CLIENT_H_
+
+#include <string>
+
+#include "server/wire.h"
+#include "util/result.h"
+
+namespace vdb::server {
+
+/// Blocking client for one server connection. Not thread-safe: the wire
+/// protocol is strictly request/response per connection, so concurrent
+/// clients each open their own (vdb_loadgen opens one per simulated
+/// client).
+class WireClient {
+ public:
+  WireClient() = default;
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+  WireClient(WireClient&& other) noexcept;
+  WireClient& operator=(WireClient&& other) noexcept;
+
+  static Result<WireClient> Connect(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Executes `sql` as `tenant`. A server-side error (budget abort,
+  /// rejection, planner error) comes back as a WireResponse whose `error`
+  /// carries the typed code; transport failures are this Result's error.
+  Result<WireResponse> Query(const std::string& tenant,
+                             const std::string& sql);
+
+  /// Runs a control command ("ping", "metrics", "reload" with `arg`).
+  Result<WireResponse> Command(const std::string& tenant,
+                               const std::string& command,
+                               const std::string& arg = "");
+
+ private:
+  Result<WireResponse> RoundTrip(const WireRequest& request);
+
+  int fd_ = -1;
+};
+
+}  // namespace vdb::server
+
+#endif  // VDB_SERVER_CLIENT_H_

@@ -1,0 +1,147 @@
+#ifndef VDB_SERVER_SERVER_H_
+#define VDB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/database.h"
+#include "obs/metrics.h"
+#include "server/tenant.h"
+#include "server/wire.h"
+#include "sim/machine.h"
+#include "sim/vmm.h"
+#include "util/thread_pool.h"
+
+namespace vdb::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; port() reports the bound one after Start.
+  int port = 0;
+  /// Workers in the shared execution pool (clamped to >= 1).
+  int num_workers = 4;
+  /// The physical machine every tenant VM is carved out of.
+  sim::MachineSpec machine = sim::MachineSpec::PaperTestbed();
+  /// Where the tenant config came from — the default path for a `reload`
+  /// wire command with no argument.
+  std::string config_path;
+};
+
+/// Multi-tenant SQL server (DESIGN.md §13). Each tenant is one logical VM
+/// on a shared physical machine — its CPU/memory/IO shares come from the
+/// tenant config and bound what the embedded engine charges — plus one
+/// private Database materialized from the tenant's dataset declaration.
+///
+/// Execution model: a tenant executes at most one query at a time (one
+/// Database is one simulated instance: its buffer pool accepts a single
+/// IO listener), so each tenant keeps a FIFO queue drained by at most one
+/// task on the shared worker pool. The drain task runs one query, then
+/// re-enqueues itself; the pool's FIFO order therefore round-robins
+/// tenants, and a tenant saturating its own queue cannot starve another
+/// tenant's drain task — isolation falls out of the scheduling shape.
+///
+/// Admission control fast-fails: a request arriving while the tenant
+/// already has max_concurrent + queue_depth admitted-but-unfinished
+/// queries is rejected immediately with ResourceExhausted, never parked.
+///
+/// Per-query budgets are enforced cooperatively inside both engines (see
+/// exec/budget.h): an over-budget query aborts with kBudgetExceeded,
+/// surfaces as a typed wire error, and leaves the tenant's Database fully
+/// usable — the ExecutionContext unwinds via RAII, so nothing leaks.
+class Server {
+ public:
+  Server(ServerOptions options, std::vector<TenantConfig> tenants);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Creates the VMs, materializes every tenant's dataset, binds the
+  /// listener, and starts accepting connections.
+  Status Start();
+
+  /// Stops accepting, unblocks live connections, and drains in-flight
+  /// queries (they complete; their clients may already be gone).
+  void Stop();
+
+  /// The bound TCP port (valid after Start).
+  int port() const { return port_; }
+
+  /// Re-applies shares, budgets, and admission caps for tenants that
+  /// appear in `path`; tenants not listed keep their settings, tenants in
+  /// the file but not running are ignored. Shares are applied in two
+  /// rounds so a reload that shrinks one VM to grow another succeeds
+  /// regardless of line order.
+  Status Reload(const std::string& path);
+
+  /// Number of tenants (for tools/tests).
+  size_t num_tenants() const { return tenants_.size(); }
+
+ private:
+  struct Job {
+    std::string sql;
+    std::promise<std::string> response;  // formatted wire payload
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  struct Tenant {
+    TenantConfig config;
+    exec::Database db;
+    sim::VirtualMachine* vm = nullptr;  // owned by vmm_
+    obs::Histogram* latency = nullptr;
+
+    std::mutex mu;  // guards queue / inflight / drain_scheduled
+    std::deque<Job> queue;
+    int inflight = 0;
+    bool drain_scheduled = false;
+
+    /// Serializes query execution against Reload's config mutation.
+    std::mutex exec_mu;
+  };
+
+  Status SetUpTenant(Tenant* tenant);
+  Tenant* FindTenant(const std::string& name);
+
+  /// Admits or rejects; on admission returns the future for the response
+  /// frame payload.
+  Result<std::future<std::string>> SubmitQuery(Tenant* tenant,
+                                               std::string sql);
+  void DrainOne(Tenant* tenant);
+  std::string ExecuteJob(Tenant* tenant, Job* job);
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  std::string HandleRequest(const std::string& payload);
+  std::string HandleCommand(Tenant* tenant, const WireRequest& request);
+
+  ServerOptions options_;
+  sim::VirtualMachineMonitor vmm_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  util::ThreadPool pool_;
+
+  obs::Counter* admitted_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Counter* aborted_budget_ = nullptr;
+
+  std::mutex reload_mu_;  // serializes Reload calls (vmm_ not thread-safe)
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+  bool started_ = false;
+};
+
+}  // namespace vdb::server
+
+#endif  // VDB_SERVER_SERVER_H_

@@ -1,0 +1,161 @@
+#include "server/tenant.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace vdb::server {
+
+namespace {
+
+Status LineError(const std::string& path, int line, const std::string& what) {
+  return Status::InvalidArgument(path + ":" + std::to_string(line) + ": " +
+                                 what);
+}
+
+Result<double> ParseNumber(const std::string& path, int line,
+                           const std::string& key,
+                           const std::string& value) {
+  char* after = nullptr;
+  const double v = std::strtod(value.c_str(), &after);
+  if (after == value.c_str() || *after != '\0') {
+    return LineError(path, line, "bad numeric value for " + key);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<datagen::ColumnSpec> SyntheticEventColumns() {
+  std::vector<datagen::ColumnSpec> specs(4);
+  specs[0].name = "id";
+  specs[0].distribution = datagen::Distribution::kSequential;
+  specs[1].name = "grp";
+  specs[1].distribution = datagen::Distribution::kZipf;
+  specs[1].max_value = 100;
+  specs[2].name = "val";
+  specs[2].type = catalog::TypeId::kDouble;
+  specs[2].distribution = datagen::Distribution::kUniformReal;
+  specs[2].max_value = 1000.0;
+  specs[3].name = "note";
+  specs[3].type = catalog::TypeId::kString;
+  specs[3].distribution = datagen::Distribution::kRandomText;
+  specs[3].string_length = 24;
+  return specs;
+}
+
+Result<std::vector<TenantConfig>> LoadTenantConfigs(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open tenant config " + path);
+  }
+  std::vector<TenantConfig> tenants;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    std::istringstream fields{std::string(trimmed)};
+    std::string keyword;
+    std::string name;
+    fields >> keyword >> name;
+    if (keyword != "tenant" || name.empty()) {
+      return LineError(path, line_number, "expected 'tenant <name> k=v ...'");
+    }
+    for (const TenantConfig& existing : tenants) {
+      if (existing.name == name) {
+        return LineError(path, line_number, "duplicate tenant " + name);
+      }
+    }
+    TenantConfig config;
+    config.name = name;
+    std::string field;
+    while (fields >> field) {
+      const size_t eq = field.find('=');
+      if (eq == std::string::npos) {
+        return LineError(path, line_number, "expected key=value, got " + field);
+      }
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      if (key == "dataset") {
+        config.dataset = value;
+        continue;
+      }
+      if (key == "workload") {
+        config.workload = value;
+        continue;
+      }
+      VDB_ASSIGN_OR_RETURN(const double v,
+                           ParseNumber(path, line_number, key, value));
+      if (key == "cpu") {
+        config.cpu_share = v;
+      } else if (key == "mem") {
+        config.mem_share = v;
+      } else if (key == "io") {
+        config.io_share = v;
+      } else if (key == "max_concurrent") {
+        config.max_concurrent = static_cast<int>(v);
+      } else if (key == "queue") {
+        config.queue_depth = static_cast<int>(v);
+      } else if (key == "clients") {
+        config.clients = static_cast<int>(v);
+      } else if (key == "budget_cpu_ms") {
+        config.budget.max_cpu_seconds = v / 1000.0;
+      } else if (key == "budget_elapsed_ms") {
+        config.budget.max_elapsed_seconds = v / 1000.0;
+      } else if (key == "budget_mem_kb") {
+        config.budget.max_memory_bytes = v * 1024.0;
+      } else if (key == "budget_host_ms") {
+        config.budget.max_host_seconds = v / 1000.0;
+      } else {
+        return LineError(path, line_number, "unknown key " + key);
+      }
+    }
+    if (config.max_concurrent < 1) {
+      return LineError(path, line_number, "max_concurrent must be >= 1");
+    }
+    if (config.queue_depth < 0) {
+      return LineError(path, line_number, "queue must be >= 0");
+    }
+    tenants.push_back(std::move(config));
+  }
+  if (tenants.empty()) {
+    return Status::InvalidArgument(path + ": no tenants declared");
+  }
+  return tenants;
+}
+
+Result<std::vector<std::string>> LoadSqlStatements(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open workload " + path);
+  }
+  std::vector<std::string> statements;
+  std::string current;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || StartsWith(trimmed, "--")) continue;
+    current += line;
+    current += '\n';
+    if (trimmed.back() == ';') {
+      statements.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!Trim(current).empty()) {
+    return Status::InvalidArgument(path +
+                                   ": trailing statement without ';'");
+  }
+  if (statements.empty()) {
+    return Status::InvalidArgument(path + ": no statements");
+  }
+  return statements;
+}
+
+}  // namespace vdb::server

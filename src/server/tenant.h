@@ -1,0 +1,73 @@
+#ifndef VDB_SERVER_TENANT_H_
+#define VDB_SERVER_TENANT_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/synthetic.h"
+#include "exec/budget.h"
+#include "util/result.h"
+
+namespace vdb::server {
+
+/// One tenant's declaration: its VM shares, dataset, admission caps, and
+/// per-query budget (DESIGN.md §13). Parsed from a tenants.conf line:
+///
+///   tenant <name> cpu=0.5 mem=0.5 io=0.5 dataset=tpch:0.01
+///     workload=examples/workloads/tenant_alpha.sql
+///     max_concurrent=8 queue=16 clients=50
+///     budget_cpu_ms=0 budget_elapsed_ms=250 budget_mem_kb=0
+///     budget_host_ms=2000
+///
+/// (shown wrapped; a tenant declaration is one line in the file)
+///
+/// `#` starts a comment; unknown keys are errors (typos must not silently
+/// become defaults). Shares across all tenants must satisfy the VMM's
+/// sum <= 1 constraint per resource — the server surfaces the VMM error
+/// at startup otherwise.
+struct TenantConfig {
+  std::string name;
+  double cpu_share = 0.25;
+  double mem_share = 0.25;
+  double io_share = 0.25;
+
+  /// "tpch:<scale>" or "synthetic:<rows>". The server materializes the
+  /// dataset into the tenant's private database at startup.
+  std::string dataset = "tpch:0.01";
+
+  /// Scenario file of semicolon-terminated SQL statements driven by
+  /// vdb_loadgen (the server itself never reads it).
+  std::string workload;
+
+  /// Admission control: one tenant executes serially inside its VM (one
+  /// Database = one simulated instance), so max_concurrent bounds the
+  /// admitted-but-unfinished window and queue_depth the backlog beyond
+  /// it. A request arriving with the window and backlog full is rejected
+  /// immediately (fast-fail), never parked.
+  int max_concurrent = 4;
+  int queue_depth = 16;
+
+  /// Closed-loop clients vdb_loadgen runs for this tenant.
+  int clients = 8;
+
+  /// Per-query hard limits (0 = unlimited on that axis).
+  exec::QueryBudget budget;
+};
+
+/// Parses a tenants.conf file. Errors carry the offending line number.
+Result<std::vector<TenantConfig>> LoadTenantConfigs(const std::string& path);
+
+/// Column specs of the `events` table a "synthetic:<rows>" dataset
+/// materializes (id sequential, grp Zipf 0..100, val uniform real, note
+/// text). Exposed so the wire fuzzer can rebuild the identical table
+/// in-process (same specs + seed kSyntheticSeed = same bits).
+std::vector<datagen::ColumnSpec> SyntheticEventColumns();
+inline constexpr uint64_t kSyntheticSeed = 7;
+
+/// Parses one workload scenario file: `--` comments, statements terminated
+/// by ';' (possibly spanning lines). Errors on an empty statement list.
+Result<std::vector<std::string>> LoadSqlStatements(const std::string& path);
+
+}  // namespace vdb::server
+
+#endif  // VDB_SERVER_TENANT_H_

@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Resource exhausted";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kBudgetExceeded:
+      return "Budget exceeded";
   }
   return "Unknown";
 }

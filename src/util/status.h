@@ -19,6 +19,7 @@ enum class StatusCode {
   kIOError = 6,
   kResourceExhausted = 7,
   kInternal = 8,
+  kBudgetExceeded = 9,
 };
 
 /// Returns a human-readable name for a status code (e.g. "Invalid argument").
@@ -68,6 +69,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status BudgetExceeded(std::string msg) {
+    return Status(StatusCode::kBudgetExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsInvalidArgument() const {
@@ -82,6 +86,9 @@ class Status {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsBudgetExceeded() const {
+    return code_ == StatusCode::kBudgetExceeded;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -1,0 +1,448 @@
+// Tier-1 coverage for the multi-tenant SQL server (DESIGN.md §13): wire
+// codec round-trips, tenant config parsing, admission fast-fail, typed
+// budget aborts that leave the connection usable, cross-tenant isolation
+// under saturation, malformed-frame handling, and runtime reload.
+
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/tenant.h"
+#include "server/wire.h"
+
+namespace vdb::server {
+namespace {
+
+std::string WriteTempFile(const std::string& name,
+                          const std::string& contents) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << contents;
+  EXPECT_TRUE(out.good());
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// Config parsing.
+
+TEST(TenantConfigTest, ParsesFullLine) {
+  const std::string path = WriteTempFile(
+      "tenants_ok.conf",
+      "# comment\n"
+      "tenant alpha cpu=0.5 mem=0.4 io=0.3 dataset=synthetic:100 "
+      "workload=w.sql max_concurrent=8 queue=2 clients=5 "
+      "budget_cpu_ms=250 budget_mem_kb=64 budget_host_ms=1000\n");
+  auto configs = LoadTenantConfigs(path);
+  ASSERT_TRUE(configs.ok()) << configs.status().ToString();
+  ASSERT_EQ(configs->size(), 1u);
+  const TenantConfig& config = (*configs)[0];
+  EXPECT_EQ(config.name, "alpha");
+  EXPECT_DOUBLE_EQ(config.cpu_share, 0.5);
+  EXPECT_DOUBLE_EQ(config.mem_share, 0.4);
+  EXPECT_DOUBLE_EQ(config.io_share, 0.3);
+  EXPECT_EQ(config.dataset, "synthetic:100");
+  EXPECT_EQ(config.workload, "w.sql");
+  EXPECT_EQ(config.max_concurrent, 8);
+  EXPECT_EQ(config.queue_depth, 2);
+  EXPECT_EQ(config.clients, 5);
+  EXPECT_DOUBLE_EQ(config.budget.max_cpu_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(config.budget.max_memory_bytes, 64 * 1024.0);
+  EXPECT_DOUBLE_EQ(config.budget.max_host_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(config.budget.max_elapsed_seconds, 0.0);
+  EXPECT_FALSE(config.budget.Unlimited());
+}
+
+TEST(TenantConfigTest, UnknownKeyIsAnErrorWithLineNumber) {
+  const std::string path = WriteTempFile(
+      "tenants_bad_key.conf", "tenant a cpu=0.5\ntenant b cpu_shr=0.5\n");
+  auto configs = LoadTenantConfigs(path);
+  ASSERT_FALSE(configs.ok());
+  EXPECT_NE(configs.status().message().find(":2:"), std::string::npos)
+      << configs.status().ToString();
+  EXPECT_NE(configs.status().message().find("cpu_shr"), std::string::npos);
+}
+
+TEST(TenantConfigTest, DuplicateAndEmptyAreErrors) {
+  EXPECT_FALSE(
+      LoadTenantConfigs(
+          WriteTempFile("tenants_dup.conf", "tenant a\ntenant a\n"))
+          .ok());
+  EXPECT_FALSE(
+      LoadTenantConfigs(WriteTempFile("tenants_empty.conf", "# none\n"))
+          .ok());
+}
+
+TEST(TenantConfigTest, LoadsSqlStatements) {
+  const std::string path = WriteTempFile(
+      "workload.sql",
+      "-- comment\nselect 1;\nselect grp, count(*)\n  from events\n"
+      "  group by grp;\n");
+  auto statements = LoadSqlStatements(path);
+  ASSERT_TRUE(statements.ok()) << statements.status().ToString();
+  ASSERT_EQ(statements->size(), 2u);
+  EXPECT_NE((*statements)[1].find("group by"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec.
+
+TEST(WireTest, RequestRoundTrip) {
+  WireRequest request;
+  request.tenant = "a\"b";
+  request.sql = "select * from t where s like '%x%';";
+  auto parsed = ParseRequest(FormatRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->tenant, request.tenant);
+  EXPECT_EQ(parsed->sql, request.sql);
+  EXPECT_TRUE(parsed->command.empty());
+}
+
+TEST(WireTest, RequestValidation) {
+  EXPECT_FALSE(ParseRequest("not json").ok());
+  EXPECT_FALSE(ParseRequest("[1,2]").ok());
+  EXPECT_FALSE(ParseRequest("{\"sql\": \"select 1;\"}").ok());  // no tenant
+  EXPECT_FALSE(ParseRequest("{\"tenant\": \"a\"}").ok());  // no sql/command
+  EXPECT_FALSE(
+      ParseRequest(
+          "{\"tenant\": \"a\", \"sql\": \"select 1;\", \"command\": \"p\"}")
+          .ok());  // both
+}
+
+TEST(WireTest, RowsResponseRoundTrip) {
+  std::vector<catalog::Tuple> rows;
+  rows.push_back({catalog::Value::Int64(9007199254740993),  // > 2^53
+                  catalog::Value::Null(catalog::TypeId::kString)});
+  QueryStats stats;
+  stats.elapsed_ms = 12.5;
+  stats.physical_reads = 7;
+  const std::string payload =
+      FormatRowsResponse({"big", "s"}, rows, stats);
+  auto response = ParseResponse(payload);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->error.ok());
+  ASSERT_EQ(response->columns.size(), 2u);
+  ASSERT_EQ(response->rows.size(), 1u);
+  // int64 cells travel as strings, so 2^53+1 survives exactly.
+  EXPECT_EQ(response->rows[0][0].value(), "9007199254740993");
+  EXPECT_FALSE(response->rows[0][1].has_value());
+  EXPECT_DOUBLE_EQ(response->stats.elapsed_ms, 12.5);
+  EXPECT_EQ(response->stats.physical_reads, 7u);
+}
+
+TEST(WireTest, ErrorResponseKeepsTypedCode) {
+  const std::string payload = FormatErrorResponse(
+      Status::BudgetExceeded("query exceeded its cpu budget"), QueryStats{});
+  auto response = ParseResponse(payload);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->error.IsBudgetExceeded());
+  EXPECT_NE(response->error.message().find("cpu budget"),
+            std::string::npos);
+}
+
+TEST(WireTest, StatusCodeNamesRoundTrip) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kResourceExhausted, StatusCode::kBudgetExceeded}) {
+    EXPECT_EQ(StatusCodeFromName(StatusCodeName(code)), code);
+  }
+  EXPECT_EQ(StatusCodeFromName("NoSuchCode"), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------------------
+// Live server. One fixture-scoped server keeps materialization cost paid
+// once; tenants are sized so every scenario below is deterministic.
+
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TenantConfig alpha;  // well-behaved: round trips, isolation victim
+    alpha.name = "alpha";
+    alpha.cpu_share = alpha.mem_share = alpha.io_share = 0.3;
+    alpha.dataset = "synthetic:300";
+    alpha.max_concurrent = 4;
+    alpha.queue_depth = 16;
+
+    TenantConfig serial;  // cap 1: admission fast-fail + saturation source
+    serial.name = "serial";
+    serial.cpu_share = serial.mem_share = serial.io_share = 0.2;
+    serial.dataset = "synthetic:700";
+    serial.max_concurrent = 1;
+    serial.queue_depth = 0;
+
+    TenantConfig gamma;  // tight budget: typed aborts
+    gamma.name = "gamma";
+    gamma.cpu_share = gamma.mem_share = gamma.io_share = 0.2;
+    gamma.dataset = "synthetic:700";
+    gamma.max_concurrent = 4;
+    gamma.queue_depth = 8;
+    gamma.budget.max_cpu_seconds = 0.002;
+
+    TenantConfig delta;  // reload target
+    delta.name = "delta";
+    delta.cpu_share = delta.mem_share = delta.io_share = 0.2;
+    delta.dataset = "synthetic:700";
+    delta.max_concurrent = 4;
+    delta.queue_depth = 8;
+
+    ServerOptions options;
+    options.num_workers = 4;
+    server_ = new Server(options, {alpha, serial, gamma, delta});
+    const Status status = server_->Start();
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  }
+
+  static void TearDownTestSuite() {
+    delete server_;
+    server_ = nullptr;
+  }
+
+  static WireClient Connect() {
+    auto client = WireClient::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).ValueOrDie();
+  }
+
+  // A query that holds the serial tenant's executor for a while (cross
+  // join, 700^2 pairs) — long enough that a concurrent probe reliably
+  // finds the tenant at its admission cap.
+  static constexpr const char* kHeavySql =
+      "select count(*) from events a, events b;";
+
+  static Server* server_;
+};
+
+Server* ServerTest::server_ = nullptr;
+
+TEST_F(ServerTest, QueryRoundTrip) {
+  WireClient client = Connect();
+  auto response =
+      client.Query("alpha", "select count(*) as n, min(id) from events;");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->error.ok()) << response->error.ToString();
+  ASSERT_EQ(response->columns.size(), 2u);
+  EXPECT_EQ(response->columns[0], "n");
+  ASSERT_EQ(response->rows.size(), 1u);
+  EXPECT_EQ(response->rows[0][0].value(), "300");
+  EXPECT_EQ(response->rows[0][1].value(), "0");
+  EXPECT_GT(response->stats.elapsed_ms, 0.0);
+  EXPECT_GT(response->stats.host_ms, 0.0);
+}
+
+TEST_F(ServerTest, SqlErrorsComeBackTyped) {
+  WireClient client = Connect();
+  auto response = client.Query("alpha", "select nope from nothing;");
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response->error.ok());
+  EXPECT_FALSE(response->error.IsBudgetExceeded());
+  // The connection is still usable after a planner error.
+  auto again = client.Query("alpha", "select id from events limit 1;");
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->error.ok());
+}
+
+TEST_F(ServerTest, UnknownTenantIsRejected) {
+  WireClient client = Connect();
+  auto response = client.Query("nobody", "select id from events limit 1;");
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->error.IsNotFound());
+}
+
+TEST_F(ServerTest, PingAndMetricsCommands) {
+  WireClient client = Connect();
+  auto ping = client.Command("alpha", "ping");
+  ASSERT_TRUE(ping.ok()) << ping.status().ToString();
+  EXPECT_EQ(ping->payload, "\"pong\"");
+  auto metrics = client.Command("alpha", "metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->payload.find("counters"), std::string::npos);
+}
+
+TEST_F(ServerTest, AdmissionFastFailAtCap) {
+  // Occupy the serial tenant (cap = 1 + 0) with a long cross join, then
+  // probe: while it runs, a probe must be rejected immediately with
+  // ResourceExhausted. The occupy/probe cycle retries because the probe
+  // can lose the race with the heavy query's submission; one cycle where
+  // the probe lands mid-execution is enough.
+  WireClient probe = Connect();
+  bool saw_rejection = false;
+  for (int attempt = 0; attempt < 10 && !saw_rejection; ++attempt) {
+    std::atomic<bool> heavy_done{false};
+    std::thread heavy([&] {
+      WireClient conn = Connect();
+      auto response = conn.Query("serial", kHeavySql);
+      heavy_done.store(true);
+      ASSERT_TRUE(response.ok());
+      // The heavy query itself may be the one rejected if a probe from a
+      // previous iteration still occupies the tenant.
+      EXPECT_TRUE(response->error.ok() ||
+                  response->error.IsResourceExhausted())
+          << response->error.ToString();
+    });
+    while (!heavy_done.load()) {
+      auto response =
+          probe.Query("serial", "select id from events limit 1;");
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      if (response->error.IsResourceExhausted()) {
+        saw_rejection = true;
+        break;
+      }
+    }
+    heavy.join();
+  }
+  EXPECT_TRUE(saw_rejection)
+      << "probe never found the serial tenant at its admission cap";
+  // The tenant recovers once the heavy query finishes.
+  auto after = probe.Query("serial", "select id from events limit 1;");
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->error.ok()) << after->error.ToString();
+}
+
+TEST_F(ServerTest, BudgetAbortIsTypedAndConnectionSurvives) {
+  WireClient client = Connect();
+  auto aborted = client.Query("gamma", kHeavySql);
+  ASSERT_TRUE(aborted.ok()) << aborted.status().ToString();
+  ASSERT_FALSE(aborted->error.ok());
+  EXPECT_TRUE(aborted->error.IsBudgetExceeded())
+      << aborted->error.ToString();
+  EXPECT_NE(aborted->error.message().find("budget"), std::string::npos);
+  // Same tenant, same connection: a cheap statement still succeeds, so
+  // the abort neither wedged the Database nor leaked execution state.
+  auto cheap = client.Query("gamma", "select id from events limit 1;");
+  ASSERT_TRUE(cheap.ok());
+  EXPECT_TRUE(cheap->error.ok()) << cheap->error.ToString();
+  ASSERT_EQ(cheap->rows.size(), 1u);
+}
+
+TEST_F(ServerTest, SaturatedTenantDoesNotBlockOthers) {
+  // Saturate the serial tenant with back-to-back heavy queries; alpha's
+  // cheap queries must keep completing the whole time (the shared pool
+  // round-robins drain tasks, so one hot tenant cannot monopolize it).
+  std::atomic<bool> stop{false};
+  std::thread saturator([&] {
+    WireClient conn = Connect();
+    while (!stop.load()) {
+      auto response = conn.Query("serial", kHeavySql);
+      if (!response.ok()) break;
+    }
+  });
+  WireClient client = Connect();
+  int completed = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto response =
+        client.Query("alpha", "select count(*) from events where grp < 50;");
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_TRUE(response->error.ok()) << response->error.ToString();
+    ++completed;
+  }
+  stop.store(true);
+  saturator.join();
+  EXPECT_EQ(completed, 20);
+}
+
+TEST_F(ServerTest, MalformedJsonGetsTypedErrorAndConnectionSurvives) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server_->port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // A well-framed but non-JSON payload: the server answers with a typed
+  // error and keeps the connection open.
+  ASSERT_TRUE(WriteFrame(fd, "this is not json").ok());
+  std::string payload;
+  auto alive = ReadFrame(fd, &payload);
+  ASSERT_TRUE(alive.ok() && *alive);
+  auto response = ParseResponse(payload);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->error.IsInvalidArgument());
+  // Same socket, a valid request now succeeds.
+  WireRequest request;
+  request.tenant = "alpha";
+  request.command = "ping";
+  ASSERT_TRUE(WriteFrame(fd, FormatRequest(request)).ok());
+  alive = ReadFrame(fd, &payload);
+  ASSERT_TRUE(alive.ok() && *alive);
+  ::close(fd);
+}
+
+TEST_F(ServerTest, OversizedFramePrefixClosesConnection) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server_->port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const unsigned char huge[4] = {0xff, 0xff, 0xff, 0xff};  // 4 GiB frame
+  ASSERT_EQ(::send(fd, huge, 4, 0), 4);
+  // The server reports the protocol error (if the write beats the close)
+  // and then drops the connection; either way we observe EOF, and the
+  // server itself stays up.
+  char buf[256];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+  }
+  ::close(fd);
+  WireClient client = Connect();
+  auto ping = client.Command("alpha", "ping");
+  ASSERT_TRUE(ping.ok()) << ping.status().ToString();
+  EXPECT_EQ(ping->payload, "\"pong\"");
+}
+
+TEST_F(ServerTest, ReloadTightensBudgetAndShares) {
+  WireClient client = Connect();
+  // Before: delta has no budget, the heavy query completes.
+  auto before = client.Query("delta", kHeavySql);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(before->error.ok()) << before->error.ToString();
+
+  const std::string conf = WriteTempFile(
+      "reload.conf",
+      "tenant delta cpu=0.1 mem=0.1 io=0.1 budget_cpu_ms=2\n"
+      "tenant ghost cpu=0.9 mem=0.9 io=0.9\n");  // not running: ignored
+  auto reload = client.Command("delta", "reload", conf);
+  ASSERT_TRUE(reload.ok()) << reload.status().ToString();
+  ASSERT_TRUE(reload->error.ok()) << reload->error.ToString();
+
+  // After: the same query aborts with the typed budget error.
+  auto after = client.Query("delta", kHeavySql);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->error.IsBudgetExceeded()) << after->error.ToString();
+  // And cheap statements still work at the shrunken share.
+  auto cheap = client.Query("delta", "select id from events limit 1;");
+  ASSERT_TRUE(cheap.ok());
+  EXPECT_TRUE(cheap->error.ok()) << cheap->error.ToString();
+}
+
+TEST_F(ServerTest, ReloadRejectsOversubscription) {
+  WireClient client = Connect();
+  const std::string conf = WriteTempFile(
+      "reload_over.conf", "tenant delta cpu=0.95 mem=0.1 io=0.1\n");
+  auto reload = client.Command("delta", "reload", conf);
+  ASSERT_TRUE(reload.ok());
+  EXPECT_FALSE(reload->error.ok());
+  // The failed reload left delta usable.
+  auto cheap = client.Query("delta", "select id from events limit 1;");
+  ASSERT_TRUE(cheap.ok());
+  EXPECT_TRUE(cheap->error.ok()) << cheap->error.ToString();
+}
+
+}  // namespace
+}  // namespace vdb::server

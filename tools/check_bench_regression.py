@@ -3,7 +3,7 @@
 
 Usage:
     check_bench_regression.py --bench-dir DIR [--baseline bench/baseline.json]
-                              [--threshold 0.25]
+                              [--threshold 0.25] [--require bench1,bench2]
 
 The baseline file lists, per bench, the tracked keys and their reference
 values. A tracked key may name a timing (seconds) or a value (e.g. the
@@ -11,10 +11,17 @@ metrics_overhead_ratio); each is looked up first in the bench report's
 "timings" map, then in "values". The gate fails when a tracked entry
 regresses past the threshold (exceeds baseline * (1 + threshold) for
 lower-is-better entries, or falls below baseline * (1 - threshold) for
-higher-is-better ones), when a tracked entry or the bench's report file
-is missing, or when a report is structurally invalid. An entry that
-*improves* past the threshold passes but prints a ratchet reminder to
-tighten the checked-in baseline so the gain is locked in.
+higher-is-better ones), or when a report that is present is structurally
+invalid. An entry that *improves* past the threshold passes but prints a
+ratchet reminder to tighten the checked-in baseline so the gain is
+locked in.
+
+One baseline file serves several CI jobs, each of which runs a subset of
+the benches. A baseline bench whose report file is absent from
+--bench-dir — or a tracked key absent from its report — is therefore
+skipped with a warning, NOT failed, unless the bench is named in
+--require: each job lists the benches it actually ran there, so a
+crashed or silently-skipped bench still fails the job that owns it.
 
 Timings below `min_seconds` (default 0.05s) are checked for presence but
 not compared: they are dominated by scheduler noise on shared runners.
@@ -90,7 +97,13 @@ def main():
     parser.add_argument("--threshold", type=float, default=None,
                         help="allowed fractional regression "
                              "(overrides the baseline's value)")
+    parser.add_argument("--require", default="",
+                        help="comma-separated bench names whose report "
+                             "(and every tracked key) must be present; "
+                             "other benches missing from --bench-dir are "
+                             "skipped with a warning")
     args = parser.parse_args()
+    required = {name for name in args.require.split(",") if name}
 
     baseline, err = load_json(args.baseline)
     if err:
@@ -105,12 +118,24 @@ def main():
         threshold = float(baseline.get("threshold", 0.25))
     min_seconds = float(baseline.get("min_seconds", 0.05))
 
+    for name in sorted(required - set(baseline["benches"])):
+        print(f"WARN: --require names '{name}', which has no entry in "
+              f"{args.baseline}")
+
     failures = []
     ratchets = []
+    skips = []
     rows = []
     for bench_name, tracked in sorted(baseline["benches"].items()):
         report_path = os.path.join(args.bench_dir,
                                    f"BENCH_{bench_name}.json")
+        if not os.path.exists(report_path):
+            if bench_name in required:
+                failures.append(
+                    f"{bench_name}: required but {report_path} is missing")
+            else:
+                skips.append(f"{bench_name}: no report in this run")
+            continue
         report, err = load_json(report_path)
         if err:
             failures.append(err)
@@ -132,8 +157,12 @@ def main():
                 higher_is_better = bool(entry.get("higher_is_better", False))
             current, is_timing = lookup(report, key)
             if current is None:
-                failures.append(
-                    f"{bench_name}: tracked key '{key}' missing from report")
+                if bench_name in required:
+                    failures.append(f"{bench_name}: tracked key '{key}' "
+                                    f"missing from report")
+                else:
+                    skips.append(
+                        f"{bench_name}/{key}: not reported in this run")
                 continue
             if higher_is_better:
                 limit = reference * (1.0 - threshold)
@@ -168,6 +197,12 @@ def main():
             print(f"{bench_name + '/' + key:<{name_width}} "
                   f"{reference:>12.4g} {current:>12.4g} {limit:>12.4g}  "
                   f"{status}")
+
+    if skips:
+        print(f"\nWARN: {len(skips)} baseline entries skipped (absent from "
+              f"this run and not in --require):")
+        for skip in skips:
+            print(f"  - {skip}")
 
     if ratchets:
         print(f"\nRATCHET: {len(ratchets)} entries improved past the "

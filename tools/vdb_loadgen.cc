@@ -1,0 +1,250 @@
+// vdb_loadgen — closed-loop load generator for vdb_server.
+//
+// Reads the same tenants.conf the server was started with, opens
+// `clients=` connections per tenant, and has each client issue that
+// tenant's workload statements round-robin, back to back, until the
+// duration elapses. Reports per-tenant throughput and exact p50/p95/p99
+// request latencies, plus totals for rejections (admission control),
+// budget aborts, and other errors — and writes them as
+// BENCH_server_loadgen.json for CI's perf gate.
+//
+// Usage:
+//   vdb_loadgen --config examples/tenants.conf --port P
+//               [--host 127.0.0.1] [--duration 30]
+//               [--clients N]      override per-tenant client counts
+//               [--wait-server S]  retry the first connect for S seconds
+//
+// Exit code: 0 when every tenant completed requests and no transport
+// errors occurred; 1 otherwise.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/client.h"
+#include "server/tenant.h"
+
+namespace {
+
+using namespace vdb;
+using Clock = std::chrono::steady_clock;
+
+struct ClientStats {
+  std::vector<double> latencies_ms;  // successful requests only
+  uint64_t ok = 0;
+  uint64_t rejected = 0;        // admission control (ResourceExhausted)
+  uint64_t aborted_budget = 0;  // kBudgetExceeded
+  uint64_t errors_other = 0;    // any other server-side error
+  uint64_t transport_errors = 0;
+};
+
+struct TenantStats {
+  std::string name;
+  ClientStats total;
+};
+
+double Percentile(std::vector<double>* sorted, double q) {
+  if (sorted->empty()) return 0.0;
+  std::sort(sorted->begin(), sorted->end());
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(sorted->size() - 1) + 0.5);
+  return (*sorted)[std::min(index, sorted->size() - 1)];
+}
+
+Result<server::WireClient> ConnectWithRetry(const std::string& host,
+                                            int port, double wait_seconds) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(wait_seconds));
+  while (true) {
+    Result<server::WireClient> client = server::WireClient::Connect(host, port);
+    if (client.ok() || Clock::now() >= deadline) return client;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+void RunClient(const std::string& host, int port, const std::string& tenant,
+               const std::vector<std::string>& statements, size_t first,
+               Clock::time_point deadline, double wait_seconds,
+               ClientStats* stats) {
+  Result<server::WireClient> client =
+      ConnectWithRetry(host, port, wait_seconds);
+  if (!client.ok()) {
+    ++stats->transport_errors;
+    return;
+  }
+  size_t next = first;  // stagger clients across the statement list
+  while (Clock::now() < deadline) {
+    const std::string& sql = statements[next % statements.size()];
+    ++next;
+    const Clock::time_point start = Clock::now();
+    Result<server::WireResponse> response = client->Query(tenant, sql);
+    if (!response.ok()) {
+      ++stats->transport_errors;
+      client = ConnectWithRetry(host, port, wait_seconds);
+      if (!client.ok()) return;
+      continue;
+    }
+    const Status& error = response->error;
+    if (error.ok()) {
+      ++stats->ok;
+      stats->latencies_ms.push_back(
+          1e-6 *
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - start)
+                  .count()));
+    } else if (error.IsResourceExhausted()) {
+      ++stats->rejected;
+    } else if (error.IsBudgetExceeded()) {
+      ++stats->aborted_budget;
+    } else {
+      ++stats->errors_other;
+    }
+  }
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --config tenants.conf --port P [--host H] "
+               "[--duration SEC] [--clients N] [--wait-server SEC]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  std::string host = "127.0.0.1";
+  int port = 0;
+  double duration_s = 30.0;
+  double wait_server_s = 10.0;
+  int clients_override = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--config" && has_value) {
+      config_path = argv[++i];
+    } else if (arg == "--host" && has_value) {
+      host = argv[++i];
+    } else if (arg == "--port" && has_value) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--duration" && has_value) {
+      duration_s = std::atof(argv[++i]);
+    } else if (arg == "--clients" && has_value) {
+      clients_override = std::atoi(argv[++i]);
+    } else if (arg == "--wait-server" && has_value) {
+      wait_server_s = std::atof(argv[++i]);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (config_path.empty() || port <= 0) return Usage(argv[0]);
+
+  auto configs = server::LoadTenantConfigs(config_path);
+  if (!configs.ok()) {
+    std::fprintf(stderr, "error: %s\n", configs.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<TenantStats> tenants;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<ClientStats>> per_client;
+  per_client.reserve(configs->size());
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(duration_s));
+  for (const server::TenantConfig& config : *configs) {
+    auto statements = server::LoadSqlStatements(config.workload);
+    if (!statements.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   statements.status().ToString().c_str());
+      return 1;
+    }
+    const int clients =
+        clients_override > 0 ? clients_override : config.clients;
+    tenants.push_back(TenantStats{config.name, {}});
+    per_client.emplace_back(static_cast<size_t>(clients));
+    std::vector<ClientStats>& slots = per_client.back();
+    for (int c = 0; c < clients; ++c) {
+      // std::thread stores its own copy of the statement list, so each
+      // client reads private data.
+      threads.emplace_back(RunClient, host, port, config.name, *statements,
+                           static_cast<size_t>(c), deadline, wait_server_s,
+                           &slots[c]);
+    }
+  }
+  for (std::thread& t : threads) t.join();
+
+  bench::BenchReport report("server_loadgen");
+  report.AddValue("duration_s", duration_s);
+  uint64_t rejected_total = 0;
+  uint64_t aborted_total = 0;
+  uint64_t errors_other_total = 0;
+  uint64_t transport_total = 0;
+  bool all_tenants_progressed = true;
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    TenantStats& tenant = tenants[i];
+    for (ClientStats& c : per_client[i]) {
+      tenant.total.ok += c.ok;
+      tenant.total.rejected += c.rejected;
+      tenant.total.aborted_budget += c.aborted_budget;
+      tenant.total.errors_other += c.errors_other;
+      tenant.total.transport_errors += c.transport_errors;
+      tenant.total.latencies_ms.insert(tenant.total.latencies_ms.end(),
+                                       c.latencies_ms.begin(),
+                                       c.latencies_ms.end());
+    }
+    std::vector<double>& lat = tenant.total.latencies_ms;
+    const double p50 = Percentile(&lat, 0.50);
+    const double p95 = Percentile(&lat, 0.95);
+    const double p99 = Percentile(&lat, 0.99);
+    const double qps = static_cast<double>(tenant.total.ok) / duration_s;
+    std::printf(
+        "tenant %-8s ok=%llu rejected=%llu budget_aborts=%llu "
+        "errors=%llu transport=%llu | %.1f q/s p50=%.2fms p95=%.2fms "
+        "p99=%.2fms\n",
+        tenant.name.c_str(),
+        static_cast<unsigned long long>(tenant.total.ok),
+        static_cast<unsigned long long>(tenant.total.rejected),
+        static_cast<unsigned long long>(tenant.total.aborted_budget),
+        static_cast<unsigned long long>(tenant.total.errors_other),
+        static_cast<unsigned long long>(tenant.total.transport_errors),
+        qps, p50, p95, p99);
+    report.AddValue(tenant.name + "/qps", qps);
+    report.AddTiming(tenant.name + "/p50_s", 1e-3 * p50);
+    report.AddTiming(tenant.name + "/p95_s", 1e-3 * p95);
+    report.AddTiming(tenant.name + "/p99_s", 1e-3 * p99);
+    rejected_total += tenant.total.rejected;
+    aborted_total += tenant.total.aborted_budget;
+    errors_other_total += tenant.total.errors_other;
+    transport_total += tenant.total.transport_errors;
+    if (tenant.total.ok == 0) {
+      std::fprintf(stderr, "FAIL: tenant %s completed no queries\n",
+                   tenant.name.c_str());
+      all_tenants_progressed = false;
+    }
+  }
+  report.AddValue("rejected_total", static_cast<double>(rejected_total));
+  report.AddValue("aborted_budget_total", static_cast<double>(aborted_total));
+  report.AddValue("errors_other_total",
+                  static_cast<double>(errors_other_total));
+  report.AddValue("transport_errors_total",
+                  static_cast<double>(transport_total));
+
+  const bool healthy =
+      all_tenants_progressed && transport_total == 0 && errors_other_total == 0;
+  if (!healthy) {
+    std::fprintf(stderr,
+                 "FAIL: transport_errors=%llu errors_other=%llu\n",
+                 static_cast<unsigned long long>(transport_total),
+                 static_cast<unsigned long long>(errors_other_total));
+  }
+  return report.Finish(healthy ? 0 : 1);
+}

@@ -1,0 +1,106 @@
+// vdb_server — the multi-tenant SQL server (DESIGN.md §13).
+//
+// Loads a tenants.conf, carves one VM per tenant out of the paper
+// testbed machine, materializes each tenant's dataset, and serves the
+// length-prefixed JSON wire protocol until SIGINT/SIGTERM.
+//
+// Usage:
+//   vdb_server --config examples/tenants.conf [--host 127.0.0.1]
+//              [--port 0] [--workers N] [--port-file PATH]
+//
+// --port 0 binds an ephemeral port; the bound port is printed on stdout
+// ("listening on HOST:PORT") and, with --port-file, written to a file so
+// scripts can find it without parsing logs.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "server/server.h"
+#include "server/tenant.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --config tenants.conf [--host H] [--port P] "
+               "[--workers N] [--port-file PATH]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vdb;
+
+  std::string config_path;
+  std::string port_file;
+  server::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--config" && has_value) {
+      config_path = argv[++i];
+    } else if (arg == "--host" && has_value) {
+      options.host = argv[++i];
+    } else if (arg == "--port" && has_value) {
+      options.port = std::atoi(argv[++i]);
+    } else if (arg == "--workers" && has_value) {
+      options.num_workers = std::atoi(argv[++i]);
+    } else if (arg == "--port-file" && has_value) {
+      port_file = argv[++i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (config_path.empty()) return Usage(argv[0]);
+  options.config_path = config_path;
+
+  auto tenants = server::LoadTenantConfigs(config_path);
+  if (!tenants.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 tenants.status().ToString().c_str());
+    return 1;
+  }
+
+  obs::MetricsRegistry::Global().set_enabled(true);
+
+  server::Server srv(options, std::move(tenants).ValueOrDie());
+  std::fprintf(stderr, "materializing %zu tenant database(s)...\n",
+               srv.num_tenants());
+  if (Status status = srv.Start(); !status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%d\n", options.host.c_str(), srv.port());
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << srv.port() << "\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "error: cannot write %s\n", port_file.c_str());
+      srv.Stop();
+      return 1;
+    }
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "shutting down...\n");
+  srv.Stop();
+  std::printf("%s", obs::MetricsRegistry::Global().Snapshot().ToText().c_str());
+  return 0;
+}
