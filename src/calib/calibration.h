@@ -1,3 +1,7 @@
+// Calibration query suite (paper Section 5): synthetic queries with
+// analytically known work vectors, and the least-squares fit of the
+// optimizer parameters P from their measured execution times.
+
 #ifndef VDB_CALIB_CALIBRATION_H_
 #define VDB_CALIB_CALIBRATION_H_
 

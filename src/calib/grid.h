@@ -1,3 +1,6 @@
+// Grids of resource allocations to calibrate: the cross product of the
+// CPU/memory/IO axes (the paper uses {25%, 50%, 75%} per axis).
+
 #ifndef VDB_CALIB_GRID_H_
 #define VDB_CALIB_GRID_H_
 

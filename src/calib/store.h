@@ -1,3 +1,7 @@
+// CalibrationStore: calibrated optimizer parameters P(R) over an
+// allocation grid, with multilinear interpolation for off-grid lookups
+// and save/load.
+
 #ifndef VDB_CALIB_STORE_H_
 #define VDB_CALIB_STORE_H_
 

@@ -1,3 +1,6 @@
+// Column-major batches for the vectorized engine: typed value vectors
+// with null maps and a selection vector (DESIGN.md §12).
+
 #ifndef VDB_CATALOG_BATCH_H_
 #define VDB_CATALOG_BATCH_H_
 

@@ -1,3 +1,6 @@
+// Columns, schemas, tuples, and record (de)serialization between tuples
+// and slotted-page bytes.
+
 #ifndef VDB_CATALOG_SCHEMA_H_
 #define VDB_CATALOG_SCHEMA_H_
 

@@ -1,3 +1,6 @@
+// Per-column statistics for the optimizer: row counts, NDV, min/max, and
+// equi-depth histograms, computed by Analyze.
+
 #ifndef VDB_CATALOG_STATS_H_
 #define VDB_CATALOG_STATS_H_
 

@@ -1,3 +1,6 @@
+// The SQL type system and the boxed runtime Value: typed factories,
+// comparison, hashing, and NULL handling.
+
 #ifndef VDB_CATALOG_VALUE_H_
 #define VDB_CATALOG_VALUE_H_
 

@@ -1,0 +1,170 @@
+#include "catalog/wal_payloads.h"
+
+#include <cstring>
+
+namespace vdb::catalog::walenc {
+
+namespace {
+
+template <typename T>
+void AppendLe(std::string* out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+}  // namespace
+
+void AppendU8(std::string* out, uint8_t v) { AppendLe(out, v); }
+void AppendU16(std::string* out, uint16_t v) { AppendLe(out, v); }
+void AppendU32(std::string* out, uint32_t v) { AppendLe(out, v); }
+void AppendU64(std::string* out, uint64_t v) { AppendLe(out, v); }
+
+void AppendString(std::string* out, std::string_view s) {
+  AppendU16(out, static_cast<uint16_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+void AppendSchema(std::string* out, const Schema& schema) {
+  AppendU16(out, static_cast<uint16_t>(schema.NumColumns()));
+  for (const Column& col : schema.columns()) {
+    AppendString(out, col.name);
+    AppendU8(out, static_cast<uint8_t>(col.type));
+    AppendU32(out, col.avg_width);
+  }
+}
+
+Result<uint8_t> PayloadReader::ReadU8() {
+  if (pos_ + 1 > data_.size()) return Status::IOError("payload underrun");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint16_t> PayloadReader::ReadU16() {
+  if (pos_ + 2 > data_.size()) return Status::IOError("payload underrun");
+  uint16_t v = 0;
+  std::memcpy(&v, data_.data() + pos_, 2);
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> PayloadReader::ReadU32() {
+  if (pos_ + 4 > data_.size()) return Status::IOError("payload underrun");
+  uint32_t v = 0;
+  std::memcpy(&v, data_.data() + pos_, 4);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> PayloadReader::ReadU64() {
+  if (pos_ + 8 > data_.size()) return Status::IOError("payload underrun");
+  uint64_t v = 0;
+  std::memcpy(&v, data_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+Result<std::string> PayloadReader::ReadString() {
+  VDB_ASSIGN_OR_RETURN(uint16_t len, ReadU16());
+  if (pos_ + len > data_.size()) return Status::IOError("payload underrun");
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+Result<std::string_view> PayloadReader::ReadBytes(size_t n) {
+  if (pos_ + n > data_.size()) return Status::IOError("payload underrun");
+  std::string_view view = data_.substr(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+Result<Schema> PayloadReader::ReadSchema() {
+  VDB_ASSIGN_OR_RETURN(uint16_t ncols, ReadU16());
+  std::vector<Column> cols;
+  cols.reserve(ncols);
+  for (uint16_t i = 0; i < ncols; ++i) {
+    Column col;
+    VDB_ASSIGN_OR_RETURN(col.name, ReadString());
+    VDB_ASSIGN_OR_RETURN(uint8_t type, ReadU8());
+    col.type = static_cast<TypeId>(type);
+    VDB_ASSIGN_OR_RETURN(col.avg_width, ReadU32());
+    cols.push_back(std::move(col));
+  }
+  return Schema(std::move(cols));
+}
+
+std::string EncodeCreateTable(const std::string& name, const Schema& schema) {
+  std::string out;
+  AppendString(&out, name);
+  AppendSchema(&out, schema);
+  return out;
+}
+
+Result<CreateTablePayload> DecodeCreateTable(std::string_view payload) {
+  PayloadReader reader(payload);
+  CreateTablePayload result;
+  VDB_ASSIGN_OR_RETURN(result.name, reader.ReadString());
+  VDB_ASSIGN_OR_RETURN(result.schema, reader.ReadSchema());
+  return result;
+}
+
+std::string EncodeCreateIndex(const std::string& index_name,
+                              uint32_t table_id, uint32_t column_index) {
+  std::string out;
+  AppendString(&out, index_name);
+  AppendU32(&out, table_id);
+  AppendU32(&out, column_index);
+  return out;
+}
+
+Result<CreateIndexPayload> DecodeCreateIndex(std::string_view payload) {
+  PayloadReader reader(payload);
+  CreateIndexPayload result;
+  VDB_ASSIGN_OR_RETURN(result.index_name, reader.ReadString());
+  VDB_ASSIGN_OR_RETURN(result.table_id, reader.ReadU32());
+  VDB_ASSIGN_OR_RETURN(result.column_index, reader.ReadU32());
+  return result;
+}
+
+std::string EncodeInsert(uint32_t table_id, uint64_t page_index,
+                         uint16_t slot, std::string_view record) {
+  std::string out;
+  AppendU32(&out, table_id);
+  AppendU64(&out, page_index);
+  AppendU16(&out, slot);
+  out.append(record.data(), record.size());
+  return out;
+}
+
+Result<InsertPayload> DecodeInsert(std::string_view payload) {
+  PayloadReader reader(payload);
+  InsertPayload result;
+  VDB_ASSIGN_OR_RETURN(result.table_id, reader.ReadU32());
+  VDB_ASSIGN_OR_RETURN(result.page_index, reader.ReadU64());
+  VDB_ASSIGN_OR_RETURN(result.slot, reader.ReadU16());
+  result.record = reader.Rest();
+  return result;
+}
+
+std::string EncodeDelete(uint32_t table_id, uint64_t page_index,
+                         uint16_t slot) {
+  std::string out;
+  AppendU32(&out, table_id);
+  AppendU64(&out, page_index);
+  AppendU16(&out, slot);
+  return out;
+}
+
+Result<DeletePayload> DecodeDelete(std::string_view payload) {
+  PayloadReader reader(payload);
+  DeletePayload result;
+  VDB_ASSIGN_OR_RETURN(result.table_id, reader.ReadU32());
+  VDB_ASSIGN_OR_RETURN(result.page_index, reader.ReadU64());
+  VDB_ASSIGN_OR_RETURN(result.slot, reader.ReadU16());
+  if (!reader.AtEnd()) {
+    return Status::IOError("delete payload has trailing bytes");
+  }
+  return result;
+}
+
+}  // namespace vdb::catalog::walenc

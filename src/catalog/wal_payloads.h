@@ -1,0 +1,99 @@
+// Serialization of catalog mutations (create table/index, insert,
+// delete, checkpoint image) into WAL record payloads and back, shared
+// by the logging path and recovery replay (DESIGN.md §14).
+
+#ifndef VDB_CATALOG_WAL_PAYLOADS_H_
+#define VDB_CATALOG_WAL_PAYLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "catalog/schema.h"
+#include "util/result.h"
+
+namespace vdb::catalog::walenc {
+
+/// Encoders/decoders for the typed payloads carried by WAL records
+/// (storage/wal.h treats payloads as opaque bytes; the formats live here
+/// because they need Schema). All integers little-endian; strings are
+/// [u16 length][bytes]. Tables are addressed by creation ordinal
+/// ("table id"), heap pages by append position within their table — both
+/// stable across a rebuild, unlike global PageIds. See DESIGN.md §14 for
+/// the format table.
+
+// Low-level append/read helpers, shared with the checkpoint image writer.
+void AppendU8(std::string* out, uint8_t v);
+void AppendU16(std::string* out, uint16_t v);
+void AppendU32(std::string* out, uint32_t v);
+void AppendU64(std::string* out, uint64_t v);
+void AppendString(std::string* out, std::string_view s);
+void AppendSchema(std::string* out, const Schema& schema);
+
+/// A bounds-checked forward reader over an encoded payload. Read methods
+/// fail with IOError once the input is exhausted (torn or corrupt data).
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint16_t> ReadU16();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<std::string> ReadString();
+  Result<Schema> ReadSchema();
+  /// A view of the next `n` raw bytes (e.g. a checkpoint page image).
+  Result<std::string_view> ReadBytes(size_t n);
+  /// Everything not yet consumed (e.g. trailing record bytes).
+  std::string_view Rest() const { return data_.substr(pos_); }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// kCreateTable: table name + schema.
+std::string EncodeCreateTable(const std::string& name, const Schema& schema);
+struct CreateTablePayload {
+  std::string name;
+  Schema schema;
+};
+Result<CreateTablePayload> DecodeCreateTable(std::string_view payload);
+
+// kCreateIndex: index name + table id + column ordinal.
+std::string EncodeCreateIndex(const std::string& index_name,
+                              uint32_t table_id, uint32_t column_index);
+struct CreateIndexPayload {
+  std::string index_name;
+  uint32_t table_id = 0;
+  uint32_t column_index = 0;
+};
+Result<CreateIndexPayload> DecodeCreateIndex(std::string_view payload);
+
+// kInsert: target (table id, page index, slot) + serialized record bytes.
+// Physiological redo: replay re-appends the record and verifies it lands
+// at exactly this position.
+std::string EncodeInsert(uint32_t table_id, uint64_t page_index,
+                         uint16_t slot, std::string_view record);
+struct InsertPayload {
+  uint32_t table_id = 0;
+  uint64_t page_index = 0;
+  uint16_t slot = 0;
+  std::string_view record;
+};
+Result<InsertPayload> DecodeInsert(std::string_view payload);
+
+// kDelete: target (table id, page index, slot).
+std::string EncodeDelete(uint32_t table_id, uint64_t page_index,
+                         uint16_t slot);
+struct DeletePayload {
+  uint32_t table_id = 0;
+  uint64_t page_index = 0;
+  uint16_t slot = 0;
+};
+Result<DeletePayload> DecodeDelete(std::string_view payload);
+
+}  // namespace vdb::catalog::walenc
+
+#endif  // VDB_CATALOG_WAL_PAYLOADS_H_

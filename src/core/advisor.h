@@ -1,3 +1,6 @@
+// The Advisor facade: calibrate (or load) P(R), search for a recommended
+// allocation, and validate it by measured execution inside the VMs.
+
 #ifndef VDB_CORE_ADVISOR_H_
 #define VDB_CORE_ADVISOR_H_
 

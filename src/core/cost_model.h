@@ -1,3 +1,6 @@
+// WorkloadCostModel — the paper's Cost(W_i, R_i): summed what-if
+// optimizer estimates under P(R_i), memoized per allocation.
+
 #ifndef VDB_CORE_COST_MODEL_H_
 #define VDB_CORE_COST_MODEL_H_
 

@@ -1,3 +1,6 @@
+// Dynamic re-design (paper Section 7): re-run the design search per
+// workload phase and compare against the static deployment-time design.
+
 #ifndef VDB_CORE_DYNAMIC_H_
 #define VDB_CORE_DYNAMIC_H_
 

@@ -1,3 +1,6 @@
+// VirtualizationDesignProblem (paper Section 3): N workloads on one
+// machine; choose the share matrix R minimizing total estimated cost.
+
 #ifndef VDB_CORE_PROBLEM_H_
 #define VDB_CORE_PROBLEM_H_
 

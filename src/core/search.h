@@ -1,3 +1,6 @@
+// Search strategies over discretized allocations: exhaustive, greedy,
+// and dynamic programming, with serial and thread-pooled cost fan-out.
+
 #ifndef VDB_CORE_SEARCH_H_
 #define VDB_CORE_SEARCH_H_
 

@@ -1,3 +1,6 @@
+// Workload: a named sequence of SQL statements with a service-level
+// importance weight (the paper's W_i).
+
 #ifndef VDB_CORE_WORKLOAD_H_
 #define VDB_CORE_WORKLOAD_H_
 

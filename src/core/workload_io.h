@@ -1,3 +1,6 @@
+// Loads workloads from .sql files: ';'-separated statements with `--`
+// line comments.
+
 #ifndef VDB_CORE_WORKLOAD_IO_H_
 #define VDB_CORE_WORKLOAD_IO_H_
 

@@ -1,3 +1,7 @@
+// Generator for the synthetic calibration database (paper Section 5):
+// tables sized so calibration queries have analytically known work
+// vectors.
+
 #ifndef VDB_DATAGEN_CALIBRATION_DB_H_
 #define VDB_DATAGEN_CALIBRATION_DB_H_
 

@@ -1,3 +1,6 @@
+// Deterministic synthetic table generator: per-column value
+// distributions driving the shared PRNG.
+
 #ifndef VDB_DATAGEN_SYNTHETIC_H_
 #define VDB_DATAGEN_SYNTHETIC_H_
 

@@ -1,3 +1,6 @@
+// Scaled-down deterministic TPC-H-style schema and data generator
+// (customer/orders/lineitem/...), scale-factor parameterized.
+
 #ifndef VDB_DATAGEN_TPCH_H_
 #define VDB_DATAGEN_TPCH_H_
 

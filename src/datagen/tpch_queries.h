@@ -1,3 +1,5 @@
+// The TPC-H query set expressed in the engine's SQL dialect.
+
 #ifndef VDB_DATAGEN_TPCH_QUERIES_H_
 #define VDB_DATAGEN_TPCH_QUERIES_H_
 

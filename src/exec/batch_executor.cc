@@ -14,6 +14,7 @@
 
 #include "exec/executor.h"
 #include "exec/morsel.h"
+#include "exec/spill.h"
 #include "obs/metrics.h"
 #include "storage/btree.h"
 #include "storage/heap_file.h"
@@ -460,6 +461,7 @@ class SortOp final : public BatchOp {
       built_ = true;
       VDB_RETURN_NOT_OK(Build());
     }
+    if (spilled_) return emitter_.Emit(out);
     if (cursor_ >= order_.size()) return false;
     const size_t m = std::min(Batch::kDefaultRows, order_.size() - cursor_);
     out->Reset(types_, m);
@@ -502,7 +504,9 @@ class SortOp final : public BatchOp {
       batches_.push_back(std::move(batch));
       batch = Batch{};
     }
-    if (bytes > static_cast<double>(context_->work_mem_bytes())) {
+    const bool spills =
+        bytes > static_cast<double>(context_->work_mem_bytes());
+    if (spills) {
       const double pages = PagesFor(bytes);
       context_->ChargeSpillWrite(pages);
       context_->ChargeSpillRead(pages);
@@ -511,6 +515,42 @@ class SortOp final : public BatchOp {
     context_->ChargeCpu(2.0 * n * std::log2(std::max(2.0, n)) *
                         cpu.ops_per_comparison);
     context_->ChargeCpu(n * cpu.ops_per_tuple);  // materialization
+    // With a spill provider attached, run as an external merge sort over
+    // the boxed rows (DESIGN.md §14); the merge's input-position
+    // tie-break reproduces the stable_sort permutation below exactly.
+    if (spills && context_->spill_manager() != nullptr) {
+      std::vector<Tuple> rows;
+      std::vector<std::vector<Value>> key_rows;
+      std::vector<double> row_bytes;
+      rows.reserve(total);
+      key_rows.reserve(total);
+      row_bytes.reserve(total);
+      for (uint32_t b = 0; b < batches_.size(); ++b) {
+        const Batch& src = batches_[b];
+        for (uint32_t p = 0; p < src.sel.size(); ++p) {
+          const size_t phys = src.sel[p];
+          rows.push_back(src.RowAsTuple(phys));
+          std::vector<Value> key;
+          key.reserve(keys_.size());
+          for (size_t k = 0; k < keys_.size(); ++k) {
+            key.push_back(key_cols_[b][k].GetValue(p));
+          }
+          key_rows.push_back(std::move(key));
+          row_bytes.push_back(ApproxBatchRowBytes(src, phys));
+        }
+      }
+      VDB_ASSIGN_OR_RETURN(
+          std::vector<Tuple> sorted,
+          ExternalMergeSort(context_->spill_manager(), std::move(rows),
+                            key_rows, ascending_, row_bytes,
+                            context_->work_mem_bytes()));
+      if (!batches_.empty()) types_ = ColumnTypes(batches_[0]);
+      emitter_.SetRows(std::move(sorted), types_);
+      spilled_ = true;
+      batches_.clear();
+      key_cols_.clear();
+      return Status::OK();
+    }
     order_.reserve(total);
     for (uint32_t b = 0; b < batches_.size(); ++b) {
       const uint32_t active = static_cast<uint32_t>(batches_[b].NumActive());
@@ -544,6 +584,8 @@ class SortOp final : public BatchOp {
   std::vector<std::vector<ValueVector>> key_cols_;
   std::vector<RowRef> order_;
   size_t cursor_ = 0;
+  bool spilled_ = false;
+  RowsEmitter emitter_;
 };
 
 class TopNOp final : public BatchOp {
@@ -783,6 +825,103 @@ class HashJoinOp final : public BatchOp {
       }
       return {&right_key_cols_[b][k], p};
     };
+
+    // With a spill provider attached, an over-work_mem build side runs as
+    // a Grace partitioned join. The decision pre-scans build bytes in the
+    // same accumulation order as the build loop below (bitwise-identical
+    // trigger); GraceHashJoin replays the serial charge sequence exactly
+    // (DESIGN.md §14).
+    if (context_->spill_manager() != nullptr) {
+      double scan_bytes = 0.0;
+      for (const Batch& batch : right_batches_) {
+        for (uint32_t row : batch.sel) {
+          scan_bytes += ApproxBatchRowBytes(batch, row);
+        }
+      }
+      if (scan_bytes > static_cast<double>(context_->work_mem_bytes())) {
+        // Build-side charges, exactly as the build loop below.
+        std::vector<RowRef> right_refs;
+        std::vector<Tuple> grace_right_rows;
+        std::vector<std::vector<Value>> grace_right_keys;
+        for (uint32_t b = 0; b < right_batches_.size(); ++b) {
+          const Batch& batch = right_batches_[b];
+          const uint32_t active = static_cast<uint32_t>(batch.NumActive());
+          for (uint32_t p = 0; p < active; ++p) {
+            context_->ChargeCpu(cpu.ops_per_hash + cpu.ops_per_tuple);
+            right_refs.push_back(RowRef{b, p});
+            grace_right_rows.push_back(batch.RowAsTuple(batch.sel[p]));
+            std::vector<Value> key;
+            key.reserve(num_keys);
+            for (size_t k = 0; k < num_keys; ++k) {
+              auto [vec, idx] = right_key(b, p, k);
+              key.push_back(vec->GetValue(idx));
+            }
+            grace_right_keys.push_back(std::move(key));
+          }
+        }
+        double probe_bytes = 0.0;
+        for (const Batch& batch : left_batches_) {
+          for (uint32_t row : batch.sel) {
+            probe_bytes += ApproxBatchRowBytes(batch, row);
+          }
+        }
+        const double pages = PagesFor(scan_bytes) + PagesFor(probe_bytes);
+        context_->ChargeSpillWrite(pages);
+        context_->ChargeSpillRead(pages);
+
+        std::vector<RowRef> left_refs;
+        std::vector<Tuple> grace_left_rows;
+        std::vector<std::vector<Value>> grace_left_keys;
+        for (uint32_t b = 0; b < left_batches_.size(); ++b) {
+          const Batch& batch = left_batches_[b];
+          const uint32_t active = static_cast<uint32_t>(batch.NumActive());
+          for (uint32_t p = 0; p < active; ++p) {
+            left_refs.push_back(RowRef{b, p});
+            grace_left_rows.push_back(batch.RowAsTuple(batch.sel[p]));
+            std::vector<Value> key;
+            key.reserve(num_keys);
+            for (size_t k = 0; k < num_keys; ++k) {
+              auto [vec, idx] = left_key(b, p, k);
+              key.push_back(vec->GetValue(idx));
+            }
+            grace_left_keys.push_back(std::move(key));
+          }
+        }
+        GraceJoinSpec spec;
+        spec.join_type = join_.join_type;
+        spec.residual = residual_.get();
+        spec.residual_ops = residual_ops_;
+        spec.num_keys = num_keys;
+        spec.left_rows = &grace_left_rows;
+        spec.left_keys = &grace_left_keys;
+        spec.right_rows = &grace_right_rows;
+        spec.right_keys = &grace_right_keys;
+        spec.poll_budget = false;  // this probe loop polls per batch
+        VDB_ASSIGN_OR_RETURN(
+            std::vector<GraceEmit> emits,
+            GraceHashJoin(context_, context_->spill_manager(), spec));
+        out_refs_.reserve(emits.size());
+        for (const GraceEmit& emit : emits) {
+          out_refs_.push_back(
+              OutRef{left_refs[emit.left],
+                     emit.right == kGraceNoRight ? RowRef{kNullBatch, 0}
+                                                 : right_refs[emit.right]});
+        }
+        types_ = left_batches_.empty()
+                     ? DeclaredTypes(join_.children[0]->output)
+                     : ColumnTypes(left_batches_[0]);
+        left_width_ = types_.size();
+        if (emit_right_) {
+          const std::vector<TypeId> right_types =
+              right_batches_.empty()
+                  ? DeclaredTypes(join_.children[1]->output)
+                  : ColumnTypes(right_batches_[0]);
+          types_.insert(types_.end(), right_types.begin(),
+                        right_types.end());
+        }
+        return Status::OK();
+      }
+    }
 
     // Build side: right input. Buckets map the key hash to build-row
     // refs; key equality is re-checked at probe time, so hash collisions
@@ -1050,10 +1189,12 @@ class HashAggregateOp final : public BatchOp {
     Batch batch;
     std::vector<ValueVector> group_cols(num_keys);
     std::vector<ValueVector> agg_cols(aggs_.size());
+    uint64_t input_rows = 0;
     while (true) {
       VDB_ASSIGN_OR_RETURN(bool more, child_->Next(&batch));
       if (!more) break;
       const size_t n = batch.NumActive();
+      input_rows += n;
       if (group_col_ == nullptr) {
         for (size_t k = 0; k < num_keys; ++k) {
           group_exprs_[k]->EvaluateBatch(batch, &group_cols[k]);
@@ -1148,6 +1289,20 @@ class HashAggregateOp final : public BatchOp {
           group->states[a].Update(spec, v);
         }
       }
+    }
+
+    // Memory-pressure model (DESIGN.md §14): the same integer accounting
+    // as the row engine, so both engines charge the identical spill pass.
+    // This engine keeps the in-memory table either way (charge-only; the
+    // row engine also carries the external re-aggregation mechanism).
+    AggSpillStats spill_stats;
+    spill_stats.groups = groups.size();
+    spill_stats.input_rows = input_rows;
+    spill_stats.num_keys = num_keys;
+    spill_stats.num_aggs = aggs_.size();
+    spill_stats.input_cols = node_.children[0]->output.size();
+    if (AggSpillTriggered(spill_stats, context_->work_mem_bytes())) {
+      ChargeAggSpill(context_, spill_stats);
     }
 
     std::vector<Tuple> rows;
@@ -1335,6 +1490,7 @@ class MorselPipelineOp final : public BatchOp {
     const size_t estimate = EstimateReserve(agg_node_->estimated_rows);
     merged.reserve(estimate);
     buckets.reserve(estimate);
+    uint64_t input_rows = 0;
     VDB_RETURN_NOT_OK(Pump());
     while (!inflight_.empty()) {
       // Per-morsel budget check point: an over-budget abort returns here
@@ -1349,6 +1505,7 @@ class MorselPipelineOp final : public BatchOp {
       for (MorselResult::BatchOut& batch_out : result.batches) {
         ReplayCharges(context_, batch_out.events);
         rows_in_ += batch_out.rows_scanned;
+        input_rows += batch_out.agg_rows;
       }
       pending_trailing_.insert(pending_trailing_.end(),
                                result.trailing.begin(),
@@ -1385,6 +1542,20 @@ class MorselPipelineOp final : public BatchOp {
     }
     ReplayCharges(context_, pending_trailing_);
     pending_trailing_.clear();
+
+    // Memory-pressure model (DESIGN.md §14): merged group and input-row
+    // totals equal the serial engine's, so this charges the identical
+    // spill pass in the identical position (after the drain, before
+    // finalization).
+    AggSpillStats spill_stats;
+    spill_stats.groups = merged.size();
+    spill_stats.input_rows = input_rows;
+    spill_stats.num_keys = num_keys;
+    spill_stats.num_aggs = aggs_.size();
+    spill_stats.input_cols = agg_node_->children[0]->output.size();
+    if (AggSpillTriggered(spill_stats, context_->work_mem_bytes())) {
+      ChargeAggSpill(context_, spill_stats);
+    }
 
     std::vector<Tuple> rows;
     if (merged.empty() && group_exprs_.empty()) {

@@ -1,3 +1,6 @@
+// The vectorized batch executor: 1024-row column-major batches with
+// selection vectors and lazy column materialization (DESIGN.md §12).
+
 #ifndef VDB_EXEC_BATCH_EXECUTOR_H_
 #define VDB_EXEC_BATCH_EXECUTOR_H_
 

@@ -1,3 +1,9 @@
+// Per-query resource budgets and their cooperative enforcement guard.
+// Both engines poll the guard at operator boundaries and inside long
+// loops, so an over-budget query aborts between charge events and
+// unwinds through the normal Status path (spill files and buffer-pool
+// pins release via RAII).
+
 #ifndef VDB_EXEC_BUDGET_H_
 #define VDB_EXEC_BUDGET_H_
 

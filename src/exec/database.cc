@@ -1,5 +1,8 @@
 #include "exec/database.h"
 
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
@@ -25,6 +28,12 @@ Database::Database() {
     const int n = std::atoi(threads);
     if (n > 1) query_options_.num_threads = n;
   }
+  // Spill-to-disk mechanisms are on by default; VDB_SPILL=off keeps the
+  // analytic charge-only model (identical rows and charges either way).
+  const char* spill = std::getenv("VDB_SPILL");
+  if (spill == nullptr || std::strcmp(spill, "off") != 0) {
+    spill_ = std::make_unique<SpillManager>("/tmp/vdb-spill-XXXXXX");
+  }
 }
 
 Status Database::ApplyVmConfig(const sim::VirtualMachine& vm) {
@@ -33,6 +42,52 @@ Status Database::ApplyVmConfig(const sim::VirtualMachine& vm) {
 }
 
 Status Database::DropCaches() { return pool_->EvictAll(); }
+
+Result<RecoveryStats> Database::EnableDurability(const std::string& dir) {
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument("durability already enabled");
+  }
+  if (!catalog_->Tables().empty()) {
+    return Status::InvalidArgument(
+        "EnableDurability requires a fresh database (recovered state "
+        "would collide with existing tables)");
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("cannot create durability directory: " + dir);
+  }
+  // Recover with no WAL attached, so redone work is not re-logged.
+  VDB_ASSIGN_OR_RETURN(RecoveryStats stats, Recover(dir, catalog_.get()));
+  VDB_ASSIGN_OR_RETURN(wal_, storage::WriteAheadLog::Open(WalPath(dir)));
+  if (stats.checkpoint_loaded &&
+      stats.checkpoint_lsn >= wal_->flushed_lsn()) {
+    // The checkpoint covers the whole log: a crash interrupted the
+    // post-checkpoint truncation. Complete it now.
+    VDB_RETURN_NOT_OK(wal_->Reset(stats.checkpoint_lsn + 1));
+  }
+  durability_dir_ = dir;
+  catalog_->SetWal(wal_.get());
+  pool_->SetWal(wal_.get());
+  return stats;
+}
+
+Status Database::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("durability is not enabled");
+  }
+  VDB_RETURN_NOT_OK(wal_->Flush());
+  pool_->FlushAll();
+  VDB_RETURN_NOT_OK(WriteCheckpoint(catalog_.get(), disk_.get(),
+                                    CheckpointPath(durability_dir_),
+                                    wal_->flushed_lsn()));
+  return wal_->Reset(wal_->flushed_lsn() + 1);
+}
+
+Status Database::FlushWal() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("durability is not enabled");
+  }
+  return wal_->Flush();
+}
 
 Result<plan::LogicalNodePtr> Database::PlanLogical(
     const std::string& sql) const {
@@ -73,6 +128,7 @@ Result<QueryResult> Database::ExecutePlan(
     VDB_RETURN_NOT_OK(noise_->MaybeInjectFault("query execution"));
   }
   ExecutionContext context(&vm, pool_.get(), config_.work_mem_bytes);
+  context.set_spill_manager(spill_.get());
   // Arm the cooperative budget before any operator runs. The guard lives
   // on this frame, so an over-budget abort unwinds through the executor
   // and destroys guard and context together — nothing leaks.

@@ -1,3 +1,6 @@
+// Instance memory configuration derived from the VM's allocation
+// (buffer-pool pages, work_mem), plus per-query execution options.
+
 #ifndef VDB_EXEC_DB_CONFIG_H_
 #define VDB_EXEC_DB_CONFIG_H_
 

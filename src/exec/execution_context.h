@@ -1,3 +1,6 @@
+// ExecutionContext: the simulator's ledger — charges CPU work units and
+// I/O events against a VM and advances simulated time.
+
 #ifndef VDB_EXEC_EXECUTION_CONTEXT_H_
 #define VDB_EXEC_EXECUTION_CONTEXT_H_
 
@@ -10,6 +13,7 @@
 namespace vdb::exec {
 
 class BudgetGuard;
+class SpillManager;
 
 /// Ground-truth CPU work constants (abstract work units). These are the
 /// simulator's "physics": the executor charges them as it processes data,
@@ -75,6 +79,14 @@ class ExecutionContext final : public storage::IoListener {
   void set_budget_guard(BudgetGuard* guard) { budget_guard_ = guard; }
   BudgetGuard* budget_guard() const { return budget_guard_; }
 
+  /// Attaches a spill-file provider (non-owning; nullptr detaches). With
+  /// one attached, sort / hash join / aggregate actually externalize their
+  /// state through temp files when it exceeds work_mem; without one they
+  /// keep the analytic model — charge spill I/O but stay in memory. Rows
+  /// and charges are identical either way (DESIGN.md §14).
+  void set_spill_manager(SpillManager* spill) { spill_manager_ = spill; }
+  SpillManager* spill_manager() const { return spill_manager_; }
+
  private:
   const sim::VirtualMachine* vm_;
   storage::BufferPool* pool_;
@@ -86,6 +98,7 @@ class ExecutionContext final : public storage::IoListener {
   double total_cpu_ops_ = 0.0;
   uint64_t physical_reads_ = 0;
   BudgetGuard* budget_guard_ = nullptr;
+  SpillManager* spill_manager_ = nullptr;
 };
 
 }  // namespace vdb::exec

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "exec/budget.h"
+#include "exec/spill.h"
 #include "obs/metrics.h"
 #include "storage/page.h"
 #include "util/logging.h"
@@ -222,13 +223,18 @@ Result<std::vector<Tuple>> Executor::RunSort(const optimizer::PhysSort& sort) {
   // Precompute key vectors.
   std::vector<std::vector<Value>> key_rows;
   key_rows.reserve(input.size());
+  std::vector<double> row_bytes;
+  row_bytes.reserve(input.size());
   double bytes = 0.0;
   for (const Tuple& row : input) {
     key_rows.push_back(EvalAll(keys, row));
-    bytes += ApproxTupleBytes(row);
+    row_bytes.push_back(ApproxTupleBytes(row));
+    bytes += row_bytes.back();
   }
   // Spill if the sort exceeds work_mem (one write + one read pass).
-  if (bytes > static_cast<double>(context_->work_mem_bytes())) {
+  const bool spills =
+      bytes > static_cast<double>(context_->work_mem_bytes());
+  if (spills) {
     const double pages = PagesFor(bytes);
     context_->ChargeSpillWrite(pages);
     context_->ChargeSpillRead(pages);
@@ -237,6 +243,15 @@ Result<std::vector<Tuple>> Executor::RunSort(const optimizer::PhysSort& sort) {
   context_->ChargeCpu(2.0 * n * std::log2(std::max(2.0, n)) *
                       cpu.ops_per_comparison);
   context_->ChargeCpu(n * cpu.ops_per_tuple);  // materialization
+
+  // With a spill provider attached, an over-work_mem sort actually runs
+  // as an external merge sort; the merge's input-position tie-break
+  // reproduces std::stable_sort's permutation exactly (DESIGN.md §14).
+  if (spills && context_->spill_manager() != nullptr) {
+    return ExternalMergeSort(context_->spill_manager(), std::move(input),
+                             key_rows, ascending, row_bytes,
+                             context_->work_mem_bytes());
+  }
 
   std::vector<size_t> order(input.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -361,6 +376,69 @@ Result<std::vector<Tuple>> Executor::RunHashJoin(
   const plan::ColumnExpr* left_col = SingleColumnKey(left_keys);
   const plan::ColumnExpr* right_col = SingleColumnKey(right_keys);
   const size_t num_keys = right_keys.size();
+
+  // With a spill provider attached, an over-work_mem build side runs as a
+  // Grace partitioned join. The decision pre-scans build bytes in the
+  // same accumulation order as the build loop below, so the trigger
+  // agrees bit-for-bit with the analytic model; GraceHashJoin then
+  // replays this function's exact charge sequence (DESIGN.md §14).
+  if (context_->spill_manager() != nullptr) {
+    double scan_bytes = 0.0;
+    for (const Tuple& row : right_rows) scan_bytes += ApproxTupleBytes(row);
+    if (scan_bytes > static_cast<double>(context_->work_mem_bytes())) {
+      // Build-side charges, exactly as the in-memory build loop.
+      std::vector<std::vector<Value>> grace_right(right_rows.size());
+      for (uint32_t i = 0; i < right_rows.size(); ++i) {
+        context_->ChargeCpu(cpu.ops_per_hash + cpu.ops_per_tuple);
+        grace_right[i] = right_col != nullptr
+                             ? std::vector<Value>{right_rows[i]
+                                                      [right_col->slot()]}
+                             : EvalAll(right_keys, right_rows[i]);
+      }
+      double probe_bytes = 0.0;
+      for (const Tuple& row : left_rows) {
+        probe_bytes += ApproxTupleBytes(row);
+      }
+      const double pages = PagesFor(scan_bytes) + PagesFor(probe_bytes);
+      context_->ChargeSpillWrite(pages);
+      context_->ChargeSpillRead(pages);
+
+      std::vector<std::vector<Value>> grace_left(left_rows.size());
+      for (uint32_t i = 0; i < left_rows.size(); ++i) {
+        grace_left[i] =
+            left_col != nullptr
+                ? std::vector<Value>{left_rows[i][left_col->slot()]}
+                : EvalAll(left_keys, left_rows[i]);
+      }
+      GraceJoinSpec spec;
+      spec.join_type = join.join_type;
+      spec.residual = residual.get();
+      spec.residual_ops = residual_ops;
+      spec.num_keys = num_keys;
+      spec.left_rows = &left_rows;
+      spec.left_keys = &grace_left;
+      spec.right_rows = &right_rows;
+      spec.right_keys = &grace_right;
+      spec.poll_budget = true;
+      VDB_ASSIGN_OR_RETURN(
+          std::vector<GraceEmit> emits,
+          GraceHashJoin(context_, context_->spill_manager(), spec));
+      std::vector<Tuple> out;
+      out.reserve(emits.size());
+      for (const GraceEmit& emit : emits) {
+        if (emit.right != kGraceNoRight) {
+          out.push_back(
+              ConcatRows(left_rows[emit.left], right_rows[emit.right]));
+        } else if (join.join_type == LogicalJoinType::kLeft) {
+          out.push_back(ConcatRows(left_rows[emit.left],
+                                   NullsFor(right_child.output)));
+        } else {
+          out.push_back(left_rows[emit.left]);
+        }
+      }
+      return out;
+    }
+  }
 
   // Build side: right input. Buckets map the key hash to build-row
   // indices; key equality is re-checked at probe time, so hash collisions
@@ -602,6 +680,56 @@ Result<std::vector<Tuple>> Executor::RunHashAggregate(
       if (spec.arg != nullptr) v = spec.arg->Evaluate(row);
       group->states[a].Update(spec, v);
     }
+  }
+
+  // Memory-pressure model (DESIGN.md §14): the aggregation spills when
+  // its hash state exceeds work_mem. Group count only grows, so this
+  // final-count check matches a mid-stream check exactly.
+  AggSpillStats spill_stats;
+  spill_stats.groups = groups.size();
+  spill_stats.input_rows = input.size();
+  spill_stats.num_keys = group_exprs.size();
+  spill_stats.num_aggs = aggs.size();
+  spill_stats.input_cols = child.output.size();
+  const bool agg_spills =
+      AggSpillTriggered(spill_stats, context_->work_mem_bytes());
+  if (agg_spills) ChargeAggSpill(context_, spill_stats);
+
+  // With a spill provider, actually re-aggregate through hash partitions
+  // on disk. Each group lives in one partition and sees its updates in
+  // global row order, so states (and, after the first-appearance sort,
+  // group order) are bit-identical to the in-memory table above.
+  if (agg_spills && context_->spill_manager() != nullptr) {
+    std::vector<std::vector<Value>> ext_keys;
+    std::vector<std::vector<Value>> ext_args;
+    ext_keys.reserve(input.size());
+    ext_args.reserve(input.size());
+    for (const Tuple& row : input) {
+      ext_keys.push_back(group_col != nullptr
+                             ? std::vector<Value>{row[group_col->slot()]}
+                             : EvalAll(group_exprs, row));
+      std::vector<Value> args;
+      args.reserve(aggs.size());
+      for (const plan::AggSpec& spec : aggs) {
+        args.push_back(spec.arg != nullptr ? spec.arg->Evaluate(row)
+                                           : Value());
+      }
+      ext_args.push_back(std::move(args));
+    }
+    VDB_ASSIGN_OR_RETURN(std::vector<ExternalAggGroup> external,
+                         ExternalHashAggregate(context_->spill_manager(),
+                                               aggs, ext_keys, ext_args));
+    std::vector<Tuple> spilled_out;
+    spilled_out.reserve(external.size());
+    for (const ExternalAggGroup& group : external) {
+      context_->ChargeCpu(cpu.ops_per_tuple);
+      Tuple row = group.key;
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        row.push_back(group.states[a].Finalize(aggs[a]));
+      }
+      spilled_out.push_back(std::move(row));
+    }
+    return spilled_out;
   }
 
   std::vector<Tuple> out;

@@ -1,3 +1,5 @@
+// The row-at-a-time Volcano executor over physical plans.
+
 #ifndef VDB_EXEC_EXECUTOR_H_
 #define VDB_EXEC_EXECUTOR_H_
 

@@ -341,6 +341,7 @@ MorselResult RunMorsel(const MorselPipelineSpec& spec, Morsel morsel) {
     }
 
     if (spec.aggregate) {
+      out.agg_rows = batch.NumActive();
       AccumulateAggregate(spec, batch, &out.events, &result.groups, &buckets,
                           &group_cols, &agg_cols);
     } else {

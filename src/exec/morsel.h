@@ -1,3 +1,7 @@
+// Morsel-driven parallelism for the batch engine: fixed 4096-record
+// morsels, thread-local execution, and charge-event replay in serial
+// order (DESIGN.md §12).
+
 #ifndef VDB_EXEC_MORSEL_H_
 #define VDB_EXEC_MORSEL_H_
 
@@ -190,6 +194,9 @@ struct MorselResult {
     catalog::Batch batch;  // empty in aggregate mode (folded into groups)
     std::vector<ChargeEvent> events;
     size_t rows_scanned = 0;
+    /// Aggregate mode: rows this batch fed into the partial aggregate
+    /// (post-filter), summed by the coordinator for the spill trigger.
+    size_t agg_rows = 0;
   };
 
   Status status = Status::OK();

@@ -1,3 +1,6 @@
+// Helpers shared by both executors: hashable grouping keys, aggregate
+// state machines, and sort comparators.
+
 #ifndef VDB_EXEC_OPERATOR_COMMON_H_
 #define VDB_EXEC_OPERATOR_COMMON_H_
 

@@ -1,0 +1,61 @@
+// Crash recovery (DESIGN.md §14): checkpoint-image load plus WAL redo
+// replay, entered from Database::EnableDurability.
+
+#ifndef VDB_EXEC_RECOVERY_H_
+#define VDB_EXEC_RECOVERY_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "storage/disk_manager.h"
+#include "storage/wal.h"
+#include "util/result.h"
+
+namespace vdb::exec {
+
+/// Crash recovery for a durable database directory (DESIGN.md §14).
+///
+/// The directory holds two files:
+///   wal.log         — the paged, checksummed write-ahead log
+///   checkpoint.img  — a fuzzy-free full image of every table's pages,
+///                     written atomically (tmp + fsync + rename)
+///
+/// Recovery is ARIES-lite redo-only: load the checkpoint image if present,
+/// then replay WAL records with lsn > checkpoint LSN, skipping any page
+/// whose recovery LSN already covers a record (idempotent, so recovering
+/// twice — or crashing during recovery and starting over — is safe).
+/// Indexes are not checkpointed page-by-page; their definitions are
+/// recorded and every index is rebuilt from its base table after redo.
+
+/// Where durable files live inside `dir`.
+std::string WalPath(const std::string& dir);
+std::string CheckpointPath(const std::string& dir);
+
+/// Outcome of a recovery pass, for logging and tests.
+struct RecoveryStats {
+  bool checkpoint_loaded = false;
+  /// Last LSN captured by the checkpoint image (0 = none).
+  storage::Lsn checkpoint_lsn = 0;
+  /// WAL scan outcome; `wal.clean == false` means the log ended in a torn
+  /// or corrupt record, which recovery treats as the end of history.
+  storage::WalReplayStats wal;
+  uint64_t tables_recovered = 0;
+  uint64_t indexes_rebuilt = 0;
+};
+
+/// Rebuilds `catalog` (which must be empty, with no WAL attached) from the
+/// durable state in `dir`. Missing files mean a fresh database: returns
+/// success with nothing loaded.
+Result<RecoveryStats> Recover(const std::string& dir,
+                              catalog::Catalog* catalog);
+
+/// Writes a checkpoint image of every table to `path`, atomically.
+/// The caller must first flush the WAL and the buffer pool so the disk
+/// pages are current; `last_lsn` records the WAL horizon the image covers.
+Status WriteCheckpoint(catalog::Catalog* catalog,
+                       storage::DiskManager* disk, const std::string& path,
+                       storage::Lsn last_lsn);
+
+}  // namespace vdb::exec
+
+#endif  // VDB_EXEC_RECOVERY_H_

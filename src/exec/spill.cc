@@ -1,0 +1,574 @@
+#include "exec/spill.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <queue>
+#include <unordered_map>
+
+#include "exec/budget.h"
+#include "obs/metrics.h"
+
+namespace vdb::exec {
+
+namespace {
+
+// Value serialization: one tag byte (TypeId << 1 | is_null), then the
+// payload for non-null values. Doubles round-trip via memcpy so spilled
+// rows are bitwise identical to their in-memory originals.
+
+Status WriteBytes(std::FILE* file, const void* data, size_t n) {
+  if (std::fwrite(data, 1, n, file) != n) {
+    return Status::IOError("spill file write failed");
+  }
+  return Status::OK();
+}
+
+Status ReadBytes(std::FILE* file, void* data, size_t n) {
+  if (std::fread(data, 1, n, file) != n) {
+    return Status::IOError("spill file truncated");
+  }
+  return Status::OK();
+}
+
+Status WriteValue(std::FILE* file, const catalog::Value& v) {
+  const uint8_t tag = static_cast<uint8_t>(
+      (static_cast<uint8_t>(v.type()) << 1) | (v.is_null() ? 1 : 0));
+  VDB_RETURN_NOT_OK(WriteBytes(file, &tag, 1));
+  if (v.is_null()) return Status::OK();
+  switch (v.type()) {
+    case catalog::TypeId::kBool: {
+      const uint8_t b = v.AsBool() ? 1 : 0;
+      return WriteBytes(file, &b, 1);
+    }
+    case catalog::TypeId::kInt64:
+    case catalog::TypeId::kDate: {
+      const int64_t i = v.AsInt64();
+      return WriteBytes(file, &i, 8);
+    }
+    case catalog::TypeId::kDouble: {
+      double d = v.AsDouble();
+      uint64_t bits = 0;
+      std::memcpy(&bits, &d, 8);
+      return WriteBytes(file, &bits, 8);
+    }
+    case catalog::TypeId::kString: {
+      const std::string& s = v.AsString();
+      const uint32_t len = static_cast<uint32_t>(s.size());
+      VDB_RETURN_NOT_OK(WriteBytes(file, &len, 4));
+      return WriteBytes(file, s.data(), s.size());
+    }
+  }
+  return Status::IOError("spill file: unknown value type");
+}
+
+Result<catalog::Value> ReadValue(std::FILE* file) {
+  uint8_t tag = 0;
+  VDB_RETURN_NOT_OK(ReadBytes(file, &tag, 1));
+  const catalog::TypeId type = static_cast<catalog::TypeId>(tag >> 1);
+  if (tag & 1) return catalog::Value::Null(type);
+  switch (type) {
+    case catalog::TypeId::kBool: {
+      uint8_t b = 0;
+      VDB_RETURN_NOT_OK(ReadBytes(file, &b, 1));
+      return catalog::Value::Bool(b != 0);
+    }
+    case catalog::TypeId::kInt64:
+    case catalog::TypeId::kDate: {
+      int64_t i = 0;
+      VDB_RETURN_NOT_OK(ReadBytes(file, &i, 8));
+      return type == catalog::TypeId::kInt64 ? catalog::Value::Int64(i)
+                                             : catalog::Value::Date(i);
+    }
+    case catalog::TypeId::kDouble: {
+      uint64_t bits = 0;
+      VDB_RETURN_NOT_OK(ReadBytes(file, &bits, 8));
+      double d = 0.0;
+      std::memcpy(&d, &bits, 8);
+      return catalog::Value::Double(d);
+    }
+    case catalog::TypeId::kString: {
+      uint32_t len = 0;
+      VDB_RETURN_NOT_OK(ReadBytes(file, &len, 4));
+      std::string s(len, '\0');
+      if (len > 0) VDB_RETURN_NOT_OK(ReadBytes(file, s.data(), len));
+      return catalog::Value::String(std::move(s));
+    }
+  }
+  return Status::IOError("spill file: unknown value type");
+}
+
+size_t ApproxValueBytes(const catalog::Value& v) {
+  size_t bytes = 1 + 8;
+  if (!v.is_null() && v.type() == catalog::TypeId::kString) {
+    bytes += v.AsString().size();
+  }
+  return bytes;
+}
+
+}  // namespace
+
+// --- SpillFile -------------------------------------------------------------
+
+SpillFile::~SpillFile() {
+  if (file_ != nullptr) std::fclose(file_);
+  std::remove(path_.c_str());
+  if (manager_ != nullptr) manager_->OnFileClosed(bytes_written_);
+}
+
+Status SpillFile::WriteRow(uint64_t index, const catalog::Tuple& row) {
+  VDB_RETURN_NOT_OK(WriteBytes(file_, &index, 8));
+  const uint16_t nvals = static_cast<uint16_t>(row.size());
+  VDB_RETURN_NOT_OK(WriteBytes(file_, &nvals, 2));
+  size_t bytes = 10;
+  for (const catalog::Value& v : row) {
+    VDB_RETURN_NOT_OK(WriteValue(file_, v));
+    bytes += ApproxValueBytes(v);
+  }
+  ++rows_written_;
+  bytes_written_ += bytes;
+  return Status::OK();
+}
+
+Status SpillFile::Rewind() {
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return Status::IOError("spill file rewind failed");
+  }
+  return Status::OK();
+}
+
+Result<bool> SpillFile::ReadRow(uint64_t* index, catalog::Tuple* row) {
+  uint64_t idx = 0;
+  if (std::fread(&idx, 1, 8, file_) != 8) {
+    if (std::feof(file_)) return false;
+    return Status::IOError("spill file read failed");
+  }
+  uint16_t nvals = 0;
+  VDB_RETURN_NOT_OK(ReadBytes(file_, &nvals, 2));
+  row->clear();
+  row->reserve(nvals);
+  for (uint16_t i = 0; i < nvals; ++i) {
+    VDB_ASSIGN_OR_RETURN(catalog::Value v, ReadValue(file_));
+    row->push_back(std::move(v));
+  }
+  *index = idx;
+  return true;
+}
+
+// --- SpillManager ----------------------------------------------------------
+
+SpillManager::SpillManager(std::string dir_template)
+    : dir_template_(std::move(dir_template)) {}
+
+SpillManager::~SpillManager() {
+  if (!dir_.empty()) ::rmdir(dir_.c_str());
+}
+
+Result<std::unique_ptr<SpillFile>> SpillManager::NewFile(
+    const std::string& hint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dir_.empty()) {
+    std::string tmpl = dir_template_;
+    if (::mkdtemp(tmpl.data()) == nullptr) {
+      return Status::IOError("cannot create spill directory: " +
+                             dir_template_);
+    }
+    dir_ = tmpl;
+  }
+  const std::string path =
+      dir_ + "/" + std::to_string(next_id_++) + "-" + hint + ".spill";
+  std::FILE* file = std::fopen(path.c_str(), "w+b");
+  if (file == nullptr) {
+    return Status::IOError("cannot create spill file: " + path);
+  }
+  ++live_files_;
+  ++files_created_;
+  static obs::Counter* const spill_files =
+      obs::MetricsRegistry::Global().GetCounter("exec.spill.files_created");
+  spill_files->Add(1);
+  return std::unique_ptr<SpillFile>(new SpillFile(this, path, file));
+}
+
+void SpillManager::OnFileClosed(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --live_files_;
+  bytes_spilled_ += bytes;
+  static obs::Counter* const spill_bytes =
+      obs::MetricsRegistry::Global().GetCounter("exec.spill.bytes_written");
+  spill_bytes->Add(bytes);
+}
+
+uint64_t SpillManager::live_files() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_files_;
+}
+
+uint64_t SpillManager::files_created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_created_;
+}
+
+uint64_t SpillManager::bytes_spilled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_spilled_;
+}
+
+// --- External merge sort ---------------------------------------------------
+
+namespace {
+
+/// Compares two key tuples per the ORDER BY directions; ties broken by
+/// original input position, which is exactly std::stable_sort's order.
+bool SortLess(const catalog::Tuple& a_keys, uint64_t a_idx,
+              const catalog::Tuple& b_keys, uint64_t b_idx,
+              const std::vector<bool>& ascending) {
+  for (size_t k = 0; k < ascending.size(); ++k) {
+    const int cmp = CompareForSort(a_keys[k], b_keys[k], ascending[k]);
+    if (cmp != 0) return cmp < 0;
+  }
+  return a_idx < b_idx;
+}
+
+}  // namespace
+
+Result<std::vector<catalog::Tuple>> ExternalMergeSort(
+    SpillManager* spill, std::vector<catalog::Tuple> rows,
+    const std::vector<std::vector<catalog::Value>>& key_rows,
+    const std::vector<bool>& ascending, const std::vector<double>& row_bytes,
+    uint64_t work_mem_bytes) {
+  const size_t num_keys = ascending.size();
+  // Cut runs greedily so each fits in work_mem (at least one row per run).
+  std::vector<std::unique_ptr<SpillFile>> runs;
+  size_t begin = 0;
+  while (begin < rows.size()) {
+    size_t end = begin;
+    double run_bytes = 0.0;
+    while (end < rows.size() &&
+           (end == begin ||
+            run_bytes + row_bytes[end] <=
+                static_cast<double>(work_mem_bytes))) {
+      run_bytes += row_bytes[end];
+      ++end;
+    }
+    std::vector<uint64_t> order(end - begin);
+    for (size_t i = 0; i < order.size(); ++i) order[i] = begin + i;
+    std::sort(order.begin(), order.end(), [&](uint64_t a, uint64_t b) {
+      return SortLess(key_rows[a], a, key_rows[b], b, ascending);
+    });
+    VDB_ASSIGN_OR_RETURN(std::unique_ptr<SpillFile> run,
+                         spill->NewFile("sort-run"));
+    // File rows carry keys ++ payload so the merge never re-evaluates
+    // key expressions; the stored index is the global input position.
+    catalog::Tuple file_row;
+    for (const uint64_t idx : order) {
+      file_row.clear();
+      file_row.reserve(num_keys + rows[idx].size());
+      for (size_t k = 0; k < num_keys; ++k) {
+        file_row.push_back(key_rows[idx][k]);
+      }
+      for (const catalog::Value& v : rows[idx]) file_row.push_back(v);
+      VDB_RETURN_NOT_OK(run->WriteRow(idx, file_row));
+    }
+    VDB_RETURN_NOT_OK(run->Rewind());
+    runs.push_back(std::move(run));
+    begin = end;
+  }
+  rows.clear();
+
+  // K-way merge by (keys, input position).
+  struct HeapEntry {
+    catalog::Tuple row;  // keys ++ payload
+    uint64_t index;
+    size_t run;
+  };
+  const auto greater = [&](const HeapEntry& a, const HeapEntry& b) {
+    catalog::Tuple a_keys(a.row.begin(), a.row.begin() + num_keys);
+    catalog::Tuple b_keys(b.row.begin(), b.row.begin() + num_keys);
+    return SortLess(b_keys, b.index, a_keys, a.index, ascending);
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(greater)>
+      heap(greater);
+  for (size_t r = 0; r < runs.size(); ++r) {
+    HeapEntry entry;
+    entry.run = r;
+    VDB_ASSIGN_OR_RETURN(bool ok, runs[r]->ReadRow(&entry.index, &entry.row));
+    if (ok) heap.push(std::move(entry));
+  }
+  std::vector<catalog::Tuple> sorted;
+  while (!heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    sorted.emplace_back(top.row.begin() + num_keys, top.row.end());
+    HeapEntry next;
+    next.run = top.run;
+    VDB_ASSIGN_OR_RETURN(bool ok,
+                         runs[top.run]->ReadRow(&next.index, &next.row));
+    if (ok) heap.push(std::move(next));
+  }
+  return sorted;
+}
+
+// --- Grace hash join -------------------------------------------------------
+
+namespace {
+
+constexpr size_t kGraceFanout = 32;
+constexpr uint64_t kSpillBudgetPollMask = 4095;
+
+/// What happened when one probe row met one bucket candidate that passed
+/// KeysEqual — recorded during the charge-free partition phase, replayed
+/// in global probe order to reproduce the in-memory charge sequence.
+struct ProbeEvent {
+  uint64_t right_gidx;
+  bool passed_residual;
+};
+
+struct ProbeTapeEntry {
+  std::vector<ProbeEvent> events;
+  bool matched = false;
+};
+
+}  // namespace
+
+Result<std::vector<GraceEmit>> GraceHashJoin(ExecutionContext* context,
+                                             SpillManager* spill,
+                                             const GraceJoinSpec& spec) {
+  using plan::LogicalJoinType;
+  const std::vector<catalog::Tuple>& left_rows = *spec.left_rows;
+  const std::vector<catalog::Tuple>& right_rows = *spec.right_rows;
+  const std::vector<std::vector<catalog::Value>>& left_keys =
+      *spec.left_keys;
+  const std::vector<std::vector<catalog::Value>>& right_keys =
+      *spec.right_keys;
+
+  // Partition both sides by key hash onto spill files; rows with a NULL
+  // key never join, so they are not written (left-side NULL-key rows
+  // still get a tape entry below, for left-outer emission).
+  const auto has_null_key = [&](const std::vector<catalog::Value>& key) {
+    for (size_t k = 0; k < spec.num_keys; ++k) {
+      if (key[k].is_null()) return true;
+    }
+    return false;
+  };
+  std::vector<std::unique_ptr<SpillFile>> build_parts(kGraceFanout);
+  std::vector<std::unique_ptr<SpillFile>> probe_parts(kGraceFanout);
+  for (size_t p = 0; p < kGraceFanout; ++p) {
+    VDB_ASSIGN_OR_RETURN(build_parts[p], spill->NewFile("join-build"));
+    VDB_ASSIGN_OR_RETURN(probe_parts[p], spill->NewFile("join-probe"));
+  }
+  // File rows carry keys ++ payload, like the sort runs.
+  catalog::Tuple file_row;
+  const auto write_side =
+      [&](const std::vector<catalog::Tuple>& rows,
+          const std::vector<std::vector<catalog::Value>>& keys,
+          std::vector<std::unique_ptr<SpillFile>>& parts) -> Status {
+    for (uint64_t i = 0; i < rows.size(); ++i) {
+      if (has_null_key(keys[i])) continue;
+      const size_t p =
+          HashValues(keys[i].data(), spec.num_keys) % kGraceFanout;
+      file_row.clear();
+      file_row.reserve(spec.num_keys + rows[i].size());
+      for (size_t k = 0; k < spec.num_keys; ++k) {
+        file_row.push_back(keys[i][k]);
+      }
+      for (const catalog::Value& v : rows[i]) file_row.push_back(v);
+      VDB_RETURN_NOT_OK(parts[p]->WriteRow(i, file_row));
+    }
+    return Status::OK();
+  };
+  VDB_RETURN_NOT_OK(write_side(right_rows, right_keys, build_parts));
+  VDB_RETURN_NOT_OK(write_side(left_rows, left_keys, probe_parts));
+
+  // Join each partition pair with a small in-memory table, recording a
+  // tape entry per probe row: which build rows passed KeysEqual (bucket
+  // candidates in build insertion order — the only candidates that ever
+  // charge a comparison in-memory, so hash-collision differences between
+  // engines cannot perturb the replayed charges) and whether each passed
+  // the residual. Partition files preserve global order, and candidate
+  // order within a bucket is build insertion order, so the tape replay
+  // below emits in exactly the in-memory order.
+  std::unordered_map<uint64_t, ProbeTapeEntry> tape;
+  tape.reserve(left_rows.size());
+  for (size_t p = 0; p < kGraceFanout; ++p) {
+    VDB_RETURN_NOT_OK(build_parts[p]->Rewind());
+    VDB_RETURN_NOT_OK(probe_parts[p]->Rewind());
+    // Build: bucket build-row indices by key hash, insertion order kept.
+    std::vector<uint64_t> build_idx;
+    std::vector<catalog::Tuple> build_rows_local;
+    std::unordered_map<size_t, std::vector<size_t>> buckets;
+    uint64_t idx = 0;
+    catalog::Tuple row;
+    while (true) {
+      VDB_ASSIGN_OR_RETURN(bool ok, build_parts[p]->ReadRow(&idx, &row));
+      if (!ok) break;
+      const size_t h = HashValues(row.data(), spec.num_keys);
+      buckets[h].push_back(build_rows_local.size());
+      build_idx.push_back(idx);
+      build_rows_local.push_back(row);
+    }
+    while (true) {
+      VDB_ASSIGN_OR_RETURN(bool ok, probe_parts[p]->ReadRow(&idx, &row));
+      if (!ok) break;
+      ProbeTapeEntry entry;
+      const size_t h = HashValues(row.data(), spec.num_keys);
+      const auto it = buckets.find(h);
+      if (it != buckets.end()) {
+        for (const size_t local : it->second) {
+          const catalog::Tuple& build_row = build_rows_local[local];
+          if (!KeysEqual(row.data(), build_row.data(), spec.num_keys)) {
+            continue;
+          }
+          bool passed = true;
+          if (spec.residual != nullptr) {
+            const catalog::Tuple combined = ConcatRows(
+                catalog::Tuple(row.begin() + spec.num_keys, row.end()),
+                catalog::Tuple(build_row.begin() + spec.num_keys,
+                               build_row.end()));
+            passed = plan::EvaluatesToTrue(*spec.residual, combined);
+          }
+          entry.events.push_back(ProbeEvent{build_idx[local], passed});
+          if (passed) {
+            entry.matched = true;
+            if (spec.join_type == LogicalJoinType::kSemi ||
+                spec.join_type == LogicalJoinType::kAnti) {
+              break;  // in-memory probe stops at the first passing match
+            }
+          }
+        }
+      }
+      tape.emplace(idx, std::move(entry));
+    }
+  }
+  build_parts.clear();
+  probe_parts.clear();
+
+  // Replay the tape in global probe order, issuing the in-memory probe
+  // loop's exact charge sequence and emission order.
+  const CpuWorkModel& cpu = context->cpu_model();
+  std::vector<GraceEmit> emits;
+  static const ProbeTapeEntry kEmptyEntry;
+  uint64_t probed = 0;
+  for (uint64_t i = 0; i < left_rows.size(); ++i) {
+    if (spec.poll_budget && context->budget_guard() != nullptr &&
+        (++probed & kSpillBudgetPollMask) == 0) {
+      VDB_RETURN_NOT_OK(context->budget_guard()->Check());
+    }
+    context->ChargeCpu(cpu.ops_per_hash);
+    const auto it = tape.find(i);
+    const ProbeTapeEntry& entry =
+        it == tape.end() ? kEmptyEntry : it->second;
+    for (const ProbeEvent& event : entry.events) {
+      context->ChargeCpu(cpu.ops_per_comparison +
+                         spec.residual_ops * cpu.ops_per_operator);
+      if (event.passed_residual &&
+          (spec.join_type == LogicalJoinType::kInner ||
+           spec.join_type == LogicalJoinType::kLeft)) {
+        context->ChargeCpu(cpu.ops_per_tuple);
+        emits.push_back(GraceEmit{i, event.right_gidx});
+      }
+    }
+    switch (spec.join_type) {
+      case LogicalJoinType::kLeft:
+        if (!entry.matched) {
+          context->ChargeCpu(cpu.ops_per_tuple);
+          emits.push_back(GraceEmit{i, kGraceNoRight});
+        }
+        break;
+      case LogicalJoinType::kSemi:
+        if (entry.matched) {
+          context->ChargeCpu(cpu.ops_per_tuple);
+          emits.push_back(GraceEmit{i, kGraceNoRight});
+        }
+        break;
+      case LogicalJoinType::kAnti:
+        if (!entry.matched) {
+          context->ChargeCpu(cpu.ops_per_tuple);
+          emits.push_back(GraceEmit{i, kGraceNoRight});
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return emits;
+}
+
+// --- External hash aggregation ---------------------------------------------
+
+void ChargeAggSpill(ExecutionContext* context, const AggSpillStats& s) {
+  const double pages =
+      PagesFor(static_cast<double>(AggStateBytes(s))) +
+      PagesFor(static_cast<double>(AggInputBytes(s)));
+  context->ChargeSpillWrite(pages);
+  context->ChargeSpillRead(pages);
+}
+
+Result<std::vector<ExternalAggGroup>> ExternalHashAggregate(
+    SpillManager* spill, const std::vector<plan::AggSpec>& aggs,
+    const std::vector<std::vector<catalog::Value>>& key_rows,
+    const std::vector<std::vector<catalog::Value>>& arg_rows) {
+  const size_t num_keys = key_rows.empty() ? 0 : key_rows[0].size();
+  // Route each row (group key ++ aggregate args) to a hash partition.
+  // NULL group keys participate (SQL GROUP BY groups NULLs together).
+  std::vector<std::unique_ptr<SpillFile>> parts(kGraceFanout);
+  for (size_t p = 0; p < kGraceFanout; ++p) {
+    VDB_ASSIGN_OR_RETURN(parts[p], spill->NewFile("agg"));
+  }
+  catalog::Tuple file_row;
+  for (uint64_t i = 0; i < key_rows.size(); ++i) {
+    const size_t p =
+        HashValues(key_rows[i].data(), num_keys) % kGraceFanout;
+    file_row.clear();
+    file_row.reserve(num_keys + arg_rows[i].size());
+    for (const catalog::Value& v : key_rows[i]) file_row.push_back(v);
+    for (const catalog::Value& v : arg_rows[i]) file_row.push_back(v);
+    VDB_RETURN_NOT_OK(parts[p]->WriteRow(i, file_row));
+  }
+
+  // Aggregate each partition. A group lives wholly inside one partition
+  // and partition files preserve global row order, so every state sees
+  // its updates in exactly the in-memory order (bit-identical floating-
+  // point accumulation).
+  std::vector<ExternalAggGroup> groups;
+  for (size_t p = 0; p < kGraceFanout; ++p) {
+    VDB_RETURN_NOT_OK(parts[p]->Rewind());
+    std::unordered_map<size_t, std::vector<size_t>> buckets;
+    std::vector<ExternalAggGroup> local;
+    uint64_t idx = 0;
+    catalog::Tuple row;
+    while (true) {
+      VDB_ASSIGN_OR_RETURN(bool ok, parts[p]->ReadRow(&idx, &row));
+      if (!ok) break;
+      const size_t h = HashValues(row.data(), num_keys);
+      ExternalAggGroup* group = nullptr;
+      for (const size_t g : buckets[h]) {
+        if (KeysEqual(local[g].key.data(), row.data(), num_keys)) {
+          group = &local[g];
+          break;
+        }
+      }
+      if (group == nullptr) {
+        buckets[h].push_back(local.size());
+        ExternalAggGroup fresh;
+        fresh.first_row = idx;
+        fresh.key.assign(row.begin(), row.begin() + num_keys);
+        fresh.states.resize(aggs.size());
+        local.push_back(std::move(fresh));
+        group = &local.back();
+      }
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        group->states[a].Update(aggs[a], row[num_keys + a]);
+      }
+    }
+    for (ExternalAggGroup& g : local) groups.push_back(std::move(g));
+  }
+  // First-appearance order is the in-memory insertion order.
+  std::sort(groups.begin(), groups.end(),
+            [](const ExternalAggGroup& a, const ExternalAggGroup& b) {
+              return a.first_row < b.first_row;
+            });
+  return groups;
+}
+
+}  // namespace vdb::exec

@@ -1,3 +1,5 @@
+// Minimal JSON-writing helpers for metrics snapshots and bench reports.
+
 #ifndef VDB_OBS_JSON_H_
 #define VDB_OBS_JSON_H_
 

@@ -1,3 +1,6 @@
+// The observability registry: counters, gauges, and latency histograms
+// with process-wide registration and snapshot formatting.
+
 #ifndef VDB_OBS_METRICS_H_
 #define VDB_OBS_METRICS_H_
 

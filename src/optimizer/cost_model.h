@@ -1,3 +1,6 @@
+// PostgreSQL-style per-operator cost formulas parameterized by P; each
+// returns a work vector, keeping costs linear in the parameters.
+
 #ifndef VDB_OPTIMIZER_COST_MODEL_H_
 #define VDB_OPTIMIZER_COST_MODEL_H_
 

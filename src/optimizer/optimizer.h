@@ -1,3 +1,7 @@
+// System-R style cost-based optimizer: access-path selection and
+// join-order DP under OptimizerParams P, with what-if
+// re-parameterization.
+
 #ifndef VDB_OPTIMIZER_OPTIMIZER_H_
 #define VDB_OPTIMIZER_OPTIMIZER_H_
 

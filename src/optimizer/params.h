@@ -1,3 +1,6 @@
+// OptimizerParams: the paper's environment parameter set P
+// (seq_page_cost, cpu_tuple_cost, ...).
+
 #ifndef VDB_OPTIMIZER_PARAMS_H_
 #define VDB_OPTIMIZER_PARAMS_H_
 

@@ -1,3 +1,6 @@
+// Physical plan nodes produced by the optimizer and consumed by both
+// executors, carrying per-operator cost estimates.
+
 #ifndef VDB_OPTIMIZER_PHYSICAL_H_
 #define VDB_OPTIMIZER_PHYSICAL_H_
 

@@ -1,3 +1,6 @@
+// Selectivity estimation from catalog statistics (histograms, NDV) for
+// filters and joins.
+
 #ifndef VDB_OPTIMIZER_SELECTIVITY_H_
 #define VDB_OPTIMIZER_SELECTIVITY_H_
 

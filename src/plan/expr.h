@@ -1,3 +1,6 @@
+// Typed bound expression trees: column references, literals, operators,
+// and evaluation over tuples.
+
 #ifndef VDB_PLAN_EXPR_H_
 #define VDB_PLAN_EXPR_H_
 

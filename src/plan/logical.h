@@ -1,3 +1,6 @@
+// Logical plan operators and aggregate specs; trees produced by the
+// planner and rewritten before optimization.
+
 #ifndef VDB_PLAN_LOGICAL_H_
 #define VDB_PLAN_LOGICAL_H_
 

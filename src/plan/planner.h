@@ -1,3 +1,5 @@
+// Translates bound SELECT ASTs into logical plans.
+
 #ifndef VDB_PLAN_PLANNER_H_
 #define VDB_PLAN_PLANNER_H_
 

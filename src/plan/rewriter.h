@@ -1,3 +1,6 @@
+// Logical-plan rewrites: constant folding, predicate pushdown, and
+// subquery decorrelation.
+
 #ifndef VDB_PLAN_REWRITER_H_
 #define VDB_PLAN_REWRITER_H_
 

@@ -1,3 +1,5 @@
+// Blocking wire-protocol client for one server connection.
+
 #ifndef VDB_SERVER_CLIENT_H_
 #define VDB_SERVER_CLIENT_H_
 

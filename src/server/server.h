@@ -1,3 +1,7 @@
+// Multi-tenant SQL server: one logical VM per tenant on a shared
+// VirtualMachineMonitor, with admission control and per-query budgets
+// (DESIGN.md §13).
+
 #ifndef VDB_SERVER_SERVER_H_
 #define VDB_SERVER_SERVER_H_
 

@@ -1,3 +1,6 @@
+// tenants.conf parsing: per-tenant shares, datasets, admission caps, and
+// query budgets.
+
 #ifndef VDB_SERVER_TENANT_H_
 #define VDB_SERVER_TENANT_H_
 

@@ -1,3 +1,6 @@
+// The length-prefixed JSON wire protocol shared by server, client, and
+// loadgen.
+
 #ifndef VDB_SERVER_WIRE_H_
 #define VDB_SERVER_WIRE_H_
 

@@ -1,3 +1,6 @@
+// MachineSpec: the physical machine (CPU rate, memory, disk model) whose
+// resources the VMM divides among virtual machines.
+
 #ifndef VDB_SIM_MACHINE_H_
 #define VDB_SIM_MACHINE_H_
 

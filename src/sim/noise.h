@@ -1,3 +1,6 @@
+// Measurement-noise and transient-fault injection model for calibration
+// robustness testing (DESIGN.md §10).
+
 #ifndef VDB_SIM_NOISE_H_
 #define VDB_SIM_NOISE_H_
 

@@ -1,3 +1,6 @@
+// The m = 3 controllable resources (CPU, memory, IO) and per-VM share
+// vectors.
+
 #ifndef VDB_SIM_RESOURCES_H_
 #define VDB_SIM_RESOURCES_H_
 

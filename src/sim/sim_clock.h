@@ -1,3 +1,6 @@
+// SimClock: deterministic simulated time, advanced only by computed
+// durations.
+
 #ifndef VDB_SIM_SIM_CLOCK_H_
 #define VDB_SIM_SIM_CLOCK_H_
 

@@ -1,3 +1,6 @@
+// VirtualMachine: the physical machine seen through a resource share,
+// including hypervisor overhead.
+
 #ifndef VDB_SIM_VIRTUAL_MACHINE_H_
 #define VDB_SIM_VIRTUAL_MACHINE_H_
 

@@ -1,3 +1,6 @@
+// VirtualMachineMonitor: creates VMs and validates that handed-out
+// shares never oversubscribe the machine.
+
 #ifndef VDB_SIM_VMM_H_
 #define VDB_SIM_VMM_H_
 

@@ -1,3 +1,5 @@
+// Parsed (unresolved) SQL AST nodes.
+
 #ifndef VDB_SQL_AST_H_
 #define VDB_SQL_AST_H_
 

@@ -1,3 +1,5 @@
+// The SQL tokenizer.
+
 #ifndef VDB_SQL_LEXER_H_
 #define VDB_SQL_LEXER_H_
 

@@ -1,3 +1,5 @@
+// Recursive-descent parser for the supported SQL subset.
+
 #ifndef VDB_SQL_PARSER_H_
 #define VDB_SQL_PARSER_H_
 

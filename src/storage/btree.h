@@ -1,3 +1,6 @@
+// Page-based B+-tree secondary index mapping int64 keys to packed
+// RecordIds.
+
 #ifndef VDB_STORAGE_BTREE_H_
 #define VDB_STORAGE_BTREE_H_
 

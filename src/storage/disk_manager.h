@@ -1,3 +1,6 @@
+// The simulated disk: a growable in-host-memory page array whose
+// transfers to and from the buffer pool are observable for I/O charging.
+
 #ifndef VDB_STORAGE_DISK_MANAGER_H_
 #define VDB_STORAGE_DISK_MANAGER_H_
 
@@ -10,9 +13,11 @@
 namespace vdb::storage {
 
 /// The simulated disk: a growable array of pages held in host memory.
-/// Durability is out of scope (the paper's experiments are read-mostly);
-/// what matters is that every transfer between the disk and the buffer pool
-/// is observable, so the executor can charge I/O time for it.
+/// What matters is that every transfer between the disk and the buffer
+/// pool is observable, so the executor can charge I/O time for it.
+/// Durability is layered on separately — the real-file WriteAheadLog plus
+/// checkpoint images (wal.h, DESIGN.md §14) can reconstruct this array's
+/// contents after a crash; the simulated disk itself stays volatile.
 class DiskManager {
  public:
   DiskManager() = default;

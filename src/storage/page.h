@@ -1,3 +1,6 @@
+// Fixed-size pages, PageIds, RecordIds, and the slotted-page record
+// layout.
+
 #ifndef VDB_STORAGE_PAGE_H_
 #define VDB_STORAGE_PAGE_H_
 

@@ -1,0 +1,406 @@
+#include "storage/wal.h"
+
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+namespace vdb::storage {
+
+namespace {
+
+constexpr uint32_t kWalPageMagic = 0x564C4157;  // "WALV"
+constexpr uint64_t kWalPageSize = kPageSize;
+constexpr uint64_t kWalPageHeader = 16;
+constexpr uint64_t kWalPageBody = kWalPageSize - kWalPageHeader;
+constexpr uint64_t kRecordHeader = 4 + 4 + 8 + 1;  // crc, len, lsn, type
+
+// Offsets within a page header.
+constexpr uint64_t kMagicOff = 0;
+constexpr uint64_t kDataLenOff = 4;
+constexpr uint64_t kFirstLsnOff = 8;
+
+template <typename T>
+void PutLe(std::string* out, T value) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+T GetLe(const char* data) {
+  T value;
+  std::memcpy(&value, data, sizeof(T));
+  return value;
+}
+
+const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+uint32_t RecordCrc(Lsn lsn, WalRecordType type, std::string_view payload) {
+  uint32_t crc = Crc32c(&lsn, sizeof(lsn));
+  const uint8_t t = static_cast<uint8_t>(type);
+  crc = Crc32c(&t, sizeof(t), crc);
+  return Crc32c(payload.data(), payload.size(), crc);
+}
+
+/// Maps a record-stream offset to the file offset of that stream byte.
+uint64_t FileOffsetOfStreamByte(uint64_t stream_offset) {
+  return (stream_offset / kWalPageBody) * kWalPageSize + kWalPageHeader +
+         stream_offset % kWalPageBody;
+}
+
+struct ScanResult {
+  WalReplayStats stats;
+  /// Valid record-stream bytes (not file bytes).
+  uint64_t stream_len = 0;
+  /// LSN of the first valid record that *starts* on the partial tail page
+  /// (0 when none does, or when the stream ends on a page boundary). Open
+  /// needs it to rewrite the tail page without corrupting its stamp.
+  Lsn tail_page_first_lsn = 0;
+};
+
+/// Core scan shared by Replay and Open: walks the paged file, reassembles
+/// the record stream, validates CRCs, and calls `apply` (which may be
+/// null) for records with lsn > redo_after. Stops at the first invalid
+/// byte and records why.
+Result<ScanResult> ScanLog(
+    const std::string& path, Lsn redo_after,
+    const std::function<Status(const WalRecord&)>* apply) {
+  ScanResult result;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    // No log yet: an empty WAL replays to nothing.
+    return result;
+  }
+  // Reassemble the record stream page by page; remember, per stream
+  // offset, which pages contributed (for first_lsn validation).
+  std::string stream;
+  std::vector<std::pair<uint64_t, Lsn>> page_first_lsns;  // stream off, lsn
+  std::vector<char> page(kWalPageSize);
+  uint64_t page_index = 0;
+  while (true) {
+    const size_t n = std::fread(page.data(), 1, kWalPageSize, file);
+    if (n == 0) break;
+    if (n < kWalPageHeader) {
+      result.stats.clean = false;
+      result.stats.stop_reason = "torn page header at end of log";
+      break;
+    }
+    const uint32_t magic = GetLe<uint32_t>(page.data() + kMagicOff);
+    if (magic != kWalPageMagic) {
+      result.stats.clean = false;
+      result.stats.stop_reason = "bad page magic";
+      break;
+    }
+    const uint16_t data_len = GetLe<uint16_t>(page.data() + kDataLenOff);
+    const Lsn first_lsn = GetLe<Lsn>(page.data() + kFirstLsnOff);
+    if (data_len > kWalPageBody) {
+      result.stats.clean = false;
+      result.stats.stop_reason = "page data_len out of range";
+      break;
+    }
+    // A short final page may hold fewer bytes than its header claims
+    // (torn write): parse what is there, the CRC of the cut record fails.
+    const uint64_t avail =
+        std::min<uint64_t>(data_len, n > kWalPageHeader ? n - kWalPageHeader
+                                                        : 0);
+    page_first_lsns.emplace_back(page_index * kWalPageBody, first_lsn);
+    stream.append(page.data() + kWalPageHeader, avail);
+    if (avail < data_len || n < kWalPageSize) {
+      if (avail < data_len) {
+        result.stats.clean = false;
+        result.stats.stop_reason = "torn tail page";
+      }
+      break;
+    }
+    ++page_index;
+  }
+  std::fclose(file);
+
+  // Parse the stream record by record.
+  uint64_t pos = 0;
+  size_t next_page_check = 0;
+  uint64_t last_start_page = ~0ULL;
+  Lsn last_start_page_first_lsn = 0;
+  while (true) {
+    if (stream.size() - pos < kRecordHeader) {
+      if (stream.size() - pos > 0) {
+        result.stats.clean = false;
+        result.stats.stop_reason = "truncated record header";
+      }
+      break;
+    }
+    const char* rec = stream.data() + pos;
+    const uint32_t crc = GetLe<uint32_t>(rec);
+    const uint32_t payload_len = GetLe<uint32_t>(rec + 4);
+    const Lsn lsn = GetLe<Lsn>(rec + 8);
+    const uint8_t type = GetLe<uint8_t>(rec + 16);
+    if (stream.size() - pos - kRecordHeader < payload_len) {
+      result.stats.clean = false;
+      result.stats.stop_reason = "truncated record payload";
+      break;
+    }
+    const std::string_view payload(rec + kRecordHeader, payload_len);
+    if (RecordCrc(lsn, static_cast<WalRecordType>(type), payload) != crc) {
+      result.stats.clean = false;
+      result.stats.stop_reason = "record checksum mismatch";
+      break;
+    }
+    // Cross-check page LSN stamps: the stamp of the page this record
+    // begins on must equal this record's LSN if it is the first record
+    // starting there; pages fully spanned by an earlier record carry 0.
+    // The mismatch is tracked locally: stats.clean may already be false
+    // from a torn tail page, which must not stop the parse — records that
+    // made it to disk before the tear are still valid and replayable.
+    const uint64_t start_page = pos / kWalPageBody;
+    bool stamp_mismatch = false;
+    while (next_page_check < page_first_lsns.size() &&
+           page_first_lsns[next_page_check].first / kWalPageBody <
+               start_page) {
+      if (page_first_lsns[next_page_check].second != 0) {
+        stamp_mismatch = true;
+      }
+      ++next_page_check;
+    }
+    if (next_page_check < page_first_lsns.size() &&
+        page_first_lsns[next_page_check].first / kWalPageBody ==
+            start_page) {
+      if (page_first_lsns[next_page_check].second != lsn) {
+        stamp_mismatch = true;
+      }
+      ++next_page_check;
+    }
+    if (stamp_mismatch) {
+      result.stats.clean = false;
+      result.stats.stop_reason = "page first_lsn stamp mismatch";
+      break;
+    }
+    if (start_page != last_start_page) {
+      last_start_page = start_page;
+      last_start_page_first_lsn = lsn;
+    }
+    pos += kRecordHeader + payload_len;
+    ++result.stats.records_seen;
+    result.stats.last_lsn = lsn;
+    result.stream_len = pos;
+    if (apply != nullptr && *apply != nullptr && lsn > redo_after) {
+      WalRecord record;
+      record.lsn = lsn;
+      record.type = static_cast<WalRecordType>(type);
+      record.payload = payload;
+      VDB_RETURN_NOT_OK((*apply)(record));
+      ++result.stats.records_applied;
+    }
+  }
+  result.stats.valid_bytes =
+      result.stream_len == 0 ? 0 : FileOffsetOfStreamByte(result.stream_len -
+                                                          1) +
+                                       1;
+  if (result.stream_len % kWalPageBody != 0 &&
+      last_start_page == result.stream_len / kWalPageBody) {
+    result.tail_page_first_lsn = last_start_page_first_lsn;
+  }
+  return result;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
+  const auto& table = Crc32cTable();
+  uint32_t crc = ~seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path) {
+  VDB_ASSIGN_OR_RETURN(ScanResult scan, ScanLog(path, 0, nullptr));
+  auto wal = std::unique_ptr<WriteAheadLog>(new WriteAheadLog());
+  wal->path_ = path;
+  wal->file_ = std::fopen(path.c_str(), "r+b");
+  if (wal->file_ == nullptr) {
+    wal->file_ = std::fopen(path.c_str(), "w+b");
+  }
+  if (wal->file_ == nullptr) {
+    return Status::IOError("cannot open WAL file: " + path);
+  }
+  wal->stream_len_ = scan.stream_len;
+  wal->durable_stream_len_ = scan.stream_len;
+  wal->next_lsn_ = scan.stats.last_lsn + 1;
+  wal->flushed_lsn_ = scan.stats.last_lsn;
+  wal->last_appended_lsn_ = scan.stats.last_lsn;
+  // Reload the partial tail page's stream bytes so the next flush can
+  // rewrite the page in full, and drop any torn bytes past the valid end
+  // so stale pages can never be mistaken for fresh records later.
+  const uint64_t tail_len = scan.stream_len % kWalPageBody;
+  if (tail_len != 0) {
+    const uint64_t tail_page = scan.stream_len / kWalPageBody;
+    wal->tail_body_.resize(tail_len);
+    const uint64_t tail_start =
+        FileOffsetOfStreamByte(scan.stream_len - tail_len);
+    if (std::fseek(wal->file_, static_cast<long>(tail_start), SEEK_SET) !=
+            0 ||
+        std::fread(wal->tail_body_.data(), 1, tail_len, wal->file_) !=
+            tail_len) {
+      return Status::IOError("cannot reload WAL tail page");
+    }
+    // Seed the tail page's stamp with the record that already starts on
+    // it, so the next flush rewrites the page with the original first_lsn
+    // rather than the next append's (which would fail stamp validation on
+    // every later scan, losing the whole log).
+    if (scan.tail_page_first_lsn != 0) {
+      wal->page_first_lsn_.emplace(tail_page, scan.tail_page_first_lsn);
+    }
+    if (!scan.stats.clean) {
+      // Torn tail: rewrite the page so its data_len matches the valid
+      // stream. The page-aligned truncation below zero-fills the rest of
+      // the page, and with the stale (larger) data_len a later scan would
+      // read past the valid end — and could even "resurrect" a torn
+      // record whose missing bytes happened to be zeros, making recovery
+      // non-idempotent.
+      std::string page;
+      page.reserve(kWalPageSize);
+      PutLe<uint32_t>(&page, kWalPageMagic);
+      PutLe<uint16_t>(&page, static_cast<uint16_t>(tail_len));
+      PutLe<uint16_t>(&page, 0);
+      PutLe<uint64_t>(&page, scan.tail_page_first_lsn);
+      page.append(wal->tail_body_);
+      page.resize(kWalPageSize, '\0');
+      if (std::fseek(wal->file_,
+                     static_cast<long>(tail_page * kWalPageSize),
+                     SEEK_SET) != 0 ||
+          std::fwrite(page.data(), 1, kWalPageSize, wal->file_) !=
+              kWalPageSize ||
+          std::fflush(wal->file_) != 0 ||
+          fsync(fileno(wal->file_)) != 0) {
+        return Status::IOError("cannot rewrite torn WAL tail page");
+      }
+    }
+  }
+  const uint64_t pages =
+      (scan.stream_len + kWalPageBody - 1) / kWalPageBody;
+  if (ftruncate(fileno(wal->file_),
+                static_cast<off_t>(pages * kWalPageSize)) != 0) {
+    return Status::IOError("cannot truncate WAL to valid end");
+  }
+  return wal;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) {
+    // Best-effort final flush; crashes simply lose the unflushed tail.
+    (void)FlushLocked();
+    std::fclose(file_);
+  }
+}
+
+Result<WriteAheadLog::AppendInfo> WriteAheadLog::Append(
+    WalRecordType type, std::string_view payload) {
+  if (payload.size() > UINT32_MAX) {
+    return Status::InvalidArgument("WAL payload too large");
+  }
+  const Lsn lsn = next_lsn_++;
+  const uint64_t start = stream_len_;
+  PutLe<uint32_t>(&pending_, RecordCrc(lsn, type, payload));
+  PutLe<uint32_t>(&pending_, static_cast<uint32_t>(payload.size()));
+  PutLe<uint64_t>(&pending_, lsn);
+  PutLe<uint8_t>(&pending_, static_cast<uint8_t>(type));
+  pending_.append(payload.data(), payload.size());
+  stream_len_ = start + kRecordHeader + payload.size();
+  last_appended_lsn_ = lsn;
+  page_first_lsn_.emplace(start / kWalPageBody, lsn);  // keeps first
+  AppendInfo info;
+  info.lsn = lsn;
+  info.end_offset = FileOffsetOfStreamByte(stream_len_ - 1) + 1;
+  return info;
+}
+
+Status WriteAheadLog::Flush() { return FlushLocked(); }
+
+uint64_t WriteAheadLog::end_offset() const {
+  return stream_len_ == 0 ? 0 : FileOffsetOfStreamByte(stream_len_ - 1) + 1;
+}
+
+Status WriteAheadLog::FlushLocked() {
+  if (pending_.empty()) return Status::OK();
+  const uint64_t first_page = durable_stream_len_ / kWalPageBody;
+  const uint64_t last_page = (stream_len_ - 1) / kWalPageBody;
+  // The stream bytes being written: the already-durable part of the tail
+  // page (so it can be rewritten whole) plus everything pending.
+  std::string data = tail_body_ + pending_;
+  const uint64_t data_start = first_page * kWalPageBody;
+  std::string page;
+  page.reserve(kWalPageSize);
+  for (uint64_t p = first_page; p <= last_page; ++p) {
+    const uint64_t body_start = p * kWalPageBody;
+    const uint64_t body_len = std::min(kWalPageBody, stream_len_ - body_start);
+    page.clear();
+    PutLe<uint32_t>(&page, kWalPageMagic);
+    PutLe<uint16_t>(&page, static_cast<uint16_t>(body_len));
+    PutLe<uint16_t>(&page, 0);
+    const auto it = page_first_lsn_.find(p);
+    PutLe<uint64_t>(&page, it != page_first_lsn_.end() ? it->second : 0);
+    page.append(data, body_start - data_start, body_len);
+    page.resize(kWalPageSize, '\0');
+    if (std::fseek(file_, static_cast<long>(p * kWalPageSize), SEEK_SET) !=
+            0 ||
+        std::fwrite(page.data(), 1, kWalPageSize, file_) != kWalPageSize) {
+      return Status::IOError("WAL write failed");
+    }
+  }
+  if (std::fflush(file_) != 0 || fsync(fileno(file_)) != 0) {
+    return Status::IOError("WAL fsync failed");
+  }
+  durable_stream_len_ = stream_len_;
+  const uint64_t tail_len = stream_len_ % kWalPageBody;
+  tail_body_ = tail_len == 0 ? std::string()
+                             : data.substr(data.size() - tail_len);
+  pending_.clear();
+  flushed_lsn_ = last_appended_lsn_;
+  // Headers of fully-written pages are final; only the tail page's stamp
+  // is still needed for its future rewrites.
+  page_first_lsn_.erase(page_first_lsn_.begin(),
+                        page_first_lsn_.lower_bound(last_page));
+  return Status::OK();
+}
+
+Status WriteAheadLog::Reset(Lsn next_lsn) {
+  pending_.clear();
+  tail_body_.clear();
+  page_first_lsn_.clear();
+  stream_len_ = 0;
+  durable_stream_len_ = 0;
+  next_lsn_ = next_lsn;
+  flushed_lsn_ = next_lsn == 0 ? 0 : next_lsn - 1;
+  last_appended_lsn_ = flushed_lsn_;
+  if (ftruncate(fileno(file_), 0) != 0 || fsync(fileno(file_)) != 0) {
+    return Status::IOError("WAL reset failed");
+  }
+  return Status::OK();
+}
+
+Result<WalReplayStats> WriteAheadLog::Replay(
+    const std::string& path, Lsn redo_after,
+    const std::function<Status(const WalRecord&)>& apply) {
+  VDB_ASSIGN_OR_RETURN(ScanResult scan, ScanLog(path, redo_after, &apply));
+  return scan.stats;
+}
+
+}  // namespace vdb::storage

@@ -1,0 +1,159 @@
+// Write-ahead log (DESIGN.md §14): 8 KiB pages carrying a continuous,
+// CRC32C-checksummed, LSN-stamped record stream with a group-commit
+// buffer; ScanLog detects torn writes and ends history at the first
+// invalid byte.
+
+#ifndef VDB_STORAGE_WAL_H_
+#define VDB_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace vdb::storage {
+
+/// Log sequence number. LSN 0 is reserved ("before any record"); the first
+/// record of a fresh log carries LSN 1, and LSNs increase by one per record.
+using Lsn = uint64_t;
+
+/// CRC32C (Castagnoli) over `len` bytes, seeded with `seed` so multi-part
+/// checksums can be chained. Software table-driven implementation — the
+/// same polynomial hardware SSE4.2 CRC32 instructions compute, so on-disk
+/// checksums stay stable if an accelerated path is ever added.
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+/// Redo record types (see DESIGN.md §14 for the payload formats; payloads
+/// are encoded/decoded by catalog/wal_payloads.h — the WAL itself treats
+/// them as opaque bytes).
+enum class WalRecordType : uint8_t {
+  kCreateTable = 1,
+  kCreateIndex = 2,
+  kInsert = 3,
+  kDelete = 4,
+};
+
+/// One decoded log record handed to the replay callback.
+struct WalRecord {
+  Lsn lsn = 0;
+  WalRecordType type = WalRecordType::kInsert;
+  std::string_view payload;
+};
+
+/// Outcome of a replay pass over a log file.
+struct WalReplayStats {
+  uint64_t records_seen = 0;     // valid records scanned (incl. skipped)
+  uint64_t records_applied = 0;  // records passed to the callback
+  Lsn last_lsn = 0;              // LSN of the last valid record
+  uint64_t valid_bytes = 0;      // file offset where the valid log ends
+  bool clean = true;  // false: stopped at a torn or corrupt record
+  std::string stop_reason;
+};
+
+/// A paged, checksummed write-ahead log (DESIGN.md §14).
+///
+/// Physical format: the file is a sequence of 8 KiB log pages, each with a
+/// 16-byte header {u32 magic, u16 data_len, u16 reserved, u64 first_lsn}
+/// where `first_lsn` stamps the first record that begins on the page and
+/// `data_len` counts the record-stream bytes stored in the page body.
+/// Records form a continuous byte stream chunked across page bodies
+/// (records may span pages):
+///   [u32 crc32c][u32 payload_len][u64 lsn][u8 type][payload bytes]
+/// The CRC covers lsn, type, and payload. All integers little-endian.
+///
+/// Appends accumulate in a group-commit buffer; Flush() materializes full
+/// pages, rewrites the partial tail page in place, and fsyncs — so one
+/// fsync covers every record appended since the previous flush. Replay
+/// validates magic, data_len, and per-record CRCs and treats the first
+/// invalid byte as the end of the log (torn-write detection): a record cut
+/// by a crash mid-write fails its CRC or runs past the readable stream and
+/// is dropped along with everything after it.
+///
+/// Thread-compatibility: not thread-safe; callers serialize access (the
+/// engine logs from the single mutating path through Catalog).
+class WriteAheadLog {
+ public:
+  /// Opens (or creates) the log at `path`. An existing file is scanned
+  /// exactly like Replay to find the end of the valid stream; appends
+  /// continue from there and LSNs resume after the last valid record.
+  /// Bytes past the valid end (from a torn write) are discarded.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path);
+
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  struct AppendInfo {
+    Lsn lsn = 0;
+    /// File offset one past the record's last byte once flushed: truncating
+    /// the file anywhere >= end_offset keeps the record replayable.
+    uint64_t end_offset = 0;
+  };
+
+  /// Buffers one record (group commit) and assigns it the next LSN. The
+  /// record is not durable until Flush().
+  Result<AppendInfo> Append(WalRecordType type, std::string_view payload);
+
+  /// Writes buffered records to the file and fsyncs. No-op when nothing
+  /// is pending.
+  Status Flush();
+
+  bool HasUnflushed() const { return !pending_.empty(); }
+
+  /// Truncates the log to empty after a successful checkpoint. `next_lsn`
+  /// seeds the LSN counter so post-checkpoint records sort after every
+  /// record captured by the checkpoint image.
+  Status Reset(Lsn next_lsn);
+
+  /// LSN the next Append will receive.
+  Lsn next_lsn() const { return next_lsn_; }
+  /// File offset one past the last appended record's final byte (0 when
+  /// the log is empty); equals the latest AppendInfo::end_offset. The
+  /// crash-fuzz harness records this per operation to predict which prefix
+  /// of operations survives truncation at a given byte.
+  uint64_t end_offset() const;
+  /// LSN of the last record made durable by Flush (0 = none).
+  Lsn flushed_lsn() const { return flushed_lsn_; }
+  const std::string& path() const { return path_; }
+
+  /// Scans the log at `path` and invokes `apply` for every valid record
+  /// with lsn > `redo_after`, in LSN order. Stops at the first torn or
+  /// corrupt record (stats.clean == false) — everything before it is
+  /// still applied, mirroring crash semantics. An `apply` error aborts
+  /// the replay and is returned as-is.
+  static Result<WalReplayStats> Replay(
+      const std::string& path, Lsn redo_after,
+      const std::function<Status(const WalRecord&)>& apply);
+
+ private:
+  WriteAheadLog() = default;
+
+  Status FlushLocked();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  Lsn next_lsn_ = 1;
+  Lsn flushed_lsn_ = 0;
+  Lsn last_appended_lsn_ = 0;
+  /// Total record-stream bytes, including buffered-but-unflushed ones.
+  uint64_t stream_len_ = 0;
+  /// Record-stream bytes durably written by previous flushes.
+  uint64_t durable_stream_len_ = 0;
+  /// Stream bytes of the current partial tail page (rewritten each flush).
+  std::string tail_body_;
+  /// Appended records not yet flushed (the group-commit buffer).
+  std::string pending_;
+  /// Page index -> LSN of the first record beginning on that page, for
+  /// pages not fully written yet; consumed (and pruned) by Flush.
+  std::map<uint64_t, Lsn> page_first_lsn_;
+};
+
+}  // namespace vdb::storage
+
+#endif  // VDB_STORAGE_WAL_H_

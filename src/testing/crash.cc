@@ -1,0 +1,452 @@
+#include "testing/crash.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/schema.h"
+#include "catalog/value.h"
+#include "exec/database.h"
+#include "exec/recovery.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace vdb::fuzz {
+namespace {
+
+using catalog::Column;
+using catalog::Schema;
+using catalog::Tuple;
+using catalog::TypeId;
+using catalog::Value;
+
+// ---------------------------------------------------------------------------
+// Workload operations. Every op is recorded with enough detail to replay it
+// against a second database; the delete victim is the ordinal of a live
+// record in heap-scan order, which is deterministic given the same op
+// prefix, so the oracle resolves it to the same record the primary deleted.
+// ---------------------------------------------------------------------------
+
+struct CrashOp {
+  enum class Kind : uint8_t {
+    kCreateTable,
+    kCreateIndex,
+    kInsert,
+    kDelete,
+    kCheckpoint,
+  };
+
+  Kind kind = Kind::kInsert;
+  std::string table;  // all but kCheckpoint
+  std::string index;  // kCreateIndex
+  Schema schema;      // kCreateTable
+  size_t column = 0;  // kCreateIndex
+  Tuple tuple;        // kInsert
+  size_t victim = 0;  // kDelete
+};
+
+/// Where each op's WAL record landed: the number of checkpoints completed
+/// when the op ran, and the WAL end offset after flushing it. Ops from
+/// earlier checkpoint epochs live in the checkpoint image, not the WAL.
+struct OpMarker {
+  uint64_t checkpoint_count = 0;
+  uint64_t end_offset = 0;
+};
+
+Value RandomValue(Random* rng, TypeId type, bool allow_null) {
+  if (allow_null && rng->Bernoulli(0.1)) return Value::Null(type);
+  switch (type) {
+    case TypeId::kBool:
+      return Value::Bool(rng->Bernoulli(0.5));
+    case TypeId::kInt64:
+      return Value::Int64(rng->UniformInt(-1000, 1000));
+    case TypeId::kDouble:
+      return Value::Double(rng->UniformDouble(-100.0, 100.0));
+    case TypeId::kDate:
+      return Value::Date(rng->UniformInt(0, 20000));
+    case TypeId::kString: {
+      std::string s;
+      const uint64_t len = rng->Uniform(13);
+      for (uint64_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + rng->Uniform(26)));
+      }
+      return Value::String(std::move(s));
+    }
+  }
+  return Value();
+}
+
+Status ApplyOp(exec::Database* db, const CrashOp& op) {
+  catalog::Catalog* cat = db->catalog();
+  switch (op.kind) {
+    case CrashOp::Kind::kCreateTable:
+      return cat->CreateTable(op.table, op.schema).status();
+    case CrashOp::Kind::kCreateIndex: {
+      VDB_ASSIGN_OR_RETURN(catalog::TableInfo * table,
+                           cat->GetTable(op.table));
+      return cat
+          ->CreateIndex(op.index, op.table,
+                        table->schema.column(op.column).name)
+          .status();
+    }
+    case CrashOp::Kind::kInsert: {
+      VDB_ASSIGN_OR_RETURN(catalog::TableInfo * table,
+                           cat->GetTable(op.table));
+      return cat->Insert(table, op.tuple);
+    }
+    case CrashOp::Kind::kDelete: {
+      VDB_ASSIGN_OR_RETURN(catalog::TableInfo * table,
+                           cat->GetTable(op.table));
+      size_t ordinal = 0;
+      for (auto it = table->heap->Begin(); it.Valid(); it.Next()) {
+        if (ordinal++ == op.victim) return cat->Delete(table, it.rid());
+      }
+      return Status::InvalidArgument("delete victim past end of table");
+    }
+    case CrashOp::Kind::kCheckpoint:
+      // The oracle never sees checkpoint ops (state no-ops); only the
+      // durable primary executes them.
+      return db->Checkpoint();
+  }
+  return Status::Internal("unreachable");
+}
+
+// ---------------------------------------------------------------------------
+// State snapshots. Records are compared by their per-table page index,
+// slot, and serialized bytes — global PageIds differ between a recovered
+// database (checkpoint pages load table-by-table) and a replayed one
+// (allocations interleave across tables), but per-table positions do not.
+// Index *definitions* are compared; index contents are not, because normal
+// execution leaves entries for deleted records behind while recovery
+// rebuilds each index from live rows only (scans re-check the heap either
+// way, so query results agree).
+// ---------------------------------------------------------------------------
+
+struct RecordSnap {
+  uint64_t page = 0;
+  uint16_t slot = 0;
+  std::string bytes;
+};
+
+struct TableSnap {
+  std::string name;
+  std::vector<std::pair<std::string, TypeId>> columns;
+  std::vector<RecordSnap> records;
+  std::vector<std::pair<std::string, size_t>> indexes;
+};
+
+Result<std::vector<TableSnap>> Snapshot(catalog::Catalog* cat) {
+  std::vector<TableSnap> out;
+  for (catalog::TableInfo* table : cat->Tables()) {
+    TableSnap snap;
+    snap.name = table->name;
+    for (const Column& column : table->schema.columns()) {
+      snap.columns.emplace_back(column.name, column.type);
+    }
+    for (auto it = table->heap->Begin(); it.Valid(); it.Next()) {
+      VDB_ASSIGN_OR_RETURN(uint64_t page,
+                           table->heap->PageIndexOf(it.rid().page_id));
+      snap.records.push_back(RecordSnap{page, it.rid().slot, it.record()});
+    }
+    for (const catalog::IndexInfo* index : table->indexes) {
+      snap.indexes.emplace_back(index->name, index->column_index);
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+/// Returns an empty string when equal, else a description of the first
+/// divergence between two snapshots.
+std::string DiffSnapshots(const std::vector<TableSnap>& expected,
+                          const std::vector<TableSnap>& actual) {
+  std::ostringstream diff;
+  if (expected.size() != actual.size()) {
+    diff << "table count: expected " << expected.size() << ", got "
+         << actual.size();
+    return diff.str();
+  }
+  for (size_t t = 0; t < expected.size(); ++t) {
+    const TableSnap& want = expected[t];
+    const TableSnap& got = actual[t];
+    if (want.name != got.name) {
+      diff << "table " << t << " name: expected '" << want.name
+           << "', got '" << got.name << "'";
+      return diff.str();
+    }
+    if (want.columns != got.columns) {
+      diff << "table '" << want.name << "': schemas differ";
+      return diff.str();
+    }
+    if (want.indexes != got.indexes) {
+      diff << "table '" << want.name << "': index definitions differ ("
+           << want.indexes.size() << " expected, " << got.indexes.size()
+           << " recovered)";
+      return diff.str();
+    }
+    if (want.records.size() != got.records.size()) {
+      diff << "table '" << want.name << "': expected "
+           << want.records.size() << " live records, got "
+           << got.records.size();
+      return diff.str();
+    }
+    for (size_t r = 0; r < want.records.size(); ++r) {
+      const RecordSnap& a = want.records[r];
+      const RecordSnap& b = got.records[r];
+      if (a.page != b.page || a.slot != b.slot || a.bytes != b.bytes) {
+        diff << "table '" << want.name << "' record " << r
+             << ": expected page " << a.page << " slot " << a.slot << " ("
+             << a.bytes.size() << " bytes), got page " << b.page
+             << " slot " << b.slot << " (" << b.bytes.size() << " bytes)";
+        return diff.str();
+      }
+    }
+  }
+  return "";
+}
+
+// --------------------------- file helpers ----------------------------------
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IOError("stat failed: " + path);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// Copies the first `limit` bytes of `src` to `dst` (everything when the
+/// file is shorter). This is the crash: bytes past the truncation point
+/// never made it to disk.
+Status CopyPrefix(const std::string& src, const std::string& dst,
+                  uint64_t limit) {
+  std::FILE* in = std::fopen(src.c_str(), "rb");
+  if (in == nullptr) return Status::IOError("cannot open " + src);
+  std::FILE* out = std::fopen(dst.c_str(), "wb");
+  if (out == nullptr) {
+    std::fclose(in);
+    return Status::IOError("cannot create " + dst);
+  }
+  char buffer[1 << 16];
+  uint64_t remaining = limit;
+  while (remaining > 0) {
+    const size_t want =
+        remaining < sizeof(buffer) ? static_cast<size_t>(remaining)
+                                   : sizeof(buffer);
+    const size_t n = std::fread(buffer, 1, want, in);
+    if (n == 0) break;
+    if (std::fwrite(buffer, 1, n, out) != n) {
+      std::fclose(in);
+      std::fclose(out);
+      return Status::IOError("short write to " + dst);
+    }
+    remaining -= n;
+  }
+  std::fclose(in);
+  if (std::fclose(out) != 0) return Status::IOError("close failed: " + dst);
+  return Status::OK();
+}
+
+/// Best-effort removal of a round's scratch tree (known layout only).
+void RemoveTree(const std::string& root) {
+  for (const char* sub : {"primary", "crashed"}) {
+    const std::string dir = root + "/" + sub;
+    ::remove(exec::WalPath(dir).c_str());
+    ::remove(exec::CheckpointPath(dir).c_str());
+    ::rmdir(dir.c_str());
+  }
+  ::rmdir(root.c_str());
+}
+
+// ------------------------------ one round ----------------------------------
+
+Status RunCrashSeedImpl(uint64_t seed, const std::string& root,
+                        CrashRunReport* report) {
+  Random rng(seed);
+  const std::string primary_dir = root + "/primary";
+  const std::string crashed_dir = root + "/crashed";
+
+  // Phase 1: run the randomized workload against a durable database,
+  // flushing after every op and recording where its WAL record ends.
+  std::vector<CrashOp> ops;
+  std::vector<OpMarker> markers;
+  uint64_t checkpoints = 0;
+  {
+    exec::Database primary;
+    VDB_RETURN_NOT_OK(primary.EnableDurability(primary_dir).status());
+
+    struct GenTable {
+      std::string name;
+      Schema schema;
+      size_t live = 0;
+    };
+    std::vector<GenTable> tables;
+    int indexes_created = 0;
+    static constexpr TypeId kColumnTypes[] = {TypeId::kBool, TypeId::kInt64,
+                                              TypeId::kDouble, TypeId::kDate,
+                                              TypeId::kString};
+
+    const int num_ops = static_cast<int>(rng.UniformInt(30, 120));
+    for (int i = 0; i < num_ops; ++i) {
+      CrashOp op;
+      const double roll = rng.NextDouble();
+      if (tables.empty() || (roll < 0.08 && tables.size() < 4)) {
+        op.kind = CrashOp::Kind::kCreateTable;
+        op.table = "t" + std::to_string(tables.size());
+        // c0 is a never-null BIGINT so every table has an indexable column.
+        std::vector<Column> columns;
+        columns.emplace_back("c0", TypeId::kInt64);
+        const int extra = static_cast<int>(rng.UniformInt(1, 4));
+        for (int c = 1; c <= extra; ++c) {
+          columns.emplace_back("c" + std::to_string(c),
+                               kColumnTypes[rng.Uniform(5)]);
+        }
+        op.schema = Schema(columns);
+        tables.push_back(GenTable{op.table, op.schema, 0});
+      } else if (roll < 0.15) {
+        op.kind = CrashOp::Kind::kCheckpoint;
+      } else if (roll < 0.22 && indexes_created < 6) {
+        const GenTable& table = tables[rng.Uniform(tables.size())];
+        std::vector<size_t> indexable;
+        for (size_t c = 0; c < table.schema.NumColumns(); ++c) {
+          const TypeId type = table.schema.column(c).type;
+          if (type == TypeId::kInt64 || type == TypeId::kDate) {
+            indexable.push_back(c);
+          }
+        }
+        op.kind = CrashOp::Kind::kCreateIndex;
+        op.table = table.name;
+        op.column = indexable[rng.Uniform(indexable.size())];
+        op.index = "idx" + std::to_string(indexes_created++);
+      } else {
+        GenTable& table = tables[rng.Uniform(tables.size())];
+        if (roll < 0.34 && table.live > 0) {
+          op.kind = CrashOp::Kind::kDelete;
+          op.table = table.name;
+          op.victim = rng.Uniform(table.live);
+          table.live--;
+        } else {
+          op.kind = CrashOp::Kind::kInsert;
+          op.table = table.name;
+          op.tuple.push_back(RandomValue(&rng, TypeId::kInt64, false));
+          for (size_t c = 1; c < table.schema.NumColumns(); ++c) {
+            op.tuple.push_back(
+                RandomValue(&rng, table.schema.column(c).type, true));
+          }
+          table.live++;
+        }
+      }
+
+      VDB_RETURN_NOT_OK(ApplyOp(&primary, op));
+      if (op.kind == CrashOp::Kind::kCheckpoint) {
+        checkpoints++;
+      } else {
+        VDB_RETURN_NOT_OK(primary.FlushWal());
+      }
+      ops.push_back(std::move(op));
+      markers.push_back(OpMarker{checkpoints, primary.wal()->end_offset()});
+    }
+  }
+  report->total_ops = ops.size();
+  report->checkpoints = checkpoints;
+
+  // Phase 2: crash. Copy the durable directory with the WAL cut at a
+  // random byte offset. The checkpoint image is copied whole: it is
+  // written atomically (tmp + fsync + rename), so a crash leaves either
+  // the old image or the new one, never a torn one.
+  VDB_ASSIGN_OR_RETURN(const uint64_t wal_bytes,
+                       FileSize(exec::WalPath(primary_dir)));
+  const uint64_t cut = rng.Uniform(wal_bytes + 1);
+  report->wal_file_bytes = wal_bytes;
+  report->truncate_at = cut;
+  if (::mkdir(crashed_dir.c_str(), 0755) != 0) {
+    return Status::IOError("cannot create " + crashed_dir);
+  }
+  VDB_RETURN_NOT_OK(CopyPrefix(exec::WalPath(primary_dir),
+                               exec::WalPath(crashed_dir), cut));
+  if (FileExists(exec::CheckpointPath(primary_dir))) {
+    VDB_RETURN_NOT_OK(CopyPrefix(exec::CheckpointPath(primary_dir),
+                                 exec::CheckpointPath(crashed_dir),
+                                 ~0ULL));
+  }
+
+  // Phase 3: predict the surviving prefix and build the oracle. An op
+  // survives if it predates the last checkpoint (its effects live in the
+  // image) or its WAL record ends at or before the cut. End offsets are
+  // monotone within the final epoch, so the surviving set is a prefix.
+  exec::Database oracle;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == CrashOp::Kind::kCheckpoint) continue;
+    const bool survives = markers[i].checkpoint_count < checkpoints ||
+                          markers[i].end_offset <= cut;
+    if (!survives) break;
+    VDB_RETURN_NOT_OK(ApplyOp(&oracle, ops[i]));
+    report->surviving_ops++;
+  }
+  VDB_ASSIGN_OR_RETURN(const std::vector<TableSnap> expected,
+                       Snapshot(oracle.catalog()));
+
+  // Phase 4: recover from the crashed copy and diff against the oracle.
+  std::vector<TableSnap> recovered;
+  {
+    exec::Database database;
+    VDB_RETURN_NOT_OK(database.EnableDurability(crashed_dir).status());
+    VDB_ASSIGN_OR_RETURN(recovered, Snapshot(database.catalog()));
+  }
+  const std::string diff = DiffSnapshots(expected, recovered);
+  if (!diff.empty()) {
+    return Status::Internal("recovered state diverges from oracle: " + diff);
+  }
+
+  // Phase 5: recover again from the same directory (the first recovery
+  // truncated the torn tail); the state must be identical.
+  std::vector<TableSnap> recovered_again;
+  {
+    exec::Database database;
+    VDB_RETURN_NOT_OK(database.EnableDurability(crashed_dir).status());
+    VDB_ASSIGN_OR_RETURN(recovered_again, Snapshot(database.catalog()));
+  }
+  const std::string rediff = DiffSnapshots(recovered, recovered_again);
+  if (!rediff.empty()) {
+    return Status::Internal("double recovery not idempotent: " + rediff);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+CrashRunReport RunCrashSeed(uint64_t seed, const std::string& scratch_root) {
+  CrashRunReport report;
+  report.seed = seed;
+  std::string root =
+      scratch_root + "/vdb-crash-" + std::to_string(seed) + "-XXXXXX";
+  if (::mkdtemp(root.data()) == nullptr) {
+    report.failure = "mkdtemp failed under " + scratch_root;
+    return report;
+  }
+  report.artifact_dir = root;
+  const Status status = RunCrashSeedImpl(seed, root, &report);
+  report.ok = status.ok();
+  if (status.ok()) {
+    RemoveTree(root);
+    report.artifact_dir.clear();
+  } else {
+    report.failure = status.ToString();
+  }
+  return report;
+}
+
+}  // namespace vdb::fuzz

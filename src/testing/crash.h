@@ -1,0 +1,55 @@
+// Crash-recovery fuzzing (DESIGN.md §11 ring 2b): randomized durable
+// workloads truncated at random WAL offsets, recovered, and diffed
+// against a predicted-survivor oracle.
+
+#ifndef VDB_TESTING_CRASH_H_
+#define VDB_TESTING_CRASH_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vdb::fuzz {
+
+// Crash-point fault injection for the durability layer (DESIGN.md §14).
+//
+// One round builds a durable database under a randomized DDL/DML workload
+// (CREATE TABLE / CREATE INDEX / insert / delete / checkpoint), flushing
+// the WAL after every operation and recording the operation's WAL end
+// offset. It then "crashes" the database by copying its durable directory
+// with the WAL truncated at a uniformly random byte offset — which can cut
+// a page header, a record header, or a record body — recovers a fresh
+// database from the copy, and diffs every table (schema, live records in
+// scan order with their page/slot positions, index definitions) against an
+// oracle database that replays exactly the operations whose WAL records
+// survive the truncation, as predicted from the recorded end offsets.
+// Recovery then runs a second time from the same crashed directory and
+// must produce the identical state (idempotence).
+
+/// Outcome of one crash-recovery round.
+struct CrashRunReport {
+  uint64_t seed = 0;
+  bool ok = false;
+  /// Failure description; empty when ok.
+  std::string failure;
+  /// Scratch directory, kept for post-mortem on failure (removed on
+  /// success). Holds primary/ (the pre-crash database) and crashed/ (the
+  /// truncated copy recovery ran against).
+  std::string artifact_dir;
+  size_t total_ops = 0;
+  size_t surviving_ops = 0;
+  uint64_t checkpoints = 0;
+  /// Size of the WAL file before truncation, and the crash offset chosen
+  /// uniformly from [0, wal_file_bytes].
+  uint64_t wal_file_bytes = 0;
+  uint64_t truncate_at = 0;
+};
+
+/// Runs one crash-recovery round for `seed`, creating its scratch
+/// directory under `scratch_root` (e.g. "/tmp"). All failures — workload
+/// errors, recovery errors, state divergence — are reported through the
+/// returned report, never thrown.
+CrashRunReport RunCrashSeed(uint64_t seed, const std::string& scratch_root);
+
+}  // namespace vdb::fuzz
+
+#endif  // VDB_TESTING_CRASH_H_

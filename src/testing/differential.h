@@ -1,3 +1,7 @@
+// Differential-testing campaign driver: random queries run through the
+// engine and a naive reference oracle, with shrinking reproducers
+// (DESIGN.md §11).
+
 #ifndef VDB_TESTING_DIFFERENTIAL_H_
 #define VDB_TESTING_DIFFERENTIAL_H_
 

@@ -1,3 +1,5 @@
+// Random schema/data/query generation for the differential fuzzer.
+
 #ifndef VDB_TESTING_GENERATOR_H_
 #define VDB_TESTING_GENERATOR_H_
 

@@ -1,3 +1,6 @@
+// Metamorphic what-if invariants: probe-order invariance, side-effect
+// freedom, monotonicity, interpolation consistency (DESIGN.md §11).
+
 #ifndef VDB_TESTING_METAMORPHIC_H_
 #define VDB_TESTING_METAMORPHIC_H_
 

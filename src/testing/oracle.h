@@ -1,3 +1,6 @@
+// The naive reference SQL evaluator the differential fuzzer compares
+// against; shares no code with the planner or executors.
+
 #ifndef VDB_TESTING_ORACLE_H_
 #define VDB_TESTING_ORACLE_H_
 

@@ -1,3 +1,6 @@
+// Small dense matrices and least-squares solvers for calibration
+// fitting.
+
 #ifndef VDB_UTIL_LINALG_H_
 #define VDB_UTIL_LINALG_H_
 

@@ -1,3 +1,5 @@
+// Leveled logging and the VDB_CHECK assertion macros.
+
 #ifndef VDB_UTIL_LOGGING_H_
 #define VDB_UTIL_LOGGING_H_
 

@@ -1,3 +1,5 @@
+// Deterministic PRNG (xoshiro256**) used by every randomized component.
+
 #ifndef VDB_UTIL_RANDOM_H_
 #define VDB_UTIL_RANDOM_H_
 

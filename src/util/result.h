@@ -1,3 +1,5 @@
+// Result<T>: value-or-Status, the library's error-handling idiom.
+
 #ifndef VDB_UTIL_RESULT_H_
 #define VDB_UTIL_RESULT_H_
 

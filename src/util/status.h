@@ -1,3 +1,5 @@
+// Status and status codes (RocksDB/Arrow idiom).
+
 #ifndef VDB_UTIL_STATUS_H_
 #define VDB_UTIL_STATUS_H_
 

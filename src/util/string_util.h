@@ -1,3 +1,5 @@
+// Small string helpers: split, join, and formatting.
+
 #ifndef VDB_UTIL_STRING_UTIL_H_
 #define VDB_UTIL_STRING_UTIL_H_
 

@@ -1,3 +1,5 @@
+// Fixed-size worker pool with a futures-style Submit API.
+
 #ifndef VDB_UTIL_THREAD_POOL_H_
 #define VDB_UTIL_THREAD_POOL_H_
 

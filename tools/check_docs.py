@@ -13,6 +13,8 @@ Checks, using only the standard library:
      "Robustness model", EXPERIMENTS.md's step-by-step figure guide.
   4. The quickstart's shell commands reference binaries that are real
      CMake targets (grepped from CMakeLists.txt files).
+  5. Every header under src/ opens with a top-of-file `//` comment
+     summarizing the file (line 1, before the include guard).
 
 Exit code 0 = pass, 1 = fail (each problem printed on its own line).
 """
@@ -117,6 +119,14 @@ def main() -> int:
             problems.append(
                 f"README.md: quickstart runs `{binary}` but no CMake "
                 "target with that name exists")
+
+    # 6. src/ headers carry a top-of-file summary comment.
+    for header in sorted((ROOT / "src").rglob("*.h")):
+        first = header.read_text(encoding="utf-8").lstrip("﻿")
+        if not first.startswith("//"):
+            problems.append(
+                f"{header.relative_to(ROOT)}: missing top-of-file "
+                "summary comment (must start with `//` on line 1)")
 
     for problem in problems:
         print(f"FAIL: {problem}")
