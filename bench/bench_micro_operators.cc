@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "bench/bench_util.h"
 #include "calib/calibration.h"
 #include "core/cost_model.h"
@@ -60,11 +62,23 @@ void RunQuery(benchmark::State& state, const char* sql) {
   exec::Database* db = GlobalDb();
   sim::VirtualMachine vm = BenchVm();
   VDB_CHECK_OK(db->ApplyVmConfig(vm));
+  // Pin the engine configuration instead of inheriting whatever the
+  // shared Database picked up at construction: the baselines for these
+  // entries are single-threaded batch-engine numbers, and an ambient
+  // VDB_EXEC_MODE / VDB_EXEC_THREADS would silently shift them.
+  const exec::ExecMode saved = db->exec_mode();
+  const exec::QueryOptions saved_options = db->query_options();
+  db->set_exec_mode(exec::ExecMode::kBatch);
+  exec::QueryOptions options = saved_options;
+  options.num_threads = 1;
+  db->set_query_options(options);
   for (auto _ : state) {
     auto result = db->Execute(sql, vm);
     VDB_CHECK(result.ok()) << result.status();
     benchmark::DoNotOptimize(result->rows.size());
   }
+  db->set_query_options(saved_options);
+  db->set_exec_mode(saved);
 }
 
 void BM_SeqScanCount(benchmark::State& state) {
@@ -252,6 +266,16 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
 
 // Expanded BENCHMARK_MAIN() with the JSON side channel bolted on.
 int main(int argc, char** argv) {
+  // The shared Database reads VDB_EXEC_MODE / VDB_EXEC_THREADS /
+  // VDB_SPILL at construction and the kernel library reads VDB_KERNELS
+  // on first dispatch. Scrub them before anything is built so ambient
+  // values cannot skew the numbers the perf gate compares against
+  // bench/baseline.json; benchmarks that want a non-default mode pin it
+  // explicitly (RunEngineThroughput).
+  ::unsetenv("VDB_EXEC_MODE");
+  ::unsetenv("VDB_EXEC_THREADS");
+  ::unsetenv("VDB_SPILL");
+  ::unsetenv("VDB_KERNELS");
   vdb::bench::InitMetrics();
   vdb::bench::BenchReport report("micro_operators");
   vdb::bench::Stopwatch total_watch;

@@ -56,6 +56,16 @@ class ValueVector {
     strings_[i].assign(v.data(), v.size());
   }
 
+  /// Raw array access for the SIMD kernel library (src/plan/kernels/):
+  /// contiguous payload and null-byte storage. The int64 channel backs
+  /// Int64, Date, and Bool vectors; null bytes are 0 (valid) or 1 (null).
+  const int64_t* Int64Data() const { return ints_.data(); }
+  const double* DoubleData() const { return doubles_.data(); }
+  const uint8_t* NullData() const { return nulls_.data(); }
+  int64_t* MutableInt64Data() { return ints_.data(); }
+  double* MutableDoubleData() { return doubles_.data(); }
+  uint8_t* MutableNullData() { return nulls_.data(); }
+
   /// Boxes row `i` as a Value of this vector's type.
   Value GetValue(size_t i) const;
 

@@ -162,31 +162,55 @@ Status DeserializeRecordsInto(const std::string_view* records, size_t count,
                               const Schema& schema, Batch* batch,
                               size_t start_row,
                               const std::vector<uint8_t>* wanted) {
+  return DeserializeRecordsInto(records, sizeof(std::string_view), count,
+                                schema, batch, start_row, wanted);
+}
+
+Status DeserializeRecordsInto(const std::string_view* records,
+                              size_t stride_bytes, size_t count,
+                              const Schema& schema, Batch* batch,
+                              size_t start_row,
+                              const std::vector<uint8_t>* wanted) {
   // Hoist the per-column dispatch data out of the row loop: the Schema's
-  // Column structs drag string names through the cache, and the mask
-  // lookup branches are loop-invariant.
+  // Column structs drag string names through the cache, the mask lookup
+  // branches are loop-invariant, and raw payload/null pointers skip the
+  // per-call ValueVector indirection.
   struct ColPlan {
     TypeId type;
     bool keep;
     ValueVector* column;
+    int64_t* ints;
+    double* doubles;
+    uint8_t* nulls;
   };
   const size_t num_columns = schema.NumColumns();
   std::vector<ColPlan> cols(num_columns);
   for (size_t i = 0; i < num_columns; ++i) {
-    cols[i] = ColPlan{schema.column(i).type,
-                      wanted == nullptr || (*wanted)[i] != 0,
-                      &batch->columns[i]};
+    ValueVector& column = batch->columns[i];
+    const bool keep = wanted == nullptr || (*wanted)[i] != 0;
+    cols[i] = ColPlan{schema.column(i).type,    keep,
+                      &column,                  column.MutableInt64Data(),
+                      column.MutableDoubleData(), column.MutableNullData()};
+    if (!keep && count > 0) {
+      // Skipped columns are NULL for the whole range; one bulk store
+      // replaces a per-row write in the hot loop below.
+      std::memset(cols[i].nulls + start_row, 1, count);
+    }
   }
+  const char* record_base = reinterpret_cast<const char*>(records);
   for (size_t r = 0; r < count; ++r) {
-    const char* p = records[r].data();
-    const char* const end = p + records[r].size();
+    const std::string_view& record =
+        *reinterpret_cast<const std::string_view*>(record_base +
+                                                   r * stride_bytes);
+    const char* p = record.data();
+    const char* const end = p + record.size();
     const size_t row = start_row + r;
     for (size_t i = 0; i < num_columns; ++i) {
       if (p >= end) return Status::Internal("truncated tuple (null flag)");
       const bool is_null = *p++ != 0;
       const ColPlan& col = cols[i];
       if (is_null) {
-        col.column->SetNull(row);
+        if (col.keep) col.nulls[row] = 1;
         continue;
       }
       if (col.type == TypeId::kString) {
@@ -199,22 +223,17 @@ Status DeserializeRecordsInto(const std::string_view* records, size_t count,
         }
         if (col.keep) {
           col.column->SetString(row, std::string_view(p, len));
-        } else {
-          col.column->SetNull(row);
         }
         p += len;
       } else {
         if (end - p < 8) return Status::Internal("truncated tuple (payload)");
-        if (!col.keep) {
-          col.column->SetNull(row);
-        } else if (col.type == TypeId::kDouble) {
-          double d = 0;
-          std::memcpy(&d, p, sizeof(d));
-          col.column->SetDouble(row, d);
-        } else {
-          int64_t v = 0;
-          std::memcpy(&v, p, sizeof(v));
-          col.column->SetInt64(row, v);
+        if (col.keep) {
+          col.nulls[row] = 0;
+          if (col.type == TypeId::kDouble) {
+            std::memcpy(&col.doubles[row], p, sizeof(double));
+          } else {
+            std::memcpy(&col.ints[row], p, sizeof(int64_t));
+          }
         }
         p += 8;
       }

@@ -225,8 +225,8 @@ class SeqScanOp final : public BatchOp {
     while (filled < Batch::kDefaultRows && !done_) {
       if (cursor_ >= records_.size()) {
         VDB_ASSIGN_OR_RETURN(bool more,
-                             scan_.table->heap->ReadPageForScan(
-                                 page_index_, &page_bytes_, &records_));
+                             scan_.table->heap->ReadPageForScanPinned(
+                                 page_index_, &pin_, &records_));
         ++page_index_;
         cursor_ = 0;
         if (!more) done_ = true;
@@ -234,12 +234,11 @@ class SeqScanOp final : public BatchOp {
       }
       const size_t take =
           std::min(Batch::kDefaultRows - filled, records_.size() - cursor_);
-      views_.clear();
-      for (size_t i = 0; i < take; ++i) {
-        views_.push_back(records_[cursor_ + i].data);
-      }
+      // Deserialize straight out of the pinned page, striding over the
+      // RecordView array — no page copy, no repacked view array.
       VDB_RETURN_NOT_OK(catalog::DeserializeRecordsInto(
-          views_.data(), take, scan_.table->schema, out, filled,
+          &records_[cursor_].data, sizeof(storage::HeapFile::RecordView),
+          take, scan_.table->schema, out, filled,
           wanted_.empty() ? nullptr : &wanted_));
       cursor_ += take;
       filled += take;
@@ -266,9 +265,8 @@ class SeqScanOp final : public BatchOp {
   std::vector<TypeId> types_;
   size_t page_index_ = 0;
   size_t cursor_ = 0;
-  std::string page_bytes_;
+  storage::HeapFile::ScanPagePin pin_;
   std::vector<storage::HeapFile::RecordView> records_;
-  std::vector<std::string_view> views_;
   bool done_ = false;
 };
 
@@ -767,15 +765,12 @@ class HashJoinOp final : public BatchOp {
   }
 
  private:
-  struct RowRef {
-    uint32_t batch;
-    uint32_t pos;  // index into the batch's selection vector
-  };
-  static constexpr uint32_t kNullBatch = UINT32_MAX;
-  struct OutRef {
-    RowRef left;
-    RowRef right;  // batch == kNullBatch: no right side (outer/semi/anti)
-  };
+  // Shared with the probe-morsel worker (morsel.h): batch index plus
+  // index into the batch's selection vector; right.batch == kNullBatch
+  // marks no right side (outer/semi/anti).
+  using RowRef = JoinRowRef;
+  using OutRef = JoinOutRef;
+  static constexpr uint32_t kNullBatch = kJoinNullBatch;
 
   Status Build() {
     const CpuWorkModel& cpu = context_->cpu_model();
@@ -1024,81 +1019,130 @@ class HashJoinOp final : public BatchOp {
       context_->ChargeSpillRead(pages);
     }
 
-    for (uint32_t b = 0; b < left_batches_.size(); ++b) {
-      const Batch& batch = left_batches_[b];
-      const uint32_t active = static_cast<uint32_t>(batch.NumActive());
-      for (uint32_t p = 0; p < active; ++p) {
-        context_->ChargeCpu(cpu.ops_per_hash);
-        size_t h = kHashSeed;
-        bool has_null = false;
-        for (size_t k = 0; k < num_keys; ++k) {
-          auto [vec, idx] = left_key(b, p, k);
-          if (vec->IsNull(idx)) {
-            has_null = true;
-            break;
+    const bool parallel_probe =
+        workers_ != nullptr && workers_->size() > 1 && !left_batches_.empty();
+    if (parallel_probe) {
+      // Probe morsels (see morsel.h): workers probe contiguous global
+      // row ranges against the finished table — deliberately row-based,
+      // so morsel boundaries need not align with batch boundaries — and
+      // the coordinator replays each morsel's recorded charge sequence
+      // and concatenates its refs in morsel order. Charges, output
+      // order, and simulated time are bit-identical to the serial loop.
+      std::vector<uint64_t> prefix(left_batches_.size() + 1, 0);
+      for (size_t b = 0; b < left_batches_.size(); ++b) {
+        prefix[b + 1] = prefix[b] + left_batches_[b].NumActive();
+      }
+      const uint64_t total = prefix.back();
+      ProbeMorselSpec pspec;
+      pspec.table = &table;
+      pspec.left_batches = &left_batches_;
+      pspec.right_batches = &right_batches_;
+      pspec.left_col_slot =
+          left_col_ != nullptr ? static_cast<int>(left_col_->slot()) : -1;
+      pspec.right_col_slot =
+          right_col_ != nullptr ? static_cast<int>(right_col_->slot()) : -1;
+      pspec.left_key_cols = &left_key_cols_;
+      pspec.right_key_cols = &right_key_cols_;
+      pspec.num_keys = num_keys;
+      pspec.join_type = join_.join_type;
+      pspec.residual = residual_.get();
+      pspec.residual_ops = residual_ops_;
+      pspec.probe_prefix = &prefix;
+      pspec.cpu = &cpu;
+      std::vector<std::future<ProbeMorselResult>> futures;
+      for (uint64_t begin = 0; begin < total;
+           begin += Morsel::kRecordsPerMorsel) {
+        const uint64_t end =
+            std::min<uint64_t>(total, begin + Morsel::kRecordsPerMorsel);
+        futures.push_back(workers_->Submit(
+            [&pspec, begin, end] { return RunProbeMorsel(pspec, begin, end); }));
+      }
+      for (std::future<ProbeMorselResult>& future : futures) {
+        ProbeMorselResult probed = future.get();
+        ReplayCharges(context_, probed.events);
+        out_refs_.insert(out_refs_.end(), probed.refs.begin(),
+                         probed.refs.end());
+      }
+    } else {
+      for (uint32_t b = 0; b < left_batches_.size(); ++b) {
+        const Batch& batch = left_batches_[b];
+        const uint32_t active = static_cast<uint32_t>(batch.NumActive());
+        for (uint32_t p = 0; p < active; ++p) {
+          context_->ChargeCpu(cpu.ops_per_hash);
+          size_t h = kHashSeed;
+          bool has_null = false;
+          for (size_t k = 0; k < num_keys; ++k) {
+            auto [vec, idx] = left_key(b, p, k);
+            if (vec->IsNull(idx)) {
+              has_null = true;
+              break;
+            }
+            h = CombineHash(h, vec->HashAt(idx));
           }
-          h = CombineHash(h, vec->HashAt(idx));
-        }
-        bool matched = false;
-        if (!has_null) {
-          auto it = table.find(h);
-          if (it != table.end()) {
-            for (const RowRef& rr : it->second) {
-              // Equality before any charge: collisions stay free.
-              bool equal = true;
-              for (size_t k = 0; k < num_keys; ++k) {
-                auto [lv, li] = left_key(b, p, k);
-                auto [rv, ri] = right_key(rr.batch, rr.pos, k);
-                if (catalog::CompareAt(*lv, li, *rv, ri) != 0) {
-                  equal = false;
-                  break;
+          bool matched = false;
+          if (!has_null) {
+            auto it = table.find(h);
+            if (it != table.end()) {
+              for (const RowRef& rr : it->second) {
+                // Equality before any charge: collisions stay free.
+                bool equal = true;
+                for (size_t k = 0; k < num_keys; ++k) {
+                  auto [lv, li] = left_key(b, p, k);
+                  auto [rv, ri] = right_key(rr.batch, rr.pos, k);
+                  if (catalog::CompareAt(*lv, li, *rv, ri) != 0) {
+                    equal = false;
+                    break;
+                  }
+                }
+                if (!equal) continue;
+                context_->ChargeCpu(cpu.ops_per_comparison +
+                                    residual_ops_ * cpu.ops_per_operator);
+                bool passes = true;
+                if (residual_ != nullptr) {
+                  const Batch& rb = right_batches_[rr.batch];
+                  Tuple combined_row =
+                      ConcatRows(batch.RowAsTuple(batch.sel[p]),
+                                 rb.RowAsTuple(rb.sel[rr.pos]));
+                  passes = EvaluatesToTrue(*residual_, combined_row);
+                }
+                if (!passes) continue;
+                matched = true;
+                if (join_.join_type == LogicalJoinType::kInner ||
+                    join_.join_type == LogicalJoinType::kLeft) {
+                  context_->ChargeCpu(cpu.ops_per_tuple);
+                  out_refs_.push_back(OutRef{RowRef{b, p}, rr});
+                } else if (join_.join_type == LogicalJoinType::kSemi ||
+                           join_.join_type == LogicalJoinType::kAnti) {
+                  break;  // one match is enough
                 }
               }
-              if (!equal) continue;
-              context_->ChargeCpu(cpu.ops_per_comparison +
-                                  residual_ops_ * cpu.ops_per_operator);
-              bool passes = true;
-              if (residual_ != nullptr) {
-                const Batch& rb = right_batches_[rr.batch];
-                Tuple combined_row =
-                    ConcatRows(batch.RowAsTuple(batch.sel[p]),
-                               rb.RowAsTuple(rb.sel[rr.pos]));
-                passes = EvaluatesToTrue(*residual_, combined_row);
-              }
-              if (!passes) continue;
-              matched = true;
-              if (join_.join_type == LogicalJoinType::kInner ||
-                  join_.join_type == LogicalJoinType::kLeft) {
-                context_->ChargeCpu(cpu.ops_per_tuple);
-                out_refs_.push_back(OutRef{RowRef{b, p}, rr});
-              } else if (join_.join_type == LogicalJoinType::kSemi ||
-                         join_.join_type == LogicalJoinType::kAnti) {
-                break;  // one match is enough
-              }
             }
           }
-        }
-        switch (join_.join_type) {
-          case LogicalJoinType::kLeft:
-            if (!matched) {
-              context_->ChargeCpu(cpu.ops_per_tuple);
-              out_refs_.push_back(OutRef{RowRef{b, p}, RowRef{kNullBatch, 0}});
-            }
-            break;
-          case LogicalJoinType::kSemi:
-            if (matched) {
-              context_->ChargeCpu(cpu.ops_per_tuple);
-              out_refs_.push_back(OutRef{RowRef{b, p}, RowRef{kNullBatch, 0}});
-            }
-            break;
-          case LogicalJoinType::kAnti:
-            if (!matched) {
-              context_->ChargeCpu(cpu.ops_per_tuple);
-              out_refs_.push_back(OutRef{RowRef{b, p}, RowRef{kNullBatch, 0}});
-            }
-            break;
-          default:
-            break;
+          switch (join_.join_type) {
+            case LogicalJoinType::kLeft:
+              if (!matched) {
+                context_->ChargeCpu(cpu.ops_per_tuple);
+                out_refs_.push_back(
+                    OutRef{RowRef{b, p}, RowRef{kNullBatch, 0}});
+              }
+              break;
+            case LogicalJoinType::kSemi:
+              if (matched) {
+                context_->ChargeCpu(cpu.ops_per_tuple);
+                out_refs_.push_back(
+                    OutRef{RowRef{b, p}, RowRef{kNullBatch, 0}});
+              }
+              break;
+            case LogicalJoinType::kAnti:
+              if (!matched) {
+                context_->ChargeCpu(cpu.ops_per_tuple);
+                out_refs_.push_back(
+                    OutRef{RowRef{b, p}, RowRef{kNullBatch, 0}});
+              }
+              break;
+            default:
+              break;
+          }
         }
       }
     }
@@ -1406,6 +1450,11 @@ class MorselPipelineOp final : public BatchOp {
         spec_.agg_ops +=
             1.0 + (spec.arg != nullptr ? spec.arg->OpCount() : 0);
       }
+      if (UseSharedAggregate(agg_node_->estimated_rows,
+                             group_exprs_.size())) {
+        shared_index_ = std::make_unique<SharedGroupIndex>();
+        spec_.shared_groups = shared_index_.get();
+      }
     }
     spec_.cpu = &context->cpu_model();
   }
@@ -1485,11 +1534,19 @@ class MorselPipelineOp final : public BatchOp {
   Status BuildAggregate() {
     const CpuWorkModel& cpu = context_->cpu_model();
     const size_t num_keys = group_exprs_.size();
+    const bool shared = shared_index_ != nullptr;
     std::vector<PartialGroup> merged;
     std::unordered_map<size_t, std::vector<uint32_t>> buckets;
+    /// Shared-index mode: partial states per dense shared-group id, no
+    /// coordinator-side re-hashing or key compares.
+    std::vector<std::vector<AggState>> by_gid;
     const size_t estimate = EstimateReserve(agg_node_->estimated_rows);
-    merged.reserve(estimate);
-    buckets.reserve(estimate);
+    if (shared) {
+      by_gid.reserve(estimate);
+    } else {
+      merged.reserve(estimate);
+      buckets.reserve(estimate);
+    }
     uint64_t input_rows = 0;
     VDB_RETURN_NOT_OK(Pump());
     while (!inflight_.empty()) {
@@ -1511,6 +1568,20 @@ class MorselPipelineOp final : public BatchOp {
                                result.trailing.begin(),
                                result.trailing.end());
       for (PartialGroup& group : result.groups) {
+        if (shared) {
+          // Morsels drain in dispatch order, so each gid's partials merge
+          // in exactly the order the keyed path below would merge them.
+          if (group.gid >= by_gid.size()) by_gid.resize(group.gid + 1);
+          std::vector<AggState>& dst = by_gid[group.gid];
+          if (dst.empty()) {
+            dst = std::move(group.states);
+          } else {
+            for (size_t a = 0; a < aggs_.size(); ++a) {
+              dst[a].Merge(group.states[a]);
+            }
+          }
+          continue;
+        }
         if (num_keys == 0) {
           if (merged.empty()) {
             merged.push_back(std::move(group));
@@ -1548,7 +1619,7 @@ class MorselPipelineOp final : public BatchOp {
     // spill pass in the identical position (after the drain, before
     // finalization).
     AggSpillStats spill_stats;
-    spill_stats.groups = merged.size();
+    spill_stats.groups = shared ? shared_index_->size() : merged.size();
     spill_stats.input_rows = input_rows;
     spill_stats.num_keys = num_keys;
     spill_stats.num_aggs = aggs_.size();
@@ -1558,7 +1629,22 @@ class MorselPipelineOp final : public BatchOp {
     }
 
     std::vector<Tuple> rows;
-    if (merged.empty() && group_exprs_.empty()) {
+    if (shared) {
+      // Emit in first-seen order — the serial insertion order — with the
+      // identical per-group finalize charge.
+      std::vector<const SharedGroupIndex::Entry*> order =
+          shared_index_->GroupsInFirstSeenOrder();
+      rows.reserve(order.size());
+      for (const SharedGroupIndex::Entry* entry : order) {
+        context_->ChargeCpu(cpu.ops_per_tuple);
+        Tuple row = entry->key;
+        const std::vector<AggState>& states = by_gid[entry->gid];
+        for (size_t a = 0; a < aggs_.size(); ++a) {
+          row.push_back(states[a].Finalize(aggs_[a]));
+        }
+        rows.push_back(std::move(row));
+      }
+    } else if (merged.empty() && group_exprs_.empty()) {
       // Global aggregate over zero rows yields one row of initial values.
       Tuple row;
       for (const plan::AggSpec& spec : aggs_) {
@@ -1590,6 +1676,7 @@ class MorselPipelineOp final : public BatchOp {
   std::vector<BoundExprPtr> group_exprs_;
   std::vector<plan::AggSpec> aggs_;
   std::vector<TypeId> scan_types_;
+  std::unique_ptr<SharedGroupIndex> shared_index_;
   MorselPipelineSpec spec_;
   MorselDispatcher dispatcher_;
   bool dispatcher_done_ = false;

@@ -20,6 +20,7 @@ using catalog::ValueVector;
 struct MorselMetrics {
   obs::Counter* dispatched;
   obs::Counter* rows_dispatched;
+  obs::Counter* shared_agg;
   obs::Histogram* exec_latency;
 
   static const MorselMetrics& Get() {
@@ -27,6 +28,7 @@ struct MorselMetrics {
       auto& registry = obs::MetricsRegistry::Global();
       return MorselMetrics{registry.GetCounter("exec.morsel.dispatched"),
                            registry.GetCounter("exec.morsel.rows_dispatched"),
+                           registry.GetCounter("exec.morsel.shared_agg"),
                            registry.GetHistogram("exec.morsel.exec_latency")};
     }();
     return metrics;
@@ -34,6 +36,51 @@ struct MorselMetrics {
 };
 
 }  // namespace
+
+SharedGroupIndex::SharedGroupIndex() {
+  // One index is built per wide aggregate, so construction is the "shared
+  // path taken" observation point.
+  MorselMetrics::Get().shared_agg->Add();
+}
+
+uint32_t SharedGroupIndex::Intern(size_t h,
+                                  const std::vector<Value>& key,
+                                  uint64_t seq) {
+  Shard& shard = ShardFor(h);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::vector<uint32_t>& bucket = shard.buckets[h];
+  for (uint32_t ei : bucket) {
+    Entry& entry = shard.entries[ei];
+    if (KeysEqual(entry.key.data(), key.data(), key.size())) {
+      if (seq < entry.first_seen) entry.first_seen = seq;
+      return entry.gid;
+    }
+  }
+  bucket.push_back(static_cast<uint32_t>(shard.entries.size()));
+  Entry entry;
+  entry.key = key;
+  entry.first_seen = seq;
+  entry.gid = next_gid_.fetch_add(1, std::memory_order_relaxed);
+  shard.entries.push_back(std::move(entry));
+  return shard.entries.back().gid;
+}
+
+std::vector<const SharedGroupIndex::Entry*>
+SharedGroupIndex::GroupsInFirstSeenOrder() const {
+  std::vector<const Entry*> out;
+  out.reserve(size());
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const Entry& entry : shard.entries) out.push_back(&entry);
+  }
+  // first_seen values are distinct (each is some row's unique global
+  // sequence and a row belongs to exactly one group), so this order is
+  // total and equals the serial engine's insertion order.
+  std::sort(out.begin(), out.end(), [](const Entry* a, const Entry* b) {
+    return a->first_seen < b->first_seen;
+  });
+  return out;
+}
 
 void ReplayCharges(ExecutionContext* context,
                    const std::vector<ChargeEvent>& events) {
@@ -168,7 +215,8 @@ void AccumulateAggregate(const MorselPipelineSpec& spec, const Batch& batch,
                          std::unordered_map<size_t, std::vector<uint32_t>>*
                              buckets,
                          std::vector<ValueVector>* group_cols,
-                         std::vector<ValueVector>* agg_cols) {
+                         std::vector<ValueVector>* agg_cols,
+                         uint64_t* next_seq) {
   const CpuWorkModel& cpu = *spec.cpu;
   const std::vector<plan::BoundExprPtr>& group_exprs = *spec.group_exprs;
   const std::vector<plan::AggSpec>& aggs = *spec.aggs;
@@ -218,6 +266,9 @@ void AccumulateAggregate(const MorselPipelineSpec& spec, const Batch& batch,
     return {&(*group_cols)[k], p};
   };
   for (size_t p = 0; p < n; ++p) {
+    // Global row sequence (morsel base + agg-input ordinal): unique per
+    // row, so a key's minimum over morsels is its serial first touch.
+    const uint64_t seq = (*next_seq)++;
     size_t h = kHashSeed;
     for (size_t k = 0; k < num_keys; ++k) {
       auto [vec, idx] = key_at(k, p);
@@ -256,6 +307,9 @@ void AccumulateAggregate(const MorselPipelineSpec& spec, const Batch& batch,
         g.key.push_back(vec->GetValue(idx));
       }
       g.states.assign(aggs.size(), AggState{});
+      if (spec.shared_groups != nullptr) {
+        g.gid = spec.shared_groups->Intern(h, g.key, seq);
+      }
       groups->push_back(std::move(g));
       group = &groups->back();
     }
@@ -282,6 +336,10 @@ MorselResult RunMorsel(const MorselPipelineSpec& spec, Morsel morsel) {
   std::unordered_map<size_t, std::vector<uint32_t>> buckets;
   std::vector<ValueVector> group_cols;
   std::vector<ValueVector> agg_cols;
+  // Aggregate rows per morsel never exceed its record count, so morsel
+  // sequence ranges are disjoint and ordered by dispatch index.
+  uint64_t next_seq =
+      static_cast<uint64_t>(morsel.index) * Morsel::kRecordsPerMorsel;
   if (spec.aggregate) {
     group_cols.resize(spec.group_exprs->size());
     agg_cols.resize(spec.aggs->size());
@@ -343,7 +401,7 @@ MorselResult RunMorsel(const MorselPipelineSpec& spec, Morsel morsel) {
     if (spec.aggregate) {
       out.agg_rows = batch.NumActive();
       AccumulateAggregate(spec, batch, &out.events, &result.groups, &buckets,
-                          &group_cols, &agg_cols);
+                          &group_cols, &agg_cols, &next_seq);
     } else {
       out.batch = std::move(batch);
     }
@@ -351,7 +409,138 @@ MorselResult RunMorsel(const MorselPipelineSpec& spec, Morsel morsel) {
     rec += take;
   }
 
+  if (spec.aggregate && spec.shared_groups != nullptr) {
+    // Shared-index mode ships only (gid, states): the keys live in the
+    // shared table, so drop the per-morsel copies before the result
+    // crosses back to the coordinator.
+    for (PartialGroup& group : result.groups) {
+      group.key.clear();
+      group.key.shrink_to_fit();
+    }
+  }
+
   result.trailing = std::move(morsel.trailing_io);
+  return result;
+}
+
+ProbeMorselResult RunProbeMorsel(const ProbeMorselSpec& spec,
+                                 uint64_t row_begin, uint64_t row_end) {
+  ProbeMorselResult result;
+  if (row_begin >= row_end) return result;
+  const CpuWorkModel& cpu = *spec.cpu;
+  const std::vector<uint64_t>& prefix = *spec.probe_prefix;
+  const std::vector<Batch>& left_batches = *spec.left_batches;
+  const std::vector<Batch>& right_batches = *spec.right_batches;
+
+  // Key column k of the probe/build row at (batch, active pos) — same
+  // accessors as HashJoinOp's serial loop.
+  auto left_key = [&](uint32_t b, uint32_t p,
+                      size_t k) -> std::pair<const ValueVector*, size_t> {
+    if (spec.left_col_slot >= 0) {
+      return {&left_batches[b].columns[spec.left_col_slot],
+              left_batches[b].sel[p]};
+    }
+    return {&(*spec.left_key_cols)[b][k], p};
+  };
+  auto right_key = [&](uint32_t b, uint32_t p,
+                       size_t k) -> std::pair<const ValueVector*, size_t> {
+    if (spec.right_col_slot >= 0) {
+      return {&right_batches[b].columns[spec.right_col_slot],
+              right_batches[b].sel[p]};
+    }
+    return {&(*spec.right_key_cols)[b][k], p};
+  };
+
+  // Map the global start row to (batch, pos): the last prefix entry
+  // <= row_begin names the starting batch.
+  uint32_t b = static_cast<uint32_t>(
+      std::upper_bound(prefix.begin(), prefix.end(), row_begin) -
+      prefix.begin() - 1);
+  uint32_t p = static_cast<uint32_t>(row_begin - prefix[b]);
+
+  for (uint64_t row = row_begin; row < row_end; ++row) {
+    while (row >= prefix[b + 1]) {
+      ++b;
+      p = 0;
+    }
+    const Batch& batch = left_batches[b];
+    result.events.push_back(CpuEvent(cpu.ops_per_hash));
+    size_t h = kHashSeed;
+    bool has_null = false;
+    for (size_t k = 0; k < spec.num_keys; ++k) {
+      auto [vec, idx] = left_key(b, p, k);
+      if (vec->IsNull(idx)) {
+        has_null = true;
+        break;
+      }
+      h = CombineHash(h, vec->HashAt(idx));
+    }
+    bool matched = false;
+    if (!has_null) {
+      auto it = spec.table->find(h);
+      if (it != spec.table->end()) {
+        for (const JoinRowRef& rr : it->second) {
+          // Equality before any charge: collisions stay free.
+          bool equal = true;
+          for (size_t k = 0; k < spec.num_keys; ++k) {
+            auto [lv, li] = left_key(b, p, k);
+            auto [rv, ri] = right_key(rr.batch, rr.pos, k);
+            if (catalog::CompareAt(*lv, li, *rv, ri) != 0) {
+              equal = false;
+              break;
+            }
+          }
+          if (!equal) continue;
+          result.events.push_back(CpuEvent(
+              cpu.ops_per_comparison + spec.residual_ops * cpu.ops_per_operator));
+          bool passes = true;
+          if (spec.residual != nullptr) {
+            const Batch& rb = right_batches[rr.batch];
+            catalog::Tuple combined_row =
+                ConcatRows(batch.RowAsTuple(batch.sel[p]),
+                           rb.RowAsTuple(rb.sel[rr.pos]));
+            passes = plan::EvaluatesToTrue(*spec.residual, combined_row);
+          }
+          if (!passes) continue;
+          matched = true;
+          if (spec.join_type == plan::LogicalJoinType::kInner ||
+              spec.join_type == plan::LogicalJoinType::kLeft) {
+            result.events.push_back(CpuEvent(cpu.ops_per_tuple));
+            result.refs.push_back(JoinOutRef{JoinRowRef{b, p}, rr});
+          } else if (spec.join_type == plan::LogicalJoinType::kSemi ||
+                     spec.join_type == plan::LogicalJoinType::kAnti) {
+            break;  // one match is enough
+          }
+        }
+      }
+    }
+    switch (spec.join_type) {
+      case plan::LogicalJoinType::kLeft:
+        if (!matched) {
+          result.events.push_back(CpuEvent(cpu.ops_per_tuple));
+          result.refs.push_back(
+              JoinOutRef{JoinRowRef{b, p}, JoinRowRef{kJoinNullBatch, 0}});
+        }
+        break;
+      case plan::LogicalJoinType::kSemi:
+        if (matched) {
+          result.events.push_back(CpuEvent(cpu.ops_per_tuple));
+          result.refs.push_back(
+              JoinOutRef{JoinRowRef{b, p}, JoinRowRef{kJoinNullBatch, 0}});
+        }
+        break;
+      case plan::LogicalJoinType::kAnti:
+        if (!matched) {
+          result.events.push_back(CpuEvent(cpu.ops_per_tuple));
+          result.refs.push_back(
+              JoinOutRef{JoinRowRef{b, p}, JoinRowRef{kJoinNullBatch, 0}});
+        }
+        break;
+      default:
+        break;
+    }
+    ++p;
+  }
   return result;
 }
 

@@ -5,9 +5,14 @@
 #ifndef VDB_EXEC_MORSEL_H_
 #define VDB_EXEC_MORSEL_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/batch.h"
@@ -139,6 +144,75 @@ class MorselDispatcher {
   std::vector<storage::HeapFile::RecordView> views_;
 };
 
+/// Planner group-cardinality estimate above which the morsel aggregate
+/// switches to the shared-index path (see UseSharedAggregate). Exported
+/// so tests can probe the boundary exactly.
+inline constexpr double kSharedAggregateMinGroups = 4096.0;
+
+/// Whether a morsel aggregate should intern its group keys in a shared
+/// SharedGroupIndex instead of shipping per-morsel key copies: only keyed
+/// aggregates, and only when the planner expects more groups than
+/// kSharedAggregateMinGroups — for narrow aggregates the per-morsel
+/// partial maps are tiny and the shared table is pure locking overhead.
+inline bool UseSharedAggregate(double estimated_groups, size_t num_keys) {
+  return num_keys > 0 && estimated_groups > kSharedAggregateMinGroups;
+}
+
+/// Concurrent group-key intern table for very wide partial aggregates,
+/// sharded by hash prefix (the top kShardBits bits of the group hash pick
+/// the shard, so one mutex guards 1/64th of the key space). Workers
+/// intern each distinct key once per morsel and ship only (dense id,
+/// partial states) back to the coordinator, which merges by id — no
+/// per-morsel key copies in flight and no coordinator-side re-hashing.
+/// Each Intern records the row sequence of the key's first touch in that
+/// morsel; the minimum over all morsels is the key's global first
+/// appearance, so ordering entries by it reproduces the serial engine's
+/// group insertion order exactly even though dense ids are assigned in
+/// racy arrival order. Constructing an index ticks the
+/// `exec.morsel.shared_agg` counter (one build per wide aggregate).
+class SharedGroupIndex {
+ public:
+  static constexpr size_t kShardBits = 6;
+  static constexpr size_t kNumShards = size_t{1} << kShardBits;
+
+  struct Entry {
+    std::vector<catalog::Value> key;
+    uint64_t first_seen = 0;  ///< min (morsel, row) sequence over morsels
+    uint32_t gid = 0;         ///< dense id, in (racy) assignment order
+  };
+
+  SharedGroupIndex();
+
+  /// Interns `key` (precomputed group hash `h`) and returns its dense
+  /// global id; `seq` is folded into the entry's first_seen (min wins).
+  /// Thread-safe.
+  uint32_t Intern(size_t h, const std::vector<catalog::Value>& key,
+                  uint64_t seq);
+
+  /// Total distinct groups interned so far.
+  size_t size() const { return next_gid_.load(std::memory_order_relaxed); }
+
+  /// All entries ordered by first_seen — the serial insertion order.
+  /// Coordinator-only: callers must have joined every worker first.
+  std::vector<const Entry*> GroupsInFirstSeenOrder() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// group hash → indices into `entries` (a collision chain, mirroring
+    /// the serial aggregate's bucket map).
+    std::unordered_map<size_t, std::vector<uint32_t>> buckets;
+    std::deque<Entry> entries;  // deque: stable addresses across growth
+  };
+
+  Shard& ShardFor(size_t h) {
+    return shards_[h >> (sizeof(size_t) * 8 - kShardBits)];
+  }
+
+  std::array<Shard, kNumShards> shards_;
+  std::atomic<uint32_t> next_gid_{0};
+};
+
 /// The pipeline every worker runs over its morsels. All pointers
 /// reference state owned by the coordinator's operator and are only read:
 /// batch expression evaluation is const with stack-local scratch, so one
@@ -173,6 +247,10 @@ struct MorselPipelineSpec {
   const plan::ColumnExpr* group_col = nullptr;
   double group_ops = 0.0;
   double agg_ops = 0.0;
+  /// Non-null: shared-index ("wide group") aggregate mode. Workers intern
+  /// each key on first local touch and return PartialGroups carrying gid
+  /// instead of key (keys are cleared before the result ships).
+  SharedGroupIndex* shared_groups = nullptr;
 
   const CpuWorkModel* cpu = nullptr;
 };
@@ -183,6 +261,9 @@ struct MorselPipelineSpec {
 struct PartialGroup {
   std::vector<catalog::Value> key;
   std::vector<AggState> states;
+  /// Shared-index mode only: the key's dense SharedGroupIndex id (the
+  /// key vector itself is cleared before the morsel result ships).
+  uint32_t gid = 0;
 };
 
 /// Everything a worker hands back for one morsel.
@@ -208,6 +289,68 @@ struct MorselResult {
 /// Runs the pipeline over one morsel. Pure worker function: reads the
 /// shared spec and page bytes, writes only its own result.
 MorselResult RunMorsel(const MorselPipelineSpec& spec, Morsel morsel);
+
+// ---------------------------------------------------------------------------
+// Hash-join probe morsels.
+//
+// The probe side of HashJoinOp parallelizes the same way the scan
+// pipeline does: both inputs are already drained and the build table
+// built, so workers probe contiguous global row ranges of the probe
+// batches against the shared read-only table, each recording the exact
+// CPU-charge sequence the serial probe loop would produce for its rows
+// together with the matched output refs. The coordinator replays the
+// events and concatenates the refs in morsel order, so charges, output
+// order, and the accumulated floating-point simulated time are
+// bit-identical to the serial loop.
+
+/// A row of a drained batch vector, as (batch index, selection position).
+struct JoinRowRef {
+  uint32_t batch = 0;
+  uint32_t pos = 0;
+};
+
+/// Sentinel batch index: no right-side row (outer / semi / anti emits).
+inline constexpr uint32_t kJoinNullBatch = UINT32_MAX;
+
+struct JoinOutRef {
+  JoinRowRef left;
+  JoinRowRef right;
+};
+
+/// Read-only state shared by every probe worker. Key accessors mirror
+/// HashJoinOp: a slot >= 0 borrows that input column (physical row
+/// index); otherwise the dense per-batch computed key vectors are used.
+struct ProbeMorselSpec {
+  const std::unordered_map<size_t, std::vector<JoinRowRef>>* table = nullptr;
+  const std::vector<catalog::Batch>* left_batches = nullptr;
+  const std::vector<catalog::Batch>* right_batches = nullptr;
+  int left_col_slot = -1;
+  int right_col_slot = -1;
+  const std::vector<std::vector<catalog::ValueVector>>* left_key_cols =
+      nullptr;
+  const std::vector<std::vector<catalog::ValueVector>>* right_key_cols =
+      nullptr;
+  size_t num_keys = 0;
+  plan::LogicalJoinType join_type = plan::LogicalJoinType::kInner;
+  const plan::BoundExpr* residual = nullptr;
+  double residual_ops = 0.0;
+  /// Exclusive prefix sums of active rows per probe batch (size
+  /// batches + 1): global row r lives in batch b iff
+  /// prefix[b] <= r < prefix[b + 1].
+  const std::vector<uint64_t>* probe_prefix = nullptr;
+  const CpuWorkModel* cpu = nullptr;
+};
+
+struct ProbeMorselResult {
+  std::vector<JoinOutRef> refs;
+  std::vector<ChargeEvent> events;
+};
+
+/// Probes the global probe-row range [row_begin, row_end). Pure worker
+/// function: reads the shared spec, writes only its own result. Ranges
+/// deliberately need not align with batch boundaries.
+ProbeMorselResult RunProbeMorsel(const ProbeMorselSpec& spec,
+                                 uint64_t row_begin, uint64_t row_end);
 
 }  // namespace vdb::exec
 

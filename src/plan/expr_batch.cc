@@ -8,6 +8,7 @@
 #include <iterator>
 
 #include "plan/expr.h"
+#include "plan/kernels/kernels.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -124,6 +125,330 @@ void CompactByBools(const ValueVector& flags, Batch* batch) {
     }
   }
   batch->sel.resize(kept);
+}
+
+// --- SIMD kernel fast paths (src/plan/kernels/) -----------------------------
+// Comparisons and fused arithmetic over column/constant operands on the
+// int64 or double channel dispatch to the runtime-selected kernel table.
+// Anything outside that domain (strings, dense sub-expression operands,
+// null constants, mixed int/double columns) falls back to the loops
+// below, which remain the semantic reference.
+
+namespace kern = ::vdb::plan::kernels;
+
+bool KernelCmpOpFor(sql::BinaryOp op, kern::CmpOp* out) {
+  switch (op) {
+    case sql::BinaryOp::kEq:
+      *out = kern::CmpOp::kEq;
+      return true;
+    case sql::BinaryOp::kNe:
+      *out = kern::CmpOp::kNe;
+      return true;
+    case sql::BinaryOp::kLt:
+      *out = kern::CmpOp::kLt;
+      return true;
+    case sql::BinaryOp::kLe:
+      *out = kern::CmpOp::kLe;
+      return true;
+    case sql::BinaryOp::kGt:
+      *out = kern::CmpOp::kGt;
+      return true;
+    case sql::BinaryOp::kGe:
+      *out = kern::CmpOp::kGe;
+      return true;
+    default:
+      return false;
+  }
+}
+
+// `a op b` with the constant on the left becomes `b mirror(op) a`.
+kern::CmpOp MirrorCmpOp(kern::CmpOp op) {
+  switch (op) {
+    case kern::CmpOp::kLt:
+      return kern::CmpOp::kGt;
+    case kern::CmpOp::kLe:
+      return kern::CmpOp::kGe;
+    case kern::CmpOp::kGt:
+      return kern::CmpOp::kLt;
+    case kern::CmpOp::kGe:
+      return kern::CmpOp::kLe;
+    default:
+      return op;  // kEq / kNe are symmetric
+  }
+}
+
+const ValueVector* LeafColumn(const BoundExpr& e, const Batch& batch) {
+  if (e.kind() != BoundExprKind::kColumn) return nullptr;
+  return &batch.columns[static_cast<const ColumnExpr&>(e).slot()];
+}
+
+const Value* LeafConstant(const BoundExpr& e) {
+  if (e.kind() != BoundExprKind::kConstant) return nullptr;
+  return &static_cast<const ConstantExpr&>(e).value();
+}
+
+// Per-batch null-free probe: a column with no set null byte among the
+// batch's physical rows takes the kernels' no-null fast path.
+const uint8_t* NullsOrNullptr(const ValueVector& col, size_t rows) {
+  return kern::HasNulls(col.NullData(), rows) ? col.NullData() : nullptr;
+}
+
+// A comparison in kernel-eligible shape: column vs column or column vs
+// non-null constant, on one numeric channel (the double channel demands
+// actual kDouble columns; promoted int64 columns fall back).
+struct KernelCompare {
+  kern::CmpOp op = kern::CmpOp::kEq;
+  bool is_double = false;
+  const ValueVector* lhs = nullptr;      // always a column
+  const ValueVector* rhs_col = nullptr;  // null when rhs is a constant
+  const Value* rhs_const = nullptr;
+};
+
+bool ClassifyKernelCompare(sql::BinaryOp op, const BoundExpr& left,
+                           const BoundExpr& right, const Batch& batch,
+                           KernelCompare* out) {
+  if (!KernelCmpOpFor(op, &out->op)) return false;
+  const TypeId lt = left.type();
+  const TypeId rt = right.type();
+  if (lt == TypeId::kString || rt == TypeId::kString) return false;
+  out->is_double = lt == TypeId::kDouble || rt == TypeId::kDouble;
+  const ValueVector* lcol = LeafColumn(left, batch);
+  const ValueVector* rcol = LeafColumn(right, batch);
+  if (lcol != nullptr && rcol != nullptr) {
+    out->lhs = lcol;
+    out->rhs_col = rcol;
+  } else if (lcol != nullptr) {
+    const Value* c = LeafConstant(right);
+    if (c == nullptr || c->is_null()) return false;
+    out->lhs = lcol;
+    out->rhs_const = c;
+  } else if (rcol != nullptr) {
+    const Value* c = LeafConstant(left);
+    if (c == nullptr || c->is_null()) return false;
+    out->op = MirrorCmpOp(out->op);
+    out->lhs = rcol;
+    out->rhs_const = c;
+  } else {
+    return false;
+  }
+  if (out->is_double) {
+    if (out->lhs->type() != TypeId::kDouble) return false;
+    if (out->rhs_col != nullptr && out->rhs_col->type() != TypeId::kDouble) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TryKernelFilterCompare(sql::BinaryOp op, const BoundExpr& left,
+                            const BoundExpr& right, Batch* batch) {
+  KernelCompare cmp;
+  if (!ClassifyKernelCompare(op, left, right, *batch, &cmp)) return false;
+  const kern::KernelTable& kt = kern::Active();
+  const size_t n = batch->sel.size();
+  uint32_t* sel = batch->sel.data();
+  const size_t rows = batch->num_rows;
+  const uint8_t* lnulls = NullsOrNullptr(*cmp.lhs, rows);
+  size_t kept = 0;
+  if (cmp.is_double) {
+    if (cmp.rhs_col != nullptr) {
+      kept = kt.filter_f64_col_col(cmp.op, cmp.lhs->DoubleData(), lnulls,
+                                   cmp.rhs_col->DoubleData(),
+                                   NullsOrNullptr(*cmp.rhs_col, rows), sel, n);
+    } else {
+      kept = kt.filter_f64_col_const(cmp.op, cmp.lhs->DoubleData(), lnulls,
+                                     sel, n, cmp.rhs_const->AsDouble());
+    }
+  } else {
+    if (cmp.rhs_col != nullptr) {
+      kept = kt.filter_i64_col_col(cmp.op, cmp.lhs->Int64Data(), lnulls,
+                                   cmp.rhs_col->Int64Data(),
+                                   NullsOrNullptr(*cmp.rhs_col, rows), sel, n);
+    } else {
+      kept = kt.filter_i64_col_const(cmp.op, cmp.lhs->Int64Data(), lnulls,
+                                     sel, n, cmp.rhs_const->AsInt64());
+    }
+  }
+  batch->sel.resize(kept);
+  return true;
+}
+
+bool TryKernelEvalCompare(sql::BinaryOp op, const BoundExpr& left,
+                          const BoundExpr& right, const Batch& batch,
+                          ValueVector* out) {
+  KernelCompare cmp;
+  if (!ClassifyKernelCompare(op, left, right, batch, &cmp)) return false;
+  const kern::KernelTable& kt = kern::Active();
+  const size_t n = batch.sel.size();
+  const uint32_t* sel = batch.sel.data();
+  const size_t rows = batch.num_rows;
+  const uint8_t* lnulls = NullsOrNullptr(*cmp.lhs, rows);
+  out->Reset(TypeId::kBool, n);
+  int64_t* out_vals = out->MutableInt64Data();
+  uint8_t* out_nulls = out->MutableNullData();
+  if (cmp.is_double) {
+    if (cmp.rhs_col != nullptr) {
+      kt.eval_f64_col_col(cmp.op, cmp.lhs->DoubleData(), lnulls,
+                          cmp.rhs_col->DoubleData(),
+                          NullsOrNullptr(*cmp.rhs_col, rows), sel, n, out_vals,
+                          out_nulls);
+    } else {
+      kt.eval_f64_col_const(cmp.op, cmp.lhs->DoubleData(), lnulls, sel, n,
+                            cmp.rhs_const->AsDouble(), out_vals, out_nulls);
+    }
+  } else {
+    if (cmp.rhs_col != nullptr) {
+      kt.eval_i64_col_col(cmp.op, cmp.lhs->Int64Data(), lnulls,
+                          cmp.rhs_col->Int64Data(),
+                          NullsOrNullptr(*cmp.rhs_col, rows), sel, n, out_vals,
+                          out_nulls);
+    } else {
+      kt.eval_i64_col_const(cmp.op, cmp.lhs->Int64Data(), lnulls, sel, n,
+                            cmp.rhs_const->AsInt64(), out_vals, out_nulls);
+    }
+  }
+  return true;
+}
+
+// --- fused arithmetic pattern matcher ---------------------------------------
+
+bool KernelArithOpFor(sql::BinaryOp op, kern::ArithOp* out) {
+  switch (op) {
+    case sql::BinaryOp::kAdd:
+      *out = kern::ArithOp::kAdd;
+      return true;
+    case sql::BinaryOp::kSub:
+      *out = kern::ArithOp::kSub;
+      return true;
+    case sql::BinaryOp::kMul:
+      *out = kern::ArithOp::kMul;
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool BuildI64Operand(const BoundExpr& e, const Batch& batch, size_t rows,
+                     kern::I64Operand* out) {
+  if (const ValueVector* col = LeafColumn(e, batch); col != nullptr) {
+    if (col->type() == TypeId::kDouble || col->type() == TypeId::kString) {
+      return false;
+    }
+    out->vals = col->Int64Data();
+    out->nulls = NullsOrNullptr(*col, rows);
+    return true;
+  }
+  if (const Value* c = LeafConstant(e); c != nullptr) {
+    if (c->is_null() || c->type() == TypeId::kDouble ||
+        c->type() == TypeId::kString) {
+      return false;
+    }
+    out->vals = nullptr;
+    out->nulls = nullptr;
+    out->constant = c->AsInt64();
+    return true;
+  }
+  return false;
+}
+
+bool BuildF64Operand(const BoundExpr& e, const Batch& batch, size_t rows,
+                     kern::F64Operand* out) {
+  if (const ValueVector* col = LeafColumn(e, batch); col != nullptr) {
+    if (col->type() != TypeId::kDouble) return false;
+    out->vals = col->DoubleData();
+    out->nulls = NullsOrNullptr(*col, rows);
+    return true;
+  }
+  if (const Value* c = LeafConstant(e); c != nullptr) {
+    if (c->is_null() || c->type() == TypeId::kString) return false;
+    out->vals = nullptr;
+    out->nulls = nullptr;
+    out->constant = c->AsDouble();
+    return true;
+  }
+  return false;
+}
+
+// Matches `(x ⊕ y) ⊗ z` / `z ⊗ (x ⊕ y)` with ⊕,⊗ ∈ {+,-,*} and
+// column/constant leaves, and evaluates it in one fused kernel pass with
+// no intermediate vector. The fused kernels keep the two operations
+// separate (never FMA-contracted), so results match the two-pass path
+// bitwise; see src/plan/CMakeLists.txt for the -ffp-contract=off guard.
+bool TryKernelFusedArith(const BinaryBoundExpr& expr, const Batch& batch,
+                         ValueVector* out) {
+  kern::ArithOp outer_op;
+  if (!KernelArithOpFor(expr.op(), &outer_op)) return false;
+
+  auto as_arith = [](const BoundExpr& e) -> const BinaryBoundExpr* {
+    if (e.kind() != BoundExprKind::kBinary) return nullptr;
+    const auto& b = static_cast<const BinaryBoundExpr&>(e);
+    kern::ArithOp ignored;
+    return KernelArithOpFor(b.op(), &ignored) ? &b : nullptr;
+  };
+  auto is_leaf = [](const BoundExpr& e) {
+    return e.kind() == BoundExprKind::kColumn ||
+           e.kind() == BoundExprKind::kConstant;
+  };
+
+  const BinaryBoundExpr* inner = nullptr;
+  const BoundExpr* z_expr = nullptr;
+  bool inner_on_left = false;
+  if (const BinaryBoundExpr* b = as_arith(expr.left());
+      b != nullptr && is_leaf(b->left()) && is_leaf(b->right()) &&
+      is_leaf(expr.right())) {
+    inner = b;
+    z_expr = &expr.right();
+    inner_on_left = true;
+  } else if (const BinaryBoundExpr* r = as_arith(expr.right());
+             r != nullptr && is_leaf(r->left()) && is_leaf(r->right()) &&
+             is_leaf(expr.left())) {
+    inner = r;
+    z_expr = &expr.left();
+    inner_on_left = false;
+  } else {
+    return false;
+  }
+
+  kern::ArithOp inner_op;
+  KernelArithOpFor(inner->op(), &inner_op);
+  const kern::KernelTable& kt = kern::Active();
+  const size_t n = batch.sel.size();
+  const uint32_t* sel = batch.sel.data();
+  const size_t rows = batch.num_rows;
+
+  if (expr.type() == TypeId::kDouble) {
+    // The unfused path materializes the inner result at its own type; an
+    // int64-typed inner chain rounds through int64 before the promote,
+    // which a double-channel fusion would skip. Only fuse all-double.
+    if (inner->type() != TypeId::kDouble) return false;
+    kern::F64Operand x, y, z;
+    if (!BuildF64Operand(inner->left(), batch, rows, &x) ||
+        !BuildF64Operand(inner->right(), batch, rows, &y) ||
+        !BuildF64Operand(*z_expr, batch, rows, &z)) {
+      return false;
+    }
+    out->Reset(TypeId::kDouble, n);
+    kt.fused_arith_f64(inner_op, outer_op, inner_on_left, x, y, z, sel, n,
+                       out->MutableDoubleData(), out->MutableNullData());
+    return true;
+  }
+
+  kern::I64Operand x, y, z;
+  if (!BuildI64Operand(inner->left(), batch, rows, &x) ||
+      !BuildI64Operand(inner->right(), batch, rows, &y) ||
+      !BuildI64Operand(*z_expr, batch, rows, &z)) {
+    return false;
+  }
+  using sql::BinaryOp;
+  const TypeId out_type =
+      expr.type() == TypeId::kDate &&
+              (expr.op() == BinaryOp::kAdd || expr.op() == BinaryOp::kSub)
+          ? TypeId::kDate
+          : TypeId::kInt64;
+  out->Reset(out_type, n);
+  kt.fused_arith_i64(inner_op, outer_op, inner_on_left, x, y, z, sel, n,
+                     out->MutableInt64Data(), out->MutableNullData());
+  return true;
 }
 
 }  // namespace
@@ -247,6 +572,12 @@ void BinaryBoundExpr::EvaluateBatch(const Batch& batch,
     }
     return;
   }
+
+  if (IsComparison(op_) &&
+      TryKernelEvalCompare(op_, *left_, *right_, batch, out)) {
+    return;
+  }
+  if (TryKernelFusedArith(*this, batch, out)) return;
 
   const OperandView left(*left_, batch);
   const OperandView right(*right_, batch);
@@ -415,6 +746,7 @@ void BinaryBoundExpr::FilterBatch(Batch* batch) const {
     return;
   }
   if (IsComparison(op_)) {
+    if (TryKernelFilterCompare(op_, *left_, *right_, batch)) return;
     const OperandView left(*left_, *batch);
     const OperandView right(*right_, *batch);
     const ValueVector& l = left.vec();

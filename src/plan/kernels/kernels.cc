@@ -1,0 +1,112 @@
+// Runtime ISA dispatch for the kernel tables. The active table is
+// resolved once, on first use, from CPUID plus the VDB_KERNELS
+// environment variable: `scalar` forces the reference kernels, `native`
+// (the default) picks the best ISA the host supports; `sse2` / `avx2`
+// pin a specific tier (used by the conformance matrix). Unknown values
+// fall back to `native`.
+
+#include "plan/kernels/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "plan/kernels/kernels_isa.h"
+
+namespace vdb::plan::kernels {
+
+namespace {
+
+bool CpuSupports(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kSse2:
+      // SSE2 is part of the x86-64 baseline; the table is null elsewhere.
+      return GetSse2KernelTable() != nullptr;
+    case Isa::kAvx2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return GetAvx2KernelTable() != nullptr &&
+             __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const KernelTable* CompiledTable(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return GetScalarKernelTable();
+    case Isa::kSse2:
+      return GetSse2KernelTable();
+    case Isa::kAvx2:
+      return GetAvx2KernelTable();
+  }
+  return nullptr;
+}
+
+Isa BestSupportedIsa() {
+  if (CpuSupports(Isa::kAvx2)) return Isa::kAvx2;
+  if (CpuSupports(Isa::kSse2)) return Isa::kSse2;
+  return Isa::kScalar;
+}
+
+Isa IsaFromEnvironment() {
+  const char* env = std::getenv("VDB_KERNELS");
+  if (env == nullptr || *env == '\0') return BestSupportedIsa();
+  if (std::strcmp(env, "scalar") == 0) return Isa::kScalar;
+  if (std::strcmp(env, "sse2") == 0 && CpuSupports(Isa::kSse2)) {
+    return Isa::kSse2;
+  }
+  if (std::strcmp(env, "avx2") == 0 && CpuSupports(Isa::kAvx2)) {
+    return Isa::kAvx2;
+  }
+  return BestSupportedIsa();
+}
+
+std::atomic<const KernelTable*>& ActiveSlot() {
+  static std::atomic<const KernelTable*> slot{
+      TableFor(IsaFromEnvironment())};
+  return slot;
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse2:
+      return "sse2";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+const KernelTable* TableFor(Isa isa) {
+  if (!CpuSupports(isa)) return nullptr;
+  return CompiledTable(isa);
+}
+
+const KernelTable& Active() {
+  return *ActiveSlot().load(std::memory_order_acquire);
+}
+
+Isa ActiveIsa() { return Active().isa; }
+
+bool SetActiveIsa(Isa isa) {
+  const KernelTable* table = TableFor(isa);
+  if (table == nullptr) return false;
+  ActiveSlot().store(table, std::memory_order_release);
+  return true;
+}
+
+bool HasNulls(const uint8_t* nulls, size_t n) {
+  if (nulls == nullptr) return false;
+  return std::memchr(nulls, 1, n) != nullptr;
+}
+
+}  // namespace vdb::plan::kernels

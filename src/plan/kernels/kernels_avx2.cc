@@ -1,0 +1,427 @@
+// AVX2 kernels, compiled with -mavx2 for this translation unit only (see
+// src/plan/CMakeLists.txt). The dispatcher only installs this table after
+// a runtime __builtin_cpu_supports("avx2") check, and every helper the TU
+// uses lives in an anonymous namespace so the linker cannot fold an AVX
+// encoding into the baseline path. Identity selection vectors take the
+// 256-bit path; gathered selections fall back to the shared scalar
+// bodies, which are byte-identical by construction.
+
+#if (defined(__x86_64__) || defined(_M_X64)) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "plan/kernels/kernels.h"
+#include "plan/kernels/kernels_common.h"
+#include "plan/kernels/kernels_isa.h"
+
+namespace vdb::plan::kernels {
+
+namespace {
+
+inline __m256i Not256(__m256i v) {
+  return _mm256_xor_si256(v, _mm256_set1_epi32(-1));
+}
+
+inline __m256i CmpVecI64(CmpOp op, __m256i a, __m256i b) {
+  switch (op) {
+    case CmpOp::kEq:
+      return _mm256_cmpeq_epi64(a, b);
+    case CmpOp::kNe:
+      return Not256(_mm256_cmpeq_epi64(a, b));
+    case CmpOp::kLt:
+      return _mm256_cmpgt_epi64(b, a);
+    case CmpOp::kLe:
+      return Not256(_mm256_cmpgt_epi64(a, b));
+    case CmpOp::kGt:
+      return _mm256_cmpgt_epi64(a, b);
+    default:
+      return Not256(_mm256_cmpgt_epi64(b, a));
+  }
+}
+
+/// Predicates composed from ordered `<`/`>` so NaN compares "equal" to
+/// everything, matching the scalar three-way compare.
+inline __m256d CmpVecF64(CmpOp op, __m256d a, __m256d b) {
+  const __m256d lt = _mm256_cmp_pd(a, b, _CMP_LT_OQ);
+  const __m256d gt = _mm256_cmp_pd(a, b, _CMP_GT_OQ);
+  const __m256d ones = _mm256_castsi256_pd(_mm256_set1_epi32(-1));
+  switch (op) {
+    case CmpOp::kEq:
+      return _mm256_xor_pd(_mm256_or_pd(lt, gt), ones);
+    case CmpOp::kNe:
+      return _mm256_or_pd(lt, gt);
+    case CmpOp::kLt:
+      return lt;
+    case CmpOp::kLe:
+      return _mm256_xor_pd(gt, ones);
+    case CmpOp::kGt:
+      return gt;
+    default:
+      return _mm256_xor_pd(lt, ones);
+  }
+}
+
+/// 4-bit not-null mask for lanes i..i+3.
+inline int NotNullMask4(const uint8_t* nulls, size_t i) {
+  return (nulls[i] == 0 ? 1 : 0) | (nulls[i + 1] == 0 ? 2 : 0) |
+         (nulls[i + 2] == 0 ? 4 : 0) | (nulls[i + 3] == 0 ? 8 : 0);
+}
+
+inline void EmitMask(int mask, size_t base, uint32_t* sel, size_t* kept) {
+  while (mask != 0) {
+    const int bit = __builtin_ctz(static_cast<unsigned>(mask));
+    sel[(*kept)++] = static_cast<uint32_t>(base + static_cast<size_t>(bit));
+    mask &= mask - 1;
+  }
+}
+
+size_t FilterI64ColConst(CmpOp op, const int64_t* vals, const uint8_t* nulls,
+                         uint32_t* sel, size_t n, int64_t constant) {
+  if (!SelIsIdentity(sel, n)) {
+    return ScalarFilterColConst(op, vals, nulls, sel, n, constant);
+  }
+  const __m256i c = _mm256_set1_epi64x(constant);
+  size_t kept = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals + i));
+    int mask = _mm256_movemask_pd(_mm256_castsi256_pd(CmpVecI64(op, v, c)));
+    if (nulls != nullptr) mask &= NotNullMask4(nulls, i);
+    EmitMask(mask, i, sel, &kept);
+  }
+  for (; i < n; ++i) {
+    if ((nulls == nullptr || nulls[i] == 0) &&
+        CmpHolds(op, vals[i], constant)) {
+      sel[kept++] = static_cast<uint32_t>(i);
+    }
+  }
+  return kept;
+}
+
+size_t FilterF64ColConst(CmpOp op, const double* vals, const uint8_t* nulls,
+                         uint32_t* sel, size_t n, double constant) {
+  if (!SelIsIdentity(sel, n)) {
+    return ScalarFilterColConst(op, vals, nulls, sel, n, constant);
+  }
+  const __m256d c = _mm256_set1_pd(constant);
+  size_t kept = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(vals + i);
+    int mask = _mm256_movemask_pd(CmpVecF64(op, v, c));
+    if (nulls != nullptr) mask &= NotNullMask4(nulls, i);
+    EmitMask(mask, i, sel, &kept);
+  }
+  for (; i < n; ++i) {
+    if ((nulls == nullptr || nulls[i] == 0) &&
+        CmpHolds(op, vals[i], constant)) {
+      sel[kept++] = static_cast<uint32_t>(i);
+    }
+  }
+  return kept;
+}
+
+size_t FilterI64ColCol(CmpOp op, const int64_t* a, const uint8_t* a_nulls,
+                       const int64_t* b, const uint8_t* b_nulls,
+                       uint32_t* sel, size_t n) {
+  if (!SelIsIdentity(sel, n)) {
+    return ScalarFilterColCol(op, a, a_nulls, b, b_nulls, sel, n);
+  }
+  size_t kept = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i av =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i bv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    int mask = _mm256_movemask_pd(_mm256_castsi256_pd(CmpVecI64(op, av, bv)));
+    if (a_nulls != nullptr) mask &= NotNullMask4(a_nulls, i);
+    if (b_nulls != nullptr) mask &= NotNullMask4(b_nulls, i);
+    EmitMask(mask, i, sel, &kept);
+  }
+  for (; i < n; ++i) {
+    if (a_nulls != nullptr && a_nulls[i] != 0) continue;
+    if (b_nulls != nullptr && b_nulls[i] != 0) continue;
+    if (CmpHolds(op, a[i], b[i])) sel[kept++] = static_cast<uint32_t>(i);
+  }
+  return kept;
+}
+
+size_t FilterF64ColCol(CmpOp op, const double* a, const uint8_t* a_nulls,
+                       const double* b, const uint8_t* b_nulls, uint32_t* sel,
+                       size_t n) {
+  if (!SelIsIdentity(sel, n)) {
+    return ScalarFilterColCol(op, a, a_nulls, b, b_nulls, sel, n);
+  }
+  size_t kept = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d av = _mm256_loadu_pd(a + i);
+    const __m256d bv = _mm256_loadu_pd(b + i);
+    int mask = _mm256_movemask_pd(CmpVecF64(op, av, bv));
+    if (a_nulls != nullptr) mask &= NotNullMask4(a_nulls, i);
+    if (b_nulls != nullptr) mask &= NotNullMask4(b_nulls, i);
+    EmitMask(mask, i, sel, &kept);
+  }
+  for (; i < n; ++i) {
+    if (a_nulls != nullptr && a_nulls[i] != 0) continue;
+    if (b_nulls != nullptr && b_nulls[i] != 0) continue;
+    if (CmpHolds(op, a[i], b[i])) sel[kept++] = static_cast<uint32_t>(i);
+  }
+  return kept;
+}
+
+inline void StoreBoolPayload(__m256i mask, int64_t* out) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out),
+                      _mm256_and_si256(mask, _mm256_set1_epi64x(1)));
+}
+
+inline void OrNullBytes(const uint8_t* a_nulls, const uint8_t* b_nulls,
+                        size_t n, uint8_t* out) {
+  if (a_nulls == nullptr && b_nulls == nullptr) {
+    for (size_t i = 0; i < n; ++i) out[i] = 0;
+  } else if (a_nulls == nullptr) {
+    for (size_t i = 0; i < n; ++i) out[i] = b_nulls[i];
+  } else if (b_nulls == nullptr) {
+    for (size_t i = 0; i < n; ++i) out[i] = a_nulls[i];
+  } else {
+    for (size_t i = 0; i < n; ++i) out[i] = a_nulls[i] | b_nulls[i];
+  }
+}
+
+void EvalI64ColConst(CmpOp op, const int64_t* vals, const uint8_t* nulls,
+                     const uint32_t* sel, size_t n, int64_t constant,
+                     int64_t* out_vals, uint8_t* out_nulls) {
+  if (!SelIsIdentity(sel, n)) {
+    ScalarEvalColConst(op, vals, nulls, sel, n, constant, out_vals,
+                       out_nulls);
+    return;
+  }
+  const __m256i c = _mm256_set1_epi64x(constant);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals + i));
+    StoreBoolPayload(CmpVecI64(op, v, c), out_vals + i);
+  }
+  for (; i < n; ++i) out_vals[i] = CmpHolds(op, vals[i], constant) ? 1 : 0;
+  OrNullBytes(nulls, nullptr, n, out_nulls);
+}
+
+void EvalF64ColConst(CmpOp op, const double* vals, const uint8_t* nulls,
+                     const uint32_t* sel, size_t n, double constant,
+                     int64_t* out_vals, uint8_t* out_nulls) {
+  if (!SelIsIdentity(sel, n)) {
+    ScalarEvalColConst(op, vals, nulls, sel, n, constant, out_vals,
+                       out_nulls);
+    return;
+  }
+  const __m256d c = _mm256_set1_pd(constant);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(vals + i);
+    StoreBoolPayload(_mm256_castpd_si256(CmpVecF64(op, v, c)), out_vals + i);
+  }
+  for (; i < n; ++i) out_vals[i] = CmpHolds(op, vals[i], constant) ? 1 : 0;
+  OrNullBytes(nulls, nullptr, n, out_nulls);
+}
+
+void EvalI64ColCol(CmpOp op, const int64_t* a, const uint8_t* a_nulls,
+                   const int64_t* b, const uint8_t* b_nulls,
+                   const uint32_t* sel, size_t n, int64_t* out_vals,
+                   uint8_t* out_nulls) {
+  if (!SelIsIdentity(sel, n)) {
+    ScalarEvalColCol(op, a, a_nulls, b, b_nulls, sel, n, out_vals, out_nulls);
+    return;
+  }
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i av =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i bv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    StoreBoolPayload(CmpVecI64(op, av, bv), out_vals + i);
+  }
+  for (; i < n; ++i) out_vals[i] = CmpHolds(op, a[i], b[i]) ? 1 : 0;
+  OrNullBytes(a_nulls, b_nulls, n, out_nulls);
+}
+
+void EvalF64ColCol(CmpOp op, const double* a, const uint8_t* a_nulls,
+                   const double* b, const uint8_t* b_nulls,
+                   const uint32_t* sel, size_t n, int64_t* out_vals,
+                   uint8_t* out_nulls) {
+  if (!SelIsIdentity(sel, n)) {
+    ScalarEvalColCol(op, a, a_nulls, b, b_nulls, sel, n, out_vals, out_nulls);
+    return;
+  }
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d av = _mm256_loadu_pd(a + i);
+    const __m256d bv = _mm256_loadu_pd(b + i);
+    StoreBoolPayload(_mm256_castpd_si256(CmpVecF64(op, av, bv)),
+                     out_vals + i);
+  }
+  for (; i < n; ++i) out_vals[i] = CmpHolds(op, a[i], b[i]) ? 1 : 0;
+  OrNullBytes(a_nulls, b_nulls, n, out_nulls);
+}
+
+/// Wrapping 64-bit lane multiply from 32x32->64 partial products
+/// (no _mm256_mullo_epi64 before AVX-512DQ).
+inline __m256i Mul64(__m256i a, __m256i b) {
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i hi1 = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b);
+  const __m256i hi2 = _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32));
+  return _mm256_add_epi64(
+      lo, _mm256_slli_epi64(_mm256_add_epi64(hi1, hi2), 32));
+}
+
+inline __m256i ArithVecI64(ArithOp op, __m256i a, __m256i b) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return _mm256_add_epi64(a, b);
+    case ArithOp::kSub:
+      return _mm256_sub_epi64(a, b);
+    default:
+      return Mul64(a, b);
+  }
+}
+
+inline __m256d ArithVecF64(ArithOp op, __m256d a, __m256d b) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return _mm256_add_pd(a, b);
+    case ArithOp::kSub:
+      return _mm256_sub_pd(a, b);
+    default:
+      return _mm256_mul_pd(a, b);
+  }
+}
+
+inline void OrNullBytes3(const I64Operand& x, const I64Operand& y,
+                         const I64Operand& z, size_t n, uint8_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t v = x.nulls != nullptr ? x.nulls[i] : 0;
+    v |= y.nulls != nullptr ? y.nulls[i] : 0;
+    v |= z.nulls != nullptr ? z.nulls[i] : 0;
+    out[i] = v;
+  }
+}
+
+inline void OrNullBytes3(const F64Operand& x, const F64Operand& y,
+                         const F64Operand& z, size_t n, uint8_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t v = x.nulls != nullptr ? x.nulls[i] : 0;
+    v |= y.nulls != nullptr ? y.nulls[i] : 0;
+    v |= z.nulls != nullptr ? z.nulls[i] : 0;
+    out[i] = v;
+  }
+}
+
+void FusedArithI64(ArithOp inner, ArithOp outer, bool inner_on_left,
+                   I64Operand x, I64Operand y, I64Operand z,
+                   const uint32_t* sel, size_t n, int64_t* out_vals,
+                   uint8_t* out_nulls) {
+  if (!SelIsIdentity(sel, n)) {
+    ScalarFusedArith<int64_t>(inner, outer, inner_on_left, x, y, z, sel, n,
+                              out_vals, out_nulls);
+    return;
+  }
+  const __m256i xc = _mm256_set1_epi64x(x.constant);
+  const __m256i yc = _mm256_set1_epi64x(y.constant);
+  const __m256i zc = _mm256_set1_epi64x(z.constant);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i xv =
+        x.vals != nullptr
+            ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x.vals + i))
+            : xc;
+    const __m256i yv =
+        y.vals != nullptr
+            ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y.vals + i))
+            : yc;
+    const __m256i zv =
+        z.vals != nullptr
+            ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(z.vals + i))
+            : zc;
+    const __m256i t = ArithVecI64(inner, xv, yv);
+    const __m256i r = inner_on_left ? ArithVecI64(outer, t, zv)
+                                    : ArithVecI64(outer, zv, t);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_vals + i), r);
+  }
+  for (; i < n; ++i) {
+    const uint32_t row = static_cast<uint32_t>(i);
+    const int64_t t = ArithApply(inner, OperandAt<int64_t>(x, row),
+                                 OperandAt<int64_t>(y, row));
+    const int64_t zv = OperandAt<int64_t>(z, row);
+    out_vals[i] =
+        inner_on_left ? ArithApply(outer, t, zv) : ArithApply(outer, zv, t);
+  }
+  OrNullBytes3(x, y, z, n, out_nulls);
+}
+
+void FusedArithF64(ArithOp inner, ArithOp outer, bool inner_on_left,
+                   F64Operand x, F64Operand y, F64Operand z,
+                   const uint32_t* sel, size_t n, double* out_vals,
+                   uint8_t* out_nulls) {
+  if (!SelIsIdentity(sel, n)) {
+    ScalarFusedArith<double>(inner, outer, inner_on_left, x, y, z, sel, n,
+                             out_vals, out_nulls);
+    return;
+  }
+  const __m256d xc = _mm256_set1_pd(x.constant);
+  const __m256d yc = _mm256_set1_pd(y.constant);
+  const __m256d zc = _mm256_set1_pd(z.constant);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d xv = x.vals != nullptr ? _mm256_loadu_pd(x.vals + i) : xc;
+    const __m256d yv = y.vals != nullptr ? _mm256_loadu_pd(y.vals + i) : yc;
+    const __m256d zv = z.vals != nullptr ? _mm256_loadu_pd(z.vals + i) : zc;
+    const __m256d t = ArithVecF64(inner, xv, yv);
+    const __m256d r = inner_on_left ? ArithVecF64(outer, t, zv)
+                                    : ArithVecF64(outer, zv, t);
+    _mm256_storeu_pd(out_vals + i, r);
+  }
+  for (; i < n; ++i) {
+    const uint32_t row = static_cast<uint32_t>(i);
+    const double t = ArithApply(inner, OperandAt<double>(x, row),
+                                OperandAt<double>(y, row));
+    const double zv = OperandAt<double>(z, row);
+    out_vals[i] =
+        inner_on_left ? ArithApply(outer, t, zv) : ArithApply(outer, zv, t);
+  }
+  OrNullBytes3(x, y, z, n, out_nulls);
+}
+
+}  // namespace
+
+const KernelTable* GetAvx2KernelTable() {
+  static const KernelTable table = [] {
+    KernelTable t;
+    t.isa = Isa::kAvx2;
+    t.filter_i64_col_const = FilterI64ColConst;
+    t.filter_f64_col_const = FilterF64ColConst;
+    t.filter_i64_col_col = FilterI64ColCol;
+    t.filter_f64_col_col = FilterF64ColCol;
+    t.eval_i64_col_const = EvalI64ColConst;
+    t.eval_f64_col_const = EvalF64ColConst;
+    t.eval_i64_col_col = EvalI64ColCol;
+    t.eval_f64_col_col = EvalF64ColCol;
+    t.fused_arith_i64 = FusedArithI64;
+    t.fused_arith_f64 = FusedArithF64;
+    return t;
+  }();
+  return &table;
+}
+
+}  // namespace vdb::plan::kernels
+
+#else  // AVX2 not compiled in for this target
+
+#include "plan/kernels/kernels_isa.h"
+
+namespace vdb::plan::kernels {
+const KernelTable* GetAvx2KernelTable() { return nullptr; }
+}  // namespace vdb::plan::kernels
+
+#endif

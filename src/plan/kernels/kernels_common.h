@@ -1,0 +1,171 @@
+// Element-wise kernel bodies shared by every ISA translation unit.
+// Everything here lives in an anonymous namespace so each TU gets its
+// own internal-linkage copy: the AVX2 TU is compiled with -mavx2, and a
+// linker folding its instantiation into the baseline table would smuggle
+// AVX encodings into the unguarded path.
+//
+// These bodies are the reference semantics: SIMD fast paths must produce
+// byte-identical selections, payloads, and null bytes. The three-way
+// double compare (`a < b ? -1 : (a > b ? 1 : 0)`) deliberately treats
+// NaN as equal to everything — same as catalog::CompareAt — and the
+// kernels preserve that by composing every predicate from IEEE `<`/`>`.
+
+#ifndef VDB_PLAN_KERNELS_KERNELS_COMMON_H_
+#define VDB_PLAN_KERNELS_KERNELS_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "plan/kernels/kernels.h"
+
+namespace vdb::plan::kernels {
+namespace {
+
+template <typename T>
+inline bool CmpHolds(CmpOp op, T a, T b) {
+  switch (op) {
+    case CmpOp::kEq:
+      return !(a < b) && !(a > b);
+    case CmpOp::kNe:
+      return (a < b) || (a > b);
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return !(a > b);
+    case CmpOp::kGt:
+      return a > b;
+    default:
+      return !(a < b);
+  }
+}
+
+inline double ArithApply(ArithOp op, double a, double b) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return a + b;
+    case ArithOp::kSub:
+      return a - b;
+    default:
+      return a * b;
+  }
+}
+
+// Int64 arithmetic wraps (computed in unsigned): the kernels evaluate
+// payloads unconditionally, including rows whose inputs are null and
+// whose payload bytes are stale, so signed-overflow UB must be avoided.
+inline int64_t ArithApply(ArithOp op, int64_t a, int64_t b) {
+  const uint64_t ua = static_cast<uint64_t>(a);
+  const uint64_t ub = static_cast<uint64_t>(b);
+  uint64_t r = 0;
+  switch (op) {
+    case ArithOp::kAdd:
+      r = ua + ub;
+      break;
+    case ArithOp::kSub:
+      r = ua - ub;
+      break;
+    default:
+      r = ua * ub;
+      break;
+  }
+  return static_cast<int64_t>(r);
+}
+
+// --- scalar filter bodies -------------------------------------------------
+
+template <typename T>
+inline size_t ScalarFilterColConst(CmpOp op, const T* vals,
+                                   const uint8_t* nulls, uint32_t* sel,
+                                   size_t n, T constant) {
+  size_t kept = 0;
+  if (nulls == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t row = sel[i];
+      if (CmpHolds(op, vals[row], constant)) sel[kept++] = row;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t row = sel[i];
+      if (nulls[row] == 0 && CmpHolds(op, vals[row], constant)) {
+        sel[kept++] = row;
+      }
+    }
+  }
+  return kept;
+}
+
+template <typename T>
+inline size_t ScalarFilterColCol(CmpOp op, const T* a, const uint8_t* a_nulls,
+                                 const T* b, const uint8_t* b_nulls,
+                                 uint32_t* sel, size_t n) {
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t row = sel[i];
+    if (a_nulls != nullptr && a_nulls[row] != 0) continue;
+    if (b_nulls != nullptr && b_nulls[row] != 0) continue;
+    if (CmpHolds(op, a[row], b[row])) sel[kept++] = row;
+  }
+  return kept;
+}
+
+// --- scalar eval bodies ---------------------------------------------------
+// Payloads are computed for every row (even null ones) so the output
+// bytes are a pure function of the input bytes on every ISA.
+
+template <typename T>
+inline void ScalarEvalColConst(CmpOp op, const T* vals, const uint8_t* nulls,
+                               const uint32_t* sel, size_t n, T constant,
+                               int64_t* out_vals, uint8_t* out_nulls) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t row = sel[i];
+    out_vals[i] = CmpHolds(op, vals[row], constant) ? 1 : 0;
+    out_nulls[i] = nulls != nullptr ? nulls[row] : 0;
+  }
+}
+
+template <typename T>
+inline void ScalarEvalColCol(CmpOp op, const T* a, const uint8_t* a_nulls,
+                             const T* b, const uint8_t* b_nulls,
+                             const uint32_t* sel, size_t n, int64_t* out_vals,
+                             uint8_t* out_nulls) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t row = sel[i];
+    out_vals[i] = CmpHolds(op, a[row], b[row]) ? 1 : 0;
+    uint8_t null_byte = a_nulls != nullptr ? a_nulls[row] : 0;
+    null_byte |= b_nulls != nullptr ? b_nulls[row] : 0;
+    out_nulls[i] = null_byte;
+  }
+}
+
+// --- scalar fused arithmetic ----------------------------------------------
+
+template <typename T, typename Operand>
+inline T OperandAt(const Operand& operand, uint32_t row) {
+  return operand.vals != nullptr ? operand.vals[row] : operand.constant;
+}
+
+template <typename Operand>
+inline uint8_t OperandNullAt(const Operand& operand, uint32_t row) {
+  return operand.nulls != nullptr ? operand.nulls[row] : 0;
+}
+
+template <typename T, typename Operand>
+inline void ScalarFusedArith(ArithOp inner, ArithOp outer, bool inner_on_left,
+                             const Operand& x, const Operand& y,
+                             const Operand& z, const uint32_t* sel, size_t n,
+                             T* out_vals, uint8_t* out_nulls) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t row = sel[i];
+    const T t = ArithApply(inner, OperandAt<T>(x, row), OperandAt<T>(y, row));
+    const T zv = OperandAt<T>(z, row);
+    out_vals[i] = inner_on_left ? ArithApply(outer, t, zv)
+                                : ArithApply(outer, zv, t);
+    out_nulls[i] = OperandNullAt(x, row) | OperandNullAt(y, row) |
+                   OperandNullAt(z, row);
+  }
+}
+
+}  // namespace
+}  // namespace vdb::plan::kernels
+
+#endif  // VDB_PLAN_KERNELS_KERNELS_COMMON_H_

@@ -1,0 +1,19 @@
+// Internal: per-ISA table constructors wired together by kernels.cc.
+// Each returns a pointer to a static table, or nullptr when that ISA is
+// not compiled in for this target architecture (runtime CPU support is
+// checked separately by the dispatcher).
+
+#ifndef VDB_PLAN_KERNELS_KERNELS_ISA_H_
+#define VDB_PLAN_KERNELS_KERNELS_ISA_H_
+
+#include "plan/kernels/kernels.h"
+
+namespace vdb::plan::kernels {
+
+const KernelTable* GetScalarKernelTable();
+const KernelTable* GetSse2KernelTable();
+const KernelTable* GetAvx2KernelTable();
+
+}  // namespace vdb::plan::kernels
+
+#endif  // VDB_PLAN_KERNELS_KERNELS_ISA_H_

@@ -1,0 +1,96 @@
+// Scalar reference kernels: the portable table every ISA variant must
+// match byte for byte. Compiled with the project's baseline flags only.
+
+#include "plan/kernels/kernels.h"
+#include "plan/kernels/kernels_common.h"
+
+namespace vdb::plan::kernels {
+
+namespace {
+
+size_t FilterI64ColConst(CmpOp op, const int64_t* vals, const uint8_t* nulls,
+                         uint32_t* sel, size_t n, int64_t constant) {
+  return ScalarFilterColConst(op, vals, nulls, sel, n, constant);
+}
+
+size_t FilterF64ColConst(CmpOp op, const double* vals, const uint8_t* nulls,
+                         uint32_t* sel, size_t n, double constant) {
+  return ScalarFilterColConst(op, vals, nulls, sel, n, constant);
+}
+
+size_t FilterI64ColCol(CmpOp op, const int64_t* a, const uint8_t* a_nulls,
+                       const int64_t* b, const uint8_t* b_nulls,
+                       uint32_t* sel, size_t n) {
+  return ScalarFilterColCol(op, a, a_nulls, b, b_nulls, sel, n);
+}
+
+size_t FilterF64ColCol(CmpOp op, const double* a, const uint8_t* a_nulls,
+                       const double* b, const uint8_t* b_nulls, uint32_t* sel,
+                       size_t n) {
+  return ScalarFilterColCol(op, a, a_nulls, b, b_nulls, sel, n);
+}
+
+void EvalI64ColConst(CmpOp op, const int64_t* vals, const uint8_t* nulls,
+                     const uint32_t* sel, size_t n, int64_t constant,
+                     int64_t* out_vals, uint8_t* out_nulls) {
+  ScalarEvalColConst(op, vals, nulls, sel, n, constant, out_vals, out_nulls);
+}
+
+void EvalF64ColConst(CmpOp op, const double* vals, const uint8_t* nulls,
+                     const uint32_t* sel, size_t n, double constant,
+                     int64_t* out_vals, uint8_t* out_nulls) {
+  ScalarEvalColConst(op, vals, nulls, sel, n, constant, out_vals, out_nulls);
+}
+
+void EvalI64ColCol(CmpOp op, const int64_t* a, const uint8_t* a_nulls,
+                   const int64_t* b, const uint8_t* b_nulls,
+                   const uint32_t* sel, size_t n, int64_t* out_vals,
+                   uint8_t* out_nulls) {
+  ScalarEvalColCol(op, a, a_nulls, b, b_nulls, sel, n, out_vals, out_nulls);
+}
+
+void EvalF64ColCol(CmpOp op, const double* a, const uint8_t* a_nulls,
+                   const double* b, const uint8_t* b_nulls,
+                   const uint32_t* sel, size_t n, int64_t* out_vals,
+                   uint8_t* out_nulls) {
+  ScalarEvalColCol(op, a, a_nulls, b, b_nulls, sel, n, out_vals, out_nulls);
+}
+
+void FusedArithI64(ArithOp inner, ArithOp outer, bool inner_on_left,
+                   I64Operand x, I64Operand y, I64Operand z,
+                   const uint32_t* sel, size_t n, int64_t* out_vals,
+                   uint8_t* out_nulls) {
+  ScalarFusedArith<int64_t>(inner, outer, inner_on_left, x, y, z, sel, n,
+                            out_vals, out_nulls);
+}
+
+void FusedArithF64(ArithOp inner, ArithOp outer, bool inner_on_left,
+                   F64Operand x, F64Operand y, F64Operand z,
+                   const uint32_t* sel, size_t n, double* out_vals,
+                   uint8_t* out_nulls) {
+  ScalarFusedArith<double>(inner, outer, inner_on_left, x, y, z, sel, n,
+                           out_vals, out_nulls);
+}
+
+}  // namespace
+
+const KernelTable* GetScalarKernelTable() {
+  static const KernelTable table = [] {
+    KernelTable t;
+    t.isa = Isa::kScalar;
+    t.filter_i64_col_const = FilterI64ColConst;
+    t.filter_f64_col_const = FilterF64ColConst;
+    t.filter_i64_col_col = FilterI64ColCol;
+    t.filter_f64_col_col = FilterF64ColCol;
+    t.eval_i64_col_const = EvalI64ColConst;
+    t.eval_f64_col_const = EvalF64ColConst;
+    t.eval_i64_col_col = EvalI64ColCol;
+    t.eval_f64_col_col = EvalF64ColCol;
+    t.fused_arith_i64 = FusedArithI64;
+    t.fused_arith_f64 = FusedArithF64;
+    return t;
+  }();
+  return &table;
+}
+
+}  // namespace vdb::plan::kernels

@@ -1,0 +1,437 @@
+// SSE2 baseline kernels (always available on x86-64). Identity selection
+// vectors take the 128-bit path; gathered (post-filter) selections fall
+// back to the shared scalar bodies, which are byte-identical by
+// construction. 64-bit signed compares are composed from 32-bit ops
+// (overflow-corrected subtraction sign, Hacker's Delight §2-12); 64-bit
+// multiplies from 32x32->64 partial products.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <emmintrin.h>
+
+#include "plan/kernels/kernels.h"
+#include "plan/kernels/kernels_common.h"
+#include "plan/kernels/kernels_isa.h"
+
+namespace vdb::plan::kernels {
+
+namespace {
+
+inline __m128i Not128(__m128i v) {
+  return _mm_xor_si128(v, _mm_set1_epi32(-1));
+}
+
+/// Per-64-bit-lane mask of signed a < b.
+inline __m128i Lt64(__m128i a, __m128i b) {
+  const __m128i d = _mm_sub_epi64(a, b);
+  const __m128i t = _mm_xor_si128(
+      d, _mm_and_si128(_mm_xor_si128(a, b), _mm_xor_si128(d, a)));
+  const __m128i sign = _mm_srai_epi32(t, 31);
+  return _mm_shuffle_epi32(sign, _MM_SHUFFLE(3, 3, 1, 1));
+}
+
+/// Per-64-bit-lane mask of a == b.
+inline __m128i Eq64(__m128i a, __m128i b) {
+  const __m128i e = _mm_cmpeq_epi32(a, b);
+  return _mm_and_si128(e, _mm_shuffle_epi32(e, _MM_SHUFFLE(2, 3, 0, 1)));
+}
+
+inline __m128i CmpVecI64(CmpOp op, __m128i a, __m128i b) {
+  switch (op) {
+    case CmpOp::kEq:
+      return Eq64(a, b);
+    case CmpOp::kNe:
+      return Not128(Eq64(a, b));
+    case CmpOp::kLt:
+      return Lt64(a, b);
+    case CmpOp::kLe:
+      return Not128(Lt64(b, a));
+    case CmpOp::kGt:
+      return Lt64(b, a);
+    default:
+      return Not128(Lt64(a, b));
+  }
+}
+
+/// IEEE-composed predicate mask; NaN compares "equal" to everything,
+/// matching the scalar three-way compare (see kernels_common.h).
+inline __m128d CmpVecF64(CmpOp op, __m128d a, __m128d b) {
+  const __m128d ones = _mm_castsi128_pd(_mm_set1_epi32(-1));
+  switch (op) {
+    case CmpOp::kEq:
+      return _mm_xor_pd(
+          _mm_or_pd(_mm_cmplt_pd(a, b), _mm_cmpgt_pd(a, b)), ones);
+    case CmpOp::kNe:
+      return _mm_or_pd(_mm_cmplt_pd(a, b), _mm_cmpgt_pd(a, b));
+    case CmpOp::kLt:
+      return _mm_cmplt_pd(a, b);
+    case CmpOp::kLe:
+      return _mm_xor_pd(_mm_cmpgt_pd(a, b), ones);
+    case CmpOp::kGt:
+      return _mm_cmpgt_pd(a, b);
+    default:
+      return _mm_xor_pd(_mm_cmplt_pd(a, b), ones);
+  }
+}
+
+/// 2-bit not-null mask for lanes i, i+1.
+inline int NotNullMask2(const uint8_t* nulls, size_t i) {
+  return (nulls[i] == 0 ? 1 : 0) | (nulls[i + 1] == 0 ? 2 : 0);
+}
+
+inline void EmitMask(int mask, size_t base, uint32_t* sel, size_t* kept) {
+  while (mask != 0) {
+    const int bit = __builtin_ctz(static_cast<unsigned>(mask));
+    sel[(*kept)++] = static_cast<uint32_t>(base + static_cast<size_t>(bit));
+    mask &= mask - 1;
+  }
+}
+
+size_t FilterI64ColConst(CmpOp op, const int64_t* vals, const uint8_t* nulls,
+                         uint32_t* sel, size_t n, int64_t constant) {
+  if (!SelIsIdentity(sel, n)) {
+    return ScalarFilterColConst(op, vals, nulls, sel, n, constant);
+  }
+  const __m128i c = _mm_set1_epi64x(constant);
+  size_t kept = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(vals + i));
+    int mask = _mm_movemask_pd(_mm_castsi128_pd(CmpVecI64(op, v, c)));
+    if (nulls != nullptr) mask &= NotNullMask2(nulls, i);
+    EmitMask(mask, i, sel, &kept);
+  }
+  for (; i < n; ++i) {
+    if ((nulls == nullptr || nulls[i] == 0) &&
+        CmpHolds(op, vals[i], constant)) {
+      sel[kept++] = static_cast<uint32_t>(i);
+    }
+  }
+  return kept;
+}
+
+size_t FilterF64ColConst(CmpOp op, const double* vals, const uint8_t* nulls,
+                         uint32_t* sel, size_t n, double constant) {
+  if (!SelIsIdentity(sel, n)) {
+    return ScalarFilterColConst(op, vals, nulls, sel, n, constant);
+  }
+  const __m128d c = _mm_set1_pd(constant);
+  size_t kept = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d v = _mm_loadu_pd(vals + i);
+    int mask = _mm_movemask_pd(CmpVecF64(op, v, c));
+    if (nulls != nullptr) mask &= NotNullMask2(nulls, i);
+    EmitMask(mask, i, sel, &kept);
+  }
+  for (; i < n; ++i) {
+    if ((nulls == nullptr || nulls[i] == 0) &&
+        CmpHolds(op, vals[i], constant)) {
+      sel[kept++] = static_cast<uint32_t>(i);
+    }
+  }
+  return kept;
+}
+
+size_t FilterI64ColCol(CmpOp op, const int64_t* a, const uint8_t* a_nulls,
+                       const int64_t* b, const uint8_t* b_nulls,
+                       uint32_t* sel, size_t n) {
+  if (!SelIsIdentity(sel, n)) {
+    return ScalarFilterColCol(op, a, a_nulls, b, b_nulls, sel, n);
+  }
+  size_t kept = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i av =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i bv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    int mask = _mm_movemask_pd(_mm_castsi128_pd(CmpVecI64(op, av, bv)));
+    if (a_nulls != nullptr) mask &= NotNullMask2(a_nulls, i);
+    if (b_nulls != nullptr) mask &= NotNullMask2(b_nulls, i);
+    EmitMask(mask, i, sel, &kept);
+  }
+  for (; i < n; ++i) {
+    if (a_nulls != nullptr && a_nulls[i] != 0) continue;
+    if (b_nulls != nullptr && b_nulls[i] != 0) continue;
+    if (CmpHolds(op, a[i], b[i])) sel[kept++] = static_cast<uint32_t>(i);
+  }
+  return kept;
+}
+
+size_t FilterF64ColCol(CmpOp op, const double* a, const uint8_t* a_nulls,
+                       const double* b, const uint8_t* b_nulls, uint32_t* sel,
+                       size_t n) {
+  if (!SelIsIdentity(sel, n)) {
+    return ScalarFilterColCol(op, a, a_nulls, b, b_nulls, sel, n);
+  }
+  size_t kept = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d av = _mm_loadu_pd(a + i);
+    const __m128d bv = _mm_loadu_pd(b + i);
+    int mask = _mm_movemask_pd(CmpVecF64(op, av, bv));
+    if (a_nulls != nullptr) mask &= NotNullMask2(a_nulls, i);
+    if (b_nulls != nullptr) mask &= NotNullMask2(b_nulls, i);
+    EmitMask(mask, i, sel, &kept);
+  }
+  for (; i < n; ++i) {
+    if (a_nulls != nullptr && a_nulls[i] != 0) continue;
+    if (b_nulls != nullptr && b_nulls[i] != 0) continue;
+    if (CmpHolds(op, a[i], b[i])) sel[kept++] = static_cast<uint32_t>(i);
+  }
+  return kept;
+}
+
+inline void StoreBoolPayload(__m128i mask, int64_t* out) {
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out),
+                   _mm_and_si128(mask, _mm_set1_epi64x(1)));
+}
+
+inline void OrNullBytes(const uint8_t* a_nulls, const uint8_t* b_nulls,
+                        size_t n, uint8_t* out) {
+  if (a_nulls == nullptr && b_nulls == nullptr) {
+    for (size_t i = 0; i < n; ++i) out[i] = 0;
+  } else if (a_nulls == nullptr) {
+    for (size_t i = 0; i < n; ++i) out[i] = b_nulls[i];
+  } else if (b_nulls == nullptr) {
+    for (size_t i = 0; i < n; ++i) out[i] = a_nulls[i];
+  } else {
+    for (size_t i = 0; i < n; ++i) out[i] = a_nulls[i] | b_nulls[i];
+  }
+}
+
+void EvalI64ColConst(CmpOp op, const int64_t* vals, const uint8_t* nulls,
+                     const uint32_t* sel, size_t n, int64_t constant,
+                     int64_t* out_vals, uint8_t* out_nulls) {
+  if (!SelIsIdentity(sel, n)) {
+    ScalarEvalColConst(op, vals, nulls, sel, n, constant, out_vals,
+                       out_nulls);
+    return;
+  }
+  const __m128i c = _mm_set1_epi64x(constant);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(vals + i));
+    StoreBoolPayload(CmpVecI64(op, v, c), out_vals + i);
+  }
+  for (; i < n; ++i) out_vals[i] = CmpHolds(op, vals[i], constant) ? 1 : 0;
+  OrNullBytes(nulls, nullptr, n, out_nulls);
+}
+
+void EvalF64ColConst(CmpOp op, const double* vals, const uint8_t* nulls,
+                     const uint32_t* sel, size_t n, double constant,
+                     int64_t* out_vals, uint8_t* out_nulls) {
+  if (!SelIsIdentity(sel, n)) {
+    ScalarEvalColConst(op, vals, nulls, sel, n, constant, out_vals,
+                       out_nulls);
+    return;
+  }
+  const __m128d c = _mm_set1_pd(constant);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d v = _mm_loadu_pd(vals + i);
+    StoreBoolPayload(_mm_castpd_si128(CmpVecF64(op, v, c)), out_vals + i);
+  }
+  for (; i < n; ++i) out_vals[i] = CmpHolds(op, vals[i], constant) ? 1 : 0;
+  OrNullBytes(nulls, nullptr, n, out_nulls);
+}
+
+void EvalI64ColCol(CmpOp op, const int64_t* a, const uint8_t* a_nulls,
+                   const int64_t* b, const uint8_t* b_nulls,
+                   const uint32_t* sel, size_t n, int64_t* out_vals,
+                   uint8_t* out_nulls) {
+  if (!SelIsIdentity(sel, n)) {
+    ScalarEvalColCol(op, a, a_nulls, b, b_nulls, sel, n, out_vals, out_nulls);
+    return;
+  }
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i av =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i bv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    StoreBoolPayload(CmpVecI64(op, av, bv), out_vals + i);
+  }
+  for (; i < n; ++i) out_vals[i] = CmpHolds(op, a[i], b[i]) ? 1 : 0;
+  OrNullBytes(a_nulls, b_nulls, n, out_nulls);
+}
+
+void EvalF64ColCol(CmpOp op, const double* a, const uint8_t* a_nulls,
+                   const double* b, const uint8_t* b_nulls,
+                   const uint32_t* sel, size_t n, int64_t* out_vals,
+                   uint8_t* out_nulls) {
+  if (!SelIsIdentity(sel, n)) {
+    ScalarEvalColCol(op, a, a_nulls, b, b_nulls, sel, n, out_vals, out_nulls);
+    return;
+  }
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d av = _mm_loadu_pd(a + i);
+    const __m128d bv = _mm_loadu_pd(b + i);
+    StoreBoolPayload(_mm_castpd_si128(CmpVecF64(op, av, bv)), out_vals + i);
+  }
+  for (; i < n; ++i) out_vals[i] = CmpHolds(op, a[i], b[i]) ? 1 : 0;
+  OrNullBytes(a_nulls, b_nulls, n, out_nulls);
+}
+
+/// Wrapping 64-bit lane multiply from 32x32->64 partial products.
+inline __m128i Mul64(__m128i a, __m128i b) {
+  const __m128i lo = _mm_mul_epu32(a, b);
+  const __m128i hi1 = _mm_mul_epu32(_mm_srli_epi64(a, 32), b);
+  const __m128i hi2 = _mm_mul_epu32(a, _mm_srli_epi64(b, 32));
+  return _mm_add_epi64(lo,
+                       _mm_slli_epi64(_mm_add_epi64(hi1, hi2), 32));
+}
+
+inline __m128i ArithVecI64(ArithOp op, __m128i a, __m128i b) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return _mm_add_epi64(a, b);
+    case ArithOp::kSub:
+      return _mm_sub_epi64(a, b);
+    default:
+      return Mul64(a, b);
+  }
+}
+
+inline __m128d ArithVecF64(ArithOp op, __m128d a, __m128d b) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return _mm_add_pd(a, b);
+    case ArithOp::kSub:
+      return _mm_sub_pd(a, b);
+    default:
+      return _mm_mul_pd(a, b);
+  }
+}
+
+inline void OrNullBytes3(const I64Operand& x, const I64Operand& y,
+                         const I64Operand& z, size_t n, uint8_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t v = x.nulls != nullptr ? x.nulls[i] : 0;
+    v |= y.nulls != nullptr ? y.nulls[i] : 0;
+    v |= z.nulls != nullptr ? z.nulls[i] : 0;
+    out[i] = v;
+  }
+}
+
+inline void OrNullBytes3(const F64Operand& x, const F64Operand& y,
+                         const F64Operand& z, size_t n, uint8_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t v = x.nulls != nullptr ? x.nulls[i] : 0;
+    v |= y.nulls != nullptr ? y.nulls[i] : 0;
+    v |= z.nulls != nullptr ? z.nulls[i] : 0;
+    out[i] = v;
+  }
+}
+
+void FusedArithI64(ArithOp inner, ArithOp outer, bool inner_on_left,
+                   I64Operand x, I64Operand y, I64Operand z,
+                   const uint32_t* sel, size_t n, int64_t* out_vals,
+                   uint8_t* out_nulls) {
+  if (!SelIsIdentity(sel, n)) {
+    ScalarFusedArith<int64_t>(inner, outer, inner_on_left, x, y, z, sel, n,
+                              out_vals, out_nulls);
+    return;
+  }
+  const __m128i xc = _mm_set1_epi64x(x.constant);
+  const __m128i yc = _mm_set1_epi64x(y.constant);
+  const __m128i zc = _mm_set1_epi64x(z.constant);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i xv =
+        x.vals != nullptr
+            ? _mm_loadu_si128(reinterpret_cast<const __m128i*>(x.vals + i))
+            : xc;
+    const __m128i yv =
+        y.vals != nullptr
+            ? _mm_loadu_si128(reinterpret_cast<const __m128i*>(y.vals + i))
+            : yc;
+    const __m128i zv =
+        z.vals != nullptr
+            ? _mm_loadu_si128(reinterpret_cast<const __m128i*>(z.vals + i))
+            : zc;
+    const __m128i t = ArithVecI64(inner, xv, yv);
+    const __m128i r = inner_on_left ? ArithVecI64(outer, t, zv)
+                                    : ArithVecI64(outer, zv, t);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out_vals + i), r);
+  }
+  for (; i < n; ++i) {
+    const uint32_t row = static_cast<uint32_t>(i);
+    const int64_t t =
+        ArithApply(inner, OperandAt<int64_t>(x, row), OperandAt<int64_t>(y, row));
+    const int64_t zv = OperandAt<int64_t>(z, row);
+    out_vals[i] =
+        inner_on_left ? ArithApply(outer, t, zv) : ArithApply(outer, zv, t);
+  }
+  OrNullBytes3(x, y, z, n, out_nulls);
+}
+
+void FusedArithF64(ArithOp inner, ArithOp outer, bool inner_on_left,
+                   F64Operand x, F64Operand y, F64Operand z,
+                   const uint32_t* sel, size_t n, double* out_vals,
+                   uint8_t* out_nulls) {
+  if (!SelIsIdentity(sel, n)) {
+    ScalarFusedArith<double>(inner, outer, inner_on_left, x, y, z, sel, n,
+                             out_vals, out_nulls);
+    return;
+  }
+  const __m128d xc = _mm_set1_pd(x.constant);
+  const __m128d yc = _mm_set1_pd(y.constant);
+  const __m128d zc = _mm_set1_pd(z.constant);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d xv = x.vals != nullptr ? _mm_loadu_pd(x.vals + i) : xc;
+    const __m128d yv = y.vals != nullptr ? _mm_loadu_pd(y.vals + i) : yc;
+    const __m128d zv = z.vals != nullptr ? _mm_loadu_pd(z.vals + i) : zc;
+    const __m128d t = ArithVecF64(inner, xv, yv);
+    const __m128d r = inner_on_left ? ArithVecF64(outer, t, zv)
+                                    : ArithVecF64(outer, zv, t);
+    _mm_storeu_pd(out_vals + i, r);
+  }
+  for (; i < n; ++i) {
+    const uint32_t row = static_cast<uint32_t>(i);
+    const double t =
+        ArithApply(inner, OperandAt<double>(x, row), OperandAt<double>(y, row));
+    const double zv = OperandAt<double>(z, row);
+    out_vals[i] =
+        inner_on_left ? ArithApply(outer, t, zv) : ArithApply(outer, zv, t);
+  }
+  OrNullBytes3(x, y, z, n, out_nulls);
+}
+
+}  // namespace
+
+const KernelTable* GetSse2KernelTable() {
+  static const KernelTable table = [] {
+    KernelTable t;
+    t.isa = Isa::kSse2;
+    t.filter_i64_col_const = FilterI64ColConst;
+    t.filter_f64_col_const = FilterF64ColConst;
+    t.filter_i64_col_col = FilterI64ColCol;
+    t.filter_f64_col_col = FilterF64ColCol;
+    t.eval_i64_col_const = EvalI64ColConst;
+    t.eval_f64_col_const = EvalF64ColConst;
+    t.eval_i64_col_col = EvalI64ColCol;
+    t.eval_f64_col_col = EvalF64ColCol;
+    t.fused_arith_i64 = FusedArithI64;
+    t.fused_arith_f64 = FusedArithF64;
+    return t;
+  }();
+  return &table;
+}
+
+}  // namespace vdb::plan::kernels
+
+#else  // !x86-64
+
+#include "plan/kernels/kernels_isa.h"
+
+namespace vdb::plan::kernels {
+const KernelTable* GetSse2KernelTable() { return nullptr; }
+}  // namespace vdb::plan::kernels
+
+#endif

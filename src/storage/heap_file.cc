@@ -181,17 +181,12 @@ Status HeapFile::RestorePage(const Page& image, Lsn page_lsn) {
   return Status::OK();
 }
 
-Result<bool> HeapFile::ReadPageForScan(
-    size_t page_index, std::string* storage,
-    std::vector<RecordView>* out) const {
-  out->clear();
-  if (page_index >= pages_.size()) return false;
-  const PageId page_id = pages_[page_index];
-  VDB_ASSIGN_OR_RETURN(
-      Page * page, pool_->FetchPage(page_id, AccessPattern::kSequential));
-  storage->assign(page->data(), kPageSize);
-  VDB_RETURN_NOT_OK(pool_->UnpinPage(page_id, /*dirty=*/false));
-  const char* data = storage->data();
+namespace {
+
+// Shared slot-directory walk for both scan variants: fills `out` with
+// views of the live records of the page bytes at `data`.
+void CollectLiveRecords(const char* data, PageId page_id,
+                        std::vector<HeapFile::RecordView>* out) {
   uint16_t num_slots = 0;
   std::memcpy(&num_slots, data + kNumSlotsOff, sizeof(num_slots));
   out->reserve(num_slots);
@@ -203,9 +198,41 @@ Result<bool> HeapFile::ReadPageForScan(
     std::memcpy(&length, data + kSlotsStart + slot * kSlotSize + 2,
                 sizeof(length));
     if (offset == 0) continue;
-    out->push_back(RecordView{RecordId{page_id, slot},
-                              std::string_view(data + offset, length)});
+    out->push_back(HeapFile::RecordView{
+        RecordId{page_id, slot}, std::string_view(data + offset, length)});
   }
+}
+
+}  // namespace
+
+Result<bool> HeapFile::ReadPageForScan(
+    size_t page_index, std::string* storage,
+    std::vector<RecordView>* out) const {
+  out->clear();
+  if (page_index >= pages_.size()) return false;
+  const PageId page_id = pages_[page_index];
+  VDB_ASSIGN_OR_RETURN(
+      Page * page, pool_->FetchPage(page_id, AccessPattern::kSequential));
+  storage->assign(page->data(), kPageSize);
+  VDB_RETURN_NOT_OK(pool_->UnpinPage(page_id, /*dirty=*/false));
+  CollectLiveRecords(storage->data(), page_id, out);
+  return true;
+}
+
+Result<bool> HeapFile::ReadPageForScanPinned(
+    size_t page_index, ScanPagePin* pin,
+    std::vector<RecordView>* out) const {
+  out->clear();
+  // Release the previous page before fetching: with a near-full pool the
+  // old pin could otherwise block the eviction the fetch needs.
+  pin->Release();
+  if (page_index >= pages_.size()) return false;
+  const PageId page_id = pages_[page_index];
+  VDB_ASSIGN_OR_RETURN(
+      Page * page, pool_->FetchPage(page_id, AccessPattern::kSequential));
+  pin->pool_ = pool_;
+  pin->page_id_ = page_id;
+  CollectLiveRecords(page->data(), page_id, out);
   return true;
 }
 

@@ -82,10 +82,43 @@ class HeapFile {
   /// with views of its live records, backed by `storage` (the raw page
   /// bytes, reused across calls — views stay valid until the next call).
   /// Returns false once `page_index` is past the last page. Used by the
-  /// batch executor to scan a page at a time without allocating a string
-  /// per record the way Iterator does.
+  /// morsel coordinator, which needs self-contained page bytes to hand
+  /// to workers.
   Result<bool> ReadPageForScan(size_t page_index, std::string* storage,
                                std::vector<RecordView>* out) const;
+
+  /// Holds the buffer-pool pin backing a zero-copy page scan. Views from
+  /// ReadPageForScanPinned stay valid until the next call with the same
+  /// pin (which releases the previous page first) or Release(); the
+  /// destructor releases too, so an abandoned scan cannot leak a pin.
+  /// A scan holds at most one pinned page at a time.
+  class ScanPagePin {
+   public:
+    ScanPagePin() = default;
+    ~ScanPagePin() { Release(); }
+    ScanPagePin(const ScanPagePin&) = delete;
+    ScanPagePin& operator=(const ScanPagePin&) = delete;
+
+    void Release() {
+      if (pool_ != nullptr) {
+        (void)pool_->UnpinPage(page_id_, /*dirty=*/false);
+        pool_ = nullptr;
+      }
+    }
+
+   private:
+    friend class HeapFile;
+    BufferPool* pool_ = nullptr;
+    PageId page_id_ = kInvalidPageId;
+  };
+
+  /// Zero-copy variant of ReadPageForScan for the serial batch executor:
+  /// record views point straight into the pinned frame (no page-sized
+  /// copy per page). The pin keeps the frame from being evicted while
+  /// the caller deserializes; page charges are identical to the copying
+  /// variant (same FetchPage access pattern).
+  Result<bool> ReadPageForScanPinned(size_t page_index, ScanPagePin* pin,
+                                     std::vector<RecordView>* out) const;
 
   // --- Durability hooks (DESIGN.md §14) ---------------------------------
   //

@@ -15,6 +15,7 @@
 
 #include "catalog/catalog.h"
 #include "exec/database.h"
+#include "exec/morsel.h"
 #include "obs/metrics.h"
 #include "sim/machine.h"
 #include "sim/virtual_machine.h"
@@ -192,6 +193,102 @@ TEST_F(ParallelEngineTest, LimitShapesNeverDivergeUnderThreads) {
   RunSerialVsParallel("SELECT id FROM big LIMIT 0");
   RunSerialVsParallel("SELECT id FROM big WHERE grp = 5 LIMIT 7");
   RunSerialVsParallel("SELECT id FROM big LIMIT 5000");
+}
+
+TEST_F(ParallelEngineTest, HashJoinProbeParallelizesAcrossUnalignedMorsels) {
+  // The probe side (big, 6500 rows) spans two probe morsels whose
+  // 4096-row boundary falls inside batch 4 — deliberately unaligned with
+  // the 1024-row batch grid. Workers must replay the serial per-row
+  // charge sequence exactly: hash charge per probe row, comparison charge
+  // only for key-equal bucket entries, tuple charge per emit.
+  auto inner = RunSerialVsParallel(
+      "SELECT b.id, s.tag FROM big b, small s WHERE b.grp = s.id "
+      "ORDER BY b.id");
+  EXPECT_FALSE(inner.empty());
+  // Residual predicate on top of the hash key: charged per equal-key
+  // match, so a worker that skipped or double-charged residuals diverges.
+  RunSerialVsParallel(
+      "SELECT b.id, s.tag FROM big b, small s "
+      "WHERE b.grp = s.id AND b.id > s.id * 10 ORDER BY b.id");
+  // LEFT JOIN emits unmatched probe rows post-scan of each bucket.
+  RunSerialVsParallel(
+      "SELECT b.id, s.tag FROM big b LEFT JOIN small s ON b.grp = s.id "
+      "AND s.id > 8 ORDER BY b.id, s.tag");
+}
+
+TEST_F(ParallelEngineTest, HashJoinProbeWithEmptyBuildSide) {
+  // An empty build table still probes every row (hash charges) but never
+  // matches; inner joins emit nothing, left joins emit all-NULL padding.
+  EXPECT_TRUE(RunSerialVsParallel(
+                  "SELECT b.id, n.val FROM big b, nothing n "
+                  "WHERE b.id = n.id")
+                  .empty());
+  auto padded = RunSerialVsParallel(
+      "SELECT b.id, n.val FROM big b LEFT JOIN nothing n ON b.id = n.id "
+      "ORDER BY b.id");
+  EXPECT_EQ(padded.size(), static_cast<size_t>(kBigRows));
+  ASSERT_FALSE(padded.empty());
+  EXPECT_TRUE(padded[0][1].is_null());
+}
+
+TEST_F(ParallelEngineTest, SemiAndAntiJoinProbesMatchSerial) {
+  // EXISTS / NOT IN plan into semi / anti hash joins, whose probe loops
+  // break on the first passing match — the charge replay must stop at
+  // exactly the same bucket entry the serial loop stops at.
+  RunSerialVsParallel(
+      "SELECT id FROM big b WHERE EXISTS "
+      "(SELECT 1 FROM small s WHERE s.id = b.grp) ORDER BY id");
+  RunSerialVsParallel(
+      "SELECT id FROM big b WHERE NOT EXISTS "
+      "(SELECT 1 FROM small s WHERE s.id = b.grp) ORDER BY id");
+}
+
+TEST_F(ParallelEngineTest, SharedAggregateThresholdIsExact) {
+  // The wide-group gate must flip exactly at the exported threshold.
+  EXPECT_FALSE(UseSharedAggregate(kSharedAggregateMinGroups - 1.0, 1));
+  EXPECT_FALSE(UseSharedAggregate(kSharedAggregateMinGroups, 1));
+  EXPECT_TRUE(UseSharedAggregate(kSharedAggregateMinGroups + 1.0, 1));
+  // Global aggregates (no keys) never share, whatever the estimate says.
+  EXPECT_FALSE(UseSharedAggregate(kSharedAggregateMinGroups + 1.0, 0));
+}
+
+TEST_F(ParallelEngineTest, WideGroupAggregateUsesSharedIndex) {
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Counter* shared = registry.GetCounter("exec.morsel.shared_agg");
+  registry.set_enabled(true);
+  // GROUP BY id: ~6500 estimated groups, above the sharing threshold.
+  // The serial leg of RunSerialVsParallel never builds a shared index
+  // (no morsel pipeline), the parallel leg must build exactly one — and
+  // rows and charges still match the serial run bitwise.
+  uint64_t before = shared->value();
+  auto wide = RunSerialVsParallel(
+      "SELECT id, COUNT(*), SUM(val) FROM big GROUP BY id");
+  EXPECT_EQ(wide.size(), static_cast<size_t>(kBigRows));
+  EXPECT_EQ(shared->value(), before + 1)
+      << "wide aggregate must take the shared-index path once (parallel "
+         "leg only)";
+  // GROUP BY grp: 17 groups, far below the threshold — the per-morsel
+  // partial-map path stays in effect and no index is built.
+  before = shared->value();
+  RunSerialVsParallel("SELECT grp, COUNT(*) FROM big GROUP BY grp");
+  EXPECT_EQ(shared->value(), before)
+      << "narrow aggregate must not take the shared-index path";
+  registry.set_enabled(false);
+}
+
+TEST_F(ParallelEngineTest, DistinctWideGroupStaysSerial) {
+  // DISTINCT partials cannot merge, so even a wide group estimate must
+  // not reach the shared index — the aggregate falls back to the serial
+  // operator entirely.
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Counter* shared = registry.GetCounter("exec.morsel.shared_agg");
+  registry.set_enabled(true);
+  const uint64_t before = shared->value();
+  auto rows = RunSerialVsParallel(
+      "SELECT id, COUNT(DISTINCT name) FROM big GROUP BY id");
+  EXPECT_EQ(rows.size(), static_cast<size_t>(kBigRows));
+  EXPECT_EQ(shared->value(), before);
+  registry.set_enabled(false);
 }
 
 TEST_F(ParallelEngineTest, MorselPathActuallyRunsWhenParallel) {

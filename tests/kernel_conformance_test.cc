@@ -1,0 +1,471 @@
+// Conformance matrix for the SIMD expression kernels (src/plan/kernels/):
+// every kernel of every compiled-in ISA table must produce byte-identical
+// outputs to the scalar reference table over adversarial batches —
+// all-NULL / null-free / alternating null maps, dense, sparse, and empty
+// selection vectors, batch sizes around the SIMD width and the default
+// batch size, and payloads seeded with NaN, ±0.0, INT64_MIN/MAX.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "plan/kernels/kernels.h"
+#include "plan/kernels/kernels_isa.h"
+
+namespace vdb::plan::kernels {
+namespace {
+
+constexpr CmpOp kAllCmpOps[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                                CmpOp::kLe, CmpOp::kGt, CmpOp::kGe};
+constexpr ArithOp kAllArithOps[] = {ArithOp::kAdd, ArithOp::kSub,
+                                    ArithOp::kMul};
+constexpr size_t kBatchSizes[] = {0, 1, 2, 3, 7, 1023, 1024, 1025};
+
+std::vector<const KernelTable*> NonScalarTables() {
+  std::vector<const KernelTable*> tables;
+  for (int i = 1; i < kNumIsas; ++i) {
+    const KernelTable* t = TableFor(static_cast<Isa>(i));
+    if (t != nullptr) tables.push_back(t);
+  }
+  return tables;
+}
+
+// Null-map shapes the matrix sweeps for each operand.
+enum class NullShape { kNone, kAll, kAlternating, kSparse };
+constexpr NullShape kNullShapes[] = {NullShape::kNone, NullShape::kAll,
+                                     NullShape::kAlternating,
+                                     NullShape::kSparse};
+
+std::vector<uint8_t> MakeNulls(NullShape shape, size_t n) {
+  std::vector<uint8_t> nulls(n, 0);
+  switch (shape) {
+    case NullShape::kNone:
+      break;
+    case NullShape::kAll:
+      std::fill(nulls.begin(), nulls.end(), 1);
+      break;
+    case NullShape::kAlternating:
+      for (size_t i = 0; i < n; i += 2) nulls[i] = 1;
+      break;
+    case NullShape::kSparse:
+      for (size_t i = 0; i < n; i += 97) nulls[i] = 1;
+      break;
+  }
+  return nulls;
+}
+
+// Selection-vector shapes: identity (SIMD path), sparse and dense
+// non-identity subsets (scalar fallback path), and empty.
+enum class SelShape { kIdentity, kSparse, kDenseOffset, kEmpty };
+constexpr SelShape kSelShapes[] = {SelShape::kIdentity, SelShape::kSparse,
+                                   SelShape::kDenseOffset, SelShape::kEmpty};
+
+std::vector<uint32_t> MakeSel(SelShape shape, size_t n) {
+  std::vector<uint32_t> sel;
+  switch (shape) {
+    case SelShape::kIdentity:
+      for (size_t i = 0; i < n; ++i) sel.push_back(static_cast<uint32_t>(i));
+      break;
+    case SelShape::kSparse:
+      for (size_t i = 0; i < n; i += 3) sel.push_back(static_cast<uint32_t>(i));
+      break;
+    case SelShape::kDenseOffset:
+      // Dense run that skips row 0, so SelIsIdentity is false even though
+      // consecutive rows are adjacent.
+      for (size_t i = 1; i < n; ++i) sel.push_back(static_cast<uint32_t>(i));
+      break;
+    case SelShape::kEmpty:
+      break;
+  }
+  return sel;
+}
+
+std::vector<int64_t> MakeInt64Payload(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<int64_t> vals(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (i % 7) {
+      case 0:
+        vals[i] = 0;
+        break;
+      case 1:
+        vals[i] = std::numeric_limits<int64_t>::min();
+        break;
+      case 2:
+        vals[i] = std::numeric_limits<int64_t>::max();
+        break;
+      case 3:
+        vals[i] = -1;
+        break;
+      case 4:
+        vals[i] = 42;
+        break;
+      default:
+        vals[i] = static_cast<int64_t>(rng());
+        break;
+    }
+  }
+  return vals;
+}
+
+std::vector<double> MakeDoublePayload(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1e6, 1e6);
+  std::vector<double> vals(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (i % 8) {
+      case 0:
+        vals[i] = std::numeric_limits<double>::quiet_NaN();
+        break;
+      case 1:
+        vals[i] = 0.0;
+        break;
+      case 2:
+        vals[i] = -0.0;
+        break;
+      case 3:
+        vals[i] = std::numeric_limits<double>::infinity();
+        break;
+      case 4:
+        vals[i] = -std::numeric_limits<double>::infinity();
+        break;
+      case 5:
+        vals[i] = 42.5;
+        break;
+      default:
+        vals[i] = dist(rng);
+        break;
+    }
+  }
+  return vals;
+}
+
+std::string CaseLabel(const char* isa, size_t n, int null_shape,
+                      int sel_shape, int op) {
+  return std::string("isa=") + isa + " n=" + std::to_string(n) +
+         " nulls=" + std::to_string(null_shape) +
+         " sel=" + std::to_string(sel_shape) + " op=" + std::to_string(op);
+}
+
+TEST(KernelConformance, AtLeastSse2IsCompiledInOnX86) {
+#if defined(__x86_64__) || defined(_M_X64)
+  EXPECT_NE(TableFor(Isa::kSse2), nullptr);
+#else
+  GTEST_SKIP() << "non-x86 target: only the scalar table is expected";
+#endif
+}
+
+TEST(KernelConformance, FilterInt64ColConst) {
+  const KernelTable* ref = TableFor(Isa::kScalar);
+  ASSERT_NE(ref, nullptr);
+  for (const KernelTable* table : NonScalarTables()) {
+    for (size_t n : kBatchSizes) {
+      const std::vector<int64_t> vals = MakeInt64Payload(n, 0x1234 + n);
+      for (NullShape null_shape : kNullShapes) {
+        const std::vector<uint8_t> nulls = MakeNulls(null_shape, n);
+        const uint8_t* nulls_ptr =
+            null_shape == NullShape::kNone ? nullptr : nulls.data();
+        for (SelShape sel_shape : kSelShapes) {
+          const std::vector<uint32_t> base_sel = MakeSel(sel_shape, n);
+          for (CmpOp op : kAllCmpOps) {
+            for (int64_t constant :
+                 {int64_t{0}, int64_t{42},
+                  std::numeric_limits<int64_t>::min(),
+                  std::numeric_limits<int64_t>::max()}) {
+              std::vector<uint32_t> expect_sel = base_sel;
+              std::vector<uint32_t> got_sel = base_sel;
+              const size_t expect_kept = ref->filter_i64_col_const(
+                  op, vals.data(), nulls_ptr, expect_sel.data(),
+                  expect_sel.size(), constant);
+              const size_t got_kept = table->filter_i64_col_const(
+                  op, vals.data(), nulls_ptr, got_sel.data(), got_sel.size(),
+                  constant);
+              expect_sel.resize(expect_kept);
+              got_sel.resize(got_kept);
+              ASSERT_EQ(expect_sel, got_sel)
+                  << CaseLabel(IsaName(table->isa), n,
+                               static_cast<int>(null_shape),
+                               static_cast<int>(sel_shape),
+                               static_cast<int>(op))
+                  << " const=" << constant;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelConformance, FilterDoubleColConst) {
+  const KernelTable* ref = TableFor(Isa::kScalar);
+  ASSERT_NE(ref, nullptr);
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  for (const KernelTable* table : NonScalarTables()) {
+    for (size_t n : kBatchSizes) {
+      const std::vector<double> vals = MakeDoublePayload(n, 0x9876 + n);
+      for (NullShape null_shape : kNullShapes) {
+        const std::vector<uint8_t> nulls = MakeNulls(null_shape, n);
+        const uint8_t* nulls_ptr =
+            null_shape == NullShape::kNone ? nullptr : nulls.data();
+        for (SelShape sel_shape : kSelShapes) {
+          const std::vector<uint32_t> base_sel = MakeSel(sel_shape, n);
+          for (CmpOp op : kAllCmpOps) {
+            for (double constant : {0.0, -0.0, 42.5, kNan}) {
+              std::vector<uint32_t> expect_sel = base_sel;
+              std::vector<uint32_t> got_sel = base_sel;
+              const size_t expect_kept = ref->filter_f64_col_const(
+                  op, vals.data(), nulls_ptr, expect_sel.data(),
+                  expect_sel.size(), constant);
+              const size_t got_kept = table->filter_f64_col_const(
+                  op, vals.data(), nulls_ptr, got_sel.data(), got_sel.size(),
+                  constant);
+              expect_sel.resize(expect_kept);
+              got_sel.resize(got_kept);
+              ASSERT_EQ(expect_sel, got_sel)
+                  << CaseLabel(IsaName(table->isa), n,
+                               static_cast<int>(null_shape),
+                               static_cast<int>(sel_shape),
+                               static_cast<int>(op))
+                  << " const=" << constant;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelConformance, FilterColCol) {
+  const KernelTable* ref = TableFor(Isa::kScalar);
+  ASSERT_NE(ref, nullptr);
+  for (const KernelTable* table : NonScalarTables()) {
+    for (size_t n : kBatchSizes) {
+      const std::vector<int64_t> ia = MakeInt64Payload(n, 0x11 + n);
+      const std::vector<int64_t> ib = MakeInt64Payload(n, 0x22 + n);
+      const std::vector<double> da = MakeDoublePayload(n, 0x33 + n);
+      const std::vector<double> db = MakeDoublePayload(n, 0x44 + n);
+      for (NullShape a_shape : kNullShapes) {
+        const std::vector<uint8_t> a_nulls = MakeNulls(a_shape, n);
+        const uint8_t* a_ptr =
+            a_shape == NullShape::kNone ? nullptr : a_nulls.data();
+        for (NullShape b_shape : {NullShape::kNone, NullShape::kAlternating}) {
+          const std::vector<uint8_t> b_nulls = MakeNulls(b_shape, n);
+          const uint8_t* b_ptr =
+              b_shape == NullShape::kNone ? nullptr : b_nulls.data();
+          for (SelShape sel_shape : kSelShapes) {
+            const std::vector<uint32_t> base_sel = MakeSel(sel_shape, n);
+            for (CmpOp op : kAllCmpOps) {
+              {
+                std::vector<uint32_t> expect_sel = base_sel;
+                std::vector<uint32_t> got_sel = base_sel;
+                const size_t ek = ref->filter_i64_col_col(
+                    op, ia.data(), a_ptr, ib.data(), b_ptr, expect_sel.data(),
+                    expect_sel.size());
+                const size_t gk = table->filter_i64_col_col(
+                    op, ia.data(), a_ptr, ib.data(), b_ptr, got_sel.data(),
+                    got_sel.size());
+                expect_sel.resize(ek);
+                got_sel.resize(gk);
+                ASSERT_EQ(expect_sel, got_sel)
+                    << "i64 "
+                    << CaseLabel(IsaName(table->isa), n,
+                                 static_cast<int>(a_shape),
+                                 static_cast<int>(sel_shape),
+                                 static_cast<int>(op));
+              }
+              {
+                std::vector<uint32_t> expect_sel = base_sel;
+                std::vector<uint32_t> got_sel = base_sel;
+                const size_t ek = ref->filter_f64_col_col(
+                    op, da.data(), a_ptr, db.data(), b_ptr, expect_sel.data(),
+                    expect_sel.size());
+                const size_t gk = table->filter_f64_col_col(
+                    op, da.data(), a_ptr, db.data(), b_ptr, got_sel.data(),
+                    got_sel.size());
+                expect_sel.resize(ek);
+                got_sel.resize(gk);
+                ASSERT_EQ(expect_sel, got_sel)
+                    << "f64 "
+                    << CaseLabel(IsaName(table->isa), n,
+                                 static_cast<int>(a_shape),
+                                 static_cast<int>(sel_shape),
+                                 static_cast<int>(op));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelConformance, EvalCompareByteIdentical) {
+  const KernelTable* ref = TableFor(Isa::kScalar);
+  ASSERT_NE(ref, nullptr);
+  for (const KernelTable* table : NonScalarTables()) {
+    for (size_t n : kBatchSizes) {
+      const std::vector<int64_t> ia = MakeInt64Payload(n, 0x55 + n);
+      const std::vector<int64_t> ib = MakeInt64Payload(n, 0x66 + n);
+      const std::vector<double> da = MakeDoublePayload(n, 0x77 + n);
+      const std::vector<double> db = MakeDoublePayload(n, 0x88 + n);
+      for (NullShape null_shape : kNullShapes) {
+        const std::vector<uint8_t> nulls = MakeNulls(null_shape, n);
+        const uint8_t* nulls_ptr =
+            null_shape == NullShape::kNone ? nullptr : nulls.data();
+        for (SelShape sel_shape : kSelShapes) {
+          const std::vector<uint32_t> sel = MakeSel(sel_shape, n);
+          const size_t out_n = sel.size();
+          for (CmpOp op : kAllCmpOps) {
+            // col vs const, int64 and double channels.
+            std::vector<int64_t> ev(out_n, -7), gv(out_n, -7);
+            std::vector<uint8_t> en(out_n, 9), gn(out_n, 9);
+            ref->eval_i64_col_const(op, ia.data(), nulls_ptr, sel.data(),
+                                    out_n, 42, ev.data(), en.data());
+            table->eval_i64_col_const(op, ia.data(), nulls_ptr, sel.data(),
+                                      out_n, 42, gv.data(), gn.data());
+            ASSERT_EQ(ev, gv) << CaseLabel(IsaName(table->isa), n,
+                                           static_cast<int>(null_shape),
+                                           static_cast<int>(sel_shape),
+                                           static_cast<int>(op));
+            ASSERT_EQ(en, gn);
+            ref->eval_f64_col_const(op, da.data(), nulls_ptr, sel.data(),
+                                    out_n, 0.0, ev.data(), en.data());
+            table->eval_f64_col_const(op, da.data(), nulls_ptr, sel.data(),
+                                      out_n, 0.0, gv.data(), gn.data());
+            ASSERT_EQ(ev, gv);
+            ASSERT_EQ(en, gn);
+            // col vs col on both channels.
+            ref->eval_i64_col_col(op, ia.data(), nulls_ptr, ib.data(), nullptr,
+                                  sel.data(), out_n, ev.data(), en.data());
+            table->eval_i64_col_col(op, ia.data(), nulls_ptr, ib.data(),
+                                    nullptr, sel.data(), out_n, gv.data(),
+                                    gn.data());
+            ASSERT_EQ(ev, gv);
+            ASSERT_EQ(en, gn);
+            ref->eval_f64_col_col(op, da.data(), nulls_ptr, db.data(), nullptr,
+                                  sel.data(), out_n, ev.data(), en.data());
+            table->eval_f64_col_col(op, da.data(), nulls_ptr, db.data(),
+                                    nullptr, sel.data(), out_n, gv.data(),
+                                    gn.data());
+            ASSERT_EQ(ev, gv);
+            ASSERT_EQ(en, gn);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelConformance, FusedArithByteIdentical) {
+  const KernelTable* ref = TableFor(Isa::kScalar);
+  ASSERT_NE(ref, nullptr);
+  for (const KernelTable* table : NonScalarTables()) {
+    for (size_t n : kBatchSizes) {
+      const std::vector<int64_t> ix = MakeInt64Payload(n, 0xa1 + n);
+      const std::vector<int64_t> iy = MakeInt64Payload(n, 0xb2 + n);
+      const std::vector<int64_t> iz = MakeInt64Payload(n, 0xc3 + n);
+      const std::vector<double> dx = MakeDoublePayload(n, 0xd4 + n);
+      const std::vector<double> dy = MakeDoublePayload(n, 0xe5 + n);
+      const std::vector<double> dz = MakeDoublePayload(n, 0xf6 + n);
+      const std::vector<uint8_t> x_nulls = MakeNulls(NullShape::kAlternating, n);
+      const std::vector<uint8_t> z_nulls = MakeNulls(NullShape::kSparse, n);
+      for (SelShape sel_shape : kSelShapes) {
+        const std::vector<uint32_t> sel = MakeSel(sel_shape, n);
+        const size_t out_n = sel.size();
+        for (ArithOp inner : kAllArithOps) {
+          for (ArithOp outer : kAllArithOps) {
+            for (bool inner_on_left : {true, false}) {
+              for (bool y_is_const : {false, true}) {
+                I64Operand x{ix.data(), x_nulls.data(), 0};
+                I64Operand y =
+                    y_is_const ? I64Operand{nullptr, nullptr, -3}
+                               : I64Operand{iy.data(), nullptr, 0};
+                I64Operand z{iz.data(), z_nulls.data(), 0};
+                std::vector<int64_t> ev(out_n, -7), gv(out_n, -7);
+                std::vector<uint8_t> en(out_n, 9), gn(out_n, 9);
+                ref->fused_arith_i64(inner, outer, inner_on_left, x, y, z,
+                                     sel.data(), out_n, ev.data(), en.data());
+                table->fused_arith_i64(inner, outer, inner_on_left, x, y, z,
+                                       sel.data(), out_n, gv.data(),
+                                       gn.data());
+                ASSERT_EQ(ev, gv)
+                    << "i64 " << IsaName(table->isa) << " n=" << n
+                    << " inner=" << static_cast<int>(inner)
+                    << " outer=" << static_cast<int>(outer)
+                    << " left=" << inner_on_left << " yconst=" << y_is_const;
+                ASSERT_EQ(en, gn);
+
+                F64Operand fx{dx.data(), x_nulls.data(), 0.0};
+                F64Operand fy =
+                    y_is_const ? F64Operand{nullptr, nullptr, 2.5}
+                               : F64Operand{dy.data(), nullptr, 0.0};
+                F64Operand fz{dz.data(), z_nulls.data(), 0.0};
+                std::vector<double> fev(out_n, -7.0), fgv(out_n, -7.0);
+                ref->fused_arith_f64(inner, outer, inner_on_left, fx, fy, fz,
+                                     sel.data(), out_n, fev.data(),
+                                     en.data());
+                table->fused_arith_f64(inner, outer, inner_on_left, fx, fy,
+                                       fz, sel.data(), out_n, fgv.data(),
+                                       gn.data());
+                // Bitwise comparison (NaN != NaN under operator==).
+                ASSERT_EQ(0, std::memcmp(fev.data(), fgv.data(),
+                                         out_n * sizeof(double)))
+                    << "f64 " << IsaName(table->isa) << " n=" << n
+                    << " inner=" << static_cast<int>(inner)
+                    << " outer=" << static_cast<int>(outer)
+                    << " left=" << inner_on_left << " yconst=" << y_is_const;
+                ASSERT_EQ(en, gn);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, EnvEscapeHatchAndSetActiveIsa) {
+  const Isa original = ActiveIsa();
+  EXPECT_TRUE(SetActiveIsa(Isa::kScalar));
+  EXPECT_EQ(ActiveIsa(), Isa::kScalar);
+  EXPECT_EQ(Active().isa, Isa::kScalar);
+#if defined(__x86_64__) || defined(_M_X64)
+  EXPECT_TRUE(SetActiveIsa(Isa::kSse2));
+  EXPECT_EQ(ActiveIsa(), Isa::kSse2);
+#endif
+  // Restoring the startup table must always succeed.
+  EXPECT_TRUE(SetActiveIsa(original));
+  EXPECT_EQ(ActiveIsa(), original);
+  EXPECT_STREQ(IsaName(Isa::kScalar), "scalar");
+  EXPECT_STREQ(IsaName(Isa::kSse2), "sse2");
+  EXPECT_STREQ(IsaName(Isa::kAvx2), "avx2");
+}
+
+TEST(KernelDispatch, HasNullsProbesExactPrefix) {
+  std::vector<uint8_t> nulls(100, 0);
+  EXPECT_FALSE(HasNulls(nulls.data(), nulls.size()));
+  EXPECT_FALSE(HasNulls(nullptr, 50));
+  nulls[99] = 1;
+  EXPECT_TRUE(HasNulls(nulls.data(), 100));
+  EXPECT_FALSE(HasNulls(nulls.data(), 99));
+  EXPECT_FALSE(HasNulls(nulls.data(), 0));
+}
+
+TEST(KernelDispatch, SelIsIdentityChecksEndpoints) {
+  std::vector<uint32_t> sel = {0, 1, 2, 3};
+  EXPECT_TRUE(SelIsIdentity(sel.data(), sel.size()));
+  EXPECT_TRUE(SelIsIdentity(sel.data(), 0));
+  std::vector<uint32_t> gap = {0, 2, 3};
+  EXPECT_FALSE(SelIsIdentity(gap.data(), gap.size()));
+  std::vector<uint32_t> offset = {1, 2, 3};
+  EXPECT_FALSE(SelIsIdentity(offset.data(), offset.size()));
+}
+
+}  // namespace
+}  // namespace vdb::plan::kernels

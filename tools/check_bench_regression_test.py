@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench_regression.py (the CI perf gate).
+
+Runs the gate as a subprocess against synthetic baseline/report files in
+a temp directory and asserts on exit code + output, so the tests cover
+the same surface CI uses: direction-aware gating (lower-is-better
+timings vs higher-is-better throughput entries), the --require contract,
+warn-skip of absent benches/keys, the min_seconds noise floor, ratchet
+reminders, and structural validation of malformed reports.
+
+Registered in ctest as `check_bench_regression_test` (tier1); also
+runnable directly: python3 tools/check_bench_regression_test.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+GATE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "check_bench_regression.py")
+
+
+def write_json(path, payload):
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f)
+
+
+def make_report(bench, timings=None, values=None):
+    return {
+        "bench": bench,
+        "schema_version": 1,
+        "timings": timings or {},
+        "values": values or {},
+    }
+
+
+class GateHarness(unittest.TestCase):
+    """Shared temp-dir scaffolding for gate invocations."""
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.bench_dir = os.path.join(self.tmp.name, "reports")
+        os.mkdir(self.bench_dir)
+        self.baseline_path = os.path.join(self.tmp.name, "baseline.json")
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write_baseline(self, benches, **extra):
+        payload = dict(extra)
+        payload["benches"] = benches
+        write_json(self.baseline_path, payload)
+
+    def write_report(self, bench, timings=None, values=None):
+        write_json(os.path.join(self.bench_dir, f"BENCH_{bench}.json"),
+                   make_report(bench, timings, values))
+
+    def run_gate(self, *args):
+        proc = subprocess.run(
+            [sys.executable, GATE, "--bench-dir", self.bench_dir,
+             "--baseline", self.baseline_path, *args],
+            capture_output=True, text=True, check=False)
+        return proc.returncode, proc.stdout + proc.stderr
+
+
+class DirectionAwareGating(GateHarness):
+    def test_lower_is_better_within_threshold_passes(self):
+        self.write_baseline({"micro": {"total_s": 10.0}}, threshold=0.25)
+        self.write_report("micro", timings={"total_s": 12.0})
+        code, out = self.run_gate()
+        self.assertEqual(code, 0, out)
+        self.assertIn("PASS", out)
+
+    def test_lower_is_better_regression_fails(self):
+        self.write_baseline({"micro": {"total_s": 10.0}}, threshold=0.25)
+        self.write_report("micro", timings={"total_s": 13.0})
+        code, out = self.run_gate()
+        self.assertEqual(code, 1, out)
+        self.assertIn("exceeds baseline", out)
+
+    def test_higher_is_better_drop_fails(self):
+        # A throughput entry is an object with higher_is_better: a value
+        # *below* baseline*(1-threshold) must fail even though it would
+        # pass the lower-is-better rule.
+        self.write_baseline(
+            {"micro": {"BM_Scan/rows_per_sec":
+                       {"value": 100e6, "higher_is_better": True}}},
+            threshold=0.25)
+        self.write_report("micro", values={"BM_Scan/rows_per_sec": 70e6})
+        code, out = self.run_gate()
+        self.assertEqual(code, 1, out)
+        self.assertIn("falls below baseline", out)
+
+    def test_higher_is_better_gain_passes_with_ratchet_hint(self):
+        self.write_baseline(
+            {"micro": {"BM_Scan/rows_per_sec":
+                       {"value": 100e6, "higher_is_better": True}}},
+            threshold=0.25)
+        self.write_report("micro", values={"BM_Scan/rows_per_sec": 140e6})
+        code, out = self.run_gate()
+        self.assertEqual(code, 0, out)
+        self.assertIn("RATCHET", out)
+
+    def test_lower_is_better_gain_prints_ratchet(self):
+        self.write_baseline({"micro": {"total_s": 10.0}}, threshold=0.25)
+        self.write_report("micro", timings={"total_s": 5.0})
+        code, out = self.run_gate()
+        self.assertEqual(code, 0, out)
+        self.assertIn("RATCHET", out)
+
+    def test_threshold_flag_overrides_baseline(self):
+        # 12.0 vs 10.0 passes at the baseline's 25% but fails at --threshold
+        # 0.1, proving the CLI override wins.
+        self.write_baseline({"micro": {"total_s": 10.0}}, threshold=0.25)
+        self.write_report("micro", timings={"total_s": 12.0})
+        code, out = self.run_gate("--threshold", "0.1")
+        self.assertEqual(code, 1, out)
+
+
+class RequireContract(GateHarness):
+    def test_missing_report_skips_with_warning_by_default(self):
+        self.write_baseline({"micro": {"total_s": 10.0},
+                             "other": {"total_s": 1.0}})
+        self.write_report("micro", timings={"total_s": 10.0})
+        code, out = self.run_gate()
+        self.assertEqual(code, 0, out)
+        self.assertIn("WARN", out)
+        self.assertIn("other: no report in this run", out)
+
+    def test_missing_report_fails_when_required(self):
+        self.write_baseline({"micro": {"total_s": 10.0}})
+        code, out = self.run_gate("--require", "micro")
+        self.assertEqual(code, 1, out)
+        self.assertIn("required", out)
+
+    def test_missing_tracked_key_fails_only_when_required(self):
+        self.write_baseline({"micro": {"total_s": 10.0, "gone_s": 1.0}})
+        self.write_report("micro", timings={"total_s": 10.0})
+        code, out = self.run_gate()
+        self.assertEqual(code, 0, out)
+        self.assertIn("micro/gone_s: not reported in this run", out)
+        code, out = self.run_gate("--require", "micro")
+        self.assertEqual(code, 1, out)
+        self.assertIn("tracked key 'gone_s' missing", out)
+
+    def test_require_of_unknown_bench_warns(self):
+        self.write_baseline({"micro": {"total_s": 10.0}})
+        self.write_report("micro", timings={"total_s": 10.0})
+        code, out = self.run_gate("--require", "micro,nonexistent")
+        self.assertEqual(code, 0, out)
+        self.assertIn("no entry in", out)
+
+
+class NoiseFloorAndStructure(GateHarness):
+    def test_timing_below_noise_floor_not_compared(self):
+        # Baseline 0.01s < min_seconds 0.05: a 10x "regression" must be
+        # reported as SKIP(noise), not failed.
+        self.write_baseline({"micro": {"tiny_s": 0.01}})
+        self.write_report("micro", timings={"tiny_s": 0.1})
+        code, out = self.run_gate()
+        self.assertEqual(code, 0, out)
+        self.assertIn("SKIP(noise)", out)
+
+    def test_value_entries_ignore_noise_floor(self):
+        # The floor applies to timings only; a small *value* still gates.
+        self.write_baseline({"micro": {"ratio": 0.01}})
+        self.write_report("micro", values={"ratio": 0.1})
+        code, out = self.run_gate()
+        self.assertEqual(code, 1, out)
+
+    def test_malformed_report_fails(self):
+        self.write_baseline({"micro": {"total_s": 10.0}})
+        write_json(os.path.join(self.bench_dir, "BENCH_micro.json"),
+                   {"bench": "micro", "timings": {"total_s": "fast"}})
+        code, out = self.run_gate()
+        self.assertEqual(code, 1, out)
+        self.assertIn("is not a number", out)
+
+    def test_report_naming_wrong_bench_fails(self):
+        self.write_baseline({"micro": {"total_s": 10.0}})
+        write_json(os.path.join(self.bench_dir, "BENCH_micro.json"),
+                   make_report("something_else", timings={"total_s": 10.0}))
+        code, out = self.run_gate()
+        self.assertEqual(code, 1, out)
+        self.assertIn("expected 'micro'", out)
+
+    def test_missing_baseline_file_fails(self):
+        code, out = self.run_gate()
+        self.assertEqual(code, 1, out)
+        self.assertIn("cannot read", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -13,8 +13,16 @@ floor itself is ratcheted up manually as coverage improves.
 
 Floor format (tools/coverage_floor.json):
 {
-  "line_percent": 55.0
+  "line_percent": 55.0,
+  "directories": {
+    "src/plan/": 70.0
+  }
 }
+
+The optional "directories" map adds per-directory floors: for each
+prefix, line totals are aggregated over the summary's per-file entries
+whose filename starts with that prefix (so hot subsystems can carry a
+tighter floor than the repo-wide one). These are warn-only too.
 
 Only the standard library is used; exit code is always 0 unless the
 inputs themselves are unreadable.
@@ -58,6 +66,25 @@ def main():
               f"{floor_percent:.1f}% (tools/coverage_floor.json)")
     else:
         print("coverage floor satisfied")
+
+    for prefix, dir_floor in sorted(floor.get("directories", {}).items()):
+        covered = 0
+        total = 0
+        for entry in summary.get("files", []):
+            if str(entry.get("filename", "")).startswith(prefix):
+                covered += int(entry.get("line_covered", 0))
+                total += int(entry.get("line_total", 0))
+        if total == 0:
+            print(f"::warning title=Coverage floor has no files::"
+                  f"'{prefix}' matches no files in the summary")
+            continue
+        dir_percent = 100.0 * covered / total
+        print(f"{prefix} line coverage: {dir_percent:.1f}% "
+              f"(floor: {dir_floor:.1f}%, {covered}/{total} lines)")
+        if dir_percent < float(dir_floor):
+            print(f"::warning title=Coverage below floor::{prefix} line "
+                  f"coverage {dir_percent:.1f}% is below its floor "
+                  f"{float(dir_floor):.1f}% (tools/coverage_floor.json)")
     return 0
 
 

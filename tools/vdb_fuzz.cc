@@ -3,7 +3,7 @@
 // Usage:
 //   vdb_fuzz --seeds 0..500              range of seeds, SQL + metamorphic
 //   vdb_fuzz --seed 1234                 one seed
-//   vdb_fuzz --mode sql|metamorphic|wire|crash|all   which checks
+//   vdb_fuzz --mode sql|metamorphic|wire|crash|kernels|all   which checks
 //                                        (default all = sql + metamorphic)
 //   vdb_fuzz --queries N                 SQL queries per seed (default 8)
 //   vdb_fuzz --no-env-invariance         skip environment re-runs (faster)
@@ -15,6 +15,13 @@
 // in-process rows (or the same error code), and a tight-budget tenant
 // must only ever add typed BudgetExceeded errors — never a crash, a
 // malformed frame, or a wedged connection (DESIGN.md §13).
+//
+// --mode kernels runs the kernel differential campaign (DESIGN.md §15):
+// each seed materializes an adversarial numeric stress table plus a
+// random schema, generates kernel-shaped and generic expression trees,
+// and executes every statement under VDB_KERNELS=scalar, the best
+// compiled SIMD table, and the row engine, requiring bitwise-identical
+// rows and simulated charges across all three.
 //
 // --mode crash runs the durability fault-injection campaign (DESIGN.md
 // §14): each seed builds a durable database under a random workload, cuts
@@ -46,6 +53,7 @@
 #include "testing/crash.h"
 #include "testing/differential.h"
 #include "testing/generator.h"
+#include "testing/kernel_fuzz.h"
 #include "testing/metamorphic.h"
 #include "util/random.h"
 
@@ -65,7 +73,7 @@ struct CliOptions {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds A..B | --seed N] [--mode sql|metamorphic"
-               "|wire|crash|all]\n               [--queries N] "
+               "|wire|crash|kernels|all]\n               [--queries N] "
                "[--no-env-invariance]\n",
                argv0);
   return 2;
@@ -336,6 +344,33 @@ int RunCrashCampaign(uint64_t first_seed, uint64_t last_seed) {
   return failures == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// --mode kernels: batch engine under every kernel ISA vs the row engine.
+
+int RunKernelCampaign(uint64_t first_seed, uint64_t last_seed) {
+  vdb::fuzz::KernelFuzzStats stats;
+  int failures = 0;
+  for (uint64_t seed = first_seed; seed <= last_seed; ++seed) {
+    for (const std::string& violation :
+         vdb::fuzz::RunKernelFuzzSeed(seed, &stats)) {
+      std::printf("%s\n", violation.c_str());
+      ++failures;
+    }
+    if ((seed - first_seed) % 50 == 49) {
+      std::printf("... seed %llu: %s, %d failure%s\n",
+                  static_cast<unsigned long long>(seed),
+                  stats.ToString().c_str(), failures,
+                  failures == 1 ? "" : "s");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("kernel seeds %llu..%llu: %s; %d failure%s\n",
+              static_cast<unsigned long long>(first_seed),
+              static_cast<unsigned long long>(last_seed),
+              stats.ToString().c_str(), failures, failures == 1 ? "" : "s");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -361,7 +396,7 @@ int main(int argc, char** argv) {
       options.mode = value;
       if (options.mode != "sql" && options.mode != "metamorphic" &&
           options.mode != "wire" && options.mode != "crash" &&
-          options.mode != "all") {
+          options.mode != "kernels" && options.mode != "all") {
         return Usage(argv[0]);
       }
     } else if (arg == "--queries") {
@@ -382,6 +417,9 @@ int main(int argc, char** argv) {
   }
   if (options.mode == "crash") {
     return RunCrashCampaign(options.first_seed, options.last_seed);
+  }
+  if (options.mode == "kernels") {
+    return RunKernelCampaign(options.first_seed, options.last_seed);
   }
 
   const bool run_sql = options.mode == "sql" || options.mode == "all";
