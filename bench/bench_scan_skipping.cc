@@ -1,0 +1,281 @@
+// Zone-map data skipping at scale (DESIGN.md §16, EXPERIMENTS.md):
+//
+//   1. Selectivity sweep — the same scan+aggregate query runs with
+//      zone-map pruning on and off, over a table whose key is clustered
+//      (insert order == key order, so page min/max ranges are tight) and
+//      over the identical rows shuffled (every page spans the whole key
+//      domain, so nothing can prune). Skipping must win big on clustered
+//      data at low selectivity and must not tax the shuffled scan.
+//   2. Above-spill end-to-end — a scan+sort over a table much larger than
+//      the VM's buffer pool, selective enough to prune most pages but
+//      still sorting more rows than work_mem holds, so the external-sort
+//      path runs. This is the regime the paper cares about: I/O dominates
+//      and physical design (here: data layout) decides the outcome.
+//
+// All speedups are ratios of *simulated* elapsed time, so they are
+// deterministic and gated tightly in bench/baseline.json. Row results are
+// cross-checked between the on/off runs; any divergence fails the bench.
+//
+// Scale knobs (simulated data lives in host RAM):
+//   VDB_BENCH_SCAN_ROWS   rows per sweep table      (default 1,000,000)
+//   VDB_BENCH_SPILL_ROWS  rows in the spill table   (default 4,000,000)
+// The EXPERIMENTS.md multi-GB run uses VDB_BENCH_SPILL_ROWS=16000000
+// (~1.9 GB of heap pages against a ~100 MiB buffer pool).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "catalog/catalog.h"
+#include "catalog/schema.h"
+#include "catalog/value.h"
+#include "exec/database.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace vdb;
+
+uint64_t EnvRows(const char* name, uint64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  const long long parsed = std::atoll(env);
+  return parsed > 0 ? static_cast<uint64_t>(parsed) : fallback;
+}
+
+/// Creates `name(k BIGINT, v DOUBLE, pad VARCHAR)` and fills it with
+/// `rows` rows whose keys are `order[i]` (identity when empty). The pad
+/// column makes rows ~130 bytes so page counts resemble a real table.
+catalog::TableInfo* BuildTable(exec::Database* db, const std::string& name,
+                               uint64_t rows,
+                               const std::vector<uint64_t>& order) {
+  auto table = db->catalog()->CreateTable(
+      name, catalog::Schema({{"k", catalog::TypeId::kInt64},
+                             {"v", catalog::TypeId::kDouble},
+                             {"pad", catalog::TypeId::kString}}));
+  VDB_CHECK_OK(table.status());
+  const std::string pad(100, 'x');
+  for (uint64_t i = 0; i < rows; ++i) {
+    const uint64_t k = order.empty() ? i : order[i];
+    VDB_CHECK_OK(db->catalog()->Insert(
+        *table, {catalog::Value::Int64(static_cast<int64_t>(k)),
+                 catalog::Value::Double(static_cast<double>(k) * 0.5),
+                 catalog::Value::String(pad)}));
+  }
+  return *table;
+}
+
+struct RunResult {
+  double sim_seconds = 0.0;
+  uint64_t pages_pruned = 0;
+  uint64_t pages_scanned = 0;
+  uint64_t physical_reads = 0;
+  std::string rows_text;  // flattened rows, for on/off cross-checking
+};
+
+/// Cold-cache execution of `sql` with zone maps forced to `zone_maps`.
+RunResult RunCold(exec::Database* db, const sim::VirtualMachine& vm,
+                  const std::string& sql, bool zone_maps) {
+  const bool saved = db->zone_maps_enabled();
+  db->set_zone_maps_enabled(zone_maps);
+  VDB_CHECK_OK(db->DropCaches());
+  Result<exec::QueryResult> result = db->Execute(sql, vm);
+  db->set_zone_maps_enabled(saved);
+  VDB_CHECK_OK(result.status());
+  RunResult out;
+  out.sim_seconds = result->elapsed_seconds;
+  out.pages_pruned = result->pages_pruned;
+  out.pages_scanned = result->pages_scanned;
+  out.physical_reads = result->physical_reads;
+  for (const catalog::Tuple& row : result->rows) {
+    for (const catalog::Value& value : row) {
+      out.rows_text += value.is_null() ? "NULL" : value.ToString();
+      out.rows_text.push_back('|');
+    }
+    out.rows_text.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::InitMetrics();
+  bench::BenchReport report("scan_skipping");
+  bench::Stopwatch total;
+  int failures = 0;
+
+  const uint64_t sweep_rows = EnvRows("VDB_BENCH_SCAN_ROWS", 1000000);
+  const uint64_t spill_rows = EnvRows("VDB_BENCH_SPILL_ROWS", 4000000);
+
+  exec::Database db;
+  // A mid-size allocation: enough buffer pool that the sweep tables do
+  // not thrash, small enough that the spill table cannot fit.
+  sim::VirtualMachine vm =
+      bench::MakeVm(bench::ExperimentMachine(), 1.0, 0.25, 1.0);
+  VDB_CHECK_OK(db.ApplyVmConfig(vm));
+
+  bench::PrintTitle("Zone-map data skipping: selectivity sweep");
+  std::fprintf(stderr, "[setup] building 2 x %llu-row sweep tables...\n",
+               static_cast<unsigned long long>(sweep_rows));
+  bench::Stopwatch setup;
+  BuildTable(&db, "events_clustered", sweep_rows, {});
+  std::vector<uint64_t> shuffled(sweep_rows);
+  for (uint64_t i = 0; i < sweep_rows; ++i) shuffled[i] = i;
+  Random rng(7);
+  for (uint64_t i = sweep_rows; i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.Uniform(i)]);
+  }
+  BuildTable(&db, "events_shuffled", sweep_rows, shuffled);
+  report.AddTiming("setup_sweep_s", setup.Seconds());
+
+  std::printf("%-10s %-9s | %10s %10s %8s | %8s %8s\n", "table",
+              "select", "off_ms", "on_ms", "speedup", "pruned", "scanned");
+  bench::PrintRule();
+  double clustered_speedup_1pct = 0.0;
+  double shuffled_ratio_worst = 0.0;  // on/off; > 1 means pruning costs
+  // Note: at very low selectivity even the shuffled table prunes — the
+  // expected minimum of ~60 uniform keys per page is rows/60, so a
+  // `k < rows/10000` cutoff sits below most page minima. That is a real
+  // zone-map property, not a layout artifact; the 100% row makes sure a
+  // predicate nothing can prune costs nothing.
+  for (const double selectivity : {0.0001, 0.001, 0.01, 0.1, 1.0}) {
+    const uint64_t cutoff = std::max<uint64_t>(
+        1, static_cast<uint64_t>(selectivity *
+                                 static_cast<double>(sweep_rows)));
+    for (const char* table : {"events_clustered", "events_shuffled"}) {
+      const std::string sql = "select count(*), sum(v) from " +
+                              std::string(table) + " where k < " +
+                              std::to_string(cutoff);
+      const RunResult off = RunCold(&db, vm, sql, false);
+      const RunResult on = RunCold(&db, vm, sql, true);
+      if (on.rows_text != off.rows_text) {
+        std::fprintf(stderr, "FAIL: rows differ with pruning on (%s)\n",
+                     sql.c_str());
+        ++failures;
+      }
+      const double speedup = off.sim_seconds / on.sim_seconds;
+      std::printf("%-10s %8.2f%% | %10.2f %10.2f %7.1fx | %8llu %8llu\n",
+                  table + 7, 100 * selectivity, 1000 * off.sim_seconds,
+                  1000 * on.sim_seconds, speedup,
+                  static_cast<unsigned long long>(on.pages_pruned),
+                  static_cast<unsigned long long>(on.pages_scanned));
+      const bool clustered = std::string(table) == "events_clustered";
+      if (clustered && selectivity == 0.01) {
+        clustered_speedup_1pct = speedup;
+      }
+      if (!clustered) {
+        shuffled_ratio_worst = std::max(
+            shuffled_ratio_worst, on.sim_seconds / off.sim_seconds);
+      }
+      if (selectivity == 1.0 && on.pages_pruned != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %s pruned %llu pages under a 100%%-"
+                     "selectivity predicate\n",
+                     table,
+                     static_cast<unsigned long long>(on.pages_pruned));
+        ++failures;
+      }
+    }
+  }
+  report.AddValue("clustered_speedup_1pct", clustered_speedup_1pct);
+  report.AddValue("shuffled_on_off_ratio", shuffled_ratio_worst);
+  if (clustered_speedup_1pct < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: clustered speedup at 1%% selectivity is %.1fx "
+                 "(need >= 5x)\n",
+                 clustered_speedup_1pct);
+    ++failures;
+  }
+  if (shuffled_ratio_worst > 1.05) {
+    std::fprintf(stderr,
+                 "FAIL: pruning slowed the shuffled scan %.3fx "
+                 "(allowed <= 1.05)\n",
+                 shuffled_ratio_worst);
+    ++failures;
+  }
+
+  bench::PrintTitle("Above-spill end-to-end: scan+sort beyond work_mem");
+  std::fprintf(stderr, "[setup] building %llu-row spill table...\n",
+               static_cast<unsigned long long>(spill_rows));
+  setup.Restart();
+  catalog::TableInfo* big = BuildTable(&db, "big_clustered", spill_rows, {});
+  report.AddTiming("setup_spill_s", setup.Seconds());
+  // Starve the VM: the table must dwarf the buffer pool and the sorted
+  // slice must overflow work_mem, so both the I/O tier and the external
+  // sort are really exercised (memory share 5% of the testbed's 4 GB
+  // gives a ~12800-page pool and ~10 MiB work_mem).
+  sim::VirtualMachine vm_small =
+      bench::MakeVm(bench::ExperimentMachine(), 1.0, 0.05, 1.0);
+  VDB_CHECK_OK(db.ApplyVmConfig(vm_small));
+  const uint64_t heap_bytes =
+      big->heap->NumPages() * storage::kPageSize;
+  std::printf("table: %llu pages (%.2f GB simulated), buffer pool %llu "
+              "pages, work_mem %llu KiB\n",
+              static_cast<unsigned long long>(big->heap->NumPages()),
+              static_cast<double>(heap_bytes) / (1024.0 * 1024 * 1024),
+              static_cast<unsigned long long>(db.config().buffer_pool_pages),
+              static_cast<unsigned long long>(db.config().work_mem_bytes >>
+                                              10));
+
+  // Select ~5% of the table — few enough pages that pruning matters, yet
+  // far more sort input than work_mem, so the external sort runs.
+  const uint64_t spill_cutoff = std::max<uint64_t>(1, spill_rows / 20);
+  const std::string spill_sql =
+      "select v, pad from big_clustered where k < " +
+      std::to_string(spill_cutoff) + " order by v desc";
+  const uint64_t spilled_before =
+      db.spill_manager() != nullptr ? db.spill_manager()->bytes_spilled()
+                                    : 0;
+  bench::Stopwatch host_off;
+  const RunResult off = RunCold(&db, vm_small, spill_sql, false);
+  const double host_off_s = host_off.Seconds();
+  bench::Stopwatch host_on;
+  const RunResult on = RunCold(&db, vm_small, spill_sql, true);
+  const double host_on_s = host_on.Seconds();
+  const uint64_t spilled_bytes =
+      (db.spill_manager() != nullptr ? db.spill_manager()->bytes_spilled()
+                                     : 0) -
+      spilled_before;
+  if (on.rows_text != off.rows_text) {
+    std::fprintf(stderr, "FAIL: above-spill rows differ with pruning on\n");
+    ++failures;
+  }
+  if (db.spill_manager() != nullptr && spilled_bytes == 0) {
+    std::fprintf(stderr,
+                 "FAIL: the sort never spilled — the run stayed under "
+                 "work_mem and does not exercise the above-spill path\n");
+    ++failures;
+  }
+  const double spill_speedup = off.sim_seconds / on.sim_seconds;
+  std::printf("off: %.1f ms sim (%llu reads)  on: %.1f ms sim "
+              "(%llu reads, %llu pruned)  speedup %.1fx  spilled %.1f MiB\n",
+              1000 * off.sim_seconds,
+              static_cast<unsigned long long>(off.physical_reads),
+              1000 * on.sim_seconds,
+              static_cast<unsigned long long>(on.physical_reads),
+              static_cast<unsigned long long>(on.pages_pruned),
+              spill_speedup,
+              static_cast<double>(spilled_bytes) / (1024.0 * 1024));
+  report.AddValue("above_spill_speedup", spill_speedup);
+  report.AddValue("above_spill_spilled_mb",
+                  static_cast<double>(spilled_bytes) / (1024.0 * 1024));
+  report.AddTiming("above_spill_off_host_s", host_off_s);
+  report.AddTiming("above_spill_on_host_s", host_on_s);
+  if (spill_speedup < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: above-spill speedup %.1fx (need >= 5x on "
+                 "clustered data at ~2%% selectivity)\n",
+                 spill_speedup);
+    ++failures;
+  }
+
+  report.AddTiming("total_s", total.Seconds());
+  if (failures > 0) {
+    std::fprintf(stderr, "%d check(s) failed\n", failures);
+  }
+  return report.Finish(failures == 0 ? 0 : 1);
+}

@@ -40,6 +40,7 @@ void PrintHelp() {
       "  \\explain <sql>         show the physical plan and estimate\n"
       "  \\tables                list tables\n"
       "  \\cold                  drop the buffer pool\n"
+      "  \\zonemaps on|off       toggle zone-map page skipping (§16)\n"
       "  \\timing on|off         toggle the timing footer\n"
       "  \\metrics               show engine metrics since startup\n"
       "  \\metrics json          the same, as a JSON snapshot\n"
@@ -119,6 +120,17 @@ int main(int argc, char** argv) {
       } else if (command == "\\cold") {
         const Status status = db.DropCaches();
         std::printf("%s\n", status.ToString().c_str());
+      } else if (command == "\\zonemaps") {
+        std::string mode;
+        args >> mode;
+        if (mode == "on" || mode == "off") {
+          db.set_zone_maps_enabled(mode == "on");
+        } else if (!mode.empty()) {
+          std::printf("usage: \\zonemaps on|off\n");
+          continue;
+        }
+        std::printf("zone maps %s\n",
+                    db.zone_maps_enabled() ? "on" : "off");
       } else if (command == "\\timing") {
         std::string mode;
         args >> mode;
@@ -172,8 +184,9 @@ int main(int argc, char** argv) {
           std::printf("error: %s\n", plan.status().ToString().c_str());
           continue;
         }
-        std::printf("%sestimated time: %.2f ms\n",
-                    (*plan)->ToString().c_str(), (*plan)->total_cost_ms);
+        std::printf("%sestimated time: %.2f ms (zone maps %s)\n",
+                    (*plan)->ToString().c_str(), (*plan)->total_cost_ms,
+                    db.zone_maps_enabled() ? "on" : "off");
       } else {
         std::printf("unknown command %s (try \\help)\n", command.c_str());
       }
@@ -196,10 +209,13 @@ int main(int argc, char** argv) {
     if (timing) {
       std::printf(
           "time: %.2f ms simulated (cpu %.2f ms, io %.2f ms, %llu "
-          "physical reads) | optimizer estimate: %.2f ms\n",
+          "physical reads) | pages: %llu scanned, %llu pruned | "
+          "optimizer estimate: %.2f ms\n",
           1000 * result->elapsed_seconds, 1000 * result->cpu_seconds,
           1000 * result->io_seconds,
           static_cast<unsigned long long>(result->physical_reads),
+          static_cast<unsigned long long>(result->pages_scanned),
+          static_cast<unsigned long long>(result->pages_pruned),
           result->estimated_ms);
     }
   }

@@ -89,6 +89,28 @@ Result<exec::QueryResult> RunWithRetry(exec::Database* db,
 // statistically efficient location estimate once the heavy tail has been
 // clipped). Requires >= 3 samples to reject; with fewer there is no
 // robust scale estimate.
+// Pins the probe suite's plan choices by disabling zone-map skipping for
+// the duration of a calibration run. The suite's tables are deliberately
+// clustered, so with skipping on the "index" probes would plan as skip
+// scans and never touch a random page — leaving random_page_cost (and
+// cpu_index_tuple_cost) unidentifiable. The fitted parameters feed the
+// skip-aware cost model at plan time regardless.
+class ZoneMapsOffGuard {
+ public:
+  explicit ZoneMapsOffGuard(exec::Database* db)
+      : db_(db), was_enabled_(db->zone_maps_enabled()) {
+    db_->set_zone_maps_enabled(false);
+  }
+  ~ZoneMapsOffGuard() { db_->set_zone_maps_enabled(was_enabled_); }
+
+  ZoneMapsOffGuard(const ZoneMapsOffGuard&) = delete;
+  ZoneMapsOffGuard& operator=(const ZoneMapsOffGuard&) = delete;
+
+ private:
+  exec::Database* db_;
+  bool was_enabled_;
+};
+
 double AggregateSamples(const std::vector<double>& samples,
                         const CalibrationOptions& options, int* rejected) {
   *rejected = 0;
@@ -172,6 +194,7 @@ Result<CalibrationResult> Calibrator::Calibrate(
   const CalibMetrics& metrics = CalibMetrics::Get();
   metrics.runs->Add();
   obs::ScopedTimer run_timer(metrics.run_latency);
+  ZoneMapsOffGuard zone_guard(db_);
   VDB_RETURN_NOT_OK(db_->ApplyVmConfig(vm));
   // Seed parameters pin the plan choices for the suite: the paper designs
   // the synthetic queries "so that the optimizer chooses specific plans".

@@ -20,6 +20,16 @@ Result<int64_t> IndexKeyFromValue(const Value& value) {
   return value.AsInt64();
 }
 
+std::vector<storage::ZoneSample> ComputeZoneSamples(const Tuple& tuple) {
+  std::vector<storage::ZoneSample> samples;
+  samples.reserve(tuple.size());
+  for (const Value& value : tuple) {
+    samples.push_back(
+        storage::ZoneSample{value.NumericKey(), value.is_null()});
+  }
+  return samples;
+}
+
 Result<TableInfo*> Catalog::CreateTable(const std::string& name,
                                         const Schema& schema) {
   if (schema.NumColumns() == 0) {
@@ -132,7 +142,9 @@ Status Catalog::Insert(TableInfo* table, const Tuple& tuple) {
         std::to_string(table->schema.NumColumns()));
   }
   const std::string record = SerializeTuple(tuple, table->schema);
-  VDB_ASSIGN_OR_RETURN(storage::RecordId rid, table->heap->Insert(record));
+  const std::vector<storage::ZoneSample> samples = ComputeZoneSamples(tuple);
+  VDB_ASSIGN_OR_RETURN(storage::RecordId rid,
+                       table->heap->Insert(record, &samples));
   if (wal_ != nullptr) {
     VDB_ASSIGN_OR_RETURN(uint32_t table_id, TableId(table));
     VDB_ASSIGN_OR_RETURN(uint64_t page_index,

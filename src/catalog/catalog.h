@@ -109,6 +109,12 @@ class Catalog {
 /// non-indexable types.
 Result<int64_t> IndexKeyFromValue(const Value& value);
 
+/// One zone-map sample per column of `tuple` (Value::NumericKey plus the
+/// null flag), the form HeapFile::Insert folds into its per-page
+/// statistics. Also used by recovery replay to rebuild zone maps from
+/// logged records.
+std::vector<storage::ZoneSample> ComputeZoneSamples(const Tuple& tuple);
+
 }  // namespace vdb::catalog
 
 #endif  // VDB_CATALOG_CATALOG_H_

@@ -146,6 +146,42 @@ Result<InsertPayload> DecodeInsert(std::string_view payload) {
   return result;
 }
 
+void AppendZoneEntry(std::string* out, const storage::ZoneEntry& entry) {
+  AppendU8(out, entry.tracked ? 1 : 0);
+  AppendU64(out, entry.row_count);
+  AppendU32(out, static_cast<uint32_t>(entry.columns.size()));
+  for (const storage::ZoneColumnStats& col : entry.columns) {
+    AppendU64(out, col.null_count);
+    AppendU8(out, col.has_values ? 1 : 0);
+    uint64_t min_bits = 0;
+    uint64_t max_bits = 0;
+    std::memcpy(&min_bits, &col.min, sizeof(min_bits));
+    std::memcpy(&max_bits, &col.max, sizeof(max_bits));
+    AppendU64(out, min_bits);
+    AppendU64(out, max_bits);
+  }
+}
+
+Result<storage::ZoneEntry> ReadZoneEntry(PayloadReader* reader) {
+  storage::ZoneEntry entry;
+  VDB_ASSIGN_OR_RETURN(uint8_t tracked, reader->ReadU8());
+  entry.tracked = tracked != 0;
+  VDB_ASSIGN_OR_RETURN(entry.row_count, reader->ReadU64());
+  VDB_ASSIGN_OR_RETURN(uint32_t ncols, reader->ReadU32());
+  entry.columns.resize(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    storage::ZoneColumnStats& col = entry.columns[i];
+    VDB_ASSIGN_OR_RETURN(col.null_count, reader->ReadU64());
+    VDB_ASSIGN_OR_RETURN(uint8_t has_values, reader->ReadU8());
+    col.has_values = has_values != 0;
+    VDB_ASSIGN_OR_RETURN(uint64_t min_bits, reader->ReadU64());
+    VDB_ASSIGN_OR_RETURN(uint64_t max_bits, reader->ReadU64());
+    std::memcpy(&col.min, &min_bits, sizeof(col.min));
+    std::memcpy(&col.max, &max_bits, sizeof(col.max));
+  }
+  return entry;
+}
+
 std::string EncodeDelete(uint32_t table_id, uint64_t page_index,
                          uint16_t slot) {
   std::string out;

@@ -10,6 +10,7 @@
 #include <string_view>
 
 #include "catalog/schema.h"
+#include "storage/zone_map.h"
 #include "util/result.h"
 
 namespace vdb::catalog::walenc {
@@ -83,6 +84,14 @@ struct InsertPayload {
   std::string_view record;
 };
 Result<InsertPayload> DecodeInsert(std::string_view payload);
+
+// Checkpoint zone-entry section (version >= 2 images): one entry per heap
+// page, appended after the page image so recovery restores zone maps
+// without rescanning. Layout: [u8 tracked][u64 row_count][u32 num_columns]
+// then per column [u64 null_count][u8 has_values][u64 min_bits][u64
+// max_bits] (doubles as IEEE-754 bit patterns, preserving NaN/inf).
+void AppendZoneEntry(std::string* out, const storage::ZoneEntry& entry);
+Result<storage::ZoneEntry> ReadZoneEntry(PayloadReader* reader);
 
 // kDelete: target (table id, page index, slot).
 std::string EncodeDelete(uint32_t table_id, uint64_t page_index,

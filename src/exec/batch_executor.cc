@@ -215,6 +215,9 @@ class SeqScanOp final : public BatchOp {
     for (const catalog::Column& column : scan.table->schema.columns()) {
       types_.push_back(column.type);
     }
+    if (context->zone_maps_enabled() && !scan.prune_spec.empty()) {
+      prune_ = scan.table->heap->ComputePruneBitmap(scan.prune_spec);
+    }
   }
 
  protected:
@@ -224,12 +227,22 @@ class SeqScanOp final : public BatchOp {
     size_t filled = 0;
     while (filled < Batch::kDefaultRows && !done_) {
       if (cursor_ >= records_.size()) {
+        // Zone-map skip: step over provably-empty pages before fetching,
+        // the same bitmap the row engine and morsel coordinator use.
+        while (page_index_ < prune_.size() && prune_[page_index_] != 0) {
+          context_->AddPagesPruned(1);
+          ++page_index_;
+        }
         VDB_ASSIGN_OR_RETURN(bool more,
                              scan_.table->heap->ReadPageForScanPinned(
                                  page_index_, &pin_, &records_));
         ++page_index_;
         cursor_ = 0;
-        if (!more) done_ = true;
+        if (!more) {
+          done_ = true;
+        } else {
+          context_->AddPagesScanned(1);
+        }
         continue;
       }
       const size_t take =
@@ -263,6 +276,8 @@ class SeqScanOp final : public BatchOp {
   /// Lazy-materialization mask by schema position; empty = all columns.
   std::vector<uint8_t> wanted_;
   std::vector<TypeId> types_;
+  /// Per-page zone-map prune bitmap (empty when pruning is off).
+  std::vector<uint8_t> prune_;
   size_t page_index_ = 0;
   size_t cursor_ = 0;
   storage::HeapFile::ScanPagePin pin_;
@@ -1418,7 +1433,10 @@ class MorselPipelineOp final : public BatchOp {
         agg_node_(aggregate),
         group_exprs_(std::move(group_exprs)),
         aggs_(std::move(aggs)),
-        dispatcher_(context, pool, scan.table->heap.get()) {
+        dispatcher_(context, pool, scan.table->heap.get(),
+                    context->zone_maps_enabled() && !scan.prune_spec.empty()
+                        ? scan.table->heap->ComputePruneBitmap(scan.prune_spec)
+                        : std::vector<uint8_t>{}) {
     for (const catalog::Column& column : scan.table->schema.columns()) {
       scan_types_.push_back(column.type);
     }

@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "exec/batch_executor.h"
+#include "obs/metrics.h"
 #include "plan/planner.h"
 #include "plan/rewriter.h"
 #include "sql/parser.h"
@@ -33,6 +34,13 @@ Database::Database() {
   const char* spill = std::getenv("VDB_SPILL");
   if (spill == nullptr || std::strcmp(spill, "off") != 0) {
     spill_ = std::make_unique<SpillManager>("/tmp/vdb-spill-XXXXXX");
+  }
+  // Zone-map skipping is on by default; VDB_ZONEMAPS=off (or =0) disables
+  // both execution-time pruning and the optimizer's skip-aware costing.
+  const char* zones = std::getenv("VDB_ZONEMAPS");
+  if (zones != nullptr &&
+      (std::strcmp(zones, "off") == 0 || std::strcmp(zones, "0") == 0)) {
+    set_zone_maps_enabled(false);
   }
 }
 
@@ -111,6 +119,7 @@ Result<optimizer::PhysicalNodePtr> Database::Prepare(
   // A private optimizer keeps what-if costing free of side effects on this
   // database and makes concurrent Prepare calls race-free.
   optimizer::Optimizer whatif(params);
+  whatif.set_zone_maps_enabled(zone_maps_enabled_);
   return whatif.Optimize(*logical);
 }
 
@@ -129,6 +138,7 @@ Result<QueryResult> Database::ExecutePlan(
   }
   ExecutionContext context(&vm, pool_.get(), config_.work_mem_bytes);
   context.set_spill_manager(spill_.get());
+  context.set_zone_maps_enabled(zone_maps_enabled_);
   // Arm the cooperative budget before any operator runs. The guard lives
   // on this frame, so an over-budget abort unwinds through the executor
   // and destroys guard and context together — nothing leaks.
@@ -166,6 +176,18 @@ Result<QueryResult> Database::ExecutePlan(
   result.io_seconds = context.IoSeconds();
   result.estimated_ms = plan.total_cost_ms;
   result.physical_reads = context.PhysicalReads();
+  result.pages_pruned = context.PagesPruned();
+  result.pages_scanned = context.PagesScanned();
+  if (result.pages_pruned > 0) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("exec.scan.pages_pruned")
+        ->Add(result.pages_pruned);
+  }
+  if (result.pages_scanned > 0) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("exec.scan.pages_scanned")
+        ->Add(result.pages_scanned);
+  }
   result.plan_text = plan.ToString();
   if (noise_ != nullptr) {
     // Perturb the measured wall time proportionally to the noisy CPU/IO

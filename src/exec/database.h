@@ -47,6 +47,10 @@ struct QueryResult {
   double estimated_ms = 0.0;
   /// Physical page reads performed.
   uint64_t physical_reads = 0;
+  /// Zone-map scan accounting: heap pages skipped without a fetch vs.
+  /// pages a sequential scan actually read (DESIGN.md §16).
+  uint64_t pages_pruned = 0;
+  uint64_t pages_scanned = 0;
   /// The executed plan, for EXPLAIN-style inspection.
   std::string plan_text;
 };
@@ -160,6 +164,18 @@ class Database {
   }
   const QueryOptions& query_options() const { return query_options_; }
 
+  /// Whether scans may skip pages via zone maps and the optimizer may
+  /// cost that skipping (DESIGN.md §16). Defaults on; the VDB_ZONEMAPS
+  /// environment variable set to "off" or "0" at construction time is the
+  /// escape hatch — rows are bitwise identical either way, only timing
+  /// and page counts change. The differential fuzzer flips this between
+  /// two executions of the same plan to cross-check pruning.
+  void set_zone_maps_enabled(bool enabled) {
+    zone_maps_enabled_ = enabled;
+    optimizer_.set_zone_maps_enabled(enabled);
+  }
+  bool zone_maps_enabled() const { return zone_maps_enabled_; }
+
  private:
   /// Shared front half of Prepare: parse, bind, and rewrite `sql` into a
   /// logical plan. Read-only with respect to the database.
@@ -175,6 +191,7 @@ class Database {
   DbInstanceConfig config_;
   sim::NoiseModel* noise_ = nullptr;
   ExecMode exec_mode_ = ExecMode::kBatch;
+  bool zone_maps_enabled_ = true;
   QueryOptions query_options_;
   /// Lazily created batch-engine worker pool, sized to
   /// query_options_.num_threads (absent while num_threads <= 1).

@@ -94,6 +94,8 @@ void ExecutionContext::Reset() {
   io_seconds_ = 0.0;
   total_cpu_ops_ = 0.0;
   physical_reads_ = 0;
+  pages_pruned_ = 0;
+  pages_scanned_ = 0;
 }
 
 }  // namespace vdb::exec

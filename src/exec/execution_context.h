@@ -71,6 +71,21 @@ class ExecutionContext final : public storage::IoListener {
   double TotalCpuOps() const { return total_cpu_ops_; }
   uint64_t PhysicalReads() const { return physical_reads_; }
 
+  /// Whether scans may skip pages via zone maps. All engines consult this
+  /// one flag, so flipping it (VDB_ZONEMAPS=off, or the fuzzer's
+  /// same-plan cross-check) changes pruning behavior uniformly.
+  void set_zone_maps_enabled(bool enabled) { zone_maps_enabled_ = enabled; }
+  bool zone_maps_enabled() const { return zone_maps_enabled_; }
+
+  /// Scan page accounting: pages skipped without a fetch vs. pages
+  /// actually read by a sequential scan. Only the scan operators tick
+  /// these; ExecutePlan publishes them per query and to the obs counters
+  /// exec.scan.pages_pruned / exec.scan.pages_scanned.
+  void AddPagesPruned(uint64_t n) { pages_pruned_ += n; }
+  void AddPagesScanned(uint64_t n) { pages_scanned_ += n; }
+  uint64_t PagesPruned() const { return pages_pruned_; }
+  uint64_t PagesScanned() const { return pages_scanned_; }
+
   void Reset();
 
   /// Attaches a cooperative per-query budget (non-owning; nullptr
@@ -97,6 +112,9 @@ class ExecutionContext final : public storage::IoListener {
   double io_seconds_ = 0.0;
   double total_cpu_ops_ = 0.0;
   uint64_t physical_reads_ = 0;
+  bool zone_maps_enabled_ = true;
+  uint64_t pages_pruned_ = 0;
+  uint64_t pages_scanned_ = 0;
   BudgetGuard* budget_guard_ = nullptr;
   SpillManager* spill_manager_ = nullptr;
 };

@@ -107,21 +107,44 @@ Result<std::vector<Tuple>> Executor::RunSeqScan(
   }
   const double filter_ops = filter != nullptr ? filter->OpCount() : 0.0;
   BudgetGuard* const guard = context_->budget_guard();
+  const storage::HeapFile& heap = *scan.table->heap;
+  // Page-wise scan sharing the zone-map prune decision with the batch and
+  // morsel engines (HeapFile::ComputePruneBitmap): a pruned page is
+  // skipped before the fetch, so it charges no I/O and never touches the
+  // buffer pool. With nothing prunable the charge sequence is identical
+  // to the historical record-iterator path: one sequential fetch per
+  // page, then the per-record CPU charges of that page.
+  std::vector<uint8_t> prune;
+  if (context_->zone_maps_enabled() && !scan.prune_spec.empty()) {
+    prune = heap.ComputePruneBitmap(scan.prune_spec);
+  }
+  std::string page_bytes;
+  std::vector<storage::HeapFile::RecordView> records;
   size_t scanned = 0;
-  for (auto it = scan.table->heap->Begin(); it.Valid(); it.Next()) {
-    if (guard != nullptr && (++scanned & kBudgetPollMask) == 0) {
-      VDB_RETURN_NOT_OK(guard->Check());
+  for (size_t page = 0; page < heap.NumPages(); ++page) {
+    if (page < prune.size() && prune[page] != 0) {
+      context_->AddPagesPruned(1);
+      continue;
     }
-    context_->ChargeCpu(cpu.ops_per_tuple);
-    VDB_ASSIGN_OR_RETURN(
-        Tuple tuple,
-        catalog::DeserializeTuple(it.record(), scan.table->schema));
-    if (filter != nullptr) {
-      context_->ChargeCpu(filter_ops * cpu.ops_per_operator);
-      if (!EvaluatesToTrue(*filter, tuple)) continue;
+    VDB_ASSIGN_OR_RETURN(bool more,
+                         heap.ReadPageForScan(page, &page_bytes, &records));
+    if (!more) break;
+    context_->AddPagesScanned(1);
+    for (const storage::HeapFile::RecordView& view : records) {
+      if (guard != nullptr && (++scanned & kBudgetPollMask) == 0) {
+        VDB_RETURN_NOT_OK(guard->Check());
+      }
+      context_->ChargeCpu(cpu.ops_per_tuple);
+      VDB_ASSIGN_OR_RETURN(
+          Tuple tuple,
+          catalog::DeserializeTuple(view.data, scan.table->schema));
+      if (filter != nullptr) {
+        context_->ChargeCpu(filter_ops * cpu.ops_per_operator);
+        if (!EvaluatesToTrue(*filter, tuple)) continue;
+      }
+      out.push_back(std::move(tuple));
+      if (out.size() >= budget) return out;
     }
-    out.push_back(std::move(tuple));
-    if (out.size() >= budget) break;
   }
   return out;
 }

@@ -101,8 +101,9 @@ void ReplayCharges(ExecutionContext* context,
 
 MorselDispatcher::MorselDispatcher(ExecutionContext* context,
                                    storage::BufferPool* pool,
-                                   const storage::HeapFile* heap)
-    : context_(context), pool_(pool), heap_(heap) {}
+                                   const storage::HeapFile* heap,
+                                   std::vector<uint8_t> prune)
+    : context_(context), pool_(pool), heap_(heap), prune_(std::move(prune)) {}
 
 Result<bool> MorselDispatcher::NextMorsel(Morsel* out) {
   out->index = next_index_;
@@ -135,6 +136,13 @@ Result<bool> MorselDispatcher::NextMorsel(Morsel* out) {
   }
 
   while (out->records.size() < Morsel::kRecordsPerMorsel && !done_) {
+    // Zone-map skip: a page the bitmap proves empty under the scan's
+    // predicate is never fetched, so it records no events and yields no
+    // records — the same decision the serial scan makes with this bitmap.
+    while (page_index_ < prune_.size() && prune_[page_index_] != 0) {
+      context_->AddPagesPruned(1);
+      ++page_index_;
+    }
     std::vector<ChargeEvent> events;
     RecordingIoListener recorder(&events);
     pool_->SetIoListener(&recorder);
@@ -153,6 +161,7 @@ Result<bool> MorselDispatcher::NextMorsel(Morsel* out) {
       done_ = true;
       continue;
     }
+    context_->AddPagesScanned(1);
     if (views_.empty()) continue;  // no live records on this page
 
     // Freeze the page bytes: views become (offset, length) against the

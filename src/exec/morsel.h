@@ -120,8 +120,13 @@ struct Morsel {
 /// applied.
 class MorselDispatcher {
  public:
+  /// `prune` is the zone-map page bitmap (ComputePruneBitmap); prunable
+  /// pages are stepped over before any fetch, so they record no events
+  /// and contribute no records — exactly what the serial scan does with
+  /// the same bitmap, keeping the replayed charge sequence bit-identical.
   MorselDispatcher(ExecutionContext* context, storage::BufferPool* pool,
-                   const storage::HeapFile* heap);
+                   const storage::HeapFile* heap,
+                   std::vector<uint8_t> prune = {});
 
   /// Fills `out` with the next morsel; returns false once the scan is
   /// exhausted. A morsel can carry zero records (a tail of empty pages,
@@ -132,6 +137,7 @@ class MorselDispatcher {
   ExecutionContext* context_;
   storage::BufferPool* pool_;
   const storage::HeapFile* heap_;
+  std::vector<uint8_t> prune_;
   size_t page_index_ = 0;
   size_t next_index_ = 0;
   bool done_ = false;

@@ -13,7 +13,11 @@ namespace vdb::exec {
 namespace {
 
 constexpr uint32_t kCheckpointMagic = 0x564B4843;  // "CHKV"
-constexpr uint32_t kCheckpointVersion = 1;
+// Version 2 appends one zone-map entry per heap page after its image;
+// version-1 images (no zone section) still load, with every restored
+// page's zone entry marked untracked so it simply never prunes.
+constexpr uint32_t kCheckpointVersion = 2;
+constexpr uint32_t kCheckpointVersionNoZones = 1;
 
 /// An index to rebuild after redo, by name (the CreateIndex API).
 struct IndexDef {
@@ -62,9 +66,12 @@ Status LoadCheckpoint(const std::string& path, catalog::Catalog* catalog,
       std::string_view(blob.data(), blob.size() - 4));
   VDB_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
   VDB_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
-  if (magic != kCheckpointMagic || version != kCheckpointVersion) {
+  if (magic != kCheckpointMagic ||
+      (version != kCheckpointVersion &&
+       version != kCheckpointVersionNoZones)) {
     return Status::IOError("not a checkpoint image (bad magic or version)");
   }
+  const bool has_zones = version >= kCheckpointVersion;
   VDB_ASSIGN_OR_RETURN(uint64_t last_lsn, reader.ReadU64());
   VDB_ASSIGN_OR_RETURN(uint32_t num_tables, reader.ReadU32());
   for (uint32_t t = 0; t < num_tables; ++t) {
@@ -79,7 +86,13 @@ Status LoadCheckpoint(const std::string& path, catalog::Catalog* catalog,
       VDB_ASSIGN_OR_RETURN(std::string_view bytes,
                            reader.ReadBytes(storage::kPageSize));
       std::memcpy(image.data(), bytes.data(), storage::kPageSize);
-      VDB_RETURN_NOT_OK(table->heap->RestorePage(image, page_lsn));
+      if (has_zones) {
+        VDB_ASSIGN_OR_RETURN(storage::ZoneEntry zone,
+                             catalog::walenc::ReadZoneEntry(&reader));
+        VDB_RETURN_NOT_OK(table->heap->RestorePage(image, page_lsn, &zone));
+      } else {
+        VDB_RETURN_NOT_OK(table->heap->RestorePage(image, page_lsn));
+      }
     }
   }
   VDB_ASSIGN_OR_RETURN(uint32_t num_indexes, reader.ReadU32());
@@ -145,8 +158,18 @@ Result<RecoveryStats> Recover(const std::string& dir,
                              walenc::DecodeInsert(rec.payload));
         VDB_ASSIGN_OR_RETURN(catalog::TableInfo * table,
                              catalog->TableById(p.table_id));
+        // Rebuild the zone-map samples the original insert folded: the
+        // logged record deserializes under the table schema, giving the
+        // same per-column numeric keys. ApplyRedoInsert's LSN-skip test
+        // runs first, so an already-applied record folds nothing twice.
+        VDB_ASSIGN_OR_RETURN(
+            catalog::Tuple tuple,
+            catalog::DeserializeTuple(p.record, table->schema));
+        const std::vector<storage::ZoneSample> samples =
+            catalog::ComputeZoneSamples(tuple);
         return table->heap
-            ->ApplyRedoInsert(p.page_index, p.slot, p.record, rec.lsn)
+            ->ApplyRedoInsert(p.page_index, p.slot, p.record, rec.lsn,
+                              &samples)
             .status();
       }
       case WalRecordType::kDelete: {
@@ -193,10 +216,13 @@ Status WriteCheckpoint(catalog::Catalog* catalog,
     walenc::AppendSchema(&blob, table->schema);
     const std::vector<storage::PageId>& pages = table->heap->pages();
     walenc::AppendU64(&blob, pages.size());
+    const std::vector<storage::ZoneEntry>& zones =
+        table->heap->zone_map().entries();
     for (uint64_t p = 0; p < pages.size(); ++p) {
       walenc::AppendU64(&blob, table->heap->PageLsn(p));
       disk->ReadPage(pages[p], &image);
       blob.append(image.data(), storage::kPageSize);
+      walenc::AppendZoneEntry(&blob, zones[p]);
     }
   }
 

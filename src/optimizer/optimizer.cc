@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "optimizer/prune.h"
 #include "plan/rewriter.h"
 #include "storage/page.h"
 #include "util/logging.h"
@@ -343,7 +344,12 @@ Result<PhysicalNodePtr> Optimizer::TranslateScan(
   const double out_rows = std::max(table_rows * selectivity, 0.0);
   const double width = WidthOf(get.output);
 
-  // Baseline: sequential scan.
+  // Baseline: sequential scan, with the zone-map skip fraction folded
+  // into its I/O term. The skip estimate is the *observed* prunable page
+  // fraction under the current zone maps, capped by 1 - selectivity: a
+  // scan can never skip more of the table than the predicate excludes,
+  // which also makes the what-if cost monotone in selectivity and never
+  // above the no-skip cost (the metamorphic bounds in testing/).
   auto seq = std::make_unique<PhysSeqScan>();
   seq->table = table;
   seq->alias = get.alias;
@@ -351,8 +357,26 @@ Result<PhysicalNodePtr> Optimizer::TranslateScan(
   seq->output = get.output;
   seq->estimated_rows = out_rows;
   seq->estimated_width = width;
+  seq->prune_spec = BuildScanPruneSpec(filter, get.table_id);
+  double observed_skip = 0.0;
+  if (zone_maps_enabled_ && !seq->prune_spec.empty()) {
+    const std::vector<uint8_t> prune =
+        table->heap->ComputePruneBitmap(seq->prune_spec);
+    uint64_t pruned = 0;
+    for (const uint8_t bit : prune) pruned += bit;
+    if (!prune.empty()) {
+      observed_skip =
+          static_cast<double>(pruned) / static_cast<double>(prune.size());
+    }
+  }
+  seq->zone_skip_fraction =
+      std::min(observed_skip, std::max(0.0, 1.0 - selectivity));
+  const double scan_pages =
+      std::max(1.0, table_pages * (1.0 - seq->zone_skip_fraction));
+  const double scan_rows =
+      std::max(table_rows * (1.0 - seq->zone_skip_fraction), out_rows);
   seq->self_work =
-      cost_model_.SeqScan(table_pages, table_rows, OpsOf(filter));
+      cost_model_.SeqScan(scan_pages, scan_rows, OpsOf(filter));
   seq->total_cost_ms = cost_model_.Price(seq->self_work);
 
   PhysicalNodePtr best = std::move(seq);

@@ -41,6 +41,13 @@ class Optimizer {
   }
   const OptimizerParams& params() const { return cost_model_.params(); }
 
+  /// Whether seq-scan costing may claim the zone-map skip fraction
+  /// (VDB_ZONEMAPS=off clears it; the what-if Prepare path inherits the
+  /// database's setting). Prune specs are still attached to scan nodes —
+  /// only the costed I/O reduction is gated here.
+  void set_zone_maps_enabled(bool enabled) { zone_maps_enabled_ = enabled; }
+  bool zone_maps_enabled() const { return zone_maps_enabled_; }
+
   /// Produces the cheapest physical plan for `logical` under the current
   /// parameters. The logical plan is not modified.
   Result<PhysicalNodePtr> Optimize(const plan::LogicalNode& logical);
@@ -80,6 +87,7 @@ class Optimizer {
 
   StatsRegistry stats_;
   CostModel cost_model_;
+  bool zone_maps_enabled_ = true;
 };
 
 }  // namespace vdb::optimizer

@@ -56,6 +56,13 @@ std::string PhysicalNode::ToString(int indent) const {
 std::string PhysSeqScan::Describe() const {
   std::string result = alias;
   if (filter != nullptr) result += ", filter=" + filter->ToString();
+  if (!prune_spec.empty()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ", zone-prunable=%zu, zone-skip=%.1f%%",
+                  prune_spec.predicates.size(),
+                  100.0 * zone_skip_fraction);
+    result += buf;
+  }
   return result;
 }
 

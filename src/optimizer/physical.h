@@ -66,6 +66,15 @@ struct PhysSeqScan final : PhysicalNode {
   catalog::TableInfo* table = nullptr;
   std::string alias;
   plan::BoundExprPtr filter;  // may be null
+  /// Sargable conjuncts the executors may prune pages on (empty when the
+  /// filter has none, or when there is no filter). Built even with zone
+  /// maps disabled so EXPLAIN can show what *would* prune; execution
+  /// gates on ExecutionContext::zone_maps_enabled().
+  storage::ScanPruneSpec prune_spec;
+  /// Plan-time estimate of the page fraction the zone maps prune
+  /// (selectivity-capped; 0 when zone maps are disabled). Feeds the
+  /// what-if cost model's reduced I/O term.
+  double zone_skip_fraction = 0.0;
 
  protected:
   std::string Describe() const override;

@@ -1,0 +1,162 @@
+#include "optimizer/prune.h"
+
+#include <cmath>
+
+#include "plan/rewriter.h"
+
+namespace vdb::optimizer {
+
+namespace {
+
+using plan::BoundExpr;
+using plan::BoundExprKind;
+using storage::ZonePredicate;
+
+/// The column of `expr` if it is a bare reference to a column of
+/// `table_id`, else nullptr.
+const plan::ColumnExpr* AsTableColumn(const BoundExpr& expr, int table_id) {
+  if (expr.kind() != BoundExprKind::kColumn) return nullptr;
+  const auto& column = static_cast<const plan::ColumnExpr&>(expr);
+  if (column.id().table_id != table_id) return nullptr;
+  if (column.id().column_index < 0) return nullptr;
+  return &column;
+}
+
+/// Maps one comparison conjunct; returns false when it is not sargable.
+bool LowerComparison(const plan::BinaryBoundExpr& binary, int table_id,
+                     ZonePredicate* out) {
+  const plan::ColumnExpr* column = nullptr;
+  const BoundExpr* constant = nullptr;
+  sql::BinaryOp op = binary.op();
+  if ((column = AsTableColumn(binary.left(), table_id)) != nullptr &&
+      binary.right().kind() == BoundExprKind::kConstant) {
+    constant = &binary.right();
+  } else if ((column = AsTableColumn(binary.right(), table_id)) != nullptr &&
+             binary.left().kind() == BoundExprKind::kConstant) {
+    constant = &binary.left();
+    switch (op) {  // mirror the comparison around the column
+      case sql::BinaryOp::kLt:
+        op = sql::BinaryOp::kGt;
+        break;
+      case sql::BinaryOp::kLe:
+        op = sql::BinaryOp::kGe;
+        break;
+      case sql::BinaryOp::kGt:
+        op = sql::BinaryOp::kLt;
+        break;
+      case sql::BinaryOp::kGe:
+        op = sql::BinaryOp::kLe;
+        break;
+      default:
+        break;
+    }
+  } else {
+    return false;
+  }
+  const catalog::Value& value =
+      static_cast<const plan::ConstantExpr&>(*constant).value();
+  if (value.is_null()) return false;  // comparison is NULL for every row
+  const double key = value.NumericKey();
+  if (std::isnan(key)) return false;  // NaN proves nothing page-wise
+  switch (op) {
+    case sql::BinaryOp::kLt:
+      out->kind = ZonePredicate::Kind::kLt;
+      break;
+    case sql::BinaryOp::kLe:
+      out->kind = ZonePredicate::Kind::kLe;
+      break;
+    case sql::BinaryOp::kGt:
+      out->kind = ZonePredicate::Kind::kGt;
+      break;
+    case sql::BinaryOp::kGe:
+      out->kind = ZonePredicate::Kind::kGe;
+      break;
+    case sql::BinaryOp::kEq:
+      out->kind = ZonePredicate::Kind::kEq;
+      break;
+    default:
+      return false;  // != and arithmetic/boolean ops never prune
+  }
+  out->column = static_cast<size_t>(column->id().column_index);
+  out->key = key;
+  return true;
+}
+
+bool LowerIsNull(const plan::IsNullBoundExpr& is_null, int table_id,
+                 ZonePredicate* out) {
+  std::vector<plan::ColumnId> columns;
+  is_null.CollectColumns(&columns);
+  if (columns.size() != 1 || columns[0].table_id != table_id ||
+      columns[0].column_index < 0) {
+    return false;
+  }
+  // Only a bare column reference: IS NULL over an expression would need
+  // expression-level null inference.
+  if (is_null.OpCount() != 1) return false;
+  out->kind = is_null.negated() ? ZonePredicate::Kind::kIsNotNull
+                                : ZonePredicate::Kind::kIsNull;
+  out->column = static_cast<size_t>(columns[0].column_index);
+  return true;
+}
+
+bool LowerInList(const plan::InListBoundExpr& in_list, int table_id,
+                 ZonePredicate* out) {
+  if (in_list.negated()) return false;  // NOT IN never prunes by range
+  std::vector<plan::ColumnId> columns;
+  in_list.CollectColumns(&columns);
+  if (columns.size() != 1 || columns[0].table_id != table_id ||
+      columns[0].column_index < 0) {
+    return false;
+  }
+  std::vector<double> keys;
+  keys.reserve(in_list.list().size());
+  for (const catalog::Value& value : in_list.list()) {
+    // A NULL element can never make the IN true, so it is irrelevant to
+    // whether a page may hold a match.
+    if (value.is_null()) continue;
+    const double key = value.NumericKey();
+    if (std::isnan(key)) return false;
+    keys.push_back(key);
+  }
+  if (keys.empty()) return false;
+  out->kind = ZonePredicate::Kind::kInList;
+  out->column = static_cast<size_t>(columns[0].column_index);
+  out->keys = std::move(keys);
+  return true;
+}
+
+}  // namespace
+
+storage::ScanPruneSpec BuildScanPruneSpec(const BoundExpr* filter,
+                                          int table_id) {
+  storage::ScanPruneSpec spec;
+  if (filter == nullptr) return spec;
+  for (const plan::BoundExprPtr& conjunct :
+       plan::SplitBoundConjuncts(*filter)) {
+    ZonePredicate pred;
+    bool lowered = false;
+    switch (conjunct->kind()) {
+      case BoundExprKind::kBinary:
+        lowered = LowerComparison(
+            static_cast<const plan::BinaryBoundExpr&>(*conjunct), table_id,
+            &pred);
+        break;
+      case BoundExprKind::kIsNull:
+        lowered = LowerIsNull(
+            static_cast<const plan::IsNullBoundExpr&>(*conjunct), table_id,
+            &pred);
+        break;
+      case BoundExprKind::kInList:
+        lowered = LowerInList(
+            static_cast<const plan::InListBoundExpr&>(*conjunct), table_id,
+            &pred);
+        break;
+      default:
+        break;
+    }
+    if (lowered) spec.predicates.push_back(std::move(pred));
+  }
+  return spec;
+}
+
+}  // namespace vdb::optimizer

@@ -1,0 +1,26 @@
+// Lowers the sargable conjuncts of a scan filter into a
+// storage::ScanPruneSpec the executors evaluate against per-page zone
+// maps (DESIGN.md §16).
+
+#ifndef VDB_OPTIMIZER_PRUNE_H_
+#define VDB_OPTIMIZER_PRUNE_H_
+
+#include "plan/expr.h"
+#include "storage/zone_map.h"
+
+namespace vdb::optimizer {
+
+/// Extracts every top-level AND conjunct of `filter` that zone maps can
+/// refute page-wise: `col <op> const` (either operand order; `!=` is
+/// excluded), `col IS [NOT] NULL`, and non-negated `col IN (consts)`.
+/// BETWEEN arrives from the planner as two comparison conjuncts and needs
+/// no special case. Only columns of the scanned table instance
+/// (`table_id`) participate; NULL and NaN comparison constants are left
+/// out (a NaN bound can never justify a prune). An empty spec means the
+/// scan cannot skip anything.
+storage::ScanPruneSpec BuildScanPruneSpec(const plan::BoundExpr* filter,
+                                          int table_id);
+
+}  // namespace vdb::optimizer
+
+#endif  // VDB_OPTIMIZER_PRUNE_H_

@@ -305,6 +305,8 @@ std::string Server::ExecuteJob(Tenant* tenant, Job* job) {
   stats.io_ms = 1000 * result->io_seconds;
   stats.estimated_ms = result->estimated_ms;
   stats.physical_reads = result->physical_reads;
+  stats.pages_pruned = result->pages_pruned;
+  stats.pages_scanned = result->pages_scanned;
   return FormatRowsResponse(result->column_names, result->rows, stats);
 }
 

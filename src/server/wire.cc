@@ -82,6 +82,10 @@ void WriteStats(JsonWriter* w, const QueryStats& stats) {
   w->Number(stats.queue_ms);
   w->Key("physical_reads");
   w->Uint(stats.physical_reads);
+  w->Key("pages_pruned");
+  w->Uint(stats.pages_pruned);
+  w->Key("pages_scanned");
+  w->Uint(stats.pages_scanned);
   w->EndObject();
 }
 
@@ -96,6 +100,9 @@ void ParseStats(const JsonValue& doc, QueryStats* stats) {
   stats->queue_ms = s->GetNumber("queue_ms");
   stats->physical_reads =
       static_cast<uint64_t>(s->GetNumber("physical_reads"));
+  stats->pages_pruned = static_cast<uint64_t>(s->GetNumber("pages_pruned"));
+  stats->pages_scanned =
+      static_cast<uint64_t>(s->GetNumber("pages_scanned"));
 }
 
 }  // namespace

@@ -80,6 +80,10 @@ struct QueryStats {
   double host_ms = 0.0;       // real execution time on the host
   double queue_ms = 0.0;      // real time spent queued before execution
   uint64_t physical_reads = 0;
+  // Zone-map data skipping (DESIGN.md §16): heap pages the scan proved
+  // empty under its predicate and never fetched vs pages it did read.
+  uint64_t pages_pruned = 0;
+  uint64_t pages_scanned = 0;
 };
 
 /// One decoded row: each cell is Value::ToString(), nullopt for NULL.

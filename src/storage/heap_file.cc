@@ -44,7 +44,8 @@ void InitPage(Page* page) {
 
 }  // namespace
 
-Result<RecordId> HeapFile::Insert(std::string_view record) {
+Result<RecordId> HeapFile::Insert(
+    std::string_view record, const std::vector<ZoneSample>* zone_samples) {
   const uint64_t need = record.size() + kSlotSize;
   if (record.size() + kSlotsStart + kSlotSize > kPageSize) {
     return Status::InvalidArgument("record too large for a page");
@@ -66,6 +67,7 @@ Result<RecordId> HeapFile::Insert(std::string_view record) {
     page_index_[page_id] = pages_.size();
     pages_.push_back(page_id);
     page_lsns_.push_back(0);
+    zone_map_.AddPage();
     VDB_ASSIGN_OR_RETURN(page,
                          pool_->FetchPage(page_id, AccessPattern::kRandom));
     InitPage(page);
@@ -82,6 +84,7 @@ Result<RecordId> HeapFile::Insert(std::string_view record) {
   page->WriteAt<uint16_t>(kFreeOffsetOff, new_offset);
   VDB_RETURN_NOT_OK(pool_->UnpinPage(page_id, /*dirty=*/true));
   ++num_records_;
+  zone_map_.FoldInsert(zone_samples);
   return RecordId{page_id, num_slots};
 }
 
@@ -137,15 +140,16 @@ Result<uint64_t> HeapFile::PageIndexOf(PageId page_id) const {
   return it->second;
 }
 
-Result<bool> HeapFile::ApplyRedoInsert(uint64_t page_index, uint16_t slot,
-                                       std::string_view record, Lsn lsn) {
+Result<bool> HeapFile::ApplyRedoInsert(
+    uint64_t page_index, uint16_t slot, std::string_view record, Lsn lsn,
+    const std::vector<ZoneSample>* zone_samples) {
   if (page_index < pages_.size() && page_lsns_[page_index] >= lsn) {
     return false;  // ARIES redo test: the page already reflects this LSN
   }
   if (page_index > pages_.size()) {
     return Status::IOError("redo insert skips a heap page");
   }
-  VDB_ASSIGN_OR_RETURN(RecordId rid, Insert(record));
+  VDB_ASSIGN_OR_RETURN(RecordId rid, Insert(record, zone_samples));
   VDB_ASSIGN_OR_RETURN(uint64_t landed, PageIndexOf(rid.page_id));
   if (landed != page_index || rid.slot != slot) {
     return Status::IOError("redo insert landed at a different slot");
@@ -165,12 +169,20 @@ Result<bool> HeapFile::ApplyRedoDelete(uint64_t page_index, uint16_t slot,
   return true;
 }
 
-Status HeapFile::RestorePage(const Page& image, Lsn page_lsn) {
+Status HeapFile::RestorePage(const Page& image, Lsn page_lsn,
+                             const ZoneEntry* zone) {
   const PageId page_id = disk_->AllocatePage();
   disk_->WritePage(page_id, image);
   page_index_[page_id] = pages_.size();
   pages_.push_back(page_id);
   page_lsns_.push_back(page_lsn);
+  if (zone != nullptr) {
+    zone_map_.RestoreEntry(*zone);
+  } else {
+    ZoneEntry untracked;
+    untracked.tracked = false;
+    zone_map_.RestoreEntry(std::move(untracked));
+  }
   const uint16_t num_slots = NumSlots(image);
   for (uint16_t slot = 0; slot < num_slots; ++slot) {
     uint16_t offset = 0;
@@ -204,6 +216,17 @@ void CollectLiveRecords(const char* data, PageId page_id,
 }
 
 }  // namespace
+
+std::vector<uint8_t> HeapFile::ComputePruneBitmap(
+    const ScanPruneSpec& spec) const {
+  std::vector<uint8_t> prune(pages_.size(), 0);
+  if (spec.empty()) return prune;
+  const std::vector<ZoneEntry>& entries = zone_map_.entries();
+  for (size_t i = 0; i < entries.size() && i < prune.size(); ++i) {
+    prune[i] = ZonePageCanPrune(entries[i], spec) ? 1 : 0;
+  }
+  return prune;
+}
 
 Result<bool> HeapFile::ReadPageForScan(
     size_t page_index, std::string* storage,

@@ -13,6 +13,7 @@
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 #include "storage/wal.h"
+#include "storage/zone_map.h"
 #include "util/result.h"
 
 namespace vdb::storage {
@@ -32,8 +33,12 @@ class HeapFile {
   HeapFile& operator=(const HeapFile&) = delete;
 
   /// Appends a record. Fails with InvalidArgument if it cannot fit on an
-  /// empty page.
-  Result<RecordId> Insert(std::string_view record);
+  /// empty page. `zone_samples` — one entry per schema column, produced by
+  /// the catalog — folds into the landing page's zone entry; a nullptr
+  /// (schema-blind caller) marks that page untracked so it never prunes.
+  Result<RecordId> Insert(std::string_view record,
+                          const std::vector<ZoneSample>* zone_samples =
+                              nullptr);
 
   /// Reads one record by id (a random page access unless the caller knows
   /// better). Returns NotFound for deleted or out-of-range ids.
@@ -148,18 +153,33 @@ class HeapFile {
   /// `lsn`; fails if the append lands anywhere else — that means the log
   /// and the recovered image diverge.
   Result<bool> ApplyRedoInsert(uint64_t page_index, uint16_t slot,
-                               std::string_view record, Lsn lsn);
+                               std::string_view record, Lsn lsn,
+                               const std::vector<ZoneSample>* zone_samples =
+                                   nullptr);
 
   /// Redoes a logged delete of (page_index, slot); same LSN skip rule.
   Result<bool> ApplyRedoDelete(uint64_t page_index, uint16_t slot, Lsn lsn);
 
   /// Appends a raw page image during checkpoint load, bypassing the
   /// buffer pool (recovery is not a measured workload). `page_lsn` seeds
-  /// the sidecar; live records on the image are counted.
-  Status RestorePage(const Page& image, Lsn page_lsn);
+  /// the sidecar; live records on the image are counted. `zone` restores
+  /// the page's zone entry (nullptr — e.g. a version-1 checkpoint with no
+  /// zone section — appends an untracked entry that never prunes).
+  Status RestorePage(const Page& image, Lsn page_lsn,
+                     const ZoneEntry* zone = nullptr);
 
   /// Pages in append order, for the checkpoint writer.
   const std::vector<PageId>& pages() const { return pages_; }
+
+  /// Per-page zone statistics, parallel to pages().
+  const ZoneMap& zone_map() const { return zone_map_; }
+
+  /// Evaluates `spec` against every page's zone entry: out[i] is true when
+  /// page i provably holds no qualifying row and can be skipped without a
+  /// fetch. This is the single pruning decision point shared by the row
+  /// executor, the serial batch scan, and the morsel coordinator, so all
+  /// engines skip exactly the same pages.
+  std::vector<uint8_t> ComputePruneBitmap(const ScanPruneSpec& spec) const;
 
  private:
   // Number of live (non-deleted) records on the given page; loads via pool.
@@ -171,6 +191,8 @@ class HeapFile {
   /// Per-page recovery LSN, parallel to `pages_` (see StampPageLsn).
   std::vector<Lsn> page_lsns_;
   std::unordered_map<PageId, uint64_t> page_index_;
+  /// Per-page column statistics, parallel to `pages_` (DESIGN.md §16).
+  ZoneMap zone_map_;
   uint64_t num_records_ = 0;
 };
 

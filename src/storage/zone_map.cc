@@ -1,0 +1,108 @@
+#include "storage/zone_map.h"
+
+#include <cmath>
+#include <limits>
+
+namespace vdb::storage {
+
+void ZoneColumnStats::Fold(const ZoneSample& sample) {
+  if (sample.is_null) {
+    ++null_count;
+    return;
+  }
+  double lo = sample.key;
+  double hi = sample.key;
+  if (std::isnan(sample.key)) {
+    // NaN is unordered: the only safe bounds are ones that make every
+    // later range test inconclusive.
+    lo = -std::numeric_limits<double>::infinity();
+    hi = std::numeric_limits<double>::infinity();
+  }
+  if (!has_values) {
+    has_values = true;
+    min = lo;
+    max = hi;
+    return;
+  }
+  if (lo < min) min = lo;
+  if (hi > max) max = hi;
+}
+
+namespace {
+
+// True when `pred` alone proves every row of the page fails.
+bool PredicateExcludesPage(const ZoneEntry& entry,
+                           const ZonePredicate& pred) {
+  if (pred.column >= entry.columns.size()) return false;
+  const ZoneColumnStats& col = entry.columns[pred.column];
+  switch (pred.kind) {
+    case ZonePredicate::Kind::kIsNull:
+      return col.null_count == 0;
+    case ZonePredicate::Kind::kIsNotNull:
+      return col.null_count == entry.row_count;
+    default:
+      break;
+  }
+  // Comparison kinds. A column that never held a non-NULL value makes
+  // every comparison NULL, which rejects every row of this AND conjunct.
+  if (!col.has_values) return true;
+  switch (pred.kind) {
+    case ZonePredicate::Kind::kLt:
+    case ZonePredicate::Kind::kLe:
+      if (std::isnan(pred.key)) return false;
+      return col.min > pred.key;
+    case ZonePredicate::Kind::kGt:
+    case ZonePredicate::Kind::kGe:
+      if (std::isnan(pred.key)) return false;
+      return col.max < pred.key;
+    case ZonePredicate::Kind::kEq:
+      if (std::isnan(pred.key)) return false;
+      return pred.key < col.min || pred.key > col.max;
+    case ZonePredicate::Kind::kInList: {
+      if (pred.keys.empty()) return false;
+      for (double key : pred.keys) {
+        if (std::isnan(key)) return false;
+        if (key >= col.min && key <= col.max) return false;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool ZonePageCanPrune(const ZoneEntry& entry, const ScanPruneSpec& spec) {
+  if (!entry.tracked) return false;
+  if (spec.empty()) return false;
+  if (entry.row_count == 0) return true;  // no row was ever inserted
+  for (const ZonePredicate& pred : spec.predicates) {
+    if (PredicateExcludesPage(entry, pred)) return true;
+  }
+  return false;
+}
+
+void ZoneMap::FoldInsert(const std::vector<ZoneSample>* samples) {
+  ZoneEntry& entry = entries_.back();
+  ++entry.row_count;
+  if (samples == nullptr) {
+    entry.tracked = false;
+    entry.columns.clear();
+    return;
+  }
+  if (!entry.tracked) return;
+  if (entry.columns.empty()) {
+    entry.columns.resize(samples->size());
+  } else if (entry.columns.size() != samples->size()) {
+    // A schema change mid-page would make the folded bounds meaningless.
+    entry.tracked = false;
+    entry.columns.clear();
+    return;
+  }
+  for (size_t i = 0; i < samples->size(); ++i) {
+    entry.columns[i].Fold((*samples)[i]);
+  }
+}
+
+}  // namespace vdb::storage

@@ -16,6 +16,7 @@
 #include "catalog/value.h"
 #include "exec/database.h"
 #include "exec/recovery.h"
+#include "storage/zone_map.h"
 #include "util/random.h"
 #include "util/result.h"
 
@@ -141,6 +142,10 @@ struct TableSnap {
   std::vector<std::pair<std::string, TypeId>> columns;
   std::vector<RecordSnap> records;
   std::vector<std::pair<std::string, size_t>> indexes;
+  /// Per-page zone-map entries. Recovery must rebuild exactly what normal
+  /// execution maintained — whether a page's statistics came from the
+  /// checkpoint image or from refolding replayed inserts.
+  std::vector<storage::ZoneEntry> zones;
 };
 
 Result<std::vector<TableSnap>> Snapshot(catalog::Catalog* cat) {
@@ -159,6 +164,7 @@ Result<std::vector<TableSnap>> Snapshot(catalog::Catalog* cat) {
     for (const catalog::IndexInfo* index : table->indexes) {
       snap.indexes.emplace_back(index->name, index->column_index);
     }
+    snap.zones = table->heap->zone_map().entries();
     out.push_back(std::move(snap));
   }
   return out;
@@ -208,6 +214,17 @@ std::string DiffSnapshots(const std::vector<TableSnap>& expected,
              << " slot " << b.slot << " (" << b.bytes.size() << " bytes)";
         return diff.str();
       }
+    }
+    if (want.zones != got.zones) {
+      size_t first = 0;
+      while (first < want.zones.size() && first < got.zones.size() &&
+             want.zones[first] == got.zones[first]) {
+        ++first;
+      }
+      diff << "table '" << want.name << "': zone maps differ ("
+           << want.zones.size() << " vs " << got.zones.size()
+           << " pages, first divergence at page " << first << ")";
+      return diff.str();
     }
   }
   return "";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -154,6 +155,44 @@ std::string CompareCharges(const exec::QueryResult& a,
   return "";
 }
 
+/// Ordered, bitwise row comparison for two executions of the SAME plan on
+/// the same engine: no tolerance, doubles compared by bit pattern (so NaN
+/// equals NaN and +0.0 differs from -0.0).
+std::string CompareRowsBitwise(const std::vector<Tuple>& a,
+                               const std::vector<Tuple>& b) {
+  if (a.size() != b.size()) {
+    return "row count differs: " + std::to_string(a.size()) + " vs " +
+           std::to_string(b.size());
+  }
+  const auto bits = [](double v) {
+    uint64_t out;
+    std::memcpy(&out, &v, sizeof(out));
+    return out;
+  };
+  for (size_t r = 0; r < a.size(); ++r) {
+    if (a[r].size() != b[r].size()) {
+      return "column count differs in row " + std::to_string(r);
+    }
+    for (size_t c = 0; c < a[r].size(); ++c) {
+      const Value& x = a[r][c];
+      const Value& y = b[r][c];
+      bool same = x.is_null() == y.is_null() && x.type() == y.type();
+      if (same && !x.is_null()) {
+        if (x.type() == TypeId::kDouble) {
+          same = bits(x.AsDouble()) == bits(y.AsDouble());
+        } else {
+          same = Value::Compare(x, y) == 0;
+        }
+      }
+      if (!same) {
+        return "row " + std::to_string(r) + " differs: " + RowToString(a[r]) +
+               " vs " + RowToString(b[r]);
+      }
+    }
+  }
+  return "";
+}
+
 /// Checks that `rows` are sorted on `sort_columns` (output-column index,
 /// ascending), using the engine's own values. An ORDER BY result that is
 /// the right multiset but misordered is still a bug.
@@ -188,7 +227,8 @@ struct CheckResult {
 CheckResult CheckQuery(exec::Database* db, const sim::VirtualMachine& vm,
                        const GeneratedQuery& query,
                        bool check_environment_invariance,
-                       bool check_engine_equivalence) {
+                       bool check_engine_equivalence,
+                       bool check_zone_map_equivalence) {
   const std::string sql = query.Sql();
   Result<exec::QueryResult> engine = db->Execute(sql, vm);
   ReferenceEvaluator oracle(db->catalog());
@@ -281,6 +321,38 @@ CheckResult CheckQuery(exec::Database* db, const sim::VirtualMachine& vm,
     } else if (!batch.status().IsNotSupported()) {
       return {Outcome::kMismatch,
               "batch engine failed on re-run: " + batch.status().message()};
+    }
+  }
+
+  if (check_zone_map_equivalence) {
+    // Zone-map pruning is pure I/O elision: a pruned page must be one with
+    // no qualifying rows, so executing the SAME physical plan with pruning
+    // flipped has to return bitwise-identical rows (doubles compared by bit
+    // pattern). Re-executing one plan — rather than re-planning — sidesteps
+    // skip-aware costing legitimately changing the plan shape.
+    Result<optimizer::PhysicalNodePtr> plan = db->Prepare(sql);
+    if (plan.ok()) {
+      Result<exec::QueryResult> with = db->ExecutePlan(**plan, vm);
+      const bool saved = db->zone_maps_enabled();
+      db->set_zone_maps_enabled(!saved);
+      Result<exec::QueryResult> without = db->ExecutePlan(**plan, vm);
+      db->set_zone_maps_enabled(saved);
+      if (with.ok() != without.ok()) {
+        return {Outcome::kMismatch,
+                "zone-map pruning changed query outcome: with=" +
+                    (with.ok() ? std::string("ok")
+                               : with.status().message()) +
+                    " flipped=" +
+                    (without.ok() ? std::string("ok")
+                                  : without.status().message())};
+      }
+      if (with.ok()) {
+        diff = CompareRowsBitwise(with->rows, without->rows);
+        if (!diff.empty()) {
+          return {Outcome::kMismatch,
+                  "zone-map pruning changed rows: " + diff};
+        }
+      }
     }
   }
 
@@ -427,7 +499,8 @@ std::vector<GeneratedQuery> ShrinkCandidates(const GeneratedQuery& query) {
 /// mismatches, until none does or the budget runs out.
 GeneratedQuery Shrink(exec::Database* db, const sim::VirtualMachine& vm,
                       GeneratedQuery query, bool environment_invariance,
-                      bool engine_equivalence, int budget) {
+                      bool engine_equivalence, bool zone_map_equivalence,
+                      int budget) {
   bool progress = true;
   while (progress && budget > 0) {
     progress = false;
@@ -435,7 +508,8 @@ GeneratedQuery Shrink(exec::Database* db, const sim::VirtualMachine& vm,
       if (--budget < 0) break;
       CheckResult check = CheckQuery(db, vm, candidate,
                                      environment_invariance,
-                                     engine_equivalence);
+                                     engine_equivalence,
+                                     zone_map_equivalence);
       if (check.outcome == Outcome::kMismatch) {
         query = std::move(candidate);
         progress = true;
@@ -493,7 +567,8 @@ bool RunDifferentialSeed(uint64_t seed, const DifferentialOptions& options,
     ++stats->queries;
     CheckResult check =
         CheckQuery(&db, vm, query, options.check_environment_invariance,
-                   options.check_engine_equivalence);
+                   options.check_engine_equivalence,
+                   options.check_zone_map_equivalence);
     switch (check.outcome) {
       case Outcome::kMatch:
         ++stats->matched;
@@ -512,10 +587,12 @@ bool RunDifferentialSeed(uint64_t seed, const DifferentialOptions& options,
     failure->original_sql = query.Sql();
     GeneratedQuery minimized =
         Shrink(&db, vm, std::move(query), options.check_environment_invariance,
-               options.check_engine_equivalence, options.max_shrink_steps);
+               options.check_engine_equivalence,
+               options.check_zone_map_equivalence, options.max_shrink_steps);
     CheckResult final_check =
         CheckQuery(&db, vm, minimized, options.check_environment_invariance,
-                   options.check_engine_equivalence);
+                   options.check_engine_equivalence,
+                   options.check_zone_map_equivalence);
     failure->sql = minimized.Sql();
     failure->detail = final_check.outcome == Outcome::kMismatch
                           ? final_check.detail

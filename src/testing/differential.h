@@ -26,6 +26,11 @@ struct DifferentialOptions {
   /// whichever the database is not currently using) and require identical
   /// rows and ordering — the two engines must be indistinguishable.
   bool check_engine_equivalence = true;
+  /// Also re-execute each matched query's physical plan with zone-map
+  /// pruning flipped and require bitwise-identical rows: a pruned page
+  /// may only ever be one with no qualifying rows. Executing the SAME
+  /// plan twice sidesteps skip-aware-costing plan flips.
+  bool check_zone_map_equivalence = true;
   /// Shrinking budget: maximum number of candidate reductions tried when
   /// minimizing a failure.
   int max_shrink_steps = 300;

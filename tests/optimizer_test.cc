@@ -135,6 +135,10 @@ class OptimizerQueryTest : public ::testing::Test {
 };
 
 TEST_F(OptimizerQueryTest, PointLookupUsesIndex) {
+  // `k` is perfectly clustered, so with zone maps on a skip scan rivals
+  // the index (see ClusteredPointLookupPrefersZoneSkipScan); skipping is
+  // disabled here to probe pure index-vs-sequential costing.
+  db_.set_zone_maps_enabled(false);
   auto plan = Prepare("select v from big where k = 12345");
   ASSERT_TRUE(plan.ok()) << plan.status();
   const auto* index_scan = FindOp(plan->get(), PhysOp::kIndexScan);
@@ -157,6 +161,8 @@ TEST_F(OptimizerQueryTest, WideRangeUsesSeqScan) {
 TEST_F(OptimizerQueryTest, NarrowRangeUsesIndex) {
   // Under 2007-disk default parameters (random reads ~60x a sequential
   // page), only very narrow ranges beat a sequential scan of this table.
+  // Zone maps off: with them on, the clustered skip scan wins instead.
+  db_.set_zone_maps_enabled(false);
   auto plan = Prepare("select v from big where k between 100 and 102");
   ASSERT_TRUE(plan.ok());
   const auto* index_scan = FindOp(plan->get(), PhysOp::kIndexScan);
@@ -178,6 +184,7 @@ TEST_F(OptimizerQueryTest, WideRangePrefersSeqScanOverIndex) {
 }
 
 TEST_F(OptimizerQueryTest, ResidualKeptWithIndex) {
+  db_.set_zone_maps_enabled(false);  // see PointLookupUsesIndex
   auto plan = Prepare(
       "select v from big where k = 77 and s like '%beans%'");
   ASSERT_TRUE(plan.ok());
@@ -185,6 +192,56 @@ TEST_F(OptimizerQueryTest, ResidualKeptWithIndex) {
   ASSERT_NE(index_scan, nullptr);
   const auto* scan = static_cast<const PhysIndexScan*>(index_scan);
   ASSERT_NE(scan->residual_filter, nullptr);
+}
+
+TEST_F(OptimizerQueryTest, ClusteredPointLookupPrefersZoneSkipScan) {
+  // With zone maps on (the default), a point lookup on the perfectly
+  // clustered key plans as a sequential scan that skips nearly every
+  // page — as cheap as the index without touching a random page.
+  auto plan = Prepare("select v from big where k = 12345");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  const auto* seq = FindOp(plan->get(), PhysOp::kSeqScan);
+  ASSERT_NE(seq, nullptr) << (*plan)->ToString();
+  const auto* scan = static_cast<const PhysSeqScan*>(seq);
+  EXPECT_FALSE(scan->prune_spec.empty());
+  EXPECT_GT(scan->zone_skip_fraction, 0.9);
+}
+
+TEST_F(OptimizerQueryTest, ZoneSkipCostingMetamorphic) {
+  // Metamorphic bound 1: skip-aware costing never makes a plan look more
+  // expensive than the same query costed without skipping.
+  const std::vector<std::string> queries = {
+      "select v from big where k < 100",
+      "select v from big where k between 5000 and 5100",
+      "select count(*) from big where k >= 19000",
+      "select v from big where v = 7",  // uniform column: no pruning
+  };
+  for (const std::string& sql : queries) {
+    db_.set_zone_maps_enabled(true);
+    auto with = Prepare(sql);
+    ASSERT_TRUE(with.ok()) << with.status();
+    db_.set_zone_maps_enabled(false);
+    auto without = Prepare(sql);
+    ASSERT_TRUE(without.ok()) << without.status();
+    EXPECT_LE((*with)->total_cost_ms, (*without)->total_cost_ms + 1e-9)
+        << sql;
+  }
+  db_.set_zone_maps_enabled(true);
+
+  // Metamorphic bound 2: on clustered data the costed skip fraction is
+  // monotone as the predicate narrows (wider range -> no more skipping).
+  double last_skip = 1.1;
+  for (int hi : {100, 2000, 10000, 19999}) {
+    auto plan =
+        Prepare("select v from big where k < " + std::to_string(hi));
+    ASSERT_TRUE(plan.ok());
+    const auto* seq = FindOp(plan->get(), PhysOp::kSeqScan);
+    ASSERT_NE(seq, nullptr) << (*plan)->ToString();
+    const double skip =
+        static_cast<const PhysSeqScan*>(seq)->zone_skip_fraction;
+    EXPECT_LE(skip, last_skip + 1e-12) << "k < " << hi;
+    last_skip = skip;
+  }
 }
 
 TEST_F(OptimizerQueryTest, EquiJoinPrefersHashJoin) {

@@ -1,0 +1,330 @@
+// Zone-map unit and heap-integration tests (DESIGN.md §16): prune-rule
+// three-valued-logic edge cases, fold/widening behavior, maintenance
+// through Catalog::Insert/Delete, and the heap edge paths — pages whose
+// rows were all deleted, empty-table iterators, untracked (schema-blind)
+// pages, and the NumPages/zone-entry agreement invariant. The randomized
+// counterpart is `vdb_fuzz --mode sql`, whose zone-map cross-check
+// re-executes matched plans with pruning off and diffs the rows bitwise.
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/schema.h"
+#include "catalog/value.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/zone_map.h"
+
+namespace vdb::storage {
+namespace {
+
+using catalog::Catalog;
+using catalog::Column;
+using catalog::Schema;
+using catalog::Tuple;
+using catalog::TypeId;
+using catalog::Value;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+ZoneEntry TrackedEntry(double min, double max, uint64_t rows = 10,
+                       uint64_t nulls = 0) {
+  ZoneEntry entry;
+  entry.row_count = rows;
+  ZoneColumnStats col;
+  col.null_count = nulls;
+  col.has_values = nulls < rows;
+  col.min = min;
+  col.max = max;
+  entry.columns.push_back(col);
+  return entry;
+}
+
+ScanPruneSpec SpecOf(ZonePredicate::Kind kind, double key) {
+  ScanPruneSpec spec;
+  ZonePredicate pred;
+  pred.kind = kind;
+  pred.column = 0;
+  pred.key = key;
+  spec.predicates.push_back(pred);
+  return spec;
+}
+
+TEST(ZonePruneRuleTest, UntrackedPageNeverPrunes) {
+  ZoneEntry entry = TrackedEntry(0, 100);
+  entry.tracked = false;
+  EXPECT_FALSE(ZonePageCanPrune(entry, SpecOf(ZonePredicate::Kind::kEq,
+                                              1e9)));
+}
+
+TEST(ZonePruneRuleTest, EmptySpecNeverPrunes) {
+  EXPECT_FALSE(ZonePageCanPrune(TrackedEntry(0, 100), ScanPruneSpec{}));
+}
+
+TEST(ZonePruneRuleTest, EmptyTrackedPagePrunes) {
+  // A tracked page with zero rows ever inserted can satisfy nothing.
+  ZoneEntry entry;
+  EXPECT_TRUE(ZonePageCanPrune(entry, SpecOf(ZonePredicate::Kind::kGe,
+                                             0.0)));
+}
+
+TEST(ZonePruneRuleTest, ComparisonBoundsAreStrict) {
+  const ZoneEntry entry = TrackedEntry(10, 20);
+  using K = ZonePredicate::Kind;
+  // Outside the range on either side: prune.
+  EXPECT_TRUE(ZonePageCanPrune(entry, SpecOf(K::kEq, 9.5)));
+  EXPECT_TRUE(ZonePageCanPrune(entry, SpecOf(K::kEq, 20.5)));
+  EXPECT_TRUE(ZonePageCanPrune(entry, SpecOf(K::kLt, 9.5)));
+  EXPECT_TRUE(ZonePageCanPrune(entry, SpecOf(K::kLe, 9.0)));
+  EXPECT_TRUE(ZonePageCanPrune(entry, SpecOf(K::kGt, 20.5)));
+  EXPECT_TRUE(ZonePageCanPrune(entry, SpecOf(K::kGe, 21.0)));
+  // On the boundary, key equality proves nothing (the numeric key is not
+  // injective): keep the page even when a numeric-only domain could prune
+  // (e.g. `col < 10` with min == 10).
+  EXPECT_FALSE(ZonePageCanPrune(entry, SpecOf(K::kEq, 10.0)));
+  EXPECT_FALSE(ZonePageCanPrune(entry, SpecOf(K::kEq, 20.0)));
+  EXPECT_FALSE(ZonePageCanPrune(entry, SpecOf(K::kLt, 10.0)));
+  EXPECT_FALSE(ZonePageCanPrune(entry, SpecOf(K::kLe, 10.0)));
+  EXPECT_FALSE(ZonePageCanPrune(entry, SpecOf(K::kGt, 20.0)));
+  EXPECT_FALSE(ZonePageCanPrune(entry, SpecOf(K::kGe, 20.0)));
+  // Inside the range: keep.
+  EXPECT_FALSE(ZonePageCanPrune(entry, SpecOf(K::kEq, 15.0)));
+}
+
+TEST(ZonePruneRuleTest, NaNComparisonKeyNeverPrunes) {
+  const ZoneEntry entry = TrackedEntry(10, 20);
+  using K = ZonePredicate::Kind;
+  for (K kind : {K::kLt, K::kLe, K::kGt, K::kGe, K::kEq}) {
+    EXPECT_FALSE(ZonePageCanPrune(entry, SpecOf(kind, kNaN)));
+  }
+}
+
+TEST(ZonePruneRuleTest, AllNullColumnPrunesComparisons) {
+  // Every comparison against an all-NULL column is NULL, and a top-level
+  // AND conjunct that is NULL rejects the row — so the page prunes.
+  const ZoneEntry entry = TrackedEntry(0, 0, /*rows=*/5, /*nulls=*/5);
+  EXPECT_TRUE(
+      ZonePageCanPrune(entry, SpecOf(ZonePredicate::Kind::kEq, 0.0)));
+  // ... but IS NULL keeps it, and IS NOT NULL prunes it.
+  EXPECT_FALSE(
+      ZonePageCanPrune(entry, SpecOf(ZonePredicate::Kind::kIsNull, 0)));
+  EXPECT_TRUE(
+      ZonePageCanPrune(entry, SpecOf(ZonePredicate::Kind::kIsNotNull, 0)));
+}
+
+TEST(ZonePruneRuleTest, NullPredicatesUseNullCounts) {
+  // No NULL ever inserted: IS NULL prunes, IS NOT NULL keeps.
+  const ZoneEntry no_nulls = TrackedEntry(1, 2, 10, 0);
+  EXPECT_TRUE(ZonePageCanPrune(no_nulls,
+                               SpecOf(ZonePredicate::Kind::kIsNull, 0)));
+  EXPECT_FALSE(ZonePageCanPrune(
+      no_nulls, SpecOf(ZonePredicate::Kind::kIsNotNull, 0)));
+  // Mixed: neither prunes.
+  const ZoneEntry mixed = TrackedEntry(1, 2, 10, 3);
+  EXPECT_FALSE(
+      ZonePageCanPrune(mixed, SpecOf(ZonePredicate::Kind::kIsNull, 0)));
+  EXPECT_FALSE(ZonePageCanPrune(
+      mixed, SpecOf(ZonePredicate::Kind::kIsNotNull, 0)));
+}
+
+TEST(ZonePruneRuleTest, InListPrunesOnlyWhenEveryKeyMisses) {
+  const ZoneEntry entry = TrackedEntry(10, 20);
+  ScanPruneSpec spec;
+  ZonePredicate pred;
+  pred.kind = ZonePredicate::Kind::kInList;
+  pred.column = 0;
+  pred.keys = {1.0, 5.0, 30.0};
+  spec.predicates.push_back(pred);
+  EXPECT_TRUE(ZonePageCanPrune(entry, spec));
+  spec.predicates[0].keys.push_back(15.0);  // one key inside: keep
+  EXPECT_FALSE(ZonePageCanPrune(entry, spec));
+  spec.predicates[0].keys = {kNaN};  // NaN element proves nothing
+  EXPECT_FALSE(ZonePageCanPrune(entry, spec));
+  spec.predicates[0].keys.clear();  // empty IN list: lowering keeps it out
+  EXPECT_FALSE(ZonePageCanPrune(entry, spec));
+}
+
+TEST(ZonePruneRuleTest, AnyConjunctSufficesToPrune) {
+  ZoneEntry entry = TrackedEntry(10, 20);
+  ScanPruneSpec spec = SpecOf(ZonePredicate::Kind::kEq, 15.0);  // keeps
+  ZonePredicate killer;
+  killer.kind = ZonePredicate::Kind::kGt;
+  killer.column = 0;
+  killer.key = 25.0;  // max < 25: prunes
+  spec.predicates.push_back(killer);
+  EXPECT_TRUE(ZonePageCanPrune(entry, spec));
+}
+
+TEST(ZoneFoldTest, NaNSampleWidensToFullRange) {
+  ZoneColumnStats col;
+  col.Fold(ZoneSample{kNaN, false});
+  EXPECT_TRUE(col.has_values);
+  EXPECT_EQ(col.min, -kInf);
+  EXPECT_EQ(col.max, kInf);
+  // Any later sample stays inside the widened range.
+  col.Fold(ZoneSample{5.0, false});
+  EXPECT_EQ(col.min, -kInf);
+  EXPECT_EQ(col.max, kInf);
+}
+
+TEST(ZoneFoldTest, NullSamplesCountWithoutTouchingBounds) {
+  ZoneColumnStats col;
+  col.Fold(ZoneSample{0.0, true});
+  EXPECT_EQ(col.null_count, 1u);
+  EXPECT_FALSE(col.has_values);
+  col.Fold(ZoneSample{7.0, false});
+  col.Fold(ZoneSample{3.0, false});
+  EXPECT_EQ(col.null_count, 1u);
+  EXPECT_DOUBLE_EQ(col.min, 3.0);
+  EXPECT_DOUBLE_EQ(col.max, 7.0);
+}
+
+TEST(ZoneMapTest, UntrackedInsertPoisonsPageForever) {
+  ZoneMap map;
+  map.AddPage();
+  std::vector<ZoneSample> samples = {{1.0, false}};
+  map.FoldInsert(&samples);
+  EXPECT_TRUE(map.entries()[0].tracked);
+  map.FoldInsert(nullptr);  // schema-blind insert
+  EXPECT_FALSE(map.entries()[0].tracked);
+  map.FoldInsert(&samples);  // later samples cannot un-poison
+  EXPECT_FALSE(map.entries()[0].tracked);
+  EXPECT_EQ(map.entries()[0].row_count, 3u);
+}
+
+class ZoneMapHeapTest : public ::testing::Test {
+ protected:
+  ZoneMapHeapTest() : pool_(&disk_, 256), catalog_(&disk_, &pool_) {}
+
+  catalog::TableInfo* MakeTable() {
+    auto table = catalog_.CreateTable(
+        "t", Schema({Column("k", TypeId::kInt64),
+                     Column("pad", TypeId::kString)}));
+    VDB_CHECK(table.ok());
+    return *table;
+  }
+
+  /// Inserts rows with sequential keys and a pad sized so several pages
+  /// fill up.
+  void FillSequential(catalog::TableInfo* table, int rows) {
+    for (int i = 0; i < rows; ++i) {
+      VDB_CHECK_OK(catalog_.Insert(
+          table,
+          Tuple{Value::Int64(i), Value::String(std::string(200, 'x'))}));
+    }
+  }
+
+  /// All live rids of `table`, in heap-scan order.
+  static std::vector<RecordId> LiveRids(catalog::TableInfo* table) {
+    std::vector<RecordId> rids;
+    for (auto it = table->heap->Begin(); it.Valid(); it.Next()) {
+      rids.push_back(it.rid());
+    }
+    return rids;
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  Catalog catalog_;
+};
+
+TEST_F(ZoneMapHeapTest, EntriesTrackPagesAndBounds) {
+  catalog::TableInfo* table = MakeTable();
+  FillSequential(table, 500);
+  const ZoneMap& map = table->heap->zone_map();
+  ASSERT_GT(table->heap->NumPages(), 3u);
+  ASSERT_EQ(map.entries().size(), table->heap->NumPages());
+  uint64_t rows = 0;
+  double prev_max = -kInf;
+  for (const ZoneEntry& entry : map.entries()) {
+    ASSERT_TRUE(entry.tracked);
+    ASSERT_EQ(entry.columns.size(), 2u);
+    rows += entry.row_count;
+    // Sequential inserts: page ranges are disjoint and increasing.
+    EXPECT_GT(entry.columns[0].min, prev_max);
+    EXPECT_GE(entry.columns[0].max, entry.columns[0].min);
+    prev_max = entry.columns[0].max;
+  }
+  EXPECT_EQ(rows, 500u);
+}
+
+TEST_F(ZoneMapHeapTest, PruneBitmapMatchesBruteForce) {
+  catalog::TableInfo* table = MakeTable();
+  FillSequential(table, 500);
+  ScanPruneSpec spec = SpecOf(ZonePredicate::Kind::kLt, 40.0);
+  const std::vector<uint8_t> bitmap = table->heap->ComputePruneBitmap(spec);
+  ASSERT_EQ(bitmap.size(), table->heap->NumPages());
+  // A pruned page must contain no matching row.
+  size_t pruned = 0;
+  for (auto it = table->heap->Begin(); it.Valid(); it.Next()) {
+    auto tuple = catalog::DeserializeTuple(it.record(), table->schema);
+    ASSERT_TRUE(tuple.ok());
+    if ((*tuple)[0].AsInt64() < 40) {
+      EXPECT_EQ(bitmap[it.rid().page_id], 0)
+          << "row " << (*tuple)[0].AsInt64() << " lives on pruned page";
+    }
+  }
+  for (uint8_t b : bitmap) pruned += b;
+  EXPECT_GT(pruned, 0u);
+  EXPECT_LT(pruned, bitmap.size());
+}
+
+TEST_F(ZoneMapHeapTest, DeleteKeepsSupersetBounds) {
+  catalog::TableInfo* table = MakeTable();
+  FillSequential(table, 300);
+  const std::vector<RecordId> rids = LiveRids(table);
+  const ZoneEntry before = table->heap->zone_map().entries()[0];
+  // Delete every row on page 0; bounds stay put (superset semantics).
+  for (const RecordId& rid : rids) {
+    if (rid.page_id == 0) VDB_CHECK_OK(catalog_.Delete(table, rid));
+  }
+  const ZoneEntry& after = table->heap->zone_map().entries()[0];
+  EXPECT_EQ(after, before);
+  // The stale bounds still prune correctly: no key < 0 was ever inserted,
+  // so every page (including the emptied one) prunes for k < -5 ...
+  const auto none = table->heap->ComputePruneBitmap(
+      SpecOf(ZonePredicate::Kind::kLt, -5.0));
+  for (uint8_t b : none) EXPECT_EQ(b, 1);
+  // ... and the emptied page does NOT prune for its old range — a scan
+  // visits it and finds only deleted slots, which is correct (never
+  // wrong), just not minimal.
+  const auto old_range =
+      table->heap->ComputePruneBitmap(SpecOf(ZonePredicate::Kind::kLe, 1.0));
+  EXPECT_EQ(old_range[0], 0);
+  // Scanning after the deletes yields exactly the surviving rows.
+  size_t live = 0;
+  for (auto it = table->heap->Begin(); it.Valid(); it.Next()) ++live;
+  EXPECT_EQ(live, 300u - before.row_count);
+}
+
+TEST_F(ZoneMapHeapTest, EmptyTableHasNoPagesAndNeverIterates) {
+  catalog::TableInfo* table = MakeTable();
+  EXPECT_EQ(table->heap->NumPages(), 0u);
+  EXPECT_TRUE(table->heap->zone_map().entries().empty());
+  EXPECT_FALSE(table->heap->Begin().Valid());
+  const auto bitmap =
+      table->heap->ComputePruneBitmap(SpecOf(ZonePredicate::Kind::kEq, 1.0));
+  EXPECT_TRUE(bitmap.empty());
+}
+
+TEST_F(ZoneMapHeapTest, SchemaBlindInsertNeverPrunes) {
+  catalog::TableInfo* table = MakeTable();
+  const std::string record = catalog::SerializeTuple(
+      Tuple{Value::Int64(5), Value::String("x")}, table->schema);
+  ASSERT_TRUE(table->heap->Insert(record).ok());  // no samples
+  const ZoneMap& map = table->heap->zone_map();
+  ASSERT_EQ(map.entries().size(), 1u);
+  EXPECT_FALSE(map.entries()[0].tracked);
+  const auto bitmap =
+      table->heap->ComputePruneBitmap(SpecOf(ZonePredicate::Kind::kEq, 1e9));
+  EXPECT_EQ(bitmap[0], 0);
+}
+
+}  // namespace
+}  // namespace vdb::storage

@@ -41,6 +41,10 @@ struct ClientStats {
   uint64_t aborted_budget = 0;  // kBudgetExceeded
   uint64_t errors_other = 0;    // any other server-side error
   uint64_t transport_errors = 0;
+  // Zone-map skipping totals from the wire `stats` object, so a loadgen
+  // run shows how much I/O the workload's predicates elide end-to-end.
+  uint64_t pages_pruned = 0;
+  uint64_t pages_scanned = 0;
 };
 
 struct TenantStats {
@@ -93,6 +97,8 @@ void RunClient(const std::string& host, int port, const std::string& tenant,
     const Status& error = response->error;
     if (error.ok()) {
       ++stats->ok;
+      stats->pages_pruned += response->stats.pages_pruned;
+      stats->pages_scanned += response->stats.pages_scanned;
       stats->latencies_ms.push_back(
           1e-6 *
           static_cast<double>(
@@ -197,6 +203,8 @@ int main(int argc, char** argv) {
       tenant.total.aborted_budget += c.aborted_budget;
       tenant.total.errors_other += c.errors_other;
       tenant.total.transport_errors += c.transport_errors;
+      tenant.total.pages_pruned += c.pages_pruned;
+      tenant.total.pages_scanned += c.pages_scanned;
       tenant.total.latencies_ms.insert(tenant.total.latencies_ms.end(),
                                        c.latencies_ms.begin(),
                                        c.latencies_ms.end());
@@ -209,18 +217,24 @@ int main(int argc, char** argv) {
     std::printf(
         "tenant %-8s ok=%llu rejected=%llu budget_aborts=%llu "
         "errors=%llu transport=%llu | %.1f q/s p50=%.2fms p95=%.2fms "
-        "p99=%.2fms\n",
+        "p99=%.2fms | pruned=%llu scanned=%llu pages\n",
         tenant.name.c_str(),
         static_cast<unsigned long long>(tenant.total.ok),
         static_cast<unsigned long long>(tenant.total.rejected),
         static_cast<unsigned long long>(tenant.total.aborted_budget),
         static_cast<unsigned long long>(tenant.total.errors_other),
         static_cast<unsigned long long>(tenant.total.transport_errors),
-        qps, p50, p95, p99);
+        qps, p50, p95, p99,
+        static_cast<unsigned long long>(tenant.total.pages_pruned),
+        static_cast<unsigned long long>(tenant.total.pages_scanned));
     report.AddValue(tenant.name + "/qps", qps);
     report.AddTiming(tenant.name + "/p50_s", 1e-3 * p50);
     report.AddTiming(tenant.name + "/p95_s", 1e-3 * p95);
     report.AddTiming(tenant.name + "/p99_s", 1e-3 * p99);
+    report.AddValue(tenant.name + "/pages_pruned",
+                    static_cast<double>(tenant.total.pages_pruned));
+    report.AddValue(tenant.name + "/pages_scanned",
+                    static_cast<double>(tenant.total.pages_scanned));
     rejected_total += tenant.total.rejected;
     aborted_total += tenant.total.aborted_budget;
     errors_other_total += tenant.total.errors_other;
